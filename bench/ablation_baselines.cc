@@ -1,0 +1,121 @@
+// Ablation: baseline execution strategies (§II-B). The paper argues that
+// naive sequential scanning "exhibits high variance in execution time due
+// to the uneven distribution of objects in video", that random sampling
+// fixes the variance, and that random+ additionally avoids early
+// temporally-close samples. This bench quantifies all four strategies on a
+// family of datasets whose object mass sits at a different (unknown)
+// location each trial — the ad-hoc-query reality — reporting the median
+// and interquartile spread of frames-to-target.
+//
+// Flags: --frames (120000), --trials (11), --seed.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "detect/simulated_detector.h"
+#include "sim/savings.h"
+#include "track/discriminator.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace exsample {
+namespace {
+
+data::Dataset MakeTrialDataset(int64_t frames, double center,
+                               uint64_t seed) {
+  data::DatasetSpec spec;
+  spec.name = "baselines";
+  spec.num_videos = 1;
+  spec.frames_per_video = frames;
+  spec.chunk_frames = frames / 40;
+  data::ClassSpec c;
+  c.class_id = 0;
+  c.name = "obj";
+  c.num_instances = 120;
+  c.mean_duration_frames = 90.0;
+  c.placement = data::Placement::kNormal;
+  c.center_fraction = center;   // the unknown location of the object mass
+  c.stddev_fraction = 0.07;
+  spec.classes.push_back(c);
+  return data::GenerateDataset(spec, seed);
+}
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const int64_t frames = flags.GetInt("frames", 120000);
+  const int trials = static_cast<int>(flags.GetInt("trials", 11));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 53));
+  flags.FailOnUnknown();
+
+  std::printf("=== Ablation: baseline strategies (§II-B) ===\n");
+  std::printf("frames=%lld trials=%d; object mass centered at a different\n"
+              "unknown location each trial (120 objects, target 60)\n\n",
+              static_cast<long long>(frames), trials);
+
+  // One dataset family shared by all strategies: trial t's mass center is
+  // drawn once and reused, so comparisons are paired.
+  std::vector<data::Dataset> datasets;
+  {
+    Rng rng(seed);
+    for (int tr = 0; tr < trials; ++tr) {
+      double center = 0.1 + 0.8 * rng.NextDouble();
+      datasets.push_back(
+          MakeTrialDataset(frames, center, seed + 1000 + tr));
+    }
+  }
+
+  struct Entry {
+    const char* name;
+    core::Strategy strategy;
+    int64_t stride;
+  };
+  Table t({"strategy", "p25", "median", "p75", "IQR/median"});
+  for (const Entry& e :
+       {Entry{"sequential (1-in-30)", core::Strategy::kSequential, 30},
+        Entry{"random", core::Strategy::kRandom, 1},
+        Entry{"random+", core::Strategy::kRandomPlus, 1},
+        Entry{"exsample", core::Strategy::kExSample, 1}}) {
+    std::vector<double> needed;
+    for (int tr = 0; tr < trials; ++tr) {
+      const data::Dataset& ds = datasets[static_cast<size_t>(tr)];
+      detect::SimulatedDetector det(&ds.ground_truth, 0,
+                                    detect::PerfectDetectorConfig(), 3);
+      track::OracleDiscriminator disc;
+      core::EngineConfig cfg;
+      cfg.strategy = e.strategy;
+      cfg.sequential_stride = e.stride;
+      core::QueryEngine engine(&ds.repo, &ds.chunks, &det, &disc, cfg,
+                               2000 + static_cast<uint64_t>(tr));
+      core::QuerySpec q;
+      q.class_id = 0;
+      q.max_samples = ds.repo.total_frames();
+      auto traj = engine.Run(q).true_instances;
+      int64_t s = traj.SamplesToReach(60);
+      if (s > 0) needed.push_back(static_cast<double>(s));
+    }
+    if (needed.empty()) {
+      t.AddRow({e.name, "-", "-", "-", "-"});
+      continue;
+    }
+    double p25 = Percentile(needed, 0.25);
+    double p50 = Percentile(needed, 0.5);
+    double p75 = Percentile(needed, 0.75);
+    t.AddRow({e.name, Table::Num(p25, 4), Table::Num(p50, 4),
+              Table::Num(p75, 4), Table::Num((p75 - p25) / p50, 2)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nExpected shape (§II-B): sequential's spread reflects where the\n"
+      "object mass happens to sit relative to the scan start (huge IQR);\n"
+      "random is location-invariant; random+ improves its median;\n"
+      "ExSample has the lowest median by exploiting the skew.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::Main(argc, argv); }

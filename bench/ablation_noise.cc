@@ -1,0 +1,133 @@
+// Ablation: detector-noise robustness. The paper treats the detector as a
+// black box; this ablation quantifies how ExSample's statistics degrade as
+// that box gets worse: per-frame miss rate (flickering detections), false
+// positives (hallucinated objects polluting N1 and the result set), and
+// their effect on savings over random.
+//
+// Flags: --scale (0.08), --trials (3), --seed.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/presets.h"
+#include "detect/simulated_detector.h"
+#include "sim/savings.h"
+#include "track/discriminator.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace exsample {
+namespace {
+
+core::Trajectory NoisyTrial(const data::Dataset& ds, detect::ClassId cid,
+                            core::Strategy strategy,
+                            const detect::DetectorConfig& det_cfg,
+                            uint64_t seed) {
+  detect::SimulatedDetector detector(&ds.ground_truth, cid, det_cfg,
+                                     seed * 97 + 5);
+  track::OracleDiscriminator disc;
+  core::EngineConfig cfg;
+  cfg.strategy = strategy;
+  core::QueryEngine engine(&ds.repo, &ds.chunks, &detector, &disc, cfg, seed);
+  core::QuerySpec spec;
+  spec.class_id = cid;
+  spec.max_samples = ds.repo.total_frames();
+  return engine.Run(spec).true_instances;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.08);
+  const int trials = static_cast<int>(flags.GetInt("trials", 3));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 47));
+  flags.FailOnUnknown();
+
+  std::printf("=== Ablation: detector noise robustness ===\n");
+  std::printf("scale=%.3g trials=%d (night_street/person)\n\n", scale,
+              trials);
+
+  auto ds = data::MakePreset("night_street", scale, seed);
+  const auto* cls = ds.FindClass("person");
+  const int64_t n = ds.ground_truth.NumInstances(cls->class_id);
+  const int64_t target = (n + 1) / 2;
+
+  std::printf("--- miss-rate sweep (false_positive_rate = 0) ---\n");
+  {
+    Table t({"miss rate", "ex frames to 50%", "rnd frames to 50%",
+             "savings"});
+    for (double miss : {0.0, 0.1, 0.3, 0.5}) {
+      detect::DetectorConfig det_cfg = detect::PerfectDetectorConfig();
+      det_cfg.miss_rate = miss;
+      std::vector<core::Trajectory> ex, rnd;
+      for (int tr = 0; tr < trials; ++tr) {
+        ex.push_back(NoisyTrial(ds, cls->class_id,
+                                core::Strategy::kExSample, det_cfg,
+                                700 + static_cast<uint64_t>(tr)));
+        rnd.push_back(NoisyTrial(ds, cls->class_id, core::Strategy::kRandom,
+                                 det_cfg, 800 + static_cast<uint64_t>(tr)));
+      }
+      int64_t ex_s = sim::MedianSamplesToReach(ex, target);
+      int64_t rnd_s = sim::MedianSamplesToReach(rnd, target);
+      double sv = sim::SavingsAtCount(ex, rnd, target);
+      t.AddRow({Table::Num(miss, 2), ex_s < 0 ? "-" : Table::Int(ex_s),
+                rnd_s < 0 ? "-" : Table::Int(rnd_s),
+                sv > 0 ? Table::Ratio(sv) : "-"});
+    }
+    std::printf("%s", t.ToString().c_str());
+    std::printf("(expected: both samplers slow down roughly as 1/(1-miss);\n"
+                " the savings ratio is preserved — misses shrink effective\n"
+                " durations uniformly)\n\n");
+  }
+
+  std::printf("--- false-positive sweep (miss_rate = 0) ---\n");
+  {
+    Table t({"FP / frame", "frames to 50% true recall",
+             "reported results at that point", "pollution"});
+    for (double fp : {0.0, 0.05, 0.2, 0.5}) {
+      detect::DetectorConfig det_cfg = detect::PerfectDetectorConfig();
+      det_cfg.false_positive_rate = fp;
+      std::vector<core::Trajectory> ex;
+      std::vector<double> pollution;
+      int64_t reported_at = 0;
+      for (int tr = 0; tr < trials; ++tr) {
+        detect::SimulatedDetector detector(&ds.ground_truth, cls->class_id,
+                                           det_cfg, 900 + tr);
+        track::OracleDiscriminator disc;
+        core::EngineConfig cfg;
+        core::QueryEngine engine(&ds.repo, &ds.chunks, &detector, &disc, cfg,
+                                 900 + static_cast<uint64_t>(tr));
+        core::QuerySpec spec;
+        spec.class_id = cls->class_id;
+        spec.max_samples = ds.repo.total_frames();
+        auto result = engine.Run(spec);
+        ex.push_back(result.true_instances);
+        int64_t frames = result.true_instances.SamplesToReach(target);
+        if (frames > 0) {
+          int64_t reported = result.reported.CountAt(frames);
+          reported_at = reported;
+          pollution.push_back(static_cast<double>(reported - target) /
+                              static_cast<double>(reported));
+        }
+      }
+      int64_t ex_s = sim::MedianSamplesToReach(ex, target);
+      t.AddRow({Table::Num(fp, 2),
+                ex_s < 0 ? std::string("-") : Table::Int(ex_s),
+                Table::Int(reported_at),
+                pollution.empty()
+                    ? std::string("-")
+                    : Table::Num(Percentile(pollution, 0.5), 2)});
+    }
+    std::printf("%s", t.ToString().c_str());
+    std::printf("(expected: false positives inflate the reported count and\n"
+                " keep N1 artificially high, costing extra frames — the\n"
+                " price of a hallucinating detector, not of the sampler)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::Main(argc, argv); }

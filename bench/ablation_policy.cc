@@ -1,0 +1,155 @@
+// Ablation: the design choices of §III-B/§III-C.
+//  1. Chunk policy: Thompson sampling (the paper's choice) vs Bayes-UCB
+//     (reported as equivalent), vs greedy point-estimate (the §III-B
+//     failure mode), vs uniform chunk choice.
+//  2. Belief prior alpha0 sensitivity (the paper reports no strong
+//     dependence around alpha0 = 0.1).
+//  3. Within-chunk sampling: random+ vs plain uniform (§III-F).
+//
+// Flags: --frames (1M), --trials (7), --instances (500), --chunks (64),
+//        --max-samples (20000), --seed.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/chunked_sim.h"
+#include "sim/savings.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace exsample {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const int64_t frames = flags.GetInt("frames", 1'000'000);
+  const int trials = static_cast<int>(flags.GetInt("trials", 7));
+  const int64_t instances = flags.GetInt("instances", 500);
+  const int32_t chunks = static_cast<int32_t>(flags.GetInt("chunks", 64));
+  const int64_t max_samples = flags.GetInt("max-samples", 20000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 31));
+  flags.FailOnUnknown();
+
+  std::printf("=== Ablation: policy, prior, within-chunk sampling ===\n");
+  std::printf("frames=%lld instances=%lld chunks=%d trials=%d\n\n",
+              static_cast<long long>(frames),
+              static_cast<long long>(instances), chunks, trials);
+
+  sim::WorkloadParams params;
+  params.num_instances = instances;
+  params.num_frames = frames;
+  params.mean_duration = 700.0;
+  params.skew_fraction = 1.0 / 32.0;
+  Rng wl_rng(seed);
+  auto workload = sim::MakeWorkload(params, &wl_rng);
+
+  auto run_policy = [&](core::PolicyKind policy, core::BeliefParams belief,
+                        uint64_t base) {
+    std::vector<core::Trajectory> out;
+    for (int tr = 0; tr < trials; ++tr) {
+      sim::SimConfig cfg;
+      cfg.strategy = sim::SimStrategy::kExSample;
+      cfg.num_chunks = chunks;
+      cfg.policy = policy;
+      cfg.belief = belief;
+      cfg.max_samples = max_samples;
+      Rng rng(base + static_cast<uint64_t>(tr));
+      out.push_back(sim::RunSimTrial(workload, cfg, &rng));
+    }
+    return out;
+  };
+
+  std::printf("--- 1. chunk policy (median samples to reach target) ---\n");
+  {
+    Table t({"policy", "to 50", "to 100", "to 250", "found@end"});
+    struct Row {
+      const char* name;
+      core::PolicyKind kind;
+    };
+    for (const Row& row : {Row{"thompson", core::PolicyKind::kThompson},
+                           Row{"bayes_ucb", core::PolicyKind::kBayesUcb},
+                           Row{"greedy", core::PolicyKind::kGreedy},
+                           Row{"uniform", core::PolicyKind::kUniform}}) {
+      auto trajs = run_policy(row.kind, core::BeliefParams{}, 1000);
+      std::vector<std::string> cells{row.name};
+      for (int64_t target : {50, 100, 250}) {
+        int64_t s = sim::MedianSamplesToReach(trajs, target);
+        cells.push_back(s < 0 ? "-" : Table::Int(s));
+      }
+      auto band = sim::SummarizeTrials(trajs, {max_samples});
+      cells.push_back(Table::Num(band.p50[0], 4));
+      t.AddRow(std::move(cells));
+    }
+    std::printf("%s", t.ToString().c_str());
+    std::printf("(expected: thompson ~ bayes_ucb, both well ahead of\n"
+                " uniform; greedy erratic/slower — §III-B, §III-C)\n\n");
+  }
+
+  std::printf("--- 2. belief prior alpha0 sensitivity ---\n");
+  {
+    Table t({"alpha0", "to 100", "to 250", "found@end"});
+    for (double alpha0 : {0.01, 0.05, 0.1, 0.5, 1.0}) {
+      auto trajs = run_policy(core::PolicyKind::kThompson,
+                              core::BeliefParams{alpha0, 1.0}, 2000);
+      std::vector<std::string> cells{Table::Num(alpha0, 3)};
+      for (int64_t target : {100, 250}) {
+        int64_t s = sim::MedianSamplesToReach(trajs, target);
+        cells.push_back(s < 0 ? "-" : Table::Int(s));
+      }
+      auto band = sim::SummarizeTrials(trajs, {max_samples});
+      cells.push_back(Table::Num(band.p50[0], 4));
+      t.AddRow(std::move(cells));
+    }
+    std::printf("%s", t.ToString().c_str());
+    std::printf("(expected: flat across alpha0 — the paper reports no\n"
+                " strong dependence on this choice)\n\n");
+  }
+
+  std::printf("--- 3. within-chunk sampling: random+ vs uniform ---\n");
+  {
+    // Uses the full video engine on a dense static-camera preset, where
+    // close-together samples cause duplicate sightings.
+    auto ds = data::MakePreset("archie", 0.08, seed);
+    auto class_id = ds.FindClass("car")->class_id;
+    const int64_t n_instances = ds.ground_truth.NumInstances(class_id);
+    Table t({"within-chunk", "to 25% recall", "to 50% recall"});
+    for (auto within : {video::WithinChunkStrategy::kRandomPlus,
+                        video::WithinChunkStrategy::kUniform}) {
+      std::vector<core::Trajectory> trajs;
+      for (int tr = 0; tr < trials; ++tr) {
+        detect::SimulatedDetector det(&ds.ground_truth, class_id,
+                                      detect::PerfectDetectorConfig(), 3);
+        track::OracleDiscriminator disc;
+        core::EngineConfig cfg;
+        cfg.strategy = core::Strategy::kExSample;
+        cfg.within_chunk = within;
+        core::QueryEngine engine(&ds.repo, &ds.chunks, &det, &disc, cfg,
+                                 3000 + static_cast<uint64_t>(tr));
+        core::QuerySpec q;
+        q.class_id = class_id;
+        q.max_samples = ds.repo.total_frames() / 4;
+        trajs.push_back(engine.Run(q).true_instances);
+      }
+      std::vector<std::string> cells{
+          within == video::WithinChunkStrategy::kRandomPlus ? "random+"
+                                                            : "uniform"};
+      for (double recall : {0.25, 0.5}) {
+        int64_t s = sim::MedianSamplesToReach(
+            trajs, bench::RecallTarget(n_instances, recall));
+        cells.push_back(s < 0 ? "-" : Table::Int(s));
+      }
+      t.AddRow(std::move(cells));
+    }
+    std::printf("%s", t.ToString().c_str());
+    std::printf("(expected: random+ needs fewer samples — it avoids\n"
+                " temporally-adjacent picks that re-see the same objects,\n"
+                " §III-F)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::Main(argc, argv); }

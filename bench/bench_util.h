@@ -1,0 +1,64 @@
+// Shared helpers for the benchmark/experiment binaries: preset query
+// runners and trial collection.
+
+#ifndef EXSAMPLE_BENCH_BENCH_UTIL_H_
+#define EXSAMPLE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/presets.h"
+#include "detect/simulated_detector.h"
+#include "track/discriminator.h"
+
+namespace exsample {
+namespace bench {
+
+/// Runs one engine trial on a dataset and returns the distinct-true-instance
+/// trajectory (oracle discriminator, perfect detector: isolates sampling
+/// behaviour, matching how the paper counts recall against its reference
+/// ground truth).
+inline core::Trajectory RunTrial(const data::Dataset& ds,
+                                 detect::ClassId class_id,
+                                 core::Strategy strategy, int64_t max_samples,
+                                 uint64_t seed, int32_t batch_size = 1) {
+  detect::SimulatedDetector detector(&ds.ground_truth, class_id,
+                                     detect::PerfectDetectorConfig(),
+                                     seed * 1000003 + 17);
+  track::OracleDiscriminator disc;
+  core::EngineConfig cfg;
+  cfg.strategy = strategy;
+  cfg.batch_size = batch_size;
+  core::QueryEngine engine(&ds.repo, &ds.chunks, &detector, &disc, cfg, seed);
+  core::QuerySpec spec;
+  spec.class_id = class_id;
+  spec.max_samples = max_samples;
+  return engine.Run(spec).true_instances;
+}
+
+/// Collects `trials` trajectories with distinct seeds.
+inline std::vector<core::Trajectory> RunTrials(
+    const data::Dataset& ds, detect::ClassId class_id,
+    core::Strategy strategy, int64_t max_samples, int trials,
+    uint64_t seed_base) {
+  std::vector<core::Trajectory> out;
+  out.reserve(static_cast<size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    out.push_back(RunTrial(ds, class_id, strategy, max_samples,
+                           seed_base + static_cast<uint64_t>(t)));
+  }
+  return out;
+}
+
+/// ceil(recall * count) as an integer target.
+inline int64_t RecallTarget(int64_t count, double recall) {
+  int64_t t = static_cast<int64_t>(recall * static_cast<double>(count) + 0.999999);
+  return t < 1 ? 1 : t;
+}
+
+}  // namespace bench
+}  // namespace exsample
+
+#endif  // EXSAMPLE_BENCH_BENCH_UTIL_H_

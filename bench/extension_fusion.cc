@@ -1,0 +1,139 @@
+// Extension experiment (§VII "For scoring"): commitment-gated lazy proxy
+// scoring fused with ExSample's chunk bandit, vs pure ExSample and vs the
+// BlazeIt full-scan baseline.
+//
+// Latency model per system (all from the paper's measured throughputs —
+// scan 100 fps, sample-and-detect 20 fps):
+//   exsample:  frames_to_k / 20
+//   fusion:    progressive clock — every lazy chunk scan and every
+//              inference advances it (reported by the engine itself)
+//   blazeit:   full scan first, then frames_to_k / 20
+//
+// Flags: --scale (0.08), --recall (0.5), --gate (12), --seed.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "proxy/blazeit.h"
+#include "proxy/fusion.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace exsample {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.08);
+  const double recall = flags.GetDouble("recall", 0.5);
+  const int64_t gate = flags.GetInt("gate", 40);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 43));
+  flags.FailOnUnknown();
+
+  std::printf("=== Extension (§VII): fusion of ExSample + lazy proxy scoring "
+              "===\n");
+  std::printf("scale=%.3g scan-commitment-gate=%lld samples\n\n", scale,
+              static_cast<long long>(gate));
+
+  detect::ThroughputModel throughput;
+  for (const auto& [preset, cls_name] :
+       {std::pair{"dashcam", "bicycle"},
+        std::pair{"amsterdam", "motorcycle"},
+        std::pair{"night_street", "person"}}) {
+    auto ds = data::MakePreset(preset, scale, seed);
+    const auto* cls = ds.FindClass(cls_name);
+    const int64_t n_instances = ds.ground_truth.NumInstances(cls->class_id);
+    const int64_t limit = bench::RecallTarget(n_instances, recall);
+    std::printf("--- %s/%s: %lld instances, target %lld ---\n", preset,
+                cls_name, static_cast<long long>(n_instances),
+                static_cast<long long>(limit));
+
+    core::QuerySpec spec;
+    spec.class_id = cls->class_id;
+    spec.result_limit = limit;
+
+    // Pure ExSample (frames -> time at 20 fps).
+    core::Trajectory ex_traj;
+    {
+      detect::SimulatedDetector det(&ds.ground_truth, cls->class_id,
+                                    detect::PerfectDetectorConfig(), 3);
+      track::OracleDiscriminator disc;
+      core::EngineConfig cfg;
+      core::QueryEngine engine(&ds.repo, &ds.chunks, &det, &disc, cfg,
+                               seed + 1);
+      ex_traj = engine.Run(spec).reported;
+    }
+
+    // Fusion (progressive clock, milliseconds).
+    proxy::FusionResult fusion;
+    {
+      detect::SimulatedDetector det(&ds.ground_truth, cls->class_id,
+                                    detect::PerfectDetectorConfig(), 3);
+      proxy::SimulatedProxyModel proxy_model(&ds.ground_truth, cls->class_id,
+                                             proxy::ProxyConfig{0.15}, 5);
+      track::OracleDiscriminator disc;
+      proxy::FusionConfig fcfg;
+      fcfg.scan_after_samples = gate;
+      proxy::FusionEngine engine(&ds.repo, &ds.chunks, &proxy_model, &det,
+                                 &disc, fcfg, seed + 2);
+      fusion = engine.Run(spec);
+    }
+
+    // BlazeIt (full scan, then frames -> time).
+    proxy::BlazeItResult blazeit;
+    {
+      detect::SimulatedDetector det(&ds.ground_truth, cls->class_id,
+                                    detect::PerfectDetectorConfig(), 3);
+      proxy::SimulatedProxyModel proxy_model(&ds.ground_truth, cls->class_id,
+                                             proxy::ProxyConfig{0.15}, 5);
+      track::OracleDiscriminator disc;
+      proxy::BlazeItBaseline baseline(&ds.repo, &proxy_model, &det, &disc,
+                                      proxy::BlazeItConfig{});
+      blazeit = baseline.Run(spec);
+    }
+
+    Table t({"k", "exsample", "fusion", "blazeit"});
+    for (double frac : {0.1, 0.25, 0.5, 1.0}) {
+      int64_t k = bench::RecallTarget(limit, frac);
+      auto ex_frames = ex_traj.SamplesToReach(k);
+      auto fu_ms = fusion.reported_by_ms.SamplesToReach(k);
+      auto bz_frames = blazeit.query.reported.SamplesToReach(k);
+      t.AddRow(
+          {Table::Int(k),
+           ex_frames < 0
+               ? std::string("-")
+               : Table::Duration(throughput.SampleSeconds(ex_frames)),
+           fu_ms < 0 ? std::string("-")
+                     : Table::Duration(static_cast<double>(fu_ms) / 1000.0),
+           bz_frames < 0
+               ? std::string("-")
+               : Table::Duration(blazeit.scan_seconds +
+                                 throughput.SampleSeconds(bz_frames))});
+    }
+    std::printf("%s", t.ToString().c_str());
+    std::printf("fusion: %lld detector frames; scored %lld frames in %d/%zu "
+                "chunks (%.0f%% of dataset, %s of scan time); blazeit "
+                "scored 100%% (%s).\n\n",
+                static_cast<long long>(fusion.query.frames_processed),
+                static_cast<long long>(fusion.frames_scored),
+                fusion.chunks_scored, ds.chunks.size(),
+                100.0 * static_cast<double>(fusion.frames_scored) /
+                    static_cast<double>(ds.repo.total_frames()),
+                Table::Duration(fusion.scan_seconds).c_str(),
+                Table::Duration(blazeit.scan_seconds).c_str());
+  }
+  std::printf(
+      "Expected shape: the commitment gate keeps fusion's scanning to the\n"
+      "hot chunks only; it approaches pure ExSample where positives are\n"
+      "dense in-chunk, and can pull ahead on rare-object queries where\n"
+      "score-ordering saves many empty detector frames per chunk. BlazeIt\n"
+      "pays its full scan before the first result at every k (Table I).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::Main(argc, argv); }

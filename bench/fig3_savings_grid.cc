@@ -1,0 +1,112 @@
+// Figure 3 reproduction: simulated savings of ExSample over random across a
+// grid of instance skew (none, 1/4, 1/32, 1/256 of the dataset holding 95%
+// of instances) x mean instance duration (14, 100, 700, 4900 frames).
+//
+// For each cell we run ExSample (Thompson over 128 chunks) and random
+// trials, report the median samples to reach 10 / 100 / 1000 results and
+// the savings ratios, plus the expected results under the optimal static
+// allocation of Eq IV.1 (the dashed benchmark lines).
+//
+// Flags: --frames (default 2M; paper 16M — pass --full), --trials
+//        (default 5; paper 21), --instances (2000), --chunks (128),
+//        --max-samples (default 30000), --seed.
+
+#include <cstdio>
+#include <vector>
+
+#include "optimal/weights.h"
+#include "sim/chunked_sim.h"
+#include "sim/savings.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace exsample {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const bool full = flags.GetBool("full");
+  const int64_t frames = flags.GetInt("frames", full ? 16'000'000 : 2'000'000);
+  const int trials = static_cast<int>(flags.GetInt("trials", full ? 21 : 5));
+  const int64_t instances = flags.GetInt("instances", 2000);
+  const int32_t chunks = static_cast<int32_t>(flags.GetInt("chunks", 128));
+  const int64_t max_samples =
+      flags.GetInt("max-samples", full ? 100000 : 30000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+  flags.FailOnUnknown();
+
+  std::printf("=== Figure 3: savings grid (skew x duration) ===\n");
+  std::printf(
+      "frames=%lld instances=%lld chunks=%d trials=%d max_samples=%lld\n",
+      static_cast<long long>(frames), static_cast<long long>(instances),
+      chunks, trials, static_cast<long long>(max_samples));
+  std::printf("(paper: 16M frames, 2000 instances, 128 chunks, 21 trials)\n\n");
+
+  const std::vector<std::pair<const char*, double>> skews{
+      {"none", 0.0},
+      {"1/4", 1.0 / 4.0},
+      {"1/32", 1.0 / 32.0},
+      {"1/256", 1.0 / 256.0}};
+  const std::vector<double> durations{14.0, 100.0, 700.0, 4900.0};
+  const std::vector<int64_t> targets{10, 100, 1000};
+
+  Table t({"skew", "duration", "save@10", "save@100", "save@1000",
+           "ex@end", "rnd@end", "opt@end"});
+  for (double dur : durations) {
+    for (const auto& [skew_name, skew] : skews) {
+      sim::WorkloadParams params;
+      params.num_instances = instances;
+      params.num_frames = frames;
+      params.mean_duration = dur;
+      params.skew_fraction = skew;
+      Rng wl_rng(seed);
+      auto workload = sim::MakeWorkload(params, &wl_rng);
+
+      auto run = [&](sim::SimStrategy strategy, uint64_t base) {
+        std::vector<core::Trajectory> out;
+        for (int tr = 0; tr < trials; ++tr) {
+          sim::SimConfig cfg;
+          cfg.strategy = strategy;
+          cfg.num_chunks = chunks;
+          cfg.max_samples = max_samples;
+          Rng rng(base + static_cast<uint64_t>(tr));
+          out.push_back(sim::RunSimTrial(workload, cfg, &rng));
+        }
+        return out;
+      };
+      auto ex = run(sim::SimStrategy::kExSample, 1000);
+      auto rnd = run(sim::SimStrategy::kRandom, 2000);
+
+      // Optimal static allocation (Eq IV.1) at the sample budget.
+      auto probs = sim::WorkloadChunkProbs(workload, chunks);
+      auto w = optimal::OptimalWeights(probs, chunks,
+                                       static_cast<double>(max_samples));
+      const double opt_end = optimal::ExpectedResults(
+          probs, w, static_cast<double>(max_samples));
+
+      std::vector<std::string> row{skew_name, Table::Num(dur, 4)};
+      for (int64_t target : targets) {
+        double sv = sim::SavingsAtCount(ex, rnd, target);
+        row.push_back(sv > 0.0 ? Table::Ratio(sv) : "-");
+      }
+      auto band_ex = sim::SummarizeTrials(ex, {max_samples});
+      auto band_rnd = sim::SummarizeTrials(rnd, {max_samples});
+      row.push_back(Table::Num(band_ex.p50[0], 4));
+      row.push_back(Table::Num(band_rnd.p50[0], 4));
+      row.push_back(Table::Num(opt_end, 4));
+      t.AddRow(std::move(row));
+    }
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nExpected shape (paper Fig 3): savings grow with skew (left to\n"
+      "right: ~1x -> tens of x) and with duration (top to bottom), ExSample\n"
+      "never does significantly worse than random, and its final counts\n"
+      "approach the optimal static allocation (opt@end).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::Main(argc, argv); }

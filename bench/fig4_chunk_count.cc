@@ -1,0 +1,113 @@
+// Figure 4 reproduction: effect of the number of chunks for a fixed
+// workload (skew 1/32, mean duration 700 — the third row/column cell of
+// Figure 3). For M in {2, 16, 128, 1024} the bench reports the median
+// instances found by ExSample at sample checkpoints, the random baseline,
+// and the expected results under the Eq IV.1 optimal static allocation for
+// that M (the dashed lines of the figure).
+//
+// Flags: --frames (default 2M; paper 16M — pass --full), --trials (5),
+//        --instances (2000), --max-samples (30000), --seed.
+
+#include <cstdio>
+#include <vector>
+
+#include "optimal/weights.h"
+#include "sim/chunked_sim.h"
+#include "sim/savings.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace exsample {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const bool full = flags.GetBool("full");
+  const int64_t frames = flags.GetInt("frames", full ? 16'000'000 : 2'000'000);
+  const int trials = static_cast<int>(flags.GetInt("trials", full ? 21 : 5));
+  const int64_t instances = flags.GetInt("instances", 2000);
+  const int64_t max_samples = flags.GetInt("max-samples", 30000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 13));
+  flags.FailOnUnknown();
+
+  std::printf("=== Figure 4: varying the number of chunks ===\n");
+  std::printf("frames=%lld instances=%lld trials=%d max_samples=%lld\n",
+              static_cast<long long>(frames),
+              static_cast<long long>(instances), trials,
+              static_cast<long long>(max_samples));
+  std::printf("workload: skew 1/32, mean duration 700 frames\n\n");
+
+  sim::WorkloadParams params;
+  params.num_instances = instances;
+  params.num_frames = frames;
+  params.mean_duration = 700.0;
+  params.skew_fraction = 1.0 / 32.0;
+  Rng wl_rng(seed);
+  auto workload = sim::MakeWorkload(params, &wl_rng);
+
+  const std::vector<int64_t> checkpoints{max_samples / 30, max_samples / 10,
+                                         max_samples / 3, max_samples};
+  const std::vector<int32_t> chunk_counts{2, 16, 128, 1024};
+
+  Table t({"M", "strategy", "@" + Table::Int(checkpoints[0]),
+           "@" + Table::Int(checkpoints[1]), "@" + Table::Int(checkpoints[2]),
+           "@" + Table::Int(checkpoints[3])});
+
+  // Random baseline (equivalent to M = 1).
+  {
+    std::vector<core::Trajectory> rnd;
+    for (int tr = 0; tr < trials; ++tr) {
+      sim::SimConfig cfg;
+      cfg.strategy = sim::SimStrategy::kRandom;
+      cfg.num_chunks = 1;
+      cfg.max_samples = max_samples;
+      Rng rng(500 + static_cast<uint64_t>(tr));
+      rnd.push_back(sim::RunSimTrial(workload, cfg, &rng));
+    }
+    auto band = sim::SummarizeTrials(rnd, checkpoints);
+    std::vector<std::string> row{"1", "random"};
+    for (double v : band.p50) row.push_back(Table::Num(v, 4));
+    t.AddRow(std::move(row));
+  }
+
+  for (int32_t m : chunk_counts) {
+    std::vector<core::Trajectory> ex;
+    for (int tr = 0; tr < trials; ++tr) {
+      sim::SimConfig cfg;
+      cfg.strategy = sim::SimStrategy::kExSample;
+      cfg.num_chunks = m;
+      cfg.max_samples = max_samples;
+      Rng rng(1000 + static_cast<uint64_t>(m) * 100 +
+              static_cast<uint64_t>(tr));
+      ex.push_back(sim::RunSimTrial(workload, cfg, &rng));
+    }
+    auto band = sim::SummarizeTrials(ex, checkpoints);
+    std::vector<std::string> row{Table::Int(m), "exsample"};
+    for (double v : band.p50) row.push_back(Table::Num(v, 4));
+    t.AddRow(std::move(row));
+
+    // Optimal static allocation per checkpoint (dashed line).
+    auto probs = sim::WorkloadChunkProbs(workload, m);
+    std::vector<std::string> opt_row{Table::Int(m), "optimal"};
+    for (int64_t n : checkpoints) {
+      auto w =
+          optimal::OptimalWeights(probs, m, static_cast<double>(n));
+      opt_row.push_back(Table::Num(
+          optimal::ExpectedResults(probs, w, static_cast<double>(n)), 4));
+    }
+    t.AddRow(std::move(opt_row));
+  }
+
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nExpected shape (paper Fig 4): more chunks raise the optimal curve\n"
+      "(finer exploitable skew), but ExSample's realized counts peak at a\n"
+      "moderate M (~128) and drop at 1024 because each chunk must be\n"
+      "sampled before its promise is known; every M still beats random.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::Main(argc, argv); }

@@ -1,0 +1,99 @@
+// Figure 6 reproduction: per-chunk instance abundance, the skew metric S,
+// and the realized savings for the paper's five representative queries:
+//   A dashcam/bicycle      (N=249,   S=14,  savings ~7)
+//   B bdd1k/motor          (N=509,   S=19,  savings ~2)
+//   C night_street/person  (N=2078,  S=4.5, savings ~3)
+//   D archie/car           (N=33546, S=1.1, savings ~1)
+//   E amsterdam/boat       (N=588,   S=1.6, savings ~0.9)
+//
+// Flags: --scale (default 0.08), --trials (3), --seed.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/statistics.h"
+#include "sim/savings.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace exsample {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const bool full = flags.GetBool("full");
+  const double scale = flags.GetDouble("scale", full ? 1.0 : 0.08);
+  const int trials = static_cast<int>(flags.GetInt("trials", 3));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 23));
+  flags.FailOnUnknown();
+
+  std::printf("=== Figure 6: skew metric and savings, representative queries "
+              "===\n");
+  std::printf("scale=%.3g trials=%d\n\n", scale, trials);
+
+  struct Query {
+    const char* label;
+    const char* preset;
+    const char* cls;
+    double paper_s;
+    double paper_savings;
+  };
+  const std::vector<Query> queries{
+      {"A", "dashcam", "bicycle", 14.0, 7.0},
+      {"B", "bdd1k", "motor", 19.0, 2.0},
+      {"C", "night_street", "person", 4.5, 3.0},
+      {"D", "archie", "car", 1.1, 1.0},
+      {"E", "amsterdam", "boat", 1.6, 0.9},
+  };
+
+  Table t({"query", "N", "chunks", "S (paper)", "S (ours)",
+           "savings@.5 (paper)", "savings@.5 (ours)"});
+  for (const auto& q : queries) {
+    auto ds = data::MakePreset(q.preset, scale, seed);
+    const auto* cls = ds.FindClass(q.cls);
+    const int64_t n_instances = ds.ground_truth.NumInstances(cls->class_id);
+    auto counts = data::ChunkInstanceCounts(ds, cls->class_id);
+    const double s_metric = data::SkewMetric(counts);
+
+    auto ex = bench::RunTrials(ds, cls->class_id, core::Strategy::kExSample,
+                               ds.repo.total_frames(), trials, seed * 41);
+    auto rnd = bench::RunTrials(ds, cls->class_id, core::Strategy::kRandom,
+                                ds.repo.total_frames(), trials, seed * 43);
+    double sv = sim::SavingsAtCount(ex, rnd,
+                                    bench::RecallTarget(n_instances, 0.5));
+
+    t.AddRow({std::string(q.label) + "-" + q.preset + "/" + q.cls,
+              Table::Int(n_instances), Table::Int(counts.size()),
+              Table::Num(q.paper_s, 3), Table::Num(s_metric, 3),
+              Table::Ratio(q.paper_savings),
+              sv > 0.0 ? Table::Ratio(sv) : "-"});
+
+    // Compact abundance profile: instances per chunk (first 60 chunks).
+    std::printf("%s-%s/%s chunk abundance: ", q.label, q.preset, q.cls);
+    int64_t peak = 1;
+    for (int64_t c : counts) peak = std::max(peak, c);
+    const size_t shown = counts.size() > 60 ? 60 : counts.size();
+    for (size_t j = 0; j < shown; ++j) {
+      static const char kLevels[] = " .:-=+*#%@";
+      int level = static_cast<int>(9.0 * static_cast<double>(counts[j]) /
+                                   static_cast<double>(peak));
+      std::printf("%c", kLevels[level]);
+    }
+    if (shown < counts.size()) std::printf(" (+%zu more)", counts.size() - shown);
+    std::printf("\n");
+  }
+  std::printf("\n%s", t.ToString().c_str());
+  std::printf(
+      "\nExpected shape (paper Fig 6): S ordering A >> B > C > E ~ D, and\n"
+      "savings increase with S except B, where 1000 chunks delay learning\n"
+      "the skew (§IV-C effect).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::Main(argc, argv); }

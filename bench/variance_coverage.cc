@@ -1,0 +1,84 @@
+// §III-D final experiment: calibration of the variance bound (Eq III.3).
+// The paper checks, on BDD-MOT ground truth, how often the 95% confidence
+// bound derived from Eq III.3 contains the actual expected reward, and
+// reports ~80% coverage — a slight under-estimate of variance caused by
+// co-occurring (correlated) instances.
+//
+// We reproduce both regimes: independent instances (the model's assumption)
+// and grouped instances that always co-occur (e.g. a cluster of parked
+// bicycles entering the camera view together), showing coverage degrade
+// with correlation exactly as the paper observes.
+//
+// Flags: --reps (default 1500), --instances (1000), --seed.
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/pi_model.h"
+#include "util/distributions.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace exsample {
+namespace {
+
+// Coverage of the 95% Gamma-belief interval for the true R(n+1), with
+// instances correlated in co-occurring groups of `group_size` (1 =
+// independent). Grouped instances share first/second sighting times.
+double MeasureCoverage(int64_t instances, int group_size, int64_t n,
+                       int reps, Rng* rng) {
+  auto ps = sim::GenerateLogNormalPs(instances / group_size, 3e-3, 8e-3,
+                                     0.15, rng);
+  int covered = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Rng rep_rng = rng->Fork();
+    auto obs = sim::RunPiReplication(ps, {n}, &rep_rng);
+    // Each sampled group contributes `group_size` copies to both N1 and R.
+    const int64_t n1 = obs[0].n1 * group_size;
+    const double r = obs[0].r_next * group_size;
+    const double lo =
+        GammaQuantile(0.025, static_cast<double>(n1) + 0.1,
+                      static_cast<double>(n) + 1.0);
+    const double hi =
+        GammaQuantile(0.975, static_cast<double>(n1) + 0.1,
+                      static_cast<double>(n) + 1.0);
+    if (r >= lo && r <= hi) ++covered;
+  }
+  return static_cast<double>(covered) / reps;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const int reps = static_cast<int>(flags.GetInt("reps", 1500));
+  const int64_t instances = flags.GetInt("instances", 1000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 29));
+  flags.FailOnUnknown();
+
+  std::printf("=== Variance-bound calibration (Eq III.3 / §III-D) ===\n");
+  std::printf("instances=%lld reps=%d\n\n",
+              static_cast<long long>(instances), reps);
+
+  Table t({"co-occurrence group", "n=1000", "n=5000", "n=20000"});
+  for (int group : {1, 2, 4, 8}) {
+    Rng rng(seed + static_cast<uint64_t>(group));
+    std::vector<std::string> row{
+        group == 1 ? "independent" : Table::Int(group) + " objects"};
+    for (int64_t n : {1000, 5000, 20000}) {
+      row.push_back(
+          Table::Num(MeasureCoverage(instances, group, n, reps, &rng), 3));
+    }
+    t.AddRow(std::move(row));
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nExpected shape (paper §III-D): near-nominal coverage when\n"
+      "instances are independent, dropping toward ~0.8 and below as\n"
+      "co-occurrence grows — the variance estimate is a slight\n"
+      "underestimate on correlated data.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::Main(argc, argv); }

@@ -1,0 +1,67 @@
+// Chunk-count tuning (§IV-C in practice): sweep the chunk length on one
+// dataset and see the efficiency curve — too few chunks cannot exploit
+// skew, too many dilute the per-chunk evidence. Useful when configuring
+// ExSample for a new repository.
+//
+// Usage: ./build/examples/chunk_tuning [--scale 0.08] [--trials 3]
+
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/presets.h"
+#include "detect/simulated_detector.h"
+#include "sim/savings.h"
+#include "track/discriminator.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "video/chunking.h"
+
+int main(int argc, char** argv) {
+  using namespace exsample;
+  Flags flags = Flags::Parse(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.08);
+  const int trials = static_cast<int>(flags.GetInt("trials", 3));
+  flags.FailOnUnknown();
+
+  auto dataset = data::MakePreset("night_street", scale, /*seed=*/19);
+  const auto* cls = dataset.FindClass("person");
+  const int64_t total = dataset.ground_truth.NumInstances(cls->class_id);
+  const int64_t target = total / 2;
+  std::printf("night_street/person: %lld instances over %lld frames\n",
+              static_cast<long long>(total),
+              static_cast<long long>(dataset.repo.total_frames()));
+  std::printf("metric: median frames to find %lld (50%% recall), %d trials\n\n",
+              static_cast<long long>(target), trials);
+
+  Table table({"chunks", "frames/chunk", "median frames to 50%"});
+  const int64_t f = dataset.repo.total_frames();
+  for (int64_t chunk_count : {1, 4, 15, 60, 240, 960}) {
+    const int64_t chunk_frames = f / chunk_count;
+    auto chunks = video::MakeFixedLengthChunks(dataset.repo, chunk_frames);
+    std::vector<core::Trajectory> trajs;
+    for (int t = 0; t < trials; ++t) {
+      detect::SimulatedDetector detector(&dataset.ground_truth,
+                                         cls->class_id,
+                                         detect::PerfectDetectorConfig(), 3);
+      track::OracleDiscriminator discriminator;
+      core::EngineConfig config;
+      core::QueryEngine engine(&dataset.repo, &chunks, &detector,
+                               &discriminator, config,
+                               100 + static_cast<uint64_t>(t));
+      core::QuerySpec query;
+      query.class_id = cls->class_id;
+      query.max_samples = f;
+      trajs.push_back(engine.Run(query).true_instances);
+    }
+    int64_t med = sim::MedianSamplesToReach(trajs, target);
+    table.AddRow({Table::Int(chunks.size()), Table::Int(chunk_frames),
+                  med < 0 ? "-" : Table::Int(med)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nExpect a U-shape: a single chunk degenerates to random\n"
+              "sampling, while very many chunks spend the whole budget\n"
+              "learning which chunks matter (§IV-C). 20-minute chunks\n"
+              "(the paper's default) sit near the sweet spot.\n");
+  return 0;
+}

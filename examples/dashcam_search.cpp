@@ -1,0 +1,65 @@
+// Dashcam scenario (the paper's motivating example): "find N distinct
+// traffic lights in a dashcam fleet's footage" — e.g. to annotate a map.
+// Compares ExSample against random sampling and the naive 1-in-30 stride
+// scan, reporting modeled GPU-time under the paper's measured 20 fps
+// sample-and-detect throughput.
+//
+// Usage: ./build/examples/dashcam_search [--limit 100] [--scale 0.1]
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "data/presets.h"
+#include "detect/cost_model.h"
+#include "detect/simulated_detector.h"
+#include "track/discriminator.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace exsample;
+  Flags flags = Flags::Parse(argc, argv);
+  const int64_t limit = flags.GetInt("limit", 100);
+  const double scale = flags.GetDouble("scale", 0.1);
+  flags.FailOnUnknown();
+
+  auto dataset = data::MakePreset("dashcam", scale, /*seed=*/11);
+  const auto* cls = dataset.FindClass("traffic light");
+  const int64_t available = dataset.ground_truth.NumInstances(cls->class_id);
+  std::printf("dashcam fleet: %.1f hours of video, %lld distinct traffic "
+              "lights in ground truth\n",
+              dataset.repo.TotalSeconds() / 3600.0,
+              static_cast<long long>(available));
+  std::printf("query: find %lld distinct traffic lights\n\n",
+              static_cast<long long>(limit));
+
+  detect::ThroughputModel throughput;
+  Table table({"strategy", "frames processed", "GPU time (20 fps)",
+               "distinct found"});
+  for (auto [name, strategy] :
+       {std::pair{"exsample", core::Strategy::kExSample},
+        std::pair{"random", core::Strategy::kRandom},
+        std::pair{"1-in-30 scan", core::Strategy::kSequential}}) {
+    detect::SimulatedDetector detector(&dataset.ground_truth, cls->class_id,
+                                       detect::PerfectDetectorConfig(), 5);
+    track::OracleDiscriminator discriminator;
+    core::EngineConfig config;
+    config.strategy = strategy;
+    config.sequential_stride = 30;
+    core::QueryEngine engine(&dataset.repo, &dataset.chunks, &detector,
+                             &discriminator, config, /*seed=*/7);
+    core::QuerySpec query;
+    query.class_id = cls->class_id;
+    query.result_limit = limit;
+    auto result = engine.Run(query);
+    table.AddRow({name, Table::Int(result.frames_processed),
+                  Table::Duration(
+                      throughput.SampleSeconds(result.frames_processed)),
+                  Table::Int(static_cast<int64_t>(result.results.size()))});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nExSample reaches the limit with the fewest detector\n"
+              "invocations; the naive stride scan burns GPU time in\n"
+              "stretches of highway with no lights at all.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Limit-query latency: ExSample vs a BlazeIt-style proxy pipeline.
+//
+// Proxy systems must score every frame before returning their first result;
+// ExSample starts returning results immediately. This example reports the
+// time-to-k-results curve of both systems on the same query, including the
+// proxy's upfront scan (the §V-B comparison).
+//
+// Usage: ./build/examples/proxy_comparison [--scale 0.06] [--limit 50]
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "data/presets.h"
+#include "detect/cost_model.h"
+#include "detect/simulated_detector.h"
+#include "proxy/blazeit.h"
+#include "track/discriminator.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace exsample;
+  Flags flags = Flags::Parse(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.06);
+  const int64_t limit = flags.GetInt("limit", 50);
+  flags.FailOnUnknown();
+
+  auto dataset = data::MakePreset("night_street", scale, /*seed=*/23);
+  const auto* cls = dataset.FindClass("person");
+  detect::ThroughputModel throughput;
+  std::printf("night_street/person, %lld frames; query limit %lld\n\n",
+              static_cast<long long>(dataset.repo.total_frames()),
+              static_cast<long long>(limit));
+
+  // --- ExSample: sampling starts producing results immediately.
+  detect::SimulatedDetector ex_detector(&dataset.ground_truth, cls->class_id,
+                                        detect::PerfectDetectorConfig(), 3);
+  track::OracleDiscriminator ex_disc;
+  core::EngineConfig config;
+  core::QueryEngine engine(&dataset.repo, &dataset.chunks, &ex_detector,
+                           &ex_disc, config, /*seed=*/29);
+  core::QuerySpec query;
+  query.class_id = cls->class_id;
+  query.result_limit = limit;
+  auto ex_result = engine.Run(query);
+
+  // --- BlazeIt-style: full scan, then score-ordered processing.
+  detect::SimulatedDetector px_detector(&dataset.ground_truth, cls->class_id,
+                                        detect::PerfectDetectorConfig(), 3);
+  proxy::SimulatedProxyModel proxy_model(&dataset.ground_truth,
+                                         cls->class_id,
+                                         proxy::ProxyConfig{0.15}, 31);
+  track::OracleDiscriminator px_disc;
+  proxy::BlazeItBaseline blazeit(&dataset.repo, &proxy_model, &px_detector,
+                                 &px_disc, proxy::BlazeItConfig{});
+  auto px_result = blazeit.Run(query);
+
+  Table table({"k", "exsample time-to-k", "blazeit time-to-k",
+               "(of which scan)"});
+  for (int64_t k : {int64_t{1}, int64_t{5}, int64_t{10}, int64_t{25}, limit}) {
+    int64_t ex_frames = ex_result.reported.SamplesToReach(k);
+    int64_t px_frames = px_result.query.reported.SamplesToReach(k);
+    table.AddRow(
+        {Table::Int(k),
+         ex_frames < 0 ? "-"
+                       : Table::Duration(throughput.SampleSeconds(ex_frames)),
+         px_frames < 0
+             ? "-"
+             : Table::Duration(px_result.scan_seconds +
+                               throughput.SampleSeconds(px_frames)),
+         Table::Duration(px_result.scan_seconds)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nThe proxy pipeline is frame-efficient after its scan, but\n"
+              "the scan alone (%s here) exceeds ExSample's entire query —\n"
+              "the core argument for sampling on ad-hoc limit queries.\n",
+              Table::Duration(px_result.scan_seconds).c_str());
+  return 0;
+}

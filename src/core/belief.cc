@@ -1,0 +1,31 @@
+#include "core/belief.h"
+
+#include <cassert>
+
+#include "util/distributions.h"
+
+namespace exsample {
+namespace core {
+
+GammaBelief::GammaBelief(BeliefParams params) : params_(params) {
+  assert(params_.alpha0 > 0.0 && params_.beta0 > 0.0);
+}
+
+double GammaBelief::Sample(int64_t n1, int64_t n, Rng* rng) const {
+  assert(n1 >= 0 && n >= 0);
+  return SampleGamma(rng, static_cast<double>(n1) + params_.alpha0,
+                     static_cast<double>(n) + params_.beta0);
+}
+
+double GammaBelief::Mean(int64_t n1, int64_t n) const {
+  return (static_cast<double>(n1) + params_.alpha0) /
+         (static_cast<double>(n) + params_.beta0);
+}
+
+double GammaBelief::Quantile(int64_t n1, int64_t n, double q) const {
+  return GammaQuantile(q, static_cast<double>(n1) + params_.alpha0,
+                       static_cast<double>(n) + params_.beta0);
+}
+
+}  // namespace core
+}  // namespace exsample

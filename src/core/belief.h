@@ -1,0 +1,50 @@
+// The Gamma belief distribution over the per-chunk future-reward R_j
+// (Eq III.4 of the paper):
+//
+//     R_j(n_j + 1)  ~  Gamma(alpha = N1_j + alpha0,  beta = n_j + beta0)
+//
+// Its mean N1_j/n_j matches the point estimate (Eq III.1) and its variance
+// N1_j/n_j^2 matches the variance bound (Eq III.3). alpha0/beta0 keep the
+// distribution proper when N1 = 0 (cold start, rare objects, exhausted
+// chunks); the paper uses alpha0 = 0.1, beta0 = 1.
+
+#ifndef EXSAMPLE_CORE_BELIEF_H_
+#define EXSAMPLE_CORE_BELIEF_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace exsample {
+namespace core {
+
+/// Prior/smoothing parameters of the Gamma belief.
+struct BeliefParams {
+  double alpha0 = 0.1;
+  double beta0 = 1.0;
+};
+
+/// Stateless helper evaluating the belief for given (N1, n) statistics.
+class GammaBelief {
+ public:
+  explicit GammaBelief(BeliefParams params = {});
+
+  /// Draws one Thompson sample from Gamma(N1 + alpha0, n + beta0).
+  double Sample(int64_t n1, int64_t n, Rng* rng) const;
+
+  /// Posterior mean (N1 + alpha0) / (n + beta0).
+  double Mean(int64_t n1, int64_t n) const;
+
+  /// Upper quantile of the belief, used by Bayes-UCB.
+  double Quantile(int64_t n1, int64_t n, double q) const;
+
+  const BeliefParams& params() const { return params_; }
+
+ private:
+  BeliefParams params_;
+};
+
+}  // namespace core
+}  // namespace exsample
+
+#endif  // EXSAMPLE_CORE_BELIEF_H_

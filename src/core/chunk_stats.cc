@@ -1,0 +1,42 @@
+#include "core/chunk_stats.h"
+
+#include <cassert>
+
+namespace exsample {
+namespace core {
+
+ChunkStats::ChunkStats(int32_t num_chunks)
+    : n1_(static_cast<size_t>(num_chunks), 0),
+      n_(static_cast<size_t>(num_chunks), 0) {
+  assert(num_chunks > 0);
+}
+
+void ChunkStats::Update(video::ChunkId j, int64_t d0, int64_t d1) {
+  assert(j >= 0 && j < num_chunks());
+  assert(d0 >= 0 && d1 >= 0);
+  n1_[static_cast<size_t>(j)] += d0 - d1;
+  n_[static_cast<size_t>(j)] += 1;
+  ++total_samples_;
+}
+
+void ChunkStats::UpdateSplit(video::ChunkId j, int64_t d0,
+                             const std::vector<video::ChunkId>& d1_chunks) {
+  assert(j >= 0 && j < num_chunks());
+  assert(d0 >= 0);
+  n1_[static_cast<size_t>(j)] += d0;
+  for (video::ChunkId c : d1_chunks) {
+    assert(c >= 0 && c < num_chunks());
+    n1_[static_cast<size_t>(c)] -= 1;
+  }
+  n_[static_cast<size_t>(j)] += 1;
+  ++total_samples_;
+}
+
+double ChunkStats::PointEstimate(video::ChunkId j) const {
+  const int64_t nj = n(j);
+  if (nj == 0) return 0.0;
+  return static_cast<double>(ClampedN1(j)) / static_cast<double>(nj);
+}
+
+}  // namespace core
+}  // namespace exsample

@@ -1,0 +1,65 @@
+// Per-chunk sampling statistics: the (N1_j, n_j) pairs behind the estimator
+// R̂_j(n+1) = N1_j / n_j (Eq III.1 of the paper).
+
+#ifndef EXSAMPLE_CORE_CHUNK_STATS_H_
+#define EXSAMPLE_CORE_CHUNK_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "video/types.h"
+
+namespace exsample {
+namespace core {
+
+/// Mutable statistics for all chunks of one query.
+///
+/// N1_j counts results whose only sighting so far came from a sample in
+/// chunk j. It is updated with |d0| - |d1| after each processed frame
+/// (Algorithm 1 line 11): new results increment it, second sightings
+/// decrement it. Because an object's first and second sightings may come
+/// from samples in different chunks, an individual N1_j can dip below zero
+/// (footnote 1 of the paper); the belief layer clamps at zero.
+class ChunkStats {
+ public:
+  explicit ChunkStats(int32_t num_chunks);
+
+  int32_t num_chunks() const { return static_cast<int32_t>(n1_.size()); }
+
+  /// Records a processed frame from chunk j with |d0| new detections and
+  /// |d1| exactly-once-matched detections.
+  void Update(video::ChunkId j, int64_t d0, int64_t d1);
+
+  /// Cross-chunk variant (paper footnote 1 / technical report): the frame
+  /// sampled from chunk j contributed |d0| new results to j, while each d1
+  /// decrement is credited to the chunk of the matched object's first
+  /// sighting.
+  void UpdateSplit(video::ChunkId j, int64_t d0,
+                   const std::vector<video::ChunkId>& d1_chunks);
+
+  /// Raw N1 (may be negative; see class comment).
+  int64_t n1(video::ChunkId j) const { return n1_[static_cast<size_t>(j)]; }
+  /// N1 clamped at zero, the value fed to the belief distribution.
+  int64_t ClampedN1(video::ChunkId j) const {
+    int64_t v = n1_[static_cast<size_t>(j)];
+    return v > 0 ? v : 0;
+  }
+  /// Frames sampled from chunk j.
+  int64_t n(video::ChunkId j) const { return n_[static_cast<size_t>(j)]; }
+
+  /// Total frames sampled across all chunks.
+  int64_t total_samples() const { return total_samples_; }
+
+  /// Point estimate R̂_j = N1_j / n_j (Eq III.1); 0 when n_j = 0.
+  double PointEstimate(video::ChunkId j) const;
+
+ private:
+  std::vector<int64_t> n1_;
+  std::vector<int64_t> n_;
+  int64_t total_samples_ = 0;
+};
+
+}  // namespace core
+}  // namespace exsample
+
+#endif  // EXSAMPLE_CORE_CHUNK_STATS_H_

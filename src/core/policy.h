@@ -1,0 +1,110 @@
+// Chunk-selection policies: given the per-chunk statistics, decide which
+// chunk to sample next (Algorithm 1 lines 3-6).
+//
+//  * ThompsonPolicy — the paper's method: draw one belief sample per chunk,
+//    pick the argmax. Early on the beliefs are identical and this breaks
+//    ties at random; as evidence accrues it concentrates on good chunks
+//    while still exploring.
+//  * BayesUcbPolicy — the alternative the paper also tried (§III-C): score
+//    each chunk by an upper belief quantile that tightens over time
+//    (Kaufmann's 1 - 1/t schedule).
+//  * GreedyPolicy — argmax of the raw point estimate N1/n. Exhibits the
+//    stuck-on-lucky-chunk failure mode §III-B warns about; kept as an
+//    ablation baseline.
+//  * UniformPolicy — ignores the statistics; turns the engine into chunked
+//    random sampling.
+
+#ifndef EXSAMPLE_CORE_POLICY_H_
+#define EXSAMPLE_CORE_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/belief.h"
+#include "core/chunk_stats.h"
+#include "util/rng.h"
+
+namespace exsample {
+namespace core {
+
+/// Strategy interface for chunk choice. `available[j]` marks chunks that
+/// still have unsampled frames; implementations must only return available
+/// chunks (at least one is guaranteed).
+class ChunkPolicy {
+ public:
+  virtual ~ChunkPolicy() = default;
+
+  /// Picks the chunk to sample next.
+  virtual video::ChunkId Pick(const ChunkStats& stats,
+                              const std::vector<bool>& available,
+                              Rng* rng) = 0;
+
+  /// Picks a batch of B chunks (with repetition) for batched inference
+  /// (§III-F). The default implementation calls Pick() B times, which is
+  /// exact for Thompson sampling since state does not change between picks.
+  virtual std::vector<video::ChunkId> PickBatch(
+      const ChunkStats& stats, const std::vector<bool>& available,
+      int32_t batch_size, Rng* rng);
+
+  virtual std::string name() const = 0;
+};
+
+/// Thompson sampling over Gamma beliefs (the ExSample default).
+class ThompsonPolicy : public ChunkPolicy {
+ public:
+  explicit ThompsonPolicy(BeliefParams params = {});
+
+  video::ChunkId Pick(const ChunkStats& stats,
+                      const std::vector<bool>& available, Rng* rng) override;
+  std::string name() const override { return "thompson"; }
+
+ private:
+  GammaBelief belief_;
+};
+
+/// Bayes-UCB: argmax of the 1 - 1/(t+1) belief quantile.
+class BayesUcbPolicy : public ChunkPolicy {
+ public:
+  explicit BayesUcbPolicy(BeliefParams params = {});
+
+  video::ChunkId Pick(const ChunkStats& stats,
+                      const std::vector<bool>& available, Rng* rng) override;
+  std::string name() const override { return "bayes_ucb"; }
+
+ private:
+  GammaBelief belief_;
+};
+
+/// Greedy argmax of the raw point estimate N1/n, random tie-break.
+class GreedyPolicy : public ChunkPolicy {
+ public:
+  video::ChunkId Pick(const ChunkStats& stats,
+                      const std::vector<bool>& available, Rng* rng) override;
+  std::string name() const override { return "greedy"; }
+};
+
+/// Uniform-random chunk choice (chunked random sampling).
+class UniformPolicy : public ChunkPolicy {
+ public:
+  video::ChunkId Pick(const ChunkStats& stats,
+                      const std::vector<bool>& available, Rng* rng) override;
+  std::string name() const override { return "uniform"; }
+};
+
+/// Policy selector for configuration structs.
+enum class PolicyKind {
+  kThompson,
+  kBayesUcb,
+  kGreedy,
+  kUniform,
+};
+
+/// Instantiates the configured policy.
+std::unique_ptr<ChunkPolicy> MakePolicy(PolicyKind kind,
+                                        BeliefParams params = {});
+
+}  // namespace core
+}  // namespace exsample
+
+#endif  // EXSAMPLE_CORE_POLICY_H_

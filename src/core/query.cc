@@ -1,0 +1,40 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exsample {
+namespace core {
+
+void Trajectory::Record(int64_t samples, int64_t count) {
+  assert(samples >= 0);
+  if (!points_.empty()) {
+    assert(samples >= points_.back().samples);
+    if (samples == points_.back().samples) {
+      points_.back().count = count;
+      return;
+    }
+  }
+  points_.push_back(Point{samples, count});
+  if (samples > total_samples_) total_samples_ = samples;
+}
+
+int64_t Trajectory::CountAt(int64_t samples) const {
+  // Last recorded point with point.samples <= samples.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), samples,
+      [](int64_t s, const Point& p) { return s < p.samples; });
+  if (it == points_.begin()) return 0;
+  return (it - 1)->count;
+}
+
+int64_t Trajectory::SamplesToReach(int64_t count) const {
+  if (count <= 0) return 0;
+  for (const auto& p : points_) {
+    if (p.count >= count) return p.samples;
+  }
+  return -1;
+}
+
+}  // namespace core
+}  // namespace exsample

@@ -1,0 +1,86 @@
+// Query specification and result types for distinct-object limit queries
+// ("find K distinct traffic lights", §II-B).
+
+#ifndef EXSAMPLE_CORE_QUERY_H_
+#define EXSAMPLE_CORE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/detection.h"
+#include "video/types.h"
+
+namespace exsample {
+namespace core {
+
+/// What to search for and when to stop.
+struct QuerySpec {
+  /// Object class searched for.
+  detect::ClassId class_id = 0;
+  /// Stop after this many distinct results (limit clause). Use a large
+  /// value together with max_samples for recall-sweep experiments.
+  int64_t result_limit = INT64_MAX;
+  /// Hard cap on processed frames (0 = no cap beyond dataset size).
+  int64_t max_samples = 0;
+  /// Stop once the modeled cost (decode + inference seconds) exceeds this
+  /// budget (0 = unlimited). The intro's "$1.5K GPU bill" scenario: cap the
+  /// spend, keep whatever was found.
+  double max_seconds = 0.0;
+};
+
+/// Step function: number of distinct results after each processed frame,
+/// stored sparsely at its jump points.
+class Trajectory {
+ public:
+  /// Records that after `samples` processed frames the distinct-result
+  /// count became `count`. `samples` must be non-decreasing across calls.
+  void Record(int64_t samples, int64_t count);
+
+  /// Distinct results found after `samples` frames.
+  int64_t CountAt(int64_t samples) const;
+
+  /// Minimum frames processed to have found >= `count` results, or -1 if
+  /// never reached.
+  int64_t SamplesToReach(int64_t count) const;
+
+  int64_t final_count() const {
+    return points_.empty() ? 0 : points_.back().count;
+  }
+  int64_t total_samples() const { return total_samples_; }
+  /// Marks the end of the run (so CountAt beyond the last jump is defined).
+  void Finish(int64_t total_samples) { total_samples_ = total_samples; }
+
+  struct Point {
+    int64_t samples;
+    int64_t count;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+  int64_t total_samples_ = 0;
+};
+
+/// Outcome of one query run.
+struct QueryResult {
+  /// Detections reported as distinct results, in discovery order.
+  std::vector<detect::Detection> results;
+  /// Frames processed by the detector.
+  int64_t frames_processed = 0;
+  /// Simulated wall-clock seconds: decode + inference.
+  double decode_seconds = 0.0;
+  double inference_seconds = 0.0;
+  /// Distinct results (as judged by the discriminator) vs frames processed.
+  Trajectory reported;
+  /// Distinct *true* instances found vs frames processed (simulation-only
+  /// evaluation metric, requires detections carrying instance ids; false
+  /// positives are excluded).
+  Trajectory true_instances;
+
+  double total_seconds() const { return decode_seconds + inference_seconds; }
+};
+
+}  // namespace core
+}  // namespace exsample
+
+#endif  // EXSAMPLE_CORE_QUERY_H_

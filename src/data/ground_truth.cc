@@ -1,0 +1,86 @@
+#include "data/ground_truth.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exsample {
+namespace data {
+
+GroundTruthIndex::GroundTruthIndex(std::vector<ObjectInstance> instances,
+                                   int64_t total_frames, int64_t bucket_frames)
+    : instances_(std::move(instances)),
+      total_frames_(total_frames),
+      bucket_frames_(bucket_frames) {
+  assert(total_frames_ > 0 && bucket_frames_ > 0);
+  const size_t num_buckets =
+      static_cast<size_t>((total_frames_ + bucket_frames_ - 1) /
+                          bucket_frames_);
+  buckets_.resize(num_buckets);
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const auto& inst = instances_[i];
+    assert(inst.start_frame >= 0 && inst.end_frame() <= total_frames_ &&
+           "instance outside the frame axis");
+    assert(inst.duration_frames >= 1);
+    const int64_t b0 = inst.start_frame / bucket_frames_;
+    const int64_t b1 = (inst.end_frame() - 1) / bucket_frames_;
+    for (int64_t b = b0; b <= b1; ++b) {
+      buckets_[static_cast<size_t>(b)].push_back(static_cast<int32_t>(i));
+    }
+    by_id_[inst.id] = static_cast<int32_t>(i);
+    by_class_[inst.class_id].push_back(static_cast<int32_t>(i));
+  }
+}
+
+std::vector<detect::Detection> GroundTruthIndex::TrueObjectsAt(
+    video::FrameId frame, detect::ClassId class_id) const {
+  std::vector<detect::Detection> out;
+  if (frame < 0 || frame >= total_frames_) return out;
+  const auto& bucket = buckets_[static_cast<size_t>(frame / bucket_frames_)];
+  for (int32_t idx : bucket) {
+    const auto& inst = instances_[static_cast<size_t>(idx)];
+    if (inst.class_id == class_id && inst.VisibleAt(frame)) {
+      out.push_back(inst.TrueDetectionAt(frame));
+    }
+  }
+  return out;
+}
+
+std::vector<const ObjectInstance*> GroundTruthIndex::InstancesAt(
+    video::FrameId frame) const {
+  std::vector<const ObjectInstance*> out;
+  if (frame < 0 || frame >= total_frames_) return out;
+  const auto& bucket = buckets_[static_cast<size_t>(frame / bucket_frames_)];
+  for (int32_t idx : bucket) {
+    const auto& inst = instances_[static_cast<size_t>(idx)];
+    if (inst.VisibleAt(frame)) out.push_back(&inst);
+  }
+  return out;
+}
+
+int64_t GroundTruthIndex::NumInstances(detect::ClassId class_id) const {
+  auto it = by_class_.find(class_id);
+  return it == by_class_.end() ? 0
+                               : static_cast<int64_t>(it->second.size());
+}
+
+std::vector<const ObjectInstance*> GroundTruthIndex::InstancesOfClass(
+    detect::ClassId class_id) const {
+  std::vector<const ObjectInstance*> out;
+  auto it = by_class_.find(class_id);
+  if (it == by_class_.end()) return out;
+  out.reserve(it->second.size());
+  for (int32_t idx : it->second) {
+    out.push_back(&instances_[static_cast<size_t>(idx)]);
+  }
+  return out;
+}
+
+const ObjectInstance* GroundTruthIndex::FindInstance(
+    detect::InstanceId id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr
+                            : &instances_[static_cast<size_t>(it->second)];
+}
+
+}  // namespace data
+}  // namespace exsample

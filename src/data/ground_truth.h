@@ -1,0 +1,61 @@
+// GroundTruthIndex: frame -> visible instances, the oracle behind the
+// simulated detector and the exact-recall evaluation.
+//
+// Queries are served from a bucket index: the frame axis is divided into
+// fixed buckets and each instance registers in every bucket its visibility
+// interval overlaps, so VisibleAt(f) only scans one bucket's candidates.
+
+#ifndef EXSAMPLE_DATA_GROUND_TRUTH_H_
+#define EXSAMPLE_DATA_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/instance.h"
+#include "detect/detector.h"
+
+namespace exsample {
+namespace data {
+
+/// Immutable index over a dataset's ground-truth instances.
+class GroundTruthIndex : public detect::FrameOracle {
+ public:
+  /// `total_frames` bounds the frame axis; instances must fall inside it.
+  GroundTruthIndex(std::vector<ObjectInstance> instances, int64_t total_frames,
+                   int64_t bucket_frames = 4096);
+
+  /// detect::FrameOracle: true objects of class_id visible at `frame`.
+  std::vector<detect::Detection> TrueObjectsAt(
+      video::FrameId frame, detect::ClassId class_id) const override;
+
+  /// All instances (any class) visible at `frame`.
+  std::vector<const ObjectInstance*> InstancesAt(video::FrameId frame) const;
+
+  /// Number of distinct instances of a class in the whole dataset.
+  int64_t NumInstances(detect::ClassId class_id) const;
+
+  /// All instances of a class.
+  std::vector<const ObjectInstance*> InstancesOfClass(
+      detect::ClassId class_id) const;
+
+  const std::vector<ObjectInstance>& instances() const { return instances_; }
+  int64_t total_frames() const { return total_frames_; }
+
+  /// Looks up an instance by id (nullptr when unknown).
+  const ObjectInstance* FindInstance(detect::InstanceId id) const;
+
+ private:
+  std::vector<ObjectInstance> instances_;
+  int64_t total_frames_;
+  int64_t bucket_frames_;
+  // bucket -> indices into instances_ overlapping that bucket.
+  std::vector<std::vector<int32_t>> buckets_;
+  std::unordered_map<detect::InstanceId, int32_t> by_id_;
+  std::unordered_map<detect::ClassId, std::vector<int32_t>> by_class_;
+};
+
+}  // namespace data
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DATA_GROUND_TRUTH_H_

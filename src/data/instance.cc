@@ -1,0 +1,35 @@
+#include "data/instance.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace exsample {
+namespace data {
+
+detect::BBox ObjectInstance::BoxAt(video::FrameId f) const {
+  assert(VisibleAt(f));
+  const double dt = static_cast<double>(f - start_frame);
+  const double scale = std::exp(growth * dt);
+  detect::BBox b;
+  b.w = start_box.w * scale;
+  b.h = start_box.h * scale;
+  // Keep the box center on the linear path while the size changes.
+  const double cx = start_box.cx() + vx * dt;
+  const double cy = start_box.cy() + vy * dt;
+  b.x = cx - b.w / 2.0;
+  b.y = cy - b.h / 2.0;
+  return b;
+}
+
+detect::Detection ObjectInstance::TrueDetectionAt(video::FrameId f) const {
+  detect::Detection d;
+  d.frame = f;
+  d.class_id = class_id;
+  d.instance = id;
+  d.box = BoxAt(f);
+  d.score = 1.0;
+  return d;
+}
+
+}  // namespace data
+}  // namespace exsample

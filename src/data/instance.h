@@ -1,0 +1,51 @@
+// ObjectInstance: one distinct real-world object with a visibility interval
+// and a smooth box trajectory. The ground-truth analogue of the paper's
+// "result instances", each with its hidden per-frame occurrence probability
+// p_i proportional to its duration.
+
+#ifndef EXSAMPLE_DATA_INSTANCE_H_
+#define EXSAMPLE_DATA_INSTANCE_H_
+
+#include <cstdint>
+
+#include "detect/bbox.h"
+#include "detect/detection.h"
+#include "video/types.h"
+
+namespace exsample {
+namespace data {
+
+/// One ground-truth object instance.
+struct ObjectInstance {
+  detect::InstanceId id = 0;
+  detect::ClassId class_id = 0;
+  /// First frame (global index) where the object is visible.
+  video::FrameId start_frame = 0;
+  /// Number of consecutive frames the object stays visible.
+  int64_t duration_frames = 1;
+  /// Box at start_frame.
+  detect::BBox start_box;
+  /// Linear velocity in pixels/frame.
+  double vx = 0.0;
+  double vy = 0.0;
+  /// Relative size growth per frame (approaching objects grow; 0 = const).
+  double growth = 0.0;
+
+  /// One past the last visible frame.
+  video::FrameId end_frame() const { return start_frame + duration_frames; }
+
+  bool VisibleAt(video::FrameId f) const {
+    return f >= start_frame && f < end_frame();
+  }
+
+  /// True box at frame f. Precondition: VisibleAt(f).
+  detect::BBox BoxAt(video::FrameId f) const;
+
+  /// The detection a perfect detector would output at frame f.
+  detect::Detection TrueDetectionAt(video::FrameId f) const;
+};
+
+}  // namespace data
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DATA_INSTANCE_H_

@@ -1,0 +1,223 @@
+#include "data/spec_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace exsample {
+namespace data {
+namespace {
+
+const char* PlacementName(Placement p) {
+  switch (p) {
+    case Placement::kUniform:
+      return "uniform";
+    case Placement::kNormal:
+      return "normal";
+    case Placement::kRegions:
+      return "regions";
+  }
+  return "uniform";
+}
+
+Result<Placement> PlacementFromName(const std::string& name) {
+  if (name == "uniform") return Placement::kUniform;
+  if (name == "normal") return Placement::kNormal;
+  if (name == "regions") return Placement::kRegions;
+  return Status::InvalidArgument("unknown placement: " + name);
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Parses "a,b,c" into doubles.
+Result<std::vector<double>> ParseDoubleList(const std::string& value) {
+  std::vector<double> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = Trim(item);
+    if (item.empty()) continue;
+    char* end = nullptr;
+    double v = std::strtod(item.c_str(), &end);
+    if (end == item.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad number in list: " + item);
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SpecToText(const DatasetSpec& spec) {
+  std::ostringstream out;
+  out << "name = " << spec.name << "\n";
+  out << "num_videos = " << spec.num_videos << "\n";
+  out << "frames_per_video = " << spec.frames_per_video << "\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", spec.fps);
+  out << "fps = " << buf << "\n";
+  out << "chunk_frames = " << spec.chunk_frames << "\n";
+  for (const auto& c : spec.classes) {
+    out << "[class]\n";
+    out << "class_id = " << c.class_id << "\n";
+    out << "name = " << c.name << "\n";
+    out << "num_instances = " << c.num_instances << "\n";
+    std::snprintf(buf, sizeof(buf), "%.17g", c.mean_duration_frames);
+    out << "mean_duration_frames = " << buf << "\n";
+    std::snprintf(buf, sizeof(buf), "%.17g", c.duration_sigma_log);
+    out << "duration_sigma_log = " << buf << "\n";
+    out << "placement = " << PlacementName(c.placement) << "\n";
+    std::snprintf(buf, sizeof(buf), "%.17g", c.center_fraction);
+    out << "center_fraction = " << buf << "\n";
+    std::snprintf(buf, sizeof(buf), "%.17g", c.stddev_fraction);
+    out << "stddev_fraction = " << buf << "\n";
+    if (!c.region_weights.empty()) {
+      out << "region_weights = ";
+      for (size_t i = 0; i < c.region_weights.size(); ++i) {
+        if (i) out << ",";
+        std::snprintf(buf, sizeof(buf), "%.17g", c.region_weights[i]);
+        out << buf;
+      }
+      out << "\n";
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", c.sweep_pixels);
+    out << "sweep_pixels = " << buf << "\n";
+    std::snprintf(buf, sizeof(buf), "%.17g", c.mean_box_pixels);
+    out << "mean_box_pixels = " << buf << "\n";
+  }
+  return out.str();
+}
+
+Result<DatasetSpec> SpecFromText(const std::string& text) {
+  DatasetSpec spec;
+  ClassSpec* current = nullptr;
+  std::stringstream ss(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(ss, line)) {
+    ++lineno;
+    // Strip comments.
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line == "[class]") {
+      spec.classes.emplace_back();
+      current = &spec.classes.back();
+      continue;
+    }
+    auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": expected key = value");
+    }
+    std::string key = Trim(line.substr(0, eq));
+    std::string value = Trim(line.substr(eq + 1));
+    auto parse_i64 = [&](int64_t* out) -> Status {
+      char* end = nullptr;
+      *out = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                       ": bad integer '" + value + "'");
+      }
+      return Status::Ok();
+    };
+    auto parse_f64 = [&](double* out) -> Status {
+      char* end = nullptr;
+      *out = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                       ": bad number '" + value + "'");
+      }
+      return Status::Ok();
+    };
+
+    Status st;
+    if (current == nullptr) {
+      if (key == "name") {
+        spec.name = value;
+      } else if (key == "num_videos") {
+        st = parse_i64(&spec.num_videos);
+      } else if (key == "frames_per_video") {
+        st = parse_i64(&spec.frames_per_video);
+      } else if (key == "fps") {
+        st = parse_f64(&spec.fps);
+      } else if (key == "chunk_frames") {
+        st = parse_i64(&spec.chunk_frames);
+      } else {
+        return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                       ": unknown dataset key '" + key + "'");
+      }
+    } else {
+      if (key == "class_id") {
+        int64_t v;
+        st = parse_i64(&v);
+        current->class_id = static_cast<detect::ClassId>(v);
+      } else if (key == "name") {
+        current->name = value;
+      } else if (key == "num_instances") {
+        st = parse_i64(&current->num_instances);
+      } else if (key == "mean_duration_frames") {
+        st = parse_f64(&current->mean_duration_frames);
+      } else if (key == "duration_sigma_log") {
+        st = parse_f64(&current->duration_sigma_log);
+      } else if (key == "placement") {
+        auto p = PlacementFromName(value);
+        if (!p.ok()) return p.status();
+        current->placement = p.value();
+      } else if (key == "center_fraction") {
+        st = parse_f64(&current->center_fraction);
+      } else if (key == "stddev_fraction") {
+        st = parse_f64(&current->stddev_fraction);
+      } else if (key == "region_weights") {
+        auto weights = ParseDoubleList(value);
+        if (!weights.ok()) return weights.status();
+        current->region_weights = weights.value();
+      } else if (key == "sweep_pixels") {
+        st = parse_f64(&current->sweep_pixels);
+      } else if (key == "mean_box_pixels") {
+        st = parse_f64(&current->mean_box_pixels);
+      } else {
+        return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                       ": unknown class key '" + key + "'");
+      }
+    }
+    if (!st.ok()) return st;
+  }
+  if (spec.classes.empty()) {
+    return Status::InvalidArgument("spec declares no [class] sections");
+  }
+  if (spec.num_videos < 1 || spec.frames_per_video < 1) {
+    return Status::InvalidArgument("spec has no frames");
+  }
+  return spec;
+}
+
+Status SaveSpec(const DatasetSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << SpecToText(spec);
+  return out.good() ? Status::Ok()
+                    : Status::InvalidArgument("write failed: " + path);
+}
+
+Result<DatasetSpec> LoadSpec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return SpecFromText(buffer.str());
+}
+
+}  // namespace data
+}  // namespace exsample

@@ -1,0 +1,46 @@
+// Plain-text (de)serialization of DatasetSpec, so experiments are fully
+// reproducible from a (spec file, seed) pair — the unit the bench harness
+// and the CLI tool exchange.
+//
+// Format: line-oriented `key = value`, with repeated `[class]` sections:
+//
+//   name = dashcam
+//   num_videos = 12
+//   frames_per_video = 90000
+//   fps = 30
+//   chunk_frames = 36000
+//   [class]
+//   class_id = 0
+//   name = bicycle
+//   num_instances = 249
+//   mean_duration_frames = 180
+//   placement = regions          # uniform | normal | regions
+//   region_weights = 0.18,30,...
+//   ...
+
+#ifndef EXSAMPLE_DATA_SPEC_IO_H_
+#define EXSAMPLE_DATA_SPEC_IO_H_
+
+#include <string>
+
+#include "data/synthetic.h"
+#include "util/status.h"
+
+namespace exsample {
+namespace data {
+
+/// Renders a spec in the textual format above.
+std::string SpecToText(const DatasetSpec& spec);
+
+/// Parses a spec from text. Unknown keys, malformed numbers and missing
+/// required fields produce descriptive errors.
+Result<DatasetSpec> SpecFromText(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveSpec(const DatasetSpec& spec, const std::string& path);
+Result<DatasetSpec> LoadSpec(const std::string& path);
+
+}  // namespace data
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DATA_SPEC_IO_H_

@@ -1,0 +1,70 @@
+#include "data/statistics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exsample {
+namespace data {
+
+std::vector<InstanceChunkProbs> ComputeInstanceChunkProbs(
+    const Dataset& dataset, detect::ClassId class_id) {
+  std::vector<InstanceChunkProbs> out;
+  const auto& chunks = dataset.chunks;
+  for (const ObjectInstance* inst :
+       dataset.ground_truth.InstancesOfClass(class_id)) {
+    InstanceChunkProbs row;
+    row.instance = inst->id;
+    for (const auto& chunk : chunks) {
+      int64_t overlap = 0;
+      for (const auto& range : chunk.frames.ranges()) {
+        const int64_t lo = std::max<int64_t>(range.lo, inst->start_frame);
+        const int64_t hi = std::min<int64_t>(range.hi, inst->end_frame());
+        if (hi > lo) overlap += hi - lo;
+      }
+      if (overlap > 0) {
+        row.probs.emplace_back(
+            chunk.id, static_cast<double>(overlap) /
+                          static_cast<double>(chunk.frames.size()));
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<int64_t> ChunkInstanceCounts(const Dataset& dataset,
+                                         detect::ClassId class_id) {
+  std::vector<int64_t> counts(dataset.chunks.size(), 0);
+  for (const ObjectInstance* inst :
+       dataset.ground_truth.InstancesOfClass(class_id)) {
+    const video::FrameId mid = inst->start_frame + inst->duration_frames / 2;
+    for (const auto& chunk : dataset.chunks) {
+      if (chunk.frames.Contains(mid)) {
+        ++counts[static_cast<size_t>(chunk.id)];
+        break;
+      }
+    }
+  }
+  return counts;
+}
+
+double SkewMetric(const std::vector<int64_t>& chunk_counts) {
+  assert(!chunk_counts.empty());
+  int64_t total = 0;
+  for (int64_t c : chunk_counts) total += c;
+  if (total == 0) return 1.0;
+  std::vector<int64_t> sorted = chunk_counts;
+  std::sort(sorted.begin(), sorted.end(), std::greater<int64_t>());
+  const int64_t half = (total + 1) / 2;
+  int64_t covered = 0;
+  size_t k = 0;
+  while (covered < half) {
+    covered += sorted[k];
+    ++k;
+  }
+  return static_cast<double>(chunk_counts.size()) /
+         (2.0 * static_cast<double>(k));
+}
+
+}  // namespace data
+}  // namespace exsample

@@ -1,0 +1,43 @@
+// Dataset statistics consumed by the optimal-weight oracle (Eq IV.1), the
+// skew analysis (Fig 6), and the benchmark harness.
+
+#ifndef EXSAMPLE_DATA_STATISTICS_H_
+#define EXSAMPLE_DATA_STATISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synthetic.h"
+
+namespace exsample {
+namespace data {
+
+/// Sparse per-instance chunk membership: for instance i, the chunks its
+/// visibility interval overlaps and the conditional probability
+/// p_ij = (visible frames in chunk j) / (frames of chunk j)
+/// of detecting i in a frame drawn uniformly from chunk j (the vector
+/// p = (p_ij) of §IV-A).
+struct InstanceChunkProbs {
+  detect::InstanceId instance = 0;
+  std::vector<std::pair<video::ChunkId, double>> probs;
+};
+
+/// Computes p_ij for every instance of `class_id`.
+std::vector<InstanceChunkProbs> ComputeInstanceChunkProbs(
+    const Dataset& dataset, detect::ClassId class_id);
+
+/// Number of instances of `class_id` per chunk, attributing each instance to
+/// the chunk containing its midpoint frame (the Fig 6 abundance bars).
+std::vector<int64_t> ChunkInstanceCounts(const Dataset& dataset,
+                                         detect::ClassId class_id);
+
+/// The paper's skew metric S (Fig 6): with M chunks and k the minimum number
+/// of chunks that together contain at least half the instances, S = M / (2k).
+/// S = 1 for perfectly uniform data; S = M/2 when one chunk holds everything.
+/// Returns 1.0 when there are no instances.
+double SkewMetric(const std::vector<int64_t>& chunk_counts);
+
+}  // namespace data
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DATA_STATISTICS_H_

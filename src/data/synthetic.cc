@@ -1,0 +1,148 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/distributions.h"
+
+namespace exsample {
+namespace data {
+
+const ClassSpec* Dataset::FindClass(const std::string& class_name) const {
+  for (const auto& c : classes) {
+    if (c.name == class_name) return &c;
+  }
+  return nullptr;
+}
+
+video::FrameId SamplePlacement(const ClassSpec& cls, int64_t total_frames,
+                               Rng* rng) {
+  switch (cls.placement) {
+    case Placement::kUniform:
+      return static_cast<video::FrameId>(
+          rng->NextBounded(static_cast<uint64_t>(total_frames)));
+    case Placement::kNormal: {
+      // Rejection-sample into [0, total); the paper's §IV-B skew setup.
+      for (;;) {
+        double f = SampleNormal(rng, cls.center_fraction * total_frames,
+                                cls.stddev_fraction * total_frames);
+        if (f >= 0.0 && f < static_cast<double>(total_frames)) {
+          return static_cast<video::FrameId>(f);
+        }
+      }
+    }
+    case Placement::kRegions: {
+      assert(!cls.region_weights.empty());
+      double total_w = 0.0;
+      for (double w : cls.region_weights) {
+        assert(w >= 0.0);
+        total_w += w;
+      }
+      assert(total_w > 0.0);
+      double u = rng->NextDouble() * total_w;
+      size_t region = 0;
+      for (; region + 1 < cls.region_weights.size(); ++region) {
+        if (u < cls.region_weights[region]) break;
+        u -= cls.region_weights[region];
+      }
+      const int64_t regions =
+          static_cast<int64_t>(cls.region_weights.size());
+      const int64_t lo = total_frames * static_cast<int64_t>(region) / regions;
+      const int64_t hi =
+          total_frames * (static_cast<int64_t>(region) + 1) / regions;
+      return lo + static_cast<video::FrameId>(
+                      rng->NextBounded(static_cast<uint64_t>(hi - lo)));
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+// Duration ~ LogNormal with the requested arithmetic mean: if X ~
+// LogNormal(mu, s) then E[X] = exp(mu + s^2/2), so mu = log(mean) - s^2/2.
+int64_t SampleDuration(const ClassSpec& cls, int64_t total_frames, Rng* rng) {
+  const double s = cls.duration_sigma_log;
+  const double mu = std::log(cls.mean_duration_frames) - s * s / 2.0;
+  double d = SampleLogNormal(rng, mu, s);
+  int64_t frames = static_cast<int64_t>(std::llround(d));
+  if (frames < 1) frames = 1;
+  if (frames > total_frames) frames = total_frames;
+  return frames;
+}
+
+ObjectInstance MakeInstance(const ClassSpec& cls, detect::InstanceId id,
+                            int64_t total_frames, Rng* rng) {
+  ObjectInstance inst;
+  inst.id = id;
+  inst.class_id = cls.class_id;
+  inst.duration_frames = SampleDuration(cls, total_frames, rng);
+
+  // Place by midpoint, clamped so the interval stays inside the dataset.
+  video::FrameId mid = SamplePlacement(cls, total_frames, rng);
+  video::FrameId start = mid - inst.duration_frames / 2;
+  start = std::max<video::FrameId>(0, start);
+  start = std::min<video::FrameId>(start, total_frames - inst.duration_frames);
+  inst.start_frame = start;
+
+  // Box: size ~ LogNormal around the class mean, placed inside a 1920x1080
+  // viewport with margins.
+  const double side =
+      std::max(8.0, SampleLogNormal(rng, std::log(cls.mean_box_pixels), 0.4));
+  inst.start_box.w = side;
+  inst.start_box.h = side * (0.6 + 0.8 * rng->NextDouble());
+  inst.start_box.x = rng->NextDouble() * (1920.0 - inst.start_box.w);
+  inst.start_box.y = rng->NextDouble() * (1080.0 - inst.start_box.h);
+
+  // Velocity: the object sweeps ~sweep_pixels over its lifetime, in a
+  // random direction.
+  const double speed =
+      cls.sweep_pixels / static_cast<double>(inst.duration_frames);
+  const double angle = rng->NextDouble() * 2.0 * 3.14159265358979323846;
+  inst.vx = speed * std::cos(angle);
+  inst.vy = speed * std::sin(angle);
+  // Mild size change (approaching/receding).
+  inst.growth = SampleNormal(rng, 0.0, 0.1) /
+                static_cast<double>(inst.duration_frames);
+  return inst;
+}
+
+}  // namespace
+
+Dataset GenerateDataset(const DatasetSpec& spec, uint64_t seed) {
+  assert(!spec.classes.empty());
+  assert(spec.num_videos >= 1 && spec.frames_per_video >= 1);
+
+  std::vector<video::VideoMeta> videos;
+  videos.reserve(static_cast<size_t>(spec.num_videos));
+  for (int64_t v = 0; v < spec.num_videos; ++v) {
+    videos.push_back(video::VideoMeta{spec.name + "/" + std::to_string(v),
+                                      spec.frames_per_video, spec.fps, 20});
+  }
+  auto repo = video::VideoRepository::Create(std::move(videos)).value();
+
+  std::vector<video::Chunk> chunks =
+      spec.chunk_frames > 0
+          ? video::MakeFixedLengthChunks(repo, spec.chunk_frames)
+          : video::MakePerFileChunks(repo);
+  assert(video::ValidateChunking(chunks, repo.total_frames()).ok());
+
+  Rng rng(seed);
+  std::vector<ObjectInstance> instances;
+  detect::InstanceId next_id = 0;
+  for (const auto& cls : spec.classes) {
+    Rng class_rng = rng.Fork();
+    for (int64_t i = 0; i < cls.num_instances; ++i) {
+      instances.push_back(
+          MakeInstance(cls, next_id++, spec.total_frames(), &class_rng));
+    }
+  }
+
+  GroundTruthIndex gt(std::move(instances), spec.total_frames());
+  return Dataset{spec.name, std::move(repo), std::move(chunks), std::move(gt),
+                 spec.classes};
+}
+
+}  // namespace data
+}  // namespace exsample

@@ -1,0 +1,25 @@
+#include "detect/bbox.h"
+
+#include <algorithm>
+
+namespace exsample {
+namespace detect {
+
+double IoU(const BBox& a, const BBox& b) {
+  const double ax2 = a.x + a.w, ay2 = a.y + a.h;
+  const double bx2 = b.x + b.w, by2 = b.y + b.h;
+  const double ix = std::max(0.0, std::min(ax2, bx2) - std::max(a.x, b.x));
+  const double iy = std::max(0.0, std::min(ay2, by2) - std::max(a.y, b.y));
+  const double inter = ix * iy;
+  const double uni = a.area() + b.area() - inter;
+  if (uni <= 0.0) return 0.0;
+  return inter / uni;
+}
+
+BBox Interpolate(const BBox& a, const BBox& b, double t) {
+  return BBox{a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t,
+              a.w + (b.w - a.w) * t, a.h + (b.h - a.h) * t};
+}
+
+}  // namespace detect
+}  // namespace exsample

@@ -1,0 +1,36 @@
+// Axis-aligned bounding boxes and Intersection-over-Union, the geometric
+// primitive behind both the detector output and the SORT-style matching in
+// the discriminator (§II-B of the paper).
+
+#ifndef EXSAMPLE_DETECT_BBOX_H_
+#define EXSAMPLE_DETECT_BBOX_H_
+
+namespace exsample {
+namespace detect {
+
+/// Axis-aligned box in pixel coordinates; (x, y) is the top-left corner.
+struct BBox {
+  double x = 0.0;
+  double y = 0.0;
+  double w = 0.0;
+  double h = 0.0;
+
+  double area() const { return w > 0.0 && h > 0.0 ? w * h : 0.0; }
+  double cx() const { return x + w / 2.0; }
+  double cy() const { return y + h / 2.0; }
+
+  bool operator==(const BBox&) const = default;
+};
+
+/// Intersection-over-Union of two boxes; 0 when either is degenerate.
+double IoU(const BBox& a, const BBox& b);
+
+/// Linear interpolation between boxes: t=0 -> a, t=1 -> b. t outside [0,1]
+/// extrapolates, which is how the tracker predicts positions beyond the
+/// observed span.
+BBox Interpolate(const BBox& a, const BBox& b, double t);
+
+}  // namespace detect
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DETECT_BBOX_H_

@@ -1,0 +1,40 @@
+// Detection records returned by object detectors.
+
+#ifndef EXSAMPLE_DETECT_DETECTION_H_
+#define EXSAMPLE_DETECT_DETECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/bbox.h"
+#include "video/types.h"
+
+namespace exsample {
+namespace detect {
+
+/// Object class identifier (dataset-defined; e.g. "traffic light" = 3).
+using ClassId = int32_t;
+
+/// Ground-truth instance identifier, for simulation and evaluation only.
+/// Real detectors have no notion of instance identity and set kNoInstance.
+using InstanceId = int64_t;
+inline constexpr InstanceId kNoInstance = -1;
+
+/// One detected object in one frame.
+struct Detection {
+  video::FrameId frame = 0;
+  ClassId class_id = 0;
+  BBox box;
+  /// Detector confidence in [0, 1].
+  double score = 1.0;
+  /// Simulation-only provenance: which ground-truth instance produced this
+  /// detection (kNoInstance for false positives and for real detectors).
+  /// The sampler and the tracking discriminator never read this field; it
+  /// exists so evaluation code can compute exact distinct-instance recall.
+  InstanceId instance = kNoInstance;
+};
+
+}  // namespace detect
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DETECT_DETECTION_H_

@@ -1,0 +1,51 @@
+// The black-box object detector abstraction. The paper treats detectors as
+// expensive oracles ("we regard object detectors as a black box with a
+// costly runtime", §II-A); ExSample only ever calls Detect() and pays the
+// inference latency.
+
+#ifndef EXSAMPLE_DETECT_DETECTOR_H_
+#define EXSAMPLE_DETECT_DETECTOR_H_
+
+#include <vector>
+
+#include "detect/detection.h"
+#include "video/types.h"
+
+namespace exsample {
+namespace detect {
+
+/// Ground-truth view of a frame, implemented by the dataset layer
+/// (data::GroundTruthIndex). Lets the simulated detector live below the
+/// dataset module without a dependency cycle.
+class FrameOracle {
+ public:
+  virtual ~FrameOracle() = default;
+
+  /// Objects of `class_id` truly visible in `frame`, with their true boxes
+  /// and instance ids.
+  virtual std::vector<Detection> TrueObjectsAt(video::FrameId frame,
+                                               ClassId class_id) const = 0;
+};
+
+/// Abstract object detector for a single target class (queries are
+/// per-class; multi-class search runs one query per class).
+class ObjectDetector {
+ public:
+  virtual ~ObjectDetector() = default;
+
+  /// Runs inference on one frame; returns detections of the target class.
+  virtual std::vector<Detection> Detect(video::FrameId frame) = 0;
+
+  /// Per-frame inference latency in seconds (used by the cost accounting;
+  /// the paper's reference detector runs at ~10 fps on a GPU, and the full
+  /// sample-decode-detect loop sustains 20 fps in their measured setup).
+  virtual double InferenceSeconds() const = 0;
+
+  /// Number of Detect() calls so far.
+  virtual int64_t frames_processed() const = 0;
+};
+
+}  // namespace detect
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DETECT_DETECTOR_H_

@@ -1,0 +1,77 @@
+#include "detect/simulated_detector.h"
+
+#include <cassert>
+
+#include "util/distributions.h"
+
+namespace exsample {
+namespace detect {
+
+SimulatedDetector::SimulatedDetector(const FrameOracle* oracle,
+                                     ClassId class_id, DetectorConfig config,
+                                     uint64_t seed)
+    : oracle_(oracle), class_id_(class_id), config_(config), seed_(seed) {
+  assert(oracle_ != nullptr);
+  assert(config_.miss_rate >= 0.0 && config_.miss_rate < 1.0);
+  assert(config_.false_positive_rate >= 0.0);
+}
+
+Rng SimulatedDetector::StreamFor(video::FrameId frame, uint64_t salt) const {
+  // Hash (seed, frame, salt) into an independent stream; SplitMix64 mixes
+  // well enough that nearby frames decorrelate.
+  SplitMix64 mix(seed_ ^ (static_cast<uint64_t>(frame) * 0x9E3779B97F4A7C15ULL) ^
+                 (salt * 0xD1B54A32D192ED03ULL));
+  return Rng(mix.Next());
+}
+
+std::vector<Detection> SimulatedDetector::Detect(video::FrameId frame) {
+  ++frames_processed_;
+  std::vector<Detection> out;
+  const std::vector<Detection> truth = oracle_->TrueObjectsAt(frame, class_id_);
+  for (const Detection& t : truth) {
+    // Per-(frame, instance) stream: deterministic re-detection.
+    Rng rng = StreamFor(frame, static_cast<uint64_t>(t.instance) + 1);
+    if (rng.NextBernoulli(config_.miss_rate)) continue;
+    Detection d = t;
+    if (config_.box_jitter > 0.0) {
+      const double sx = config_.box_jitter * t.box.w;
+      const double sy = config_.box_jitter * t.box.h;
+      d.box.x += SampleNormal(&rng, 0.0, sx);
+      d.box.y += SampleNormal(&rng, 0.0, sy);
+      d.box.w *= 1.0 + SampleNormal(&rng, 0.0, config_.box_jitter);
+      d.box.h *= 1.0 + SampleNormal(&rng, 0.0, config_.box_jitter);
+      if (d.box.w < 1.0) d.box.w = 1.0;
+      if (d.box.h < 1.0) d.box.h = 1.0;
+    }
+    d.score = 0.5 + 0.5 * rng.NextDouble();
+    out.push_back(d);
+  }
+  if (config_.false_positive_rate > 0.0) {
+    Rng rng = StreamFor(frame, 0);
+    int64_t fps = SamplePoisson(&rng, config_.false_positive_rate);
+    for (int64_t i = 0; i < fps; ++i) {
+      Detection d;
+      d.frame = frame;
+      d.class_id = class_id_;
+      d.instance = kNoInstance;
+      d.box.w = 20.0 + rng.NextDouble() * 100.0;
+      d.box.h = 20.0 + rng.NextDouble() * 100.0;
+      d.box.x = rng.NextDouble() * (config_.frame_width - d.box.w);
+      d.box.y = rng.NextDouble() * (config_.frame_height - d.box.h);
+      d.score = 0.5 + 0.3 * rng.NextDouble();
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+DetectorConfig PerfectDetectorConfig() {
+  DetectorConfig c;
+  c.miss_rate = 0.0;
+  c.false_positive_rate = 0.0;
+  c.box_jitter = 0.0;
+  return c;
+}
+
+}  // namespace detect
+}  // namespace exsample

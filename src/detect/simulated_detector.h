@@ -1,0 +1,75 @@
+// SimulatedDetector: a ground-truth-backed stand-in for Faster-RCNN.
+//
+// Noise model:
+//  * each truly visible object is missed independently with probability
+//    `miss_rate` (per frame — re-sampling the same object in a different
+//    frame gives a fresh chance, matching how marginal detections flicker);
+//  * detected boxes are jittered by a relative localization error;
+//  * false positives arrive per frame with rate `false_positive_rate`
+//    (Poisson), with random boxes and no instance identity.
+//
+// Determinism: noise is a pure function of (seed, frame, instance), so
+// re-detecting the same frame yields identical output — exactly like running
+// a deterministic network twice.
+
+#ifndef EXSAMPLE_DETECT_SIMULATED_DETECTOR_H_
+#define EXSAMPLE_DETECT_SIMULATED_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/detector.h"
+#include "util/rng.h"
+
+namespace exsample {
+namespace detect {
+
+/// Noise and latency configuration for the simulated detector.
+struct DetectorConfig {
+  /// Probability a truly visible object yields no detection in a frame.
+  double miss_rate = 0.1;
+  /// Expected false positives per frame (Poisson rate).
+  double false_positive_rate = 0.02;
+  /// Relative box jitter: each edge coordinate is perturbed by
+  /// Normal(0, jitter * box size).
+  double box_jitter = 0.05;
+  /// Inference latency per frame, seconds. Default calibrated so that
+  /// decode + detect sustains the paper's measured ~20 fps sampling loop.
+  double inference_seconds = 0.040;
+  /// Frame dimensions used to place false positives.
+  double frame_width = 1920.0;
+  double frame_height = 1080.0;
+};
+
+/// Ground-truth-backed detector for one object class.
+class SimulatedDetector : public ObjectDetector {
+ public:
+  /// `oracle` must outlive the detector.
+  SimulatedDetector(const FrameOracle* oracle, ClassId class_id,
+                    DetectorConfig config, uint64_t seed);
+
+  std::vector<Detection> Detect(video::FrameId frame) override;
+  double InferenceSeconds() const override { return config_.inference_seconds; }
+  int64_t frames_processed() const override { return frames_processed_; }
+
+  ClassId class_id() const { return class_id_; }
+
+ private:
+  /// Deterministic per-(frame, salt) RNG stream.
+  Rng StreamFor(video::FrameId frame, uint64_t salt) const;
+
+  const FrameOracle* oracle_;
+  ClassId class_id_;
+  DetectorConfig config_;
+  uint64_t seed_;
+  int64_t frames_processed_ = 0;
+};
+
+/// A perfect detector: no misses, no false positives, no jitter. Useful to
+/// isolate sampler behaviour from detector noise in tests and ablations.
+DetectorConfig PerfectDetectorConfig();
+
+}  // namespace detect
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DETECT_SIMULATED_DETECTOR_H_

@@ -1,0 +1,124 @@
+#include "optimal/weights.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace exsample {
+namespace optimal {
+namespace {
+
+double Dot(const SparseProbs& probs, const std::vector<double>& w) {
+  double dot = 0.0;
+  for (const auto& [j, p] : probs) {
+    dot += p * w[static_cast<size_t>(j)];
+  }
+  return dot;
+}
+
+}  // namespace
+
+double ExpectedResults(const std::vector<SparseProbs>& instances,
+                       const std::vector<double>& weights, double n) {
+  assert(n >= 0.0);
+  double total = 0.0;
+  for (const auto& inst : instances) {
+    double q = Dot(inst, weights);
+    if (q <= 0.0) continue;
+    if (q >= 1.0) {
+      total += 1.0;
+      continue;
+    }
+    total += 1.0 - std::exp(n * std::log1p(-q));
+  }
+  return total;
+}
+
+std::vector<double> ProjectToSimplex(std::vector<double> v) {
+  // Duchi et al. (2008): sort, find the threshold rho, shift and clip.
+  const size_t d = v.size();
+  assert(d > 0);
+  std::vector<double> u = v;
+  std::sort(u.begin(), u.end(), std::greater<double>());
+  double cumsum = 0.0;
+  double theta = 0.0;
+  size_t rho = 0;
+  for (size_t i = 0; i < d; ++i) {
+    cumsum += u[i];
+    double t = (cumsum - 1.0) / static_cast<double>(i + 1);
+    if (u[i] - t > 0.0) {
+      rho = i + 1;
+      theta = t;
+    }
+  }
+  (void)rho;
+  for (auto& x : v) x = std::max(0.0, x - theta);
+  return v;
+}
+
+std::vector<double> OptimalWeights(const std::vector<SparseProbs>& instances,
+                                   int32_t num_chunks, double n,
+                                   SolverOptions options) {
+  assert(num_chunks > 0);
+  std::vector<double> w(static_cast<size_t>(num_chunks),
+                        1.0 / static_cast<double>(num_chunks));
+  double best = ExpectedResults(instances, w, n);
+  double step = options.step;
+  std::vector<double> grad(w.size());
+
+  for (int32_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Gradient: d/dw_j = sum_i n (1 - p_i.w)^{n-1} p_ij.
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (const auto& inst : instances) {
+      double q = Dot(inst, w);
+      if (q >= 1.0) continue;
+      double factor = n * std::exp((n - 1.0) * std::log1p(-q));
+      for (const auto& [j, p] : inst) {
+        grad[static_cast<size_t>(j)] += factor * p;
+      }
+    }
+    // Normalize the gradient so the step size is scale-free.
+    double gnorm = 0.0;
+    for (double g : grad) gnorm += g * g;
+    gnorm = std::sqrt(gnorm);
+    if (gnorm < 1e-300) break;
+
+    // Backtracking line search on the projected step.
+    bool improved = false;
+    while (step > 1e-12) {
+      std::vector<double> cand(w.size());
+      for (size_t j = 0; j < w.size(); ++j) {
+        cand[j] = w[j] + step * grad[j] / gnorm;
+      }
+      cand = ProjectToSimplex(std::move(cand));
+      double val = ExpectedResults(instances, cand, n);
+      if (val > best + options.tolerance) {
+        w = std::move(cand);
+        best = val;
+        improved = true;
+        step *= 1.3;  // expand on success
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!improved) break;
+  }
+  return w;
+}
+
+double ExpectedResultsUniform(const std::vector<SparseProbs>& instances,
+                              const std::vector<int64_t>& chunk_sizes,
+                              double n) {
+  int64_t total_frames = 0;
+  for (int64_t s : chunk_sizes) total_frames += s;
+  assert(total_frames > 0);
+  std::vector<double> w(chunk_sizes.size());
+  for (size_t j = 0; j < chunk_sizes.size(); ++j) {
+    w[j] = static_cast<double>(chunk_sizes[j]) /
+           static_cast<double>(total_frames);
+  }
+  return ExpectedResults(instances, w, n);
+}
+
+}  // namespace optimal
+}  // namespace exsample

@@ -1,0 +1,60 @@
+// Optimal static chunk weighting (Eq IV.1 of the paper): the offline oracle
+// that, knowing every instance's per-chunk occurrence probability p_ij,
+// chooses sampling weights w over chunks maximizing the expected number of
+// distinct results after n samples,
+//
+//     maximize_w  sum_i  1 - (1 - p_i . w)^n     s.t. w in the simplex.
+//
+// The objective is concave in w (composition of the concave increasing
+// 1-(1-x)^n with a linear map), so projected gradient ascent converges to
+// the global optimum; the paper solves the same program with CVXPY.
+// Not a practical execution strategy — used as the upper-bound benchmark in
+// Figures 3 and 4.
+
+#ifndef EXSAMPLE_OPTIMAL_WEIGHTS_H_
+#define EXSAMPLE_OPTIMAL_WEIGHTS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace exsample {
+namespace optimal {
+
+/// Sparse per-instance chunk probabilities: (chunk, p_ij) pairs.
+using SparseProbs = std::vector<std::pair<int32_t, double>>;
+
+/// Expected distinct results after n weighted samples:
+/// sum_i 1 - (1 - p_i . w)^n.
+double ExpectedResults(const std::vector<SparseProbs>& instances,
+                       const std::vector<double>& weights, double n);
+
+/// Solver options.
+struct SolverOptions {
+  int32_t max_iterations = 500;
+  /// Initial gradient step (scaled by iteration via backtracking).
+  double step = 1.0;
+  /// Convergence threshold on objective improvement.
+  double tolerance = 1e-9;
+};
+
+/// Solves Eq IV.1 for a fixed sample budget n. Returns the optimal weight
+/// vector over `num_chunks` chunks.
+std::vector<double> OptimalWeights(const std::vector<SparseProbs>& instances,
+                                   int32_t num_chunks, double n,
+                                   SolverOptions options = {});
+
+/// Projects v onto the probability simplex (Duchi et al. 2008); exposed for
+/// testing.
+std::vector<double> ProjectToSimplex(std::vector<double> v);
+
+/// Expected-results curve for uniform random sampling over the whole
+/// dataset: p_i = duration_i / total_frames aggregated over chunks of equal
+/// weight proportional to chunk size.
+double ExpectedResultsUniform(const std::vector<SparseProbs>& instances,
+                              const std::vector<int64_t>& chunk_sizes,
+                              double n);
+
+}  // namespace optimal
+}  // namespace exsample
+
+#endif  // EXSAMPLE_OPTIMAL_WEIGHTS_H_

@@ -1,0 +1,88 @@
+#include "proxy/blazeit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <unordered_set>
+
+namespace exsample {
+namespace proxy {
+
+BlazeItBaseline::BlazeItBaseline(const video::VideoRepository* repo,
+                                 const SimulatedProxyModel* proxy,
+                                 detect::ObjectDetector* detector,
+                                 track::Discriminator* discriminator,
+                                 BlazeItConfig config)
+    : repo_(repo),
+      proxy_(proxy),
+      detector_(detector),
+      discriminator_(discriminator),
+      config_(config) {
+  assert(repo_ && proxy_ && detector_ && discriminator_);
+  assert(config_.dedup_window >= 0);
+}
+
+BlazeItResult BlazeItBaseline::Run(const core::QuerySpec& spec) {
+  BlazeItResult out;
+  const int64_t total = repo_->total_frames();
+
+  // Phase 1: score every frame (the upfront scan limit queries cannot skip).
+  std::vector<std::pair<double, video::FrameId>> scored;
+  scored.reserve(static_cast<size_t>(total));
+  for (video::FrameId f = 0; f < total; ++f) {
+    scored.emplace_back(-proxy_->Score(f), f);  // negate for ascending sort
+  }
+  out.frames_scored = total;
+  out.scan_seconds = config_.throughput.ScanSeconds(total);
+  // Stable sort keeps equal-score frames in temporal order, which matches
+  // how a tie would be broken by frame id in practice.
+  std::stable_sort(scored.begin(), scored.end());
+
+  // Phase 2: process highest-score frames through the expensive detector.
+  const int64_t max_samples =
+      spec.max_samples > 0 ? spec.max_samples : total;
+  std::set<video::FrameId> processed;
+  std::unordered_set<detect::InstanceId> seen_instances;
+  core::QueryResult& q = out.query;
+  for (const auto& [neg_score, frame] : scored) {
+    (void)neg_score;
+    if (q.frames_processed >= max_samples) break;
+    if (static_cast<int64_t>(q.results.size()) >= spec.result_limit) break;
+    if (config_.dedup_window > 0 && !processed.empty()) {
+      // Skip frames temporally close to one we already processed.
+      auto it = processed.lower_bound(frame - config_.dedup_window);
+      if (it != processed.end() &&
+          *it <= frame + config_.dedup_window) {
+        continue;
+      }
+    }
+    processed.insert(frame);
+    std::vector<detect::Detection> dets = detector_->Detect(frame);
+    q.inference_seconds += 1.0 / config_.throughput.sample_detect_fps;
+    track::MatchResult match = discriminator_->GetMatches(frame, dets);
+    discriminator_->Add(frame, dets);
+    ++q.frames_processed;
+    if (!match.d0.empty()) {
+      bool new_instance = false;
+      for (const auto& d : match.d0) {
+        q.results.push_back(d);
+        if (d.instance != detect::kNoInstance &&
+            seen_instances.insert(d.instance).second) {
+          new_instance = true;
+        }
+      }
+      q.reported.Record(q.frames_processed,
+                        static_cast<int64_t>(q.results.size()));
+      if (new_instance) {
+        q.true_instances.Record(q.frames_processed,
+                                static_cast<int64_t>(seen_instances.size()));
+      }
+    }
+  }
+  q.reported.Finish(q.frames_processed);
+  q.true_instances.Finish(q.frames_processed);
+  return out;
+}
+
+}  // namespace proxy
+}  // namespace exsample

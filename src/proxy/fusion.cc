@@ -1,0 +1,130 @@
+#include "proxy/fusion.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace exsample {
+namespace proxy {
+
+FusionEngine::FusionEngine(const video::VideoRepository* repo,
+                           const std::vector<video::Chunk>* chunks,
+                           const SimulatedProxyModel* proxy,
+                           detect::ObjectDetector* detector,
+                           track::Discriminator* discriminator,
+                           FusionConfig config, uint64_t seed)
+    : repo_(repo),
+      chunks_(chunks),
+      proxy_(proxy),
+      detector_(detector),
+      discriminator_(discriminator),
+      config_(config),
+      rng_(seed),
+      stats_(static_cast<int32_t>(chunks->size())) {
+  assert(repo_ && chunks_ && proxy_ && detector_ && discriminator_);
+  assert(!chunks_->empty());
+  assert(config_.score_temperature > 0.0);
+  assert(config_.scan_after_samples >= 0);
+  policy_ = core::MakePolicy(config_.policy, config_.belief);
+  samplers_.resize(chunks_->size());
+  scored_.assign(chunks_->size(), false);
+  available_.assign(chunks_->size(), true);
+  processed_before_scan_.resize(chunks_->size());
+}
+
+void FusionEngine::ScoreChunk(video::ChunkId j, FusionResult* result) {
+  const video::Chunk& chunk = (*chunks_)[static_cast<size_t>(j)];
+  const int64_t size = chunk.frames.size();
+  std::vector<double> weights(static_cast<size_t>(size));
+  for (int64_t i = 0; i < size; ++i) {
+    const double score = proxy_->Score(chunk.frames.At(i));
+    weights[static_cast<size_t>(i)] =
+        std::exp(score / config_.score_temperature);
+  }
+  samplers_[static_cast<size_t>(j)] =
+      std::make_unique<video::WeightedFrameSampler>(chunk.frames,
+                                                    std::move(weights));
+  scored_[static_cast<size_t>(j)] = true;
+  result->scan_seconds += config_.throughput.ScanSeconds(size);
+  result->frames_scored += size;
+  ++result->chunks_scored;
+}
+
+FusionResult FusionEngine::Run(const core::QuerySpec& spec) {
+  FusionResult result;
+  std::unordered_set<detect::InstanceId> seen_instances;
+  core::QueryResult& q = result.query;
+  const int64_t max_samples =
+      spec.max_samples > 0 ? spec.max_samples : repo_->total_frames();
+  double clock_seconds = 0.0;
+
+  while (q.frames_processed < max_samples &&
+         static_cast<int64_t>(q.results.size()) < spec.result_limit) {
+    bool any = false;
+    for (bool a : available_) any = any || a;
+    if (!any) break;
+    const video::ChunkId j = policy_->Pick(stats_, available_, &rng_);
+    const size_t ji = static_cast<size_t>(j);
+
+    if (!scored_[ji] && stats_.n(j) >= config_.scan_after_samples) {
+      // Commitment gate passed: pay this chunk's scan once, upgrade to
+      // score-weighted sampling.
+      ScoreChunk(j, &result);
+      clock_seconds += config_.throughput.ScanSeconds(
+          (*chunks_)[ji].frames.size());
+    }
+    if (samplers_[ji] == nullptr) {
+      samplers_[ji] = std::make_unique<video::RandomPlusFrameSampler>(
+          (*chunks_)[ji].frames);
+    }
+
+    // Draw; a freshly-scored chunk's weighted sampler may emit frames that
+    // were already processed pre-scan — skip those at zero cost.
+    video::FrameId frame = -1;
+    while (!samplers_[ji]->exhausted()) {
+      video::FrameId candidate = samplers_[ji]->Next(&rng_);
+      if (!processed_before_scan_[ji].count(candidate)) {
+        frame = candidate;
+        break;
+      }
+    }
+    if (samplers_[ji]->exhausted()) available_[ji] = false;
+    if (frame < 0) continue;
+    if (!scored_[ji]) processed_before_scan_[ji].insert(frame);
+
+    std::vector<detect::Detection> dets = detector_->Detect(frame);
+    q.inference_seconds += 1.0 / config_.throughput.sample_detect_fps;
+    clock_seconds += 1.0 / config_.throughput.sample_detect_fps;
+    track::MatchResult match = discriminator_->GetMatches(frame, dets);
+    discriminator_->Add(frame, dets);
+    ++q.frames_processed;
+    stats_.Update(j, static_cast<int64_t>(match.d0.size()), match.num_d1);
+
+    if (!match.d0.empty()) {
+      bool new_instance = false;
+      for (const auto& d : match.d0) {
+        q.results.push_back(d);
+        if (d.instance != detect::kNoInstance &&
+            seen_instances.insert(d.instance).second) {
+          new_instance = true;
+        }
+      }
+      q.reported.Record(q.frames_processed,
+                        static_cast<int64_t>(q.results.size()));
+      result.reported_by_ms.Record(
+          static_cast<int64_t>(clock_seconds * 1000.0),
+          static_cast<int64_t>(q.results.size()));
+      if (new_instance) {
+        q.true_instances.Record(q.frames_processed,
+                                static_cast<int64_t>(seen_instances.size()));
+      }
+    }
+  }
+  q.reported.Finish(q.frames_processed);
+  q.true_instances.Finish(q.frames_processed);
+  result.reported_by_ms.Finish(
+      static_cast<int64_t>(clock_seconds * 1000.0));
+  return result;
+}
+
+}  // namespace proxy
+}  // namespace exsample

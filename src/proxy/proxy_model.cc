@@ -1,0 +1,31 @@
+#include "proxy/proxy_model.h"
+
+#include <cassert>
+
+#include "util/distributions.h"
+
+namespace exsample {
+namespace proxy {
+
+SimulatedProxyModel::SimulatedProxyModel(const detect::FrameOracle* oracle,
+                                         detect::ClassId class_id,
+                                         ProxyConfig config, uint64_t seed)
+    : oracle_(oracle), class_id_(class_id), config_(config), seed_(seed) {
+  assert(oracle_ != nullptr);
+  assert(config_.noise_sigma >= 0.0);
+}
+
+double SimulatedProxyModel::Score(video::FrameId frame) const {
+  const bool positive = !oracle_->TrueObjectsAt(frame, class_id_).empty();
+  double score = positive ? 1.0 : 0.0;
+  if (config_.noise_sigma > 0.0) {
+    SplitMix64 mix(seed_ ^
+                   (static_cast<uint64_t>(frame) * 0x9E3779B97F4A7C15ULL));
+    Rng rng(mix.Next());
+    score += SampleNormal(&rng, 0.0, config_.noise_sigma);
+  }
+  return score;
+}
+
+}  // namespace proxy
+}  // namespace exsample

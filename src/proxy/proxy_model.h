@@ -1,0 +1,51 @@
+// SimulatedProxyModel: a stand-in for the cheap specialized NNs proxy-based
+// systems (BlazeIt/NoScope) train per query to score frames.
+//
+// Score model: frames containing a true object of the target class score
+// Normal(1, noise); empty frames score Normal(0, noise). `noise = 0` gives
+// the strongest possible proxy (perfect frame ranking) — the paper's
+// comparison is deliberately generous to the baseline this way, since its
+// argument is that even a perfect proxy loses to sampling on limit queries
+// because of the upfront full-dataset scan.
+
+#ifndef EXSAMPLE_PROXY_PROXY_MODEL_H_
+#define EXSAMPLE_PROXY_PROXY_MODEL_H_
+
+#include <cstdint>
+
+#include "detect/detector.h"
+#include "util/rng.h"
+#include "video/types.h"
+
+namespace exsample {
+namespace proxy {
+
+/// Proxy score quality knob.
+struct ProxyConfig {
+  /// Stddev of the score noise; 0 = perfect ranking of positive frames.
+  double noise_sigma = 0.25;
+};
+
+/// Per-frame scorer backed by ground truth.
+class SimulatedProxyModel {
+ public:
+  SimulatedProxyModel(const detect::FrameOracle* oracle,
+                      detect::ClassId class_id, ProxyConfig config,
+                      uint64_t seed);
+
+  /// Score of one frame (deterministic per frame).
+  double Score(video::FrameId frame) const;
+
+  detect::ClassId class_id() const { return class_id_; }
+
+ private:
+  const detect::FrameOracle* oracle_;
+  detect::ClassId class_id_;
+  ProxyConfig config_;
+  uint64_t seed_;
+};
+
+}  // namespace proxy
+}  // namespace exsample
+
+#endif  // EXSAMPLE_PROXY_PROXY_MODEL_H_

@@ -1,0 +1,218 @@
+#include "sim/chunked_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/distributions.h"
+
+namespace exsample {
+namespace sim {
+
+SimWorkload MakeWorkload(const WorkloadParams& params, Rng* rng) {
+  assert(params.num_instances > 0 && params.num_frames > 0);
+  assert(params.mean_duration >= 1.0);
+  SimWorkload w;
+  w.num_frames = params.num_frames;
+  w.instances.reserve(static_cast<size_t>(params.num_instances));
+
+  const double s = params.duration_sigma_log;
+  const double mu = std::log(params.mean_duration) - s * s / 2.0;
+  // 95% of a Normal is within +/- 2 sigma; the central fraction c therefore
+  // corresponds to sigma = c * F / 4.
+  const double sigma_frames = params.skew_fraction > 0.0
+                                  ? params.skew_fraction *
+                                        static_cast<double>(params.num_frames) /
+                                        4.0
+                                  : 0.0;
+
+  for (int64_t i = 0; i < params.num_instances; ++i) {
+    SimInstance inst;
+    double d = SampleLogNormal(rng, mu, s);
+    inst.duration = std::max<int64_t>(1, static_cast<int64_t>(std::llround(d)));
+    inst.duration = std::min(inst.duration, params.num_frames);
+
+    int64_t mid;
+    if (params.skew_fraction <= 0.0) {
+      mid = static_cast<int64_t>(
+          rng->NextBounded(static_cast<uint64_t>(params.num_frames)));
+    } else {
+      for (;;) {
+        double f = SampleNormal(
+            rng, static_cast<double>(params.num_frames) / 2.0, sigma_frames);
+        if (f >= 0.0 && f < static_cast<double>(params.num_frames)) {
+          mid = static_cast<int64_t>(f);
+          break;
+        }
+      }
+    }
+    inst.start = std::clamp<int64_t>(mid - inst.duration / 2, 0,
+                                     params.num_frames - inst.duration);
+    w.instances.push_back(inst);
+  }
+  return w;
+}
+
+std::vector<int64_t> UniformChunkSizes(int64_t num_frames,
+                                       int32_t num_chunks) {
+  std::vector<int64_t> sizes(static_cast<size_t>(num_chunks));
+  for (int32_t j = 0; j < num_chunks; ++j) {
+    int64_t lo = num_frames * j / num_chunks;
+    int64_t hi = num_frames * (j + 1) / num_chunks;
+    sizes[static_cast<size_t>(j)] = hi - lo;
+  }
+  return sizes;
+}
+
+std::vector<optimal::SparseProbs> WorkloadChunkProbs(
+    const SimWorkload& workload, int32_t num_chunks) {
+  std::vector<optimal::SparseProbs> out;
+  out.reserve(workload.instances.size());
+  const int64_t f_total = workload.num_frames;
+  for (const auto& inst : workload.instances) {
+    optimal::SparseProbs row;
+    // Chunks overlapping [start, end): j spans [F j / M, F (j+1) / M).
+    int32_t j0 = static_cast<int32_t>(inst.start * num_chunks / f_total);
+    int32_t j1 =
+        static_cast<int32_t>((inst.end() - 1) * num_chunks / f_total);
+    for (int32_t j = j0; j <= j1 && j < num_chunks; ++j) {
+      int64_t lo = f_total * j / num_chunks;
+      int64_t hi = f_total * (j + 1) / num_chunks;
+      int64_t overlap =
+          std::min(hi, inst.end()) - std::max(lo, inst.start);
+      if (overlap > 0) {
+        row.emplace_back(j, static_cast<double>(overlap) /
+                                static_cast<double>(hi - lo));
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+namespace {
+
+// Interval index over instances: bucketed by frame for O(bucket) visibility
+// lookups on a 16M-frame axis.
+class VisibilityIndex {
+ public:
+  VisibilityIndex(const SimWorkload& workload, int64_t bucket_frames)
+      : workload_(workload), bucket_frames_(bucket_frames) {
+    buckets_.resize(static_cast<size_t>(
+        (workload.num_frames + bucket_frames_ - 1) / bucket_frames_));
+    for (size_t i = 0; i < workload.instances.size(); ++i) {
+      const auto& inst = workload.instances[i];
+      int64_t b0 = inst.start / bucket_frames_;
+      int64_t b1 = (inst.end() - 1) / bucket_frames_;
+      for (int64_t b = b0; b <= b1; ++b) {
+        buckets_[static_cast<size_t>(b)].push_back(static_cast<int32_t>(i));
+      }
+    }
+  }
+
+  // Indices of instances visible at `frame`.
+  void VisibleAt(int64_t frame, std::vector<int32_t>* out) const {
+    out->clear();
+    for (int32_t i : buckets_[static_cast<size_t>(frame / bucket_frames_)]) {
+      if (workload_.instances[static_cast<size_t>(i)].VisibleAt(frame)) {
+        out->push_back(i);
+      }
+    }
+  }
+
+ private:
+  const SimWorkload& workload_;
+  int64_t bucket_frames_;
+  std::vector<std::vector<int32_t>> buckets_;
+};
+
+}  // namespace
+
+core::Trajectory RunSimTrial(const SimWorkload& workload,
+                             const SimConfig& config, Rng* rng) {
+  assert(config.num_chunks >= 1);
+  assert(config.max_samples > 0);
+  const int64_t f_total = workload.num_frames;
+  const int32_t m = config.num_chunks;
+
+  // Bucket size ~ mean spacing of instance starts, clamped for sanity.
+  int64_t bucket = std::clamp<int64_t>(
+      f_total / std::max<int64_t>(
+                    1, static_cast<int64_t>(workload.instances.size())),
+      64, 1 << 20);
+  VisibilityIndex index(workload, bucket);
+
+  core::ChunkStats stats(m);
+  std::unique_ptr<core::ChunkPolicy> policy =
+      core::MakePolicy(config.policy, config.belief);
+  std::vector<bool> available(static_cast<size_t>(m), true);
+
+  // Cumulative weights for kWeighted.
+  std::vector<double> cum_weights;
+  if (config.strategy == SimStrategy::kWeighted) {
+    assert(config.weights.size() == static_cast<size_t>(m));
+    cum_weights.resize(config.weights.size());
+    double acc = 0.0;
+    for (size_t j = 0; j < config.weights.size(); ++j) {
+      acc += config.weights[j];
+      cum_weights[j] = acc;
+    }
+    assert(std::abs(acc - 1.0) < 1e-6);
+  }
+
+  std::unordered_map<int32_t, int32_t> sightings;  // instance -> count
+  int64_t distinct = 0;
+  core::Trajectory traj;
+  std::vector<int32_t> visible;
+
+  for (int64_t sample = 1; sample <= config.max_samples; ++sample) {
+    // Pick a chunk, then a frame uniformly inside it (with replacement).
+    int32_t j = 0;
+    int64_t frame = 0;
+    switch (config.strategy) {
+      case SimStrategy::kExSample:
+        j = policy->Pick(stats, available, rng);
+        break;
+      case SimStrategy::kRandom:
+        frame = static_cast<int64_t>(
+            rng->NextBounded(static_cast<uint64_t>(f_total)));
+        j = static_cast<int32_t>(frame * m / f_total);
+        break;
+      case SimStrategy::kWeighted: {
+        double u = rng->NextDouble();
+        j = static_cast<int32_t>(
+            std::lower_bound(cum_weights.begin(), cum_weights.end(), u) -
+            cum_weights.begin());
+        if (j >= m) j = m - 1;
+        break;
+      }
+    }
+    if (config.strategy != SimStrategy::kRandom) {
+      const int64_t lo = f_total * j / m;
+      const int64_t hi = f_total * (j + 1) / m;
+      frame = lo + static_cast<int64_t>(
+                       rng->NextBounded(static_cast<uint64_t>(hi - lo)));
+    }
+
+    index.VisibleAt(frame, &visible);
+    int64_t d0 = 0, d1 = 0;
+    for (int32_t i : visible) {
+      int32_t& count = sightings[i];
+      if (count == 0) {
+        ++d0;
+        ++distinct;
+      } else if (count == 1) {
+        ++d1;
+      }
+      ++count;
+    }
+    stats.Update(j, d0, d1);
+    if (d0 > 0) traj.Record(sample, distinct);
+  }
+  traj.Finish(config.max_samples);
+  return traj;
+}
+
+}  // namespace sim
+}  // namespace exsample

@@ -1,0 +1,83 @@
+#include "sim/pi_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/distributions.h"
+
+namespace exsample {
+namespace sim {
+
+std::vector<double> GenerateLogNormalPs(int64_t count, double mean_p,
+                                        double std_p, double max_p, Rng* rng) {
+  assert(count > 0 && mean_p > 0.0 && std_p > 0.0 && max_p > 0.0);
+  // LogNormal(mu, s) with arithmetic mean m and std s_p:
+  //   s^2 = ln(1 + s_p^2/m^2),  mu = ln(m) - s^2/2.
+  const double s2 = std::log(1.0 + (std_p * std_p) / (mean_p * mean_p));
+  const double mu = std::log(mean_p) - s2 / 2.0;
+  const double s = std::sqrt(s2);
+  std::vector<double> ps(static_cast<size_t>(count));
+  for (auto& p : ps) {
+    p = std::min(max_p, SampleLogNormal(rng, mu, s));
+  }
+  return ps;
+}
+
+namespace {
+
+// Number of Bernoulli(p) trials up to and including the first success:
+// Geometric on {1, 2, ...} via inversion.
+int64_t SampleGeometric(double p, Rng* rng) {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 1;
+  double u;
+  do {
+    u = rng->NextDouble();
+  } while (u == 0.0);
+  double g = std::ceil(std::log(u) / std::log1p(-p));
+  if (g < 1.0) g = 1.0;
+  // Cap to avoid overflow for vanishing p; 2^62 samples is "never".
+  if (g > 4.6e18) g = 4.6e18;
+  return static_cast<int64_t>(g);
+}
+
+}  // namespace
+
+std::vector<PiObservation> RunPiReplication(
+    const std::vector<double>& ps, const std::vector<int64_t>& query_ns,
+    Rng* rng) {
+  assert(std::is_sorted(query_ns.begin(), query_ns.end()));
+  std::vector<PiObservation> out(query_ns.size());
+  for (size_t k = 0; k < query_ns.size(); ++k) out[k].n = query_ns[k];
+
+  for (double p : ps) {
+    const int64_t first = SampleGeometric(p, rng);
+    const int64_t second = first + SampleGeometric(p, rng);
+    for (size_t k = 0; k < query_ns.size(); ++k) {
+      const int64_t n = query_ns[k];
+      if (first > n) {
+        out[k].r_next += p;  // still unseen after n samples
+      } else if (second > n) {
+        ++out[k].n1;  // seen exactly once
+      }
+    }
+  }
+  return out;
+}
+
+ConditionalR CollectConditionalR(const std::vector<double>& ps,
+                                 const std::vector<int64_t>& query_ns,
+                                 int64_t reps, Rng* rng) {
+  ConditionalR by_n;
+  for (int64_t r = 0; r < reps; ++r) {
+    Rng rep_rng = rng->Fork();
+    for (const PiObservation& obs : RunPiReplication(ps, query_ns, &rep_rng)) {
+      by_n[obs.n][obs.n1].push_back(obs.r_next);
+    }
+  }
+  return by_n;
+}
+
+}  // namespace sim
+}  // namespace exsample

@@ -1,0 +1,63 @@
+// The pure per-instance probability model of §III-D: each result instance i
+// has a hidden per-frame probability p_i; sampling a frame reveals instance
+// i independently with probability p_i. Used to validate the estimator
+// R̂ = N1/n (Eq III.1) and the Gamma belief (Eq III.4) exactly as the paper
+// does for Figure 2.
+//
+// Instead of simulating every frame draw (10k reps x 180k samples x 1000
+// instances in the paper), each replication samples, per instance, the
+// sample-index of its first and second sighting directly from Geometric
+// distributions — an exact, exponentially faster equivalent:
+//   N1(n)   = #{i : first_i <= n < second_i}
+//   R(n+1)  = sum_i p_i [first_i > n]
+
+#ifndef EXSAMPLE_SIM_PI_MODEL_H_
+#define EXSAMPLE_SIM_PI_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace exsample {
+namespace sim {
+
+/// Generates `count` occurrence probabilities from a LogNormal calibrated to
+/// the given mean and standard deviation of the p-values themselves (the
+/// paper uses mean 3e-3, std 8e-3, min ~3e-6, max ~0.15), clamped to
+/// (0, max_p].
+std::vector<double> GenerateLogNormalPs(int64_t count, double mean_p,
+                                        double std_p, double max_p, Rng* rng);
+
+/// Observed state of one replication at a queried sample count n.
+struct PiObservation {
+  int64_t n = 0;
+  /// Instances seen exactly once within the first n samples.
+  int64_t n1 = 0;
+  /// True expected new-result mass for the next sample:
+  /// R(n+1) = sum of p_i over still-unseen instances.
+  double r_next = 0.0;
+};
+
+/// Runs one replication and reports the observation at each queried n
+/// (query_ns must be sorted ascending).
+std::vector<PiObservation> RunPiReplication(const std::vector<double>& ps,
+                                            const std::vector<int64_t>& query_ns,
+                                            Rng* rng);
+
+/// Figure 2 data: conditional samples of the true R(n+1) given the observed
+/// (n, N1) pair, collected across replications. Keyed by queried n, then by
+/// observed N1.
+using ConditionalR =
+    std::map<int64_t, std::map<int64_t, std::vector<double>>>;
+
+/// Collects `reps` replications' observations.
+ConditionalR CollectConditionalR(const std::vector<double>& ps,
+                                 const std::vector<int64_t>& query_ns,
+                                 int64_t reps, Rng* rng);
+
+}  // namespace sim
+}  // namespace exsample
+
+#endif  // EXSAMPLE_SIM_PI_MODEL_H_

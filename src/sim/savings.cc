@@ -1,0 +1,70 @@
+#include "sim/savings.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace exsample {
+namespace sim {
+
+TrialBand SummarizeTrials(const std::vector<core::Trajectory>& trials,
+                          const std::vector<int64_t>& grid) {
+  assert(!trials.empty());
+  TrialBand band;
+  band.grid = grid;
+  band.p25.reserve(grid.size());
+  band.p50.reserve(grid.size());
+  band.p75.reserve(grid.size());
+  std::vector<double> counts(trials.size());
+  for (int64_t g : grid) {
+    for (size_t t = 0; t < trials.size(); ++t) {
+      counts[t] = static_cast<double>(trials[t].CountAt(g));
+    }
+    band.p25.push_back(Percentile(counts, 0.25));
+    band.p50.push_back(Percentile(counts, 0.50));
+    band.p75.push_back(Percentile(counts, 0.75));
+  }
+  return band;
+}
+
+std::vector<int64_t> LogGrid(int64_t max, int points_per_decade) {
+  assert(max >= 1 && points_per_decade >= 1);
+  std::vector<int64_t> grid;
+  double x = 1.0;
+  const double factor = std::pow(10.0, 1.0 / points_per_decade);
+  while (x <= static_cast<double>(max)) {
+    int64_t v = static_cast<int64_t>(std::llround(x));
+    if (grid.empty() || v > grid.back()) grid.push_back(v);
+    x *= factor;
+  }
+  if (grid.empty() || grid.back() != max) grid.push_back(max);
+  return grid;
+}
+
+int64_t MedianSamplesToReach(const std::vector<core::Trajectory>& trials,
+                             int64_t count) {
+  assert(!trials.empty());
+  std::vector<int64_t> samples;
+  samples.reserve(trials.size());
+  for (const auto& t : trials) {
+    int64_t s = t.SamplesToReach(count);
+    samples.push_back(s < 0 ? INT64_MAX : s);
+  }
+  std::sort(samples.begin(), samples.end());
+  int64_t med = samples[samples.size() / 2];
+  return med == INT64_MAX ? -1 : med;
+}
+
+double SavingsAtCount(const std::vector<core::Trajectory>& fast,
+                      const std::vector<core::Trajectory>& slow,
+                      int64_t count) {
+  int64_t f = MedianSamplesToReach(fast, count);
+  int64_t s = MedianSamplesToReach(slow, count);
+  if (f <= 0 || s < 0) return 0.0;
+  return static_cast<double>(s) / static_cast<double>(f);
+}
+
+}  // namespace sim
+}  // namespace exsample

@@ -1,0 +1,46 @@
+// Multi-trial trajectory summaries and savings ratios — the measurements
+// behind Figure 3's bands/labels and Figure 5's savings bars.
+
+#ifndef EXSAMPLE_SIM_SAVINGS_H_
+#define EXSAMPLE_SIM_SAVINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+
+namespace exsample {
+namespace sim {
+
+/// Percentile band of distinct-results counts over trials, evaluated on a
+/// common sample grid.
+struct TrialBand {
+  std::vector<int64_t> grid;
+  std::vector<double> p25;
+  std::vector<double> p50;
+  std::vector<double> p75;
+};
+
+/// Summarizes trials at the given grid points.
+TrialBand SummarizeTrials(const std::vector<core::Trajectory>& trials,
+                          const std::vector<int64_t>& grid);
+
+/// Logarithmically spaced sample grid from 1 to max (inclusive-ish).
+std::vector<int64_t> LogGrid(int64_t max, int points_per_decade = 12);
+
+/// Median over trials of the samples needed to reach `count` results.
+/// Trials that never reach it count as +infinity; returns -1 when the
+/// median itself is unreached.
+int64_t MedianSamplesToReach(const std::vector<core::Trajectory>& trials,
+                             int64_t count);
+
+/// Savings of `fast` over `slow` at a result count: median samples(slow) /
+/// median samples(fast). Returns 0 when either side never reaches `count`.
+double SavingsAtCount(const std::vector<core::Trajectory>& fast,
+                      const std::vector<core::Trajectory>& slow,
+                      int64_t count);
+
+}  // namespace sim
+}  // namespace exsample
+
+#endif  // EXSAMPLE_SIM_SAVINGS_H_

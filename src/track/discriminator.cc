@@ -1,0 +1,101 @@
+#include "track/discriminator.h"
+
+#include <cassert>
+
+#include "detect/bbox.h"
+
+namespace exsample {
+namespace track {
+
+TrackerDiscriminator::TrackerDiscriminator(TrackerConfig config)
+    : config_(config) {
+  assert(config_.iou_threshold > 0.0 && config_.iou_threshold <= 1.0);
+  assert(config_.extension_horizon >= 0);
+}
+
+int64_t TrackerDiscriminator::BestMatch(const detect::Detection& det) const {
+  int64_t best = -1;
+  double best_iou = config_.iou_threshold;
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    auto predicted = tracks_[i].PredictAt(det.frame, config_.extension_horizon);
+    if (!predicted.has_value()) continue;
+    double iou = detect::IoU(*predicted, det.box);
+    if (iou >= best_iou) {
+      best_iou = iou;
+      best = static_cast<int64_t>(i);
+    }
+  }
+  return best;
+}
+
+MatchResult TrackerDiscriminator::GetMatches(
+    video::FrameId frame, const std::vector<detect::Detection>& dets) const {
+  (void)frame;
+  MatchResult result;
+  for (const auto& det : dets) {
+    int64_t m = BestMatch(det);
+    if (m < 0) {
+      result.d0.push_back(det);
+    } else if (tracks_[static_cast<size_t>(m)].num_observations() == 1) {
+      // The matched object had exactly one previous sighting: this
+      // detection removes it from the seen-exactly-once set.
+      ++result.num_d1;
+      result.d1_first_frames.push_back(
+          tracks_[static_cast<size_t>(m)].first_frame());
+    }
+  }
+  return result;
+}
+
+void TrackerDiscriminator::Add(video::FrameId frame,
+                               const std::vector<detect::Detection>& dets) {
+  (void)frame;
+  for (const auto& det : dets) {
+    int64_t m = BestMatch(det);
+    if (m < 0) {
+      tracks_.emplace_back(static_cast<int64_t>(tracks_.size()), det);
+    } else {
+      tracks_[static_cast<size_t>(m)].AddObservation(det);
+    }
+  }
+}
+
+MatchResult OracleDiscriminator::GetMatches(
+    video::FrameId frame, const std::vector<detect::Detection>& dets) const {
+  (void)frame;
+  MatchResult result;
+  for (const auto& det : dets) {
+    if (det.instance == detect::kNoInstance) {
+      // False positive: no identity, always "new".
+      result.d0.push_back(det);
+      continue;
+    }
+    auto it = sightings_.find(det.instance);
+    if (it == sightings_.end()) {
+      result.d0.push_back(det);
+    } else if (it->second == 1) {
+      ++result.num_d1;
+      result.d1_first_frames.push_back(first_frame_.at(det.instance));
+    }
+  }
+  return result;
+}
+
+void OracleDiscriminator::Add(video::FrameId frame,
+                              const std::vector<detect::Detection>& dets) {
+  for (const auto& det : dets) {
+    if (det.instance == detect::kNoInstance) {
+      ++num_distinct_;  // each false positive pollutes the result set once
+      continue;
+    }
+    int64_t& count = sightings_[det.instance];
+    if (count == 0) {
+      ++num_distinct_;
+      first_frame_[det.instance] = frame;
+    }
+    ++count;
+  }
+}
+
+}  // namespace track
+}  // namespace exsample

@@ -1,0 +1,122 @@
+// Discriminators decide whether each new detection corresponds to a distinct
+// object not seen before (d0) or matches exactly one previous detection (d1)
+// — the two quantities Algorithm 1 uses to maintain the per-chunk statistic
+// N1 <- N1 + |d0| - |d1|.
+//
+// Two implementations:
+//  * TrackerDiscriminator — the paper's approach: an IoU tracker predicts
+//    the position of every known object at the queried frame and matches
+//    detections by overlap. Operates purely on boxes.
+//  * OracleDiscriminator — simulation-only: matches by ground-truth instance
+//    id. Used in tests/evaluation to isolate sampler behaviour from tracker
+//    error.
+
+#ifndef EXSAMPLE_TRACK_DISCRIMINATOR_H_
+#define EXSAMPLE_TRACK_DISCRIMINATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/detection.h"
+#include "track/track.h"
+#include "video/types.h"
+
+namespace exsample {
+namespace track {
+
+/// Partition of one frame's detections by novelty.
+struct MatchResult {
+  /// Detections that matched no previous object: new, distinct results.
+  std::vector<detect::Detection> d0;
+  /// Number of detections whose matched object had been seen exactly once
+  /// before (these remove the object from the seen-exactly-once set N1).
+  int64_t num_d1 = 0;
+  /// For each of the num_d1 matches: the frame of the matched object's
+  /// first sighting. Lets the engine credit the N1 decrement to the chunk
+  /// that received the original +1 (the technical-report adjustment for
+  /// instances spanning chunks, paper footnote 1).
+  std::vector<video::FrameId> d1_first_frames;
+};
+
+/// Interface used by the query engine (Algorithm 1 lines 10 and 13).
+class Discriminator {
+ public:
+  virtual ~Discriminator() = default;
+
+  /// Classifies `dets` (all from `frame`) against previously added
+  /// detections, without mutating state.
+  virtual MatchResult GetMatches(video::FrameId frame,
+                                 const std::vector<detect::Detection>& dets)
+      const = 0;
+
+  /// Records the frame's detections into the discriminator state.
+  virtual void Add(video::FrameId frame,
+                   const std::vector<detect::Detection>& dets) = 0;
+
+  /// Number of distinct objects discovered so far.
+  virtual int64_t num_distinct() const = 0;
+};
+
+/// Configuration for the IoU tracking discriminator.
+struct TrackerConfig {
+  /// Minimum IoU between a detection and a track's predicted box to match.
+  double iou_threshold = 0.5;
+  /// How many frames beyond a track's observed span it is still considered
+  /// matchable (the forward/backward tracking extension). Half a second of
+  /// 30 fps video by default.
+  int64_t extension_horizon = 15;
+};
+
+/// SORT-style IoU matching against predicted track positions.
+class TrackerDiscriminator : public Discriminator {
+ public:
+  explicit TrackerDiscriminator(TrackerConfig config = {});
+
+  MatchResult GetMatches(video::FrameId frame,
+                         const std::vector<detect::Detection>& dets)
+      const override;
+  void Add(video::FrameId frame,
+           const std::vector<detect::Detection>& dets) override;
+  int64_t num_distinct() const override {
+    return static_cast<int64_t>(tracks_.size());
+  }
+
+  const std::vector<Track>& tracks() const { return tracks_; }
+
+ private:
+  /// Index of the best-matching track for `det`, or -1.
+  int64_t BestMatch(const detect::Detection& det) const;
+
+  TrackerConfig config_;
+  std::vector<Track> tracks_;
+};
+
+/// Ground-truth instance-id matching (simulation only). Detections carrying
+/// detect::kNoInstance (false positives) are treated as never matching —
+/// each one spuriously counts as a new result, exactly the failure mode a
+/// real system has when the detector hallucinates an object.
+class OracleDiscriminator : public Discriminator {
+ public:
+  MatchResult GetMatches(video::FrameId frame,
+                         const std::vector<detect::Detection>& dets)
+      const override;
+  void Add(video::FrameId frame,
+           const std::vector<detect::Detection>& dets) override;
+  int64_t num_distinct() const override { return num_distinct_; }
+
+  /// Times each instance has been sighted.
+  const std::unordered_map<detect::InstanceId, int64_t>& sightings() const {
+    return sightings_;
+  }
+
+ private:
+  std::unordered_map<detect::InstanceId, int64_t> sightings_;
+  std::unordered_map<detect::InstanceId, video::FrameId> first_frame_;
+  int64_t num_distinct_ = 0;
+};
+
+}  // namespace track
+}  // namespace exsample
+
+#endif  // EXSAMPLE_TRACK_DISCRIMINATOR_H_

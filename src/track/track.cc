@@ -1,0 +1,56 @@
+#include "track/track.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exsample {
+namespace track {
+
+Track::Track(int64_t track_id, const detect::Detection& first) : id_(track_id) {
+  obs_.push_back(first);
+}
+
+void Track::AddObservation(const detect::Detection& det) {
+  auto it = std::upper_bound(
+      obs_.begin(), obs_.end(), det.frame,
+      [](video::FrameId f, const detect::Detection& d) { return f < d.frame; });
+  obs_.insert(it, det);
+}
+
+std::optional<detect::BBox> Track::PredictAt(video::FrameId frame,
+                                             int64_t horizon) const {
+  assert(!obs_.empty());
+  if (frame < first_frame() - horizon || frame > last_frame() + horizon) {
+    return std::nullopt;
+  }
+  if (obs_.size() == 1) {
+    // No velocity information; assume stationary within the horizon.
+    return obs_.front().box;
+  }
+  // Find bracketing observations.
+  auto it = std::lower_bound(
+      obs_.begin(), obs_.end(), frame,
+      [](const detect::Detection& d, video::FrameId f) { return d.frame < f; });
+  if (it != obs_.end() && it->frame == frame) return it->box;
+  const detect::Detection* a;
+  const detect::Detection* b;
+  if (it == obs_.begin()) {
+    // Before the first observation: extrapolate backwards from the first two.
+    a = &obs_[0];
+    b = &obs_[1];
+  } else if (it == obs_.end()) {
+    // Beyond the last observation: extrapolate from the last two.
+    a = &obs_[obs_.size() - 2];
+    b = &obs_[obs_.size() - 1];
+  } else {
+    a = &*(it - 1);
+    b = &*it;
+  }
+  const double span = static_cast<double>(b->frame - a->frame);
+  assert(span > 0.0);
+  const double t = static_cast<double>(frame - a->frame) / span;
+  return detect::Interpolate(a->box, b->box, t);
+}
+
+}  // namespace track
+}  // namespace exsample

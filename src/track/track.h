@@ -1,0 +1,54 @@
+// Track: the discriminator's record of one distinct object, built from the
+// (sparse) frames where the object was detected. Position at other frames is
+// predicted by interpolation between, or constant-velocity extrapolation
+// beyond, the observed detections — the "SORT backwards and forwards"
+// behaviour described in §II-B of the paper.
+
+#ifndef EXSAMPLE_TRACK_TRACK_H_
+#define EXSAMPLE_TRACK_TRACK_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "detect/bbox.h"
+#include "detect/detection.h"
+#include "video/types.h"
+
+namespace exsample {
+namespace track {
+
+/// One distinct object as understood by the discriminator.
+class Track {
+ public:
+  /// Creates a track from its first observation.
+  Track(int64_t track_id, const detect::Detection& first);
+
+  /// Adds a later (or earlier) observation; keeps observations frame-sorted.
+  void AddObservation(const detect::Detection& det);
+
+  int64_t id() const { return id_; }
+  int64_t num_observations() const {
+    return static_cast<int64_t>(obs_.size());
+  }
+  video::FrameId first_frame() const { return obs_.front().frame; }
+  video::FrameId last_frame() const { return obs_.back().frame; }
+  const std::vector<detect::Detection>& observations() const { return obs_; }
+
+  /// Predicted box at `frame`, or nullopt when `frame` is further than
+  /// `horizon` frames outside the observed span (the object is assumed no
+  /// longer / not yet visible). Interpolates between bracketing
+  /// observations; extrapolates at constant velocity outside them (zero
+  /// velocity when only one observation exists).
+  std::optional<detect::BBox> PredictAt(video::FrameId frame,
+                                        int64_t horizon) const;
+
+ private:
+  int64_t id_;
+  std::vector<detect::Detection> obs_;
+};
+
+}  // namespace track
+}  // namespace exsample
+
+#endif  // EXSAMPLE_TRACK_TRACK_H_

@@ -1,0 +1,334 @@
+#include "util/distributions.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace exsample {
+
+double SampleStandardNormal(Rng* rng) {
+  // Polar Box-Muller; we discard the second variate to keep the sampler
+  // stateless (simplifies Fork()-based parallelism).
+  for (;;) {
+    double u = 2.0 * rng->NextDouble() - 1.0;
+    double v = 2.0 * rng->NextDouble() - 1.0;
+    double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double SampleNormal(Rng* rng, double mean, double stddev) {
+  assert(stddev >= 0.0);
+  return mean + stddev * SampleStandardNormal(rng);
+}
+
+double SampleLogNormal(Rng* rng, double mu_log, double sigma_log) {
+  return std::exp(SampleNormal(rng, mu_log, sigma_log));
+}
+
+double SampleExponential(Rng* rng, double rate) {
+  assert(rate > 0.0);
+  // 1 - U avoids log(0).
+  return -std::log(1.0 - rng->NextDouble()) / rate;
+}
+
+namespace {
+
+// Marsaglia-Tsang for shape >= 1, unit rate.
+double SampleGammaShapeGe1(Rng* rng, double alpha) {
+  const double d = alpha - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = SampleStandardNormal(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng->NextDouble();
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+}  // namespace
+
+double SampleGamma(Rng* rng, double alpha, double beta) {
+  assert(alpha > 0.0 && beta > 0.0);
+  if (alpha < 1.0) {
+    // Boost: Gamma(a) ~ Gamma(a+1) * U^{1/a}.
+    double u;
+    do {
+      u = rng->NextDouble();
+    } while (u == 0.0);
+    return SampleGammaShapeGe1(rng, alpha + 1.0) * std::pow(u, 1.0 / alpha) /
+           beta;
+  }
+  return SampleGammaShapeGe1(rng, alpha) / beta;
+}
+
+double SampleBeta(Rng* rng, double a, double b) {
+  double x = SampleGamma(rng, a, 1.0);
+  double y = SampleGamma(rng, b, 1.0);
+  return x / (x + y);
+}
+
+int64_t SamplePoisson(Rng* rng, double lambda) {
+  assert(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-lambda.
+    const double l = std::exp(-lambda);
+    int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng->NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  // PTRS (Hormann 1993) transformed rejection for large lambda.
+  const double b = 0.931 + 2.53 * std::sqrt(lambda);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+  for (;;) {
+    double u = rng->NextDouble() - 0.5;
+    double v = rng->NextDouble();
+    double us = 0.5 - std::fabs(u);
+    int64_t k = static_cast<int64_t>(
+        std::floor((2.0 * a / us + b) * u + lambda + 0.43));
+    if (us >= 0.07 && v <= v_r) return k;
+    if (k < 0 || (us < 0.013 && v > us)) continue;
+    if (std::log(v) + std::log(inv_alpha) - std::log(a / (us * us) + b) <=
+        static_cast<double>(k) * std::log(lambda) - lambda -
+            LogGamma(static_cast<double>(k) + 1.0)) {
+      return k;
+    }
+  }
+}
+
+int64_t SampleBinomial(Rng* rng, int64_t n, double p) {
+  assert(n >= 0 && p >= 0.0 && p <= 1.0);
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  if (p > 0.5) return n - SampleBinomial(rng, n, 1.0 - p);
+  const double np = static_cast<double>(n) * p;
+  if (np < 30.0) {
+    // Inversion by sequential search on the CDF.
+    const double q = 1.0 - p;
+    const double s = p / q;
+    double f = std::pow(q, static_cast<double>(n));
+    double u = rng->NextDouble();
+    int64_t k = 0;
+    double cum = f;
+    while (u > cum && k < n) {
+      ++k;
+      f *= s * static_cast<double>(n - k + 1) / static_cast<double>(k);
+      cum += f;
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // workload-generation uses in this library (np >= 30).
+  const double mean = np;
+  const double sd = std::sqrt(np * (1.0 - p));
+  double x = std::floor(SampleNormal(rng, mean, sd) + 0.5);
+  if (x < 0.0) x = 0.0;
+  if (x > static_cast<double>(n)) x = static_cast<double>(n);
+  return static_cast<int64_t>(x);
+}
+
+double LogGamma(double x) { return std::lgamma(x); }
+
+namespace {
+
+// Series expansion of P(a,x), valid (fast-converging) for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int n = 1; n < 1000; ++n) {
+    term *= x / (a + n);
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-16) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Continued-fraction evaluation of Q(a,x) = 1 - P(a,x), for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 1000; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-16) break;
+  }
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  assert(a > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double GammaPdf(double x, double alpha, double beta) {
+  assert(alpha > 0.0 && beta > 0.0);
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (alpha < 1.0) return std::numeric_limits<double>::infinity();
+    return alpha == 1.0 ? beta : 0.0;
+  }
+  return std::exp(alpha * std::log(beta) + (alpha - 1.0) * std::log(x) -
+                  beta * x - LogGamma(alpha));
+}
+
+double GammaCdf(double x, double alpha, double beta) {
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(alpha, beta * x);
+}
+
+double GammaQuantile(double q, double alpha, double beta) {
+  assert(q > 0.0 && q < 1.0);
+  // Bracket: mean + k stddev always covers practical quantiles; expand if not.
+  double lo = 0.0;
+  double hi = (alpha + 10.0 * std::sqrt(alpha) + 10.0) / beta;
+  while (GammaCdf(hi, alpha, beta) < q) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (GammaCdf(mid, alpha, beta) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-12 * hi) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double NormalQuantile(double q) {
+  assert(q > 0.0 && q < 1.0);
+  // Acklam's algorithm: rational approximations on three regions.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x;
+  if (q < plow) {
+    double u = std::sqrt(-2.0 * std::log(q));
+    x = (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  } else if (q <= 1.0 - plow) {
+    double u = q - 0.5;
+    double r = u * u;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        u /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    double u = std::sqrt(-2.0 * std::log(1.0 - q));
+    x = -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u +
+          c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  }
+  return x;
+}
+
+double GammaQuantileFast(double q, double alpha, double beta) {
+  assert(q > 0.0 && q < 1.0);
+  // Bracketed Newton iteration in log space on the unit-rate CDF, seeded by
+  // the Wilson-Hilferty normal approximation (large alpha) or the leading
+  // series term P(a,x) ~ x^a / Gamma(a+1) (small alpha). Log-space steps
+  // handle quantiles spanning many orders of magnitude (alpha << 1), and
+  // the bracket guarantees convergence; typically 3-6 CDF evaluations vs
+  // ~200 for plain bisection.
+  double y;  // log of the current iterate
+  if (alpha >= 0.5) {
+    const double z = NormalQuantile(q);
+    const double s = 1.0 / (9.0 * alpha);
+    double cube = 1.0 - s + z * std::sqrt(s);
+    if (cube < 1e-8) cube = 1e-8;
+    y = std::log(alpha) + 3.0 * std::log(cube);
+  } else {
+    y = (std::log(q) + LogGamma(alpha + 1.0)) / alpha;
+  }
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < 60; ++iter) {
+    const double x = std::exp(y);
+    const double f = RegularizedGammaP(alpha, x) - q;
+    if (f > 0.0) {
+      hi = y;
+    } else {
+      lo = y;
+    }
+    // d/dy P(a, e^y) = pdf(e^y) * e^y = exp(a y - e^y - lgamma(a)).
+    const double dlog = alpha * y - x - LogGamma(alpha);
+    double ny;
+    if (dlog < -700.0) {
+      ny = std::numeric_limits<double>::quiet_NaN();  // force bisection
+    } else {
+      const double step = f / std::exp(dlog);
+      ny = y - step;
+      if (std::abs(step) < 1e-13 * std::max(1.0, std::abs(y))) {
+        y = std::isfinite(ny) ? ny : y;
+        break;
+      }
+      // A log-space jump beyond e^8 means the local derivative badly
+      // mis-extrapolates (deep tail); fall back to bracket handling.
+      if (std::abs(step) > 8.0) {
+        ny = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+    if (!std::isfinite(ny) || ny <= lo || ny >= hi) {
+      // Bisect within the bracket; expand when one side is still open.
+      if (std::isfinite(lo) && std::isfinite(hi)) {
+        ny = 0.5 * (lo + hi);
+      } else if (std::isfinite(lo)) {
+        ny = lo + 1.0;
+      } else {
+        ny = hi - 1.0;
+      }
+    }
+    if (ny == y) break;
+    y = ny;
+  }
+  return std::exp(y) / beta;
+}
+
+double PoissonPmf(int64_t k, double lambda) {
+  if (k < 0) return 0.0;
+  if (lambda == 0.0) return k == 0 ? 1.0 : 0.0;
+  return std::exp(static_cast<double>(k) * std::log(lambda) - lambda -
+                  LogGamma(static_cast<double>(k) + 1.0));
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace exsample

@@ -1,0 +1,44 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
+// flags are an error so typos in experiment parameters are caught loudly.
+
+#ifndef EXSAMPLE_UTIL_FLAGS_H_
+#define EXSAMPLE_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace exsample {
+
+/// Parsed flag set. Construct with Parse(), then read typed values with
+/// defaults. Every Get* registers the flag as known; call
+/// FailOnUnknown() after all Get* calls to reject typos.
+class Flags {
+ public:
+  /// Parses argv. On malformed input prints to stderr and exits(2).
+  static Flags Parse(int argc, char** argv);
+
+  /// Returns the flag value as int64 or `def` when absent.
+  int64_t GetInt(const std::string& name, int64_t def);
+  /// Returns the flag value as double or `def` when absent.
+  double GetDouble(const std::string& name, double def);
+  /// Returns the flag value as string or `def` when absent.
+  std::string GetString(const std::string& name, const std::string& def);
+  /// Returns true if the boolean flag is present (or =true/=1).
+  bool GetBool(const std::string& name, bool def = false);
+
+  /// Exits(2) listing any flags supplied on the command line that were never
+  /// requested by a Get* call.
+  void FailOnUnknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> known_;
+};
+
+}  // namespace exsample
+
+#endif  // EXSAMPLE_UTIL_FLAGS_H_

@@ -1,0 +1,114 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace exsample {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  int64_t n = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(n);
+  mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t idx = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= values.size()) return values.back();
+  return values[idx] * (1.0 - frac) + values[idx + 1] * frac;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    assert(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::Add(double x) {
+  double pos = (x - lo_) / width_;
+  int64_t bin = static_cast<int64_t>(std::floor(pos));
+  if (bin < 0) bin = 0;
+  if (bin >= static_cast<int64_t>(counts_.size())) {
+    bin = static_cast<int64_t>(counts_.size()) - 1;
+  }
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::BinCenter(size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::Density(size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) /
+         (static_cast<double>(total_) * width_);
+}
+
+std::string Histogram::ToAscii(size_t max_width) const {
+  int64_t peak = 0;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    size_t bar = peak == 0 ? 0
+                           : static_cast<size_t>(
+                                 static_cast<double>(counts_[b]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(max_width));
+    out << "  ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%10.4g", BinCenter(b));
+    out << buf << " |" << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace exsample

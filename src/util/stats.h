@@ -1,0 +1,83 @@
+// Streaming and batch summary statistics used across the evaluation harness:
+// Welford running moments, percentiles, fixed-bin histograms and geometric
+// means (the paper reports geometric-mean savings across queries).
+
+#ifndef EXSAMPLE_UTIL_STATS_H_
+#define EXSAMPLE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exsample {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStat& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (q in [0,1]) of values using linear interpolation
+/// between order statistics. Copies and sorts internally; values may be
+/// unsorted. Returns 0 for empty input.
+double Percentile(std::vector<double> values, double q);
+
+/// Geometric mean of strictly positive values; returns 0 for empty input.
+double GeometricMean(const std::vector<double>& values);
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range values clamp into
+/// the first/last bin. Used to reproduce the Figure 2 conditional histograms
+/// and the Figure 6 chunk-abundance plots.
+class Histogram {
+ public:
+  /// Creates a histogram with `bins` equal bins spanning [lo, hi).
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+
+  size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  int64_t total() const { return total_; }
+  int64_t count(size_t bin) const { return counts_[bin]; }
+  /// Midpoint of the given bin.
+  double BinCenter(size_t bin) const;
+  /// Fraction of mass in the bin, normalized by bin width (a density, so it
+  /// is directly comparable to a pdf curve).
+  double Density(size_t bin) const;
+
+  /// Renders a compact ASCII bar chart (one line per bin), for bench output.
+  std::string ToAscii(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace exsample
+
+#endif  // EXSAMPLE_UTIL_STATS_H_

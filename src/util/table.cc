@@ -1,0 +1,124 @@
+#include "util/table.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace exsample {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << CsvEscape(row[c]);
+      if (c + 1 < row.size()) out << ",";
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::Num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return buf;
+}
+
+std::string Table::Int(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string Table::Duration(double seconds) {
+  char buf[64];
+  if (seconds < 0.0) seconds = 0.0;
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+    return buf;
+  }
+  int64_t total = static_cast<int64_t>(std::llround(seconds));
+  int64_t h = total / 3600;
+  int64_t m = (total % 3600) / 60;
+  int64_t s = total % 60;
+  if (h > 0) {
+    if (m > 0) {
+      std::snprintf(buf, sizeof(buf), "%lldh%lldm", static_cast<long long>(h),
+                    static_cast<long long>(m));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%lldh", static_cast<long long>(h));
+    }
+    return buf;
+  }
+  if (s > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldm%llds", static_cast<long long>(m),
+                  static_cast<long long>(s));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldm", static_cast<long long>(m));
+  }
+  return buf;
+}
+
+std::string Table::Ratio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2gx", v);
+  return buf;
+}
+
+}  // namespace exsample

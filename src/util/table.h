@@ -1,0 +1,52 @@
+// Aligned-column text tables and CSV emission for bench output.
+//
+// Every bench binary prints paper-style tables through this utility so that
+// the output format is uniform and greppable; a CSV dump mode supports
+// downstream plotting.
+
+#ifndef EXSAMPLE_UTIL_TABLE_H_
+#define EXSAMPLE_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exsample {
+
+/// Column-aligned table builder. Collects rows of strings, then renders with
+/// per-column width alignment. Numeric helpers format consistently.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the aligned table, headers underlined with dashes.
+  std::string ToString() const;
+
+  /// Renders as CSV (RFC-4180-ish: cells containing comma/quote/newline are
+  /// quoted, embedded quotes doubled).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` significant digits.
+  static std::string Num(double v, int digits = 4);
+  /// Formats an integer.
+  static std::string Int(int64_t v);
+  /// Formats a duration in seconds as "1h2m", "3m4s", "5.0s" like the
+  /// paper's Table I.
+  static std::string Duration(double seconds);
+  /// Formats a ratio as e.g. "3.7x".
+  static std::string Ratio(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace exsample
+
+#endif  // EXSAMPLE_UTIL_TABLE_H_

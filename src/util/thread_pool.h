@@ -1,0 +1,55 @@
+// Fixed-size worker pool used to parallelize independent experiment trials
+// (each trial gets a forked RNG, so results are deterministic regardless of
+// scheduling).
+
+#ifndef EXSAMPLE_UTIL_THREAD_POOL_H_
+#define EXSAMPLE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace exsample {
+
+/// Simple FIFO thread pool. Submit() enqueues work; Wait() blocks until all
+/// submitted work has drained. The destructor joins workers.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  static void ParallelFor(size_t n, size_t threads,
+                          const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace exsample
+
+#endif  // EXSAMPLE_UTIL_THREAD_POOL_H_

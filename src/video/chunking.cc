@@ -1,0 +1,123 @@
+#include "video/chunking.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exsample {
+namespace video {
+
+std::vector<Chunk> MakeFixedLengthChunks(const VideoRepository& repo,
+                                         int64_t frames_per_chunk) {
+  assert(frames_per_chunk > 0);
+  std::vector<Chunk> chunks;
+  for (VideoIndex v = 0; v < static_cast<VideoIndex>(repo.num_videos()); ++v) {
+    const FrameId start = repo.VideoStart(v);
+    const int64_t n = repo.video(v).num_frames;
+    FrameId lo = 0;
+    while (lo < n) {
+      FrameId hi = std::min<int64_t>(lo + frames_per_chunk, n);
+      // Merge a short tail (< half a chunk) into this chunk rather than
+      // creating a tiny chunk whose estimates would stay noisy forever.
+      if (n - hi > 0 && n - hi < frames_per_chunk / 2) hi = n;
+      chunks.push_back(Chunk{static_cast<ChunkId>(chunks.size()),
+                             FrameRangeSet::Single(start + lo, start + hi)});
+      lo = hi;
+    }
+  }
+  return chunks;
+}
+
+std::vector<Chunk> MakePerFileChunks(const VideoRepository& repo) {
+  std::vector<Chunk> chunks;
+  chunks.reserve(repo.num_videos());
+  for (VideoIndex v = 0; v < static_cast<VideoIndex>(repo.num_videos()); ++v) {
+    const FrameId start = repo.VideoStart(v);
+    chunks.push_back(
+        Chunk{static_cast<ChunkId>(chunks.size()),
+              FrameRangeSet::Single(start, start + repo.video(v).num_frames)});
+  }
+  return chunks;
+}
+
+std::vector<Chunk> MakeUniformChunks(int64_t num_frames, int32_t num_chunks) {
+  assert(num_chunks >= 1 && num_frames >= num_chunks);
+  std::vector<Chunk> chunks;
+  chunks.reserve(num_chunks);
+  for (int32_t j = 0; j < num_chunks; ++j) {
+    FrameId lo = num_frames * j / num_chunks;
+    FrameId hi = num_frames * (j + 1) / num_chunks;
+    chunks.push_back(Chunk{j, FrameRangeSet::Single(lo, hi)});
+  }
+  return chunks;
+}
+
+Status ValidateChunking(const std::vector<Chunk>& chunks,
+                        int64_t total_frames) {
+  if (chunks.empty()) return Status::InvalidArgument("no chunks");
+  int64_t covered = 0;
+  std::vector<FrameRange> all;
+  for (size_t j = 0; j < chunks.size(); ++j) {
+    if (chunks[j].id != static_cast<ChunkId>(j)) {
+      return Status::InvalidArgument("chunk ids must be dense and ordered");
+    }
+    if (chunks[j].frames.empty()) {
+      return Status::InvalidArgument("chunk " + std::to_string(j) +
+                                     " is empty");
+    }
+    covered += chunks[j].frames.size();
+    for (const auto& r : chunks[j].frames.ranges()) all.push_back(r);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const FrameRange& a, const FrameRange& b) { return a.lo < b.lo; });
+  FrameId cursor = 0;
+  for (const auto& r : all) {
+    if (r.lo != cursor) {
+      return Status::InvalidArgument("gap or overlap at frame " +
+                                     std::to_string(cursor));
+    }
+    cursor = r.hi;
+  }
+  if (covered != total_frames || cursor != total_frames) {
+    return Status::InvalidArgument("chunking does not cover repository");
+  }
+  return Status::Ok();
+}
+
+ChunkLookup::ChunkLookup(const std::vector<Chunk>& chunks) {
+  for (const auto& chunk : chunks) {
+    for (const auto& range : chunk.frames.ranges()) {
+      entries_.push_back(Entry{range.lo, range.hi, chunk.id});
+    }
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.lo < b.lo; });
+}
+
+ChunkId ChunkLookup::Find(FrameId frame) const {
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), frame,
+      [](FrameId f, const Entry& e) { return f < e.lo; });
+  if (it == entries_.begin()) return -1;
+  --it;
+  return frame < it->hi ? it->chunk : -1;
+}
+
+int64_t SuggestChunkFrames(int64_t total_frames, double fps,
+                           int64_t min_chunks, int64_t max_chunks) {
+  assert(total_frames >= 1 && fps > 0.0);
+  assert(min_chunks >= 1 && max_chunks >= min_chunks);
+  int64_t chunk = static_cast<int64_t>(20.0 * 60.0 * fps);  // 20 minutes
+  // Too few chunks: shrink the chunk so at least min_chunks exist (unless
+  // the repository itself is tiny).
+  if (total_frames / chunk < min_chunks) {
+    chunk = std::max<int64_t>(1, total_frames / min_chunks);
+  }
+  // Too many chunks: grow the chunk to cap learning overhead.
+  if (total_frames / chunk > max_chunks) {
+    chunk = (total_frames + max_chunks - 1) / max_chunks;
+  }
+  return chunk;
+}
+
+}  // namespace video
+}  // namespace exsample

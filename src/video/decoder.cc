@@ -1,0 +1,50 @@
+#include "video/decoder.h"
+
+#include <cassert>
+
+namespace exsample {
+namespace video {
+
+SimulatedDecoder::SimulatedDecoder(const VideoRepository* repo,
+                                   DecodeCostModel model)
+    : repo_(repo), model_(model) {
+  assert(repo_ != nullptr);
+}
+
+double SimulatedDecoder::PeekCost(FrameId frame) const {
+  assert(frame >= 0 && frame < repo_->total_frames());
+  const FrameLocation loc = repo_->Locate(frame);
+  const int32_t gop = repo_->video(loc.video).keyframe_interval;
+  const int64_t offset_in_gop = loc.local_frame % gop;
+
+  if (frame == next_sequential_) {
+    // Sequential read: keyframe decode at GOP starts, predicted otherwise.
+    return offset_in_gop == 0 ? model_.keyframe_decode_seconds
+                              : model_.predicted_decode_seconds;
+  }
+  // Random access: seek to the preceding keyframe, decode it, then decode
+  // forward to the target.
+  return model_.seek_seconds + model_.keyframe_decode_seconds +
+         static_cast<double>(offset_in_gop) * model_.predicted_decode_seconds;
+}
+
+double SimulatedDecoder::Read(FrameId frame) {
+  const double cost = PeekCost(frame);
+  if (frame != next_sequential_) ++stats_.seeks;
+  ++stats_.frames_decoded;
+  stats_.total_seconds += cost;
+  next_sequential_ = frame + 1;
+  if (next_sequential_ >= repo_->total_frames()) next_sequential_ = -1;
+  // A sequential successor must live in the same video; crossing into the
+  // next file is a seek.
+  if (next_sequential_ >= 0) {
+    const FrameLocation cur = repo_->Locate(frame);
+    if (cur.local_frame + 1 >= repo_->video(cur.video).num_frames) {
+      next_sequential_ = -1;
+    }
+  }
+  return cost;
+}
+
+}  // namespace video
+}  // namespace exsample

@@ -1,0 +1,47 @@
+#include "video/frame_range.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exsample {
+namespace video {
+
+FrameRangeSet::FrameRangeSet(std::vector<FrameRange> ranges)
+    : ranges_(std::move(ranges)) {
+  prefix_.reserve(ranges_.size());
+  FrameId prev_hi = INT64_MIN;
+  for (const auto& r : ranges_) {
+    assert(r.hi > r.lo && "ranges must be non-empty");
+    assert(r.lo >= prev_hi && "ranges must be sorted and disjoint");
+    prev_hi = r.hi;
+    prefix_.push_back(total_);
+    total_ += r.size();
+  }
+  (void)prev_hi;
+}
+
+FrameRangeSet FrameRangeSet::Single(FrameId lo, FrameId hi) {
+  return FrameRangeSet({FrameRange{lo, hi}});
+}
+
+FrameId FrameRangeSet::At(int64_t i) const {
+  assert(i >= 0 && i < total_);
+  // Last prefix <= i.
+  auto it = std::upper_bound(prefix_.begin(), prefix_.end(), i);
+  size_t r = static_cast<size_t>(it - prefix_.begin()) - 1;
+  return ranges_[r].lo + (i - prefix_[r]);
+}
+
+int64_t FrameRangeSet::RankOf(FrameId f) const {
+  // Last range whose lo <= f.
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), f,
+      [](FrameId v, const FrameRange& r) { return v < r.lo; });
+  if (it == ranges_.begin()) return -1;
+  size_t r = static_cast<size_t>(it - ranges_.begin()) - 1;
+  if (!ranges_[r].Contains(f)) return -1;
+  return prefix_[r] + (f - ranges_[r].lo);
+}
+
+}  // namespace video
+}  // namespace exsample

@@ -1,0 +1,60 @@
+// FrameRangeSet: an ordered set of disjoint [lo, hi) global-frame ranges with
+// O(log k) random access by rank. Chunks are FrameRangeSets; samplers draw
+// the i-th frame of a chunk without materializing the frame list.
+
+#ifndef EXSAMPLE_VIDEO_FRAME_RANGE_H_
+#define EXSAMPLE_VIDEO_FRAME_RANGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "video/types.h"
+
+namespace exsample {
+namespace video {
+
+/// Half-open frame interval [lo, hi).
+struct FrameRange {
+  FrameId lo = 0;
+  FrameId hi = 0;
+
+  int64_t size() const { return hi - lo; }
+  bool Contains(FrameId f) const { return f >= lo && f < hi; }
+  bool operator==(const FrameRange&) const = default;
+};
+
+/// Immutable ordered collection of disjoint frame ranges.
+class FrameRangeSet {
+ public:
+  FrameRangeSet() = default;
+
+  /// Builds from ranges; they must be non-empty, sorted and disjoint
+  /// (assert-checked).
+  explicit FrameRangeSet(std::vector<FrameRange> ranges);
+
+  /// Convenience: a single contiguous range.
+  static FrameRangeSet Single(FrameId lo, FrameId hi);
+
+  /// Total number of frames.
+  int64_t size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  const std::vector<FrameRange>& ranges() const { return ranges_; }
+
+  /// Returns the frame of rank i (0-based, in increasing frame order).
+  FrameId At(int64_t i) const;
+
+  /// Returns the rank of frame f, or -1 if not contained.
+  int64_t RankOf(FrameId f) const;
+
+  bool Contains(FrameId f) const { return RankOf(f) >= 0; }
+
+ private:
+  std::vector<FrameRange> ranges_;
+  std::vector<int64_t> prefix_;  // prefix_[i] = frames before ranges_[i]
+  int64_t total_ = 0;
+};
+
+}  // namespace video
+}  // namespace exsample
+
+#endif  // EXSAMPLE_VIDEO_FRAME_RANGE_H_

@@ -1,0 +1,169 @@
+#include "video/frame_sampler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exsample {
+namespace video {
+
+UniformFrameSampler::UniformFrameSampler(FrameRangeSet frames)
+    : frames_(std::move(frames)), remaining_(frames_.size()) {}
+
+FrameId UniformFrameSampler::Next(Rng* rng) {
+  assert(remaining_ > 0);
+  // Sparse Fisher-Yates over index space [0, remaining_): pick r, read the
+  // value at r (following displacement), then move the value at the last
+  // position into r.
+  int64_t r = static_cast<int64_t>(
+      rng->NextBounded(static_cast<uint64_t>(remaining_)));
+  auto read = [this](int64_t i) {
+    auto it = displaced_.find(i);
+    return it != displaced_.end() ? it->second : i;
+  };
+  int64_t value = read(r);
+  int64_t last = remaining_ - 1;
+  displaced_[r] = read(last);
+  displaced_.erase(last);
+  --remaining_;
+  return frames_.At(value);
+}
+
+RandomPlusFrameSampler::RandomPlusFrameSampler(FrameRangeSet frames,
+                                               int64_t initial_segments)
+    : frames_(std::move(frames)), remaining_(frames_.size()) {
+  assert(initial_segments >= 1);
+  const int64_t n = frames_.size();
+  if (n == 0) return;
+  initial_segments = std::min(initial_segments, n);
+  for (int64_t s = 0; s < initial_segments; ++s) {
+    int64_t lo = n * s / initial_segments;
+    int64_t hi = n * (s + 1) / initial_segments;
+    if (hi > lo) fresh_.push_back(Block{lo, hi, -1});
+  }
+}
+
+void RandomPlusFrameSampler::Advance(Rng* rng) {
+  // Halve every sampled block at its midpoint: the half holding the sample
+  // stays in sampled_ (if still splittable), the other half joins the new
+  // round's sample-free set.
+  std::vector<Block> next_fresh;
+  while (next_fresh.empty()) {
+    assert(!sampled_.empty());
+    std::vector<Block> next_sampled;
+    for (const Block& b : sampled_) {
+      const int64_t mid = b.lo + (b.hi - b.lo) / 2;
+      Block left{b.lo, mid, -1};
+      Block right{mid, b.hi, -1};
+      (b.sample < mid ? left : right).sample = b.sample;
+      for (Block* child : {&left, &right}) {
+        if (child->hi - child->lo <= 0) continue;
+        if (child->sample < 0) {
+          next_fresh.push_back(*child);
+        } else if (child->hi - child->lo > 1) {
+          next_sampled.push_back(*child);
+        }
+        // size-1 blocks holding their sample are fully consumed.
+      }
+    }
+    sampled_ = std::move(next_sampled);
+  }
+  // Random visiting order within the round.
+  for (size_t i = next_fresh.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng->NextBounded(i));
+    std::swap(next_fresh[i - 1], next_fresh[j]);
+  }
+  fresh_.assign(next_fresh.begin(), next_fresh.end());
+}
+
+FrameId RandomPlusFrameSampler::Next(Rng* rng) {
+  assert(remaining_ > 0);
+  if (fresh_.empty()) Advance(rng);
+  Block b = fresh_.front();
+  fresh_.pop_front();
+  b.sample = b.lo + static_cast<int64_t>(rng->NextBounded(
+                        static_cast<uint64_t>(b.hi - b.lo)));
+  if (b.hi - b.lo > 1) sampled_.push_back(b);
+  --remaining_;
+  return frames_.At(b.sample);
+}
+
+WeightedFrameSampler::WeightedFrameSampler(FrameRangeSet frames,
+                                           std::vector<double> weights)
+    : frames_(std::move(frames)),
+      weight_(std::move(weights)),
+      remaining_(frames_.size()) {
+  assert(static_cast<int64_t>(weight_.size()) == frames_.size());
+  // Floor weights so zero-scored frames are still eventually drawn.
+  double max_w = 0.0;
+  for (double w : weight_) {
+    assert(w >= 0.0);
+    max_w = std::max(max_w, w);
+  }
+  const double floor = max_w > 0.0 ? max_w * 1e-9 : 1.0;
+  for (double& w : weight_) w = std::max(w, floor);
+  tree_.assign(weight_.size() + 1, 0.0);
+  for (size_t i = 0; i < weight_.size(); ++i) {
+    FenwickAdd(static_cast<int64_t>(i), weight_[i]);
+  }
+}
+
+void WeightedFrameSampler::FenwickAdd(int64_t i, double delta) {
+  total_weight_ += delta;
+  for (int64_t k = i + 1; k < static_cast<int64_t>(tree_.size());
+       k += k & -k) {
+    tree_[static_cast<size_t>(k)] += delta;
+  }
+}
+
+double WeightedFrameSampler::FenwickPrefix(int64_t i) const {
+  double sum = 0.0;
+  for (int64_t k = i + 1; k > 0; k -= k & -k) {
+    sum += tree_[static_cast<size_t>(k)];
+  }
+  return sum;
+}
+
+int64_t WeightedFrameSampler::FenwickSearch(double target) const {
+  // Descend the implicit tree to find the smallest index whose prefix sum
+  // exceeds target.
+  int64_t pos = 0;
+  int64_t mask = 1;
+  while (mask * 2 < static_cast<int64_t>(tree_.size())) mask *= 2;
+  for (; mask > 0; mask /= 2) {
+    int64_t next = pos + mask;
+    if (next < static_cast<int64_t>(tree_.size()) &&
+        tree_[static_cast<size_t>(next)] <= target) {
+      target -= tree_[static_cast<size_t>(next)];
+      pos = next;
+    }
+  }
+  return pos;  // 0-based rank
+}
+
+FrameId WeightedFrameSampler::Next(Rng* rng) {
+  assert(remaining_ > 0);
+  // Guard against floating-point drift pushing the draw past the end.
+  int64_t rank;
+  do {
+    const double target = rng->NextDouble() * total_weight_;
+    rank = FenwickSearch(target);
+  } while (weight_[static_cast<size_t>(rank)] == 0.0);
+  FenwickAdd(rank, -weight_[static_cast<size_t>(rank)]);
+  weight_[static_cast<size_t>(rank)] = 0.0;
+  --remaining_;
+  return frames_.At(rank);
+}
+
+std::unique_ptr<FrameSampler> MakeFrameSampler(WithinChunkStrategy strategy,
+                                               FrameRangeSet frames) {
+  switch (strategy) {
+    case WithinChunkStrategy::kUniform:
+      return std::make_unique<UniformFrameSampler>(std::move(frames));
+    case WithinChunkStrategy::kRandomPlus:
+      return std::make_unique<RandomPlusFrameSampler>(std::move(frames));
+  }
+  return nullptr;
+}
+
+}  // namespace video
+}  // namespace exsample

@@ -1,0 +1,133 @@
+// Within-chunk frame sampling strategies.
+//
+// The paper's Algorithm 1 line 7 calls chunks[j].sample(); §III-F refines
+// plain uniform sampling into "random+", which deliberately avoids sampling
+// temporally near previous samples: one random frame from each large block,
+// then one from each not-yet-visited half block, and so on until the chunk
+// is exhausted. Both strategies sample every frame exactly once before
+// running out (sampling without replacement).
+
+#ifndef EXSAMPLE_VIDEO_FRAME_SAMPLER_H_
+#define EXSAMPLE_VIDEO_FRAME_SAMPLER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "video/frame_range.h"
+
+namespace exsample {
+namespace video {
+
+/// Draws frames from a fixed population without replacement.
+class FrameSampler {
+ public:
+  virtual ~FrameSampler() = default;
+
+  /// Frames remaining to be drawn.
+  virtual int64_t remaining() const = 0;
+
+  bool exhausted() const { return remaining() == 0; }
+
+  /// Draws the next frame. Precondition: !exhausted().
+  virtual FrameId Next(Rng* rng) = 0;
+};
+
+/// Uniform sampling without replacement via sparse Fisher-Yates: O(1) memory
+/// per drawn sample, no materialized frame list, exact uniformity.
+class UniformFrameSampler : public FrameSampler {
+ public:
+  explicit UniformFrameSampler(FrameRangeSet frames);
+
+  int64_t remaining() const override { return remaining_; }
+  FrameId Next(Rng* rng) override;
+
+ private:
+  FrameRangeSet frames_;
+  std::unordered_map<int64_t, int64_t> displaced_;
+  int64_t remaining_;
+};
+
+/// "random+" sampling (§III-F): midpoint-halving stratification, exactly the
+/// paper's scheme — "sampling one random frame out of every hour, then
+/// sampling one frame out of every not-yet sampled half hour at random, and
+/// so on, until eventually sampling the full dataset."
+///
+/// The index space starts as `initial_segments` blocks; each round draws one
+/// random frame from every sample-free block (in random order), then halves
+/// all blocks at their midpoints — the half containing the earlier sample
+/// keeps it, the other half becomes sample-free and is drawn from in the
+/// next round. Early samples are therefore spread evenly across the whole
+/// chunk, and coverage remains exactly without-replacement.
+class RandomPlusFrameSampler : public FrameSampler {
+ public:
+  /// `initial_segments` controls the first round's stratification (e.g. one
+  /// segment per hour of video); 1 treats the whole chunk as a single
+  /// segment.
+  explicit RandomPlusFrameSampler(FrameRangeSet frames,
+                                  int64_t initial_segments = 1);
+
+  int64_t remaining() const override { return remaining_; }
+  FrameId Next(Rng* rng) override;
+
+ private:
+  struct Block {
+    int64_t lo;      // index-space [lo, hi)
+    int64_t hi;
+    int64_t sample;  // index of the sample inside, or -1 if sample-free
+  };
+
+  /// Halves sampled blocks until at least one sample-free block exists.
+  void Advance(Rng* rng);
+
+  FrameRangeSet frames_;
+  std::deque<Block> fresh_;      // sample-free blocks, this round, shuffled
+  std::vector<Block> sampled_;   // blocks holding one sample, size > 1
+  int64_t remaining_;
+};
+
+/// Weighted sampling without replacement: each frame is drawn with
+/// probability proportional to its weight among the not-yet-drawn frames
+/// (a Fenwick tree gives O(log n) draws). Supports the paper's §VII
+/// extension — score-guided sampling within a chunk — which leaves the
+/// chunk-level estimator theory intact ("the equations in section III
+/// remain valid even if sampling within a chunk is non-uniform").
+class WeightedFrameSampler : public FrameSampler {
+ public:
+  /// `weights[i]` weighs the frame of rank i; weights must be non-negative
+  /// and are floored at a small epsilon so every frame is eventually drawn.
+  WeightedFrameSampler(FrameRangeSet frames, std::vector<double> weights);
+
+  int64_t remaining() const override { return remaining_; }
+  FrameId Next(Rng* rng) override;
+
+ private:
+  void FenwickAdd(int64_t i, double delta);
+  double FenwickPrefix(int64_t i) const;  // sum of [0, i]
+  /// Smallest index with prefix sum > target.
+  int64_t FenwickSearch(double target) const;
+
+  FrameRangeSet frames_;
+  std::vector<double> weight_;  // current weight per rank (0 once drawn)
+  std::vector<double> tree_;    // Fenwick tree over weight_
+  double total_weight_ = 0.0;
+  int64_t remaining_;
+};
+
+/// Factory selector used by configuration structs.
+enum class WithinChunkStrategy {
+  kUniform,
+  kRandomPlus,
+};
+
+/// Creates the configured sampler over `frames`.
+std::unique_ptr<FrameSampler> MakeFrameSampler(WithinChunkStrategy strategy,
+                                               FrameRangeSet frames);
+
+}  // namespace video
+}  // namespace exsample
+
+#endif  // EXSAMPLE_VIDEO_FRAME_SAMPLER_H_

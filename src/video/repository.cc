@@ -1,0 +1,54 @@
+#include "video/repository.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exsample {
+namespace video {
+
+Result<VideoRepository> VideoRepository::Create(std::vector<VideoMeta> videos) {
+  if (videos.empty()) {
+    return Status::InvalidArgument("repository requires at least one video");
+  }
+  VideoRepository repo;
+  repo.videos_ = std::move(videos);
+  repo.starts_.reserve(repo.videos_.size());
+  int64_t cursor = 0;
+  for (const auto& v : repo.videos_) {
+    if (v.num_frames <= 0) {
+      return Status::InvalidArgument("video '" + v.name +
+                                     "' has no frames");
+    }
+    if (v.fps <= 0.0) {
+      return Status::InvalidArgument("video '" + v.name +
+                                     "' has non-positive fps");
+    }
+    if (v.keyframe_interval <= 0) {
+      return Status::InvalidArgument("video '" + v.name +
+                                     "' has non-positive keyframe interval");
+    }
+    repo.starts_.push_back(cursor);
+    cursor += v.num_frames;
+  }
+  repo.total_frames_ = cursor;
+  return repo;
+}
+
+FrameLocation VideoRepository::Locate(FrameId id) const {
+  assert(id >= 0 && id < total_frames_);
+  // Last start <= id.
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), id);
+  VideoIndex v = static_cast<VideoIndex>(it - starts_.begin() - 1);
+  return FrameLocation{v, id - starts_[v]};
+}
+
+double VideoRepository::TotalSeconds() const {
+  double total = 0.0;
+  for (const auto& v : videos_) {
+    total += static_cast<double>(v.num_frames) / v.fps;
+  }
+  return total;
+}
+
+}  // namespace video
+}  // namespace exsample

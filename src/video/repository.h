@@ -1,0 +1,57 @@
+// VideoRepository: a collection of video files addressed by one dense global
+// frame index, the address space every sampler operates on.
+
+#ifndef EXSAMPLE_VIDEO_REPOSITORY_H_
+#define EXSAMPLE_VIDEO_REPOSITORY_H_
+
+#include <vector>
+
+#include "util/status.h"
+#include "video/types.h"
+
+namespace exsample {
+namespace video {
+
+/// Location of a global frame inside a specific video file.
+struct FrameLocation {
+  VideoIndex video = 0;
+  int64_t local_frame = 0;
+};
+
+/// An immutable collection of videos with global frame addressing.
+class VideoRepository {
+ public:
+  /// Builds a repository; rejects empty input or videos with no frames.
+  static Result<VideoRepository> Create(std::vector<VideoMeta> videos);
+
+  int64_t total_frames() const { return total_frames_; }
+  size_t num_videos() const { return videos_.size(); }
+  const VideoMeta& video(VideoIndex i) const { return videos_[i]; }
+
+  /// Global index of the first frame of video i.
+  FrameId VideoStart(VideoIndex i) const { return starts_[i]; }
+
+  /// Maps a global frame id to (video, local frame). Precondition: id in
+  /// [0, total_frames()).
+  FrameLocation Locate(FrameId id) const;
+
+  /// Inverse of Locate.
+  FrameId GlobalIndex(VideoIndex video, int64_t local_frame) const {
+    return starts_[video] + local_frame;
+  }
+
+  /// Total wall-clock duration of the repository in seconds.
+  double TotalSeconds() const;
+
+ private:
+  VideoRepository() = default;
+
+  std::vector<VideoMeta> videos_;
+  std::vector<FrameId> starts_;  // starts_[i] = global id of video i frame 0
+  int64_t total_frames_ = 0;
+};
+
+}  // namespace video
+}  // namespace exsample
+
+#endif  // EXSAMPLE_VIDEO_REPOSITORY_H_

@@ -1,0 +1,36 @@
+// Basic identifiers for the simulated video repository.
+
+#ifndef EXSAMPLE_VIDEO_TYPES_H_
+#define EXSAMPLE_VIDEO_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace exsample {
+namespace video {
+
+/// Global frame index across the whole repository (dense, 0-based).
+using FrameId = int64_t;
+
+/// Index of a video file within its repository.
+using VideoIndex = int32_t;
+
+/// Chunk identifier (dense, 0-based, assigned by the chunking policy).
+using ChunkId = int32_t;
+
+/// Static description of one (simulated) video file. Real deployments would
+/// carry a path + container metadata; the sampler only ever consumes frame
+/// counts, frame rate and GOP structure, which is what we keep.
+struct VideoMeta {
+  std::string name;
+  int64_t num_frames = 0;
+  double fps = 30.0;
+  /// Keyframe (I-frame) period. The paper re-encodes video with a keyframe
+  /// every 20 frames to make random access cheap; that is our default too.
+  int32_t keyframe_interval = 20;
+};
+
+}  // namespace video
+}  // namespace exsample
+
+#endif  // EXSAMPLE_VIDEO_TYPES_H_

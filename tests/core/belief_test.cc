@@ -1,0 +1,85 @@
+#include "core/belief.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace exsample {
+namespace core {
+namespace {
+
+TEST(GammaBeliefTest, MeanMatchesEqIII1WithSmoothing) {
+  GammaBelief b;  // alpha0=0.1, beta0=1
+  // (N1 + .1)/(n + 1): paper's construction makes the mean ~ N1/n.
+  EXPECT_NEAR(b.Mean(10, 100), 10.1 / 101.0, 1e-12);
+  EXPECT_NEAR(b.Mean(0, 0), 0.1, 1e-12);
+}
+
+TEST(GammaBeliefTest, SampleMomentsMatchGamma) {
+  GammaBelief b;
+  Rng rng(1);
+  RunningStat s;
+  const int64_t n1 = 5, n = 50;
+  for (int i = 0; i < 100000; ++i) s.Add(b.Sample(n1, n, &rng));
+  // Gamma(5.1, 51): mean 0.1, var 5.1/51^2.
+  EXPECT_NEAR(s.mean(), 5.1 / 51.0, 0.002);
+  EXPECT_NEAR(s.variance(), 5.1 / (51.0 * 51.0), 0.0005);
+}
+
+TEST(GammaBeliefTest, ColdStartSamplesArePositiveAndDispersed) {
+  // N1=0, n=0: Gamma(0.1, 1) — heavily right-skewed with mass near 0 but
+  // occasional large draws; this is what breaks ties at the start and keeps
+  // exhausted-looking chunks occasionally re-explored.
+  GammaBelief b;
+  Rng rng(2);
+  int64_t big = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double x = b.Sample(0, 0, &rng);
+    EXPECT_GT(x, 0.0);
+    if (x > 0.5) ++big;
+  }
+  EXPECT_GT(big, 100);   // a few percent of draws are large
+  EXPECT_LT(big, 3000);  // but most are near zero
+}
+
+TEST(GammaBeliefTest, MoreEvidenceTightensBelief) {
+  GammaBelief b;
+  Rng rng(3);
+  RunningStat early, late;
+  for (int i = 0; i < 50000; ++i) {
+    early.Add(b.Sample(2, 20, &rng));    // same mean 0.1
+    late.Add(b.Sample(200, 2000, &rng)); // 100x the evidence
+  }
+  EXPECT_NEAR(early.mean(), late.mean(), 0.01);
+  EXPECT_GT(early.variance(), late.variance() * 20.0);
+}
+
+TEST(GammaBeliefTest, QuantileMonotoneInQ) {
+  GammaBelief b;
+  double q50 = b.Quantile(3, 30, 0.5);
+  double q90 = b.Quantile(3, 30, 0.9);
+  double q99 = b.Quantile(3, 30, 0.99);
+  EXPECT_LT(q50, q90);
+  EXPECT_LT(q90, q99);
+}
+
+TEST(GammaBeliefTest, VarianceMatchesEqIII3Bound) {
+  // Var[R̂] per Eq III.3 is bounded by E[R̂]/n. The Gamma construction has
+  // variance (N1+a0)/(n+b0)^2 = Mean/(n+b0) — i.e. it saturates the bound.
+  GammaBelief b;
+  const int64_t n1 = 7, n = 70;
+  double mean = b.Mean(n1, n);
+  double var = (static_cast<double>(n1) + 0.1) / (71.0 * 71.0);
+  EXPECT_NEAR(var, mean / 71.0, 1e-12);
+}
+
+TEST(GammaBeliefTest, CustomPriorParams) {
+  GammaBelief b(BeliefParams{1.0, 2.0});
+  EXPECT_NEAR(b.Mean(0, 0), 0.5, 1e-12);
+  EXPECT_EQ(b.params().alpha0, 1.0);
+  EXPECT_EQ(b.params().beta0, 2.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace exsample

@@ -1,0 +1,87 @@
+#include "core/chunk_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace core {
+namespace {
+
+TEST(ChunkStatsTest, StartsAtZero) {
+  ChunkStats s(4);
+  EXPECT_EQ(s.num_chunks(), 4);
+  for (int32_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(s.n1(j), 0);
+    EXPECT_EQ(s.n(j), 0);
+    EXPECT_EQ(s.PointEstimate(j), 0.0);
+  }
+  EXPECT_EQ(s.total_samples(), 0);
+}
+
+TEST(ChunkStatsTest, UpdateAccumulates) {
+  ChunkStats s(3);
+  s.Update(1, /*d0=*/2, /*d1=*/0);  // two new results
+  EXPECT_EQ(s.n1(1), 2);
+  EXPECT_EQ(s.n(1), 1);
+  s.Update(1, /*d0=*/0, /*d1=*/1);  // one result re-seen
+  EXPECT_EQ(s.n1(1), 1);
+  EXPECT_EQ(s.n(1), 2);
+  EXPECT_EQ(s.total_samples(), 2);
+  EXPECT_EQ(s.n(0), 0);
+}
+
+TEST(ChunkStatsTest, PointEstimateIsN1OverN) {
+  ChunkStats s(1);
+  s.Update(0, 3, 0);
+  s.Update(0, 0, 0);
+  EXPECT_DOUBLE_EQ(s.PointEstimate(0), 1.5);
+}
+
+TEST(ChunkStatsTest, CrossChunkSecondSightingCanGoNegative) {
+  // First sighting credited to chunk 0, second sighting sampled from chunk
+  // 1: chunk 1's raw N1 dips below zero (paper footnote 1); the clamped
+  // value used by the belief stays at 0.
+  ChunkStats s(2);
+  s.Update(0, 1, 0);
+  s.Update(1, 0, 1);
+  EXPECT_EQ(s.n1(1), -1);
+  EXPECT_EQ(s.ClampedN1(1), 0);
+  EXPECT_DOUBLE_EQ(s.PointEstimate(1), 0.0);
+  EXPECT_EQ(s.n1(0), 1);
+}
+
+TEST(ChunkStatsTest, MixedUpdateInOneFrame) {
+  ChunkStats s(1);
+  s.Update(0, 3, 2);  // three new objects, two second-sightings in one frame
+  EXPECT_EQ(s.n1(0), 1);
+  EXPECT_EQ(s.n(0), 1);
+}
+
+TEST(ChunkStatsTest, UpdateSplitCreditsFirstSightingChunk) {
+  ChunkStats s(3);
+  // Two objects first seen from a sample in chunk 0.
+  s.UpdateSplit(0, 2, {});
+  EXPECT_EQ(s.n1(0), 2);
+  // A sample in chunk 2 re-sees both: decrements go to chunk 0, not 2.
+  s.UpdateSplit(2, 0, {0, 0});
+  EXPECT_EQ(s.n1(0), 0);
+  EXPECT_EQ(s.n1(2), 0);
+  EXPECT_EQ(s.n(2), 1);
+  EXPECT_EQ(s.n(0), 1);
+  EXPECT_EQ(s.total_samples(), 2);
+}
+
+TEST(ChunkStatsTest, UpdateSplitKeepsN1NonNegativeUnderExactMatching) {
+  // With exact (oracle) matching, every -1 lands on a chunk that earlier
+  // received the +1 for the same object, so raw N1 never dips below zero.
+  ChunkStats s(2);
+  s.UpdateSplit(0, 1, {});   // object X first seen via chunk 0
+  s.UpdateSplit(1, 1, {});   // object Y first seen via chunk 1
+  s.UpdateSplit(1, 0, {0});  // X re-seen from chunk 1 -> decrement chunk 0
+  s.UpdateSplit(0, 0, {1});  // Y re-seen from chunk 0 -> decrement chunk 1
+  EXPECT_EQ(s.n1(0), 0);
+  EXPECT_EQ(s.n1(1), 0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace exsample

@@ -1,0 +1,173 @@
+#include "core/policy.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace core {
+namespace {
+
+std::vector<bool> AllAvailable(int32_t m) { return std::vector<bool>(m, true); }
+
+// Fraction of picks landing on each chunk across many draws.
+std::map<video::ChunkId, double> PickFractions(ChunkPolicy* policy,
+                                               const ChunkStats& stats,
+                                               const std::vector<bool>& avail,
+                                               int trials, uint64_t seed) {
+  Rng rng(seed);
+  std::map<video::ChunkId, int> counts;
+  for (int t = 0; t < trials; ++t) {
+    ++counts[policy->Pick(stats, avail, &rng)];
+  }
+  std::map<video::ChunkId, double> fractions;
+  for (auto& [j, c] : counts) {
+    fractions[j] = static_cast<double>(c) / trials;
+  }
+  return fractions;
+}
+
+TEST(ThompsonPolicyTest, ColdStartIsUniform) {
+  ThompsonPolicy policy;
+  ChunkStats stats(4);
+  auto f = PickFractions(&policy, stats, AllAvailable(4), 40000, 1);
+  for (int32_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(f[j], 0.25, 0.02) << j;
+  }
+}
+
+TEST(ThompsonPolicyTest, FavorsProductiveChunk) {
+  ThompsonPolicy policy;
+  ChunkStats stats(3);
+  // Chunk 0: 8 results in 10 samples. Chunks 1-2: nothing in 2 samples
+  // (little evidence -> they keep a meaningful exploration share).
+  for (int i = 0; i < 10; ++i) stats.Update(0, i < 8 ? 1 : 0, 0);
+  for (int i = 0; i < 2; ++i) {
+    stats.Update(1, 0, 0);
+    stats.Update(2, 0, 0);
+  }
+  auto f = PickFractions(&policy, stats, AllAvailable(3), 20000, 2);
+  EXPECT_GT(f[0], 0.80);
+  // But exploration never fully stops.
+  EXPECT_GT(f[1] + f[2], 0.002);
+}
+
+TEST(ThompsonPolicyTest, UncertaintyKeepsUndersampledChunksAlive) {
+  ThompsonPolicy policy;
+  ChunkStats stats(2);
+  // Chunk 0: solid evidence of rate ~0.1 (100 samples).
+  for (int i = 0; i < 100; ++i) stats.Update(0, i % 10 == 0 ? 1 : 0, 0);
+  // Chunk 1: one unlucky sample.
+  stats.Update(1, 0, 0);
+  auto f = PickFractions(&policy, stats, AllAvailable(2), 20000, 3);
+  // The near-unexplored chunk must retain a healthy share (no starvation),
+  // the behaviour §III-B motivates against the greedy estimate.
+  EXPECT_GT(f[1], 0.10);
+}
+
+TEST(ThompsonPolicyTest, RespectsAvailability) {
+  ThompsonPolicy policy;
+  ChunkStats stats(3);
+  // Make chunk 1 clearly the best, then mark it unavailable.
+  for (int i = 0; i < 20; ++i) stats.Update(1, 1, 0);
+  std::vector<bool> avail{true, false, true};
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(policy.Pick(stats, avail, &rng), 1);
+  }
+}
+
+TEST(GreedyPolicyTest, AlwaysPicksPointEstimateArgmax) {
+  GreedyPolicy policy;
+  ChunkStats stats(3);
+  stats.Update(0, 1, 0);  // estimate 1.0
+  stats.Update(1, 0, 0);  // estimate 0
+  stats.Update(2, 0, 0);  // estimate 0
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(policy.Pick(stats, AllAvailable(3), &rng), 0);
+  }
+}
+
+TEST(GreedyPolicyTest, GetsStuckOnLuckyChunk) {
+  // The §III-B failure mode: one lucky early result keeps greedy pinned to
+  // chunk 0 (estimate stays positive) while Thompson spreads out.
+  GreedyPolicy greedy;
+  ChunkStats stats(2);
+  stats.Update(0, 1, 0);   // lucky first sample
+  for (int i = 0; i < 50; ++i) stats.Update(0, 0, 0);  // then nothing
+  stats.Update(1, 0, 0);   // a single empty sample elsewhere
+  // Greedy still prefers 0 (1/52 > 0/1) deterministically.
+  Rng rng(6);
+  int chunk1_picks = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (greedy.Pick(stats, AllAvailable(2), &rng) == 1) ++chunk1_picks;
+  }
+  EXPECT_EQ(chunk1_picks, 0);
+  // Thompson, by contrast, explores chunk 1 substantially.
+  ThompsonPolicy thompson;
+  auto f = PickFractions(&thompson, stats, AllAvailable(2), 10000, 7);
+  EXPECT_GT(f[1], 0.2);
+}
+
+TEST(GreedyPolicyTest, TieBreaksUniformly) {
+  GreedyPolicy policy;
+  ChunkStats stats(4);  // all estimates 0
+  auto f = PickFractions(&policy, stats, AllAvailable(4), 40000, 8);
+  for (int32_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(f[j], 0.25, 0.02);
+  }
+}
+
+TEST(BayesUcbPolicyTest, FavorsProductiveChunk) {
+  BayesUcbPolicy policy;
+  ChunkStats stats(2);
+  for (int i = 0; i < 30; ++i) {
+    stats.Update(0, i % 2, 0);  // rate 0.5
+    stats.Update(1, 0, 0);      // rate 0
+  }
+  Rng rng(9);
+  int chunk0 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (policy.Pick(stats, AllAvailable(2), &rng) == 0) ++chunk0;
+  }
+  EXPECT_GT(chunk0, 990);
+}
+
+TEST(BayesUcbPolicyTest, ColdStartTieBreaksUniformly) {
+  BayesUcbPolicy policy;
+  ChunkStats stats(3);
+  auto f = PickFractions(&policy, stats, AllAvailable(3), 30000, 10);
+  for (int32_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(f[j], 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(UniformPolicyTest, IgnoresStats) {
+  UniformPolicy policy;
+  ChunkStats stats(2);
+  for (int i = 0; i < 50; ++i) stats.Update(0, 1, 0);
+  auto f = PickFractions(&policy, stats, AllAvailable(2), 20000, 11);
+  EXPECT_NEAR(f[0], 0.5, 0.02);
+}
+
+TEST(PickBatchTest, ReturnsRequestedSizeFromAvailable) {
+  ThompsonPolicy policy;
+  ChunkStats stats(3);
+  std::vector<bool> avail{true, false, true};
+  Rng rng(12);
+  auto batch = policy.PickBatch(stats, avail, 16, &rng);
+  EXPECT_EQ(batch.size(), 16u);
+  for (auto j : batch) EXPECT_NE(j, 1);
+}
+
+TEST(MakePolicyTest, FactoryCoversAllKinds) {
+  EXPECT_EQ(MakePolicy(PolicyKind::kThompson)->name(), "thompson");
+  EXPECT_EQ(MakePolicy(PolicyKind::kBayesUcb)->name(), "bayes_ucb");
+  EXPECT_EQ(MakePolicy(PolicyKind::kGreedy)->name(), "greedy");
+  EXPECT_EQ(MakePolicy(PolicyKind::kUniform)->name(), "uniform");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace exsample

@@ -1,0 +1,63 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace core {
+namespace {
+
+TEST(TrajectoryTest, EmptyTrajectory) {
+  Trajectory t;
+  EXPECT_EQ(t.CountAt(0), 0);
+  EXPECT_EQ(t.CountAt(1000), 0);
+  EXPECT_EQ(t.final_count(), 0);
+  EXPECT_EQ(t.SamplesToReach(1), -1);
+  EXPECT_EQ(t.SamplesToReach(0), 0);
+}
+
+TEST(TrajectoryTest, StepFunctionSemantics) {
+  Trajectory t;
+  t.Record(10, 1);
+  t.Record(25, 3);
+  t.Record(100, 4);
+  t.Finish(150);
+  EXPECT_EQ(t.CountAt(0), 0);
+  EXPECT_EQ(t.CountAt(9), 0);
+  EXPECT_EQ(t.CountAt(10), 1);
+  EXPECT_EQ(t.CountAt(24), 1);
+  EXPECT_EQ(t.CountAt(25), 3);
+  EXPECT_EQ(t.CountAt(99), 3);
+  EXPECT_EQ(t.CountAt(100), 4);
+  EXPECT_EQ(t.CountAt(1000000), 4);
+  EXPECT_EQ(t.final_count(), 4);
+}
+
+TEST(TrajectoryTest, SamplesToReach) {
+  Trajectory t;
+  t.Record(10, 2);
+  t.Record(50, 5);
+  EXPECT_EQ(t.SamplesToReach(1), 10);
+  EXPECT_EQ(t.SamplesToReach(2), 10);
+  EXPECT_EQ(t.SamplesToReach(3), 50);
+  EXPECT_EQ(t.SamplesToReach(5), 50);
+  EXPECT_EQ(t.SamplesToReach(6), -1);
+}
+
+TEST(TrajectoryTest, SameSampleOverwrites) {
+  Trajectory t;
+  t.Record(10, 1);
+  t.Record(10, 3);  // two results found in the same frame
+  EXPECT_EQ(t.CountAt(10), 3);
+  EXPECT_EQ(t.points().size(), 1u);
+}
+
+TEST(TrajectoryTest, FinishExtendsTotalSamples) {
+  Trajectory t;
+  t.Record(10, 1);
+  t.Finish(500);
+  EXPECT_EQ(t.total_samples(), 500);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace exsample

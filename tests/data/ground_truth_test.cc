@@ -1,0 +1,81 @@
+#include "data/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace data {
+namespace {
+
+ObjectInstance Inst(detect::InstanceId id, detect::ClassId cls,
+                    video::FrameId start, int64_t dur) {
+  ObjectInstance i;
+  i.id = id;
+  i.class_id = cls;
+  i.start_frame = start;
+  i.duration_frames = dur;
+  i.start_box = detect::BBox{0, 0, 10, 10};
+  return i;
+}
+
+GroundTruthIndex MakeIndex() {
+  // class 1: instances 0 [0,100), 1 [50,150), 2 [9000,9500)
+  // class 2: instance 3 [120, 130)
+  return GroundTruthIndex(
+      {Inst(0, 1, 0, 100), Inst(1, 1, 50, 100), Inst(2, 1, 9000, 500),
+       Inst(3, 2, 120, 10)},
+      10000, /*bucket_frames=*/128);
+}
+
+TEST(GroundTruthIndexTest, TrueObjectsAtFiltersClassAndVisibility) {
+  auto gt = MakeIndex();
+  EXPECT_EQ(gt.TrueObjectsAt(0, 1).size(), 1u);
+  EXPECT_EQ(gt.TrueObjectsAt(75, 1).size(), 2u);  // 0 and 1 overlap
+  EXPECT_EQ(gt.TrueObjectsAt(125, 1).size(), 1u);  // instance 1 only
+  EXPECT_EQ(gt.TrueObjectsAt(125, 2).size(), 1u);  // instance 3
+  EXPECT_TRUE(gt.TrueObjectsAt(200, 1).empty());
+  EXPECT_EQ(gt.TrueObjectsAt(9250, 1).size(), 1u);
+}
+
+TEST(GroundTruthIndexTest, OutOfRangeFramesAreEmpty) {
+  auto gt = MakeIndex();
+  EXPECT_TRUE(gt.TrueObjectsAt(-1, 1).empty());
+  EXPECT_TRUE(gt.TrueObjectsAt(10000, 1).empty());
+}
+
+TEST(GroundTruthIndexTest, BucketBoundariesAreSeamless) {
+  // Instance spanning bucket boundary at 128.
+  GroundTruthIndex gt({Inst(0, 1, 120, 20)}, 1000, 128);
+  for (video::FrameId f = 120; f < 140; ++f) {
+    EXPECT_EQ(gt.TrueObjectsAt(f, 1).size(), 1u) << f;
+  }
+  EXPECT_TRUE(gt.TrueObjectsAt(119, 1).empty());
+  EXPECT_TRUE(gt.TrueObjectsAt(140, 1).empty());
+}
+
+TEST(GroundTruthIndexTest, InstancesAtIgnoresClass) {
+  auto gt = MakeIndex();
+  EXPECT_EQ(gt.InstancesAt(125).size(), 2u);  // instance 1 (cls 1) + 3 (cls 2)
+}
+
+TEST(GroundTruthIndexTest, CountsAndLookups) {
+  auto gt = MakeIndex();
+  EXPECT_EQ(gt.NumInstances(1), 3);
+  EXPECT_EQ(gt.NumInstances(2), 1);
+  EXPECT_EQ(gt.NumInstances(99), 0);
+  EXPECT_EQ(gt.InstancesOfClass(1).size(), 3u);
+  ASSERT_NE(gt.FindInstance(2), nullptr);
+  EXPECT_EQ(gt.FindInstance(2)->start_frame, 9000);
+  EXPECT_EQ(gt.FindInstance(77), nullptr);
+}
+
+TEST(GroundTruthIndexTest, DetectionsCarryTrueBoxes) {
+  auto gt = MakeIndex();
+  auto dets = gt.TrueObjectsAt(0, 1);
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_EQ(dets[0].instance, 0);
+  EXPECT_EQ(dets[0].box, (detect::BBox{0, 0, 10, 10}));
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace exsample

@@ -1,0 +1,67 @@
+#include "data/instance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace data {
+namespace {
+
+ObjectInstance MakeInst() {
+  ObjectInstance inst;
+  inst.id = 5;
+  inst.class_id = 2;
+  inst.start_frame = 100;
+  inst.duration_frames = 50;
+  inst.start_box = detect::BBox{10.0, 20.0, 40.0, 60.0};
+  inst.vx = 2.0;
+  inst.vy = -1.0;
+  return inst;
+}
+
+TEST(ObjectInstanceTest, VisibilityWindow) {
+  auto inst = MakeInst();
+  EXPECT_EQ(inst.end_frame(), 150);
+  EXPECT_FALSE(inst.VisibleAt(99));
+  EXPECT_TRUE(inst.VisibleAt(100));
+  EXPECT_TRUE(inst.VisibleAt(149));
+  EXPECT_FALSE(inst.VisibleAt(150));
+}
+
+TEST(ObjectInstanceTest, BoxAtStartIsStartBox) {
+  auto inst = MakeInst();
+  EXPECT_EQ(inst.BoxAt(100), inst.start_box);
+}
+
+TEST(ObjectInstanceTest, LinearMotion) {
+  auto inst = MakeInst();
+  auto b = inst.BoxAt(110);  // 10 frames later
+  EXPECT_DOUBLE_EQ(b.cx(), inst.start_box.cx() + 20.0);
+  EXPECT_DOUBLE_EQ(b.cy(), inst.start_box.cy() - 10.0);
+  EXPECT_DOUBLE_EQ(b.w, 40.0);  // no growth
+}
+
+TEST(ObjectInstanceTest, GrowthScalesSize) {
+  auto inst = MakeInst();
+  inst.growth = 0.01;
+  auto b = inst.BoxAt(110);
+  EXPECT_NEAR(b.w, 40.0 * std::exp(0.1), 1e-9);
+  EXPECT_NEAR(b.h, 60.0 * std::exp(0.1), 1e-9);
+  // Center still follows the linear path.
+  EXPECT_NEAR(b.cx(), inst.start_box.cx() + 20.0, 1e-9);
+}
+
+TEST(ObjectInstanceTest, TrueDetectionCarriesIdentity) {
+  auto inst = MakeInst();
+  auto d = inst.TrueDetectionAt(120);
+  EXPECT_EQ(d.frame, 120);
+  EXPECT_EQ(d.class_id, 2);
+  EXPECT_EQ(d.instance, 5);
+  EXPECT_EQ(d.box, inst.BoxAt(120));
+  EXPECT_DOUBLE_EQ(d.score, 1.0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace exsample

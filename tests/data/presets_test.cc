@@ -1,0 +1,87 @@
+#include "data/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "data/statistics.h"
+
+namespace exsample {
+namespace data {
+namespace {
+
+TEST(PresetsTest, AllPresetsGenerate) {
+  for (const auto& name : PresetNames()) {
+    auto ds = MakePreset(name, /*scale=*/0.02, /*seed=*/1);
+    EXPECT_EQ(ds.name, name);
+    EXPECT_GT(ds.repo.total_frames(), 0);
+    EXPECT_GE(ds.chunks.size(), 1u);
+    EXPECT_FALSE(ds.classes.empty());
+    EXPECT_TRUE(
+        video::ValidateChunking(ds.chunks, ds.repo.total_frames()).ok());
+    for (const auto& cls : ds.classes) {
+      EXPECT_EQ(ds.ground_truth.NumInstances(cls.class_id),
+                cls.num_instances)
+          << name << "/" << cls.name;
+    }
+  }
+}
+
+TEST(PresetsTest, UnknownPresetAsserts) {
+  EXPECT_DEATH(MakePresetSpec("nope", 1.0), "unknown preset");
+}
+
+TEST(PresetsTest, PaperScaleStructure) {
+  // Structural checks at scale=1 without generating instances.
+  auto dashcam = MakePresetSpec("dashcam", 1.0);
+  EXPECT_EQ(dashcam.total_frames(), 12 * 90000);  // ~10 h at 30 fps
+  EXPECT_EQ(dashcam.chunk_frames, 36000);
+
+  auto bdd = MakePresetSpec("bdd1k", 1.0);
+  EXPECT_EQ(bdd.num_videos, 1000);
+  EXPECT_EQ(bdd.chunk_frames, 0);  // per-clip chunking
+
+  auto ams = MakePresetSpec("amsterdam", 1.0);
+  EXPECT_EQ(ams.total_frames(), 2160000);  // 20 h at 30 fps
+}
+
+TEST(PresetsTest, ScaleShrinksClipDatasetsByDroppingClips) {
+  auto spec = MakePresetSpec("bdd1k", 0.1);
+  EXPECT_EQ(spec.num_videos, 100);
+  EXPECT_EQ(spec.frames_per_video, 1200);  // clip length unchanged
+}
+
+TEST(PresetsTest, ScaleShrinksLongVideoDatasets) {
+  auto spec = MakePresetSpec("amsterdam", 0.1);
+  EXPECT_EQ(spec.num_videos, 1);
+  EXPECT_EQ(spec.frames_per_video, 216000);
+}
+
+TEST(PresetsTest, Fig6AnchorsHaveExpectedSkewOrdering) {
+  // Measured skew metric S must reproduce the Fig 6 ordering:
+  // dashcam/bicycle >> bdd1k/motor-level > night_street/person >
+  // amsterdam/boat ~ archie/car ~ 1.
+  const double scale = 0.25;
+  auto dashcam = MakePreset("dashcam", scale, 2);
+  auto night = MakePreset("night_street", scale, 2);
+  auto archie = MakePreset("archie", scale, 2);
+  auto ams = MakePreset("amsterdam", scale, 2);
+
+  double s_bicycle = SkewMetric(
+      ChunkInstanceCounts(dashcam, dashcam.FindClass("bicycle")->class_id));
+  double s_person = SkewMetric(
+      ChunkInstanceCounts(night, night.FindClass("person")->class_id));
+  double s_car =
+      SkewMetric(ChunkInstanceCounts(archie, archie.FindClass("car")->class_id));
+  double s_boat =
+      SkewMetric(ChunkInstanceCounts(ams, ams.FindClass("boat")->class_id));
+
+  EXPECT_GT(s_bicycle, 5.0);
+  EXPECT_GT(s_person, 2.0);
+  EXPECT_LT(s_car, 1.6);
+  EXPECT_LT(s_boat, 2.5);
+  EXPECT_GT(s_bicycle, s_person);
+  EXPECT_GT(s_person, s_car);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace exsample

@@ -1,0 +1,91 @@
+#include "data/statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace data {
+namespace {
+
+// Hand-built dataset: 1000 frames, 4 chunks of 250.
+Dataset TinyDataset(std::vector<ObjectInstance> instances) {
+  auto repo =
+      video::VideoRepository::Create({video::VideoMeta{"v", 1000}}).value();
+  auto chunks = video::MakeUniformChunks(1000, 4);
+  GroundTruthIndex gt(std::move(instances), 1000);
+  return Dataset{"tiny", std::move(repo), std::move(chunks), std::move(gt),
+                 {}};
+}
+
+ObjectInstance Inst(detect::InstanceId id, video::FrameId start, int64_t dur,
+                    detect::ClassId cls = 0) {
+  ObjectInstance i;
+  i.id = id;
+  i.class_id = cls;
+  i.start_frame = start;
+  i.duration_frames = dur;
+  return i;
+}
+
+TEST(InstanceChunkProbsTest, SingleChunkInstance) {
+  auto ds = TinyDataset({Inst(0, 100, 50)});
+  auto probs = ComputeInstanceChunkProbs(ds, 0);
+  ASSERT_EQ(probs.size(), 1u);
+  ASSERT_EQ(probs[0].probs.size(), 1u);
+  EXPECT_EQ(probs[0].probs[0].first, 0);
+  EXPECT_DOUBLE_EQ(probs[0].probs[0].second, 50.0 / 250.0);
+}
+
+TEST(InstanceChunkProbsTest, SpanningInstanceSplitsAcrossChunks) {
+  // [200, 300) overlaps chunk 0 by 50 and chunk 1 by 50.
+  auto ds = TinyDataset({Inst(0, 200, 100)});
+  auto probs = ComputeInstanceChunkProbs(ds, 0);
+  ASSERT_EQ(probs[0].probs.size(), 2u);
+  EXPECT_DOUBLE_EQ(probs[0].probs[0].second, 50.0 / 250.0);
+  EXPECT_DOUBLE_EQ(probs[0].probs[1].second, 50.0 / 250.0);
+}
+
+TEST(InstanceChunkProbsTest, FiltersByClass) {
+  auto ds = TinyDataset({Inst(0, 0, 10, 0), Inst(1, 0, 10, 1)});
+  EXPECT_EQ(ComputeInstanceChunkProbs(ds, 0).size(), 1u);
+  EXPECT_EQ(ComputeInstanceChunkProbs(ds, 1).size(), 1u);
+  EXPECT_TRUE(ComputeInstanceChunkProbs(ds, 2).empty());
+}
+
+TEST(ChunkInstanceCountsTest, MidpointAttribution) {
+  // Midpoints: 125 (chunk 0), 250 (chunk 1), 999 (chunk 3).
+  auto ds = TinyDataset({Inst(0, 100, 50), Inst(1, 225, 50), Inst(2, 998, 2)});
+  auto counts = ChunkInstanceCounts(ds, 0);
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_EQ(counts[3], 1);
+}
+
+TEST(SkewMetricTest, UniformIsOne) {
+  EXPECT_DOUBLE_EQ(SkewMetric({10, 10, 10, 10}), 1.0);
+  // 4 chunks, need 2 to cover half -> 4/(2*2) = 1.
+}
+
+TEST(SkewMetricTest, AllInOneChunkIsMHalf) {
+  EXPECT_DOUBLE_EQ(SkewMetric({100, 0, 0, 0}), 2.0);          // 4/(2*1)
+  EXPECT_DOUBLE_EQ(SkewMetric({100, 0, 0, 0, 0, 0, 0, 0}), 4.0);  // 8/2
+}
+
+TEST(SkewMetricTest, ModerateSkew) {
+  // total=100, half=50: sorted 40,30,... -> k=2. S = 5/(2*2) = 1.25.
+  EXPECT_DOUBLE_EQ(SkewMetric({30, 40, 10, 10, 10}), 1.25);
+}
+
+TEST(SkewMetricTest, EmptyCountsGiveOne) {
+  EXPECT_DOUBLE_EQ(SkewMetric({0, 0, 0}), 1.0);
+}
+
+TEST(SkewMetricTest, OddTotalRoundsHalfUp) {
+  // total=3, half=2 -> k=2 (counts 1,1,1): S = 3/4.
+  EXPECT_DOUBLE_EQ(SkewMetric({1, 1, 1}), 0.75);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace exsample

@@ -1,0 +1,158 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace exsample {
+namespace data {
+namespace {
+
+DatasetSpec SmallSpec() {
+  DatasetSpec s;
+  s.name = "test";
+  s.num_videos = 4;
+  s.frames_per_video = 10000;
+  s.chunk_frames = 5000;
+  ClassSpec c;
+  c.class_id = 0;
+  c.name = "widget";
+  c.num_instances = 500;
+  c.mean_duration_frames = 100.0;
+  c.placement = Placement::kUniform;
+  s.classes.push_back(c);
+  return s;
+}
+
+TEST(GenerateDatasetTest, StructureMatchesSpec) {
+  auto ds = GenerateDataset(SmallSpec(), 1);
+  EXPECT_EQ(ds.repo.total_frames(), 40000);
+  EXPECT_EQ(ds.chunks.size(), 8u);  // 4 videos x 2 chunks
+  EXPECT_EQ(ds.ground_truth.NumInstances(0), 500);
+  EXPECT_EQ(ds.name, "test");
+  ASSERT_NE(ds.FindClass("widget"), nullptr);
+  EXPECT_EQ(ds.FindClass("widget")->class_id, 0);
+  EXPECT_EQ(ds.FindClass("missing"), nullptr);
+}
+
+TEST(GenerateDatasetTest, DeterministicInSeed) {
+  auto a = GenerateDataset(SmallSpec(), 7);
+  auto b = GenerateDataset(SmallSpec(), 7);
+  ASSERT_EQ(a.ground_truth.instances().size(),
+            b.ground_truth.instances().size());
+  for (size_t i = 0; i < a.ground_truth.instances().size(); ++i) {
+    EXPECT_EQ(a.ground_truth.instances()[i].start_frame,
+              b.ground_truth.instances()[i].start_frame);
+    EXPECT_EQ(a.ground_truth.instances()[i].duration_frames,
+              b.ground_truth.instances()[i].duration_frames);
+  }
+  auto c = GenerateDataset(SmallSpec(), 8);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.ground_truth.instances().size(); ++i) {
+    if (a.ground_truth.instances()[i].start_frame !=
+        c.ground_truth.instances()[i].start_frame) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GenerateDatasetTest, InstancesStayInsideFrameAxis) {
+  auto ds = GenerateDataset(SmallSpec(), 3);
+  for (const auto& inst : ds.ground_truth.instances()) {
+    EXPECT_GE(inst.start_frame, 0);
+    EXPECT_LE(inst.end_frame(), ds.repo.total_frames());
+    EXPECT_GE(inst.duration_frames, 1);
+  }
+}
+
+TEST(GenerateDatasetTest, DurationsMatchLogNormalMean) {
+  auto spec = SmallSpec();
+  spec.classes[0].num_instances = 5000;
+  spec.classes[0].mean_duration_frames = 120.0;
+  auto ds = GenerateDataset(spec, 5);
+  RunningStat s;
+  for (const auto& inst : ds.ground_truth.instances()) {
+    s.Add(static_cast<double>(inst.duration_frames));
+  }
+  EXPECT_NEAR(s.mean(), 120.0, 10.0);
+  // The lognormal shape gives a wide min-max spread (paper §III-A: tens to
+  // thousands of frames within one class).
+  EXPECT_LT(s.min(), 40.0);
+  EXPECT_GT(s.max(), 400.0);
+}
+
+TEST(SamplePlacementTest, UniformCoversWholeAxis) {
+  ClassSpec c;
+  c.placement = Placement::kUniform;
+  Rng rng(1);
+  Histogram h(0, 10000, 10);
+  for (int i = 0; i < 20000; ++i) {
+    auto f = SamplePlacement(c, 10000, &rng);
+    ASSERT_GE(f, 0);
+    ASSERT_LT(f, 10000);
+    h.Add(static_cast<double>(f));
+  }
+  for (size_t b = 0; b < h.bins(); ++b) {
+    EXPECT_NEAR(h.count(b), 2000, 250) << b;
+  }
+}
+
+TEST(SamplePlacementTest, NormalConcentratesAroundCenter) {
+  ClassSpec c;
+  c.placement = Placement::kNormal;
+  c.center_fraction = 0.5;
+  c.stddev_fraction = 0.05;
+  Rng rng(2);
+  int64_t inside = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto f = SamplePlacement(c, 10000, &rng);
+    ASSERT_GE(f, 0);
+    ASSERT_LT(f, 10000);
+    // Central 2-sigma band: [4000, 6000].
+    if (f >= 4000 && f < 6000) ++inside;
+  }
+  EXPECT_GT(inside, n * 0.90);  // ~95.4% expected
+}
+
+TEST(SamplePlacementTest, RegionsFollowWeights) {
+  ClassSpec c;
+  c.placement = Placement::kRegions;
+  c.region_weights = {1.0, 0.0, 3.0, 0.0};  // regions of 2500 frames each
+  Rng rng(3);
+  int64_t r0 = 0, r2 = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    auto f = SamplePlacement(c, 10000, &rng);
+    if (f < 2500) {
+      ++r0;
+    } else if (f >= 5000 && f < 7500) {
+      ++r2;
+    } else {
+      FAIL() << "sample landed in zero-weight region: " << f;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(r0) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(r2) / n, 0.75, 0.01);
+}
+
+TEST(GenerateDatasetTest, SkewedClassConcentratesInstances) {
+  auto spec = SmallSpec();
+  spec.classes[0].placement = Placement::kNormal;
+  spec.classes[0].stddev_fraction = 0.03;
+  auto ds = GenerateDataset(spec, 11);
+  int64_t central = 0;
+  for (const auto& inst : ds.ground_truth.instances()) {
+    video::FrameId mid = inst.start_frame + inst.duration_frames / 2;
+    if (mid >= 16000 && mid < 24000) ++central;  // central 20%
+  }
+  EXPECT_GT(central, 450);  // nearly all of the 500
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace exsample

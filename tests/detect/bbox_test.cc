@@ -1,0 +1,74 @@
+#include "detect/bbox.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace detect {
+namespace {
+
+TEST(BBoxTest, AreaAndCenter) {
+  BBox b{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(b.area(), 1200.0);
+  EXPECT_DOUBLE_EQ(b.cx(), 25.0);
+  EXPECT_DOUBLE_EQ(b.cy(), 40.0);
+}
+
+TEST(BBoxTest, DegenerateArea) {
+  EXPECT_EQ((BBox{0, 0, 0, 10}.area()), 0.0);
+  EXPECT_EQ((BBox{0, 0, -5, 10}.area()), 0.0);
+}
+
+TEST(IoUTest, IdenticalBoxes) {
+  BBox b{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(IoU(b, b), 1.0);
+}
+
+TEST(IoUTest, DisjointBoxes) {
+  EXPECT_DOUBLE_EQ(IoU(BBox{0, 0, 10, 10}, BBox{20, 20, 10, 10}), 0.0);
+  // Touching edges share no area.
+  EXPECT_DOUBLE_EQ(IoU(BBox{0, 0, 10, 10}, BBox{10, 0, 10, 10}), 0.0);
+}
+
+TEST(IoUTest, HalfOverlap) {
+  // Two 10x10 boxes overlapping in a 5x10 strip: IoU = 50 / 150.
+  EXPECT_NEAR(IoU(BBox{0, 0, 10, 10}, BBox{5, 0, 10, 10}), 50.0 / 150.0,
+              1e-12);
+}
+
+TEST(IoUTest, ContainedBox) {
+  // 5x5 inside 10x10: IoU = 25/100.
+  EXPECT_NEAR(IoU(BBox{0, 0, 10, 10}, BBox{2, 2, 5, 5}), 0.25, 1e-12);
+}
+
+TEST(IoUTest, Symmetric) {
+  BBox a{1, 2, 7, 4}, b{3, 3, 5, 9};
+  EXPECT_DOUBLE_EQ(IoU(a, b), IoU(b, a));
+}
+
+TEST(IoUTest, DegenerateBoxesGiveZero) {
+  EXPECT_DOUBLE_EQ(IoU(BBox{0, 0, 0, 0}, BBox{0, 0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(IoU(BBox{0, 0, 0, 0}, BBox{0, 0, 10, 10}), 0.0);
+}
+
+TEST(InterpolateTest, EndpointsAndMidpoint) {
+  BBox a{0, 0, 10, 10}, b{10, 20, 20, 40};
+  EXPECT_EQ(Interpolate(a, b, 0.0), a);
+  EXPECT_EQ(Interpolate(a, b, 1.0), b);
+  BBox mid = Interpolate(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.x, 5.0);
+  EXPECT_DOUBLE_EQ(mid.y, 10.0);
+  EXPECT_DOUBLE_EQ(mid.w, 15.0);
+  EXPECT_DOUBLE_EQ(mid.h, 25.0);
+}
+
+TEST(InterpolateTest, Extrapolation) {
+  BBox a{0, 0, 10, 10}, b{10, 0, 10, 10};
+  BBox beyond = Interpolate(a, b, 2.0);
+  EXPECT_DOUBLE_EQ(beyond.x, 20.0);
+  BBox before = Interpolate(a, b, -1.0);
+  EXPECT_DOUBLE_EQ(before.x, -10.0);
+}
+
+}  // namespace
+}  // namespace detect
+}  // namespace exsample

@@ -1,0 +1,139 @@
+#include "detect/simulated_detector.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "detect/cost_model.h"
+
+namespace exsample {
+namespace detect {
+namespace {
+
+// Fake oracle: instance i (0..num_objects-1) is visible in frames
+// [100*i, 100*i + 50) with a fixed box.
+class FakeOracle : public FrameOracle {
+ public:
+  explicit FakeOracle(int num_objects) : num_objects_(num_objects) {}
+
+  std::vector<Detection> TrueObjectsAt(video::FrameId frame,
+                                       ClassId class_id) const override {
+    std::vector<Detection> out;
+    for (int i = 0; i < num_objects_; ++i) {
+      if (frame >= 100 * i && frame < 100 * i + 50) {
+        Detection d;
+        d.frame = frame;
+        d.class_id = class_id;
+        d.instance = i;
+        d.box = BBox{100.0 * i, 50.0, 40.0, 80.0};
+        out.push_back(d);
+      }
+    }
+    return out;
+  }
+
+ private:
+  int num_objects_;
+};
+
+TEST(SimulatedDetectorTest, PerfectDetectorReturnsTruth) {
+  FakeOracle oracle(3);
+  SimulatedDetector det(&oracle, 1, PerfectDetectorConfig(), 42);
+  auto dets = det.Detect(10);
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_EQ(dets[0].instance, 0);
+  EXPECT_EQ(dets[0].box, (BBox{0.0, 50.0, 40.0, 80.0}));
+  EXPECT_TRUE(det.Detect(60).empty());  // gap between objects 0 and 1
+  EXPECT_EQ(det.frames_processed(), 2);
+}
+
+TEST(SimulatedDetectorTest, DetectionIsDeterministicPerFrame) {
+  FakeOracle oracle(3);
+  DetectorConfig cfg;
+  cfg.miss_rate = 0.3;
+  cfg.box_jitter = 0.1;
+  cfg.false_positive_rate = 0.5;
+  SimulatedDetector a(&oracle, 1, cfg, 7);
+  SimulatedDetector b(&oracle, 1, cfg, 7);
+  for (video::FrameId f : {0, 10, 120, 240}) {
+    auto da = a.Detect(f);
+    auto db = b.Detect(f);
+    ASSERT_EQ(da.size(), db.size()) << "frame " << f;
+    for (size_t i = 0; i < da.size(); ++i) {
+      EXPECT_EQ(da[i].instance, db[i].instance);
+      EXPECT_EQ(da[i].box, db[i].box);
+    }
+  }
+}
+
+TEST(SimulatedDetectorTest, DifferentSeedsDiffer) {
+  FakeOracle oracle(1);
+  DetectorConfig cfg;
+  cfg.miss_rate = 0.5;
+  SimulatedDetector a(&oracle, 1, cfg, 1);
+  SimulatedDetector b(&oracle, 1, cfg, 2);
+  int diffs = 0;
+  for (video::FrameId f = 0; f < 50; ++f) {
+    if (a.Detect(f).size() != b.Detect(f).size()) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(SimulatedDetectorTest, MissRateIsRespected) {
+  FakeOracle oracle(1);
+  DetectorConfig cfg = PerfectDetectorConfig();
+  cfg.miss_rate = 0.3;
+  SimulatedDetector det(&oracle, 1, cfg, 11);
+  int found = 0;
+  for (video::FrameId f = 0; f < 50; ++f) {
+    found += static_cast<int>(det.Detect(f).size());
+  }
+  // 50 visible frames, ~70% detected.
+  EXPECT_NEAR(found, 35, 12);
+  EXPECT_GT(found, 0);
+  EXPECT_LT(found, 50);
+}
+
+TEST(SimulatedDetectorTest, FalsePositivesHaveNoInstance) {
+  FakeOracle oracle(0);
+  DetectorConfig cfg = PerfectDetectorConfig();
+  cfg.false_positive_rate = 2.0;
+  SimulatedDetector det(&oracle, 1, cfg, 13);
+  int total_fps = 0;
+  for (video::FrameId f = 0; f < 200; ++f) {
+    for (const auto& d : det.Detect(f)) {
+      EXPECT_EQ(d.instance, kNoInstance);
+      EXPECT_GE(d.box.x, 0.0);
+      EXPECT_LE(d.box.x + d.box.w, cfg.frame_width + 1e-9);
+      ++total_fps;
+    }
+  }
+  EXPECT_NEAR(total_fps, 400, 80);  // Poisson(2) over 200 frames
+}
+
+TEST(SimulatedDetectorTest, JitterPerturbsBoxes) {
+  FakeOracle oracle(1);
+  DetectorConfig cfg = PerfectDetectorConfig();
+  cfg.box_jitter = 0.1;
+  SimulatedDetector det(&oracle, 1, cfg, 17);
+  auto dets = det.Detect(0);
+  ASSERT_EQ(dets.size(), 1u);
+  BBox truth{0.0, 50.0, 40.0, 80.0};
+  EXPECT_NE(dets[0].box, truth);
+  // But still heavily overlapping.
+  EXPECT_GT(IoU(dets[0].box, truth), 0.5);
+}
+
+TEST(ThroughputModelTest, PaperRates) {
+  ThroughputModel m = PaperThroughputModel();
+  // 1000 frames at 20 fps = 50 s of sampling.
+  EXPECT_DOUBLE_EQ(m.SampleSeconds(1000), 50.0);
+  // A full scan of 100k frames at 100 fps = 1000 s.
+  EXPECT_DOUBLE_EQ(m.ScanSeconds(100000), 1000.0);
+  // Sampling a frame costs 5x scanning it, the asymmetry behind Table I.
+  EXPECT_DOUBLE_EQ(m.SampleSeconds(1) / m.ScanSeconds(1), 5.0);
+}
+
+}  // namespace
+}  // namespace detect
+}  // namespace exsample

@@ -1,0 +1,115 @@
+#include "optimal/weights.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace optimal {
+namespace {
+
+TEST(ProjectToSimplexTest, AlreadyOnSimplex) {
+  auto w = ProjectToSimplex({0.25, 0.25, 0.25, 0.25});
+  for (double x : w) EXPECT_NEAR(x, 0.25, 1e-12);
+}
+
+TEST(ProjectToSimplexTest, SumsToOneAndNonNegative) {
+  for (auto v : {std::vector<double>{3.0, -1.0, 0.5},
+                 std::vector<double>{0.0, 0.0, 0.0},
+                 std::vector<double>{10.0, 10.0},
+                 std::vector<double>{-5.0, -5.0, -5.0, 100.0}}) {
+    auto w = ProjectToSimplex(v);
+    double sum = 0.0;
+    for (double x : w) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(ProjectToSimplexTest, DominantCoordinateWins) {
+  auto w = ProjectToSimplex({100.0, 0.0, 0.0});
+  EXPECT_NEAR(w[0], 1.0, 1e-9);
+  EXPECT_NEAR(w[1], 0.0, 1e-9);
+}
+
+TEST(ExpectedResultsTest, ClosedFormSingleInstance) {
+  // One instance fully inside chunk 0 of 2, p = 0.1 when sampling chunk 0.
+  std::vector<SparseProbs> inst{{{0, 0.1}}};
+  std::vector<double> w{0.5, 0.5};
+  // Effective per-sample probability 0.05.
+  EXPECT_NEAR(ExpectedResults(inst, w, 10.0),
+              1.0 - std::pow(0.95, 10.0), 1e-12);
+  // All weight on chunk 0:
+  EXPECT_NEAR(ExpectedResults(inst, {1.0, 0.0}, 10.0),
+              1.0 - std::pow(0.9, 10.0), 1e-12);
+}
+
+TEST(ExpectedResultsTest, ZeroSamplesIsZero) {
+  std::vector<SparseProbs> inst{{{0, 0.5}}};
+  EXPECT_DOUBLE_EQ(ExpectedResults(inst, {1.0}, 0.0), 0.0);
+}
+
+TEST(ExpectedResultsTest, SaturatesAtInstanceCount) {
+  std::vector<SparseProbs> inst{{{0, 0.9}}, {{0, 0.8}}};
+  EXPECT_NEAR(ExpectedResults(inst, {1.0}, 1e6), 2.0, 1e-9);
+}
+
+TEST(OptimalWeightsTest, AllMassOnOnlyProductiveChunk) {
+  // All instances live in chunk 1 of 4: optimal weights put everything there.
+  std::vector<SparseProbs> instances;
+  for (int i = 0; i < 20; ++i) instances.push_back({{1, 0.01}});
+  auto w = OptimalWeights(instances, 4, 100.0);
+  EXPECT_GT(w[1], 0.99);
+}
+
+TEST(OptimalWeightsTest, SymmetricChunksGetEqualWeights) {
+  std::vector<SparseProbs> instances;
+  for (int i = 0; i < 10; ++i) {
+    instances.push_back({{0, 0.02}});
+    instances.push_back({{1, 0.02}});
+  }
+  auto w = OptimalWeights(instances, 2, 50.0);
+  EXPECT_NEAR(w[0], 0.5, 0.02);
+  EXPECT_NEAR(w[1], 0.5, 0.02);
+}
+
+TEST(OptimalWeightsTest, BeatsUniformOnSkewedData) {
+  // 90% of instances in chunk 0 (of 8).
+  std::vector<SparseProbs> instances;
+  for (int i = 0; i < 90; ++i) instances.push_back({{0, 0.005}});
+  for (int i = 0; i < 10; ++i) {
+    instances.push_back({{1 + i % 7, 0.005}});
+  }
+  const double n = 500.0;
+  auto w = OptimalWeights(instances, 8, n);
+  std::vector<double> uniform(8, 1.0 / 8.0);
+  EXPECT_GT(ExpectedResults(instances, w, n),
+            ExpectedResults(instances, uniform, n) * 1.3);
+  EXPECT_GT(w[0], 0.5);
+}
+
+TEST(OptimalWeightsTest, BudgetChangesOptimalAllocation) {
+  // Small budget: focus on the dense chunk. Large budget: the dense chunk
+  // saturates and weight spreads to the sparse chunk.
+  std::vector<SparseProbs> instances;
+  for (int i = 0; i < 50; ++i) instances.push_back({{0, 0.05}});
+  for (int i = 0; i < 50; ++i) instances.push_back({{1, 0.001}});
+  auto w_small = OptimalWeights(instances, 2, 50.0);
+  auto w_large = OptimalWeights(instances, 2, 20000.0);
+  EXPECT_GT(w_small[0], w_large[0]);
+  EXPECT_GT(w_large[1], 0.5);
+}
+
+TEST(ExpectedResultsUniformTest, MatchesManualWeights) {
+  std::vector<SparseProbs> inst{{{0, 0.1}}, {{1, 0.2}}};
+  std::vector<int64_t> sizes{300, 100};  // chunk 0 is 3x larger
+  double got = ExpectedResultsUniform(inst, sizes, 10.0);
+  double want = ExpectedResults(inst, {0.75, 0.25}, 10.0);
+  EXPECT_NEAR(got, want, 1e-12);
+}
+
+}  // namespace
+}  // namespace optimal
+}  // namespace exsample

@@ -1,0 +1,217 @@
+#include "sim/chunked_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/savings.h"
+#include "util/stats.h"
+
+namespace exsample {
+namespace sim {
+namespace {
+
+WorkloadParams SmallParams(double skew = 1.0 / 32.0) {
+  WorkloadParams p;
+  p.num_instances = 500;
+  p.num_frames = 1'000'000;
+  p.mean_duration = 700.0;
+  p.skew_fraction = skew;
+  return p;
+}
+
+TEST(MakeWorkloadTest, RespectsBounds) {
+  Rng rng(1);
+  auto w = MakeWorkload(SmallParams(), &rng);
+  EXPECT_EQ(w.instances.size(), 500u);
+  for (const auto& inst : w.instances) {
+    EXPECT_GE(inst.start, 0);
+    EXPECT_LE(inst.end(), w.num_frames);
+    EXPECT_GE(inst.duration, 1);
+  }
+}
+
+TEST(MakeWorkloadTest, SkewConcentratesInstances) {
+  Rng rng(2);
+  auto skewed = MakeWorkload(SmallParams(1.0 / 32.0), &rng);
+  int64_t inside = 0;
+  const int64_t lo = skewed.num_frames / 2 - skewed.num_frames / 64;
+  const int64_t hi = skewed.num_frames / 2 + skewed.num_frames / 64;
+  for (const auto& inst : skewed.instances) {
+    int64_t mid = inst.start + inst.duration / 2;
+    if (mid >= lo && mid < hi) ++inside;
+  }
+  // ~95% of instances within the central 1/32.
+  EXPECT_GT(inside, 450);
+}
+
+TEST(MakeWorkloadTest, UniformSpreadsInstances) {
+  Rng rng(3);
+  auto w = MakeWorkload(SmallParams(0.0), &rng);
+  int64_t first_half = 0;
+  for (const auto& inst : w.instances) {
+    if (inst.start + inst.duration / 2 < w.num_frames / 2) ++first_half;
+  }
+  EXPECT_NEAR(first_half, 250, 60);
+}
+
+TEST(MakeWorkloadTest, DurationSpreadMatchesPaper) {
+  // Mean 700 with sigma 0.75 -> roughly 50..5000 span (§IV-B).
+  Rng rng(4);
+  WorkloadParams p = SmallParams();
+  p.num_instances = 3000;
+  auto w = MakeWorkload(p, &rng);
+  RunningStat s;
+  for (const auto& inst : w.instances) {
+    s.Add(static_cast<double>(inst.duration));
+  }
+  EXPECT_NEAR(s.mean(), 700.0, 60.0);
+  EXPECT_LT(s.min(), 120.0);
+  EXPECT_GT(s.max(), 2500.0);
+}
+
+TEST(UniformChunkSizesTest, SumAndBalance) {
+  auto sizes = UniformChunkSizes(1003, 8);
+  int64_t sum = 0;
+  for (auto s : sizes) {
+    sum += s;
+    EXPECT_GE(s, 1003 / 8);
+    EXPECT_LE(s, 1003 / 8 + 1);
+  }
+  EXPECT_EQ(sum, 1003);
+}
+
+TEST(WorkloadChunkProbsTest, ProbsAreConsistent) {
+  SimWorkload w;
+  w.num_frames = 1000;
+  w.instances = {SimInstance{100, 50}, SimInstance{240, 20}};
+  auto probs = WorkloadChunkProbs(w, 4);  // chunks of 250
+  ASSERT_EQ(probs.size(), 2u);
+  // Instance 0 entirely in chunk 0: p = 50/250.
+  ASSERT_EQ(probs[0].size(), 1u);
+  EXPECT_EQ(probs[0][0].first, 0);
+  EXPECT_DOUBLE_EQ(probs[0][0].second, 0.2);
+  // Instance 1 [240,260) spans chunks 0 and 1: 10/250 each.
+  ASSERT_EQ(probs[1].size(), 2u);
+  EXPECT_DOUBLE_EQ(probs[1][0].second, 10.0 / 250.0);
+  EXPECT_DOUBLE_EQ(probs[1][1].second, 10.0 / 250.0);
+}
+
+TEST(RunSimTrialTest, TrajectoryIsMonotoneAndBounded) {
+  Rng rng(5);
+  auto w = MakeWorkload(SmallParams(), &rng);
+  SimConfig cfg;
+  cfg.max_samples = 3000;
+  auto traj = RunSimTrial(w, cfg, &rng);
+  int64_t prev = 0;
+  for (const auto& pt : traj.points()) {
+    EXPECT_GT(pt.count, prev);
+    prev = pt.count;
+  }
+  EXPECT_LE(traj.final_count(), 500);
+  EXPECT_GT(traj.final_count(), 0);
+}
+
+TEST(RunSimTrialTest, ExSampleBeatsRandomUnderSkew) {
+  // The Fig 3 headline in miniature: with 1/32 skew and 700-frame durations,
+  // ExSample needs several times fewer samples than random to reach 100
+  // results.
+  Rng rng(6);
+  auto w = MakeWorkload(SmallParams(1.0 / 32.0), &rng);
+  auto run = [&w](SimStrategy strategy, uint64_t seed) {
+    SimConfig cfg;
+    cfg.strategy = strategy;
+    cfg.num_chunks = 64;
+    cfg.max_samples = 20000;
+    Rng trial_rng(seed);
+    return RunSimTrial(w, cfg, &trial_rng);
+  };
+  std::vector<core::Trajectory> ex, rnd;
+  for (uint64_t s = 0; s < 9; ++s) {
+    ex.push_back(run(SimStrategy::kExSample, 100 + s));
+    rnd.push_back(run(SimStrategy::kRandom, 200 + s));
+  }
+  double savings = SavingsAtCount(ex, rnd, 100);
+  EXPECT_GT(savings, 2.0);
+}
+
+TEST(RunSimTrialTest, NoSkewMakesExSampleComparableToRandom) {
+  Rng rng(7);
+  auto w = MakeWorkload(SmallParams(0.0), &rng);
+  auto run = [&w](SimStrategy strategy, uint64_t seed) {
+    SimConfig cfg;
+    cfg.strategy = strategy;
+    cfg.num_chunks = 64;
+    cfg.max_samples = 8000;
+    Rng trial_rng(seed);
+    return RunSimTrial(w, cfg, &trial_rng);
+  };
+  std::vector<core::Trajectory> ex, rnd;
+  for (uint64_t s = 0; s < 9; ++s) {
+    ex.push_back(run(SimStrategy::kExSample, 300 + s));
+    rnd.push_back(run(SimStrategy::kRandom, 400 + s));
+  }
+  double savings = SavingsAtCount(ex, rnd, 100);
+  // Paper Fig 3 top row: 0.79x-1.1x. Anything in [0.6, 1.7] is "comparable".
+  EXPECT_GT(savings, 0.6);
+  EXPECT_LT(savings, 1.7);
+}
+
+TEST(RunSimTrialTest, WeightedSimulationMatchesClosedForm) {
+  // Simulated distinct-count under static weights w must match the §IV-A
+  // closed form E[N(n)] = sum_i 1 - (1 - p_i . w)^n (the link the Fig 3/4
+  // "optimal" dashed lines rely on). Note the closed form assumes
+  // with-replacement frame draws, which RunSimTrial implements.
+  Rng rng(21);
+  WorkloadParams params = SmallParams(1.0 / 8.0);
+  params.num_instances = 800;
+  auto w = MakeWorkload(params, &rng);
+  const int32_t m = 16;
+  const int64_t n = 4000;
+
+  // A deliberately lopsided weight vector.
+  std::vector<double> weights(m, 0.5 / (m - 2));
+  weights[7] = 0.25;
+  weights[8] = 0.25;
+  weights[0] = 0.0;
+  weights[1] = 0.0;
+  double total = 0.0;
+  for (double x : weights) total += x;
+  for (double& x : weights) x /= total;
+
+  auto probs = WorkloadChunkProbs(w, m);
+  const double expected =
+      optimal::ExpectedResults(probs, weights, static_cast<double>(n));
+
+  RunningStat found;
+  for (uint64_t seed = 0; seed < 11; ++seed) {
+    SimConfig cfg;
+    cfg.strategy = SimStrategy::kWeighted;
+    cfg.num_chunks = m;
+    cfg.weights = weights;
+    cfg.max_samples = n;
+    Rng trial_rng(100 + seed);
+    found.Add(static_cast<double>(
+        RunSimTrial(w, cfg, &trial_rng).final_count()));
+  }
+  EXPECT_NEAR(found.mean(), expected, expected * 0.05);
+}
+
+TEST(RunSimTrialTest, WeightedStrategyFollowsGivenWeights) {
+  // All weight on the central chunks: finds skewed instances quickly.
+  Rng rng(8);
+  auto w = MakeWorkload(SmallParams(1.0 / 32.0), &rng);
+  SimConfig cfg;
+  cfg.strategy = SimStrategy::kWeighted;
+  cfg.num_chunks = 32;
+  cfg.weights.assign(32, 0.0);
+  cfg.weights[15] = 0.5;
+  cfg.weights[16] = 0.5;
+  cfg.max_samples = 2000;
+  Rng trial_rng(9);
+  auto traj = RunSimTrial(w, cfg, &trial_rng);
+  // Nearly all instances are reachable from the two central chunks.
+  EXPECT_GT(traj.final_count(), 300);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace exsample

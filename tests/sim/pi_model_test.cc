@@ -1,0 +1,134 @@
+#include "sim/pi_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace exsample {
+namespace sim {
+namespace {
+
+TEST(GenerateLogNormalPsTest, MomentsAndClamping) {
+  Rng rng(1);
+  auto ps = GenerateLogNormalPs(20000, 3e-3, 8e-3, 0.15, &rng);
+  RunningStat s;
+  for (double p : ps) {
+    ASSERT_GT(p, 0.0);
+    ASSERT_LE(p, 0.15);
+    s.Add(p);
+  }
+  // Clamping at 0.15 trims the far tail slightly, so allow some slack.
+  EXPECT_NEAR(s.mean(), 3e-3, 6e-4);
+  EXPECT_GT(s.stddev(), 4e-3);
+  // The paper's setup spans several orders of magnitude.
+  EXPECT_LT(s.min(), 1e-4);
+  EXPECT_GT(s.max(), 5e-2);
+}
+
+TEST(RunPiReplicationTest, ObservationsAreConsistent) {
+  Rng rng(2);
+  std::vector<double> ps{0.5, 0.01, 0.0001};
+  auto obs = RunPiReplication(ps, {1, 10, 100, 10000}, &rng);
+  ASSERT_EQ(obs.size(), 4u);
+  double total_p = 0.51 + 0.0001;
+  for (const auto& o : obs) {
+    EXPECT_GE(o.n1, 0);
+    EXPECT_LE(o.n1, 3);
+    EXPECT_GE(o.r_next, 0.0);
+    EXPECT_LE(o.r_next, total_p + 1e-12);
+  }
+  // r_next is non-increasing in n within a replication.
+  for (size_t k = 1; k < obs.size(); ++k) {
+    EXPECT_LE(obs[k].r_next, obs[k - 1].r_next + 1e-12);
+  }
+}
+
+TEST(RunPiReplicationTest, HighPInstanceSeenAlmostImmediately) {
+  Rng rng(3);
+  std::vector<double> ps{0.9};
+  int still_unseen_at_10 = 0;
+  for (int rep = 0; rep < 1000; ++rep) {
+    auto obs = RunPiReplication(ps, {10}, &rng);
+    if (obs[0].r_next > 0.0) ++still_unseen_at_10;
+  }
+  // P(unseen after 10) = 0.1^10 ~ 0.
+  EXPECT_EQ(still_unseen_at_10, 0);
+}
+
+TEST(RunPiReplicationTest, ExpectedN1MatchesTheory) {
+  // E[N1(n)] = sum_i n p_i (1-p_i)^{n-1} (§III-A proof).
+  Rng rng(4);
+  std::vector<double> ps{0.02, 0.05, 0.001};
+  const int64_t n = 50;
+  double want = 0.0;
+  for (double p : ps) {
+    want += static_cast<double>(n) * p * std::pow(1.0 - p, n - 1);
+  }
+  RunningStat s;
+  for (int rep = 0; rep < 40000; ++rep) {
+    auto obs = RunPiReplication(ps, {n}, &rng);
+    s.Add(static_cast<double>(obs[0].n1));
+  }
+  EXPECT_NEAR(s.mean(), want, 0.02);
+}
+
+TEST(RunPiReplicationTest, ExpectedRNextMatchesTheory) {
+  // E[R(n+1)] = sum_i p_i (1-p_i)^n.
+  Rng rng(5);
+  std::vector<double> ps{0.03, 0.01};
+  const int64_t n = 30;
+  double want = 0.0;
+  for (double p : ps) want += p * std::pow(1.0 - p, n);
+  RunningStat s;
+  for (int rep = 0; rep < 40000; ++rep) {
+    auto obs = RunPiReplication(ps, {n}, &rng);
+    s.Add(obs[0].r_next);
+  }
+  EXPECT_NEAR(s.mean(), want, want * 0.05);
+}
+
+TEST(CollectConditionalRTest, GroupsByNAndN1) {
+  Rng rng(6);
+  std::vector<double> ps{0.1, 0.1, 0.1};
+  auto cond = CollectConditionalR(ps, {5, 50}, 2000, &rng);
+  ASSERT_EQ(cond.size(), 2u);
+  int64_t total_5 = 0;
+  for (const auto& [n1, rs] : cond[5]) {
+    EXPECT_GE(n1, 0);
+    EXPECT_LE(n1, 3);
+    total_5 += static_cast<int64_t>(rs.size());
+  }
+  EXPECT_EQ(total_5, 2000);  // every replication contributes one observation
+}
+
+// The headline §III-D validation: the Gamma(N1+.1, n+1) belief mean tracks
+// the empirical mean of true R(n+1) given (n, N1).
+TEST(CollectConditionalRTest, GammaBeliefMeanTracksConditionalR) {
+  Rng rng(7);
+  auto ps = GenerateLogNormalPs(1000, 3e-3, 8e-3, 0.15, &rng);
+  const int64_t n = 2000;
+  auto cond = CollectConditionalR(ps, {n}, 3000, &rng);
+  // Use the most populated N1 cell.
+  int64_t best_n1 = -1;
+  size_t best_count = 0;
+  for (const auto& [n1, rs] : cond[n]) {
+    if (rs.size() > best_count) {
+      best_count = rs.size();
+      best_n1 = n1;
+    }
+  }
+  ASSERT_GT(best_count, 100u);
+  RunningStat s;
+  for (double r : cond[n][best_n1]) s.Add(r);
+  const double belief_mean =
+      (static_cast<double>(best_n1) + 0.1) / (static_cast<double>(n) + 1.0);
+  // Eq III.2: the estimate overestimates slightly; require agreement within
+  // 35% — tight enough to catch real defects, loose enough for the bias.
+  EXPECT_NEAR(belief_mean, s.mean(), s.mean() * 0.35);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace exsample

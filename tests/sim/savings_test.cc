@@ -1,0 +1,89 @@
+#include "sim/savings.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace sim {
+namespace {
+
+core::Trajectory MakeTraj(std::vector<std::pair<int64_t, int64_t>> pts,
+                          int64_t total) {
+  core::Trajectory t;
+  for (auto [s, c] : pts) t.Record(s, c);
+  t.Finish(total);
+  return t;
+}
+
+TEST(SummarizeTrialsTest, PercentilesAtGrid) {
+  std::vector<core::Trajectory> trials{
+      MakeTraj({{10, 1}, {20, 2}}, 100),
+      MakeTraj({{10, 3}, {20, 6}}, 100),
+      MakeTraj({{10, 5}, {20, 10}}, 100),
+  };
+  auto band = SummarizeTrials(trials, {10, 20, 50});
+  ASSERT_EQ(band.grid.size(), 3u);
+  EXPECT_DOUBLE_EQ(band.p50[0], 3.0);
+  EXPECT_DOUBLE_EQ(band.p50[1], 6.0);
+  EXPECT_DOUBLE_EQ(band.p50[2], 6.0);  // counts persist past last jump
+  EXPECT_LT(band.p25[0], band.p75[0]);
+}
+
+TEST(LogGridTest, CoversRangeMonotonically) {
+  auto grid = LogGrid(10000, 6);
+  EXPECT_EQ(grid.front(), 1);
+  EXPECT_EQ(grid.back(), 10000);
+  for (size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid[i], grid[i - 1]);
+  }
+  // ~6 points per decade over 4 decades.
+  EXPECT_GE(grid.size(), 20u);
+  EXPECT_LE(grid.size(), 30u);
+}
+
+TEST(LogGridTest, SmallMax) {
+  auto grid = LogGrid(1);
+  EXPECT_EQ(grid, std::vector<int64_t>{1});
+}
+
+TEST(MedianSamplesToReachTest, Basic) {
+  std::vector<core::Trajectory> trials{
+      MakeTraj({{10, 5}}, 100),
+      MakeTraj({{30, 5}}, 100),
+      MakeTraj({{50, 5}}, 100),
+  };
+  EXPECT_EQ(MedianSamplesToReach(trials, 5), 30);
+  EXPECT_EQ(MedianSamplesToReach(trials, 6), -1);
+}
+
+TEST(MedianSamplesToReachTest, UnreachedTrialsCountAsInfinity) {
+  std::vector<core::Trajectory> trials{
+      MakeTraj({{10, 5}}, 100),
+      MakeTraj({}, 100),  // never finds anything
+      MakeTraj({{20, 5}}, 100),
+  };
+  EXPECT_EQ(MedianSamplesToReach(trials, 5), 20);
+  std::vector<core::Trajectory> mostly_fail{
+      MakeTraj({{10, 5}}, 100),
+      MakeTraj({}, 100),
+      MakeTraj({}, 100),
+  };
+  EXPECT_EQ(MedianSamplesToReach(mostly_fail, 5), -1);
+}
+
+TEST(SavingsAtCountTest, RatioOfMedians) {
+  std::vector<core::Trajectory> fast{MakeTraj({{10, 5}}, 100)};
+  std::vector<core::Trajectory> slow{MakeTraj({{40, 5}}, 100)};
+  EXPECT_DOUBLE_EQ(SavingsAtCount(fast, slow, 5), 4.0);
+  EXPECT_DOUBLE_EQ(SavingsAtCount(slow, fast, 5), 0.25);
+}
+
+TEST(SavingsAtCountTest, UnreachableGivesZero) {
+  std::vector<core::Trajectory> fast{MakeTraj({{10, 5}}, 100)};
+  std::vector<core::Trajectory> empty{MakeTraj({}, 100)};
+  EXPECT_DOUBLE_EQ(SavingsAtCount(fast, empty, 5), 0.0);
+  EXPECT_DOUBLE_EQ(SavingsAtCount(empty, fast, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace exsample

@@ -1,0 +1,171 @@
+#include "track/discriminator.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace track {
+namespace {
+
+detect::Detection Det(video::FrameId frame, double x,
+                      detect::InstanceId inst = detect::kNoInstance) {
+  detect::Detection d;
+  d.frame = frame;
+  d.box = detect::BBox{x, 0.0, 20.0, 20.0};
+  d.instance = inst;
+  return d;
+}
+
+// ---------------------------------------------------------------- Tracker
+
+TEST(TrackerDiscriminatorTest, FirstDetectionIsNew) {
+  TrackerDiscriminator disc;
+  auto r = disc.GetMatches(0, {Det(0, 100.0)});
+  EXPECT_EQ(r.d0.size(), 1u);
+  EXPECT_EQ(r.num_d1, 0);
+  disc.Add(0, {Det(0, 100.0)});
+  EXPECT_EQ(disc.num_distinct(), 1);
+}
+
+TEST(TrackerDiscriminatorTest, SecondSightingIsD1) {
+  TrackerDiscriminator disc;
+  disc.Add(0, {Det(0, 100.0)});
+  // Same place a few frames later: matches the (stationary) track, which has
+  // exactly one observation -> d1.
+  auto r = disc.GetMatches(5, {Det(5, 101.0)});
+  EXPECT_TRUE(r.d0.empty());
+  EXPECT_EQ(r.num_d1, 1);
+  disc.Add(5, {Det(5, 101.0)});
+  EXPECT_EQ(disc.num_distinct(), 1);
+  // Third sighting: matched track now has 2 observations -> neither d0 nor d1.
+  auto r3 = disc.GetMatches(8, {Det(8, 101.5)});
+  EXPECT_TRUE(r3.d0.empty());
+  EXPECT_EQ(r3.num_d1, 0);
+}
+
+TEST(TrackerDiscriminatorTest, FarAwayDetectionIsNew) {
+  TrackerDiscriminator disc;
+  disc.Add(0, {Det(0, 100.0)});
+  auto r = disc.GetMatches(5, {Det(5, 500.0)});
+  EXPECT_EQ(r.d0.size(), 1u);
+  EXPECT_EQ(r.num_d1, 0);
+}
+
+TEST(TrackerDiscriminatorTest, BeyondHorizonDoesNotMatch) {
+  TrackerConfig cfg;
+  cfg.extension_horizon = 10;
+  TrackerDiscriminator disc(cfg);
+  disc.Add(0, {Det(0, 100.0)});
+  // Same position but 100 frames later: track expired, counts as new.
+  auto r = disc.GetMatches(100, {Det(100, 100.0)});
+  EXPECT_EQ(r.d0.size(), 1u);
+}
+
+detect::Detection WideDet(video::FrameId frame, double x) {
+  detect::Detection d;
+  d.frame = frame;
+  d.box = detect::BBox{x, 0.0, 200.0, 100.0};
+  return d;
+}
+
+TEST(TrackerDiscriminatorTest, MovingObjectMatchedViaExtrapolation) {
+  TrackerConfig cfg;
+  cfg.extension_horizon = 20;
+  TrackerDiscriminator disc(cfg);
+  // Wide boxes moving 50px per 10 frames: consecutive observations overlap
+  // (IoU 150/250 = 0.6), so they accrete into one track with velocity.
+  disc.Add(0, {WideDet(0, 0.0)});
+  disc.Add(10, {WideDet(10, 50.0)});  // 5 px/frame
+  EXPECT_EQ(disc.num_distinct(), 1);
+  // At frame 20 the track extrapolates to x=100; a detection there matches.
+  auto r = disc.GetMatches(20, {WideDet(20, 98.0)});
+  EXPECT_TRUE(r.d0.empty());
+  // A detection at the original position has IoU 100/300 = 0.33 < 0.5
+  // against the extrapolated box: counted as a new object.
+  auto r2 = disc.GetMatches(20, {WideDet(20, 0.0)});
+  EXPECT_EQ(r2.d0.size(), 1u);
+}
+
+TEST(TrackerDiscriminatorTest, TwoObjectsInOneFrame) {
+  TrackerDiscriminator disc;
+  auto dets = std::vector<detect::Detection>{Det(0, 0.0), Det(0, 500.0)};
+  auto r = disc.GetMatches(0, dets);
+  EXPECT_EQ(r.d0.size(), 2u);
+  disc.Add(0, dets);
+  EXPECT_EQ(disc.num_distinct(), 2);
+}
+
+TEST(TrackerDiscriminatorTest, IoUThresholdIsRespected) {
+  TrackerConfig strict;
+  strict.iou_threshold = 0.9;
+  TrackerDiscriminator disc(strict);
+  disc.Add(0, {Det(0, 100.0)});
+  // Slightly shifted box has IoU ~0.8 < 0.9 -> treated as new object.
+  auto r = disc.GetMatches(1, {Det(1, 102.0)});
+  EXPECT_EQ(r.d0.size(), 1u);
+}
+
+// ---------------------------------------------------------------- Oracle
+
+TEST(OracleDiscriminatorTest, CountsByInstanceId) {
+  OracleDiscriminator disc;
+  auto r1 = disc.GetMatches(0, {Det(0, 0.0, 7)});
+  EXPECT_EQ(r1.d0.size(), 1u);
+  EXPECT_EQ(r1.num_d1, 0);
+  disc.Add(0, {Det(0, 0.0, 7)});
+
+  auto r2 = disc.GetMatches(50, {Det(50, 999.0, 7)});  // position irrelevant
+  EXPECT_TRUE(r2.d0.empty());
+  EXPECT_EQ(r2.num_d1, 1);
+  disc.Add(50, {Det(50, 999.0, 7)});
+
+  auto r3 = disc.GetMatches(80, {Det(80, 0.0, 7)});
+  EXPECT_TRUE(r3.d0.empty());
+  EXPECT_EQ(r3.num_d1, 0);  // already seen twice
+
+  EXPECT_EQ(disc.num_distinct(), 1);
+}
+
+TEST(OracleDiscriminatorTest, DistinctInstancesCounted) {
+  OracleDiscriminator disc;
+  disc.Add(0, {Det(0, 0.0, 1), Det(0, 10.0, 2)});
+  disc.Add(1, {Det(1, 0.0, 3)});
+  EXPECT_EQ(disc.num_distinct(), 3);
+  EXPECT_EQ(disc.sightings().at(1), 1);
+}
+
+TEST(OracleDiscriminatorTest, FalsePositivesAlwaysNew) {
+  OracleDiscriminator disc;
+  auto fp = Det(0, 0.0, detect::kNoInstance);
+  auto r = disc.GetMatches(0, {fp});
+  EXPECT_EQ(r.d0.size(), 1u);
+  disc.Add(0, {fp});
+  auto r2 = disc.GetMatches(1, {fp});
+  EXPECT_EQ(r2.d0.size(), 1u);  // still "new" — no identity to match
+  EXPECT_EQ(disc.num_distinct(), 1);
+}
+
+// Cross-validation: on well-separated objects, the tracker and the oracle
+// agree on every decision.
+TEST(DiscriminatorAgreementTest, TrackerMatchesOracleOnEasyData) {
+  TrackerConfig cfg;
+  cfg.extension_horizon = 100;
+  TrackerDiscriminator tracker(cfg);
+  OracleDiscriminator oracle;
+
+  // Two stationary objects 1000px apart, sampled repeatedly.
+  for (video::FrameId f : {0, 30, 60, 10, 90, 40}) {
+    std::vector<detect::Detection> dets{Det(f, 0.0, 1), Det(f, 1000.0, 2)};
+    auto rt = tracker.GetMatches(f, dets);
+    auto ro = oracle.GetMatches(f, dets);
+    EXPECT_EQ(rt.d0.size(), ro.d0.size()) << "frame " << f;
+    EXPECT_EQ(rt.num_d1, ro.num_d1) << "frame " << f;
+    tracker.Add(f, dets);
+    oracle.Add(f, dets);
+  }
+  EXPECT_EQ(tracker.num_distinct(), 2);
+  EXPECT_EQ(oracle.num_distinct(), 2);
+}
+
+}  // namespace
+}  // namespace track
+}  // namespace exsample

@@ -1,0 +1,84 @@
+#include "track/track.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace track {
+namespace {
+
+detect::Detection Det(video::FrameId frame, double x, double y = 0.0,
+                      double w = 10.0, double h = 10.0) {
+  detect::Detection d;
+  d.frame = frame;
+  d.box = detect::BBox{x, y, w, h};
+  return d;
+}
+
+TEST(TrackTest, SingleObservationPredictsStationary) {
+  Track t(0, Det(100, 50.0));
+  auto p = t.PredictAt(105, 10);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->x, 50.0);
+  // Outside the horizon -> not visible.
+  EXPECT_FALSE(t.PredictAt(111, 10).has_value());
+  EXPECT_FALSE(t.PredictAt(89, 10).has_value());
+  EXPECT_TRUE(t.PredictAt(90, 10).has_value());
+}
+
+TEST(TrackTest, InterpolatesBetweenObservations) {
+  Track t(0, Det(0, 0.0));
+  t.AddObservation(Det(10, 100.0));
+  auto p = t.PredictAt(5, 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->x, 50.0);
+}
+
+TEST(TrackTest, ExtrapolatesForwardAtConstantVelocity) {
+  Track t(0, Det(0, 0.0));
+  t.AddObservation(Det(10, 100.0));  // 10 px/frame
+  auto p = t.PredictAt(15, 10);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->x, 150.0);
+}
+
+TEST(TrackTest, ExtrapolatesBackward) {
+  Track t(0, Det(10, 100.0));
+  t.AddObservation(Det(20, 200.0));
+  auto p = t.PredictAt(5, 10);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->x, 50.0);
+}
+
+TEST(TrackTest, ExactObservationIsReturnedVerbatim) {
+  Track t(0, Det(0, 0.0));
+  t.AddObservation(Det(10, 100.0));
+  t.AddObservation(Det(20, 150.0));  // velocity changes
+  auto p = t.PredictAt(10, 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->x, 100.0);
+}
+
+TEST(TrackTest, ObservationsStaySorted) {
+  Track t(0, Det(20, 200.0));
+  t.AddObservation(Det(0, 0.0));    // earlier frame added later
+  t.AddObservation(Det(10, 100.0));
+  EXPECT_EQ(t.first_frame(), 0);
+  EXPECT_EQ(t.last_frame(), 20);
+  EXPECT_EQ(t.num_observations(), 3);
+  auto p = t.PredictAt(5, 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->x, 50.0);
+}
+
+TEST(TrackTest, PiecewiseInterpolationUsesBracketingSegment) {
+  Track t(0, Det(0, 0.0));
+  t.AddObservation(Det(10, 100.0));
+  t.AddObservation(Det(20, 100.0));  // stationary in second segment
+  auto p = t.PredictAt(15, 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->x, 100.0);
+}
+
+}  // namespace
+}  // namespace track
+}  // namespace exsample

@@ -1,0 +1,256 @@
+#include "util/distributions.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace exsample {
+namespace {
+
+constexpr int kSamples = 200000;
+
+TEST(NormalTest, MomentsMatch) {
+  Rng rng(1);
+  RunningStat s;
+  for (int i = 0; i < kSamples; ++i) s.Add(SampleNormal(&rng, 3.0, 2.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.03);
+}
+
+TEST(LogNormalTest, MomentsMatch) {
+  Rng rng(2);
+  const double mu = 0.5, sigma = 0.75;
+  RunningStat s;
+  for (int i = 0; i < kSamples; ++i) s.Add(SampleLogNormal(&rng, mu, sigma));
+  double want_mean = std::exp(mu + sigma * sigma / 2.0);
+  EXPECT_NEAR(s.mean(), want_mean, want_mean * 0.02);
+}
+
+TEST(ExponentialTest, MeanIsInverseRate) {
+  Rng rng(3);
+  RunningStat s;
+  for (int i = 0; i < kSamples; ++i) s.Add(SampleExponential(&rng, 4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.005);
+}
+
+struct GammaParams {
+  double alpha;
+  double beta;
+};
+
+class GammaSamplerTest : public ::testing::TestWithParam<GammaParams> {};
+
+TEST_P(GammaSamplerTest, MomentsMatch) {
+  const auto [alpha, beta] = GetParam();
+  Rng rng(static_cast<uint64_t>(alpha * 1000 + beta));
+  RunningStat s;
+  for (int i = 0; i < kSamples; ++i) s.Add(SampleGamma(&rng, alpha, beta));
+  const double want_mean = alpha / beta;
+  const double want_var = alpha / (beta * beta);
+  EXPECT_NEAR(s.mean(), want_mean, want_mean * 0.03 + 1e-4);
+  EXPECT_NEAR(s.variance(), want_var, want_var * 0.1 + 1e-4);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+// Covers both sampler branches (alpha < 1 boosting and Marsaglia-Tsang) and
+// the parameter regimes ExSample's belief distribution actually visits:
+// alpha0=0.1 at start-up, alpha ~ a few when results accumulate, beta = n
+// growing large.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GammaSamplerTest,
+    ::testing::Values(GammaParams{0.1, 1.0}, GammaParams{0.5, 2.0},
+                      GammaParams{1.0, 1.0}, GammaParams{2.1, 100.0},
+                      GammaParams{5.0, 0.5}, GammaParams{40.0, 3000.0}));
+
+TEST(GammaSamplerTest, QuantilesMatchAnalyticCdf) {
+  // Empirical quantiles of draws should agree with GammaQuantile.
+  Rng rng(77);
+  const double alpha = 3.1, beta = 12.0;
+  std::vector<double> draws(kSamples);
+  for (auto& d : draws) d = SampleGamma(&rng, alpha, beta);
+  for (double q : {0.1, 0.5, 0.9}) {
+    double want = GammaQuantile(q, alpha, beta);
+    double got = Percentile(draws, q);
+    EXPECT_NEAR(got, want, want * 0.03) << "q=" << q;
+  }
+}
+
+TEST(BetaTest, MomentsMatch) {
+  Rng rng(5);
+  const double a = 2.0, b = 5.0;
+  RunningStat s;
+  for (int i = 0; i < kSamples; ++i) s.Add(SampleBeta(&rng, a, b));
+  EXPECT_NEAR(s.mean(), a / (a + b), 0.01);
+  EXPECT_GE(s.min(), 0.0);
+  EXPECT_LE(s.max(), 1.0);
+}
+
+class PoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonTest, MomentsMatch) {
+  const double lambda = GetParam();
+  Rng rng(static_cast<uint64_t>(lambda * 17 + 1));
+  RunningStat s;
+  for (int i = 0; i < kSamples; ++i) {
+    s.Add(static_cast<double>(SamplePoisson(&rng, lambda)));
+  }
+  EXPECT_NEAR(s.mean(), lambda, std::max(0.02, lambda * 0.02));
+  EXPECT_NEAR(s.variance(), lambda, std::max(0.05, lambda * 0.05));
+}
+
+// Small-lambda branch (Knuth) and large-lambda branch (PTRS).
+INSTANTIATE_TEST_SUITE_P(Sweep, PoissonTest,
+                         ::testing::Values(0.1, 1.0, 5.0, 29.9, 30.1, 100.0,
+                                           1000.0));
+
+TEST(PoissonTest, ZeroLambdaIsZero) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(SamplePoisson(&rng, 0.0), 0);
+}
+
+class BinomialTest
+    : public ::testing::TestWithParam<std::pair<int64_t, double>> {};
+
+TEST_P(BinomialTest, MomentsMatch) {
+  const auto [n, p] = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 31 + 7);
+  RunningStat s;
+  for (int i = 0; i < kSamples; ++i) {
+    int64_t k = SampleBinomial(&rng, n, p);
+    ASSERT_GE(k, 0);
+    ASSERT_LE(k, n);
+    s.Add(static_cast<double>(k));
+  }
+  const double want_mean = static_cast<double>(n) * p;
+  EXPECT_NEAR(s.mean(), want_mean, std::max(0.02, want_mean * 0.02));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinomialTest,
+    ::testing::Values(std::pair<int64_t, double>{1, 0.5},
+                      std::pair<int64_t, double>{10, 0.1},
+                      std::pair<int64_t, double>{100, 0.9},
+                      std::pair<int64_t, double>{100000, 0.001},
+                      std::pair<int64_t, double>{1000, 0.5}));
+
+TEST(BinomialTest, EdgeCases) {
+  Rng rng(8);
+  EXPECT_EQ(SampleBinomial(&rng, 0, 0.5), 0);
+  EXPECT_EQ(SampleBinomial(&rng, 10, 0.0), 0);
+  EXPECT_EQ(SampleBinomial(&rng, 10, 1.0), 10);
+}
+
+TEST(GammaMathTest, PdfIntegratesToOne) {
+  // Trapezoid integration of the pdf over a generous range.
+  const double alpha = 2.5, beta = 3.0;
+  const double hi = 10.0;
+  const int steps = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    double x0 = hi * i / steps, x1 = hi * (i + 1) / steps;
+    sum += 0.5 * (GammaPdf(x0, alpha, beta) + GammaPdf(x1, alpha, beta)) *
+           (x1 - x0);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(GammaMathTest, CdfMatchesNumericalPdfIntegral) {
+  const double alpha = 1.7, beta = 2.0;
+  const double x = 1.3;
+  const int steps = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    double x0 = x * i / steps, x1 = x * (i + 1) / steps;
+    sum += 0.5 * (GammaPdf(x0, alpha, beta) + GammaPdf(x1, alpha, beta)) *
+           (x1 - x0);
+  }
+  EXPECT_NEAR(GammaCdf(x, alpha, beta), sum, 1e-6);
+}
+
+TEST(GammaMathTest, CdfMonotoneAndBounded) {
+  double prev = 0.0;
+  for (double x = 0.0; x <= 5.0; x += 0.05) {
+    double c = GammaCdf(x, 0.9, 1.5);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST(GammaMathTest, QuantileInvertsCdf) {
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    for (auto [alpha, beta] : {std::pair{0.1, 1.0}, std::pair{1.0, 1.0},
+                               std::pair{4.0, 9.0}, std::pair{50.0, 2.0}}) {
+      double x = GammaQuantile(q, alpha, beta);
+      EXPECT_NEAR(GammaCdf(x, alpha, beta), q, 1e-9)
+          << "q=" << q << " alpha=" << alpha << " beta=" << beta;
+    }
+  }
+}
+
+TEST(GammaMathTest, ExponentialSpecialCase) {
+  // Gamma(1, beta) is Exponential(beta): CDF = 1 - exp(-beta x).
+  for (double x : {0.1, 0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(GammaCdf(x, 1.0, 2.0), 1.0 - std::exp(-2.0 * x), 1e-10);
+  }
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.999), 3.090232, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.001), -3.090232, 1e-4);
+}
+
+TEST(NormalQuantileTest, InvertsNormalCdf) {
+  for (double q : {0.001, 0.01, 0.2, 0.5, 0.8, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(q)), q, 1e-8) << q;
+  }
+}
+
+TEST(GammaQuantileFastTest, MatchesExactQuantile) {
+  // Newton refinement should agree with the bisection solver to high
+  // precision across the whole (alpha, q) range Bayes-UCB visits —
+  // including the tiny-alpha cold-start regime.
+  for (double alpha : {0.1, 0.3, 0.5, 1.0, 3.0, 10.0, 100.0, 2000.0}) {
+    for (double q : {0.01, 0.05, 0.5, 0.9, 0.99, 0.999}) {
+      double exact = GammaQuantile(q, alpha, 2.0);
+      double fast = GammaQuantileFast(q, alpha, 2.0);
+      EXPECT_NEAR(fast, exact, exact * 1e-6 + 1e-300)
+          << "alpha=" << alpha << " q=" << q;
+    }
+  }
+}
+
+TEST(GammaQuantileFastTest, RateParameterScales) {
+  double base = GammaQuantileFast(0.9, 2.0, 1.0);
+  EXPECT_NEAR(GammaQuantileFast(0.9, 2.0, 10.0), base / 10.0, 1e-9);
+}
+
+TEST(PoissonPmfTest, SumsToOne) {
+  const double lambda = 7.3;
+  double sum = 0.0;
+  for (int64_t k = 0; k < 100; ++k) sum += PoissonPmf(k, lambda);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PoissonPmfTest, MatchesDirectFormulaSmallK) {
+  EXPECT_NEAR(PoissonPmf(0, 2.0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(PoissonPmf(1, 2.0), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(PoissonPmf(2, 2.0), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_EQ(PoissonPmf(-1, 2.0), 0.0);
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+}  // namespace
+}  // namespace exsample

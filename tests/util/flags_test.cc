@@ -1,0 +1,51 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace {
+
+Flags MakeFlags(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& a : storage) argv.push_back(a.data());
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  auto f = MakeFlags({"--trials=7", "--rate=0.5", "--name=abc"});
+  EXPECT_EQ(f.GetInt("trials", 0), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("rate", 0.0), 0.5);
+  EXPECT_EQ(f.GetString("name", ""), "abc");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  auto f = MakeFlags({"--trials", "9"});
+  EXPECT_EQ(f.GetInt("trials", 0), 9);
+}
+
+TEST(FlagsTest, BareBoolean) {
+  auto f = MakeFlags({"--full", "--trials=3"});
+  EXPECT_TRUE(f.GetBool("full"));
+  EXPECT_EQ(f.GetInt("trials", 0), 3);
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  auto f = MakeFlags({});
+  EXPECT_EQ(f.GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(f.GetString("missing", "dflt"), "dflt");
+  EXPECT_FALSE(f.GetBool("missing"));
+  EXPECT_TRUE(f.GetBool("missing2", true));
+}
+
+TEST(FlagsTest, ExplicitFalse) {
+  auto f = MakeFlags({"--full=false", "--other=0"});
+  EXPECT_FALSE(f.GetBool("full", true));
+  EXPECT_FALSE(f.GetBool("other", true));
+}
+
+}  // namespace
+}  // namespace exsample

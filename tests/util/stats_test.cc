@@ -1,0 +1,125 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeEqualsSequential) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStat copy = a;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), copy.count());
+  EXPECT_EQ(a.mean(), copy.mean());
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(PercentileTest, Basics) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.125), 1.5);  // interpolation
+}
+
+TEST(PercentileTest, EmptyAndSingleton) {
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_EQ(Percentile({7.0}, 0.99), 7.0);
+}
+
+TEST(GeometricMeanTest, KnownValue) {
+  EXPECT_NEAR(GeometricMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(GeometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_EQ(GeometricMean({}), 0.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);    // bin 0
+  h.Add(9.99);   // bin 9
+  h.Add(-5.0);   // clamps to bin 0
+  h.Add(100.0);  // clamps to bin 9
+  h.Add(5.0);    // bin 5
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(9), 2);
+  EXPECT_EQ(h.count(5), 1);
+  EXPECT_EQ(h.count(3), 0);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 0.125);
+  EXPECT_DOUBLE_EQ(h.BinCenter(3), 0.875);
+}
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  Histogram h(0.0, 2.0, 20);
+  for (int i = 0; i < 1000; ++i) h.Add(2.0 * i / 1000.0);
+  double width = 2.0 / 20.0;
+  double integral = 0.0;
+  for (size_t b = 0; b < h.bins(); ++b) integral += h.Density(b) * width;
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, AsciiRendering) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.1);
+  h.Add(0.2);
+  h.Add(0.8);
+  std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('2'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exsample

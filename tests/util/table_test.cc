@@ -1,0 +1,51 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace {
+
+TEST(TableTest, AlignedRendering) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer_name", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer_name"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"a", "b"});
+  t.AddRow({"plain", "has,comma"});
+  t.AddRow({"has\"quote", "line\nbreak"});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 3), "3.14");
+  EXPECT_EQ(Table::Int(42), "42");
+  EXPECT_EQ(Table::Int(-7), "-7");
+}
+
+TEST(TableTest, DurationFormatsLikePaperTableI) {
+  EXPECT_EQ(Table::Duration(2.0), "2.0s");
+  EXPECT_EQ(Table::Duration(97.0), "1m37s");
+  EXPECT_EQ(Table::Duration(60.0), "1m");
+  EXPECT_EQ(Table::Duration(41 * 60.0), "41m");
+  EXPECT_EQ(Table::Duration(3600.0), "1h");
+  EXPECT_EQ(Table::Duration(3600.0 + 49 * 60.0), "1h49m");
+  EXPECT_EQ(Table::Duration(-3.0), "0.0s");
+}
+
+TEST(TableTest, RatioFormatting) {
+  EXPECT_EQ(Table::Ratio(3.7), "3.7x");
+  EXPECT_EQ(Table::Ratio(0.75), "0.75x");
+}
+
+}  // namespace
+}  // namespace exsample

@@ -1,0 +1,164 @@
+#include "video/chunking.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace video {
+namespace {
+
+VideoRepository MakeRepo(std::vector<int64_t> frame_counts) {
+  std::vector<VideoMeta> metas;
+  for (size_t i = 0; i < frame_counts.size(); ++i) {
+    metas.push_back(VideoMeta{"v" + std::to_string(i), frame_counts[i]});
+  }
+  return VideoRepository::Create(std::move(metas)).value();
+}
+
+TEST(ChunkingTest, FixedLengthExactDivision) {
+  auto repo = MakeRepo({100});
+  auto chunks = MakeFixedLengthChunks(repo, 25);
+  EXPECT_EQ(chunks.size(), 4u);
+  EXPECT_TRUE(ValidateChunking(chunks, repo.total_frames()).ok());
+  for (const auto& c : chunks) EXPECT_EQ(c.frames.size(), 25);
+}
+
+TEST(ChunkingTest, FixedLengthMergesShortTail) {
+  auto repo = MakeRepo({110});
+  auto chunks = MakeFixedLengthChunks(repo, 50);
+  // 110 = 50 + 60 (tail of 10 < 25 merges into second chunk).
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].frames.size(), 50);
+  EXPECT_EQ(chunks[1].frames.size(), 60);
+  EXPECT_TRUE(ValidateChunking(chunks, repo.total_frames()).ok());
+}
+
+TEST(ChunkingTest, FixedLengthKeepsLongTail) {
+  auto repo = MakeRepo({80});
+  auto chunks = MakeFixedLengthChunks(repo, 50);
+  // Tail of 30 >= 25 stays separate.
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].frames.size(), 50);
+  EXPECT_EQ(chunks[1].frames.size(), 30);
+}
+
+TEST(ChunkingTest, ChunksNeverSpanVideos) {
+  auto repo = MakeRepo({30, 30});
+  auto chunks = MakeFixedLengthChunks(repo, 40);
+  // Each 30-frame video is shorter than the chunk size; one chunk per video.
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].frames.ranges()[0].hi, 30);
+  EXPECT_EQ(chunks[1].frames.ranges()[0].lo, 30);
+  EXPECT_TRUE(ValidateChunking(chunks, repo.total_frames()).ok());
+}
+
+TEST(ChunkingTest, PerFile) {
+  auto repo = MakeRepo({10, 20, 30});
+  auto chunks = MakePerFileChunks(repo);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].frames.size(), 10);
+  EXPECT_EQ(chunks[1].frames.size(), 20);
+  EXPECT_EQ(chunks[2].frames.size(), 30);
+  EXPECT_TRUE(ValidateChunking(chunks, repo.total_frames()).ok());
+}
+
+TEST(ChunkingTest, UniformChunksCoverAndBalance) {
+  auto chunks = MakeUniformChunks(1003, 7);
+  EXPECT_EQ(chunks.size(), 7u);
+  EXPECT_TRUE(ValidateChunking(chunks, 1003).ok());
+  for (const auto& c : chunks) {
+    EXPECT_GE(c.frames.size(), 1003 / 7);
+    EXPECT_LE(c.frames.size(), 1003 / 7 + 1);
+  }
+}
+
+TEST(ChunkingTest, UniformSingleChunk) {
+  auto chunks = MakeUniformChunks(50, 1);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].frames.size(), 50);
+}
+
+TEST(ChunkLookupTest, FindsContainingChunk) {
+  auto chunks = MakeUniformChunks(100, 4);  // 25 frames each
+  ChunkLookup lookup(chunks);
+  EXPECT_EQ(lookup.Find(0), 0);
+  EXPECT_EQ(lookup.Find(24), 0);
+  EXPECT_EQ(lookup.Find(25), 1);
+  EXPECT_EQ(lookup.Find(99), 3);
+  EXPECT_EQ(lookup.Find(100), -1);
+  EXPECT_EQ(lookup.Find(-1), -1);
+}
+
+TEST(ChunkLookupTest, MultiRangeChunks) {
+  std::vector<Chunk> chunks{
+      Chunk{0, FrameRangeSet({{0, 10}, {20, 30}})},
+      Chunk{1, FrameRangeSet({{10, 20}})},
+  };
+  ChunkLookup lookup(chunks);
+  EXPECT_EQ(lookup.Find(5), 0);
+  EXPECT_EQ(lookup.Find(15), 1);
+  EXPECT_EQ(lookup.Find(25), 0);
+  EXPECT_EQ(lookup.Find(30), -1);
+}
+
+TEST(SuggestChunkFramesTest, DefaultsToTwentyMinutes) {
+  // 100 hours at 30 fps: 20-minute chunks give 300 chunks, inside [16,512].
+  const int64_t total = 100LL * 3600 * 30;
+  EXPECT_EQ(SuggestChunkFrames(total, 30.0), 20 * 60 * 30);
+}
+
+TEST(SuggestChunkFramesTest, SmallRepositoryGetsMinChunks) {
+  // 1 hour at 30 fps: 20-minute chunks would give only 3 chunks; expect the
+  // chunk to shrink so ~16 chunks exist.
+  const int64_t total = 3600 * 30;
+  int64_t chunk = SuggestChunkFrames(total, 30.0);
+  EXPECT_GE(total / chunk, 16);
+}
+
+TEST(SuggestChunkFramesTest, HugeRepositoryCapsChunkCount) {
+  // 10000 hours: 20-minute chunks would give 30000 chunks; expect a cap
+  // near 512.
+  const int64_t total = 10000LL * 3600 * 30;
+  int64_t chunk = SuggestChunkFrames(total, 30.0);
+  EXPECT_LE(total / chunk, 512);
+  EXPECT_GE(total / chunk, 256);
+}
+
+TEST(SuggestChunkFramesTest, TinyRepository) {
+  EXPECT_GE(SuggestChunkFrames(10, 30.0), 1);
+  auto chunk = SuggestChunkFrames(10, 30.0);
+  EXPECT_LE(chunk, 10);
+}
+
+TEST(ChunkingValidateTest, DetectsGap) {
+  std::vector<Chunk> chunks{
+      Chunk{0, FrameRangeSet::Single(0, 10)},
+      Chunk{1, FrameRangeSet::Single(11, 20)},  // gap at 10
+  };
+  EXPECT_FALSE(ValidateChunking(chunks, 20).ok());
+}
+
+TEST(ChunkingValidateTest, DetectsOverlap) {
+  std::vector<Chunk> chunks{
+      Chunk{0, FrameRangeSet::Single(0, 10)},
+      Chunk{1, FrameRangeSet::Single(9, 20)},
+  };
+  EXPECT_FALSE(ValidateChunking(chunks, 20).ok());
+}
+
+TEST(ChunkingValidateTest, DetectsBadIds) {
+  std::vector<Chunk> chunks{
+      Chunk{1, FrameRangeSet::Single(0, 10)},
+  };
+  EXPECT_FALSE(ValidateChunking(chunks, 10).ok());
+}
+
+TEST(ChunkingValidateTest, DetectsWrongTotal) {
+  std::vector<Chunk> chunks{
+      Chunk{0, FrameRangeSet::Single(0, 10)},
+  };
+  EXPECT_FALSE(ValidateChunking(chunks, 20).ok());
+}
+
+}  // namespace
+}  // namespace video
+}  // namespace exsample

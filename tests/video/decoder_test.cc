@@ -1,0 +1,85 @@
+#include "video/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace exsample {
+namespace video {
+namespace {
+
+VideoRepository OneVideo(int64_t frames = 200, int32_t gop = 20) {
+  return VideoRepository::Create({VideoMeta{"v", frames, 30.0, gop}}).value();
+}
+
+TEST(SimulatedDecoderTest, SequentialScanIsCheap) {
+  auto repo = OneVideo();
+  DecodeCostModel m;
+  SimulatedDecoder d(&repo, m);
+  double first = d.Read(0);
+  // First read of frame 0 is a random access to a keyframe position.
+  EXPECT_NEAR(first, m.seek_seconds + m.keyframe_decode_seconds, 1e-12);
+  double second = d.Read(1);
+  EXPECT_NEAR(second, m.predicted_decode_seconds, 1e-12);
+  // Crossing into the next GOP sequentially pays keyframe decode only.
+  for (FrameId f = 2; f < 20; ++f) d.Read(f);
+  double gop_boundary = d.Read(20);
+  EXPECT_NEAR(gop_boundary, m.keyframe_decode_seconds, 1e-12);
+}
+
+TEST(SimulatedDecoderTest, RandomAccessCostGrowsWithGopOffset) {
+  auto repo = OneVideo();
+  DecodeCostModel m;
+  SimulatedDecoder d(&repo, m);
+  // Frame 25 = GOP offset 5; frame 139 = GOP offset 19.
+  double c5 = d.PeekCost(25);
+  double c19 = d.PeekCost(139);
+  EXPECT_NEAR(c5, m.seek_seconds + m.keyframe_decode_seconds +
+                      5 * m.predicted_decode_seconds,
+              1e-12);
+  EXPECT_NEAR(c19, m.seek_seconds + m.keyframe_decode_seconds +
+                       19 * m.predicted_decode_seconds,
+              1e-12);
+  EXPECT_GT(c19, c5);
+}
+
+TEST(SimulatedDecoderTest, StatsAccumulate) {
+  auto repo = OneVideo();
+  SimulatedDecoder d(&repo, DecodeCostModel{});
+  d.Read(50);
+  d.Read(51);
+  d.Read(10);
+  EXPECT_EQ(d.stats().frames_decoded, 3);
+  EXPECT_EQ(d.stats().seeks, 2);  // 50 and 10 are seeks; 51 is sequential
+  EXPECT_GT(d.stats().total_seconds, 0.0);
+}
+
+TEST(SimulatedDecoderTest, SequentialAcrossVideoBoundaryIsASeek) {
+  auto repo =
+      VideoRepository::Create({VideoMeta{"a", 30}, VideoMeta{"b", 30}}).value();
+  DecodeCostModel m;
+  SimulatedDecoder d(&repo, m);
+  d.Read(29);  // last frame of video a
+  double cost = d.Read(30);  // first frame of video b
+  EXPECT_NEAR(cost, m.seek_seconds + m.keyframe_decode_seconds, 1e-12);
+  EXPECT_EQ(d.stats().seeks, 2);
+}
+
+TEST(SimulatedDecoderTest, FullSequentialScanFasterThanRandomScan) {
+  auto repo = OneVideo(2000, 20);
+  DecodeCostModel m;
+  SimulatedDecoder seq(&repo, m);
+  for (FrameId f = 0; f < repo.total_frames(); ++f) seq.Read(f);
+
+  SimulatedDecoder rnd(&repo, m);
+  Rng rng(1);
+  for (int64_t i = 0; i < repo.total_frames(); ++i) {
+    rnd.Read(static_cast<FrameId>(
+        rng.NextBounded(static_cast<uint64_t>(repo.total_frames()))));
+  }
+  EXPECT_LT(seq.stats().total_seconds, rnd.stats().total_seconds / 2.0);
+}
+
+}  // namespace
+}  // namespace video
+}  // namespace exsample

@@ -1,0 +1,57 @@
+#include "video/frame_range.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace video {
+namespace {
+
+TEST(FrameRangeTest, SizeAndContains) {
+  FrameRange r{10, 20};
+  EXPECT_EQ(r.size(), 10);
+  EXPECT_TRUE(r.Contains(10));
+  EXPECT_TRUE(r.Contains(19));
+  EXPECT_FALSE(r.Contains(20));
+  EXPECT_FALSE(r.Contains(9));
+}
+
+TEST(FrameRangeSetTest, SingleRange) {
+  auto s = FrameRangeSet::Single(5, 15);
+  EXPECT_EQ(s.size(), 10);
+  EXPECT_EQ(s.At(0), 5);
+  EXPECT_EQ(s.At(9), 14);
+  EXPECT_EQ(s.RankOf(5), 0);
+  EXPECT_EQ(s.RankOf(14), 9);
+  EXPECT_EQ(s.RankOf(15), -1);
+  EXPECT_EQ(s.RankOf(4), -1);
+}
+
+TEST(FrameRangeSetTest, MultiRangeAtAndRank) {
+  FrameRangeSet s({{0, 3}, {10, 12}, {20, 25}});
+  EXPECT_EQ(s.size(), 10);
+  // Expected frame order: 0,1,2,10,11,20,21,22,23,24.
+  std::vector<FrameId> want{0, 1, 2, 10, 11, 20, 21, 22, 23, 24};
+  for (int64_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s.At(i), want[static_cast<size_t>(i)]) << i;
+    EXPECT_EQ(s.RankOf(want[static_cast<size_t>(i)]), i);
+  }
+  // Frames in holes are not contained.
+  EXPECT_EQ(s.RankOf(3), -1);
+  EXPECT_EQ(s.RankOf(9), -1);
+  EXPECT_EQ(s.RankOf(12), -1);
+  EXPECT_EQ(s.RankOf(19), -1);
+  EXPECT_EQ(s.RankOf(25), -1);
+  EXPECT_FALSE(s.Contains(5));
+  EXPECT_TRUE(s.Contains(11));
+}
+
+TEST(FrameRangeSetTest, EmptySet) {
+  FrameRangeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.RankOf(0), -1);
+}
+
+}  // namespace
+}  // namespace video
+}  // namespace exsample

@@ -1,0 +1,201 @@
+#include "video/frame_sampler.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace video {
+namespace {
+
+// Both samplers must enumerate every frame exactly once.
+template <typename Sampler>
+void CheckExactCoverage(Sampler* s, const FrameRangeSet& frames,
+                        uint64_t seed) {
+  Rng rng(seed);
+  std::set<FrameId> seen;
+  int64_t total = frames.size();
+  for (int64_t i = 0; i < total; ++i) {
+    ASSERT_FALSE(s->exhausted());
+    FrameId f = s->Next(&rng);
+    EXPECT_TRUE(frames.Contains(f)) << f;
+    EXPECT_TRUE(seen.insert(f).second) << "frame drawn twice: " << f;
+  }
+  EXPECT_TRUE(s->exhausted());
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), total);
+}
+
+TEST(UniformFrameSamplerTest, ExactCoverageSingleRange) {
+  auto frames = FrameRangeSet::Single(100, 400);
+  UniformFrameSampler s(frames);
+  CheckExactCoverage(&s, frames, 1);
+}
+
+TEST(UniformFrameSamplerTest, ExactCoverageMultiRange) {
+  FrameRangeSet frames({{0, 50}, {100, 130}, {500, 501}});
+  UniformFrameSampler s(frames);
+  CheckExactCoverage(&s, frames, 2);
+}
+
+TEST(UniformFrameSamplerTest, FirstDrawIsUniform) {
+  auto frames = FrameRangeSet::Single(0, 10);
+  std::vector<int> counts(10, 0);
+  Rng rng(3);
+  const int trials = 50000;
+  for (int t = 0; t < trials; ++t) {
+    UniformFrameSampler s(frames);
+    ++counts[static_cast<size_t>(s.Next(&rng))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials / 10.0, trials * 0.012);
+  }
+}
+
+TEST(UniformFrameSamplerTest, SingletonPopulation) {
+  auto frames = FrameRangeSet::Single(7, 8);
+  UniformFrameSampler s(frames);
+  Rng rng(4);
+  EXPECT_EQ(s.Next(&rng), 7);
+  EXPECT_TRUE(s.exhausted());
+}
+
+TEST(RandomPlusFrameSamplerTest, ExactCoverage) {
+  auto frames = FrameRangeSet::Single(0, 377);
+  RandomPlusFrameSampler s(frames);
+  CheckExactCoverage(&s, frames, 5);
+}
+
+TEST(RandomPlusFrameSamplerTest, ExactCoverageMultiRangeWithSegments) {
+  FrameRangeSet frames({{10, 200}, {300, 450}});
+  RandomPlusFrameSampler s(frames, 8);
+  CheckExactCoverage(&s, frames, 6);
+}
+
+TEST(RandomPlusFrameSamplerTest, SpreadsEarlySamples) {
+  // After k samples, random+ must have visited many distinct 1/k-size
+  // blocks, unlike uniform sampling which collides early (birthday bound).
+  const int64_t n = 1 << 16;
+  auto frames = FrameRangeSet::Single(0, n);
+  const int64_t k = 64;
+
+  double rp_distinct = 0.0, uni_distinct = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(100 + t);
+    RandomPlusFrameSampler rp(frames, k);
+    UniformFrameSampler uni(frames);
+    std::set<int64_t> rp_blocks, uni_blocks;
+    for (int64_t i = 0; i < k; ++i) {
+      rp_blocks.insert(rp.Next(&rng) / (n / k));
+      uni_blocks.insert(uni.Next(&rng) / (n / k));
+    }
+    rp_distinct += static_cast<double>(rp_blocks.size());
+    uni_distinct += static_cast<double>(uni_blocks.size());
+  }
+  rp_distinct /= trials;
+  uni_distinct /= trials;
+  // With one initial segment per block, the first round covers every block.
+  EXPECT_EQ(rp_distinct, static_cast<double>(k));
+  // Uniform leaves ~ k/e blocks unvisited.
+  EXPECT_LT(uni_distinct, k * 0.75);
+}
+
+TEST(RandomPlusFrameSamplerTest, HalvingProgressionWithoutInitialSegments) {
+  // Even with a single initial segment, after 2^L - 1 samples the largest
+  // unvisited gap shrinks roughly geometrically. Check it is far smaller
+  // than n after 127 samples.
+  const int64_t n = 1 << 14;
+  auto frames = FrameRangeSet::Single(0, n);
+  Rng rng(9);
+  RandomPlusFrameSampler s(frames);
+  std::vector<int64_t> drawn;
+  for (int i = 0; i < 127; ++i) drawn.push_back(s.Next(&rng));
+  std::sort(drawn.begin(), drawn.end());
+  int64_t max_gap = drawn.front();
+  for (size_t i = 1; i < drawn.size(); ++i) {
+    max_gap = std::max(max_gap, drawn[i] - drawn[i - 1]);
+  }
+  max_gap = std::max(max_gap, n - drawn.back());
+  // 127 samples over binary halving -> segments of ~n/128 in expectation,
+  // but splits happen at random sample points rather than midpoints, so
+  // individual gaps can be several times larger. n/4 is a safe bound that
+  // plain uniform sampling would still violate frequently.
+  EXPECT_LT(max_gap, n / 4);
+}
+
+TEST(WeightedFrameSamplerTest, ExactCoverage) {
+  auto frames = FrameRangeSet::Single(0, 200);
+  std::vector<double> weights(200);
+  Rng wrng(10);
+  for (auto& w : weights) w = wrng.NextDouble();
+  WeightedFrameSampler s(frames, weights);
+  CheckExactCoverage(&s, frames, 11);
+}
+
+TEST(WeightedFrameSamplerTest, FirstDrawFollowsWeights) {
+  auto frames = FrameRangeSet::Single(0, 4);
+  // Frame 2 carries 70% of the weight.
+  std::vector<double> weights{0.1, 0.1, 0.7, 0.1};
+  Rng rng(12);
+  std::vector<int> counts(4, 0);
+  const int trials = 50000;
+  for (int t = 0; t < trials; ++t) {
+    WeightedFrameSampler s(frames, weights);
+    ++counts[static_cast<size_t>(s.Next(&rng))];
+  }
+  EXPECT_NEAR(counts[2], trials * 0.7, trials * 0.02);
+  EXPECT_NEAR(counts[0], trials * 0.1, trials * 0.01);
+}
+
+TEST(WeightedFrameSamplerTest, HighWeightFramesComeFirst) {
+  // 100 frames; the ten frames 40..49 have 1000x weight: they should
+  // dominate the first ten draws.
+  auto frames = FrameRangeSet::Single(0, 100);
+  std::vector<double> weights(100, 1.0);
+  for (int i = 40; i < 50; ++i) weights[static_cast<size_t>(i)] = 1000.0;
+  Rng rng(13);
+  WeightedFrameSampler s(frames, weights);
+  int hot = 0;
+  for (int i = 0; i < 10; ++i) {
+    FrameId f = s.Next(&rng);
+    if (f >= 40 && f < 50) ++hot;
+  }
+  EXPECT_GE(hot, 8);
+}
+
+TEST(WeightedFrameSamplerTest, ZeroWeightsStillCovered) {
+  auto frames = FrameRangeSet::Single(0, 50);
+  std::vector<double> weights(50, 0.0);
+  weights[7] = 1.0;
+  WeightedFrameSampler s(frames, weights);
+  CheckExactCoverage(&s, frames, 14);
+}
+
+TEST(WeightedFrameSamplerTest, AllZeroWeightsBehaveUniformly) {
+  auto frames = FrameRangeSet::Single(0, 30);
+  WeightedFrameSampler s(frames, std::vector<double>(30, 0.0));
+  CheckExactCoverage(&s, frames, 15);
+}
+
+TEST(WeightedFrameSamplerTest, MultiRangeMapping) {
+  FrameRangeSet frames({{100, 110}, {500, 505}});
+  std::vector<double> weights(15, 1.0);
+  WeightedFrameSampler s(frames, weights);
+  CheckExactCoverage(&s, frames, 16);
+}
+
+TEST(MakeFrameSamplerTest, FactoryProducesBothKinds) {
+  auto frames = FrameRangeSet::Single(0, 10);
+  auto u = MakeFrameSampler(WithinChunkStrategy::kUniform, frames);
+  auto r = MakeFrameSampler(WithinChunkStrategy::kRandomPlus, frames);
+  ASSERT_NE(u, nullptr);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(u->remaining(), 10);
+  EXPECT_EQ(r->remaining(), 10);
+}
+
+}  // namespace
+}  // namespace video
+}  // namespace exsample

@@ -1,0 +1,67 @@
+#include "video/repository.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace video {
+namespace {
+
+std::vector<VideoMeta> ThreeVideos() {
+  return {
+      VideoMeta{"a", 100, 30.0, 20},
+      VideoMeta{"b", 50, 30.0, 20},
+      VideoMeta{"c", 200, 15.0, 10},
+  };
+}
+
+TEST(VideoRepositoryTest, TotalsAndStarts) {
+  auto repo = VideoRepository::Create(ThreeVideos());
+  ASSERT_TRUE(repo.ok());
+  EXPECT_EQ(repo.value().total_frames(), 350);
+  EXPECT_EQ(repo.value().num_videos(), 3u);
+  EXPECT_EQ(repo.value().VideoStart(0), 0);
+  EXPECT_EQ(repo.value().VideoStart(1), 100);
+  EXPECT_EQ(repo.value().VideoStart(2), 150);
+}
+
+TEST(VideoRepositoryTest, LocateRoundTrip) {
+  auto repo = VideoRepository::Create(ThreeVideos()).value();
+  for (FrameId f = 0; f < repo.total_frames(); ++f) {
+    FrameLocation loc = repo.Locate(f);
+    EXPECT_EQ(repo.GlobalIndex(loc.video, loc.local_frame), f);
+    EXPECT_LT(loc.local_frame, repo.video(loc.video).num_frames);
+    EXPECT_GE(loc.local_frame, 0);
+  }
+}
+
+TEST(VideoRepositoryTest, LocateBoundaries) {
+  auto repo = VideoRepository::Create(ThreeVideos()).value();
+  EXPECT_EQ(repo.Locate(0).video, 0);
+  EXPECT_EQ(repo.Locate(99).video, 0);
+  EXPECT_EQ(repo.Locate(100).video, 1);
+  EXPECT_EQ(repo.Locate(100).local_frame, 0);
+  EXPECT_EQ(repo.Locate(149).video, 1);
+  EXPECT_EQ(repo.Locate(150).video, 2);
+  EXPECT_EQ(repo.Locate(349).video, 2);
+  EXPECT_EQ(repo.Locate(349).local_frame, 199);
+}
+
+TEST(VideoRepositoryTest, TotalSeconds) {
+  auto repo = VideoRepository::Create(ThreeVideos()).value();
+  // 100/30 + 50/30 + 200/15
+  EXPECT_NEAR(repo.TotalSeconds(), 100.0 / 30 + 50.0 / 30 + 200.0 / 15, 1e-9);
+}
+
+TEST(VideoRepositoryTest, RejectsEmpty) {
+  EXPECT_FALSE(VideoRepository::Create({}).ok());
+}
+
+TEST(VideoRepositoryTest, RejectsInvalidVideos) {
+  EXPECT_FALSE(VideoRepository::Create({VideoMeta{"x", 0, 30.0, 20}}).ok());
+  EXPECT_FALSE(VideoRepository::Create({VideoMeta{"x", 10, 0.0, 20}}).ok());
+  EXPECT_FALSE(VideoRepository::Create({VideoMeta{"x", 10, 30.0, 0}}).ok());
+}
+
+}  // namespace
+}  // namespace video
+}  // namespace exsample
