@@ -6,13 +6,20 @@
 //     dependence around alpha0 = 0.1).
 //  3. Within-chunk sampling: random+ vs plain uniform (§III-F).
 //
+// The within-chunk comparison (3) runs its engine trials as
+// exec::MultiQueryRunner jobs across all cores.
+//
 // Flags: --frames (1M), --trials (7), --instances (500), --chunks (64),
-//        --max-samples (20000), --seed.
+//        --max-samples (20000), --threads (0 = all), --seed.
 
 #include <cstdio>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "exec/multi_query_runner.h"
+#include "exec/query_job.h"
 #include "sim/chunked_sim.h"
 #include "sim/savings.h"
 #include "util/flags.h"
@@ -28,8 +35,14 @@ int Main(int argc, char** argv) {
   const int64_t instances = flags.GetInt("instances", 500);
   const int32_t chunks = static_cast<int32_t>(flags.GetInt("chunks", 64));
   const int64_t max_samples = flags.GetInt("max-samples", 20000);
+  const int64_t threads_flag = flags.GetInt("threads", 0);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 31));
   flags.FailOnUnknown();
+  if (threads_flag < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0 (0 = all cores)\n");
+    return 2;
+  }
+  const size_t threads = static_cast<size_t>(threads_flag);
 
   std::printf("=== Ablation: policy, prior, within-chunk sampling ===\n");
   std::printf("frames=%lld instances=%lld chunks=%d trials=%d\n\n",
@@ -116,20 +129,22 @@ int Main(int argc, char** argv) {
     Table t({"within-chunk", "to 25% recall", "to 50% recall"});
     for (auto within : {video::WithinChunkStrategy::kRandomPlus,
                         video::WithinChunkStrategy::kUniform}) {
-      std::vector<core::Trajectory> trajs;
+      // Each trial is one scheduled job; the trial index is the job id.
+      std::vector<exec::QueryJob> jobs;
       for (int tr = 0; tr < trials; ++tr) {
-        detect::SimulatedDetector det(&ds.ground_truth, class_id,
-                                      detect::PerfectDetectorConfig(), 3);
-        track::OracleDiscriminator disc;
-        core::EngineConfig cfg;
-        cfg.strategy = core::Strategy::kExSample;
-        cfg.within_chunk = within;
-        core::QueryEngine engine(&ds.repo, &ds.chunks, &det, &disc, cfg,
-                                 3000 + static_cast<uint64_t>(tr));
-        core::QuerySpec q;
-        q.class_id = class_id;
-        q.max_samples = ds.repo.total_frames() / 4;
-        trajs.push_back(engine.Run(q).true_instances);
+        exec::QueryJob job = bench::MakeTrialJob(
+            ds, class_id, core::Strategy::kExSample,
+            ds.repo.total_frames() / 4, tr);
+        job.config.within_chunk = within;
+        jobs.push_back(std::move(job));
+      }
+      exec::MultiQueryRunner::Options options;
+      options.threads = threads;
+      options.base_seed = 3000;
+      std::vector<core::Trajectory> trajs;
+      for (exec::JobResult& r :
+           exec::MultiQueryRunner(options).RunAll(jobs)) {
+        trajs.push_back(std::move(r.result.true_instances));
       }
       std::vector<std::string> cells{
           within == video::WithinChunkStrategy::kRandomPlus ? "random+"

@@ -1,0 +1,153 @@
+// Multi-query scheduler throughput: N independent distinct-object queries
+// (cycling over the preset's classes) run through exec::MultiQueryRunner at
+// 1, 4 and hardware-concurrency threads. Emits BENCH_multiquery.json with
+// queries/sec per configuration and the speedup over serial, so later PRs
+// have a perf trajectory to compare against. Also asserts the scheduler's
+// core contract: identical results at every thread count.
+//
+// Flags: --queries (64), --preset (dashcam), --scale (0.1),
+//        --max-samples (per query; default total_frames/8), --seed,
+//        --out (BENCH_multiquery.json).
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exec/multi_query_runner.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace exsample {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const int64_t queries = flags.GetInt("queries", 64);
+  const std::string preset = flags.GetString("preset", "dashcam");
+  const double scale = flags.GetDouble("scale", 0.1);
+  int64_t max_samples = flags.GetInt("max-samples", 0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 47));
+  const std::string out_path =
+      flags.GetString("out", "BENCH_multiquery.json");
+  flags.FailOnUnknown();
+
+  auto ds = data::MakePreset(preset, scale, seed);
+  if (max_samples <= 0) max_samples = ds.repo.total_frames() / 8;
+
+  std::printf("=== MultiQueryRunner throughput: %lld queries on '%s' ===\n",
+              static_cast<long long>(queries), preset.c_str());
+  std::printf("scale=%.3g frames=%lld max-samples/query=%lld\n\n", scale,
+              static_cast<long long>(ds.repo.total_frames()),
+              static_cast<long long>(max_samples));
+
+  // N independent queries cycling over the preset's classes; the query
+  // index is the job id, so every thread configuration reproduces the same
+  // per-job seed streams.
+  std::vector<exec::QueryJob> jobs;
+  jobs.reserve(static_cast<size_t>(queries));
+  for (int64_t q = 0; q < queries; ++q) {
+    const auto& cls = ds.classes[static_cast<size_t>(q) % ds.classes.size()];
+    jobs.push_back(bench::MakeTrialJob(ds, cls.class_id,
+                                       core::Strategy::kExSample, max_samples,
+                                       q));
+  }
+
+  const size_t hw = std::thread::hardware_concurrency() > 0
+                        ? std::thread::hardware_concurrency()
+                        : 1;
+  std::vector<size_t> thread_counts{1, 4};
+  if (hw != 1 && hw != 4) thread_counts.push_back(hw);
+
+  struct Measurement {
+    size_t threads;
+    double seconds;
+    double qps;
+    double speedup;
+  };
+  std::vector<Measurement> measurements;
+  std::vector<exec::JobResult> reference;
+  bool deterministic = true;
+
+  Table t({"threads", "seconds", "queries/sec", "speedup"});
+  for (size_t threads : thread_counts) {
+    exec::MultiQueryRunner::Options options;
+    options.threads = threads;
+    options.base_seed = seed;
+    exec::MultiQueryRunner runner(options);
+
+    const double start = Now();
+    std::vector<exec::JobResult> results = runner.RunAll(jobs);
+    const double elapsed = Now() - start;
+
+    if (reference.empty()) {
+      reference = std::move(results);
+    } else {
+      for (size_t i = 0; i < reference.size(); ++i) {
+        if (results[i].result.frames_processed !=
+                reference[i].result.frames_processed ||
+            results[i].result.true_instances.final_count() !=
+                reference[i].result.true_instances.final_count()) {
+          deterministic = false;
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: job %lld differs at %zu "
+                       "threads\n",
+                       static_cast<long long>(results[i].job_id), threads);
+        }
+      }
+    }
+
+    Measurement m;
+    m.threads = threads;
+    m.seconds = elapsed;
+    m.qps = static_cast<double>(queries) / elapsed;
+    m.speedup = measurements.empty() ? 1.0
+                                     : measurements.front().seconds / elapsed;
+    measurements.push_back(m);
+    t.AddRow({Table::Int(static_cast<int64_t>(threads)),
+              Table::Num(elapsed, 3), Table::Num(m.qps, 4),
+              Table::Ratio(m.speedup)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf("\nresults identical across thread counts: %s\n",
+              deterministic ? "yes" : "NO (bug!)");
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"multiquery\",\n";
+  out << "  \"preset\": \"" << preset << "\",\n";
+  out << "  \"scale\": " << scale << ",\n";
+  out << "  \"queries\": " << queries << ",\n";
+  out << "  \"max_samples_per_query\": " << max_samples << ",\n";
+  out << "  \"deterministic_across_threads\": "
+      << (deterministic ? "true" : "false") << ",\n";
+  out << "  \"configs\": [\n";
+  for (size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    out << "    {\"threads\": " << m.threads << ", \"seconds\": " << m.seconds
+        << ", \"queries_per_sec\": " << m.qps << ", \"speedup\": " << m.speedup
+        << "}" << (i + 1 < measurements.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return deterministic ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::Main(argc, argv); }

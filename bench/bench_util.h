@@ -1,55 +1,87 @@
 // Shared helpers for the benchmark/experiment binaries: preset query
-// runners and trial collection.
+// runners and trial collection, scheduled through exec::MultiQueryRunner
+// so multi-trial sweeps use every core while staying deterministic (the
+// trial index is the job id; see MultiQueryRunner::JobSeed).
 
 #ifndef EXSAMPLE_BENCH_BENCH_UTIL_H_
 #define EXSAMPLE_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
 #include "data/presets.h"
 #include "detect/simulated_detector.h"
+#include "exec/multi_query_runner.h"
+#include "exec/query_job.h"
 #include "track/discriminator.h"
 
 namespace exsample {
 namespace bench {
 
-/// Runs one engine trial on a dataset and returns the distinct-true-instance
-/// trajectory (oracle discriminator, perfect detector: isolates sampling
-/// behaviour, matching how the paper counts recall against its reference
-/// ground truth).
+/// One engine trial as a schedulable job (oracle discriminator, perfect
+/// detector: isolates sampling behaviour, matching how the paper counts
+/// recall against its reference ground truth). The dataset must outlive
+/// the returned job.
+inline exec::QueryJob MakeTrialJob(const data::Dataset& ds,
+                                   detect::ClassId class_id,
+                                   core::Strategy strategy,
+                                   int64_t max_samples, int64_t job_id,
+                                   int32_t batch_size = 1) {
+  exec::QueryJob job;
+  job.id = job_id;
+  job.repo = &ds.repo;
+  job.chunks = &ds.chunks;
+  job.config.strategy = strategy;
+  job.config.batch_size = batch_size;
+  job.spec.class_id = class_id;
+  job.spec.max_samples = max_samples;
+  job.make_detector = [&ds, class_id](uint64_t seed) {
+    return std::make_unique<detect::SimulatedDetector>(
+        &ds.ground_truth, class_id, detect::PerfectDetectorConfig(), seed);
+  };
+  job.make_discriminator = [] {
+    return std::make_unique<track::OracleDiscriminator>();
+  };
+  return job;
+}
+
+/// Collects `trials` distinct-true-instance trajectories with independent
+/// per-trial seed streams. `threads` = 0 uses every hardware thread; the
+/// trajectories are identical for any thread count.
+inline std::vector<core::Trajectory> RunTrials(
+    const data::Dataset& ds, detect::ClassId class_id,
+    core::Strategy strategy, int64_t max_samples, int trials,
+    uint64_t seed_base, size_t threads = 0, int32_t batch_size = 1) {
+  std::vector<exec::QueryJob> jobs;
+  jobs.reserve(static_cast<size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    jobs.push_back(
+        MakeTrialJob(ds, class_id, strategy, max_samples, t, batch_size));
+  }
+  exec::MultiQueryRunner::Options options;
+  options.threads = threads;
+  options.base_seed = seed_base;
+  std::vector<exec::JobResult> results =
+      exec::MultiQueryRunner(options).RunAll(jobs);
+  std::vector<core::Trajectory> out;
+  out.reserve(results.size());
+  for (exec::JobResult& r : results) {
+    out.push_back(std::move(r.result.true_instances));
+  }
+  return out;
+}
+
+/// Single-trial convenience wrapper.
 inline core::Trajectory RunTrial(const data::Dataset& ds,
                                  detect::ClassId class_id,
                                  core::Strategy strategy, int64_t max_samples,
                                  uint64_t seed, int32_t batch_size = 1) {
-  detect::SimulatedDetector detector(&ds.ground_truth, class_id,
-                                     detect::PerfectDetectorConfig(),
-                                     seed * 1000003 + 17);
-  track::OracleDiscriminator disc;
-  core::EngineConfig cfg;
-  cfg.strategy = strategy;
-  cfg.batch_size = batch_size;
-  core::QueryEngine engine(&ds.repo, &ds.chunks, &detector, &disc, cfg, seed);
-  core::QuerySpec spec;
-  spec.class_id = class_id;
-  spec.max_samples = max_samples;
-  return engine.Run(spec).true_instances;
-}
-
-/// Collects `trials` trajectories with distinct seeds.
-inline std::vector<core::Trajectory> RunTrials(
-    const data::Dataset& ds, detect::ClassId class_id,
-    core::Strategy strategy, int64_t max_samples, int trials,
-    uint64_t seed_base) {
-  std::vector<core::Trajectory> out;
-  out.reserve(static_cast<size_t>(trials));
-  for (int t = 0; t < trials; ++t) {
-    out.push_back(RunTrial(ds, class_id, strategy, max_samples,
-                           seed_base + static_cast<uint64_t>(t)));
-  }
-  return out;
+  return std::move(RunTrials(ds, class_id, strategy, max_samples, 1, seed, 1,
+                             batch_size)[0]);
 }
 
 /// ceil(recall * count) as an integer target.

@@ -6,7 +6,11 @@
 // Both strategies pay the same per-frame cost (no proxy scan), so the time
 // ratio equals the sampled-frames ratio.
 //
-// Flags: --scale (default 0.08), --trials (3), --seed.
+// Trials are scheduled as exec::MultiQueryRunner jobs, so the per-query
+// trial sweep runs across all cores (deterministically — job seeds derive
+// from trial ids, not scheduling).
+//
+// Flags: --scale (default 0.08), --trials (3), --threads (0 = all), --seed.
 
 #include <algorithm>
 #include <cstdio>
@@ -26,8 +30,14 @@ int Main(int argc, char** argv) {
   const bool full = flags.GetBool("full");
   const double scale = flags.GetDouble("scale", full ? 1.0 : 0.08);
   const int trials = static_cast<int>(flags.GetInt("trials", full ? 5 : 3));
+  const int64_t threads_flag = flags.GetInt("threads", 0);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 19));
   flags.FailOnUnknown();
+  if (threads_flag < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0 (0 = all cores)\n");
+    return 2;
+  }
+  const size_t threads = static_cast<size_t>(threads_flag);
 
   std::printf("=== Figure 5: savings ratio per query (ExSample vs random) "
               "===\n");
@@ -42,9 +52,11 @@ int Main(int argc, char** argv) {
           ds.ground_truth.NumInstances(cls.class_id);
       if (n_instances < 4) continue;
       auto ex = bench::RunTrials(ds, cls.class_id, core::Strategy::kExSample,
-                                 ds.repo.total_frames(), trials, seed * 31);
+                                 ds.repo.total_frames(), trials, seed * 31,
+                                 threads);
       auto rnd = bench::RunTrials(ds, cls.class_id, core::Strategy::kRandom,
-                                  ds.repo.total_frames(), trials, seed * 37);
+                                  ds.repo.total_frames(), trials, seed * 37,
+                                  threads);
       std::vector<std::string> row{preset, cls.name,
                                    Table::Int(n_instances)};
       for (double recall : {0.1, 0.5, 0.9}) {

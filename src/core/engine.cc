@@ -1,6 +1,9 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <unordered_set>
+#include <utility>
 
 namespace exsample {
 namespace core {
@@ -10,76 +13,22 @@ QueryEngine::QueryEngine(const video::VideoRepository* repo,
                          detect::ObjectDetector* detector,
                          track::Discriminator* discriminator,
                          EngineConfig config, uint64_t seed)
+    : QueryEngine(repo, MakeFrameSource(config, *repo, chunks), detector,
+                  discriminator, config, seed) {}
+
+QueryEngine::QueryEngine(const video::VideoRepository* repo,
+                         std::unique_ptr<FrameSource> source,
+                         detect::ObjectDetector* detector,
+                         track::Discriminator* discriminator,
+                         EngineConfig config, uint64_t seed)
     : repo_(repo),
-      chunks_(chunks),
       detector_(detector),
       discriminator_(discriminator),
       config_(config),
-      rng_(seed) {
-  assert(repo_ && detector_ && discriminator_);
+      rng_(seed),
+      source_(std::move(source)) {
+  assert(repo_ && detector_ && discriminator_ && source_);
   assert(config_.batch_size >= 1);
-  switch (config_.strategy) {
-    case Strategy::kExSample: {
-      assert(chunks_ != nullptr && !chunks_->empty());
-      policy_ = MakePolicy(config_.policy, config_.belief);
-      stats_ = std::make_unique<ChunkStats>(
-          static_cast<int32_t>(chunks_->size()));
-      chunk_samplers_.reserve(chunks_->size());
-      for (const auto& chunk : *chunks_) {
-        chunk_samplers_.push_back(
-            video::MakeFrameSampler(config_.within_chunk, chunk.frames));
-      }
-      chunk_available_.assign(chunks_->size(), true);
-      if (config_.credit == CreditMode::kFirstSightingChunk) {
-        chunk_lookup_ = std::make_unique<video::ChunkLookup>(*chunks_);
-      }
-      break;
-    }
-    case Strategy::kRandom:
-      flat_sampler_ = std::make_unique<video::UniformFrameSampler>(
-          video::FrameRangeSet::Single(0, repo_->total_frames()));
-      break;
-    case Strategy::kRandomPlus:
-      flat_sampler_ = std::make_unique<video::RandomPlusFrameSampler>(
-          video::FrameRangeSet::Single(0, repo_->total_frames()));
-      break;
-    case Strategy::kSequential:
-      assert(config_.sequential_stride >= 1);
-      sequential_cursor_ = 0;
-      break;
-  }
-}
-
-video::FrameId QueryEngine::NextFrame(video::ChunkId* picked_chunk) {
-  *picked_chunk = -1;
-  switch (config_.strategy) {
-    case Strategy::kExSample: {
-      bool any = false;
-      for (bool a : chunk_available_) any = any || a;
-      if (!any) return -1;
-      video::ChunkId j = policy_->Pick(*stats_, chunk_available_, &rng_);
-      auto& sampler = chunk_samplers_[static_cast<size_t>(j)];
-      assert(!sampler->exhausted());
-      video::FrameId frame = sampler->Next(&rng_);
-      if (sampler->exhausted()) {
-        chunk_available_[static_cast<size_t>(j)] = false;
-      }
-      *picked_chunk = j;
-      return frame;
-    }
-    case Strategy::kRandom:
-    case Strategy::kRandomPlus: {
-      if (flat_sampler_->exhausted()) return -1;
-      return flat_sampler_->Next(&rng_);
-    }
-    case Strategy::kSequential: {
-      if (sequential_cursor_ >= repo_->total_frames()) return -1;
-      video::FrameId frame = sequential_cursor_;
-      sequential_cursor_ += config_.sequential_stride;
-      return frame;
-    }
-  }
-  return -1;
 }
 
 QueryResult QueryEngine::Run(const QuerySpec& spec) {
@@ -92,42 +41,15 @@ QueryResult QueryEngine::Run(const QuerySpec& spec) {
 
   bool done = false;
   while (!done) {
-    // 1) Choose the frames for this (possibly batched) iteration.
-    struct Picked {
-      video::FrameId frame;
-      video::ChunkId chunk;
-    };
-    std::vector<Picked> batch;
+    // 1) Ask the source for this (possibly batched) iteration's frames.
     const int64_t want = std::min<int64_t>(
         config_.batch_size, max_samples - result.frames_processed);
     if (want <= 0) break;
-    if (config_.strategy == Strategy::kExSample && config_.batch_size > 1) {
-      // Batched Thompson: draw B chunk indices from the current beliefs,
-      // then one frame from each (chunks can run dry mid-batch).
-      for (int64_t b = 0; b < want; ++b) {
-        bool any = false;
-        for (bool a : chunk_available_) any = any || a;
-        if (!any) break;
-        video::ChunkId j = policy_->Pick(*stats_, chunk_available_, &rng_);
-        auto& sampler = chunk_samplers_[static_cast<size_t>(j)];
-        video::FrameId frame = sampler->Next(&rng_);
-        if (sampler->exhausted()) {
-          chunk_available_[static_cast<size_t>(j)] = false;
-        }
-        batch.push_back(Picked{frame, j});
-      }
-    } else {
-      for (int64_t b = 0; b < want; ++b) {
-        video::ChunkId chunk;
-        video::FrameId frame = NextFrame(&chunk);
-        if (frame < 0) break;
-        batch.push_back(Picked{frame, chunk});
-      }
-    }
+    std::vector<PickedFrame> batch = source_->NextBatch(want, &rng_);
     if (batch.empty()) break;
 
-    // 2) Decode + detect + discriminate, 3) update state.
-    for (const Picked& pick : batch) {
+    // 2) Decode + detect + discriminate, 3) feed the verdict back.
+    for (const PickedFrame& pick : batch) {
       result.decode_seconds += decoder.Read(pick.frame);
       std::vector<detect::Detection> dets = detector_->Detect(pick.frame);
       result.inference_seconds += detector_->InferenceSeconds();
@@ -135,24 +57,8 @@ QueryResult QueryEngine::Run(const QuerySpec& spec) {
           discriminator_->GetMatches(pick.frame, dets);
       discriminator_->Add(pick.frame, dets);
       ++result.frames_processed;
+      source_->OnFeedback(pick, match);
 
-      if (config_.strategy == Strategy::kExSample) {
-        if (config_.credit == CreditMode::kFirstSightingChunk) {
-          std::vector<video::ChunkId> d1_chunks;
-          d1_chunks.reserve(match.d1_first_frames.size());
-          for (video::FrameId f : match.d1_first_frames) {
-            video::ChunkId c = chunk_lookup_->Find(f);
-            assert(c >= 0);
-            d1_chunks.push_back(c);
-          }
-          stats_->UpdateSplit(pick.chunk,
-                              static_cast<int64_t>(match.d0.size()),
-                              d1_chunks);
-        } else {
-          stats_->Update(pick.chunk, static_cast<int64_t>(match.d0.size()),
-                         match.num_d1);
-        }
-      }
       if (!match.d0.empty()) {
         bool new_true_instance = false;
         for (const auto& d : match.d0) {

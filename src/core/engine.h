@@ -1,78 +1,33 @@
-// QueryEngine: the Algorithm 1 sampling loop with pluggable frame-selection
-// strategies.
+// QueryEngine: the Algorithm 1 driver loop.
 //
-// Strategies:
-//  * kExSample   — chunk choice by bandit policy (Thompson by default),
-//                  random+ within the chosen chunk, per-chunk (N1, n) state;
-//  * kRandom     — uniform sampling without replacement over the whole
-//                  repository (the paper's main baseline);
-//  * kRandomPlus — temporally stratified random over the whole repository
-//                  (§III-F's standalone random+ variant);
-//  * kSequential — scan frames in order with a stride (the naive baseline,
-//                  §II-B).
-//
-// The engine owns the loop: pick frame -> decode (cost model) -> detect ->
-// discriminate -> update state -> append results, and records the
-// distinct-results trajectory for evaluation.
+// Frame selection lives behind core::FrameSource (see frame_source.h); the
+// engine only owns the per-frame pipeline: pick -> decode (cost model) ->
+// detect -> discriminate -> feed the verdict back to the source, and
+// records the distinct-results trajectory for evaluation.
 
 #ifndef EXSAMPLE_CORE_ENGINE_H_
 #define EXSAMPLE_CORE_ENGINE_H_
 
 #include <cstdint>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
-#include "core/chunk_stats.h"
-#include "core/policy.h"
+#include "core/frame_source.h"
 #include "core/query.h"
 #include "detect/detector.h"
 #include "track/discriminator.h"
 #include "util/rng.h"
 #include "video/chunking.h"
 #include "video/decoder.h"
-#include "video/frame_sampler.h"
 #include "video/repository.h"
 
 namespace exsample {
 namespace core {
 
-/// Frame-selection strategy.
-enum class Strategy {
-  kExSample,
-  kRandom,
-  kRandomPlus,
-  kSequential,
-};
-
-/// How the N1 decrement of a second sighting is attributed when an object
-/// spans chunks (paper footnote 1).
-enum class CreditMode {
-  /// Algorithm 1 as published: both |d0| and |d1| update the chunk the
-  /// frame was sampled from. An object first seen from chunk A and re-seen
-  /// from a sample in chunk B drives N1_B negative (clamped by the belief).
-  kSampledChunk,
-  /// Technical-report adjustment: each d1 decrement is credited to the
-  /// chunk of the object's FIRST sighting, cancelling the +1 recorded
-  /// there. Per-chunk N1 can then never go negative.
-  kFirstSightingChunk,
-};
-
-/// Engine configuration.
-struct EngineConfig {
-  Strategy strategy = Strategy::kExSample;
-  /// Bandit policy for kExSample.
-  PolicyKind policy = PolicyKind::kThompson;
-  BeliefParams belief;
-  /// Within-chunk sampling for kExSample.
-  video::WithinChunkStrategy within_chunk =
-      video::WithinChunkStrategy::kRandomPlus;
+/// Engine configuration: the frame-source choice plus loop-level knobs.
+struct EngineConfig : FrameSourceConfig {
   /// Frames processed per batched iteration (§III-F); 1 = unbatched.
   int32_t batch_size = 1;
-  /// Stride for kSequential (process every k-th frame).
-  int64_t sequential_stride = 1;
-  /// Cross-chunk N1 crediting (kExSample only).
-  CreditMode credit = CreditMode::kSampledChunk;
   /// Simulate decode costs (adds decoder latency to the time accounting).
   video::DecodeCostModel decode_model;
 };
@@ -80,12 +35,22 @@ struct EngineConfig {
 /// Runs distinct-object queries against one dataset.
 ///
 /// The detector and discriminator are owned by the caller and must outlive
-/// the engine. A fresh engine (or at least a fresh discriminator) should be
-/// used per query run.
+/// the engine. A fresh engine (or at least a fresh discriminator and frame
+/// source) should be used per query run.
 class QueryEngine {
  public:
+  /// Builds the frame source described by `config` (the common path).
+  /// `chunks` is required for Strategy::kExSample, ignored otherwise.
   QueryEngine(const video::VideoRepository* repo,
               const std::vector<video::Chunk>* chunks,
+              detect::ObjectDetector* detector,
+              track::Discriminator* discriminator, EngineConfig config,
+              uint64_t seed);
+
+  /// Drives a caller-supplied source (custom strategies plug in here);
+  /// config.strategy and the other FrameSourceConfig fields are ignored.
+  QueryEngine(const video::VideoRepository* repo,
+              std::unique_ptr<FrameSource> source,
               detect::ObjectDetector* detector,
               track::Discriminator* discriminator, EngineConfig config,
               uint64_t seed);
@@ -94,30 +59,19 @@ class QueryEngine {
   /// or repository exhausted).
   QueryResult Run(const QuerySpec& spec);
 
-  /// Per-chunk statistics after the run (ExSample strategy only).
-  const ChunkStats* chunk_stats() const { return stats_.get(); }
+  /// The frame source driving this engine.
+  const FrameSource& frame_source() const { return *source_; }
+
+  /// Per-chunk statistics after the run (sources that keep them only).
+  const ChunkStats* chunk_stats() const { return source_->chunk_stats(); }
 
  private:
-  /// Picks the next frame to process, or -1 when exhausted. For kExSample,
-  /// `picked_chunk` receives the chunk the frame came from.
-  video::FrameId NextFrame(video::ChunkId* picked_chunk);
-
   const video::VideoRepository* repo_;
-  const std::vector<video::Chunk>* chunks_;
   detect::ObjectDetector* detector_;
   track::Discriminator* discriminator_;
   EngineConfig config_;
   Rng rng_;
-
-  // ExSample state.
-  std::unique_ptr<ChunkPolicy> policy_;
-  std::unique_ptr<ChunkStats> stats_;
-  std::vector<std::unique_ptr<video::FrameSampler>> chunk_samplers_;
-  std::vector<bool> chunk_available_;
-  std::unique_ptr<video::ChunkLookup> chunk_lookup_;  // for kFirstSighting
-  // Whole-repository samplers for the baselines.
-  std::unique_ptr<video::FrameSampler> flat_sampler_;
-  video::FrameId sequential_cursor_ = 0;
+  std::unique_ptr<FrameSource> source_;
 };
 
 }  // namespace core

@@ -1,0 +1,165 @@
+#include "core/frame_source.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exsample {
+namespace core {
+
+// ---------------------------------------------------------------- ExSample
+
+ExSampleFrameSource::ExSampleFrameSource(
+    const std::vector<video::Chunk>* chunks, const FrameSourceConfig& config)
+    : chunks_(chunks),
+      credit_(config.credit),
+      policy_(MakePolicy(config.policy, config.belief)),
+      stats_(static_cast<int32_t>(chunks->size())) {
+  assert(chunks_ != nullptr && !chunks_->empty());
+  samplers_.reserve(chunks_->size());
+  for (const auto& chunk : *chunks_) {
+    samplers_.push_back(
+        video::MakeFrameSampler(config.within_chunk, chunk.frames));
+    remaining_ += samplers_.back()->remaining();
+  }
+  available_.assign(chunks_->size(), true);
+  if (credit_ == CreditMode::kFirstSightingChunk) {
+    lookup_ = std::make_unique<video::ChunkLookup>(*chunks_);
+  }
+}
+
+std::vector<PickedFrame> ExSampleFrameSource::NextBatch(int64_t want,
+                                                        Rng* rng) {
+  std::vector<PickedFrame> out;
+  if (want <= 0 || remaining_ == 0) return out;
+  want = std::min(want, remaining_);
+  out.reserve(static_cast<size_t>(want));
+
+  // One PickBatch draws the whole batch from the current beliefs (§III-F:
+  // batched Thompson samples B chunk indices i.i.d. from the same
+  // posterior). Chunks can run dry mid-batch; those picks are redrawn from
+  // the live availability so every returned frame is valid.
+  std::vector<video::ChunkId> picks = policy_->PickBatch(
+      stats_, available_, static_cast<int32_t>(want), rng);
+  for (video::ChunkId j : picks) {
+    if (remaining_ == 0) break;
+    if (!available_[static_cast<size_t>(j)]) {
+      j = policy_->Pick(stats_, available_, rng);
+    }
+    auto& sampler = samplers_[static_cast<size_t>(j)];
+    assert(!sampler->exhausted());
+    PickedFrame pick;
+    pick.frame = sampler->Next(rng);
+    pick.chunk = j;
+    if (sampler->exhausted()) {
+      available_[static_cast<size_t>(j)] = false;
+    }
+    --remaining_;
+    out.push_back(pick);
+  }
+  return out;
+}
+
+void ExSampleFrameSource::OnFeedback(const PickedFrame& pick,
+                                     const track::MatchResult& match) {
+  if (credit_ == CreditMode::kFirstSightingChunk) {
+    std::vector<video::ChunkId> d1_chunks;
+    d1_chunks.reserve(match.d1_first_frames.size());
+    for (video::FrameId f : match.d1_first_frames) {
+      video::ChunkId c = lookup_->Find(f);
+      assert(c >= 0);
+      d1_chunks.push_back(c);
+    }
+    stats_.UpdateSplit(pick.chunk, static_cast<int64_t>(match.d0.size()),
+                       d1_chunks);
+  } else {
+    stats_.Update(pick.chunk, static_cast<int64_t>(match.d0.size()),
+                  match.num_d1);
+  }
+}
+
+// ------------------------------------------------------- flat baselines
+
+namespace {
+
+/// Drains up to `want` chunkless picks from a sampler.
+std::vector<PickedFrame> DrainSampler(video::FrameSampler* sampler,
+                                      int64_t want, Rng* rng) {
+  std::vector<PickedFrame> out;
+  want = std::min(want, sampler->remaining());
+  if (want <= 0) return out;
+  out.reserve(static_cast<size_t>(want));
+  for (int64_t b = 0; b < want; ++b) {
+    PickedFrame pick;
+    pick.frame = sampler->Next(rng);
+    out.push_back(pick);
+  }
+  return out;
+}
+
+}  // namespace
+
+RandomFrameSource::RandomFrameSource(int64_t total_frames)
+    : sampler_(video::FrameRangeSet::Single(0, total_frames)) {}
+
+std::vector<PickedFrame> RandomFrameSource::NextBatch(int64_t want,
+                                                      Rng* rng) {
+  return DrainSampler(&sampler_, want, rng);
+}
+
+RandomPlusFrameSource::RandomPlusFrameSource(int64_t total_frames)
+    : sampler_(video::FrameRangeSet::Single(0, total_frames)) {}
+
+std::vector<PickedFrame> RandomPlusFrameSource::NextBatch(int64_t want,
+                                                          Rng* rng) {
+  return DrainSampler(&sampler_, want, rng);
+}
+
+// ------------------------------------------------------------ sequential
+
+SequentialFrameSource::SequentialFrameSource(int64_t total_frames,
+                                             int64_t stride)
+    : total_frames_(total_frames), stride_(stride) {
+  assert(stride_ >= 1);
+}
+
+int64_t SequentialFrameSource::remaining() const {
+  if (cursor_ >= total_frames_) return 0;
+  return (total_frames_ - cursor_ + stride_ - 1) / stride_;
+}
+
+std::vector<PickedFrame> SequentialFrameSource::NextBatch(int64_t want,
+                                                          Rng* /*rng*/) {
+  std::vector<PickedFrame> out;
+  want = std::min(want, remaining());
+  if (want <= 0) return out;
+  out.reserve(static_cast<size_t>(want));
+  for (int64_t b = 0; b < want; ++b) {
+    PickedFrame pick;
+    pick.frame = cursor_;
+    cursor_ += stride_;
+    out.push_back(pick);
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- factory
+
+std::unique_ptr<FrameSource> MakeFrameSource(
+    const FrameSourceConfig& config, const video::VideoRepository& repo,
+    const std::vector<video::Chunk>* chunks) {
+  switch (config.strategy) {
+    case Strategy::kExSample:
+      return std::make_unique<ExSampleFrameSource>(chunks, config);
+    case Strategy::kRandom:
+      return std::make_unique<RandomFrameSource>(repo.total_frames());
+    case Strategy::kRandomPlus:
+      return std::make_unique<RandomPlusFrameSource>(repo.total_frames());
+    case Strategy::kSequential:
+      return std::make_unique<SequentialFrameSource>(
+          repo.total_frames(), config.sequential_stride);
+  }
+  return nullptr;
+}
+
+}  // namespace core
+}  // namespace exsample

@@ -1,0 +1,190 @@
+// FrameSource: the frame-selection layer of the query pipeline.
+//
+// Algorithm 1's "which frame next?" decision is isolated behind this
+// interface so the engine loop (decode -> detect -> discriminate) stays
+// strategy-agnostic and new sampling strategies plug in without touching
+// the engine. Four sources cover the paper's strategies:
+//
+//  * ExSampleFrameSource   — chunk choice by bandit policy (Thompson by
+//                            default), within-chunk sampling without
+//                            replacement, per-chunk (N1, n) state updated
+//                            through the feedback hook. Batched picks route
+//                            through ChunkPolicy::PickBatch (§III-F).
+//  * RandomFrameSource     — uniform sampling without replacement over the
+//                            whole repository (the paper's main baseline).
+//  * RandomPlusFrameSource — temporally stratified random over the whole
+//                            repository (§III-F's standalone random+).
+//  * SequentialFrameSource — scan frames in order with a stride (the naive
+//                            baseline, §II-B).
+//
+// Sources are stateful and single-query: use a fresh instance per run.
+
+#ifndef EXSAMPLE_CORE_FRAME_SOURCE_H_
+#define EXSAMPLE_CORE_FRAME_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/belief.h"
+#include "core/chunk_stats.h"
+#include "core/policy.h"
+#include "track/discriminator.h"
+#include "util/rng.h"
+#include "video/chunking.h"
+#include "video/frame_sampler.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace core {
+
+/// Frame-selection strategy selector for configuration structs.
+enum class Strategy {
+  kExSample,
+  kRandom,
+  kRandomPlus,
+  kSequential,
+};
+
+/// How the N1 decrement of a second sighting is attributed when an object
+/// spans chunks (paper footnote 1).
+enum class CreditMode {
+  /// Algorithm 1 as published: both |d0| and |d1| update the chunk the
+  /// frame was sampled from. An object first seen from chunk A and re-seen
+  /// from a sample in chunk B drives N1_B negative (clamped by the belief).
+  kSampledChunk,
+  /// Technical-report adjustment: each d1 decrement is credited to the
+  /// chunk of the object's FIRST sighting, cancelling the +1 recorded
+  /// there. Per-chunk N1 can then never go negative.
+  kFirstSightingChunk,
+};
+
+/// Everything needed to build a frame source for one query run.
+struct FrameSourceConfig {
+  Strategy strategy = Strategy::kExSample;
+  /// Bandit policy for kExSample.
+  PolicyKind policy = PolicyKind::kThompson;
+  BeliefParams belief;
+  /// Within-chunk sampling for kExSample.
+  video::WithinChunkStrategy within_chunk =
+      video::WithinChunkStrategy::kRandomPlus;
+  /// Stride for kSequential (process every k-th frame).
+  int64_t sequential_stride = 1;
+  /// Cross-chunk N1 crediting (kExSample only).
+  CreditMode credit = CreditMode::kSampledChunk;
+};
+
+/// One chosen frame. `chunk` is -1 for sources without chunk structure.
+struct PickedFrame {
+  video::FrameId frame = -1;
+  video::ChunkId chunk = -1;
+};
+
+/// Supplies the frames a query processes, without replacement, and receives
+/// the discriminator's verdicts back so adaptive sources can learn.
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+
+  /// Frames this source can still produce.
+  virtual int64_t remaining() const = 0;
+
+  bool exhausted() const { return remaining() == 0; }
+
+  /// Draws up to `want` frames. Returns fewer (possibly none) when the
+  /// source runs dry. Each frame is produced at most once per source
+  /// lifetime (sampling without replacement).
+  virtual std::vector<PickedFrame> NextBatch(int64_t want, Rng* rng) = 0;
+
+  /// Feedback for one processed frame: the discriminator's partition of its
+  /// detections into new objects (d0) and second sightings (d1). Called
+  /// once per frame, in processing order. Baselines ignore it.
+  virtual void OnFeedback(const PickedFrame& /*pick*/,
+                          const track::MatchResult& /*match*/) {}
+
+  /// Per-chunk statistics when the source maintains them, else nullptr.
+  virtual const ChunkStats* chunk_stats() const { return nullptr; }
+
+  virtual std::string name() const = 0;
+};
+
+/// The paper's adaptive source: a bandit policy scores chunks by their
+/// (N1, n) statistics; frames are drawn within the chosen chunk without
+/// replacement. Batched draws go through ChunkPolicy::PickBatch, re-picking
+/// from the live beliefs when a chunk runs dry mid-batch.
+class ExSampleFrameSource : public FrameSource {
+ public:
+  /// `chunks` must be non-empty and outlive the source.
+  ExSampleFrameSource(const std::vector<video::Chunk>* chunks,
+                      const FrameSourceConfig& config);
+
+  int64_t remaining() const override { return remaining_; }
+  std::vector<PickedFrame> NextBatch(int64_t want, Rng* rng) override;
+  void OnFeedback(const PickedFrame& pick,
+                  const track::MatchResult& match) override;
+  const ChunkStats* chunk_stats() const override { return &stats_; }
+  std::string name() const override { return "exsample:" + policy_->name(); }
+
+ private:
+  const std::vector<video::Chunk>* chunks_;
+  CreditMode credit_;
+  std::unique_ptr<ChunkPolicy> policy_;
+  ChunkStats stats_;
+  std::vector<std::unique_ptr<video::FrameSampler>> samplers_;
+  std::vector<bool> available_;
+  int64_t remaining_ = 0;
+  std::unique_ptr<video::ChunkLookup> lookup_;  // kFirstSightingChunk only
+};
+
+/// Uniform random over the whole repository, without replacement.
+class RandomFrameSource : public FrameSource {
+ public:
+  explicit RandomFrameSource(int64_t total_frames);
+
+  int64_t remaining() const override { return sampler_.remaining(); }
+  std::vector<PickedFrame> NextBatch(int64_t want, Rng* rng) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  video::UniformFrameSampler sampler_;
+};
+
+/// Temporally stratified random ("random+", §III-F) over the repository.
+class RandomPlusFrameSource : public FrameSource {
+ public:
+  explicit RandomPlusFrameSource(int64_t total_frames);
+
+  int64_t remaining() const override { return sampler_.remaining(); }
+  std::vector<PickedFrame> NextBatch(int64_t want, Rng* rng) override;
+  std::string name() const override { return "random+"; }
+
+ private:
+  video::RandomPlusFrameSampler sampler_;
+};
+
+/// In-order scan with a stride (every k-th frame).
+class SequentialFrameSource : public FrameSource {
+ public:
+  SequentialFrameSource(int64_t total_frames, int64_t stride);
+
+  int64_t remaining() const override;
+  std::vector<PickedFrame> NextBatch(int64_t want, Rng* rng) override;
+  std::string name() const override { return "sequential"; }
+
+ private:
+  int64_t total_frames_;
+  int64_t stride_;
+  int64_t cursor_ = 0;
+};
+
+/// Builds the configured source. `chunks` is required (non-null, non-empty)
+/// for Strategy::kExSample and ignored otherwise.
+std::unique_ptr<FrameSource> MakeFrameSource(
+    const FrameSourceConfig& config, const video::VideoRepository& repo,
+    const std::vector<video::Chunk>* chunks);
+
+}  // namespace core
+}  // namespace exsample
+
+#endif  // EXSAMPLE_CORE_FRAME_SOURCE_H_

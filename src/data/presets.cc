@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cmath>
 
 namespace exsample {
@@ -250,7 +252,8 @@ DatasetSpec MakePresetSpec(const std::string& name, double scale) {
   } else if (name == "night_street") {
     spec = NightStreet();
   } else {
-    assert(false && "unknown preset name");
+    std::fprintf(stderr, "fatal: unknown preset name '%s'\n", name.c_str());
+    std::abort();
   }
   return ScaleSpec(std::move(spec), scale);
 }

@@ -1,0 +1,72 @@
+#include "exec/multi_query_runner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace exsample {
+namespace exec {
+
+MultiQueryRunner::MultiQueryRunner(Options options) : options_(options) {}
+
+uint64_t MultiQueryRunner::JobSeed(uint64_t base_seed, int64_t job_id) {
+  // Two SplitMix64 steps: the first whitens the (base_seed, id) pair, the
+  // second decorrelates neighbouring ids that share a base seed.
+  SplitMix64 mix(base_seed ^
+                 (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(job_id) + 1)));
+  mix.Next();
+  return mix.Next();
+}
+
+std::vector<JobResult> MultiQueryRunner::RunAll(
+    const std::vector<QueryJob>& jobs) const {
+  std::vector<JobResult> results(jobs.size());
+  const uint64_t base_seed = options_.base_seed;
+
+  auto run_one = [&jobs, &results, base_seed](size_t i) {
+    const QueryJob& job = jobs[i];
+    assert(job.repo != nullptr);
+    assert(job.make_detector && job.make_discriminator);
+
+    // Independent streams per job: engine and detector each get their own
+    // seed so adding detector noise never perturbs the sampling sequence.
+    const uint64_t seed = JobSeed(base_seed, job.id);
+    SplitMix64 stream(seed);
+    const uint64_t engine_seed = stream.Next();
+    const uint64_t detector_seed = stream.Next();
+
+    std::unique_ptr<detect::ObjectDetector> detector =
+        job.make_detector(detector_seed);
+    std::unique_ptr<track::Discriminator> discriminator =
+        job.make_discriminator();
+    core::QueryEngine engine(job.repo, job.chunks, detector.get(),
+                             discriminator.get(), job.config, engine_seed);
+
+    JobResult& out = results[i];
+    out.job_id = job.id;
+    out.seed = seed;
+    out.result = engine.Run(job.spec);
+  };
+
+  // Never spin up more workers than jobs (tiny batches are common in the
+  // bench sweeps; a 2-job RunAll should not build a 64-thread pool).
+  size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  threads = std::min(threads, jobs.size());
+
+  if (threads <= 1) {
+    for (size_t i = 0; i < jobs.size(); ++i) run_one(i);
+  } else {
+    ThreadPool::ParallelFor(jobs.size(), threads, run_one);
+  }
+  return results;
+}
+
+}  // namespace exec
+}  // namespace exsample

@@ -1,0 +1,66 @@
+// QueryJob: one self-contained query run, ready to be scheduled.
+//
+// A job names the dataset surfaces it reads (repository + chunking), the
+// engine configuration, the query spec, and factories for the per-run
+// stateful components (detector, discriminator). Factories — rather than
+// instances — because detectors and discriminators accumulate state across
+// one run and therefore cannot be shared between jobs or reused; the runner
+// instantiates fresh ones per job, on the worker thread that executes it.
+
+#ifndef EXSAMPLE_EXEC_QUERY_JOB_H_
+#define EXSAMPLE_EXEC_QUERY_JOB_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/query.h"
+#include "detect/detector.h"
+#include "track/discriminator.h"
+#include "video/chunking.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace exec {
+
+/// Builds a fresh detector for one run. `seed` is the job's deterministic
+/// detector stream (see MultiQueryRunner::JobSeed); factories for
+/// deterministic detectors may ignore it.
+using DetectorFactory =
+    std::function<std::unique_ptr<detect::ObjectDetector>(uint64_t seed)>;
+
+/// Builds a fresh discriminator for one run.
+using DiscriminatorFactory =
+    std::function<std::unique_ptr<track::Discriminator>()>;
+
+/// One schedulable query run. The referenced repository and chunk vector
+/// are read-only during execution and must outlive the runner call; many
+/// jobs typically share them.
+struct QueryJob {
+  /// Job identity; determines the job's RNG streams, so two jobs with the
+  /// same id and base seed produce identical results. Ids need not be
+  /// dense or sorted, but must be unique within one RunAll() call.
+  int64_t id = 0;
+  const video::VideoRepository* repo = nullptr;
+  /// Required for Strategy::kExSample, ignored otherwise.
+  const std::vector<video::Chunk>* chunks = nullptr;
+  core::EngineConfig config;
+  core::QuerySpec spec;
+  DetectorFactory make_detector;
+  DiscriminatorFactory make_discriminator;
+};
+
+/// Outcome of one scheduled job, in the job order passed to RunAll().
+struct JobResult {
+  int64_t job_id = 0;
+  /// The root seed the job's streams were derived from.
+  uint64_t seed = 0;
+  core::QueryResult result;
+};
+
+}  // namespace exec
+}  // namespace exsample
+
+#endif  // EXSAMPLE_EXEC_QUERY_JOB_H_

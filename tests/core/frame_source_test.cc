@@ -1,0 +1,156 @@
+#include "core/frame_source.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "video/chunking.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace core {
+namespace {
+
+video::VideoRepository MakeRepo(int64_t frames) {
+  video::VideoMeta meta;
+  meta.name = "v0";
+  meta.num_frames = frames;
+  auto repo = video::VideoRepository::Create({meta});
+  EXPECT_TRUE(repo.ok());
+  return std::move(repo).value();
+}
+
+// Drains a source with the given batch size and returns every picked frame.
+std::vector<video::FrameId> Drain(FrameSource* source, int64_t batch,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<video::FrameId> frames;
+  while (!source->exhausted()) {
+    auto picks = source->NextBatch(batch, &rng);
+    EXPECT_FALSE(picks.empty());
+    for (const auto& p : picks) frames.push_back(p.frame);
+  }
+  EXPECT_TRUE(source->NextBatch(batch, &rng).empty());
+  return frames;
+}
+
+// Every frame of [0, n) appears exactly once.
+void ExpectExactCoverage(std::vector<video::FrameId> frames, int64_t n) {
+  ASSERT_EQ(static_cast<int64_t>(frames.size()), n);
+  std::sort(frames.begin(), frames.end());
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(frames[static_cast<size_t>(i)], i) << "at index " << i;
+  }
+}
+
+TEST(ExSampleFrameSourceTest, ExhaustsWithoutReplacement) {
+  const int64_t kFrames = 4000;
+  auto chunks = video::MakeUniformChunks(kFrames, 8);
+  ExSampleFrameSource source(&chunks, FrameSourceConfig{});
+  EXPECT_EQ(source.remaining(), kFrames);
+  ExpectExactCoverage(Drain(&source, 1, 1), kFrames);
+}
+
+TEST(ExSampleFrameSourceTest, BatchedExhaustionYieldsEveryFrameOnce) {
+  // Regression for the batched-exhaustion bug: chunks far smaller than the
+  // batch guarantee that chunks picked several times per batch run dry
+  // mid-batch; every pick must still be a valid fresh frame.
+  const int64_t kFrames = 256;
+  auto chunks = video::MakeUniformChunks(kFrames, 64);  // 4 frames per chunk
+  ExSampleFrameSource source(&chunks, FrameSourceConfig{});
+  ExpectExactCoverage(Drain(&source, 32, 2), kFrames);
+}
+
+TEST(ExSampleFrameSourceTest, NextBatchHonorsWant) {
+  auto chunks = video::MakeUniformChunks(1000, 10);
+  ExSampleFrameSource source(&chunks, FrameSourceConfig{});
+  Rng rng(3);
+  EXPECT_EQ(source.NextBatch(16, &rng).size(), 16u);
+  EXPECT_EQ(source.NextBatch(1, &rng).size(), 1u);
+  EXPECT_EQ(source.remaining(), 1000 - 17);
+  EXPECT_TRUE(source.NextBatch(0, &rng).empty());
+}
+
+TEST(ExSampleFrameSourceTest, FeedbackUpdatesChunkStats) {
+  auto chunks = video::MakeUniformChunks(100, 4);
+  ExSampleFrameSource source(&chunks, FrameSourceConfig{});
+  Rng rng(4);
+  auto picks = source.NextBatch(1, &rng);
+  ASSERT_EQ(picks.size(), 1u);
+
+  track::MatchResult match;
+  match.d0.resize(2);  // two new objects
+  source.OnFeedback(picks[0], match);
+
+  ASSERT_NE(source.chunk_stats(), nullptr);
+  EXPECT_EQ(source.chunk_stats()->total_samples(), 1);
+  EXPECT_EQ(source.chunk_stats()->n1(picks[0].chunk), 2);
+  EXPECT_EQ(source.chunk_stats()->n(picks[0].chunk), 1);
+}
+
+TEST(ExSampleFrameSourceTest, PicksCarryTheOwningChunk) {
+  auto chunks = video::MakeUniformChunks(500, 5);
+  ExSampleFrameSource source(&chunks, FrameSourceConfig{});
+  video::ChunkLookup lookup(chunks);
+  Rng rng(5);
+  while (!source.exhausted()) {
+    for (const auto& p : source.NextBatch(7, &rng)) {
+      EXPECT_EQ(lookup.Find(p.frame), p.chunk);
+    }
+  }
+}
+
+TEST(RandomFrameSourceTest, ExhaustsWithoutReplacement) {
+  RandomFrameSource source(3000);
+  EXPECT_EQ(source.chunk_stats(), nullptr);
+  ExpectExactCoverage(Drain(&source, 13, 6), 3000);
+}
+
+TEST(RandomPlusFrameSourceTest, ExhaustsWithoutReplacement) {
+  RandomPlusFrameSource source(3000);
+  EXPECT_EQ(source.chunk_stats(), nullptr);
+  ExpectExactCoverage(Drain(&source, 13, 7), 3000);
+}
+
+TEST(SequentialFrameSourceTest, StridedScanInOrder) {
+  SequentialFrameSource source(100, 30);
+  EXPECT_EQ(source.remaining(), 4);  // frames 0, 30, 60, 90
+  Rng rng(8);
+  auto picks = source.NextBatch(10, &rng);
+  ASSERT_EQ(picks.size(), 4u);
+  EXPECT_EQ(picks[0].frame, 0);
+  EXPECT_EQ(picks[1].frame, 30);
+  EXPECT_EQ(picks[2].frame, 60);
+  EXPECT_EQ(picks[3].frame, 90);
+  EXPECT_TRUE(source.exhausted());
+}
+
+TEST(SequentialFrameSourceTest, UnitStrideCoversEverything) {
+  SequentialFrameSource source(500, 1);
+  ExpectExactCoverage(Drain(&source, 64, 9), 500);
+}
+
+TEST(MakeFrameSourceTest, FactoryCoversAllStrategies) {
+  auto repo = MakeRepo(1000);
+  auto chunks = video::MakeUniformChunks(1000, 4);
+
+  FrameSourceConfig config;
+  config.strategy = Strategy::kExSample;
+  EXPECT_EQ(MakeFrameSource(config, repo, &chunks)->name(),
+            "exsample:thompson");
+  config.policy = PolicyKind::kBayesUcb;
+  EXPECT_EQ(MakeFrameSource(config, repo, &chunks)->name(),
+            "exsample:bayes_ucb");
+  config.strategy = Strategy::kRandom;
+  EXPECT_EQ(MakeFrameSource(config, repo, nullptr)->name(), "random");
+  config.strategy = Strategy::kRandomPlus;
+  EXPECT_EQ(MakeFrameSource(config, repo, nullptr)->name(), "random+");
+  config.strategy = Strategy::kSequential;
+  EXPECT_EQ(MakeFrameSource(config, repo, nullptr)->name(), "sequential");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace exsample

@@ -161,6 +161,30 @@ TEST(PickBatchTest, ReturnsRequestedSizeFromAvailable) {
   for (auto j : batch) EXPECT_NE(j, 1);
 }
 
+TEST(PickBatchTest, MatchesSequentialPicksForThompson) {
+  // Thompson's posterior does not change between draws, so a batch of B
+  // from fixed beliefs must equal B sequential Pick() calls made with an
+  // identical RNG stream (the contract batched §III-F sampling relies on).
+  ThompsonPolicy batch_policy;
+  ThompsonPolicy seq_policy;
+  ChunkStats stats(5);
+  for (int i = 0; i < 12; ++i) stats.Update(1, i % 3 == 0 ? 1 : 0, 0);
+  for (int i = 0; i < 7; ++i) stats.Update(3, i % 2, 0);
+  stats.Update(4, 0, 0);
+  const auto avail = AllAvailable(5);
+
+  constexpr int32_t kBatch = 64;
+  Rng rng_batch(77);
+  Rng rng_seq(77);
+  auto batch = batch_policy.PickBatch(stats, avail, kBatch, &rng_batch);
+  ASSERT_EQ(batch.size(), static_cast<size_t>(kBatch));
+  for (int32_t b = 0; b < kBatch; ++b) {
+    EXPECT_EQ(batch[static_cast<size_t>(b)],
+              seq_policy.Pick(stats, avail, &rng_seq))
+        << "draw " << b;
+  }
+}
+
 TEST(MakePolicyTest, FactoryCoversAllKinds) {
   EXPECT_EQ(MakePolicy(PolicyKind::kThompson)->name(), "thompson");
   EXPECT_EQ(MakePolicy(PolicyKind::kBayesUcb)->name(), "bayes_ucb");

@@ -9,16 +9,19 @@
 //   exsample_query --print-spec dashcam > dashcam.spec
 //
 //   # find 50 distinct bicycles with ExSample, write results
-//   exsample_query --spec dashcam.spec --class bicycle --limit 50 \
-//                  --out results.csv
+//   exsample_query --spec dashcam.spec --class bicycle --limit 50 --out results.csv
 //
 //   # random-sampling baseline under a 10-minute GPU budget
-//   exsample_query --spec dashcam.spec --class bicycle \
-//                  --strategy random --budget-seconds 600
+//   exsample_query --spec dashcam.spec --class bicycle --strategy random --budget-seconds 600
+//
+//   # 16 repeated trials scheduled across all cores (deterministic: trial
+//   # seeds derive from trial ids, not thread scheduling)
+//   exsample_query --preset dashcam --class bicycle --limit 50 --trials 16 --threads 0
 
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "data/presets.h"
@@ -26,8 +29,11 @@
 #include "data/statistics.h"
 #include "detect/cost_model.h"
 #include "detect/simulated_detector.h"
+#include "exec/multi_query_runner.h"
+#include "exec/query_job.h"
 #include "track/discriminator.h"
 #include "util/flags.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 namespace exsample {
@@ -46,7 +52,18 @@ int Main(int argc, char** argv) {
   const std::string out_path = flags.GetString("out", "");
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const bool use_tracker = flags.GetBool("tracker");
+  const int64_t trials = flags.GetInt("trials", 1);
+  const int64_t threads_flag = flags.GetInt("threads", 0);
   flags.FailOnUnknown();
+  if (trials < 1) {
+    std::fprintf(stderr, "error: --trials must be >= 1\n");
+    return 2;
+  }
+  if (threads_flag < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0 (0 = all cores)\n");
+    return 2;
+  }
+  const size_t threads = static_cast<size_t>(threads_flag);
 
   if (!print_spec.empty()) {
     std::printf("%s", data::SpecToText(
@@ -71,6 +88,7 @@ int Main(int argc, char** argv) {
                  "--class NAME [--limit N] [--budget-seconds S]\n"
                  "       [--strategy exsample|random|randomplus|sequential]"
                  " [--out results.csv] [--tracker] [--seed N]\n"
+                 "       [--trials N] [--threads T  (0 = all cores)]\n"
                  "       exsample_query --print-spec PRESET\n");
     return 2;
   }
@@ -104,21 +122,39 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
-  // --- run
-  detect::SimulatedDetector detector(&dataset.ground_truth, cls->class_id,
-                                     detect::DetectorConfig{}, seed + 1);
-  track::TrackerDiscriminator tracker;
-  track::OracleDiscriminator oracle;
-  track::Discriminator* discriminator =
-      use_tracker ? static_cast<track::Discriminator*>(&tracker)
-                  : static_cast<track::Discriminator*>(&oracle);
-  core::QueryEngine engine(&dataset.repo, &dataset.chunks, &detector,
-                           discriminator, config, seed + 2);
+  // --- run: every trial is one scheduled job; job seeds derive from trial
+  // ids so any thread count reproduces the same results.
   core::QuerySpec query;
   query.class_id = cls->class_id;
   if (limit > 0) query.result_limit = limit;
   query.max_seconds = budget_seconds;
-  core::QueryResult result = engine.Run(query);
+
+  std::vector<exec::QueryJob> jobs;
+  jobs.reserve(static_cast<size_t>(trials));
+  for (int64_t t = 0; t < trials; ++t) {
+    exec::QueryJob job;
+    job.id = t;
+    job.repo = &dataset.repo;
+    job.chunks = &dataset.chunks;
+    job.config = config;
+    job.spec = query;
+    job.make_detector = [&dataset, cls](uint64_t detector_seed) {
+      return std::make_unique<detect::SimulatedDetector>(
+          &dataset.ground_truth, cls->class_id, detect::DetectorConfig{},
+          detector_seed);
+    };
+    job.make_discriminator = [use_tracker]() -> std::unique_ptr<track::Discriminator> {
+      if (use_tracker) return std::make_unique<track::TrackerDiscriminator>();
+      return std::make_unique<track::OracleDiscriminator>();
+    };
+    jobs.push_back(std::move(job));
+  }
+  exec::MultiQueryRunner::Options options;
+  options.threads = trials == 1 ? 1 : threads;
+  options.base_seed = seed;
+  std::vector<exec::JobResult> outcomes =
+      exec::MultiQueryRunner(options).RunAll(jobs);
+  const core::QueryResult& result = outcomes.front().result;
 
   // --- report
   detect::ThroughputModel throughput;
@@ -126,13 +162,27 @@ int Main(int argc, char** argv) {
               dataset.name.c_str(),
               static_cast<long long>(dataset.repo.total_frames()),
               dataset.chunks.size(), cls->name.c_str());
-  std::printf("strategy %s: %zu distinct results in %lld frames (%s modeled "
-              "GPU time)\n",
-              strategy_name.c_str(), result.results.size(),
-              static_cast<long long>(result.frames_processed),
-              Table::Duration(
-                  throughput.SampleSeconds(result.frames_processed))
-                  .c_str());
+  for (const exec::JobResult& outcome : outcomes) {
+    std::printf("strategy %s trial %lld: %zu distinct results in %lld frames "
+                "(%s modeled GPU time)\n",
+                strategy_name.c_str(), static_cast<long long>(outcome.job_id),
+                outcome.result.results.size(),
+                static_cast<long long>(outcome.result.frames_processed),
+                Table::Duration(throughput.SampleSeconds(
+                                    outcome.result.frames_processed))
+                    .c_str());
+  }
+  if (trials > 1) {
+    std::vector<double> frames;
+    frames.reserve(outcomes.size());
+    for (const exec::JobResult& outcome : outcomes) {
+      frames.push_back(
+          static_cast<double>(outcome.result.frames_processed));
+    }
+    std::printf("median over %lld trials: %lld frames\n",
+                static_cast<long long>(trials),
+                static_cast<long long>(Percentile(frames, 0.5)));
+  }
 
   if (!out_path.empty()) {
     Table csv({"result_index", "frame", "x", "y", "w", "h", "score"});
@@ -149,8 +199,13 @@ int Main(int argc, char** argv) {
       return 1;
     }
     out << csv.ToCsv();
-    std::printf("wrote %zu results to %s\n", result.results.size(),
-                out_path.c_str());
+    if (trials > 1) {
+      std::printf("wrote %zu results (trial 0 only) to %s\n",
+                  result.results.size(), out_path.c_str());
+    } else {
+      std::printf("wrote %zu results to %s\n", result.results.size(),
+                  out_path.c_str());
+    }
   }
   return 0;
 }
