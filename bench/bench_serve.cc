@@ -1,0 +1,272 @@
+// Serving-layer latency and fairness: N concurrent anytime sessions through
+// serve::SessionManager. Measures what a multi-tenant deployment cares
+// about — time-to-first-result and time-to-k per session under load, and
+// how much aggregate wall-clock concurrency buys over serializing the same
+// queries — plus a slice-size sweep (fairness quantum vs scheduling
+// overhead) and the determinism contract (same results at 1 worker, T
+// workers, and one-shot engine runs).
+//
+// Emits BENCH_serve.json. On this repo's CI the 8-session concurrent run
+// must beat serializing those sessions by >= 2x aggregate time-to-k; the
+// speedup only shows on multi-core hosts (a 1-core container reports ~1x).
+//
+// Flags: --sessions-max (32), --preset (dashcam), --scale (0.05),
+//        --limit (20, per-session distinct-result target k),
+//        --slice-frames (256), --seed, --out (BENCH_serve.json).
+//
+// The defaults make each session ~40ms of single-core work across ~150
+// slices — enough scheduling granularity that the concurrent-vs-serialized
+// comparison measures parallelism, not round overhead.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exec/multi_query_runner.h"
+#include "serve/session_manager.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace exsample {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SessionOutcome {
+  int64_t frames = 0;
+  int64_t results = 0;
+  double seconds_to_first = -1.0;
+  double seconds_to_done = 0.0;
+};
+
+struct LoadResult {
+  double aggregate_seconds = 0.0;  // first open -> all done
+  std::vector<SessionOutcome> sessions;
+};
+
+/// Opens `count` sessions (cycling the preset's classes) and either lets
+/// them run concurrently or serializes them (open, wait, open, ...).
+LoadResult RunLoad(const data::Dataset& ds, int64_t count, size_t threads,
+                   int64_t slice_frames, int64_t limit, uint64_t seed,
+                   bool serialize) {
+  serve::SessionManager::Options options;
+  options.threads = threads;
+  options.slice_frames = slice_frames;
+  options.max_live_sessions = static_cast<size_t>(count);
+  options.base_seed = seed;
+  serve::SessionManager manager(options);
+
+  LoadResult load;
+  std::vector<int64_t> ids;
+  const double start = Now();
+  for (int64_t i = 0; i < count; ++i) {
+    const auto& cls = ds.classes[static_cast<size_t>(i) % ds.classes.size()];
+    core::QuerySpec spec;
+    spec.class_id = cls.class_id;
+    spec.result_limit = limit;
+    exec::QueryJob job =
+        bench::MakeTrialJob(ds, cls.class_id, core::Strategy::kExSample,
+                            /*max_samples=*/0, /*job_id=*/0);
+    job.spec = spec;
+    auto opened = manager.Open(std::move(job));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   opened.status().ToString().c_str());
+      std::exit(1);
+    }
+    ids.push_back(opened.value());
+    if (serialize) manager.WaitAllDone();
+  }
+  manager.WaitAllDone();
+  load.aggregate_seconds = Now() - start;
+
+  for (int64_t id : ids) {
+    auto poll = manager.Poll(id);
+    if (!poll.ok()) std::exit(1);
+    SessionOutcome outcome;
+    outcome.frames = poll.value().frames_processed;
+    outcome.results = poll.value().total_results;
+    outcome.seconds_to_first = poll.value().seconds_to_first_result;
+    outcome.seconds_to_done = poll.value().wall_seconds;
+    load.sessions.push_back(outcome);
+  }
+  return load;
+}
+
+double PercentileOf(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  return Percentile(values, p);
+}
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const int64_t sessions_max = flags.GetInt("sessions-max", 32);
+  const std::string preset = flags.GetString("preset", "dashcam");
+  const double scale = flags.GetDouble("scale", 0.05);
+  const int64_t limit = flags.GetInt("limit", 20);
+  const int64_t slice_frames = flags.GetInt("slice-frames", 256);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 23));
+  const std::string out_path = flags.GetString("out", "BENCH_serve.json");
+  flags.FailOnUnknown();
+  if (sessions_max < 8 || limit < 1 || slice_frames < 1 || scale <= 0.0 ||
+      scale > 1.0) {
+    std::fprintf(stderr,
+                 "error: need --sessions-max >= 8, --limit >= 1, "
+                 "--slice-frames >= 1, --scale in (0, 1]\n");
+    return 2;
+  }
+
+  const size_t hw = std::thread::hardware_concurrency() > 0
+                        ? std::thread::hardware_concurrency()
+                        : 1;
+  auto ds = data::MakePreset(preset, scale, seed);
+  std::printf("=== serve layer: anytime sessions on '%s' (scale=%.3g, "
+              "%lld frames, %zu cores) ===\n\n",
+              preset.c_str(), scale,
+              static_cast<long long>(ds.repo.total_frames()), hw);
+
+  Json doc = Json::Object();
+  doc.Set("bench", "serve")
+      .Set("preset", preset)
+      .Set("scale", scale)
+      .Set("limit_k", limit)
+      .Set("slice_frames", slice_frames)
+      .Set("hardware_threads", static_cast<int64_t>(hw));
+
+  // --- concurrency sweep: 1 / 8 / sessions-max live sessions.
+  std::vector<int64_t> session_counts{1, 8, sessions_max};
+  Table t({"sessions", "aggregate", "ttfr p50", "time-to-k p50",
+           "time-to-k p95"});
+  Json sweep = Json::Array();
+  for (int64_t count : session_counts) {
+    LoadResult load =
+        RunLoad(ds, count, hw, slice_frames, limit, seed, /*serialize=*/false);
+    std::vector<double> first, done;
+    for (const auto& s : load.sessions) {
+      if (s.seconds_to_first >= 0) first.push_back(s.seconds_to_first);
+      done.push_back(s.seconds_to_done);
+    }
+    const double ttfr50 = PercentileOf(first, 0.5);
+    const double ttk50 = PercentileOf(done, 0.5);
+    const double ttk95 = PercentileOf(done, 0.95);
+    t.AddRow({Table::Int(count), Table::Num(load.aggregate_seconds, 4),
+              Table::Num(ttfr50, 4), Table::Num(ttk50, 4),
+              Table::Num(ttk95, 4)});
+    sweep.Append(Json::Object()
+                     .Set("sessions", count)
+                     .Set("aggregate_seconds", load.aggregate_seconds)
+                     .Set("ttfr_p50_seconds", ttfr50)
+                     .Set("time_to_k_p50_seconds", ttk50)
+                     .Set("time_to_k_p95_seconds", ttk95));
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  doc.Set("concurrency_sweep", std::move(sweep));
+
+  // --- concurrent vs serialized at 8 sessions (the headline number).
+  LoadResult concurrent =
+      RunLoad(ds, 8, hw, slice_frames, limit, seed, /*serialize=*/false);
+  LoadResult serial =
+      RunLoad(ds, 8, hw, slice_frames, limit, seed, /*serialize=*/true);
+  const double speedup =
+      concurrent.aggregate_seconds > 0
+          ? serial.aggregate_seconds / concurrent.aggregate_seconds
+          : 0.0;
+  std::printf("8 sessions serialized: %.4fs, concurrent: %.4fs -> %s "
+              "aggregate speedup%s\n\n",
+              serial.aggregate_seconds, concurrent.aggregate_seconds,
+              Table::Ratio(speedup).c_str(),
+              hw < 2 ? " (1-core host: >=2x only shows on multi-core)" : "");
+  doc.Set("serialized_8_seconds", serial.aggregate_seconds)
+      .Set("concurrent_8_seconds", concurrent.aggregate_seconds)
+      .Set("speedup_concurrent_vs_serial", speedup);
+
+  // --- slice-size sweep at 8 sessions: responsiveness vs overhead.
+  Table st({"slice", "aggregate", "ttfr p50"});
+  Json slices = Json::Array();
+  for (int64_t slice : {int64_t{32}, slice_frames, int64_t{2048}}) {
+    LoadResult load =
+        RunLoad(ds, 8, hw, slice, limit, seed, /*serialize=*/false);
+    std::vector<double> first;
+    for (const auto& s : load.sessions) {
+      if (s.seconds_to_first >= 0) first.push_back(s.seconds_to_first);
+    }
+    const double ttfr50 = PercentileOf(first, 0.5);
+    st.AddRow({Table::Int(slice), Table::Num(load.aggregate_seconds, 4),
+               Table::Num(ttfr50, 4)});
+    slices.Append(Json::Object()
+                      .Set("slice_frames", slice)
+                      .Set("aggregate_seconds", load.aggregate_seconds)
+                      .Set("ttfr_p50_seconds", ttfr50));
+  }
+  std::printf("%s\n", st.ToString().c_str());
+  doc.Set("slice_sweep", std::move(slices));
+
+  // --- determinism: serial workers == T workers == one-shot engine runs.
+  LoadResult one_worker =
+      RunLoad(ds, 8, 1, slice_frames, limit, seed, /*serialize=*/false);
+  bool deterministic = true;
+  for (size_t i = 0; i < 8; ++i) {
+    if (one_worker.sessions[i].frames != concurrent.sessions[i].frames ||
+        one_worker.sessions[i].results != concurrent.sessions[i].results) {
+      deterministic = false;
+      std::fprintf(stderr, "DETERMINISM VIOLATION: session %zu differs "
+                   "between 1 and %zu workers\n", i + 1, hw);
+    }
+  }
+  // One-shot reference: the same jobs through the batch scheduler, ids
+  // matching the manager's session ids (1-based, open order).
+  std::vector<exec::QueryJob> jobs;
+  for (int64_t i = 0; i < 8; ++i) {
+    const auto& cls = ds.classes[static_cast<size_t>(i) % ds.classes.size()];
+    exec::QueryJob job =
+        bench::MakeTrialJob(ds, cls.class_id, core::Strategy::kExSample,
+                            /*max_samples=*/0, /*job_id=*/i + 1);
+    job.spec.result_limit = limit;
+    job.spec.max_samples = 0;
+    jobs.push_back(std::move(job));
+  }
+  exec::MultiQueryRunner::Options ropts;
+  ropts.threads = 1;
+  ropts.base_seed = seed;
+  std::vector<exec::JobResult> oneshot =
+      exec::MultiQueryRunner(ropts).RunAll(jobs);
+  for (size_t i = 0; i < 8; ++i) {
+    if (oneshot[i].result.frames_processed !=
+            concurrent.sessions[i].frames ||
+        static_cast<int64_t>(oneshot[i].result.results.size()) !=
+            concurrent.sessions[i].results) {
+      deterministic = false;
+      std::fprintf(stderr, "DETERMINISM VIOLATION: session %zu differs "
+                   "from its one-shot engine run\n", i + 1);
+    }
+  }
+  std::printf("sliced concurrent == serial workers == one-shot runs: %s\n",
+              deterministic ? "yes" : "NO (bug!)");
+  doc.Set("deterministic", deterministic);
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << doc.Dump() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return deterministic ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::Main(argc, argv); }

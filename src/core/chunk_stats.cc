@@ -32,6 +32,13 @@ void ChunkStats::UpdateSplit(video::ChunkId j, int64_t d0,
   ++total_samples_;
 }
 
+void ChunkStats::SeedPrior(video::ChunkId j, int64_t n1, int64_t n) {
+  assert(j >= 0 && j < num_chunks());
+  assert(n1 >= 0 && n >= 0);
+  n1_[static_cast<size_t>(j)] += n1;
+  n_[static_cast<size_t>(j)] += n;
+}
+
 double ChunkStats::PointEstimate(video::ChunkId j) const {
   const int64_t nj = n(j);
   if (nj == 0) return 0.0;

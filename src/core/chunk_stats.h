@@ -37,6 +37,13 @@ class ChunkStats {
   void UpdateSplit(video::ChunkId j, int64_t d0,
                    const std::vector<video::ChunkId>& d1_chunks);
 
+  /// Seeds warm-start pseudo-counts into chunk j before sampling begins
+  /// (cross-query warm start, EKO-style: scaled-down statistics from a
+  /// previous query on the same repository). Adds to N1_j and n_j without
+  /// advancing the total-samples clock, so time-indexed policies
+  /// (Bayes-UCB's quantile schedule) still start at t = 0.
+  void SeedPrior(video::ChunkId j, int64_t n1, int64_t n);
+
   /// Raw N1 (may be negative; see class comment).
   int64_t n1(video::ChunkId j) const { return n1_[static_cast<size_t>(j)]; }
   /// N1 clamped at zero, the value fed to the belief distribution.

@@ -2,11 +2,29 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
+#include <limits>
 #include <utility>
 
 namespace exsample {
 namespace core {
+
+const char* StepDoneName(StepStatus::Done done) {
+  switch (done) {
+    case StepStatus::Done::kRunning:
+      return "running";
+    case StepStatus::Done::kLimitReached:
+      return "limit";
+    case StepStatus::Done::kSamplesExhausted:
+      return "max_samples";
+    case StepStatus::Done::kBudgetExhausted:
+      return "budget";
+    case StepStatus::Done::kSourceExhausted:
+      return "exhausted";
+    case StepStatus::Done::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
 
 QueryEngine::QueryEngine(const video::VideoRepository* repo,
                          const std::vector<video::Chunk>* chunks,
@@ -32,62 +50,119 @@ QueryEngine::QueryEngine(const video::VideoRepository* repo,
 }
 
 QueryResult QueryEngine::Run(const QuerySpec& spec) {
-  QueryResult result;
-  video::SimulatedDecoder decoder(repo_, config_.decode_model);
-  std::unordered_set<detect::InstanceId> seen_instances;
+  Begin(spec);
+  Step(std::numeric_limits<int64_t>::max());
+  return TakeResult();
+}
 
-  const int64_t max_samples =
+void QueryEngine::Begin(const QuerySpec& spec) {
+  assert(run_ == nullptr && "Begin() called on an already-open run");
+  run_ = std::make_unique<RunState>(repo_, config_.decode_model);
+  run_->spec = spec;
+  run_->max_samples =
       spec.max_samples > 0 ? spec.max_samples : repo_->total_frames();
+}
 
-  bool done = false;
-  while (!done) {
-    // 1) Ask the source for this (possibly batched) iteration's frames.
-    const int64_t want = std::min<int64_t>(
-        config_.batch_size, max_samples - result.frames_processed);
-    if (want <= 0) break;
-    std::vector<PickedFrame> batch = source_->NextBatch(want, &rng_);
-    if (batch.empty()) break;
+StepStatus QueryEngine::Step(int64_t max_frames) {
+  assert(run_ != nullptr && "Step() requires Begin()");
+  RunState& run = *run_;
+  QueryResult& result = run.result;
+  StepStatus status;
+  const int64_t results_before = static_cast<int64_t>(result.results.size());
 
-    // 2) Decode + detect + discriminate, 3) feed the verdict back.
-    for (const PickedFrame& pick : batch) {
-      result.decode_seconds += decoder.Read(pick.frame);
-      std::vector<detect::Detection> dets = detector_->Detect(pick.frame);
-      result.inference_seconds += detector_->InferenceSeconds();
-      track::MatchResult match =
-          discriminator_->GetMatches(pick.frame, dets);
-      discriminator_->Add(pick.frame, dets);
-      ++result.frames_processed;
-      source_->OnFeedback(pick, match);
-
-      if (!match.d0.empty()) {
-        bool new_true_instance = false;
-        for (const auto& d : match.d0) {
-          result.results.push_back(d);
-          if (d.instance != detect::kNoInstance &&
-              seen_instances.insert(d.instance).second) {
-            new_true_instance = true;
-          }
-        }
-        result.reported.Record(result.frames_processed,
-                               static_cast<int64_t>(result.results.size()));
-        if (new_true_instance) {
-          result.true_instances.Record(
-              result.frames_processed,
-              static_cast<int64_t>(seen_instances.size()));
-        }
+  while (run.done == StepStatus::Done::kRunning &&
+         status.frames_this_step < max_frames) {
+    // 1) Refill the pending buffer with one source batch when drained. The
+    // request size depends only on config and cumulative progress — never on
+    // the slice size — which is what keeps sliced execution bit-identical
+    // to a one-shot Run.
+    if (run.pending_next >= run.pending.size()) {
+      run.pending.clear();
+      run.pending_next = 0;
+      const int64_t want = std::min<int64_t>(
+          config_.batch_size, run.max_samples - result.frames_processed);
+      if (want <= 0) {
+        run.done = StepStatus::Done::kSamplesExhausted;
+        break;
       }
-      if (static_cast<int64_t>(result.results.size()) >= spec.result_limit ||
-          result.frames_processed >= max_samples ||
-          (spec.max_seconds > 0.0 &&
-           result.total_seconds() >= spec.max_seconds)) {
-        done = true;
+      run.pending = source_->NextBatch(want, &rng_);
+      if (run.pending.empty()) {
+        run.done = StepStatus::Done::kSourceExhausted;
         break;
       }
     }
+
+    // 2) Decode + detect + discriminate, 3) feed the verdict back.
+    const PickedFrame pick = run.pending[run.pending_next++];
+    result.decode_seconds += run.decoder.Read(pick.frame);
+    std::vector<detect::Detection> dets = detector_->Detect(pick.frame);
+    result.inference_seconds += detector_->InferenceSeconds();
+    track::MatchResult match = discriminator_->GetMatches(pick.frame, dets);
+    discriminator_->Add(pick.frame, dets);
+    ++result.frames_processed;
+    ++status.frames_this_step;
+    source_->OnFeedback(pick, match);
+
+    if (!match.d0.empty()) {
+      bool new_true_instance = false;
+      for (const auto& d : match.d0) {
+        result.results.push_back(d);
+        if (d.instance != detect::kNoInstance &&
+            run.seen_instances.insert(d.instance).second) {
+          new_true_instance = true;
+        }
+      }
+      result.reported.Record(result.frames_processed,
+                             static_cast<int64_t>(result.results.size()));
+      if (new_true_instance) {
+        result.true_instances.Record(
+            result.frames_processed,
+            static_cast<int64_t>(run.seen_instances.size()));
+      }
+    }
+    if (static_cast<int64_t>(result.results.size()) >= run.spec.result_limit) {
+      run.done = StepStatus::Done::kLimitReached;
+    } else if (result.frames_processed >= run.max_samples) {
+      run.done = StepStatus::Done::kSamplesExhausted;
+    } else if (run.spec.max_seconds > 0.0 &&
+               result.total_seconds() >= run.spec.max_seconds) {
+      run.done = StepStatus::Done::kBudgetExhausted;
+    }
+    if (run.done != StepStatus::Done::kRunning) {
+      // Mirror Run's mid-batch break: unprocessed picks are discarded.
+      run.pending.clear();
+      run.pending_next = 0;
+    }
   }
-  result.reported.Finish(result.frames_processed);
-  result.true_instances.Finish(result.frames_processed);
-  return result;
+
+  if (run.done != StepStatus::Done::kRunning) {
+    result.reported.Finish(result.frames_processed);
+    result.true_instances.Finish(result.frames_processed);
+  }
+  status.results_this_step =
+      static_cast<int64_t>(result.results.size()) - results_before;
+  status.frames_processed = result.frames_processed;
+  status.total_results = static_cast<int64_t>(result.results.size());
+  status.cost_seconds = result.total_seconds();
+  status.done = run.done;
+  return status;
+}
+
+const QueryResult& QueryEngine::result() const {
+  assert(run_ != nullptr && "result() requires an open run");
+  return run_->result;
+}
+
+QueryResult QueryEngine::TakeResult() {
+  assert(run_ != nullptr && "TakeResult() requires an open run");
+  if (run_->done == StepStatus::Done::kRunning) {
+    run_->done = StepStatus::Done::kCancelled;
+    run_->result.reported.Finish(run_->result.frames_processed);
+    run_->result.true_instances.Finish(run_->result.frames_processed);
+  }
+  QueryResult out = std::move(run_->result);
+  run_.reset();
+  return out;
 }
 
 }  // namespace core

@@ -4,12 +4,20 @@
 // engine only owns the per-frame pipeline: pick -> decode (cost model) ->
 // detect -> discriminate -> feed the verdict back to the source, and
 // records the distinct-results trajectory for evaluation.
+//
+// Execution is incremental: Begin() opens a run, Step(max_frames) advances
+// it by a bounded slice, TakeResult() closes it. Run() is the one-shot
+// convenience built on top. Slicing never changes the outcome: the engine
+// buffers source batches internally so the NextBatch call sequence — and
+// therefore every RNG draw — is identical for any sequence of slice sizes
+// (the anytime/serving layer in src/serve depends on this).
 
 #ifndef EXSAMPLE_CORE_ENGINE_H_
 #define EXSAMPLE_CORE_ENGINE_H_
 
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "core/frame_source.h"
@@ -31,6 +39,38 @@ struct EngineConfig : FrameSourceConfig {
   /// Simulate decode costs (adds decoder latency to the time accounting).
   video::DecodeCostModel decode_model;
 };
+
+/// Progress report for one incremental slice (see QueryEngine::Step).
+struct StepStatus {
+  /// Why the run is over; kRunning while it is not.
+  enum class Done {
+    kRunning,           ///< more work remains
+    kLimitReached,      ///< spec.result_limit distinct results found
+    kSamplesExhausted,  ///< spec.max_samples frames processed
+    kBudgetExhausted,   ///< spec.max_seconds of modeled cost spent
+    kSourceExhausted,   ///< the frame source ran dry
+    kCancelled,         ///< TakeResult() ended an unfinished run
+  };
+
+  /// Frames processed by this slice (may be less than requested when the
+  /// run terminates mid-slice).
+  int64_t frames_this_step = 0;
+  /// Results reported during this slice (the discriminator's d0 verdicts;
+  /// an imperfect discriminator may report the same object more than once,
+  /// exactly as QueryResult::results counts them).
+  int64_t results_this_step = 0;
+  /// Cumulative counters since Begin().
+  int64_t frames_processed = 0;
+  int64_t total_results = 0;
+  /// Cumulative modeled cost (decode + inference seconds) since Begin().
+  double cost_seconds = 0.0;
+  Done done = Done::kRunning;
+
+  bool running() const { return done == Done::kRunning; }
+};
+
+/// Human-readable name for a termination reason ("running", "limit", ...).
+const char* StepDoneName(StepStatus::Done done);
 
 /// Runs distinct-object queries against one dataset.
 ///
@@ -56,8 +96,29 @@ class QueryEngine {
               uint64_t seed);
 
   /// Executes the query to completion (limit reached, max_samples reached,
-  /// or repository exhausted).
+  /// or repository exhausted). Equivalent to Begin + one unbounded Step +
+  /// TakeResult.
   QueryResult Run(const QuerySpec& spec);
+
+  /// Opens an incremental run. Call once per engine, before Step().
+  void Begin(const QuerySpec& spec);
+
+  /// Advances the run by up to `max_frames` frames and reports progress.
+  /// Once the returned status says done, further calls are no-ops. The
+  /// trajectory produced by any sequence of Step calls is bit-identical to
+  /// a single Run() with the same seed (see file comment).
+  StepStatus Step(int64_t max_frames);
+
+  /// True between Begin() and TakeResult().
+  bool run_open() const { return run_ != nullptr; }
+
+  /// The accumulated result of the open run (trajectories are not
+  /// Finish()ed until the run ends). Requires run_open().
+  const QueryResult& result() const;
+
+  /// Closes the run and returns the result, finalizing trajectories. An
+  /// unfinished run is cancelled (this is how a serving session aborts).
+  QueryResult TakeResult();
 
   /// The frame source driving this engine.
   const FrameSource& frame_source() const { return *source_; }
@@ -66,12 +127,30 @@ class QueryEngine {
   const ChunkStats* chunk_stats() const { return source_->chunk_stats(); }
 
  private:
+  /// Mutable state of one Begin()..TakeResult() run.
+  struct RunState {
+    RunState(const video::VideoRepository* repo, video::DecodeCostModel model)
+        : decoder(repo, model) {}
+
+    QuerySpec spec;
+    video::SimulatedDecoder decoder;
+    std::unordered_set<detect::InstanceId> seen_instances;
+    int64_t max_samples = 0;
+    /// Source batch picked but not yet processed: Step slices at frame
+    /// granularity while NextBatch stays at config batch granularity.
+    std::vector<PickedFrame> pending;
+    size_t pending_next = 0;
+    QueryResult result;
+    StepStatus::Done done = StepStatus::Done::kRunning;
+  };
+
   const video::VideoRepository* repo_;
   detect::ObjectDetector* detector_;
   track::Discriminator* discriminator_;
   EngineConfig config_;
   Rng rng_;
   std::unique_ptr<FrameSource> source_;
+  std::unique_ptr<RunState> run_;
 };
 
 }  // namespace core

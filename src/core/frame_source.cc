@@ -25,6 +25,13 @@ ExSampleFrameSource::ExSampleFrameSource(
   if (credit_ == CreditMode::kFirstSightingChunk) {
     lookup_ = std::make_unique<video::ChunkLookup>(*chunks_);
   }
+  if (config.warm_start != nullptr &&
+      config.warm_start->size() == chunks_->size()) {
+    for (size_t j = 0; j < config.warm_start->size(); ++j) {
+      const ChunkPrior& prior = (*config.warm_start)[j];
+      stats_.SeedPrior(static_cast<video::ChunkId>(j), prior.n1, prior.n);
+    }
+  }
 }
 
 std::vector<PickedFrame> ExSampleFrameSource::NextBatch(int64_t want,
@@ -143,6 +150,22 @@ std::vector<PickedFrame> SequentialFrameSource::NextBatch(int64_t want,
 }
 
 // --------------------------------------------------------------- factory
+
+bool ApplyStrategyName(const std::string& name, FrameSourceConfig* config) {
+  if (name == "exsample") {
+    config->strategy = Strategy::kExSample;
+  } else if (name == "random") {
+    config->strategy = Strategy::kRandom;
+  } else if (name == "randomplus") {
+    config->strategy = Strategy::kRandomPlus;
+  } else if (name == "sequential") {
+    config->strategy = Strategy::kSequential;
+    config->sequential_stride = 30;  // every second at 30 fps
+  } else {
+    return false;
+  }
+  return true;
+}
 
 std::unique_ptr<FrameSource> MakeFrameSource(
     const FrameSourceConfig& config, const video::VideoRepository& repo,

@@ -60,6 +60,14 @@ enum class CreditMode {
   kFirstSightingChunk,
 };
 
+/// Warm-start pseudo-counts for one chunk: scaled-down (N1, n) statistics
+/// carried over from a previous query on the same repository (see
+/// serve::StatsCache). Seeded into ChunkStats before sampling begins.
+struct ChunkPrior {
+  int64_t n1 = 0;
+  int64_t n = 0;
+};
+
 /// Everything needed to build a frame source for one query run.
 struct FrameSourceConfig {
   Strategy strategy = Strategy::kExSample;
@@ -73,6 +81,11 @@ struct FrameSourceConfig {
   int64_t sequential_stride = 1;
   /// Cross-chunk N1 crediting (kExSample only).
   CreditMode credit = CreditMode::kSampledChunk;
+  /// Optional cross-query warm start (kExSample only): one prior per chunk,
+  /// seeded into the (N1, n) statistics at construction. Non-owning; must
+  /// outlive the source. nullptr (the default) is a cold start; a vector
+  /// whose size does not match the chunk count is ignored.
+  const std::vector<ChunkPrior>* warm_start = nullptr;
 };
 
 /// One chosen frame. `chunk` is -1 for sources without chunk structure.
@@ -183,6 +196,13 @@ class SequentialFrameSource : public FrameSource {
 std::unique_ptr<FrameSource> MakeFrameSource(
     const FrameSourceConfig& config, const video::VideoRepository& repo,
     const std::vector<video::Chunk>* chunks);
+
+/// Applies the user-facing strategy name ("exsample" | "random" |
+/// "randomplus" | "sequential") to `config`, including the conventional
+/// 1-second stride for sequential scans. Returns false on an unknown name
+/// (config untouched). Shared by the CLI tools and the serve protocol so
+/// they accept the same strategy set.
+bool ApplyStrategyName(const std::string& name, FrameSourceConfig* config);
 
 }  // namespace core
 }  // namespace exsample

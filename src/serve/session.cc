@@ -1,0 +1,183 @@
+#include "serve/session.h"
+
+#include <cassert>
+#include <utility>
+
+#include "exec/multi_query_runner.h"
+#include "util/rng.h"
+
+namespace exsample {
+namespace serve {
+
+const char* SessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::kRunning:
+      return "running";
+    case SessionState::kDone:
+      return "done";
+    case SessionState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kLimitReached:
+      return "limit";
+    case StopReason::kSamplesExhausted:
+      return "max_samples";
+    case StopReason::kBudgetExhausted:
+      return "budget";
+    case StopReason::kSourceExhausted:
+      return "exhausted";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kDeadlineExpired:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+namespace {
+
+StopReason FromDone(core::StepStatus::Done done) {
+  switch (done) {
+    case core::StepStatus::Done::kRunning:
+      return StopReason::kNone;
+    case core::StepStatus::Done::kLimitReached:
+      return StopReason::kLimitReached;
+    case core::StepStatus::Done::kSamplesExhausted:
+      return StopReason::kSamplesExhausted;
+    case core::StepStatus::Done::kBudgetExhausted:
+      return StopReason::kBudgetExhausted;
+    case core::StepStatus::Done::kSourceExhausted:
+      return StopReason::kSourceExhausted;
+    case core::StepStatus::Done::kCancelled:
+      return StopReason::kCancelled;
+  }
+  return StopReason::kNone;
+}
+
+}  // namespace
+
+QuerySession::QuerySession(const exec::QueryJob& job, uint64_t base_seed,
+                           SessionOptions options,
+                           std::vector<core::ChunkPrior> warm_priors,
+                           std::string repo_key)
+    : id_(job.id),
+      seed_(exec::MultiQueryRunner::JobSeed(base_seed, job.id)),
+      repo_key_(std::move(repo_key)),
+      class_id_(job.spec.class_id),
+      options_(options),
+      warm_priors_(std::move(warm_priors)),
+      opened_(std::chrono::steady_clock::now()) {
+  assert(job.repo != nullptr);
+  assert(job.make_detector && job.make_discriminator);
+
+  // Same seed split as MultiQueryRunner::RunAll: engine and detector get
+  // independent streams derived from (base_seed, id).
+  SplitMix64 stream(seed_);
+  const uint64_t engine_seed = stream.Next();
+  const uint64_t detector_seed = stream.Next();
+
+  detector_ = job.make_detector(detector_seed);
+  discriminator_ = job.make_discriminator();
+  core::EngineConfig config = job.config;
+  if (!warm_priors_.empty()) config.warm_start = &warm_priors_;
+  engine_ = std::make_unique<core::QueryEngine>(
+      job.repo, job.chunks, detector_.get(), discriminator_.get(), config,
+      engine_seed);
+  engine_->Begin(job.spec);
+}
+
+double QuerySession::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       opened_)
+      .count();
+}
+
+void QuerySession::FinishLocked(SessionState state, StopReason reason) {
+  stop_reason_ = reason;
+  finished_wall_ = ElapsedSeconds();
+  final_result_ = engine_->TakeResult();
+  // Published last: once observers see a non-running state, the final
+  // result and stop reason are in place.
+  state_.store(state, std::memory_order_release);
+}
+
+bool QuerySession::RunSlice(int64_t max_frames) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_.load(std::memory_order_relaxed) != SessionState::kRunning) {
+    return false;
+  }
+  const core::StepStatus status = engine_->Step(max_frames);
+  if (first_result_wall_ < 0.0 && status.total_results > 0) {
+    first_result_wall_ = ElapsedSeconds();
+  }
+  if (!status.running()) {
+    FinishLocked(SessionState::kDone, FromDone(status.done));
+    return false;
+  }
+  if (options_.deadline_seconds > 0.0 &&
+      ElapsedSeconds() >= options_.deadline_seconds) {
+    FinishLocked(SessionState::kCancelled, StopReason::kDeadlineExpired);
+    return false;
+  }
+  return true;
+}
+
+PollResult QuerySession::Poll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SessionState state = state_.load(std::memory_order_relaxed);
+  const core::QueryResult& current =
+      state == SessionState::kRunning ? engine_->result() : final_result_;
+  PollResult poll;
+  poll.session_id = id_;
+  poll.state = state;
+  poll.stop_reason = stop_reason_;
+  poll.new_results.assign(current.results.begin() +
+                              static_cast<int64_t>(drained_),
+                          current.results.end());
+  drained_ = current.results.size();
+  poll.total_results = static_cast<int64_t>(current.results.size());
+  poll.frames_processed = current.frames_processed;
+  poll.cost_seconds = current.total_seconds();
+  poll.seconds_to_first_result = first_result_wall_;
+  poll.wall_seconds =
+      state == SessionState::kRunning ? ElapsedSeconds() : finished_wall_;
+  poll.warm_started = !warm_priors_.empty();
+  return poll;
+}
+
+void QuerySession::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_.load(std::memory_order_relaxed) != SessionState::kRunning) {
+    return;
+  }
+  FinishLocked(SessionState::kCancelled, StopReason::kCancelled);
+}
+
+bool QuerySession::MarkStatsRecorded() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_recorded_) return false;
+  stats_recorded_ = true;
+  return true;
+}
+
+const core::QueryResult& QuerySession::result() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(state_.load(std::memory_order_relaxed) != SessionState::kRunning &&
+         "result() requires finished()");
+  return final_result_;
+}
+
+const core::ChunkStats* QuerySession::chunk_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_->chunk_stats();
+}
+
+}  // namespace serve
+}  // namespace exsample

@@ -1,0 +1,172 @@
+// QuerySession: one live anytime query.
+//
+// Wraps a core::QueryEngine driven through the incremental Step API so a
+// client can stream results as they surface (ExSample is an anytime
+// algorithm — distinct results appear continuously while sampling, §II of
+// the paper) instead of waiting for run-to-completion. A session owns its
+// detector, discriminator and engine; its randomness derives solely from
+// (base_seed, session id) via the JobSeed idiom, so a session's trajectory
+// is bit-identical no matter how its slices are scheduled.
+//
+// Thread model: SessionManager workers call RunSlice; clients call
+// Poll/Cancel from any thread. One mutex serializes them — a slice and a
+// poll never interleave mid-frame.
+
+#ifndef EXSAMPLE_SERVE_SESSION_H_
+#define EXSAMPLE_SERVE_SESSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/frame_source.h"
+#include "exec/query_job.h"
+
+namespace exsample {
+namespace serve {
+
+/// Client-visible lifecycle state.
+enum class SessionState {
+  kRunning,    ///< scheduler is still slicing this session
+  kDone,       ///< engine terminated (limit / budget / exhaustion)
+  kCancelled,  ///< stopped early by Cancel() or a deadline
+};
+
+/// Why a session stopped (kNone while running).
+enum class StopReason {
+  kNone,
+  kLimitReached,
+  kSamplesExhausted,
+  kBudgetExhausted,
+  kSourceExhausted,
+  kCancelled,
+  kDeadlineExpired,
+};
+
+const char* SessionStateName(SessionState state);
+const char* StopReasonName(StopReason reason);
+
+/// Per-session serving options (the engine-level stopping rules — result
+/// limit, frame cap, modeled-cost budget — live in core::QuerySpec).
+struct SessionOptions {
+  /// Wall-clock deadline in seconds since open; 0 = none. Checked at slice
+  /// boundaries, so enforcement granularity is one slice. Unlike the
+  /// modeled-cost budget this depends on host speed: turning it on trades
+  /// determinism for latency control.
+  double deadline_seconds = 0.0;
+};
+
+/// One Poll() snapshot: everything new since the previous poll plus
+/// cumulative progress.
+struct PollResult {
+  int64_t session_id = 0;
+  SessionState state = SessionState::kRunning;
+  StopReason stop_reason = StopReason::kNone;
+  /// Results surfaced since the last Poll, each delivered exactly once
+  /// across the lifetime of the session. "Result" means a discriminator
+  /// d0 verdict: with an imperfect discriminator the same object can
+  /// appear more than once, exactly as QueryResult::results counts it.
+  std::vector<detect::Detection> new_results;
+  int64_t total_results = 0;
+  int64_t frames_processed = 0;
+  /// Modeled decode + inference seconds spent so far.
+  double cost_seconds = 0.0;
+  /// Wall seconds from open to the first result; -1 until one surfaces.
+  double seconds_to_first_result = -1.0;
+  /// Wall seconds from open to now (or to termination, once stopped).
+  double wall_seconds = 0.0;
+  /// True when the session was seeded from the cross-query stats cache.
+  bool warm_started = false;
+};
+
+/// A live anytime query. Construction builds the engine exactly the way
+/// exec::MultiQueryRunner would for a QueryJob with id = session id, so a
+/// session reproduces the corresponding batch job bit for bit.
+class QuerySession {
+ public:
+  /// `job.id` is the session id. `warm_priors` (possibly empty) are
+  /// chunk-stat pseudo-counts seeded into an ExSample source; the session
+  /// stores them so the engine's non-owning config pointer stays valid.
+  QuerySession(const exec::QueryJob& job, uint64_t base_seed,
+               SessionOptions options = {},
+               std::vector<core::ChunkPrior> warm_priors = {},
+               std::string repo_key = {});
+
+  int64_t id() const { return id_; }
+  uint64_t seed() const { return seed_; }
+  /// Cache key of the repository this session queried ("" = uncacheable).
+  const std::string& repo_key() const { return repo_key_; }
+  detect::ClassId class_id() const { return class_id_; }
+  bool warm_started() const { return !warm_priors_.empty(); }
+  /// The priors this session was seeded with (empty = cold start); the
+  /// manager subtracts them when recording the session into a StatsCache.
+  const std::vector<core::ChunkPrior>& warm_priors() const {
+    return warm_priors_;
+  }
+
+  /// Runs one slice of up to `max_frames` frames. Returns true while more
+  /// work remains. Called by the SessionManager scheduler; a no-op once
+  /// the session stopped.
+  bool RunSlice(int64_t max_frames);
+
+  /// Drains results found since the last poll and reports progress.
+  PollResult Poll();
+
+  /// Stops the session at the next slice boundary (immediately if idle).
+  void Cancel();
+
+  /// Lock-free: safe to call while a slice is executing (the manager's
+  /// scheduler and admission control poll this for every session).
+  SessionState state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  /// Done or cancelled.
+  bool finished() const { return state() != SessionState::kRunning; }
+
+  /// Claims the one-time right to record this session's statistics into a
+  /// StatsCache: true on the first call, false afterwards. Keeps a session
+  /// that is harvested by both the scheduler round and a Cancel/Close from
+  /// being double-counted.
+  bool MarkStatsRecorded();
+
+  /// The final result; requires finished().
+  const core::QueryResult& result() const;
+  /// Per-chunk statistics (ExSample sources only, else nullptr). Valid for
+  /// the session's lifetime.
+  const core::ChunkStats* chunk_stats() const;
+
+ private:
+  double ElapsedSeconds() const;
+  void FinishLocked(SessionState state, StopReason reason);
+
+  const int64_t id_;
+  const uint64_t seed_;
+  const std::string repo_key_;
+  const detect::ClassId class_id_;
+  const SessionOptions options_;
+  const std::vector<core::ChunkPrior> warm_priors_;
+  const std::chrono::steady_clock::time_point opened_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<detect::ObjectDetector> detector_;
+  std::unique_ptr<track::Discriminator> discriminator_;
+  std::unique_ptr<core::QueryEngine> engine_;
+  /// Written under mu_, readable without it (see state()).
+  std::atomic<SessionState> state_{SessionState::kRunning};
+  StopReason stop_reason_ = StopReason::kNone;
+  bool stats_recorded_ = false;
+  core::QueryResult final_result_;  // moved out of the engine on finish
+  size_t drained_ = 0;              // results already delivered via Poll
+  double first_result_wall_ = -1.0;
+  double finished_wall_ = 0.0;
+};
+
+}  // namespace serve
+}  // namespace exsample
+
+#endif  // EXSAMPLE_SERVE_SESSION_H_

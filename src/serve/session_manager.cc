@@ -1,0 +1,194 @@
+#include "serve/session_manager.h"
+
+#include <utility>
+#include <vector>
+
+namespace exsample {
+namespace serve {
+
+SessionManager::SessionManager(Options options)
+    : options_(options), pool_(options.threads) {
+  scheduler_ = std::thread(&SessionManager::SchedulerLoop, this);
+}
+
+SessionManager::~SessionManager() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  scheduler_.join();
+}
+
+size_t SessionManager::LiveLocked() const {
+  size_t live = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (session->state() == SessionState::kRunning) ++live;
+  }
+  return live;
+}
+
+Result<int64_t> SessionManager::Open(exec::QueryJob job,
+                                     SessionOptions session_options,
+                                     const std::string& repo_key) {
+  if (job.repo == nullptr || !job.make_detector || !job.make_discriminator) {
+    return Status::InvalidArgument(
+        "QueryJob needs a repository and detector/discriminator factories");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (LiveLocked() >= options_.max_live_sessions) {
+    return Status::FailedPrecondition(
+        "admission denied: " + std::to_string(options_.max_live_sessions) +
+        " sessions already live");
+  }
+  job.id = next_id_++;
+  ++total_opened_;
+
+  std::vector<core::ChunkPrior> warm_priors;
+  if (options_.warm_start && options_.stats_cache != nullptr &&
+      !repo_key.empty() && job.config.strategy == core::Strategy::kExSample &&
+      job.chunks != nullptr) {
+    warm_priors = options_.stats_cache->Lookup(repo_key, job.spec.class_id,
+                                               options_.warm_start_weight);
+    if (warm_priors.size() != job.chunks->size()) warm_priors.clear();
+  }
+
+  auto session = std::make_shared<QuerySession>(
+      job, options_.base_seed, session_options, std::move(warm_priors),
+      repo_key);
+  const int64_t id = session->id();
+  sessions_.emplace(id, std::move(session));
+  work_cv_.notify_all();
+  return id;
+}
+
+Result<PollResult> SessionManager::Poll(int64_t session_id) {
+  std::shared_ptr<QuerySession> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no session " + std::to_string(session_id));
+    }
+    session = it->second;
+  }
+  return session->Poll();
+}
+
+Result<bool> SessionManager::WarmStarted(int64_t session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session " + std::to_string(session_id));
+  }
+  return it->second->warm_started();
+}
+
+void SessionManager::MaybeRecordStats(QuerySession* session) {
+  if (options_.stats_cache == nullptr || session->repo_key().empty()) return;
+  const core::ChunkStats* stats = session->chunk_stats();
+  if (stats == nullptr || stats->total_samples() == 0) return;
+  // The session itself owns the exactly-once guard: a finished session can
+  // be harvested by both the scheduler round and a Cancel/Close.
+  if (!session->MarkStatsRecorded()) return;
+  options_.stats_cache->Record(session->repo_key(), session->class_id(),
+                               *stats, session->warm_priors());
+}
+
+Status SessionManager::Cancel(int64_t session_id) {
+  std::shared_ptr<QuerySession> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no session " + std::to_string(session_id));
+    }
+    session = it->second;
+  }
+  session->Cancel();
+  MaybeRecordStats(session.get());
+  idle_cv_.notify_all();
+  return Status::Ok();
+}
+
+Status SessionManager::Close(int64_t session_id) {
+  std::shared_ptr<QuerySession> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no session " + std::to_string(session_id));
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Blocks until any in-flight slice completes; an in-flight round's
+  // shared_ptr keeps the session alive past this scope.
+  session->Cancel();
+  MaybeRecordStats(session.get());
+  idle_cv_.notify_all();
+  return Status::Ok();
+}
+
+size_t SessionManager::live_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return LiveLocked();
+}
+
+size_t SessionManager::open_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+int64_t SessionManager::total_opened() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_opened_;
+}
+
+void SessionManager::WaitAllDone() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock,
+                [this] { return !round_in_flight_ && LiveLocked() == 0; });
+}
+
+void SessionManager::SchedulerLoop() {
+  while (true) {
+    // Snapshot the running sessions for one fairness round.
+    std::vector<std::shared_ptr<QuerySession>> live;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || LiveLocked() > 0; });
+      if (stop_) return;
+      live.reserve(sessions_.size());
+      for (const auto& [id, session] : sessions_) {
+        if (session->state() == SessionState::kRunning) {
+          live.push_back(session);
+        }
+      }
+      round_in_flight_ = true;
+    }
+
+    // One slice per session, in parallel. Sessions share no mutable state
+    // and own their RNG streams, so the round's outcome is independent of
+    // worker count and completion order.
+    const int64_t slice = options_.slice_frames;
+    for (const auto& session : live) {
+      pool_.Submit([session, slice] { session->RunSlice(slice); });
+    }
+    pool_.Wait();
+
+    // Harvest sessions that finished this round into the warm-start cache.
+    for (const auto& session : live) {
+      if (session->finished()) MaybeRecordStats(session.get());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      round_in_flight_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace serve
+}  // namespace exsample

@@ -1,0 +1,136 @@
+// SessionManager: fair multi-tenant scheduling of live query sessions.
+//
+// Many QuerySessions share one util::ThreadPool. A dedicated scheduler
+// thread runs rounds: each round gives every running session exactly one
+// slice of `slice_frames` frames, executed in parallel across the pool.
+// Round-robin time slicing means a huge repository-scan query advances at
+// the same per-round rate as a find-5-objects query — it cannot starve it —
+// while admission control (max_live_sessions) bounds the work in flight.
+//
+// Determinism: a session's randomness derives solely from
+// (base_seed, session id) — the JobSeed idiom — and sessions share no
+// mutable state, so results are bit-identical for any worker count and any
+// round interleaving, and identical to running the same QueryJob through
+// exec::MultiQueryRunner or a one-shot QueryEngine::Run.
+//
+// Warm start (optional, off by default): when a finished session queried an
+// ExSample source under a named repository key, its chunk statistics are
+// recorded into a StatsCache; new sessions on the same (repository, class)
+// are seeded with scaled-down priors. Note warm-started results depend on
+// which queries finished before they opened — cross-session determinism
+// holds for a fixed open/finish history, not across arbitrary timings.
+
+#ifndef EXSAMPLE_SERVE_SESSION_MANAGER_H_
+#define EXSAMPLE_SERVE_SESSION_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "exec/query_job.h"
+#include "serve/session.h"
+#include "serve/stats_cache.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace exsample {
+namespace serve {
+
+/// Schedules live QuerySessions over a shared thread pool.
+class SessionManager {
+ public:
+  struct Options {
+    /// Slice-execution workers; 0 = hardware_concurrency.
+    size_t threads = 0;
+    /// Frames per session per scheduling round (the fairness quantum).
+    /// Smaller = lower poll latency, more scheduling overhead.
+    int64_t slice_frames = 256;
+    /// Admission control: maximum sessions in the running state.
+    size_t max_live_sessions = 64;
+    /// Root seed; session seeds derive from (base_seed, session id).
+    uint64_t base_seed = 1;
+    /// Optional cross-query warm-start cache (non-owning; must outlive the
+    /// manager). Finished ExSample sessions with a repository key are
+    /// recorded into it.
+    StatsCache* stats_cache = nullptr;
+    /// Seed new ExSample sessions from the cache (requires stats_cache).
+    bool warm_start = false;
+    /// Trust placed in cached statistics when seeding priors.
+    double warm_start_weight = 0.25;
+  };
+
+  SessionManager() : SessionManager(Options()) {}
+  explicit SessionManager(Options options);
+  /// Cancels nothing; finishes the in-flight round, then stops scheduling.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Opens a session for `job` (job.id is overwritten with the assigned
+  /// session id). `repo_key` names the repository for the warm-start cache
+  /// ("" disables caching for this session). Fails with FailedPrecondition
+  /// when max_live_sessions sessions are already running.
+  Result<int64_t> Open(exec::QueryJob job, SessionOptions session_options = {},
+                       const std::string& repo_key = "");
+
+  /// Drains new results / progress for one session.
+  Result<PollResult> Poll(int64_t session_id);
+
+  /// Whether the session was seeded from the stats cache, without draining
+  /// any results (Poll would consume the client's exactly-once stream).
+  Result<bool> WarmStarted(int64_t session_id) const;
+
+  /// Stops a session early (its partial result stays pollable).
+  Status Cancel(int64_t session_id);
+
+  /// Removes a session (cancelling it first if still running). Its results
+  /// become unreachable; its admission slot frees immediately.
+  Status Close(int64_t session_id);
+
+  /// Sessions currently in the running state (the admission-counted set).
+  size_t live_sessions() const;
+  /// Sessions tracked (running + finished-but-not-closed).
+  size_t open_sessions() const;
+  /// Sessions ever opened.
+  int64_t total_opened() const;
+
+  /// Blocks until no session is running (all done / cancelled / closed).
+  void WaitAllDone();
+
+  const Options& options() const { return options_; }
+
+ private:
+  void SchedulerLoop();
+  size_t LiveLocked() const;
+  /// Records a finished session's chunk statistics into the cache, at most
+  /// once per session.
+  void MaybeRecordStats(QuerySession* session);
+
+  const Options options_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // wakes the scheduler
+  std::condition_variable idle_cv_;  // signals progress to waiters
+  /// shared_ptr so an in-flight round keeps a session alive across Close.
+  std::map<int64_t, std::shared_ptr<QuerySession>> sessions_;
+  int64_t next_id_ = 1;
+  int64_t total_opened_ = 0;
+  bool stop_ = false;
+  /// True while the scheduler is between submitting a round and finishing
+  /// its post-round harvest; WaitAllDone waits it out so callers observe
+  /// cache records of every finished session.
+  bool round_in_flight_ = false;
+
+  std::thread scheduler_;
+};
+
+}  // namespace serve
+}  // namespace exsample
+
+#endif  // EXSAMPLE_SERVE_SESSION_MANAGER_H_

@@ -1,0 +1,143 @@
+#include "serve/stats_cache.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace exsample {
+namespace serve {
+
+void StatsCache::Record(const std::string& repo_key, detect::ClassId class_id,
+                        const core::ChunkStats& stats,
+                        const std::vector<core::ChunkPrior>& seeded) {
+  Entry incoming;
+  const int32_t k = stats.num_chunks();
+  const bool subtract = seeded.size() == static_cast<size_t>(k);
+  incoming.n1.reserve(static_cast<size_t>(k));
+  incoming.n.reserve(static_cast<size_t>(k));
+  for (int32_t j = 0; j < k; ++j) {
+    int64_t n1 = stats.ClampedN1(j);
+    int64_t n = stats.n(j);
+    if (subtract) {
+      n1 -= seeded[static_cast<size_t>(j)].n1;
+      n -= seeded[static_cast<size_t>(j)].n;
+    }
+    incoming.n1.push_back(n1 > 0 ? n1 : 0);
+    incoming.n.push_back(n > 0 ? n : 0);
+  }
+  incoming.queries = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  MergeLocked(Key(repo_key, class_id), incoming);
+}
+
+void StatsCache::MergeLocked(const Key& key, const Entry& entry) {
+  Entry& slot = entries_[key];
+  if (slot.n1.size() != entry.n1.size()) {
+    slot = entry;  // new entry, or the repository was re-chunked
+    return;
+  }
+  for (size_t j = 0; j < entry.n1.size(); ++j) {
+    slot.n1[j] += entry.n1[j];
+    slot.n[j] += entry.n[j];
+  }
+  slot.queries += entry.queries;
+}
+
+std::vector<core::ChunkPrior> StatsCache::Lookup(const std::string& repo_key,
+                                                 detect::ClassId class_id,
+                                                 double weight) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(Key(repo_key, class_id));
+  if (it == entries_.end() || it->second.queries <= 0) return {};
+  const Entry& entry = it->second;
+  const double scale = weight / static_cast<double>(entry.queries);
+  std::vector<core::ChunkPrior> priors(entry.n1.size());
+  for (size_t j = 0; j < entry.n1.size(); ++j) {
+    priors[j].n1 = static_cast<int64_t>(
+        std::llround(scale * static_cast<double>(entry.n1[j])));
+    priors[j].n = static_cast<int64_t>(
+        std::llround(scale * static_cast<double>(entry.n[j])));
+  }
+  return priors;
+}
+
+size_t StatsCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+int64_t StatsCache::queries_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [key, entry] : entries_) total += entry.queries;
+  return total;
+}
+
+Status StatsCache::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::InvalidArgument("cannot write stats cache: " + path);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "exsample-stats-cache v1\n";
+  for (const auto& [key, entry] : entries_) {
+    out << "entry " << key.second << ' ' << entry.queries << ' '
+        << entry.n1.size() << ' ' << key.first << '\n';
+    out << "n1";
+    for (int64_t v : entry.n1) out << ' ' << v;
+    out << "\nn";
+    for (int64_t v : entry.n) out << ' ' << v;
+    out << '\n';
+  }
+  return out.good() ? Status::Ok()
+                    : Status::InvalidArgument("write failed: " + path);
+}
+
+Status StatsCache::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound("stats cache not found: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "exsample-stats-cache v1") {
+    return Status::InvalidArgument("bad stats cache header: " + path);
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream header(line);
+    std::string tag;
+    int64_t class_id = 0, queries = 0, chunks = 0;
+    header >> tag >> class_id >> queries >> chunks;
+    std::string repo_key;
+    std::getline(header, repo_key);
+    if (!repo_key.empty() && repo_key.front() == ' ') repo_key.erase(0, 1);
+    // Upper bound guards resize() against corrupted/hostile files; real
+    // chunkings are a few hundred entries (§IV-C sweeps 16..512).
+    constexpr int64_t kMaxChunks = int64_t{1} << 20;
+    if (tag != "entry" || header.fail() || chunks <= 0 ||
+        chunks > kMaxChunks || queries <= 0) {
+      return Status::InvalidArgument("bad stats cache entry line: " + line);
+    }
+    Entry entry;
+    entry.queries = queries;
+    entry.n1.resize(static_cast<size_t>(chunks));
+    entry.n.resize(static_cast<size_t>(chunks));
+    for (std::vector<int64_t>* vec : {&entry.n1, &entry.n}) {
+      if (!std::getline(in, line)) {
+        return Status::InvalidArgument("truncated stats cache: " + path);
+      }
+      std::istringstream row(line);
+      row >> tag;  // "n1" / "n"
+      for (int64_t& v : *vec) row >> v;
+      if (row.fail()) {
+        return Status::InvalidArgument("bad stats cache row: " + line);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    MergeLocked(Key(repo_key, static_cast<detect::ClassId>(class_id)), entry);
+  }
+  return Status::Ok();
+}
+
+}  // namespace serve
+}  // namespace exsample

@@ -1,0 +1,91 @@
+// StatsCache: cross-query warm-start statistics.
+//
+// EKO (Bang et al., 2021) observes that what a sampling query learns about a
+// stored video is reusable by later queries over the same video. Here the
+// learned state is ExSample's per-chunk (N1, n) bandit statistics: when a
+// session finishes, SessionManager records its ChunkStats under the
+// (repository key, class id) it queried; when a new session opens with warm
+// start enabled, the accumulated statistics are averaged over contributing
+// queries, scaled down by a confidence weight, and seeded into the fresh
+// ExSampleFrameSource as pseudo-counts (core::ChunkPrior). A warm-started
+// query therefore begins with a belief already concentrated on the chunks
+// that paid off before, instead of re-spending samples on cold exploration.
+//
+// The cache is thread-safe (sessions finish on pool workers) and optionally
+// persists to a small line-based text file so a serving process can carry
+// statistics across restarts.
+
+#ifndef EXSAMPLE_SERVE_STATS_CACHE_H_
+#define EXSAMPLE_SERVE_STATS_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/chunk_stats.h"
+#include "core/frame_source.h"
+#include "detect/detection.h"
+#include "util/status.h"
+
+namespace exsample {
+namespace serve {
+
+/// Accumulates per-(repository, class) chunk statistics across queries and
+/// produces scaled warm-start priors for new ones.
+class StatsCache {
+ public:
+  /// Merges one finished query's statistics into the entry for
+  /// (repo_key, class_id). Negative raw N1 values are clamped at zero
+  /// before accumulation (a prior must not owe evidence). A stats object
+  /// whose chunk count differs from the existing entry's replaces it (the
+  /// repository was re-chunked; stale shapes are useless).
+  ///
+  /// `seeded` (may be empty) are the warm-start priors this query itself
+  /// started from: they are subtracted first so only evidence the query
+  /// actually observed enters the cache — otherwise each warm-started
+  /// generation would re-deposit its inherited pseudo-counts and history
+  /// would compound beyond the intended weight.
+  void Record(const std::string& repo_key, detect::ClassId class_id,
+              const core::ChunkStats& stats,
+              const std::vector<core::ChunkPrior>& seeded = {});
+
+  /// Warm-start priors for a new query: per-chunk
+  /// round(weight * accumulated / queries). Empty when no entry exists.
+  /// `weight` in (0, 1] controls how much a new query trusts history.
+  std::vector<core::ChunkPrior> Lookup(const std::string& repo_key,
+                                       detect::ClassId class_id,
+                                       double weight) const;
+
+  /// Number of distinct (repo_key, class) entries.
+  size_t size() const;
+  /// Total queries recorded across all entries.
+  int64_t queries_recorded() const;
+
+  /// Writes the cache to a text file (overwrites).
+  Status Save(const std::string& path) const;
+  /// Merges a previously saved cache into this one. Missing file is an
+  /// error; malformed content aborts with InvalidArgument (entries read
+  /// before the error are kept).
+  Status Load(const std::string& path);
+
+ private:
+  struct Entry {
+    std::vector<int64_t> n1;
+    std::vector<int64_t> n;
+    int64_t queries = 0;
+  };
+  using Key = std::pair<std::string, detect::ClassId>;
+
+  void MergeLocked(const Key& key, const Entry& entry);
+
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+};
+
+}  // namespace serve
+}  // namespace exsample
+
+#endif  // EXSAMPLE_SERVE_STATS_CACHE_H_

@@ -30,6 +30,12 @@ class Flags {
   /// Returns true if the boolean flag is present (or =true/=1).
   bool GetBool(const std::string& name, bool def = false);
 
+  /// True when the flag was supplied on the command line (regardless of
+  /// type). Lets tools distinguish "defaulted" from "explicitly set" when
+  /// validating (e.g. an explicit --budget-seconds 0 is an error, the
+  /// default 0 means unlimited). Does not register the flag as known.
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
   /// Exits(2) listing any flags supplied on the command line that were never
   /// requested by a Get* call.
   void FailOnUnknown() const;

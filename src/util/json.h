@@ -1,0 +1,111 @@
+// Minimal JSON value tree: construction + compact serialization for the
+// machine-readable tool outputs (exsample_query --json, exsample_serve,
+// BENCH_*.json) and a small recursive-descent parser for the serve tool's
+// newline-delimited command protocol.
+//
+// Scope is deliberately narrow — flat-ish documents of objects, arrays,
+// strings, numbers and bools. Object keys keep insertion order so emitted
+// documents are deterministic and diffable. Integers up to int64 round-trip
+// exactly (they are stored separately from doubles; 64-bit seeds survive).
+
+#ifndef EXSAMPLE_UTIL_JSON_H_
+#define EXSAMPLE_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace exsample {
+
+/// One JSON value (null, bool, number, string, array or object).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Insertion-ordered key/value storage (objects are small; lookups scan).
+  using Member = std::pair<std::string, Json>;
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
+  Json(int v) : Json(static_cast<int64_t>(v)) {}  // NOLINT(runtime/explicit)
+  Json(int64_t v)                                 // NOLINT(runtime/explicit)
+      : type_(Type::kNumber), int_(v), num_(static_cast<double>(v)),
+        int_repr_(true) {}
+  Json(uint64_t v)  // NOLINT(runtime/explicit)
+      : Json(static_cast<int64_t>(v)) {}
+  Json(double v)  // NOLINT(runtime/explicit)
+      : type_(Type::kNumber), num_(v) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT
+  Json(std::string s)                                     // NOLINT
+      : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  // --- object access. Set replaces an existing key; returns *this so
+  // building a response reads as a chain.
+  Json& Set(const std::string& key, Json value);
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+  /// The value at `key`, or nullptr when absent (or not an object).
+  const Json* Find(const std::string& key) const;
+  /// Typed getters with defaults, tolerant of missing keys / wrong types.
+  std::string GetString(const std::string& key, const std::string& def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+  const std::vector<Member>& members() const { return members_; }
+
+  // --- array access
+  Json& Append(Json value);
+  size_t size() const;
+  const std::vector<Json>& items() const { return items_; }
+
+  // --- scalar extraction (returns the default on type mismatch)
+  bool AsBool(bool def = false) const;
+  int64_t AsInt(int64_t def = 0) const;
+  double AsDouble(double def = 0.0) const;
+  const std::string& AsString() const { return str_; }
+
+  /// Compact single-line serialization (the NDJSON protocol format).
+  std::string Dump() const;
+
+  /// Parses one JSON document (trailing whitespace allowed, anything else
+  /// after the value is an error).
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double num_ = 0.0;
+  /// True when constructed from an integer: Dump emits int_ digits exactly.
+  bool int_repr_ = false;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<Member> members_;
+};
+
+}  // namespace exsample
+
+#endif  // EXSAMPLE_UTIL_JSON_H_

@@ -404,6 +404,156 @@ TEST_P(EngineInvariantTest, TrajectoriesAreMonotone) {
             static_cast<int64_t>(result.results.size()));
 }
 
+// ------------------------------------------------------------------
+// Incremental execution: Step-driven runs must be bit-identical to a
+// one-shot Run for any sequence of slice sizes (the serving layer's core
+// contract; see src/serve).
+
+bool SameTrajectory(const Trajectory& a, const Trajectory& b) {
+  if (a.total_samples() != b.total_samples()) return false;
+  if (a.points().size() != b.points().size()) return false;
+  for (size_t i = 0; i < a.points().size(); ++i) {
+    if (a.points()[i].samples != b.points()[i].samples ||
+        a.points()[i].count != b.points()[i].count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ExpectSameResult(const QueryResult& a, const QueryResult& b) {
+  EXPECT_EQ(a.frames_processed, b.frames_processed);
+  EXPECT_DOUBLE_EQ(a.decode_seconds, b.decode_seconds);
+  EXPECT_DOUBLE_EQ(a.inference_seconds, b.inference_seconds);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].frame, b.results[i].frame);
+    EXPECT_EQ(a.results[i].instance, b.results[i].instance);
+  }
+  EXPECT_TRUE(SameTrajectory(a.reported, b.reported));
+  EXPECT_TRUE(SameTrajectory(a.true_instances, b.true_instances));
+}
+
+TEST_P(EngineInvariantTest, StepSlicingMatchesRunBitIdentically) {
+  const auto& v = GetParam();
+  EngineConfig cfg;
+  cfg.strategy = v.strategy;
+  cfg.policy = v.policy;
+  cfg.batch_size = v.batch;
+  cfg.credit = v.credit;
+  QuerySpec q;
+  q.class_id = 0;
+  q.result_limit = 25;
+  q.max_samples = 6000;
+
+  Harness reference(SkewedDataset(41));
+  QueryResult expected = reference.MakeEngine(cfg, 71).Run(q);
+
+  // Slice patterns a serving layer produces: single frames, an awkward
+  // prime, a quantum misaligned with the batch size, and huge slices.
+  for (int64_t slice : {int64_t{1}, int64_t{7}, int64_t{100},
+                        int64_t{1} << 40}) {
+    Harness h(SkewedDataset(41));
+    auto engine = h.MakeEngine(cfg, 71);
+    engine.Begin(q);
+    StepStatus status;
+    int64_t steps = 0;
+    int64_t results_seen = 0;
+    do {
+      status = engine.Step(slice);
+      EXPECT_LE(status.frames_this_step, slice);
+      results_seen += status.results_this_step;
+      ++steps;
+    } while (status.running());
+    EXPECT_EQ(results_seen, status.total_results);
+    if (slice == 1) {
+      EXPECT_GE(steps, status.frames_processed);
+    }
+    QueryResult sliced = engine.TakeResult();
+    ExpectSameResult(expected, sliced);
+  }
+}
+
+TEST(QueryEngineTest, StepReportsPerSliceProgress) {
+  Harness h(SkewedDataset(43));
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kExSample;
+  auto engine = h.MakeEngine(cfg, 8);
+  QuerySpec q;
+  q.class_id = 0;
+  q.max_samples = 500;
+  engine.Begin(q);
+  EXPECT_TRUE(engine.run_open());
+
+  StepStatus first = engine.Step(200);
+  EXPECT_EQ(first.frames_this_step, 200);
+  EXPECT_EQ(first.frames_processed, 200);
+  EXPECT_TRUE(first.running());
+  EXPECT_GT(first.cost_seconds, 0.0);
+
+  StepStatus rest = engine.Step(1 << 20);
+  EXPECT_EQ(rest.frames_this_step, 300);
+  EXPECT_EQ(rest.frames_processed, 500);
+  EXPECT_EQ(rest.done, StepStatus::Done::kSamplesExhausted);
+
+  // Stepping a finished run is a no-op.
+  StepStatus after = engine.Step(100);
+  EXPECT_EQ(after.frames_this_step, 0);
+  EXPECT_EQ(after.frames_processed, 500);
+  EXPECT_FALSE(after.running());
+
+  QueryResult result = engine.TakeResult();
+  EXPECT_FALSE(engine.run_open());
+  EXPECT_EQ(result.frames_processed, 500);
+  EXPECT_EQ(result.reported.total_samples(), 500);
+}
+
+TEST(QueryEngineTest, StepDoneReasons) {
+  // Limit reached.
+  {
+    Harness h(SkewedDataset(44));
+    EngineConfig cfg;
+    auto engine = h.MakeEngine(cfg, 9);
+    QuerySpec q;
+    q.class_id = 0;
+    q.result_limit = 3;
+    engine.Begin(q);
+    StepStatus s = engine.Step(1 << 20);
+    EXPECT_EQ(s.done, StepStatus::Done::kLimitReached);
+    EXPECT_GE(s.total_results, 3);
+  }
+  // Modeled-cost budget.
+  {
+    Harness h(SkewedDataset(44));
+    EngineConfig cfg;
+    auto engine = h.MakeEngine(cfg, 9);
+    QuerySpec q;
+    q.class_id = 0;
+    q.max_seconds = 2.0;
+    engine.Begin(q);
+    StepStatus s = engine.Step(1 << 20);
+    EXPECT_EQ(s.done, StepStatus::Done::kBudgetExhausted);
+    EXPECT_GE(s.cost_seconds, 2.0);
+  }
+  EXPECT_STREQ(StepDoneName(StepStatus::Done::kLimitReached), "limit");
+  EXPECT_STREQ(StepDoneName(StepStatus::Done::kRunning), "running");
+}
+
+TEST(QueryEngineTest, TakeResultCancelsUnfinishedRun) {
+  Harness h(SkewedDataset(45));
+  EngineConfig cfg;
+  auto engine = h.MakeEngine(cfg, 10);
+  QuerySpec q;
+  q.class_id = 0;
+  engine.Begin(q);
+  engine.Step(150);
+  QueryResult result = engine.TakeResult();
+  EXPECT_EQ(result.frames_processed, 150);
+  // Trajectories are finalized at the cancellation point.
+  EXPECT_EQ(result.reported.total_samples(), 150);
+  EXPECT_EQ(result.true_instances.total_samples(), 150);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, EngineInvariantTest,
     ::testing::Values(

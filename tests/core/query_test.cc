@@ -58,6 +58,59 @@ TEST(TrajectoryTest, FinishExtendsTotalSamples) {
   EXPECT_EQ(t.total_samples(), 500);
 }
 
+TEST(TrajectoryTest, FinishOnEmptyTrajectory) {
+  // A run that found nothing still has a defined extent.
+  Trajectory t;
+  t.Finish(250);
+  EXPECT_EQ(t.total_samples(), 250);
+  EXPECT_EQ(t.final_count(), 0);
+  EXPECT_EQ(t.CountAt(0), 0);
+  EXPECT_EQ(t.CountAt(250), 0);
+  EXPECT_EQ(t.CountAt(251), 0);
+  EXPECT_EQ(t.SamplesToReach(1), -1);
+}
+
+TEST(TrajectoryTest, QueriesBeyondFinishHoldFinalValue) {
+  // The step function is flat past its last jump, even past Finish: asking
+  // "how many results after more samples than the run took" must return
+  // the final count, not extrapolate or crash.
+  Trajectory t;
+  t.Record(10, 2);
+  t.Record(90, 5);
+  t.Finish(100);
+  EXPECT_EQ(t.CountAt(100), 5);
+  EXPECT_EQ(t.CountAt(101), 5);
+  EXPECT_EQ(t.CountAt(INT64_MAX), 5);
+  EXPECT_EQ(t.SamplesToReach(5), 90);
+  EXPECT_EQ(t.SamplesToReach(6), -1);
+  EXPECT_EQ(t.total_samples(), 100);
+}
+
+TEST(TrajectoryTest, RecordBeyondFinishExtendsExtent) {
+  // Finish is a high-water mark, not a cap: a later Record past it (as an
+  // incremental run resumed after an early Finish would produce) extends
+  // total_samples rather than corrupting it.
+  Trajectory t;
+  t.Record(10, 1);
+  t.Finish(50);
+  t.Record(80, 2);
+  EXPECT_EQ(t.total_samples(), 80);
+  EXPECT_EQ(t.CountAt(80), 2);
+}
+
+#ifndef NDEBUG
+TEST(TrajectoryDeathTest, RecordEnforcesNonDecreasingSamples) {
+  // Samples are a processed-frame clock; going backwards is a caller bug
+  // and must trip the debug assertion rather than silently corrupting the
+  // step function.
+  Trajectory t;
+  t.Record(100, 1);
+  EXPECT_DEATH(t.Record(99, 2), "samples");
+  Trajectory neg;
+  EXPECT_DEATH(neg.Record(-1, 1), "samples");
+}
+#endif
+
 }  // namespace
 }  // namespace core
 }  // namespace exsample

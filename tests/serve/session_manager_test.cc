@@ -1,0 +1,288 @@
+#include "serve/session_manager.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "detect/simulated_detector.h"
+#include "exec/query_job.h"
+#include "track/discriminator.h"
+
+namespace exsample {
+namespace serve {
+namespace {
+
+data::Dataset SkewedDataset(uint64_t seed = 1) {
+  data::DatasetSpec spec;
+  spec.name = "skewed";
+  spec.num_videos = 1;
+  spec.frames_per_video = 40000;
+  spec.chunk_frames = 5000;
+  data::ClassSpec c;
+  c.class_id = 0;
+  c.name = "obj";
+  c.num_instances = 60;
+  c.mean_duration_frames = 200.0;
+  c.placement = data::Placement::kNormal;
+  c.stddev_fraction = 0.05;
+  spec.classes.push_back(c);
+  return data::GenerateDataset(spec, seed);
+}
+
+exec::QueryJob MakeJob(const data::Dataset& ds, core::QuerySpec spec) {
+  exec::QueryJob job;
+  job.repo = &ds.repo;
+  job.chunks = &ds.chunks;
+  job.config.strategy = core::Strategy::kExSample;
+  job.spec = spec;
+  job.make_detector = [&ds](uint64_t seed) {
+    return std::make_unique<detect::SimulatedDetector>(
+        &ds.ground_truth, 0, detect::PerfectDetectorConfig(), seed);
+  };
+  job.make_discriminator = [] {
+    return std::make_unique<track::OracleDiscriminator>();
+  };
+  return job;
+}
+
+struct Outcome {
+  int64_t frames = 0;
+  int64_t results = 0;
+};
+
+/// Runs `n` identical-spec sessions to completion at the given worker count
+/// and returns their outcomes in session-id order.
+std::vector<Outcome> RunSessions(const data::Dataset& ds, size_t threads,
+                                 int n, core::QuerySpec spec,
+                                 uint64_t base_seed) {
+  SessionManager::Options options;
+  options.threads = threads;
+  options.slice_frames = 128;
+  options.base_seed = base_seed;
+  SessionManager manager(options);
+  std::vector<int64_t> ids;
+  for (int i = 0; i < n; ++i) {
+    auto opened = manager.Open(MakeJob(ds, spec));
+    EXPECT_TRUE(opened.ok());
+    ids.push_back(opened.value());
+  }
+  manager.WaitAllDone();
+  std::vector<Outcome> outcomes;
+  for (int64_t id : ids) {
+    auto poll = manager.Poll(id);
+    EXPECT_TRUE(poll.ok());
+    Outcome o;
+    o.frames = poll.value().frames_processed;
+    o.results = poll.value().total_results;
+    outcomes.push_back(o);
+  }
+  return outcomes;
+}
+
+TEST(SessionManagerTest, ThreadCountDoesNotChangeResults) {
+  data::Dataset ds = SkewedDataset(3);
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  spec.result_limit = 12;
+  spec.max_samples = 8000;
+
+  std::vector<Outcome> serial = RunSessions(ds, 1, 6, spec, 99);
+  std::vector<Outcome> threaded = RunSessions(ds, 4, 6, spec, 99);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].frames, threaded[i].frames) << "session " << i;
+    EXPECT_EQ(serial[i].results, threaded[i].results) << "session " << i;
+  }
+}
+
+TEST(SessionManagerTest, SessionMatchesOneShotEngineRun) {
+  data::Dataset ds = SkewedDataset(4);
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  spec.result_limit = 10;
+  spec.max_samples = 8000;
+  const uint64_t base_seed = 7;
+
+  SessionManager::Options options;
+  options.threads = 2;
+  options.slice_frames = 64;
+  options.base_seed = base_seed;
+  SessionManager manager(options);
+  auto opened = manager.Open(MakeJob(ds, spec));
+  ASSERT_TRUE(opened.ok());
+  manager.WaitAllDone();
+  auto poll = manager.Poll(opened.value());
+  ASSERT_TRUE(poll.ok());
+
+  // The same job driven directly as a one-shot session (slice = everything)
+  // must agree: scheduling granularity never changes a trajectory.
+  exec::QueryJob job = MakeJob(ds, spec);
+  job.id = opened.value();
+  QuerySession oneshot(job, base_seed);
+  while (oneshot.RunSlice(int64_t{1} << 40)) {
+  }
+  EXPECT_EQ(poll.value().frames_processed,
+            oneshot.result().frames_processed);
+  EXPECT_EQ(poll.value().total_results,
+            static_cast<int64_t>(oneshot.result().results.size()));
+}
+
+TEST(SessionManagerTest, AdmissionControlRejectsAndRecovers) {
+  data::Dataset ds = SkewedDataset(5);
+  core::QuerySpec spec;
+  spec.class_id = 0;  // unbounded: stays live until cancelled
+
+  SessionManager::Options options;
+  options.threads = 2;
+  options.max_live_sessions = 2;
+  SessionManager manager(options);
+
+  auto s1 = manager.Open(MakeJob(ds, spec));
+  auto s2 = manager.Open(MakeJob(ds, spec));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  auto rejected = manager.Open(MakeJob(ds, spec));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), Status::Code::kFailedPrecondition);
+  EXPECT_EQ(manager.live_sessions(), 2u);
+
+  // Finishing a session frees its admission slot.
+  ASSERT_TRUE(manager.Cancel(s1.value()).ok());
+  auto s3 = manager.Open(MakeJob(ds, spec));
+  EXPECT_TRUE(s3.ok());
+  manager.Cancel(s2.value());
+  manager.Cancel(s3.value());
+  manager.WaitAllDone();
+  EXPECT_EQ(manager.total_opened(), 3);
+  // The cancelled sessions remain pollable until closed.
+  EXPECT_EQ(manager.open_sessions(), 3u);
+}
+
+TEST(SessionManagerTest, RoundRobinKeepsSmallQueriesLive) {
+  // A small query admitted alongside a huge one must finish long before
+  // the huge one exhausts: each round gives both one slice.
+  data::Dataset ds = SkewedDataset(6);
+  core::QuerySpec huge;
+  huge.class_id = 0;  // no limit: scans all 40k frames
+  core::QuerySpec small;
+  small.class_id = 0;
+  small.max_samples = 64;
+
+  SessionManager::Options options;
+  options.threads = 1;  // single worker: fairness must come from slicing
+  options.slice_frames = 32;
+  SessionManager manager(options);
+  auto big = manager.Open(MakeJob(ds, huge));
+  auto little = manager.Open(MakeJob(ds, small));
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(little.ok());
+
+  // Wait for the small session only.
+  while (true) {
+    auto poll = manager.Poll(little.value());
+    ASSERT_TRUE(poll.ok());
+    if (poll.value().state != SessionState::kRunning) break;
+  }
+  // When the small session finished (round 2 of its lifetime), the huge one
+  // had received the same number of slices. Our observation races with the
+  // scheduler continuing the huge query, so allow generous slack — but it
+  // must be nowhere near its 40000-frame full scan (1250 rounds).
+  auto big_poll = manager.Poll(big.value());
+  ASSERT_TRUE(big_poll.ok());
+  EXPECT_LT(big_poll.value().frames_processed, 20000);
+  manager.Cancel(big.value());
+  manager.WaitAllDone();
+}
+
+TEST(SessionManagerTest, CloseFreesSlotAndForgetsSession) {
+  data::Dataset ds = SkewedDataset(7);
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  SessionManager::Options options;
+  options.threads = 2;
+  options.max_live_sessions = 1;
+  SessionManager manager(options);
+  auto s1 = manager.Open(MakeJob(ds, spec));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(manager.Close(s1.value()).ok());
+  EXPECT_FALSE(manager.Poll(s1.value()).ok());  // forgotten
+  EXPECT_EQ(manager.open_sessions(), 0u);
+  auto s2 = manager.Open(MakeJob(ds, spec));  // slot is free again
+  ASSERT_TRUE(s2.ok());
+  manager.Close(s2.value());
+  EXPECT_FALSE(manager.Cancel(s2.value()).ok());
+  EXPECT_FALSE(manager.Close(s2.value()).ok());
+}
+
+TEST(SessionManagerTest, FinishedSessionsRecordIntoStatsCache) {
+  data::Dataset ds = SkewedDataset(8);
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  spec.max_samples = 1000;
+
+  StatsCache cache;
+  SessionManager::Options options;
+  options.threads = 2;
+  options.stats_cache = &cache;
+  SessionManager manager(options);
+  auto s1 = manager.Open(MakeJob(ds, spec), SessionOptions(), "skewed");
+  auto s2 = manager.Open(MakeJob(ds, spec), SessionOptions(), "skewed");
+  // No repo key => not recorded.
+  auto s3 = manager.Open(MakeJob(ds, spec));
+  ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+  manager.WaitAllDone();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.queries_recorded(), 2);
+  auto priors = cache.Lookup("skewed", 0, 1.0);
+  ASSERT_EQ(priors.size(), ds.chunks.size());
+  int64_t seeded_n = 0;
+  for (const auto& p : priors) seeded_n += p.n;
+  EXPECT_GT(seeded_n, 0);
+}
+
+TEST(SessionManagerTest, WarmStartSeedsNewSessions) {
+  data::Dataset ds = SkewedDataset(9);
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  spec.max_samples = 2000;
+
+  StatsCache cache;
+  SessionManager::Options options;
+  options.threads = 1;
+  options.stats_cache = &cache;
+  options.warm_start = true;
+  options.warm_start_weight = 0.5;
+  SessionManager manager(options);
+
+  // Cold query populates the cache.
+  auto cold = manager.Open(MakeJob(ds, spec), SessionOptions(), "skewed");
+  ASSERT_TRUE(cold.ok());
+  manager.WaitAllDone();
+  ASSERT_EQ(cache.queries_recorded(), 1);
+
+  // Second query on the same (repository, class) starts from seeded priors.
+  auto warm = manager.Open(MakeJob(ds, spec), SessionOptions(), "skewed");
+  // A different class key gets no priors.
+  core::QuerySpec other = spec;
+  other.class_id = 1;
+  auto cold2 = manager.Open(MakeJob(ds, other), SessionOptions(), "skewed");
+  ASSERT_TRUE(warm.ok() && cold2.ok());
+  manager.WaitAllDone();
+  auto warm_poll = manager.Poll(warm.value());
+  auto cold_poll = manager.Poll(cold2.value());
+  ASSERT_TRUE(warm_poll.ok() && cold_poll.ok());
+  EXPECT_TRUE(warm_poll.value().warm_started);
+  EXPECT_FALSE(cold_poll.value().warm_started);
+  EXPECT_EQ(warm_poll.value().frames_processed, 2000);
+  // The non-draining accessor agrees with Poll.
+  EXPECT_TRUE(manager.WarmStarted(warm.value()).value());
+  EXPECT_FALSE(manager.WarmStarted(cold2.value()).value());
+  EXPECT_FALSE(manager.WarmStarted(999).ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace exsample

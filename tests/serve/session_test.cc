@@ -1,0 +1,207 @@
+#include "serve/session.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "detect/simulated_detector.h"
+#include "exec/multi_query_runner.h"
+#include "exec/query_job.h"
+#include "track/discriminator.h"
+
+namespace exsample {
+namespace serve {
+namespace {
+
+data::Dataset SkewedDataset(uint64_t seed = 1) {
+  data::DatasetSpec spec;
+  spec.name = "skewed";
+  spec.num_videos = 1;
+  spec.frames_per_video = 40000;
+  spec.chunk_frames = 5000;
+  data::ClassSpec c;
+  c.class_id = 0;
+  c.name = "obj";
+  c.num_instances = 60;
+  c.mean_duration_frames = 200.0;
+  c.placement = data::Placement::kNormal;
+  c.stddev_fraction = 0.05;
+  spec.classes.push_back(c);
+  return data::GenerateDataset(spec, seed);
+}
+
+exec::QueryJob MakeJob(const data::Dataset& ds, int64_t id,
+                       core::QuerySpec spec,
+                       core::Strategy strategy = core::Strategy::kExSample) {
+  exec::QueryJob job;
+  job.id = id;
+  job.repo = &ds.repo;
+  job.chunks = &ds.chunks;
+  job.config.strategy = strategy;
+  job.spec = spec;
+  job.make_detector = [&ds](uint64_t seed) {
+    return std::make_unique<detect::SimulatedDetector>(
+        &ds.ground_truth, 0, detect::PerfectDetectorConfig(), seed);
+  };
+  job.make_discriminator = [] {
+    return std::make_unique<track::OracleDiscriminator>();
+  };
+  return job;
+}
+
+bool SameTrajectory(const core::Trajectory& a, const core::Trajectory& b) {
+  if (a.total_samples() != b.total_samples()) return false;
+  if (a.points().size() != b.points().size()) return false;
+  for (size_t i = 0; i < a.points().size(); ++i) {
+    if (a.points()[i].samples != b.points()[i].samples ||
+        a.points()[i].count != b.points()[i].count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(QuerySessionTest, SlicedSessionMatchesBatchRunnerBitIdentically) {
+  data::Dataset ds = SkewedDataset(3);
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  spec.result_limit = 20;
+  spec.max_samples = 8000;
+  const uint64_t base_seed = 17;
+  const int64_t id = 4;
+
+  // Reference: the identical QueryJob through the batch scheduler.
+  exec::MultiQueryRunner::Options opts;
+  opts.threads = 1;
+  opts.base_seed = base_seed;
+  std::vector<exec::JobResult> reference =
+      exec::MultiQueryRunner(opts).RunAll({MakeJob(ds, id, spec)});
+
+  // The hot region is dense (this query needs only ~22 frames), so slice
+  // finely to exercise genuinely incremental execution.
+  QuerySession session(MakeJob(ds, id, spec), base_seed);
+  EXPECT_EQ(session.seed(), reference[0].seed);
+  int64_t slices = 0;
+  while (session.RunSlice(5)) ++slices;
+  EXPECT_GT(slices, 1);  // genuinely incremental
+  ASSERT_TRUE(session.finished());
+  EXPECT_EQ(session.state(), SessionState::kDone);
+
+  const core::QueryResult& got = session.result();
+  const core::QueryResult& want = reference[0].result;
+  EXPECT_EQ(got.frames_processed, want.frames_processed);
+  ASSERT_EQ(got.results.size(), want.results.size());
+  for (size_t i = 0; i < got.results.size(); ++i) {
+    EXPECT_EQ(got.results[i].frame, want.results[i].frame);
+  }
+  EXPECT_TRUE(SameTrajectory(got.reported, want.reported));
+  EXPECT_TRUE(SameTrajectory(got.true_instances, want.true_instances));
+}
+
+TEST(QuerySessionTest, PollStreamsEachResultExactlyOnce) {
+  data::Dataset ds = SkewedDataset(5);
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  spec.result_limit = 15;
+  QuerySession session(MakeJob(ds, 1, spec), 9);
+
+  std::vector<detect::Detection> streamed;
+  bool more = true;
+  while (more) {
+    more = session.RunSlice(64);
+    PollResult poll = session.Poll();
+    for (const auto& d : poll.new_results) streamed.push_back(d);
+    EXPECT_EQ(poll.total_results, static_cast<int64_t>(streamed.size()));
+  }
+  PollResult final_poll = session.Poll();
+  EXPECT_TRUE(final_poll.new_results.empty());
+  EXPECT_EQ(final_poll.state, SessionState::kDone);
+  EXPECT_EQ(final_poll.stop_reason, StopReason::kLimitReached);
+
+  // Exactly the engine's result list, in discovery order, no duplicates.
+  const core::QueryResult& result = session.result();
+  ASSERT_EQ(streamed.size(), result.results.size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].frame, result.results[i].frame);
+  }
+  EXPECT_GE(static_cast<int64_t>(streamed.size()), 15);
+}
+
+TEST(QuerySessionTest, PollReportsProgressMidRun) {
+  data::Dataset ds = SkewedDataset(6);
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  QuerySession session(MakeJob(ds, 2, spec), 11);
+  session.RunSlice(500);
+  PollResult poll = session.Poll();
+  EXPECT_EQ(poll.state, SessionState::kRunning);
+  EXPECT_EQ(poll.stop_reason, StopReason::kNone);
+  EXPECT_EQ(poll.frames_processed, 500);
+  EXPECT_GT(poll.cost_seconds, 0.0);
+  EXPECT_GE(poll.wall_seconds, 0.0);
+}
+
+TEST(QuerySessionTest, CancelStopsAndKeepsPartialResults) {
+  data::Dataset ds = SkewedDataset(7);
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  QuerySession session(MakeJob(ds, 3, spec), 13);
+  session.RunSlice(1000);
+  session.Cancel();
+  EXPECT_TRUE(session.finished());
+  EXPECT_EQ(session.state(), SessionState::kCancelled);
+  EXPECT_FALSE(session.RunSlice(1000));  // no further work
+  PollResult poll = session.Poll();
+  EXPECT_EQ(poll.state, SessionState::kCancelled);
+  EXPECT_EQ(poll.stop_reason, StopReason::kCancelled);
+  EXPECT_EQ(poll.frames_processed, 1000);
+  EXPECT_EQ(session.result().frames_processed, 1000);
+  // Cancel is idempotent.
+  session.Cancel();
+  EXPECT_EQ(session.state(), SessionState::kCancelled);
+}
+
+TEST(QuerySessionTest, DeadlineExpiresAtSliceBoundary) {
+  data::Dataset ds = SkewedDataset(8);
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  SessionOptions options;
+  options.deadline_seconds = 1e-9;  // expires immediately
+  QuerySession session(MakeJob(ds, 4, spec), 15, options);
+  EXPECT_FALSE(session.RunSlice(10));
+  PollResult poll = session.Poll();
+  EXPECT_EQ(poll.state, SessionState::kCancelled);
+  EXPECT_EQ(poll.stop_reason, StopReason::kDeadlineExpired);
+  EXPECT_EQ(poll.frames_processed, 10);  // the slice itself completed
+}
+
+TEST(QuerySessionTest, MarkStatsRecordedClaimsExactlyOnce) {
+  // A finished session can be harvested both by the scheduler round that
+  // saw it finish and by a concurrent Cancel/Close; only one harvester may
+  // record it into the StatsCache.
+  data::Dataset ds = SkewedDataset(9);
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  spec.max_samples = 100;
+  QuerySession session(MakeJob(ds, 5, spec), 21);
+  while (session.RunSlice(64)) {
+  }
+  EXPECT_TRUE(session.MarkStatsRecorded());
+  EXPECT_FALSE(session.MarkStatsRecorded());
+  EXPECT_FALSE(session.MarkStatsRecorded());
+}
+
+TEST(QuerySessionTest, StateNames) {
+  EXPECT_STREQ(SessionStateName(SessionState::kRunning), "running");
+  EXPECT_STREQ(SessionStateName(SessionState::kDone), "done");
+  EXPECT_STREQ(SessionStateName(SessionState::kCancelled), "cancelled");
+  EXPECT_STREQ(StopReasonName(StopReason::kLimitReached), "limit");
+  EXPECT_STREQ(StopReasonName(StopReason::kDeadlineExpired), "deadline");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace exsample

@@ -1,0 +1,211 @@
+#include "serve/stats_cache.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/frame_source.h"
+#include "util/rng.h"
+#include "video/chunking.h"
+
+namespace exsample {
+namespace serve {
+namespace {
+
+core::ChunkStats MakeStats(std::vector<std::pair<int64_t, int64_t>> n1_n) {
+  core::ChunkStats stats(static_cast<int32_t>(n1_n.size()));
+  for (size_t j = 0; j < n1_n.size(); ++j) {
+    // d0 = n1 on the first sample, then n - 1 empty samples.
+    const auto [n1, n] = n1_n[j];
+    stats.Update(static_cast<video::ChunkId>(j), n1, 0);
+    for (int64_t s = 1; s < n; ++s) {
+      stats.Update(static_cast<video::ChunkId>(j), 0, 0);
+    }
+  }
+  return stats;
+}
+
+TEST(StatsCacheTest, RecordAndLookup) {
+  StatsCache cache;
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.Lookup("repo", 0, 1.0).empty());
+
+  cache.Record("repo", 0, MakeStats({{6, 10}, {0, 4}, {2, 6}}));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.queries_recorded(), 1);
+
+  auto priors = cache.Lookup("repo", 0, 1.0);
+  ASSERT_EQ(priors.size(), 3u);
+  EXPECT_EQ(priors[0].n1, 6);
+  EXPECT_EQ(priors[0].n, 10);
+  EXPECT_EQ(priors[1].n1, 0);
+  EXPECT_EQ(priors[1].n, 4);
+  EXPECT_EQ(priors[2].n1, 2);
+  EXPECT_EQ(priors[2].n, 6);
+
+  // Other keys are independent.
+  EXPECT_TRUE(cache.Lookup("repo", 1, 1.0).empty());
+  EXPECT_TRUE(cache.Lookup("other", 0, 1.0).empty());
+}
+
+TEST(StatsCacheTest, AccumulatesAndAveragesAcrossQueries) {
+  StatsCache cache;
+  cache.Record("repo", 0, MakeStats({{4, 8}, {0, 2}}));
+  cache.Record("repo", 0, MakeStats({{2, 4}, {0, 2}}));
+  EXPECT_EQ(cache.queries_recorded(), 2);
+  // Averaged over the two queries, then scaled by the weight.
+  auto priors = cache.Lookup("repo", 0, 1.0);
+  ASSERT_EQ(priors.size(), 2u);
+  EXPECT_EQ(priors[0].n1, 3);  // (4+2)/2
+  EXPECT_EQ(priors[0].n, 6);   // (8+4)/2
+  EXPECT_EQ(priors[1].n, 2);
+
+  auto half = cache.Lookup("repo", 0, 0.5);
+  EXPECT_EQ(half[0].n1, 2);  // round(0.5 * 3)
+  EXPECT_EQ(half[0].n, 3);
+}
+
+TEST(StatsCacheTest, RecordSubtractsSeededPriors) {
+  // A warm-started query's final ChunkStats embed the priors it was seeded
+  // with; Record must strip them so only observed evidence accumulates —
+  // otherwise every generation would re-deposit its inheritance.
+  StatsCache cache;
+  cache.Record("repo", 0, MakeStats({{4, 8}, {0, 4}}));
+  auto priors = cache.Lookup("repo", 0, 0.5);
+  ASSERT_EQ(priors.size(), 2u);
+  EXPECT_EQ(priors[0].n1, 2);
+  EXPECT_EQ(priors[0].n, 4);
+
+  // The warm query observed {{3,6},{1,2}}; its stats carry priors on top.
+  core::ChunkStats warm = MakeStats({{3 + 2, 6 + 4}, {1 + 0, 2 + 2}});
+  cache.Record("repo", 0, warm, priors);
+
+  EXPECT_EQ(cache.queries_recorded(), 2);
+  auto merged = cache.Lookup("repo", 0, 1.0);
+  EXPECT_EQ(merged[0].n1, 4);  // round((4 + 3) / 2), priors excluded
+  EXPECT_EQ(merged[0].n, 7);   // (8 + 6) / 2
+  EXPECT_EQ(merged[1].n, 3);   // (4 + 2) / 2
+}
+
+TEST(StatsCacheTest, RechunkedRepositoryReplacesEntry) {
+  StatsCache cache;
+  cache.Record("repo", 0, MakeStats({{4, 8}, {0, 2}}));
+  cache.Record("repo", 0, MakeStats({{1, 2}, {1, 2}, {1, 2}}));
+  auto priors = cache.Lookup("repo", 0, 1.0);
+  ASSERT_EQ(priors.size(), 3u);
+  EXPECT_EQ(cache.queries_recorded(), 1);
+}
+
+TEST(StatsCacheTest, NegativeN1ClampedBeforeAccumulation) {
+  core::ChunkStats stats(2);
+  stats.Update(0, 0, 3);  // three second-sightings: raw N1 = -3
+  stats.Update(1, 5, 0);
+  StatsCache cache;
+  cache.Record("repo", 0, stats);
+  auto priors = cache.Lookup("repo", 0, 1.0);
+  ASSERT_EQ(priors.size(), 2u);
+  EXPECT_EQ(priors[0].n1, 0);  // a prior never owes evidence
+  EXPECT_EQ(priors[1].n1, 5);
+}
+
+TEST(StatsCacheTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/stats_cache_test.txt";
+  {
+    StatsCache cache;
+    cache.Record("dashcam s=0.1", 0, MakeStats({{6, 10}, {0, 4}}));
+    cache.Record("dashcam s=0.1", 2, MakeStats({{1, 3}, {2, 3}}));
+    cache.Record("night", 0, MakeStats({{9, 9}}));
+    ASSERT_TRUE(cache.Save(path).ok());
+  }
+  StatsCache loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.queries_recorded(), 3);
+  auto priors = loaded.Lookup("dashcam s=0.1", 0, 1.0);
+  ASSERT_EQ(priors.size(), 2u);
+  EXPECT_EQ(priors[0].n1, 6);
+  EXPECT_EQ(priors[0].n, 10);
+  // Keys containing spaces survive the text format.
+  EXPECT_EQ(loaded.Lookup("night", 0, 1.0).size(), 1u);
+
+  // Loading again merges (doubles the query counts).
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.queries_recorded(), 6);
+  auto merged = loaded.Lookup("dashcam s=0.1", 0, 1.0);
+  EXPECT_EQ(merged[0].n1, 6);  // average is unchanged
+  std::remove(path.c_str());
+}
+
+TEST(StatsCacheTest, LoadErrors) {
+  StatsCache cache;
+  EXPECT_FALSE(cache.Load("/nonexistent/stats.txt").ok());
+  const std::string path = ::testing::TempDir() + "/stats_cache_bad.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not a cache\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(cache.Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(StatsCacheTest, PriorsSeedFrameSourceStatistics) {
+  // End to end with the core layer: priors from the cache appear in a new
+  // ExSample source's chunk statistics and bias its first picks.
+  StatsCache cache;
+  // History says chunk 2 (of 4) is where the results are.
+  cache.Record("repo", 0, MakeStats({{0, 25}, {0, 25}, {20, 25}, {0, 25}}));
+
+  auto chunks = video::MakeUniformChunks(4000, 4);
+  core::FrameSourceConfig config;
+  config.strategy = core::Strategy::kExSample;
+  auto priors = cache.Lookup("repo", 0, 1.0);
+  ASSERT_EQ(priors.size(), 4u);
+  config.warm_start = &priors;
+  core::ExSampleFrameSource source(&chunks, config);
+
+  const core::ChunkStats* stats = source.chunk_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->n1(2), 20);
+  EXPECT_EQ(stats->n(2), 25);
+  EXPECT_EQ(stats->n1(0), 0);
+  // The pseudo-counts are priors, not samples: the total-samples clock and
+  // the samplers start fresh.
+  EXPECT_EQ(stats->total_samples(), 0);
+  EXPECT_EQ(source.remaining(), 4000);
+
+  // Thompson sampling over the seeded beliefs overwhelmingly prefers the
+  // historically productive chunk from the very first draw.
+  Rng rng(7);
+  int64_t from_chunk2 = 0;
+  const int64_t kDraws = 50;
+  for (int64_t i = 0; i < kDraws; ++i) {
+    core::ExSampleFrameSource fresh(&chunks, config);
+    auto batch = fresh.NextBatch(1, &rng);
+    ASSERT_EQ(batch.size(), 1u);
+    if (batch[0].chunk == 2) ++from_chunk2;
+  }
+  EXPECT_GT(from_chunk2, kDraws / 2);
+
+  // A cold source has no such preference encoded.
+  core::FrameSourceConfig cold = config;
+  cold.warm_start = nullptr;
+  core::ExSampleFrameSource cold_source(&chunks, cold);
+  EXPECT_EQ(cold_source.chunk_stats()->n(2), 0);
+}
+
+TEST(StatsCacheTest, MismatchedPriorSizeIsIgnoredBySource) {
+  auto chunks = video::MakeUniformChunks(1000, 4);
+  std::vector<core::ChunkPrior> wrong_size(3, core::ChunkPrior{5, 5});
+  core::FrameSourceConfig config;
+  config.warm_start = &wrong_size;
+  core::ExSampleFrameSource source(&chunks, config);
+  for (int32_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(source.chunk_stats()->n(j), 0);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace exsample

@@ -47,5 +47,15 @@ TEST(FlagsTest, ExplicitFalse) {
   EXPECT_FALSE(f.GetBool("other", true));
 }
 
+TEST(FlagsTest, HasDistinguishesExplicitFromDefault) {
+  auto f = MakeFlags({"--budget-seconds=0", "--limit", "5"});
+  // Has() sees explicitly supplied flags even when the value equals the
+  // default a Get* would return for an absent flag.
+  EXPECT_TRUE(f.Has("budget-seconds"));
+  EXPECT_TRUE(f.Has("limit"));
+  EXPECT_FALSE(f.Has("threads"));
+  EXPECT_DOUBLE_EQ(f.GetDouble("budget-seconds", 0.0), 0.0);
+}
+
 }  // namespace
 }  // namespace exsample

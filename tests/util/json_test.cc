@@ -1,0 +1,118 @@
+#include "util/json.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace {
+
+TEST(JsonTest, ScalarsDump) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(static_cast<int64_t>(42)).Dump(), "42");
+  EXPECT_EQ(Json(-7).Dump(), "-7");
+  EXPECT_EQ(Json(1.5).Dump(), "1.5");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, ObjectKeepsInsertionOrder) {
+  Json obj = Json::Object();
+  obj.Set("b", 1).Set("a", 2).Set("c", Json::Array());
+  EXPECT_EQ(obj.Dump(), "{\"b\":1,\"a\":2,\"c\":[]}");
+  obj.Set("b", 9);  // replaces in place, no reorder
+  EXPECT_EQ(obj.Dump(), "{\"b\":9,\"a\":2,\"c\":[]}");
+}
+
+TEST(JsonTest, NestedStructure) {
+  Json arr = Json::Array();
+  arr.Append(1).Append(Json::Object().Set("x", 0.25)).Append("s");
+  Json doc = Json::Object().Set("items", std::move(arr)).Set("n", 3);
+  EXPECT_EQ(doc.Dump(), "{\"items\":[1,{\"x\":0.25},\"s\"],\"n\":3}");
+}
+
+TEST(JsonTest, StringEscaping) {
+  Json s(std::string("a\"b\\c\nd\te\x01"));
+  EXPECT_EQ(s.Dump(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+  auto parsed = Json::Parse(s.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsString(), "a\"b\\c\nd\te\x01");
+}
+
+TEST(JsonTest, Int64RoundTripsExactly) {
+  const int64_t big = std::numeric_limits<int64_t>::max();
+  Json j(big);
+  EXPECT_EQ(j.Dump(), "9223372036854775807");
+  auto parsed = Json::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsInt(), big);
+}
+
+TEST(JsonTest, DoubleRoundTrips) {
+  for (double v : {0.1, 1.0 / 3.0, 1e-9, 12345.6789, -2.5e30}) {
+    auto parsed = Json::Parse(Json(v).Dump());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().AsDouble(), v);
+  }
+}
+
+TEST(JsonTest, ParseObjectAndTypedGetters) {
+  auto parsed = Json::Parse(
+      "  {\"cmd\": \"open\", \"limit\": 10, \"scale\": 0.05,"
+      " \"warm\": true, \"name\": null}  ");
+  ASSERT_TRUE(parsed.ok());
+  const Json& j = parsed.value();
+  EXPECT_TRUE(j.is_object());
+  EXPECT_EQ(j.GetString("cmd", ""), "open");
+  EXPECT_EQ(j.GetInt("limit", -1), 10);
+  EXPECT_DOUBLE_EQ(j.GetDouble("scale", 0), 0.05);
+  EXPECT_TRUE(j.GetBool("warm", false));
+  EXPECT_TRUE(j.Has("name"));
+  EXPECT_FALSE(j.Has("absent"));
+  // Defaults on missing keys and wrong types.
+  EXPECT_EQ(j.GetInt("cmd", 7), 7);
+  EXPECT_EQ(j.GetString("limit", "d"), "d");
+}
+
+TEST(JsonTest, ParseArray) {
+  auto parsed = Json::Parse("[1, 2.5, \"x\", [true], {}]");
+  ASSERT_TRUE(parsed.ok());
+  const Json& j = parsed.value();
+  ASSERT_TRUE(j.is_array());
+  ASSERT_EQ(j.size(), 5u);
+  EXPECT_EQ(j.items()[0].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(j.items()[1].AsDouble(), 2.5);
+  EXPECT_EQ(j.items()[2].AsString(), "x");
+  EXPECT_TRUE(j.items()[3].items()[0].AsBool());
+  EXPECT_TRUE(j.items()[4].is_object());
+}
+
+TEST(JsonTest, ParseErrors) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1 2", "\"abc",
+        "{\"a\":1,}", "[1]]", "nul", "--1", "{'a':1}"}) {
+    auto parsed = Json::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << "input accepted: " << bad;
+  }
+}
+
+TEST(JsonTest, ParseUnicodeEscape) {
+  auto parsed = Json::Parse("\"caf\\u00e9\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsString(), "caf\xc3\xa9");
+}
+
+TEST(JsonTest, RoundTripDocument) {
+  const std::string text =
+      "{\"ok\":true,\"session\":3,\"results\":[{\"frame\":120,"
+      "\"score\":0.875}],\"cost\":1.25}";
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Dump(), text);
+}
+
+}  // namespace
+}  // namespace exsample

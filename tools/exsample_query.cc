@@ -17,6 +17,9 @@
 //   # 16 repeated trials scheduled across all cores (deterministic: trial
 //   # seeds derive from trial ids, not thread scheduling)
 //   exsample_query --preset dashcam --class bicycle --limit 50 --trials 16 --threads 0
+//
+//   # machine-readable output (spec, per-trial frames/seconds/trajectory)
+//   exsample_query --preset dashcam --class bicycle --limit 50 --json
 
 #include <cstdio>
 #include <fstream>
@@ -33,6 +36,7 @@
 #include "exec/query_job.h"
 #include "track/discriminator.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -52,6 +56,7 @@ int Main(int argc, char** argv) {
   const std::string out_path = flags.GetString("out", "");
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const bool use_tracker = flags.GetBool("tracker");
+  const bool json_output = flags.GetBool("json");
   const int64_t trials = flags.GetInt("trials", 1);
   const int64_t threads_flag = flags.GetInt("threads", 0);
   flags.FailOnUnknown();
@@ -61,6 +66,21 @@ int Main(int argc, char** argv) {
   }
   if (threads_flag < 0) {
     std::fprintf(stderr, "error: --threads must be >= 0 (0 = all cores)\n");
+    return 2;
+  }
+  if (limit < 0 || (flags.Has("limit") && limit == 0)) {
+    std::fprintf(stderr,
+                 "error: --limit must be >= 1 (omit it for no limit)\n");
+    return 2;
+  }
+  if (flags.Has("budget-seconds") && budget_seconds <= 0.0) {
+    std::fprintf(stderr,
+                 "error: --budget-seconds must be > 0 "
+                 "(omit it for an unlimited budget)\n");
+    return 2;
+  }
+  if (scale <= 0.0 || scale > 1.0) {
+    std::fprintf(stderr, "error: --scale must be in (0, 1]\n");
     return 2;
   }
   const size_t threads = static_cast<size_t>(threads_flag);
@@ -88,7 +108,8 @@ int Main(int argc, char** argv) {
                  "--class NAME [--limit N] [--budget-seconds S]\n"
                  "       [--strategy exsample|random|randomplus|sequential]"
                  " [--out results.csv] [--tracker] [--seed N]\n"
-                 "       [--trials N] [--threads T  (0 = all cores)]\n"
+                 "       [--trials N] [--threads T  (0 = all cores)] "
+                 "[--json]\n"
                  "       exsample_query --print-spec PRESET\n");
     return 2;
   }
@@ -107,16 +128,7 @@ int Main(int argc, char** argv) {
 
   // --- strategy
   core::EngineConfig config;
-  if (strategy_name == "exsample") {
-    config.strategy = core::Strategy::kExSample;
-  } else if (strategy_name == "random") {
-    config.strategy = core::Strategy::kRandom;
-  } else if (strategy_name == "randomplus") {
-    config.strategy = core::Strategy::kRandomPlus;
-  } else if (strategy_name == "sequential") {
-    config.strategy = core::Strategy::kSequential;
-    config.sequential_stride = 30;
-  } else {
+  if (!core::ApplyStrategyName(strategy_name, &config)) {
     std::fprintf(stderr, "error: unknown strategy '%s'\n",
                  strategy_name.c_str());
     return 1;
@@ -156,7 +168,72 @@ int Main(int argc, char** argv) {
       exec::MultiQueryRunner(options).RunAll(jobs);
   const core::QueryResult& result = outcomes.front().result;
 
+  // --- optional CSV dump (trial 0's results), in either output mode
+  if (!out_path.empty()) {
+    Table csv({"result_index", "frame", "x", "y", "w", "h", "score"});
+    for (size_t i = 0; i < result.results.size(); ++i) {
+      const auto& d = result.results[i];
+      csv.AddRow({Table::Int(static_cast<int64_t>(i)), Table::Int(d.frame),
+                  Table::Num(d.box.x, 6), Table::Num(d.box.y, 6),
+                  Table::Num(d.box.w, 6), Table::Num(d.box.h, 6),
+                  Table::Num(d.score, 4)});
+    }
+    std::ofstream out(out_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << csv.ToCsv();
+    // In JSON mode stdout carries only the document; log to stderr.
+    std::fprintf(json_output ? stderr : stdout, "wrote %zu results%s to %s\n",
+                 result.results.size(), trials > 1 ? " (trial 0 only)" : "",
+                 out_path.c_str());
+  }
+
   // --- report
+  if (json_output) {
+    // Same JSON helpers as tools/exsample_serve, so downstream consumers
+    // parse one format across the CLI and the serving protocol.
+    Json doc = Json::Object();
+    doc.Set("tool", "exsample_query");
+    doc.Set("dataset", Json::Object()
+                           .Set("name", dataset.name)
+                           .Set("frames", dataset.repo.total_frames())
+                           .Set("chunks",
+                                static_cast<int64_t>(dataset.chunks.size())));
+    Json query_obj = Json::Object();
+    query_obj.Set("class", cls->name)
+        .Set("class_id", static_cast<int64_t>(cls->class_id))
+        .Set("strategy", strategy_name)
+        .Set("limit", limit)
+        .Set("budget_seconds", budget_seconds)
+        .Set("tracker", use_tracker)
+        .Set("seed", static_cast<int64_t>(seed))
+        .Set("trials", trials);
+    doc.Set("query", std::move(query_obj));
+    Json trials_arr = Json::Array();
+    for (const exec::JobResult& outcome : outcomes) {
+      const core::QueryResult& r = outcome.result;
+      Json t = Json::Object();
+      t.Set("trial", outcome.job_id)
+          .Set("seed", static_cast<int64_t>(outcome.seed))
+          .Set("results", static_cast<int64_t>(r.results.size()))
+          .Set("frames", r.frames_processed)
+          .Set("decode_seconds", r.decode_seconds)
+          .Set("inference_seconds", r.inference_seconds)
+          .Set("total_seconds", r.total_seconds());
+      Json points = Json::Array();
+      for (const auto& p : r.reported.points()) {
+        points.Append(
+            Json::Object().Set("samples", p.samples).Set("count", p.count));
+      }
+      t.Set("trajectory", std::move(points));
+      trials_arr.Append(std::move(t));
+    }
+    doc.Set("trials", std::move(trials_arr));
+    std::printf("%s\n", doc.Dump().c_str());
+    return 0;
+  }
   detect::ThroughputModel throughput;
   std::printf("dataset '%s': %lld frames, %zu chunks; query class '%s'\n",
               dataset.name.c_str(),
@@ -182,30 +259,6 @@ int Main(int argc, char** argv) {
     std::printf("median over %lld trials: %lld frames\n",
                 static_cast<long long>(trials),
                 static_cast<long long>(Percentile(frames, 0.5)));
-  }
-
-  if (!out_path.empty()) {
-    Table csv({"result_index", "frame", "x", "y", "w", "h", "score"});
-    for (size_t i = 0; i < result.results.size(); ++i) {
-      const auto& d = result.results[i];
-      csv.AddRow({Table::Int(static_cast<int64_t>(i)), Table::Int(d.frame),
-                  Table::Num(d.box.x, 6), Table::Num(d.box.y, 6),
-                  Table::Num(d.box.w, 6), Table::Num(d.box.h, 6),
-                  Table::Num(d.score, 4)});
-    }
-    std::ofstream out(out_path);
-    if (!out.good()) {
-      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
-      return 1;
-    }
-    out << csv.ToCsv();
-    if (trials > 1) {
-      std::printf("wrote %zu results (trial 0 only) to %s\n",
-                  result.results.size(), out_path.c_str());
-    } else {
-      std::printf("wrote %zu results to %s\n", result.results.size(),
-                  out_path.c_str());
-    }
   }
   return 0;
 }

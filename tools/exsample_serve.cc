@@ -1,0 +1,293 @@
+// exsample_serve: interactive anytime query serving over stdin/stdout.
+//
+// Reads one JSON command per input line, writes one JSON response per line
+// (NDJSON). Sessions run in the background on serve::SessionManager's
+// round-robin scheduler, so results stream in while you type and many
+// queries progress concurrently.
+//
+// Protocol (one object per line):
+//   {"cmd":"open","preset":"dashcam","class":"bicycle","limit":20}
+//     -> {"ok":true,"session":1,"warm_started":false}
+//     optional keys: "scale" (default --scale), "strategy"
+//     (exsample|random|randomplus|sequential), "max_samples",
+//     "budget_seconds" (modeled GPU seconds), "deadline_seconds" (wall),
+//     "tracker" (IoU discriminator instead of the oracle)
+//   {"cmd":"poll","session":1}
+//     -> {"ok":true,"session":1,"state":"running","new_results":[...],
+//         "total_results":7,"frames_processed":1536,"cost_seconds":93.1,...}
+//   {"cmd":"cancel","session":1}   stop early, partial results pollable
+//   {"cmd":"close","session":1}    forget the session, free its slot
+//   {"cmd":"stats"}                manager + warm-start cache counters
+//   {"cmd":"quit"}                 exit (also on EOF)
+//
+// Flags: --threads N (0 = all cores), --slice-frames N, --max-sessions N,
+//        --seed N, --scale S, --warm-start, --warm-start-weight W,
+//        --stats-file PATH (persist the warm-start cache across runs)
+//
+// Example (one shell line):
+//   printf '%s\n%s\n' '{"cmd":"open","preset":"dashcam","class":"bicycle",
+//   "limit":5}' '{"cmd":"stats"}' | exsample_serve --warm-start
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "data/presets.h"
+#include "data/synthetic.h"
+#include "detect/simulated_detector.h"
+#include "exec/query_job.h"
+#include "serve/session_manager.h"
+#include "serve/stats_cache.h"
+#include "track/discriminator.h"
+#include "util/flags.h"
+#include "util/json.h"
+
+namespace exsample {
+namespace {
+
+Json Error(const std::string& message) {
+  return Json::Object().Set("ok", false).Set("error", message);
+}
+
+/// Datasets generated on demand and shared by every session that names the
+/// same (preset, scale); they must outlive their sessions, so they live for
+/// the whole process.
+class DatasetPool {
+ public:
+  explicit DatasetPool(uint64_t seed) : seed_(seed) {}
+
+  /// Returns the dataset for (preset, scale), generating it on first use,
+  /// or nullptr for an unknown preset name.
+  const data::Dataset* Get(const std::string& preset, double scale) {
+    const std::string key = preset + "@" + std::to_string(scale);
+    auto it = datasets_.find(key);
+    if (it != datasets_.end()) return it->second.get();
+    bool known = false;
+    for (const std::string& name : data::PresetNames()) {
+      if (name == preset) known = true;
+    }
+    if (!known) return nullptr;
+    auto dataset = std::make_unique<data::Dataset>(
+        data::MakePreset(preset, scale, seed_));
+    return datasets_.emplace(key, std::move(dataset)).first->second.get();
+  }
+
+ private:
+  const uint64_t seed_;
+  std::map<std::string, std::unique_ptr<data::Dataset>> datasets_;
+};
+
+Json HandleOpen(const Json& cmd, DatasetPool* datasets,
+                serve::SessionManager* manager, double default_scale) {
+  const std::string preset = cmd.GetString("preset", "");
+  const std::string class_name = cmd.GetString("class", "");
+  if (preset.empty() || class_name.empty()) {
+    return Error("open requires \"preset\" and \"class\"");
+  }
+  const double scale = cmd.GetDouble("scale", default_scale);
+  if (scale <= 0.0 || scale > 1.0) return Error("scale must be in (0, 1]");
+
+  const data::Dataset* dataset = datasets->Get(preset, scale);
+  if (dataset == nullptr) return Error("unknown preset: " + preset);
+  const data::ClassSpec* cls = dataset->FindClass(class_name);
+  if (cls == nullptr) return Error("class '" + class_name + "' not in " + preset);
+
+  exec::QueryJob job;
+  job.repo = &dataset->repo;
+  job.chunks = &dataset->chunks;
+  const std::string strategy = cmd.GetString("strategy", "exsample");
+  if (!core::ApplyStrategyName(strategy, &job.config)) {
+    return Error("unknown strategy: " + strategy);
+  }
+  job.spec.class_id = cls->class_id;
+  const int64_t limit = cmd.GetInt("limit", 0);
+  if (limit < 0 || (cmd.Has("limit") && limit == 0)) {
+    return Error("limit must be >= 1 (or omitted)");
+  }
+  if (limit > 0) job.spec.result_limit = limit;
+  const int64_t max_samples = cmd.GetInt("max_samples", 0);
+  if (max_samples < 0) return Error("max_samples must be >= 0");
+  job.spec.max_samples = max_samples;
+  const double budget = cmd.GetDouble("budget_seconds", 0.0);
+  if (budget < 0.0 || (cmd.Has("budget_seconds") && budget == 0.0)) {
+    return Error("budget_seconds must be > 0 (or omitted)");
+  }
+  job.spec.max_seconds = budget;
+
+  const detect::ClassId class_id = cls->class_id;
+  job.make_detector = [dataset, class_id](uint64_t seed) {
+    return std::make_unique<detect::SimulatedDetector>(
+        &dataset->ground_truth, class_id, detect::DetectorConfig{}, seed);
+  };
+  const bool tracker = cmd.GetBool("tracker", false);
+  job.make_discriminator = [tracker]() -> std::unique_ptr<track::Discriminator> {
+    if (tracker) return std::make_unique<track::TrackerDiscriminator>();
+    return std::make_unique<track::OracleDiscriminator>();
+  };
+
+  serve::SessionOptions session_options;
+  session_options.deadline_seconds = cmd.GetDouble("deadline_seconds", 0.0);
+  if (session_options.deadline_seconds < 0.0) {
+    return Error("deadline_seconds must be >= 0");
+  }
+
+  // One cache entry per (preset, scale, class); the key survives restarts.
+  const std::string repo_key = preset + "@" + std::to_string(scale);
+  auto opened = manager->Open(std::move(job), session_options, repo_key);
+  if (!opened.ok()) return Error(opened.status().ToString());
+  // WarmStarted (not Poll): polling here would drain results the scheduler
+  // may already have found, stealing them from the client's first poll.
+  auto warm = manager->WarmStarted(opened.value());
+  Json response = Json::Object().Set("ok", true).Set("session",
+                                                     opened.value());
+  if (warm.ok()) response.Set("warm_started", warm.value());
+  return response;
+}
+
+Json HandlePoll(const Json& cmd, serve::SessionManager* manager) {
+  const int64_t id = cmd.GetInt("session", -1);
+  auto poll = manager->Poll(id);
+  if (!poll.ok()) return Error(poll.status().ToString());
+  const serve::PollResult& p = poll.value();
+  Json response = Json::Object();
+  response.Set("ok", true)
+      .Set("session", p.session_id)
+      .Set("state", serve::SessionStateName(p.state))
+      .Set("stop_reason", serve::StopReasonName(p.stop_reason));
+  Json results = Json::Array();
+  for (const auto& d : p.new_results) {
+    results.Append(Json::Object()
+                       .Set("frame", d.frame)
+                       .Set("score", d.score)
+                       .Set("x", d.box.x)
+                       .Set("y", d.box.y)
+                       .Set("w", d.box.w)
+                       .Set("h", d.box.h));
+  }
+  response.Set("new_results", std::move(results))
+      .Set("total_results", p.total_results)
+      .Set("frames_processed", p.frames_processed)
+      .Set("cost_seconds", p.cost_seconds)
+      .Set("seconds_to_first_result", p.seconds_to_first_result)
+      .Set("wall_seconds", p.wall_seconds)
+      .Set("warm_started", p.warm_started);
+  return response;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const int64_t threads = flags.GetInt("threads", 0);
+  const int64_t slice_frames = flags.GetInt("slice-frames", 256);
+  const int64_t max_sessions = flags.GetInt("max-sessions", 64);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const double scale = flags.GetDouble("scale", 0.1);
+  const bool warm_start = flags.GetBool("warm-start");
+  const double warm_weight = flags.GetDouble("warm-start-weight", 0.25);
+  const std::string stats_file = flags.GetString("stats-file", "");
+  flags.FailOnUnknown();
+  if (threads < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0 (0 = all cores)\n");
+    return 2;
+  }
+  if (slice_frames < 1) {
+    std::fprintf(stderr, "error: --slice-frames must be >= 1\n");
+    return 2;
+  }
+  if (max_sessions < 1) {
+    std::fprintf(stderr, "error: --max-sessions must be >= 1\n");
+    return 2;
+  }
+  if (scale <= 0.0 || scale > 1.0) {
+    std::fprintf(stderr, "error: --scale must be in (0, 1]\n");
+    return 2;
+  }
+  if (warm_weight <= 0.0 || warm_weight > 1.0) {
+    std::fprintf(stderr, "error: --warm-start-weight must be in (0, 1]\n");
+    return 2;
+  }
+
+  serve::StatsCache cache;
+  if (!stats_file.empty()) {
+    Status loaded = cache.Load(stats_file);
+    // A missing file just means a first run; anything else is reported.
+    if (!loaded.ok() && loaded.code() != Status::Code::kNotFound) {
+      std::fprintf(stderr, "warning: %s\n", loaded.ToString().c_str());
+    }
+  }
+
+  // Declared before the manager: datasets must outlive the scheduler and
+  // its sessions (reverse destruction order frees the manager first).
+  DatasetPool datasets(seed);
+
+  serve::SessionManager::Options options;
+  options.threads = static_cast<size_t>(threads);
+  options.slice_frames = slice_frames;
+  options.max_live_sessions = static_cast<size_t>(max_sessions);
+  options.base_seed = seed;
+  options.stats_cache = &cache;
+  options.warm_start = warm_start;
+  options.warm_start_weight = warm_weight;
+  serve::SessionManager manager(options);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) {
+      std::printf("%s\n", Error(parsed.status().ToString()).Dump().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    const Json& cmd = parsed.value();
+    const std::string name = cmd.GetString("cmd", "");
+    Json response;
+    if (name == "open") {
+      response = HandleOpen(cmd, &datasets, &manager, scale);
+    } else if (name == "poll") {
+      response = HandlePoll(cmd, &manager);
+    } else if (name == "cancel" || name == "close") {
+      const int64_t id = cmd.GetInt("session", -1);
+      Status status = name == "cancel" ? manager.Cancel(id)
+                                       : manager.Close(id);
+      response = status.ok()
+                     ? Json::Object().Set("ok", true).Set("session", id)
+                     : Error(status.ToString());
+    } else if (name == "stats") {
+      response = Json::Object()
+                     .Set("ok", true)
+                     .Set("live_sessions",
+                          static_cast<int64_t>(manager.live_sessions()))
+                     .Set("open_sessions",
+                          static_cast<int64_t>(manager.open_sessions()))
+                     .Set("total_opened", manager.total_opened())
+                     .Set("cache_entries", static_cast<int64_t>(cache.size()))
+                     .Set("cache_queries", cache.queries_recorded())
+                     .Set("warm_start", warm_start);
+    } else if (name == "quit") {
+      std::printf("%s\n", Json::Object().Set("ok", true).Dump().c_str());
+      std::fflush(stdout);
+      break;
+    } else {
+      response = Error("unknown cmd: '" + name +
+                       "' (open|poll|cancel|close|stats|quit)");
+    }
+    std::printf("%s\n", response.Dump().c_str());
+    std::fflush(stdout);
+  }
+
+  if (!stats_file.empty()) {
+    Status saved = cache.Save(stats_file);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "warning: %s\n", saved.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::Main(argc, argv); }
