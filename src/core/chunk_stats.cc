@@ -7,7 +7,9 @@ namespace core {
 
 ChunkStats::ChunkStats(int32_t num_chunks)
     : n1_(static_cast<size_t>(num_chunks), 0),
-      n_(static_cast<size_t>(num_chunks), 0) {
+      n_(static_cast<size_t>(num_chunks), 0),
+      cost_ewma_(static_cast<size_t>(num_chunks), 0.0),
+      cost_n_(static_cast<size_t>(num_chunks), 0) {
   assert(num_chunks > 0);
 }
 
@@ -37,6 +39,31 @@ void ChunkStats::SeedPrior(video::ChunkId j, int64_t n1, int64_t n) {
   assert(n1 >= 0 && n >= 0);
   n1_[static_cast<size_t>(j)] += n1;
   n_[static_cast<size_t>(j)] += n;
+}
+
+void ChunkStats::RecordCost(video::ChunkId j, double seconds) {
+  assert(j >= 0 && j < num_chunks());
+  assert(seconds >= 0.0);
+  double& ewma = cost_ewma_[static_cast<size_t>(j)];
+  if (cost_n_[static_cast<size_t>(j)] == 0) {
+    ewma = seconds;
+  } else {
+    ewma += kCostEwmaAlpha * (seconds - ewma);
+  }
+  ++cost_n_[static_cast<size_t>(j)];
+  total_cost_ += seconds;
+  ++total_cost_frames_;
+}
+
+double ChunkStats::CostPerFrame(video::ChunkId j) const {
+  assert(j >= 0 && j < num_chunks());
+  if (cost_n_[static_cast<size_t>(j)] > 0) {
+    return cost_ewma_[static_cast<size_t>(j)];
+  }
+  if (total_cost_frames_ > 0) {
+    return total_cost_ / static_cast<double>(total_cost_frames_);
+  }
+  return 1.0;
 }
 
 double ChunkStats::PointEstimate(video::ChunkId j) const {

@@ -60,10 +60,42 @@ class ChunkStats {
   /// Point estimate R̂_j = N1_j / n_j (Eq III.1); 0 when n_j = 0.
   double PointEstimate(video::ChunkId j) const;
 
+  // --- per-chunk cost tracking (cost-aware sampling). Frames in different
+  // chunks can cost very different wall-clock to obtain: a chunk inside a
+  // long-GOP video pays seek + keyframe + many predicted decodes per random
+  // access. Cost-normalized policies divide the sampled rate by this
+  // estimate to score E[new results per *second*] instead of per frame.
+
+  /// Smoothing factor of the per-chunk cost EWMA: each observation moves
+  /// the estimate 1/8 of the way to the new value, enough inertia to ride
+  /// out the within-GOP offset variance of individual random accesses.
+  static constexpr double kCostEwmaAlpha = 0.125;
+
+  /// Folds the modeled cost (seconds) of one processed frame from chunk j
+  /// into the chunk's EWMA cost-per-frame. Pure bookkeeping: recording
+  /// costs never changes the (N1, n) statistics or any RNG stream.
+  void RecordCost(video::ChunkId j, double seconds);
+
+  /// EWMA cost-per-frame of chunk j, seconds. Chunks with no observations
+  /// yet fall back to the mean cost over all observed frames, and to 1.0
+  /// before any frame has a cost — so cost-normalized scores are always
+  /// defined and, under uniform costs, rank chunks exactly like the
+  /// frame-denominated scores they divide.
+  double CostPerFrame(video::ChunkId j) const;
+
+  /// Frames with recorded costs in chunk j.
+  int64_t cost_samples(video::ChunkId j) const {
+    return cost_n_[static_cast<size_t>(j)];
+  }
+
  private:
   std::vector<int64_t> n1_;
   std::vector<int64_t> n_;
   int64_t total_samples_ = 0;
+  std::vector<double> cost_ewma_;
+  std::vector<int64_t> cost_n_;
+  double total_cost_ = 0.0;
+  int64_t total_cost_frames_ = 0;
 };
 
 }  // namespace core

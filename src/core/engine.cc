@@ -79,8 +79,12 @@ StepStatus QueryEngine::Step(int64_t max_frames) {
     if (run.pending_next >= run.pending.size()) {
       run.pending.clear();
       run.pending_next = 0;
+      // GOP-run sources need room for at least one whole run per request;
+      // with gop_run_frames == 1 this is exactly the classic batch size.
+      const int64_t batch_want =
+          std::max<int64_t>(config_.batch_size, config_.gop_run_frames);
       const int64_t want = std::min<int64_t>(
-          config_.batch_size, run.max_samples - result.frames_processed);
+          batch_want, run.max_samples - result.frames_processed);
       if (want <= 0) {
         run.done = StepStatus::Done::kSamplesExhausted;
         break;
@@ -92,15 +96,18 @@ StepStatus QueryEngine::Step(int64_t max_frames) {
       }
     }
 
-    // 2) Decode + detect + discriminate, 3) feed the verdict back.
+    // 2) Decode + detect + discriminate, 3) feed cost + verdict back.
     const PickedFrame pick = run.pending[run.pending_next++];
-    result.decode_seconds += run.decoder.Read(pick.frame);
+    const double decode_cost = run.decoder.Read(pick.frame);
+    result.decode_seconds += decode_cost;
     std::vector<detect::Detection> dets = detector_->Detect(pick.frame);
-    result.inference_seconds += detector_->InferenceSeconds();
+    const double inference_cost = detector_->InferenceSeconds();
+    result.inference_seconds += inference_cost;
     track::MatchResult match = discriminator_->GetMatches(pick.frame, dets);
     discriminator_->Add(pick.frame, dets);
     ++result.frames_processed;
     ++status.frames_this_step;
+    source_->OnFrameCost(pick, decode_cost + inference_cost);
     source_->OnFeedback(pick, match);
 
     if (!match.d0.empty()) {

@@ -9,16 +9,31 @@ namespace core {
 // ---------------------------------------------------------------- ExSample
 
 ExSampleFrameSource::ExSampleFrameSource(
-    const std::vector<video::Chunk>* chunks, const FrameSourceConfig& config)
+    const std::vector<video::Chunk>* chunks, const FrameSourceConfig& config,
+    const video::VideoRepository* repo)
     : chunks_(chunks),
+      repo_(repo),
       credit_(config.credit),
-      policy_(MakePolicy(config.policy, config.belief)),
+      gop_run_(config.gop_run_frames),
+      policy_(MakePolicy(config.policy, config.belief, config.cost_aware)),
       stats_(static_cast<int32_t>(chunks->size())) {
   assert(chunks_ != nullptr && !chunks_->empty());
+  assert(gop_run_ >= 1);
+  assert((gop_run_ == 1 || repo_ != nullptr) &&
+         "GOP-run draws need the repository's GOP structure");
   samplers_.reserve(chunks_->size());
   for (const auto& chunk : *chunks_) {
-    samplers_.push_back(
-        video::MakeFrameSampler(config.within_chunk, chunk.frames));
+    if (gop_run_ > 1) {
+      // Claimable sampler: runs remove specific follow-on frames, which the
+      // stock within-chunk samplers cannot do.
+      auto claimable =
+          std::make_unique<video::ClaimableFrameSampler>(chunk.frames);
+      claimable_.push_back(claimable.get());
+      samplers_.push_back(std::move(claimable));
+    } else {
+      samplers_.push_back(
+          video::MakeFrameSampler(config.within_chunk, chunk.frames));
+    }
     remaining_ += samplers_.back()->remaining();
   }
   available_.assign(chunks_->size(), true);
@@ -39,6 +54,7 @@ std::vector<PickedFrame> ExSampleFrameSource::NextBatch(int64_t want,
   std::vector<PickedFrame> out;
   if (want <= 0 || remaining_ == 0) return out;
   want = std::min(want, remaining_);
+  if (gop_run_ > 1) return NextBatchGopRuns(want, rng);
   out.reserve(static_cast<size_t>(want));
 
   // One PickBatch draws the whole batch from the current beliefs (§III-F:
@@ -64,6 +80,47 @@ std::vector<PickedFrame> ExSampleFrameSource::NextBatch(int64_t want,
     out.push_back(pick);
   }
   return out;
+}
+
+std::vector<PickedFrame> ExSampleFrameSource::NextBatchGopRuns(int64_t want,
+                                                               Rng* rng) {
+  // Each iteration spends one chunk pick on an anchor frame, then claims
+  // the consecutive frames of the anchor's GOP (stopping at the GOP end,
+  // the video end, or an already-drawn frame) so the whole run costs one
+  // seek + keyframe decode instead of one per frame. Run frames count
+  // against `want` — the engine sizes its request to fit whole runs.
+  std::vector<PickedFrame> out;
+  out.reserve(static_cast<size_t>(want));
+  while (static_cast<int64_t>(out.size()) < want && remaining_ > 0) {
+    const video::ChunkId j = policy_->Pick(stats_, available_, rng);
+    video::ClaimableFrameSampler* sampler =
+        claimable_[static_cast<size_t>(j)];
+    assert(!sampler->exhausted());
+    const video::FrameId anchor = sampler->Next(rng);
+    --remaining_;
+    out.push_back(PickedFrame{anchor, j});
+
+    const video::FrameLocation loc = repo_->Locate(anchor);
+    const video::VideoMeta& meta = repo_->video(loc.video);
+    const int64_t gop = meta.keyframe_interval;
+    const int64_t gop_end_local = std::min<int64_t>(
+        loc.local_frame - loc.local_frame % gop + gop, meta.num_frames);
+    const int64_t budget = std::min<int64_t>(
+        gop_run_ - 1, want - static_cast<int64_t>(out.size()));
+    for (int64_t s = 1;
+         s <= budget && loc.local_frame + s < gop_end_local; ++s) {
+      if (!sampler->Claim(anchor + s)) break;  // already drawn: run ends
+      --remaining_;
+      out.push_back(PickedFrame{anchor + s, j});
+    }
+    if (sampler->exhausted()) available_[static_cast<size_t>(j)] = false;
+  }
+  return out;
+}
+
+void ExSampleFrameSource::OnFrameCost(const PickedFrame& pick,
+                                      double seconds) {
+  stats_.RecordCost(pick.chunk, seconds);
 }
 
 void ExSampleFrameSource::OnFeedback(const PickedFrame& pick,
@@ -172,7 +229,7 @@ std::unique_ptr<FrameSource> MakeFrameSource(
     const std::vector<video::Chunk>* chunks) {
   switch (config.strategy) {
     case Strategy::kExSample:
-      return std::make_unique<ExSampleFrameSource>(chunks, config);
+      return std::make_unique<ExSampleFrameSource>(chunks, config, &repo);
     case Strategy::kRandom:
       return std::make_unique<RandomFrameSource>(repo.total_frames());
     case Strategy::kRandomPlus:

@@ -74,6 +74,19 @@ struct FrameSourceConfig {
   /// Bandit policy for kExSample.
   PolicyKind policy = PolicyKind::kThompson;
   BeliefParams belief;
+  /// Cost-aware scoring (kExSample with Thompson / Bayes-UCB): chunk scores
+  /// become E[new results per *second*] — the belief draw divided by the
+  /// chunk's EWMA cost-per-frame learned from OnFrameCost feedback. Off by
+  /// default; when off the draw sequence is bit-identical to the
+  /// frame-denominated policy.
+  bool cost_aware = false;
+  /// GOP-run draws (kExSample): when > 1, each chunk pick yields a run of
+  /// up to this many consecutive frames inside one GOP, so a single seek +
+  /// keyframe decode is amortized across the run. Requires the repository
+  /// (GOP structure); within-chunk sampling switches to a claimable
+  /// uniform sampler. 1 (the default) reproduces the classic
+  /// one-frame-per-pick behaviour bit-identically.
+  int32_t gop_run_frames = 1;
   /// Within-chunk sampling for kExSample.
   video::WithinChunkStrategy within_chunk =
       video::WithinChunkStrategy::kRandomPlus;
@@ -116,6 +129,11 @@ class FrameSource {
   virtual void OnFeedback(const PickedFrame& /*pick*/,
                           const track::MatchResult& /*match*/) {}
 
+  /// Modeled cost of one processed frame (decode + inference seconds),
+  /// reported by the engine before OnFeedback. Cost-aware sources fold it
+  /// into their per-chunk cost estimates; baselines ignore it.
+  virtual void OnFrameCost(const PickedFrame& /*pick*/, double /*seconds*/) {}
+
   /// Per-chunk statistics when the source maintains them, else nullptr.
   virtual const ChunkStats* chunk_stats() const { return nullptr; }
 
@@ -128,23 +146,35 @@ class FrameSource {
 /// from the live beliefs when a chunk runs dry mid-batch.
 class ExSampleFrameSource : public FrameSource {
  public:
-  /// `chunks` must be non-empty and outlive the source.
+  /// `chunks` must be non-empty and outlive the source. `repo` is required
+  /// when config.gop_run_frames > 1 (GOP structure) and may be null
+  /// otherwise; it must outlive the source too.
   ExSampleFrameSource(const std::vector<video::Chunk>* chunks,
-                      const FrameSourceConfig& config);
+                      const FrameSourceConfig& config,
+                      const video::VideoRepository* repo = nullptr);
 
   int64_t remaining() const override { return remaining_; }
   std::vector<PickedFrame> NextBatch(int64_t want, Rng* rng) override;
   void OnFeedback(const PickedFrame& pick,
                   const track::MatchResult& match) override;
+  void OnFrameCost(const PickedFrame& pick, double seconds) override;
   const ChunkStats* chunk_stats() const override { return &stats_; }
   std::string name() const override { return "exsample:" + policy_->name(); }
 
  private:
+  /// One-seek-amortized draws: anchor + consecutive same-GOP frames claimed
+  /// from the chunk's sampler (gop_run_frames > 1 only).
+  std::vector<PickedFrame> NextBatchGopRuns(int64_t want, Rng* rng);
+
   const std::vector<video::Chunk>* chunks_;
+  const video::VideoRepository* repo_;
   CreditMode credit_;
+  int32_t gop_run_;
   std::unique_ptr<ChunkPolicy> policy_;
   ChunkStats stats_;
   std::vector<std::unique_ptr<video::FrameSampler>> samplers_;
+  /// Non-owning views of samplers_ as claimable samplers (GOP-run mode).
+  std::vector<video::ClaimableFrameSampler*> claimable_;
   std::vector<bool> available_;
   int64_t remaining_ = 0;
   std::unique_ptr<video::ChunkLookup> lookup_;  // kFirstSightingChunk only

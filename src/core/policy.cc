@@ -38,7 +38,8 @@ std::vector<video::ChunkId> ChunkPolicy::PickBatch(
   return batch;
 }
 
-ThompsonPolicy::ThompsonPolicy(BeliefParams params) : belief_(params) {}
+ThompsonPolicy::ThompsonPolicy(BeliefParams params, bool cost_normalized)
+    : belief_(params), cost_normalized_(cost_normalized) {}
 
 video::ChunkId ThompsonPolicy::Pick(const ChunkStats& stats,
                                     const std::vector<bool>& available,
@@ -49,6 +50,7 @@ video::ChunkId ThompsonPolicy::Pick(const ChunkStats& stats,
   for (int32_t j = 0; j < stats.num_chunks(); ++j) {
     if (!available[static_cast<size_t>(j)]) continue;
     double score = belief_.Sample(stats.ClampedN1(j), stats.n(j), rng);
+    if (cost_normalized_) score /= stats.CostPerFrame(j);
     if (score > best_score) {
       best_score = score;
       best = j;
@@ -58,7 +60,8 @@ video::ChunkId ThompsonPolicy::Pick(const ChunkStats& stats,
   return best;
 }
 
-BayesUcbPolicy::BayesUcbPolicy(BeliefParams params) : belief_(params) {}
+BayesUcbPolicy::BayesUcbPolicy(BeliefParams params, bool cost_normalized)
+    : belief_(params), cost_normalized_(cost_normalized) {}
 
 video::ChunkId BayesUcbPolicy::Pick(const ChunkStats& stats,
                                     const std::vector<bool>& available,
@@ -78,6 +81,7 @@ video::ChunkId BayesUcbPolicy::Pick(const ChunkStats& stats,
                                  belief_.params().alpha0,
                           static_cast<double>(stats.n(j)) +
                               belief_.params().beta0);
+    if (cost_normalized_) score /= stats.CostPerFrame(j);
     if (score > best_score) {
       best_score = score;
       best = j;
@@ -121,12 +125,13 @@ video::ChunkId UniformPolicy::Pick(const ChunkStats& stats,
   return RandomAvailable(available, rng);
 }
 
-std::unique_ptr<ChunkPolicy> MakePolicy(PolicyKind kind, BeliefParams params) {
+std::unique_ptr<ChunkPolicy> MakePolicy(PolicyKind kind, BeliefParams params,
+                                        bool cost_normalized) {
   switch (kind) {
     case PolicyKind::kThompson:
-      return std::make_unique<ThompsonPolicy>(params);
+      return std::make_unique<ThompsonPolicy>(params, cost_normalized);
     case PolicyKind::kBayesUcb:
-      return std::make_unique<BayesUcbPolicy>(params);
+      return std::make_unique<BayesUcbPolicy>(params, cost_normalized);
     case PolicyKind::kGreedy:
       return std::make_unique<GreedyPolicy>();
     case PolicyKind::kUniform:

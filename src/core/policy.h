@@ -51,29 +51,46 @@ class ChunkPolicy {
 };
 
 /// Thompson sampling over Gamma beliefs (the ExSample default).
+///
+/// `cost_normalized` switches the score from E[new results per frame] to
+/// E[new results per second]: each belief draw is divided by the chunk's
+/// EWMA cost-per-frame (ChunkStats::CostPerFrame), so cheap chunks win
+/// ties against expensive ones with the same result rate. The RNG draw
+/// sequence is identical in both modes, and with uniform per-chunk costs
+/// the two modes rank chunks identically.
 class ThompsonPolicy : public ChunkPolicy {
  public:
-  explicit ThompsonPolicy(BeliefParams params = {});
+  explicit ThompsonPolicy(BeliefParams params = {},
+                          bool cost_normalized = false);
 
   video::ChunkId Pick(const ChunkStats& stats,
                       const std::vector<bool>& available, Rng* rng) override;
-  std::string name() const override { return "thompson"; }
+  std::string name() const override {
+    return cost_normalized_ ? "cost_thompson" : "thompson";
+  }
 
  private:
   GammaBelief belief_;
+  bool cost_normalized_;
 };
 
-/// Bayes-UCB: argmax of the 1 - 1/(t+1) belief quantile.
+/// Bayes-UCB: argmax of the 1 - 1/(t+1) belief quantile. `cost_normalized`
+/// divides the quantile by the chunk's EWMA cost-per-frame, exactly as in
+/// ThompsonPolicy.
 class BayesUcbPolicy : public ChunkPolicy {
  public:
-  explicit BayesUcbPolicy(BeliefParams params = {});
+  explicit BayesUcbPolicy(BeliefParams params = {},
+                          bool cost_normalized = false);
 
   video::ChunkId Pick(const ChunkStats& stats,
                       const std::vector<bool>& available, Rng* rng) override;
-  std::string name() const override { return "bayes_ucb"; }
+  std::string name() const override {
+    return cost_normalized_ ? "cost_bayes_ucb" : "bayes_ucb";
+  }
 
  private:
   GammaBelief belief_;
+  bool cost_normalized_;
 };
 
 /// Greedy argmax of the raw point estimate N1/n, random tie-break.
@@ -100,9 +117,12 @@ enum class PolicyKind {
   kUniform,
 };
 
-/// Instantiates the configured policy.
+/// Instantiates the configured policy. `cost_normalized` selects the
+/// cost-aware variant of Thompson / Bayes-UCB (greedy and uniform have no
+/// cost-aware form and ignore the flag).
 std::unique_ptr<ChunkPolicy> MakePolicy(PolicyKind kind,
-                                        BeliefParams params = {});
+                                        BeliefParams params = {},
+                                        bool cost_normalized = false);
 
 }  // namespace core
 }  // namespace exsample

@@ -71,6 +71,7 @@ QuerySession::QuerySession(const exec::QueryJob& job, uint64_t base_seed,
       seed_(exec::MultiQueryRunner::JobSeed(base_seed, job.id)),
       repo_key_(std::move(repo_key)),
       class_id_(job.spec.class_id),
+      cost_budget_seconds_(job.spec.max_seconds),
       options_(options),
       warm_priors_(std::move(warm_priors)),
       opened_(std::chrono::steady_clock::now()) {
@@ -145,6 +146,7 @@ PollResult QuerySession::Poll() {
   poll.total_results = static_cast<int64_t>(current.results.size());
   poll.frames_processed = current.frames_processed;
   poll.cost_seconds = current.total_seconds();
+  poll.cost_budget_seconds = cost_budget_seconds_;
   poll.seconds_to_first_result = first_result_wall_;
   poll.wall_seconds =
       state == SessionState::kRunning ? ElapsedSeconds() : finished_wall_;

@@ -76,6 +76,10 @@ struct PollResult {
   int64_t frames_processed = 0;
   /// Modeled decode + inference seconds spent so far.
   double cost_seconds = 0.0;
+  /// The modeled-cost budget this session runs under (QuerySpec::max_seconds
+  /// at open; 0 = unlimited), echoed so clients can render spend-vs-budget
+  /// without tracking the open request themselves.
+  double cost_budget_seconds = 0.0;
   /// Wall seconds from open to the first result; -1 until one surfaces.
   double seconds_to_first_result = -1.0;
   /// Wall seconds from open to now (or to termination, once stopped).
@@ -148,6 +152,7 @@ class QuerySession {
   const uint64_t seed_;
   const std::string repo_key_;
   const detect::ClassId class_id_;
+  const double cost_budget_seconds_;
   const SessionOptions options_;
   const std::vector<core::ChunkPrior> warm_priors_;
   const std::chrono::steady_clock::time_point opened_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace exsample {
@@ -100,8 +101,15 @@ Status StatsCache::Load(const std::string& path) {
   }
   std::string line;
   if (!std::getline(in, line) || line != "exsample-stats-cache v1") {
-    return Status::InvalidArgument("bad stats cache header: " + path);
+    return Status::InvalidArgument(
+        "bad stats cache header (expected 'exsample-stats-cache v1'): " +
+        path);
   }
+  // Parse the whole file into a staging area first: corrupted, truncated,
+  // or version-skewed files must fail cleanly and leave the live cache
+  // exactly as it was — a serving process would otherwise warm-start from
+  // half a file.
+  std::vector<std::pair<Key, Entry>> staged;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream header(line);
@@ -112,30 +120,49 @@ Status StatsCache::Load(const std::string& path) {
     std::getline(header, repo_key);
     if (!repo_key.empty() && repo_key.front() == ' ') repo_key.erase(0, 1);
     // Upper bound guards resize() against corrupted/hostile files; real
-    // chunkings are a few hundred entries (§IV-C sweeps 16..512).
+    // chunkings are a few hundred entries (§IV-C sweeps 16..512). The
+    // class id must survive the cast to detect::ClassId (int32) unchanged,
+    // else corrupted ids would silently merge into the wrong class.
     constexpr int64_t kMaxChunks = int64_t{1} << 20;
     if (tag != "entry" || header.fail() || chunks <= 0 ||
-        chunks > kMaxChunks || queries <= 0) {
+        chunks > kMaxChunks || queries <= 0 || class_id < 0 ||
+        class_id > std::numeric_limits<detect::ClassId>::max()) {
       return Status::InvalidArgument("bad stats cache entry line: " + line);
     }
     Entry entry;
     entry.queries = queries;
     entry.n1.resize(static_cast<size_t>(chunks));
     entry.n.resize(static_cast<size_t>(chunks));
+    const char* expected_tags[] = {"n1", "n"};
+    int row_index = 0;
     for (std::vector<int64_t>* vec : {&entry.n1, &entry.n}) {
       if (!std::getline(in, line)) {
         return Status::InvalidArgument("truncated stats cache: " + path);
       }
       std::istringstream row(line);
-      row >> tag;  // "n1" / "n"
-      for (int64_t& v : *vec) row >> v;
-      if (row.fail()) {
-        return Status::InvalidArgument("bad stats cache row: " + line);
+      row >> tag;
+      if (tag != expected_tags[row_index++]) {
+        return Status::InvalidArgument("bad stats cache row tag: " + line);
+      }
+      for (int64_t& v : *vec) {
+        row >> v;
+        // Counts are non-negative by construction (negative N1 is clamped
+        // before Record); a negative here means corruption.
+        if (row.fail() || v < 0) {
+          return Status::InvalidArgument("bad stats cache row: " + line);
+        }
+      }
+      std::string extra;
+      if (row >> extra) {
+        return Status::InvalidArgument(
+            "trailing data on stats cache row: " + line);
       }
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    MergeLocked(Key(repo_key, static_cast<detect::ClassId>(class_id)), entry);
+    staged.emplace_back(Key(repo_key, static_cast<detect::ClassId>(class_id)),
+                        std::move(entry));
   }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, entry] : staged) MergeLocked(key, entry);
   return Status::Ok();
 }
 

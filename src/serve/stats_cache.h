@@ -66,9 +66,10 @@ class StatsCache {
 
   /// Writes the cache to a text file (overwrites).
   Status Save(const std::string& path) const;
-  /// Merges a previously saved cache into this one. Missing file is an
-  /// error; malformed content aborts with InvalidArgument (entries read
-  /// before the error are kept).
+  /// Merges a previously saved cache into this one. Missing file is
+  /// NotFound; corrupted, truncated, or version-skewed content is
+  /// InvalidArgument and leaves the cache exactly as it was (all-or-nothing
+  /// — the file is fully validated before anything merges).
   Status Load(const std::string& path);
 
  private:

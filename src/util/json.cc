@@ -310,6 +310,12 @@ class Parser {
         return Status::Ok();
       }
       if (c != '\\') {
+        // RFC 8259: control characters (including NUL bytes smuggled into
+        // the input) must be escaped, never raw.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          --pos_;
+          return Error("raw control character in string");
+        }
         result.push_back(c);
         continue;
       }
@@ -416,6 +422,9 @@ class Parser {
     char* end = nullptr;
     const double v = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) return Error("malformed number");
+    // Overflowing doubles (1e999, ...) would silently become inf and then
+    // re-serialize as null; reject them instead.
+    if (!std::isfinite(v)) return Error("number out of range");
     *out = Json(v);
     return Status::Ok();
   }

@@ -25,6 +25,28 @@ struct DecodeCostModel {
   double predicted_decode_seconds = 0.0015;
 };
 
+/// Cost presets for the two repository regimes the cost-aware bench
+/// exercises (bench/bench_cost_aware.cc). Combined with per-video GOP
+/// lengths they produce repositories whose chunks differ sharply in
+/// cost-per-frame, which is what cost-normalized scoring exploits.
+
+/// Seek-dominated access: cold storage / network-attached video where the
+/// container seek dwarfs per-frame decode work.
+inline DecodeCostModel SeekHeavyCostModel() {
+  return DecodeCostModel{/*seek_seconds=*/0.030,
+                         /*keyframe_decode_seconds=*/0.003,
+                         /*predicted_decode_seconds=*/0.0008};
+}
+
+/// Decode-dominated access: local fast storage but expensive decoding
+/// (high-resolution video, software decode), where reaching a mid-GOP
+/// frame pays mostly for the predicted-frame chain.
+inline DecodeCostModel DecodeHeavyCostModel() {
+  return DecodeCostModel{/*seek_seconds=*/0.002,
+                         /*keyframe_decode_seconds=*/0.006,
+                         /*predicted_decode_seconds=*/0.004};
+}
+
 /// Cumulative decoder accounting.
 struct DecodeStats {
   int64_t frames_decoded = 0;

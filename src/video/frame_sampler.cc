@@ -87,6 +87,64 @@ FrameId RandomPlusFrameSampler::Next(Rng* rng) {
   return frames_.At(b.sample);
 }
 
+ClaimableFrameSampler::ClaimableFrameSampler(FrameRangeSet frames)
+    : frames_(std::move(frames)),
+      available_(static_cast<size_t>(frames_.size()), 1),
+      remaining_(frames_.size()) {
+  // Fenwick tree initialized to all-ones: tree_[k] covers k & -k elements.
+  tree_.assign(static_cast<size_t>(frames_.size()) + 1, 0);
+  for (int64_t k = 1; k < static_cast<int64_t>(tree_.size()); ++k) {
+    tree_[static_cast<size_t>(k)] = k & -k;
+  }
+}
+
+void ClaimableFrameSampler::FenwickAdd(int64_t i, int64_t delta) {
+  for (int64_t k = i + 1; k < static_cast<int64_t>(tree_.size());
+       k += k & -k) {
+    tree_[static_cast<size_t>(k)] += delta;
+  }
+}
+
+int64_t ClaimableFrameSampler::SelectKth(int64_t k) const {
+  // Descend the implicit tree: smallest rank whose availability prefix sum
+  // exceeds k.
+  int64_t pos = 0;
+  int64_t mask = 1;
+  while (mask * 2 < static_cast<int64_t>(tree_.size())) mask *= 2;
+  for (; mask > 0; mask /= 2) {
+    const int64_t next = pos + mask;
+    if (next < static_cast<int64_t>(tree_.size()) &&
+        tree_[static_cast<size_t>(next)] <= k) {
+      k -= tree_[static_cast<size_t>(next)];
+      pos = next;
+    }
+  }
+  return pos;
+}
+
+void ClaimableFrameSampler::Remove(int64_t rank) {
+  assert(available_[static_cast<size_t>(rank)]);
+  available_[static_cast<size_t>(rank)] = 0;
+  FenwickAdd(rank, -1);
+  --remaining_;
+}
+
+FrameId ClaimableFrameSampler::Next(Rng* rng) {
+  assert(remaining_ > 0);
+  const int64_t k = static_cast<int64_t>(
+      rng->NextBounded(static_cast<uint64_t>(remaining_)));
+  const int64_t rank = SelectKth(k);
+  Remove(rank);
+  return frames_.At(rank);
+}
+
+bool ClaimableFrameSampler::Claim(FrameId frame) {
+  const int64_t rank = frames_.RankOf(frame);
+  if (rank < 0 || !available_[static_cast<size_t>(rank)]) return false;
+  Remove(rank);
+  return true;
+}
+
 WeightedFrameSampler::WeightedFrameSampler(FrameRangeSet frames,
                                            std::vector<double> weights)
     : frames_(std::move(frames)),

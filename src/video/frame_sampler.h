@@ -89,6 +89,36 @@ class RandomPlusFrameSampler : public FrameSampler {
   int64_t remaining_;
 };
 
+/// Uniform sampling without replacement that additionally supports claiming
+/// a *specific* frame out of the remaining population. GOP-run draws need
+/// this: after an anchor frame is drawn, the consecutive frames of its GOP
+/// are claimed so a single seek amortizes across the run while the
+/// without-replacement guarantee holds. A Fenwick tree over availability
+/// bits gives O(log n) draws and claims with exact integer uniformity.
+class ClaimableFrameSampler : public FrameSampler {
+ public:
+  explicit ClaimableFrameSampler(FrameRangeSet frames);
+
+  int64_t remaining() const override { return remaining_; }
+  FrameId Next(Rng* rng) override;
+
+  /// Removes `frame` from the remaining population. Returns false (and
+  /// changes nothing) when the frame is outside the population or was
+  /// already drawn/claimed.
+  bool Claim(FrameId frame);
+
+ private:
+  void FenwickAdd(int64_t i, int64_t delta);
+  /// Rank of the k-th (0-based) still-available frame.
+  int64_t SelectKth(int64_t k) const;
+  void Remove(int64_t rank);
+
+  FrameRangeSet frames_;
+  std::vector<int64_t> tree_;   // Fenwick over availability bits
+  std::vector<char> available_;  // per-rank availability
+  int64_t remaining_;
+};
+
 /// Weighted sampling without replacement: each frame is drawn with
 /// probability proportional to its weight among the not-yet-drawn frames
 /// (a Fenwick tree gives O(log n) draws). Supports the paper's §VII

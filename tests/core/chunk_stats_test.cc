@@ -82,6 +82,39 @@ TEST(ChunkStatsTest, UpdateSplitKeepsN1NonNegativeUnderExactMatching) {
   EXPECT_EQ(s.n1(1), 0);
 }
 
+TEST(ChunkStatsTest, CostEwmaTracksPerChunkCost) {
+  ChunkStats s(3);
+  // No observations anywhere: a neutral 1.0 for every chunk.
+  EXPECT_DOUBLE_EQ(s.CostPerFrame(0), 1.0);
+  EXPECT_EQ(s.cost_samples(0), 0);
+
+  // Constant cost stays exactly constant under the EWMA.
+  for (int i = 0; i < 20; ++i) s.RecordCost(0, 0.05);
+  EXPECT_DOUBLE_EQ(s.CostPerFrame(0), 0.05);
+  EXPECT_EQ(s.cost_samples(0), 20);
+
+  // An unseen chunk falls back to the global mean over observed frames.
+  EXPECT_DOUBLE_EQ(s.CostPerFrame(1), 0.05);
+
+  // The EWMA moves toward new evidence without jumping to it.
+  s.RecordCost(2, 0.10);
+  EXPECT_DOUBLE_EQ(s.CostPerFrame(2), 0.10);  // first observation seeds
+  s.RecordCost(2, 0.20);
+  EXPECT_GT(s.CostPerFrame(2), 0.10);
+  EXPECT_LT(s.CostPerFrame(2), 0.20);
+}
+
+TEST(ChunkStatsTest, RecordCostDoesNotTouchSamplingStatistics) {
+  ChunkStats s(2);
+  s.Update(0, 1, 0);
+  s.RecordCost(0, 0.5);
+  s.RecordCost(1, 0.1);
+  EXPECT_EQ(s.n1(0), 1);
+  EXPECT_EQ(s.n(0), 1);
+  EXPECT_EQ(s.n(1), 0);
+  EXPECT_EQ(s.total_samples(), 1);  // the cost clock is separate
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace exsample

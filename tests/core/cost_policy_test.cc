@@ -1,0 +1,159 @@
+// Property tests for cost-normalized chunk scoring.
+//
+// The cost-aware variants of Thompson / Bayes-UCB divide each chunk score
+// by the chunk's EWMA cost-per-frame. Two properties pin the design:
+//  * with uniform per-chunk cost the division is a constant factor, so the
+//    cost-aware policies must rank chunks exactly like the
+//    frame-denominated ones (same picks from the same RNG stream);
+//  * scores are a function of the chunk's own (N1, n, cost) only, so
+//    relabeling chunks permutes the picks and nothing else.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/chunk_stats.h"
+#include "core/policy.h"
+#include "util/rng.h"
+
+namespace exsample {
+namespace core {
+namespace {
+
+std::vector<bool> AllAvailable(int32_t m) { return std::vector<bool>(m, true); }
+
+/// Varied (N1, n) statistics over `m` chunks, each chunk with `cost`
+/// recorded per sampled frame (uniform across chunks by default).
+ChunkStats VariedStats(int32_t m, double cost) {
+  ChunkStats stats(m);
+  for (int32_t j = 0; j < m; ++j) {
+    const int n = 3 + 5 * j;
+    for (int i = 0; i < n; ++i) {
+      stats.Update(j, i % (j + 2) == 0 ? 1 : 0, 0);
+      stats.RecordCost(j, cost);
+    }
+  }
+  return stats;
+}
+
+TEST(CostPolicyTest, UniformCostThompsonMatchesFrameDenominated) {
+  // Equivalence over the full pick sequence: with uniform cost the
+  // cost-normalized policy consumes the identical RNG stream and must make
+  // the identical picks.
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    ChunkStats stats = VariedStats(8, 0.05);
+    ThompsonPolicy frames;           // E[results per frame]
+    ThompsonPolicy seconds({}, true);  // E[results per second]
+    Rng rng_frames(seed);
+    Rng rng_seconds(seed);
+    const auto avail = AllAvailable(8);
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_EQ(frames.Pick(stats, avail, &rng_frames),
+                seconds.Pick(stats, avail, &rng_seconds))
+          << "seed " << seed << " pick " << i;
+    }
+  }
+}
+
+TEST(CostPolicyTest, UniformCostBayesUcbMatchesFrameDenominated) {
+  for (double cost : {0.001, 0.05, 3.0}) {
+    ChunkStats stats = VariedStats(6, cost);
+    BayesUcbPolicy frames;
+    BayesUcbPolicy seconds({}, true);
+    Rng rng_frames(9);
+    Rng rng_seconds(9);
+    const auto avail = AllAvailable(6);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(frames.Pick(stats, avail, &rng_frames),
+                seconds.Pick(stats, avail, &rng_seconds))
+          << "cost " << cost << " pick " << i;
+    }
+  }
+}
+
+TEST(CostPolicyTest, NoRecordedCostsBehaveLikeFrameDenominated) {
+  // Before any cost observation CostPerFrame is 1.0 everywhere, so the
+  // cost-aware policy is the frame-denominated policy.
+  ChunkStats stats(5);
+  for (int32_t j = 0; j < 5; ++j) {
+    for (int i = 0; i < 4 + j; ++i) stats.Update(j, i == 0 ? 1 : 0, 0);
+  }
+  ThompsonPolicy frames;
+  ThompsonPolicy seconds({}, true);
+  Rng a(31), b(31);
+  const auto avail = AllAvailable(5);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(frames.Pick(stats, avail, &a), seconds.Pick(stats, avail, &b));
+  }
+}
+
+TEST(CostPolicyTest, BayesUcbScoresInvariantUnderChunkRelabeling) {
+  // Distinct (N1, n, cost) per chunk: the quantile scores are deterministic
+  // and strictly ordered, so reversing the labels must reverse the pick.
+  const int32_t m = 6;
+  ChunkStats stats(m);
+  ChunkStats reversed(m);
+  for (int32_t j = 0; j < m; ++j) {
+    const int32_t r = m - 1 - j;
+    const int n = 4 + 3 * j;
+    for (int i = 0; i < n; ++i) {
+      const int64_t d0 = i < j + 1 ? 1 : 0;
+      stats.Update(j, d0, 0);
+      reversed.Update(r, d0, 0);
+      stats.RecordCost(j, 0.01 * (j + 1));
+      reversed.RecordCost(r, 0.01 * (j + 1));
+    }
+  }
+  BayesUcbPolicy policy({}, true);
+  Rng rng_a(5), rng_b(5);
+  const video::ChunkId pick = policy.Pick(stats, AllAvailable(m), &rng_a);
+  const video::ChunkId pick_reversed =
+      policy.Pick(reversed, AllAvailable(m), &rng_b);
+  EXPECT_EQ(pick_reversed, m - 1 - pick);
+}
+
+TEST(CostPolicyTest, CheaperChunkWinsAtEqualRate) {
+  // Two chunks with identical (N1, n) but 10x different cost: the
+  // frame-denominated policy splits evenly, the cost-normalized one
+  // concentrates on the cheap chunk.
+  ChunkStats stats(2);
+  for (int i = 0; i < 40; ++i) {
+    stats.Update(0, i % 4 == 0 ? 1 : 0, 0);
+    stats.Update(1, i % 4 == 0 ? 1 : 0, 0);
+    stats.RecordCost(0, 0.01);
+    stats.RecordCost(1, 0.10);
+  }
+  auto fractions = [&stats](ChunkPolicy* policy, uint64_t seed) {
+    Rng rng(seed);
+    int cheap = 0;
+    const int kTrials = 20000;
+    for (int i = 0; i < kTrials; ++i) {
+      if (policy->Pick(stats, AllAvailable(2), &rng) == 0) ++cheap;
+    }
+    return static_cast<double>(cheap) / kTrials;
+  };
+  ThompsonPolicy frames;
+  ThompsonPolicy seconds({}, true);
+  EXPECT_NEAR(fractions(&frames, 3), 0.5, 0.03);
+  EXPECT_GT(fractions(&seconds, 3), 0.95);
+
+  BayesUcbPolicy ucb_seconds({}, true);
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(ucb_seconds.Pick(stats, AllAvailable(2), &rng), 0);
+  }
+}
+
+TEST(CostPolicyTest, FactoryNamesCostVariants) {
+  EXPECT_EQ(MakePolicy(PolicyKind::kThompson, {}, true)->name(),
+            "cost_thompson");
+  EXPECT_EQ(MakePolicy(PolicyKind::kBayesUcb, {}, true)->name(),
+            "cost_bayes_ucb");
+  // Greedy / uniform have no cost-aware form; the flag is ignored.
+  EXPECT_EQ(MakePolicy(PolicyKind::kGreedy, {}, true)->name(), "greedy");
+  EXPECT_EQ(MakePolicy(PolicyKind::kUniform, {}, true)->name(), "uniform");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace exsample

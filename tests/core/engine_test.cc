@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include <cstdint>
+#include <ios>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -9,6 +11,8 @@
 #include "detect/simulated_detector.h"
 #include "track/discriminator.h"
 #include "util/stats.h"
+
+#include "../testing/fingerprint.h"
 
 namespace exsample {
 namespace core {
@@ -552,6 +556,102 @@ TEST(QueryEngineTest, TakeResultCancelsUnfinishedRun) {
   // Trajectories are finalized at the cancellation point.
   EXPECT_EQ(result.reported.total_samples(), 150);
   EXPECT_EQ(result.true_instances.total_samples(), 150);
+}
+
+TEST(QueryEngineTest, GopRunExhaustionProcessesEveryFrameOnce) {
+  Harness h(SkewedDataset(47));
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kExSample;
+  cfg.gop_run_frames = 8;
+  auto engine = h.MakeEngine(cfg, 14);
+  QuerySpec q;
+  q.class_id = 0;
+  auto result = engine.Run(q);
+  EXPECT_EQ(result.frames_processed, 40000);
+  EXPECT_EQ(h.detector->frames_processed(), 40000);
+  EXPECT_EQ(result.true_instances.final_count(), 60);
+}
+
+TEST(QueryEngineTest, GopRunAmortizesDecodeCost) {
+  // Same frame budget, same dataset: GOP runs pay one seek per run instead
+  // of one per frame, so the modeled decode spend must drop well below the
+  // one-frame-per-pick baseline.
+  auto decode_seconds = [](int32_t gop_run) {
+    Harness h(SkewedDataset(48));
+    EngineConfig cfg;
+    cfg.strategy = Strategy::kExSample;
+    cfg.gop_run_frames = gop_run;
+    auto engine = h.MakeEngine(cfg, 15);
+    QuerySpec q;
+    q.class_id = 0;
+    q.max_samples = 4000;
+    return engine.Run(q).decode_seconds;
+  };
+  EXPECT_LT(decode_seconds(8), 0.5 * decode_seconds(1));
+}
+
+// ------------------------------------------------------------------
+// Determinism matrix: golden fingerprints pinned across slice sizes per
+// strategy. These pins freeze the exact RNG draw sequence of the engine:
+// any refactor that silently reorders or adds a draw (or changes how
+// batches are buffered across Step slices) breaks them. Cost-aware
+// scoring and GOP-run draws are opt-in knobs; with both off (the default
+// here) the engine must reproduce these exact values forever.
+
+using testing_util::Fnv1a;
+
+uint64_t ResultFingerprint(const QueryResult& r) {
+  uint64_t h = testing_util::kFnv1aOffsetBasis;
+  h = Fnv1a(h, static_cast<uint64_t>(r.frames_processed));
+  for (const auto& d : r.results) {
+    h = Fnv1a(h, static_cast<uint64_t>(d.frame));
+    h = Fnv1a(h, static_cast<uint64_t>(d.instance));
+  }
+  for (const auto& p : r.reported.points()) {
+    h = Fnv1a(h, static_cast<uint64_t>(p.samples));
+    h = Fnv1a(h, static_cast<uint64_t>(p.count));
+  }
+  for (const auto& p : r.true_instances.points()) {
+    h = Fnv1a(h, static_cast<uint64_t>(p.samples));
+    h = Fnv1a(h, static_cast<uint64_t>(p.count));
+  }
+  return h;
+}
+
+TEST(QueryEngineTest, DeterminismMatrixPinsRngDrawSequence) {
+  struct Golden {
+    const char* name;
+    Strategy strategy;
+    uint64_t fingerprint;
+  };
+  const Golden kGolden[] = {
+      {"exsample", Strategy::kExSample, 0x9a44ecdaa1738408ULL},
+      {"random", Strategy::kRandom, 0x44f3dfc9c4457be7ULL},
+      {"randomplus", Strategy::kRandomPlus, 0xfeeba75b2b7a0befULL},
+      {"sequential", Strategy::kSequential, 0x057943cc2e9f0c4aULL},
+  };
+  QuerySpec q;
+  q.class_id = 0;
+  q.result_limit = 25;
+  q.max_samples = 6000;
+  // Slice sizes: single frames, an awkward prime, a power of two, and
+  // effectively-unbounded (the one-shot Run path).
+  const int64_t kSlices[] = {1, 7, 64, int64_t{1} << 40};
+  for (const Golden& g : kGolden) {
+    EngineConfig cfg;
+    cfg.strategy = g.strategy;
+    for (int64_t slice : kSlices) {
+      Harness h(SkewedDataset(41));
+      auto engine = h.MakeEngine(cfg, 71);
+      engine.Begin(q);
+      while (engine.Step(slice).running()) {
+      }
+      const uint64_t fp = ResultFingerprint(engine.TakeResult());
+      EXPECT_EQ(fp, g.fingerprint)
+          << g.name << " slice " << slice << " fingerprint 0x" << std::hex
+          << fp;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

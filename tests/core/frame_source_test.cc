@@ -132,6 +132,95 @@ TEST(SequentialFrameSourceTest, UnitStrideCoversEverything) {
   ExpectExactCoverage(Drain(&source, 64, 9), 500);
 }
 
+// ------------------------------------------------------------------
+// GOP-run draws (gop_run_frames > 1): each pick yields the anchor plus
+// consecutive same-GOP frames, claimed from the chunk sampler so the
+// without-replacement guarantee is preserved.
+
+video::VideoRepository MakeGopRepo(int64_t frames, int32_t gop) {
+  video::VideoMeta meta;
+  meta.name = "v0";
+  meta.num_frames = frames;
+  meta.keyframe_interval = gop;
+  auto repo = video::VideoRepository::Create({meta});
+  EXPECT_TRUE(repo.ok());
+  return std::move(repo).value();
+}
+
+TEST(GopRunTest, RunsAreConsecutiveAndStayInsideOneGop) {
+  auto repo = MakeGopRepo(200, 10);
+  auto chunks = video::MakeUniformChunks(200, 1);
+  FrameSourceConfig config;
+  config.gop_run_frames = 4;
+  ExSampleFrameSource source(&chunks, config, &repo);
+
+  Rng rng(31);
+  std::vector<video::FrameId> seen;
+  while (!source.exhausted()) {
+    auto batch = source.NextBatch(8, &rng);
+    ASSERT_FALSE(batch.empty());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      seen.push_back(batch[i].frame);
+      if (i > 0 && batch[i].frame == batch[i - 1].frame + 1) {
+        // A run continuation must not cross into the next GOP: a frame at
+        // a GOP start (multiple of 10) can only ever be an anchor.
+        EXPECT_NE(batch[i].frame % 10, 0) << "run crossed a GOP boundary";
+      }
+    }
+  }
+  // Without-replacement coverage still holds.
+  ExpectExactCoverage(seen, 200);
+}
+
+TEST(GopRunTest, RunsStopAtVideoBoundaries) {
+  // Two 25-frame videos, GOP 10: the last GOP of each video is truncated
+  // (local frames 20..24). One chunk spans both videos, so only the video
+  // end can stop a run — check no run ever continues across global frame
+  // 25 (the first frame of video 1).
+  video::VideoMeta a{"a", 25, 30.0, 10};
+  video::VideoMeta b{"b", 25, 30.0, 10};
+  auto created = video::VideoRepository::Create({a, b});
+  ASSERT_TRUE(created.ok());
+  video::VideoRepository repo = std::move(created).value();
+  auto chunks = video::MakeUniformChunks(50, 1);
+  FrameSourceConfig config;
+  config.gop_run_frames = 8;
+  ExSampleFrameSource source(&chunks, config, &repo);
+
+  Rng rng(32);
+  std::vector<video::FrameId> seen;
+  video::FrameId prev = -10;
+  while (!source.exhausted()) {
+    for (const PickedFrame& p : source.NextBatch(16, &rng)) {
+      if (p.frame == prev + 1 && p.frame == 25) {
+        ADD_FAILURE() << "run crossed the video boundary at frame 25";
+      }
+      prev = p.frame;
+      seen.push_back(p.frame);
+    }
+  }
+  ExpectExactCoverage(seen, 50);
+}
+
+TEST(GopRunTest, DisabledByDefaultMatchesClassicSource) {
+  // gop_run_frames == 1 must build the classic within-chunk samplers and
+  // produce the identical draw sequence.
+  auto repo = MakeRepo(400);
+  auto chunks = video::MakeUniformChunks(400, 4);
+  FrameSourceConfig config;
+  ExSampleFrameSource with_repo(&chunks, config, &repo);
+  ExSampleFrameSource without_repo(&chunks, config);
+  Rng rng_a(33), rng_b(33);
+  for (int i = 0; i < 100; ++i) {
+    auto x = with_repo.NextBatch(1, &rng_a);
+    auto y = without_repo.NextBatch(1, &rng_b);
+    ASSERT_EQ(x.size(), 1u);
+    ASSERT_EQ(y.size(), 1u);
+    EXPECT_EQ(x[0].frame, y[0].frame);
+    EXPECT_EQ(x[0].chunk, y[0].chunk);
+  }
+}
+
 TEST(MakeFrameSourceTest, FactoryCoversAllStrategies) {
   auto repo = MakeRepo(1000);
   auto chunks = video::MakeUniformChunks(1000, 4);

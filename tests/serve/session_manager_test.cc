@@ -11,6 +11,8 @@
 #include "exec/query_job.h"
 #include "track/discriminator.h"
 
+#include "../testing/fingerprint.h"
+
 namespace exsample {
 namespace serve {
 namespace {
@@ -32,11 +34,12 @@ data::Dataset SkewedDataset(uint64_t seed = 1) {
   return data::GenerateDataset(spec, seed);
 }
 
-exec::QueryJob MakeJob(const data::Dataset& ds, core::QuerySpec spec) {
+exec::QueryJob MakeJob(const data::Dataset& ds, core::QuerySpec spec,
+                       core::Strategy strategy = core::Strategy::kExSample) {
   exec::QueryJob job;
   job.repo = &ds.repo;
   job.chunks = &ds.chunks;
-  job.config.strategy = core::Strategy::kExSample;
+  job.config.strategy = strategy;
   job.spec = spec;
   job.make_detector = [&ds](uint64_t seed) {
     return std::make_unique<detect::SimulatedDetector>(
@@ -281,6 +284,67 @@ TEST(SessionManagerTest, WarmStartSeedsNewSessions) {
   EXPECT_TRUE(manager.WarmStarted(warm.value()).value());
   EXPECT_FALSE(manager.WarmStarted(cold2.value()).value());
   EXPECT_FALSE(manager.WarmStarted(999).ok());
+}
+
+// ------------------------------------------------------------------
+// Determinism matrix: golden fingerprints pinned across worker counts and
+// scheduling quanta per strategy. A session's trajectory derives solely
+// from (base_seed, session id), so every (threads, slice) combination must
+// produce the exact same per-session results — pinned here so future
+// refactors (cost-aware scoring included, which must be a no-op when off)
+// cannot silently change the RNG draw sequence.
+
+using testing_util::Fnv1a;
+
+TEST(SessionManagerTest, DeterminismMatrixPinsScheduling) {
+  data::Dataset ds = SkewedDataset(12);
+  struct Golden {
+    const char* name;
+    core::Strategy strategy;
+    uint64_t fingerprint;
+  };
+  const Golden kGolden[] = {
+      {"exsample", core::Strategy::kExSample, 0x2426590dae82c3feULL},
+      {"random", core::Strategy::kRandom, 0x167ea32257fbddebULL},
+      {"randomplus", core::Strategy::kRandomPlus, 0x08bbccc6a21b3790ULL},
+      {"sequential", core::Strategy::kSequential, 0x25b0a6b4c4dff048ULL},
+  };
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  spec.result_limit = 12;
+  spec.max_samples = 1500;
+
+  for (const Golden& g : kGolden) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      for (int64_t slice : {int64_t{1}, int64_t{7}, int64_t{64}}) {
+        SessionManager::Options options;
+        options.threads = threads;
+        options.slice_frames = slice;
+        options.base_seed = 77;
+        SessionManager manager(options);
+        std::vector<int64_t> ids;
+        for (int i = 0; i < 3; ++i) {
+          auto opened = manager.Open(MakeJob(ds, spec, g.strategy));
+          ASSERT_TRUE(opened.ok());
+          ids.push_back(opened.value());
+        }
+        manager.WaitAllDone();
+        uint64_t fp = testing_util::kFnv1aOffsetBasis;
+        for (int64_t id : ids) {
+          auto poll = manager.Poll(id);
+          ASSERT_TRUE(poll.ok());
+          fp = Fnv1a(fp, static_cast<uint64_t>(poll.value().frames_processed));
+          fp = Fnv1a(fp, static_cast<uint64_t>(poll.value().total_results));
+          for (const auto& d : poll.value().new_results) {
+            fp = Fnv1a(fp, static_cast<uint64_t>(d.frame));
+          }
+        }
+        EXPECT_EQ(fp, g.fingerprint)
+            << g.name << " threads " << threads << " slice " << slice
+            << " fingerprint 0x" << std::hex << fp;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "serve/stats_cache.h"
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -147,6 +148,103 @@ TEST(StatsCacheTest, LoadErrors) {
     std::fclose(f);
   }
   EXPECT_FALSE(cache.Load(path).ok());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------
+// Corrupted / truncated / version-skewed stats files: Load must fail
+// cleanly (InvalidArgument, no crash) and leave the cache exactly as it
+// was — in particular, a fresh cache stays empty and an already-populated
+// one keeps its entries untouched.
+
+/// Writes `content` to a temp file, loads it into a fresh cache, and
+/// expects a clean failure with the cache still empty.
+void ExpectLoadFailsCleanly(const std::string& content,
+                            const std::string& label) {
+  const std::string path =
+      ::testing::TempDir() + "/stats_cache_corrupt_test.txt";
+  {
+    std::ofstream out(path);
+    out << content;
+  }
+  StatsCache cache;
+  Status status = cache.Load(path);
+  EXPECT_FALSE(status.ok()) << label << ": accepted";
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument) << label;
+  EXPECT_EQ(cache.size(), 0u) << label << ": cache not left empty";
+  EXPECT_EQ(cache.queries_recorded(), 0) << label;
+  std::remove(path.c_str());
+}
+
+TEST(StatsCacheTest, LoadGarbageFailsCleanlyAndLeavesCacheEmpty) {
+  ExpectLoadFailsCleanly("", "empty file");
+  ExpectLoadFailsCleanly("\x7f\x45\x4c\x46 binary junk \x00\x01", "binary");
+  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry what\n",
+                         "malformed entry header");
+  ExpectLoadFailsCleanly(
+      "exsample-stats-cache v1\nentry 0 1 999999999999 key\n",
+      "absurd chunk count");
+  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 0 2 key\n"
+                         "n1 1 1\nn 1 1\n",
+                         "zero queries");
+}
+
+TEST(StatsCacheTest, LoadVersionSkewRejected) {
+  ExpectLoadFailsCleanly("exsample-stats-cache v2\nentry 0 1 1 key\n"
+                         "n1 1\nn 1\n",
+                         "future version");
+  ExpectLoadFailsCleanly("exsample-stats-cache\n", "missing version");
+}
+
+TEST(StatsCacheTest, LoadHalfWrittenFileRejected) {
+  // A crash mid-Save: header + entry line but rows cut off, or a row cut
+  // mid-way (fewer values than the declared chunk count).
+  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 1 3 key\n",
+                         "rows missing");
+  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 1 3 key\nn1 4 2\n",
+                         "row truncated");
+  ExpectLoadFailsCleanly(
+      "exsample-stats-cache v1\nentry 0 1 3 key\nn1 4 2 1\n",
+      "second row missing");
+}
+
+TEST(StatsCacheTest, LoadRejectsSilentCorruption) {
+  // Negative counts, wrong row tags, swapped rows, and trailing extra
+  // values were all silently accepted before the all-or-nothing rewrite.
+  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 1 2 key\n"
+                         "n1 -4 2\nn 3 3\n",
+                         "negative n1");
+  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 1 2 key\n"
+                         "n1 4 2\nn 3 -1\n",
+                         "negative n");
+  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 1 2 key\n"
+                         "n 4 2\nn1 3 3\n",
+                         "swapped row tags");
+  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 1 2 key\n"
+                         "n1 4 2 9\nn 3 3\n",
+                         "trailing value on row");
+}
+
+TEST(StatsCacheTest, FailedLoadLeavesExistingEntriesUntouched) {
+  const std::string path =
+      ::testing::TempDir() + "/stats_cache_partial_test.txt";
+  {
+    // First entry is valid; the second is truncated. Nothing — including
+    // the valid first entry — may reach the live cache.
+    std::ofstream out(path);
+    out << "exsample-stats-cache v1\n"
+        << "entry 0 1 2 key\nn1 9 0\nn 9 9\n"
+        << "entry 1 1 2 key\nn1 5\n";
+  }
+  StatsCache cache;
+  cache.Record("repo", 0, MakeStats({{6, 10}, {0, 4}}));
+  EXPECT_FALSE(cache.Load(path).ok());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.queries_recorded(), 1);
+  EXPECT_TRUE(cache.Lookup("key", 0, 1.0).empty());
+  auto priors = cache.Lookup("repo", 0, 1.0);
+  ASSERT_EQ(priors.size(), 2u);
+  EXPECT_EQ(priors[0].n1, 6);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,32 @@
+// FNV-1a fingerprint helper shared by the determinism-matrix tests.
+//
+// The engine and serve matrices pin golden fingerprints of result streams;
+// both must hash with the identical scheme (same offset basis, same
+// byte order) or their pins silently stop being comparable. Keep the
+// implementation here, in one place.
+
+#ifndef EXSAMPLE_TESTS_TESTING_FINGERPRINT_H_
+#define EXSAMPLE_TESTS_TESTING_FINGERPRINT_H_
+
+#include <cstdint>
+
+namespace exsample {
+namespace testing_util {
+
+/// FNV-1a 64-bit offset basis: the seed every fingerprint starts from.
+inline constexpr uint64_t kFnv1aOffsetBasis = 1469598103934665603ULL;
+
+/// Folds one 64-bit value into an FNV-1a hash, byte by byte
+/// (little-endian byte order).
+inline uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace testing_util
+}  // namespace exsample
+
+#endif  // EXSAMPLE_TESTS_TESTING_FINGERPRINT_H_

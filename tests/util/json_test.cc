@@ -114,5 +114,87 @@ TEST(JsonTest, RoundTripDocument) {
   EXPECT_EQ(parsed.value().Dump(), text);
 }
 
+// ------------------------------------------------------------------
+// Adversarial inputs: a parser fed from a network-facing NDJSON protocol
+// must return an error on hostile input, never crash, overflow the stack,
+// or silently accept garbage. (CI runs these under ASan + UBSan.)
+
+TEST(JsonAdversarialTest, DeepNestingIsRejectedNotStackOverflow) {
+  // 100k unclosed brackets: without a depth limit the recursive-descent
+  // parser would blow the stack long before hitting end-of-input.
+  for (const char open : {'[', '{'}) {
+    std::string bomb(100000, open);
+    if (open == '{') {
+      // Objects need keys to recurse: {"a":{"a":...
+      bomb.clear();
+      for (int i = 0; i < 100000; ++i) bomb += "{\"a\":";
+    }
+    auto parsed = Json::Parse(bomb);
+    EXPECT_FALSE(parsed.ok());
+  }
+  // Mixed nesting, properly closed, still beyond the limit.
+  std::string mixed;
+  for (int i = 0; i < 5000; ++i) mixed += "[{\"k\":";
+  mixed += "1";
+  for (int i = 0; i < 5000; ++i) mixed += "}]";
+  EXPECT_FALSE(Json::Parse(mixed).ok());
+}
+
+TEST(JsonAdversarialTest, ModerateNestingStillParses) {
+  std::string nested;
+  for (int i = 0; i < 50; ++i) nested += "[";
+  nested += "7";
+  for (int i = 0; i < 50; ++i) nested += "]";
+  auto parsed = Json::Parse(nested);
+  ASSERT_TRUE(parsed.ok());
+}
+
+TEST(JsonAdversarialTest, TruncatedEscapesAreErrors) {
+  for (const char* bad : {"\"\\", "\"\\u", "\"\\u1", "\"\\u12", "\"\\u123",
+                          "\"\\uZZZZ\"", "\"\\q\"", "\"abc\\"}) {
+    auto parsed = Json::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << "input accepted: " << bad;
+  }
+}
+
+TEST(JsonAdversarialTest, HugeNumbersAreErrorsNotInf) {
+  // A double overflow would otherwise become inf and re-serialize as null.
+  for (const char* bad : {"1e999", "-1e999", "1e99999999", "[1e400]"}) {
+    auto parsed = Json::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << "input accepted: " << bad;
+  }
+  // Integers beyond int64 degrade to double (documented), not to an error.
+  auto big = Json::Parse("99999999999999999999");
+  ASSERT_TRUE(big.ok());
+  EXPECT_DOUBLE_EQ(big.value().AsDouble(), 1e20);
+  // Near-overflow doubles that still fit are fine.
+  EXPECT_TRUE(Json::Parse("1.5e308").ok());
+}
+
+TEST(JsonAdversarialTest, DuplicateKeysLastOneWins) {
+  auto parsed = Json::Parse("{\"a\":1,\"b\":2,\"a\":3}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value().GetInt("a", -1), 3);
+  EXPECT_EQ(parsed.value().GetInt("b", -1), 2);
+}
+
+TEST(JsonAdversarialTest, RawControlCharactersInStringsAreErrors) {
+  // NUL bytes and other raw control characters must be escaped per RFC
+  // 8259; raw ones in the input are rejected, not passed through.
+  const std::string with_nul = std::string("\"a") + '\0' + "b\"";
+  EXPECT_FALSE(Json::Parse(with_nul).ok());
+  EXPECT_FALSE(Json::Parse("\"a\nb\"").ok());
+  EXPECT_FALSE(Json::Parse("\"a\tb\"").ok());
+  const std::string nul_outside = std::string("1") + '\0';
+  EXPECT_FALSE(Json::Parse(nul_outside).ok());
+  // The escaped forms are fine, NUL included, and they round-trip.
+  auto parsed = Json::Parse("\"a\\u0000b\\nc\"");
+  ASSERT_TRUE(parsed.ok());
+  const std::string expect = std::string("a") + '\0' + "b\nc";
+  EXPECT_EQ(parsed.value().AsString(), expect);
+  EXPECT_EQ(Json::Parse(parsed.value().Dump()).value().AsString(), expect);
+}
+
 }  // namespace
 }  // namespace exsample

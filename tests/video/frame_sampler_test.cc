@@ -186,6 +186,61 @@ TEST(WeightedFrameSamplerTest, MultiRangeMapping) {
   CheckExactCoverage(&s, frames, 16);
 }
 
+TEST(ClaimableFrameSamplerTest, ExactCoverage) {
+  auto frames = FrameRangeSet::Single(100, 164);
+  ClaimableFrameSampler s(frames);
+  CheckExactCoverage(&s, frames, 21);
+}
+
+TEST(ClaimableFrameSamplerTest, MultiRangeCoverage) {
+  FrameRangeSet frames({{10, 20}, {50, 57}});
+  ClaimableFrameSampler s(frames);
+  CheckExactCoverage(&s, frames, 22);
+}
+
+TEST(ClaimableFrameSamplerTest, ClaimRemovesSpecificFrames) {
+  auto frames = FrameRangeSet::Single(0, 50);
+  ClaimableFrameSampler s(frames);
+  EXPECT_TRUE(s.Claim(7));
+  EXPECT_TRUE(s.Claim(8));
+  EXPECT_EQ(s.remaining(), 48);
+  // Claimed frames never come back out of Next.
+  Rng rng(23);
+  while (!s.exhausted()) {
+    const FrameId f = s.Next(&rng);
+    EXPECT_NE(f, 7);
+    EXPECT_NE(f, 8);
+  }
+}
+
+TEST(ClaimableFrameSamplerTest, ClaimRejectsOutsideAndDuplicates) {
+  FrameRangeSet frames({{10, 20}});
+  ClaimableFrameSampler s(frames);
+  EXPECT_FALSE(s.Claim(9));    // outside the population
+  EXPECT_FALSE(s.Claim(20));   // half-open upper bound
+  EXPECT_TRUE(s.Claim(15));
+  EXPECT_FALSE(s.Claim(15));   // already claimed
+  EXPECT_EQ(s.remaining(), 9);
+  // A drawn frame cannot be claimed either.
+  Rng rng(24);
+  const FrameId drawn = s.Next(&rng);
+  EXPECT_FALSE(s.Claim(drawn));
+}
+
+TEST(ClaimableFrameSamplerTest, DrawsAreRoughlyUniform) {
+  // First draw over [0, 4): each frame ~25% across many fresh samplers.
+  std::vector<int> counts(4, 0);
+  Rng rng(25);
+  const int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    ClaimableFrameSampler s(FrameRangeSet::Single(0, 4));
+    ++counts[static_cast<size_t>(s.Next(&rng))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.25, 0.02);
+  }
+}
+
 TEST(MakeFrameSamplerTest, FactoryProducesBothKinds) {
   auto frames = FrameRangeSet::Single(0, 10);
   auto u = MakeFrameSampler(WithinChunkStrategy::kUniform, frames);

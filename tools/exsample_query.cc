@@ -23,6 +23,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -51,7 +52,19 @@ int Main(int argc, char** argv) {
   const double scale = flags.GetDouble("scale", 0.1);
   const std::string class_name = flags.GetString("class", "");
   const int64_t limit = flags.GetInt("limit", 0);
-  const double budget_seconds = flags.GetDouble("budget-seconds", 0.0);
+  // --cost-budget is the explicit "modeled GPU seconds" spelling of
+  // --budget-seconds (both cap QuerySpec::max_seconds).
+  const bool has_budget_flag =
+      flags.Has("budget-seconds") || flags.Has("cost-budget");
+  // Read both spellings unconditionally so each registers as a known flag.
+  const double budget_seconds_flag = flags.GetDouble("budget-seconds", 0.0);
+  const double cost_budget_flag = flags.GetDouble("cost-budget", 0.0);
+  const double budget_seconds =
+      flags.Has("cost-budget") ? cost_budget_flag : budget_seconds_flag;
+  const bool both_budget_flags =
+      flags.Has("budget-seconds") && flags.Has("cost-budget");
+  const bool cost_aware = flags.GetBool("cost-aware");
+  const int64_t gop_run = flags.GetInt("gop-run", 1);
   const std::string strategy_name = flags.GetString("strategy", "exsample");
   const std::string out_path = flags.GetString("out", "");
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
@@ -73,10 +86,20 @@ int Main(int argc, char** argv) {
                  "error: --limit must be >= 1 (omit it for no limit)\n");
     return 2;
   }
-  if (flags.Has("budget-seconds") && budget_seconds <= 0.0) {
+  if (both_budget_flags) {
     std::fprintf(stderr,
-                 "error: --budget-seconds must be > 0 "
+                 "error: --budget-seconds and --cost-budget are aliases; "
+                 "pass only one\n");
+    return 2;
+  }
+  if (has_budget_flag && budget_seconds <= 0.0) {
+    std::fprintf(stderr,
+                 "error: --budget-seconds/--cost-budget must be > 0 "
                  "(omit it for an unlimited budget)\n");
+    return 2;
+  }
+  if (gop_run < 1 || gop_run > std::numeric_limits<int32_t>::max()) {
+    std::fprintf(stderr, "error: --gop-run must be in [1, 2^31)\n");
     return 2;
   }
   if (scale <= 0.0 || scale > 1.0) {
@@ -106,8 +129,11 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: exsample_query (--spec FILE | --preset NAME) "
                  "--class NAME [--limit N] [--budget-seconds S]\n"
+                 "       [--cost-budget S  (modeled GPU seconds; alias of "
+                 "--budget-seconds)]\n"
                  "       [--strategy exsample|random|randomplus|sequential]"
-                 " [--out results.csv] [--tracker] [--seed N]\n"
+                 " [--cost-aware] [--gop-run B]\n"
+                 "       [--out results.csv] [--tracker] [--seed N]\n"
                  "       [--trials N] [--threads T  (0 = all cores)] "
                  "[--json]\n"
                  "       exsample_query --print-spec PRESET\n");
@@ -133,6 +159,8 @@ int Main(int argc, char** argv) {
                  strategy_name.c_str());
     return 1;
   }
+  config.cost_aware = cost_aware;
+  config.gop_run_frames = static_cast<int32_t>(gop_run);
 
   // --- run: every trial is one scheduled job; job seeds derive from trial
   // ids so any thread count reproduces the same results.
@@ -205,6 +233,8 @@ int Main(int argc, char** argv) {
     query_obj.Set("class", cls->name)
         .Set("class_id", static_cast<int64_t>(cls->class_id))
         .Set("strategy", strategy_name)
+        .Set("cost_aware", cost_aware)
+        .Set("gop_run", gop_run)
         .Set("limit", limit)
         .Set("budget_seconds", budget_seconds)
         .Set("tracker", use_tracker)

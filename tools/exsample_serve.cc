@@ -10,8 +10,11 @@
 //     -> {"ok":true,"session":1,"warm_started":false}
 //     optional keys: "scale" (default --scale), "strategy"
 //     (exsample|random|randomplus|sequential), "max_samples",
-//     "budget_seconds" (modeled GPU seconds), "deadline_seconds" (wall),
-//     "tracker" (IoU discriminator instead of the oracle)
+//     "budget_seconds" (modeled GPU seconds; "cost_budget_seconds" is an
+//     equivalent alias), "deadline_seconds" (wall), "tracker" (IoU
+//     discriminator instead of the oracle), "cost_aware" (score chunks by
+//     results per modeled second instead of per frame), "gop_run" (frames
+//     drawn per seek-amortized GOP run; 1 = classic single-frame draws)
 //   {"cmd":"poll","session":1}
 //     -> {"ok":true,"session":1,"state":"running","new_results":[...],
 //         "total_results":7,"frames_processed":1536,"cost_seconds":93.1,...}
@@ -30,6 +33,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -111,11 +115,24 @@ Json HandleOpen(const Json& cmd, DatasetPool* datasets,
   const int64_t max_samples = cmd.GetInt("max_samples", 0);
   if (max_samples < 0) return Error("max_samples must be >= 0");
   job.spec.max_samples = max_samples;
-  const double budget = cmd.GetDouble("budget_seconds", 0.0);
-  if (budget < 0.0 || (cmd.Has("budget_seconds") && budget == 0.0)) {
-    return Error("budget_seconds must be > 0 (or omitted)");
+  if (cmd.Has("budget_seconds") && cmd.Has("cost_budget_seconds")) {
+    return Error("budget_seconds and cost_budget_seconds are aliases; "
+                 "pass only one");
+  }
+  const char* budget_key =
+      cmd.Has("cost_budget_seconds") ? "cost_budget_seconds"
+                                     : "budget_seconds";
+  const double budget = cmd.GetDouble(budget_key, 0.0);
+  if (budget < 0.0 || (cmd.Has(budget_key) && budget == 0.0)) {
+    return Error(std::string(budget_key) + " must be > 0 (or omitted)");
   }
   job.spec.max_seconds = budget;
+  job.config.cost_aware = cmd.GetBool("cost_aware", false);
+  const int64_t gop_run = cmd.GetInt("gop_run", 1);
+  if (gop_run < 1 || gop_run > std::numeric_limits<int32_t>::max()) {
+    return Error("gop_run must be in [1, 2^31)");
+  }
+  job.config.gop_run_frames = static_cast<int32_t>(gop_run);
 
   const detect::ClassId class_id = cls->class_id;
   job.make_detector = [dataset, class_id](uint64_t seed) {
@@ -171,6 +188,7 @@ Json HandlePoll(const Json& cmd, serve::SessionManager* manager) {
       .Set("total_results", p.total_results)
       .Set("frames_processed", p.frames_processed)
       .Set("cost_seconds", p.cost_seconds)
+      .Set("cost_budget_seconds", p.cost_budget_seconds)
       .Set("seconds_to_first_result", p.seconds_to_first_result)
       .Set("wall_seconds", p.wall_seconds)
       .Set("warm_started", p.warm_started);
