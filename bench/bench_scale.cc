@@ -1,0 +1,259 @@
+// Repository-scale chunk selection: flat vs hierarchical policies as the
+// chunk count grows to production scale.
+//
+// The paper evaluates hundreds of chunks, where an O(num_chunks) scan per
+// pick is noise next to 50 ms of inference. The ROADMAP's city-scale
+// repositories have 10^5..10^7 chunks, where a flat Thompson pick costs
+// milliseconds — comparable to the inference it is supposed to be saving.
+// The hierarchical policies pick in O(num_chunks / G + G) by scoring the
+// stats arena's group aggregates first; this bench quantifies the gap:
+//
+//   * pick throughput (picks/sec) at 10k / 100k / 1M chunks for flat
+//     Thompson, hierarchical Thompson, and hierarchical Thompson through
+//     the single-pass PickBatch (batch 64). Gated in CI: hier_thompson
+//     must deliver >= 10x the flat pick throughput at 1M chunks.
+//   * end-to-end wall-clock time-to-k on a 20k-chunk skewed synthetic
+//     repository (the regime where the pick loop, not the simulated
+//     detector, dominates), flat vs hierarchical.
+//
+// Pick throughput is wall-clock (hardware-dependent); the >= 10x gate has
+// two orders of magnitude of headroom at 1M chunks (measured ~500x), so
+// it is robust to slow CI machines.
+//
+// Emits BENCH_scale.json. Flags: --time-box-ms (200), --limit-k (30),
+//        --seed (1), --skip-e2e, --out (BENCH_scale.json).
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/availability_index.h"
+#include "core/engine.h"
+#include "core/policy.h"
+#include "data/synthetic.h"
+#include "detect/simulated_detector.h"
+#include "track/discriminator.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace exsample {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Realistic mid-query statistics: a sparse subset of chunks has evidence,
+/// everything is still available.
+core::ChunkStats SeededStats(int32_t num_chunks, uint64_t seed) {
+  core::ChunkStats stats(num_chunks);
+  Rng rng(seed);
+  // ~1% of chunks visited, a few samples each.
+  const int32_t stride = num_chunks >= 100 ? 100 : 1;
+  for (int32_t j = 0; j < num_chunks; j += stride) {
+    const int visits = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int v = 0; v < visits; ++v) {
+      stats.Update(j, rng.NextBernoulli(0.2) ? 1 : 0, 0);
+    }
+  }
+  return stats;
+}
+
+struct Throughput {
+  double picks_per_sec = 0.0;
+  int64_t picks = 0;
+};
+
+/// Runs picks until the time box fills (at least 5 picks), returns rate.
+Throughput MeasurePicks(core::ChunkPolicy* policy,
+                        const core::ChunkStats& stats,
+                        const core::AvailabilityIndex& avail,
+                        int32_t batch_size, double time_box_seconds,
+                        uint64_t seed) {
+  Rng rng(seed);
+  Throughput t;
+  const double start = NowSeconds();
+  double elapsed = 0.0;
+  while (t.picks < 5 || elapsed < time_box_seconds) {
+    if (batch_size <= 1) {
+      policy->Pick(stats, avail, &rng);
+      t.picks += 1;
+    } else {
+      t.picks +=
+          static_cast<int64_t>(policy->PickBatch(stats, avail, batch_size,
+                                                 &rng)
+                                   .size());
+    }
+    elapsed = NowSeconds() - start;
+  }
+  t.picks_per_sec = static_cast<double>(t.picks) / elapsed;
+  return t;
+}
+
+/// Skewed dataset with `num_chunks` chunks: the e2e regime where the pick
+/// loop dominates the simulated per-frame work.
+data::Dataset ManyChunkDataset(int64_t total_frames, int64_t chunk_frames,
+                               uint64_t seed) {
+  data::DatasetSpec spec;
+  spec.name = "many_chunks";
+  spec.num_videos = 1;
+  spec.frames_per_video = total_frames;
+  spec.chunk_frames = chunk_frames;
+  data::ClassSpec c;
+  c.class_id = 0;
+  c.name = "obj";
+  c.num_instances = 300;
+  c.mean_duration_frames = 120.0;
+  c.placement = data::Placement::kNormal;
+  c.stddev_fraction = 0.05;
+  spec.classes.push_back(c);
+  return data::GenerateDataset(spec, seed);
+}
+
+/// Wall-clock seconds for one engine run to k results.
+double WallSecondsToK(const data::Dataset& ds, core::PolicyKind policy,
+                      int64_t limit_k, uint64_t seed) {
+  detect::SimulatedDetector detector(&ds.ground_truth, 0,
+                                     detect::PerfectDetectorConfig(),
+                                     seed + 1);
+  track::OracleDiscriminator discriminator;
+  core::EngineConfig cfg;
+  cfg.strategy = core::Strategy::kExSample;
+  cfg.policy = policy;
+  core::QueryEngine engine(&ds.repo, &ds.chunks, &detector, &discriminator,
+                           cfg, seed);
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  spec.result_limit = limit_k;
+  const double start = NowSeconds();
+  core::QueryResult result = engine.Run(spec);
+  const double wall = NowSeconds() - start;
+  if (static_cast<int64_t>(result.results.size()) < limit_k) {
+    std::fprintf(stderr, "warning: only %zu/%lld results found\n",
+                 result.results.size(), static_cast<long long>(limit_k));
+  }
+  return wall;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const int64_t time_box_ms = flags.GetInt("time-box-ms", 200);
+  const int64_t limit_k = flags.GetInt("limit-k", 30);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const bool skip_e2e = flags.GetBool("skip-e2e");
+  const std::string out_path = flags.GetString("out", "BENCH_scale.json");
+  flags.FailOnUnknown();
+  if (time_box_ms < 10 || limit_k < 1) {
+    std::fprintf(stderr,
+                 "error: need --time-box-ms >= 10, --limit-k >= 1\n");
+    return 2;
+  }
+  const double time_box = static_cast<double>(time_box_ms) / 1000.0;
+
+  Json doc = Json::Object();
+  doc.Set("bench", "scale").Set("time_box_ms", time_box_ms);
+
+  // --- pick throughput across chunk counts
+  std::printf("=== pick throughput: flat vs hierarchical Thompson ===\n\n");
+  const int32_t kSizes[] = {10000, 100000, 1000000};
+  double gated_speedup = 0.0;
+  Json sizes = Json::Array();
+  for (int32_t m : kSizes) {
+    core::ChunkStats stats = SeededStats(m, seed);
+    core::AvailabilityIndex avail(m);
+
+    core::ThompsonPolicy flat;
+    core::HierThompsonPolicy hier;
+    const Throughput flat_t =
+        MeasurePicks(&flat, stats, avail, 1, time_box, seed + 11);
+    const Throughput hier_t =
+        MeasurePicks(&hier, stats, avail, 1, time_box, seed + 12);
+    const Throughput hier_batch_t =
+        MeasurePicks(&hier, stats, avail, 64, time_box, seed + 13);
+    const double speedup =
+        flat_t.picks_per_sec > 0.0
+            ? hier_t.picks_per_sec / flat_t.picks_per_sec
+            : 0.0;
+    if (m == 1000000) gated_speedup = speedup;
+
+    Table t({"variant", "picks/sec", "vs flat"});
+    t.AddRow({"thompson (flat)",
+              Table::Int(static_cast<int64_t>(flat_t.picks_per_sec)),
+              Table::Ratio(1.0)});
+    t.AddRow({"hier_thompson",
+              Table::Int(static_cast<int64_t>(hier_t.picks_per_sec)),
+              Table::Ratio(speedup)});
+    t.AddRow({"hier_thompson batch=64",
+              Table::Int(static_cast<int64_t>(hier_batch_t.picks_per_sec)),
+              Table::Ratio(hier_batch_t.picks_per_sec /
+                           flat_t.picks_per_sec)});
+    std::printf("--- %d chunks (group size %d)\n%s\n", m,
+                avail.group_size(), t.ToString().c_str());
+
+    sizes.Append(
+        Json::Object()
+            .Set("chunks", static_cast<int64_t>(m))
+            .Set("group_size", static_cast<int64_t>(avail.group_size()))
+            .Set("flat_picks_per_sec", flat_t.picks_per_sec)
+            .Set("hier_picks_per_sec", hier_t.picks_per_sec)
+            .Set("hier_batched_picks_per_sec", hier_batch_t.picks_per_sec)
+            .Set("speedup_hier_vs_flat", speedup));
+  }
+  doc.Set("pick_throughput", std::move(sizes));
+
+  // --- end-to-end time-to-k at 20k chunks
+  if (!skip_e2e) {
+    std::printf("=== end-to-end wall-clock time to k=%lld results, "
+                "20k chunks ===\n\n",
+                static_cast<long long>(limit_k));
+    data::Dataset ds = ManyChunkDataset(200000, 10, seed);
+    const double flat_wall =
+        WallSecondsToK(ds, core::PolicyKind::kThompson, limit_k, seed + 21);
+    const double hier_wall = WallSecondsToK(
+        ds, core::PolicyKind::kHierThompson, limit_k, seed + 21);
+    const double e2e_speedup = hier_wall > 0.0 ? flat_wall / hier_wall : 0.0;
+    Table t({"variant", "wall seconds to k", "vs flat"});
+    t.AddRow({"thompson (flat)", Table::Num(flat_wall, 3),
+              Table::Ratio(1.0)});
+    t.AddRow({"hier_thompson", Table::Num(hier_wall, 3),
+              Table::Ratio(e2e_speedup)});
+    std::printf("%s\n", t.ToString().c_str());
+    doc.Set("e2e_20k_chunks",
+            Json::Object()
+                .Set("chunks", static_cast<int64_t>(ds.chunks.size()))
+                .Set("limit_k", limit_k)
+                .Set("flat_wall_seconds", flat_wall)
+                .Set("hier_wall_seconds", hier_wall)
+                .Set("speedup_hier_vs_flat", e2e_speedup));
+  }
+
+  // CI gate: at 1M chunks the hierarchical pick must be at least 10x the
+  // flat pick throughput (measured headroom is ~40x that).
+  const bool gate_pass = gated_speedup >= 10.0;
+  doc.Set("speedup_hier_1m_chunks", gated_speedup)
+      .Set("gate_threshold", 10.0)
+      .Set("gate_pass", gate_pass);
+  std::printf("1M-chunk hier pick speedup: %s (gate >= 10x: %s)\n",
+              Table::Ratio(gated_speedup).c_str(),
+              gate_pass ? "pass" : "FAIL");
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << doc.Dump() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return gate_pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::Main(argc, argv); }

@@ -36,7 +36,7 @@ void BM_ThompsonPick(benchmark::State& state) {
     }
   }
   core::ThompsonPolicy policy;
-  std::vector<bool> available(m, true);
+  core::AvailabilityIndex available(m);
   Rng rng(3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(policy.Pick(stats, available, &rng));
@@ -44,12 +44,28 @@ void BM_ThompsonPick(benchmark::State& state) {
 }
 BENCHMARK(BM_ThompsonPick)->Arg(16)->Arg(128)->Arg(1024);
 
+void BM_HierThompsonPick(benchmark::State& state) {
+  const int32_t m = static_cast<int32_t>(state.range(0));
+  core::ChunkStats stats(m);
+  Rng seed_rng(2);
+  for (int32_t j = 0; j < m; j += 7) {
+    stats.Update(j, seed_rng.NextBernoulli(0.3) ? 1 : 0, 0);
+  }
+  core::HierThompsonPolicy policy;
+  core::AvailabilityIndex available(m);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Pick(stats, available, &rng));
+  }
+}
+BENCHMARK(BM_HierThompsonPick)->Arg(1024)->Arg(100000)->Arg(1000000);
+
 void BM_BayesUcbPick(benchmark::State& state) {
   const int32_t m = static_cast<int32_t>(state.range(0));
   core::ChunkStats stats(m);
   for (int32_t j = 0; j < m; ++j) stats.Update(j, j % 3 == 0 ? 1 : 0, 0);
   core::BayesUcbPolicy policy;
-  std::vector<bool> available(m, true);
+  core::AvailabilityIndex available(m);
   Rng rng(4);
   for (auto _ : state) {
     benchmark::DoNotOptimize(policy.Pick(stats, available, &rng));

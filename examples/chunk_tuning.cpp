@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   const int64_t f = dataset.repo.total_frames();
   for (int64_t chunk_count : {1, 4, 15, 60, 240, 960}) {
     const int64_t chunk_frames = f / chunk_count;
-    auto chunks = video::MakeFixedLengthChunks(dataset.repo, chunk_frames);
+    auto chunks = video::MakeFixedLengthChunks(dataset.repo, chunk_frames).value();
     std::vector<core::Trajectory> trajs;
     for (int t = 0; t < trials; ++t) {
       detect::SimulatedDetector detector(&dataset.ground_truth,

@@ -1,0 +1,116 @@
+#include "core/availability_index.h"
+
+namespace exsample {
+namespace core {
+namespace {
+
+/// Index of the k-th set bit of `word`, k in [0, popcount(word)).
+int SelectBitInWord(uint64_t word, int64_t k) {
+  for (;;) {
+    assert(word != 0);
+    if (k == 0) return __builtin_ctzll(word);
+    word &= word - 1;
+    --k;
+  }
+}
+
+}  // namespace
+
+AvailabilityIndex::AvailabilityIndex(int64_t num_chunks, int32_t group_size)
+    : num_chunks_(num_chunks),
+      group_size_(group_size > 0 ? group_size
+                                 : DefaultChunkGroupSize(num_chunks)),
+      available_(num_chunks) {
+  assert(num_chunks_ > 0);
+  words_.assign(static_cast<size_t>((num_chunks_ + 63) >> 6), ~uint64_t{0});
+  // Mask the tail bits of the last word so popcounts never overcount.
+  const int tail = static_cast<int>(num_chunks_ & 63);
+  if (tail != 0) words_.back() = (uint64_t{1} << tail) - 1;
+  const int64_t groups = (num_chunks_ + group_size_ - 1) / group_size_;
+  group_available_.resize(static_cast<size_t>(groups));
+  for (int64_t g = 0; g < groups; ++g) {
+    group_available_[static_cast<size_t>(g)] =
+        GroupEnd(static_cast<int32_t>(g)) - g * group_size_;
+  }
+}
+
+void AvailabilityIndex::Clear(video::ChunkId j) {
+  assert(j >= 0 && j < num_chunks_);
+  uint64_t& word = words_[static_cast<size_t>(j >> 6)];
+  const uint64_t mask = uint64_t{1} << (j & 63);
+  if ((word & mask) == 0) return;
+  word &= ~mask;
+  --available_;
+  --group_available_[static_cast<size_t>(GroupOf(j))];
+}
+
+void AvailabilityIndex::Set(video::ChunkId j) {
+  assert(j >= 0 && j < num_chunks_);
+  uint64_t& word = words_[static_cast<size_t>(j >> 6)];
+  const uint64_t mask = uint64_t{1} << (j & 63);
+  if ((word & mask) != 0) return;
+  word |= mask;
+  ++available_;
+  ++group_available_[static_cast<size_t>(GroupOf(j))];
+}
+
+video::ChunkId AvailabilityIndex::SelectNth(int64_t k) const {
+  assert(k >= 0 && k < available_);
+  // Skip whole groups by their maintained counts.
+  int32_t g = 0;
+  while (k >= group_available_[static_cast<size_t>(g)]) {
+    k -= group_available_[static_cast<size_t>(g)];
+    ++g;
+  }
+  // Skip whole words of the group by popcount, masking the partial words at
+  // the group boundaries.
+  const int64_t lo = static_cast<int64_t>(g) * group_size_;
+  const int64_t hi = GroupEnd(g);
+  for (int64_t base = lo & ~int64_t{63}; base < hi; base += 64) {
+    uint64_t word = words_[static_cast<size_t>(base >> 6)];
+    if (base < lo) word &= ~uint64_t{0} << (lo - base);
+    if (hi - base < 64) word &= (uint64_t{1} << (hi - base)) - 1;
+    const int64_t count = __builtin_popcountll(word);
+    if (k < count) {
+      return static_cast<video::ChunkId>(base + SelectBitInWord(word, k));
+    }
+    k -= count;
+  }
+  assert(false && "group count disagreed with word popcounts");
+  return -1;
+}
+
+video::ChunkId AvailabilityIndex::FirstAvailableInGroup(int32_t g) const {
+  assert(g >= 0 && g < num_groups());
+  if (group_available_[static_cast<size_t>(g)] == 0) return -1;
+  const int64_t lo = static_cast<int64_t>(g) * group_size_;
+  const int64_t hi = GroupEnd(g);
+  for (int64_t base = lo & ~int64_t{63}; base < hi; base += 64) {
+    uint64_t word = words_[static_cast<size_t>(base >> 6)];
+    if (base < lo) word &= ~uint64_t{0} << (lo - base);
+    if (hi - base < 64) word &= (uint64_t{1} << (hi - base)) - 1;
+    if (word != 0) {
+      return static_cast<video::ChunkId>(base + __builtin_ctzll(word));
+    }
+  }
+  assert(false && "non-zero group count but no set bit");
+  return -1;
+}
+
+video::ChunkId AvailabilityIndex::NextAvailable(video::ChunkId from) const {
+  if (from < 0) from = 0;
+  if (from >= num_chunks_) return -1;
+  size_t w = static_cast<size_t>(from >> 6);
+  uint64_t word = words_[w] & (~uint64_t{0} << (from & 63));
+  for (;;) {
+    if (word != 0) {
+      return static_cast<video::ChunkId>((static_cast<int64_t>(w) << 6) +
+                                         __builtin_ctzll(word));
+    }
+    if (++w == words_.size()) return -1;
+    word = words_[w];
+  }
+}
+
+}  // namespace core
+}  // namespace exsample

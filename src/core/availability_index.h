@@ -1,0 +1,158 @@
+// AvailabilityIndex: which chunks still have unsampled frames, at
+// repository scale.
+//
+// The naive representation (std::vector<bool> re-scanned per draw) makes
+// every uniform draw and every "is anything left?" check O(num_chunks) —
+// fine for the paper's hundreds of chunks, fatal for city-scale
+// repositories of 10^5..10^7 chunks. This index keeps the same set in a
+// 64-bit-word bitset plus per-group available counts, giving
+//
+//   * O(1) membership tests and clears,
+//   * popcount-based uniform draws (SelectNth) that skip whole groups and
+//     whole words instead of testing every chunk,
+//   * O(words) ordered iteration over the available set, visiting only
+//     set bits (ForEachAvailable / ForEachAvailableInGroup),
+//   * O(1) per-group emptiness checks, the primitive the hierarchical
+//     policies use to skip exhausted groups without touching their chunks.
+//
+// Groups are fixed-size runs of `group_size` consecutive chunks (the last
+// group may be shorter). The same group size is shared with ChunkStats'
+// group-level aggregates so group g means the same chunk range in both
+// structures.
+
+#ifndef EXSAMPLE_CORE_AVAILABILITY_INDEX_H_
+#define EXSAMPLE_CORE_AVAILABILITY_INDEX_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "video/types.h"
+
+namespace exsample {
+namespace core {
+
+/// Deterministic default group size: ~sqrt(num_chunks), clamped to
+/// [16, 4096]. sqrt balances the hierarchical policies' two passes
+/// (O(num_chunks / G) groups + O(G) chunks within the winner); the clamps
+/// keep groups meaningful for tiny repositories and cache-sized for huge
+/// ones. Integer arithmetic only, so every platform picks the same size
+/// (the pinned hier_* determinism fingerprints depend on it).
+inline int32_t DefaultChunkGroupSize(int64_t num_chunks) {
+  assert(num_chunks > 0);
+  int64_t g = 1;
+  while (g * g < num_chunks) ++g;  // ceil(sqrt), exact
+  if (g < 16) g = 16;
+  if (g > 4096) g = 4096;
+  return static_cast<int32_t>(g);
+}
+
+/// Bitset of available chunks with per-group counts. All chunks start
+/// available; sampling only ever removes (a chunk with no frames left never
+/// regains frames within a query), but Set() is provided for tests and
+/// reuse.
+class AvailabilityIndex {
+ public:
+  /// All `num_chunks` chunks available. `group_size` 0 selects
+  /// DefaultChunkGroupSize(num_chunks).
+  explicit AvailabilityIndex(int64_t num_chunks, int32_t group_size = 0);
+
+  int64_t size() const { return num_chunks_; }
+  int32_t group_size() const { return group_size_; }
+  int32_t num_groups() const {
+    return static_cast<int32_t>(group_available_.size());
+  }
+  /// Group containing chunk j.
+  int32_t GroupOf(video::ChunkId j) const {
+    return static_cast<int32_t>(j / group_size_);
+  }
+
+  /// Chunks currently available (maintained, O(1)).
+  int64_t available() const { return available_; }
+  bool empty() const { return available_ == 0; }
+
+  bool Test(video::ChunkId j) const {
+    assert(j >= 0 && j < num_chunks_);
+    return (words_[static_cast<size_t>(j >> 6)] >> (j & 63)) & 1;
+  }
+
+  /// Marks chunk j unavailable. O(1); no-op when already cleared.
+  void Clear(video::ChunkId j);
+
+  /// Marks chunk j available again. O(1); no-op when already set.
+  void Set(video::ChunkId j);
+
+  /// Available chunks in group g, O(1).
+  int64_t GroupAvailable(int32_t g) const {
+    assert(g >= 0 && g < num_groups());
+    return group_available_[static_cast<size_t>(g)];
+  }
+
+  /// k-th available chunk in ascending order, k in [0, available()).
+  /// Skips empty groups by their counts, then full words by popcount —
+  /// O(num_groups + group_size/64) instead of O(num_chunks).
+  video::ChunkId SelectNth(int64_t k) const;
+
+  /// Lowest-id available chunk in group g, or -1 when the group is empty.
+  /// Not on the current policies' hot path (they iterate whole groups via
+  /// ForEachAvailableInGroup); kept as index API for greedy-within-group
+  /// strategies and direct reuse.
+  video::ChunkId FirstAvailableInGroup(int32_t g) const;
+
+  /// Lowest-id available chunk >= from, or -1 when none remains. Same
+  /// status as FirstAvailableInGroup: index API for reuse, not currently
+  /// a policy hot path.
+  video::ChunkId NextAvailable(video::ChunkId from) const;
+
+  /// Calls fn(ChunkId) for every available chunk in ascending order. The
+  /// flat policies iterate through this so their visit order (and therefore
+  /// their RNG draw sequence) is identical to scanning a vector<bool> in
+  /// index order — only faster, because cleared words are skipped wholesale.
+  template <typename Fn>
+  void ForEachAvailable(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(static_cast<video::ChunkId>((w << 6) + static_cast<size_t>(bit)));
+        word &= word - 1;  // clear lowest set bit
+      }
+    }
+  }
+
+  /// Calls fn(ChunkId) for every available chunk of group g, ascending.
+  template <typename Fn>
+  void ForEachAvailableInGroup(int32_t g, Fn&& fn) const {
+    assert(g >= 0 && g < num_groups());
+    const int64_t lo = static_cast<int64_t>(g) * group_size_;
+    const int64_t hi = GroupEnd(g);
+    for (int64_t base = lo & ~int64_t{63}; base < hi; base += 64) {
+      uint64_t word = words_[static_cast<size_t>(base >> 6)];
+      if (base < lo) word &= ~uint64_t{0} << (lo - base);
+      if (hi - base < 64) word &= (uint64_t{1} << (hi - base)) - 1;
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(static_cast<video::ChunkId>(base + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  /// One past the last chunk of group g.
+  int64_t GroupEnd(int32_t g) const {
+    const int64_t end = (static_cast<int64_t>(g) + 1) * group_size_;
+    return end < num_chunks_ ? end : num_chunks_;
+  }
+
+  int64_t num_chunks_;
+  int32_t group_size_;
+  int64_t available_;
+  std::vector<uint64_t> words_;
+  std::vector<int64_t> group_available_;
+};
+
+}  // namespace core
+}  // namespace exsample
+
+#endif  // EXSAMPLE_CORE_AVAILABILITY_INDEX_H_

@@ -5,19 +5,36 @@
 namespace exsample {
 namespace core {
 
-ChunkStats::ChunkStats(int32_t num_chunks)
+ChunkStats::ChunkStats(int32_t num_chunks, int32_t group_size)
     : n1_(static_cast<size_t>(num_chunks), 0),
       n_(static_cast<size_t>(num_chunks), 0),
       cost_ewma_(static_cast<size_t>(num_chunks), 0.0),
-      cost_n_(static_cast<size_t>(num_chunks), 0) {
+      cost_n_(static_cast<size_t>(num_chunks), 0),
+      group_size_(group_size > 0 ? group_size
+                                 : DefaultChunkGroupSize(num_chunks)) {
   assert(num_chunks > 0);
+  const size_t groups =
+      static_cast<size_t>((num_chunks + group_size_ - 1) / group_size_);
+  group_n1_.assign(groups, 0);
+  group_n_.assign(groups, 0);
+  group_cost_.assign(groups, 0.0);
+  group_cost_n_.assign(groups, 0);
+}
+
+void ChunkStats::AddN1(video::ChunkId j, int64_t delta) {
+  int64_t& v = n1_[static_cast<size_t>(j)];
+  const int64_t old_clamped = v > 0 ? v : 0;
+  v += delta;
+  const int64_t new_clamped = v > 0 ? v : 0;
+  group_n1_[static_cast<size_t>(GroupOf(j))] += new_clamped - old_clamped;
 }
 
 void ChunkStats::Update(video::ChunkId j, int64_t d0, int64_t d1) {
   assert(j >= 0 && j < num_chunks());
   assert(d0 >= 0 && d1 >= 0);
-  n1_[static_cast<size_t>(j)] += d0 - d1;
+  AddN1(j, d0 - d1);
   n_[static_cast<size_t>(j)] += 1;
+  group_n_[static_cast<size_t>(GroupOf(j))] += 1;
   ++total_samples_;
 }
 
@@ -25,20 +42,22 @@ void ChunkStats::UpdateSplit(video::ChunkId j, int64_t d0,
                              const std::vector<video::ChunkId>& d1_chunks) {
   assert(j >= 0 && j < num_chunks());
   assert(d0 >= 0);
-  n1_[static_cast<size_t>(j)] += d0;
+  AddN1(j, d0);
   for (video::ChunkId c : d1_chunks) {
     assert(c >= 0 && c < num_chunks());
-    n1_[static_cast<size_t>(c)] -= 1;
+    AddN1(c, -1);
   }
   n_[static_cast<size_t>(j)] += 1;
+  group_n_[static_cast<size_t>(GroupOf(j))] += 1;
   ++total_samples_;
 }
 
 void ChunkStats::SeedPrior(video::ChunkId j, int64_t n1, int64_t n) {
   assert(j >= 0 && j < num_chunks());
   assert(n1 >= 0 && n >= 0);
-  n1_[static_cast<size_t>(j)] += n1;
+  AddN1(j, n1);
   n_[static_cast<size_t>(j)] += n;
+  group_n_[static_cast<size_t>(GroupOf(j))] += n;
 }
 
 void ChunkStats::RecordCost(video::ChunkId j, double seconds) {
@@ -53,12 +72,26 @@ void ChunkStats::RecordCost(video::ChunkId j, double seconds) {
   ++cost_n_[static_cast<size_t>(j)];
   total_cost_ += seconds;
   ++total_cost_frames_;
+  group_cost_[static_cast<size_t>(GroupOf(j))] += seconds;
+  group_cost_n_[static_cast<size_t>(GroupOf(j))] += 1;
 }
 
 double ChunkStats::CostPerFrame(video::ChunkId j) const {
   assert(j >= 0 && j < num_chunks());
   if (cost_n_[static_cast<size_t>(j)] > 0) {
     return cost_ewma_[static_cast<size_t>(j)];
+  }
+  if (total_cost_frames_ > 0) {
+    return total_cost_ / static_cast<double>(total_cost_frames_);
+  }
+  return 1.0;
+}
+
+double ChunkStats::GroupCostPerFrame(int32_t g) const {
+  assert(g >= 0 && g < num_groups());
+  if (group_cost_n_[static_cast<size_t>(g)] > 0) {
+    return group_cost_[static_cast<size_t>(g)] /
+           static_cast<double>(group_cost_n_[static_cast<size_t>(g)]);
   }
   if (total_cost_frames_ > 0) {
     return total_cost_ / static_cast<double>(total_cost_frames_);

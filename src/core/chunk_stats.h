@@ -1,5 +1,14 @@
 // Per-chunk sampling statistics: the (N1_j, n_j) pairs behind the estimator
 // R̂_j(n+1) = N1_j / n_j (Eq III.1 of the paper).
+//
+// The statistics live in a flat structure-of-arrays arena (one contiguous
+// array per field) and additionally maintain group-level aggregates over
+// fixed-size runs of `group_size` consecutive chunks: per-group sums of
+// clamped N1, of n, and of recorded cost. The aggregates are updated
+// incrementally by every mutation, so the hierarchical policies can score a
+// group in O(1) instead of summing its chunks — the key to O(n/G + G)
+// picks on repositories with 10^5..10^7 chunks. Flat policies never read
+// the aggregates; maintaining them costs a few adds per update.
 
 #ifndef EXSAMPLE_CORE_CHUNK_STATS_H_
 #define EXSAMPLE_CORE_CHUNK_STATS_H_
@@ -7,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/availability_index.h"
 #include "video/types.h"
 
 namespace exsample {
@@ -22,7 +32,10 @@ namespace core {
 /// (footnote 1 of the paper); the belief layer clamps at zero.
 class ChunkStats {
  public:
-  explicit ChunkStats(int32_t num_chunks);
+  /// `group_size` fixes the span of the group aggregates; 0 selects
+  /// DefaultChunkGroupSize(num_chunks). Use the same size as the query's
+  /// AvailabilityIndex so group g covers the same chunks in both.
+  explicit ChunkStats(int32_t num_chunks, int32_t group_size = 0);
 
   int32_t num_chunks() const { return static_cast<int32_t>(n1_.size()); }
 
@@ -60,6 +73,34 @@ class ChunkStats {
   /// Point estimate R̂_j = N1_j / n_j (Eq III.1); 0 when n_j = 0.
   double PointEstimate(video::ChunkId j) const;
 
+  // --- group-level aggregates (hierarchical policies). Group g spans
+  // chunks [g * group_size, min((g+1) * group_size, num_chunks)); the sums
+  // below are maintained incrementally by Update/UpdateSplit/SeedPrior/
+  // RecordCost, never recomputed by scanning.
+
+  int32_t group_size() const { return group_size_; }
+  int32_t num_groups() const {
+    return static_cast<int32_t>(group_n1_.size());
+  }
+  /// Group containing chunk j.
+  int32_t GroupOf(video::ChunkId j) const {
+    return static_cast<int32_t>(j / group_size_);
+  }
+
+  /// Sum of ClampedN1 over the chunks of group g. Clamped per chunk (not
+  /// per group) so the group belief sees exactly the evidence its chunks
+  /// would feed their own beliefs.
+  int64_t GroupClampedN1(int32_t g) const {
+    return group_n1_[static_cast<size_t>(g)];
+  }
+  /// Sum of n over the chunks of group g.
+  int64_t GroupN(int32_t g) const { return group_n_[static_cast<size_t>(g)]; }
+
+  /// Mean recorded cost-per-frame over group g's frames, with the same
+  /// fallbacks as CostPerFrame: the global mean when the group has no
+  /// observations, 1.0 before any observation at all.
+  double GroupCostPerFrame(int32_t g) const;
+
   // --- per-chunk cost tracking (cost-aware sampling). Frames in different
   // chunks can cost very different wall-clock to obtain: a chunk inside a
   // long-GOP video pays seek + keyframe + many predicted decodes per random
@@ -89,6 +130,10 @@ class ChunkStats {
   }
 
  private:
+  /// Applies a raw N1 delta to chunk j and folds the change of its clamped
+  /// value into the group aggregate.
+  void AddN1(video::ChunkId j, int64_t delta);
+
   std::vector<int64_t> n1_;
   std::vector<int64_t> n_;
   int64_t total_samples_ = 0;
@@ -96,6 +141,12 @@ class ChunkStats {
   std::vector<int64_t> cost_n_;
   double total_cost_ = 0.0;
   int64_t total_cost_frames_ = 0;
+
+  int32_t group_size_ = 1;
+  std::vector<int64_t> group_n1_;        // sum of per-chunk clamped N1
+  std::vector<int64_t> group_n_;         // sum of per-chunk n
+  std::vector<double> group_cost_;       // sum of recorded costs
+  std::vector<int64_t> group_cost_n_;    // frames with recorded costs
 };
 
 }  // namespace core

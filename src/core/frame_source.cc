@@ -16,7 +16,8 @@ ExSampleFrameSource::ExSampleFrameSource(
       credit_(config.credit),
       gop_run_(config.gop_run_frames),
       policy_(MakePolicy(config.policy, config.belief, config.cost_aware)),
-      stats_(static_cast<int32_t>(chunks->size())) {
+      stats_(static_cast<int32_t>(chunks->size()), config.group_size),
+      available_(static_cast<int64_t>(chunks->size()), config.group_size) {
   assert(chunks_ != nullptr && !chunks_->empty());
   assert(gop_run_ >= 1);
   assert((gop_run_ == 1 || repo_ != nullptr) &&
@@ -36,7 +37,6 @@ ExSampleFrameSource::ExSampleFrameSource(
     }
     remaining_ += samplers_.back()->remaining();
   }
-  available_.assign(chunks_->size(), true);
   if (credit_ == CreditMode::kFirstSightingChunk) {
     lookup_ = std::make_unique<video::ChunkLookup>(*chunks_);
   }
@@ -65,7 +65,7 @@ std::vector<PickedFrame> ExSampleFrameSource::NextBatch(int64_t want,
       stats_, available_, static_cast<int32_t>(want), rng);
   for (video::ChunkId j : picks) {
     if (remaining_ == 0) break;
-    if (!available_[static_cast<size_t>(j)]) {
+    if (!available_.Test(j)) {
       j = policy_->Pick(stats_, available_, rng);
     }
     auto& sampler = samplers_[static_cast<size_t>(j)];
@@ -74,7 +74,7 @@ std::vector<PickedFrame> ExSampleFrameSource::NextBatch(int64_t want,
     pick.frame = sampler->Next(rng);
     pick.chunk = j;
     if (sampler->exhausted()) {
-      available_[static_cast<size_t>(j)] = false;
+      available_.Clear(j);
     }
     --remaining_;
     out.push_back(pick);
@@ -113,7 +113,7 @@ std::vector<PickedFrame> ExSampleFrameSource::NextBatchGopRuns(int64_t want,
       --remaining_;
       out.push_back(PickedFrame{anchor + s, j});
     }
-    if (sampler->exhausted()) available_[static_cast<size_t>(j)] = false;
+    if (sampler->exhausted()) available_.Clear(j);
   }
   return out;
 }

@@ -74,6 +74,12 @@ struct FrameSourceConfig {
   /// Bandit policy for kExSample.
   PolicyKind policy = PolicyKind::kThompson;
   BeliefParams belief;
+  /// Chunk-group size shared by the stats arena's group aggregates and the
+  /// availability index. The hierarchical policies (kHierThompson /
+  /// kHierBayesUcb) score groups first, so this is their fan-out knob;
+  /// flat policies ignore the grouping entirely. 0 = automatic
+  /// (DefaultChunkGroupSize, ~sqrt(num_chunks) clamped to [16, 4096]).
+  int32_t group_size = 0;
   /// Cost-aware scoring (kExSample with Thompson / Bayes-UCB): chunk scores
   /// become E[new results per *second*] — the belief draw divided by the
   /// chunk's EWMA cost-per-frame learned from OnFrameCost feedback. Off by
@@ -175,7 +181,7 @@ class ExSampleFrameSource : public FrameSource {
   std::vector<std::unique_ptr<video::FrameSampler>> samplers_;
   /// Non-owning views of samplers_ as claimable samplers (GOP-run mode).
   std::vector<video::ClaimableFrameSampler*> claimable_;
-  std::vector<bool> available_;
+  AvailabilityIndex available_;
   int64_t remaining_ = 0;
   std::unique_ptr<video::ChunkLookup> lookup_;  // kFirstSightingChunk only
 };

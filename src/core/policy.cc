@@ -1,7 +1,9 @@
 #include "core/policy.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
+#include <utility>
 
 #include "util/distributions.h"
 
@@ -9,25 +11,20 @@ namespace exsample {
 namespace core {
 namespace {
 
-// Uniformly random available chunk; used for tie-breaks and UniformPolicy.
-video::ChunkId RandomAvailable(const std::vector<bool>& available, Rng* rng) {
-  int64_t count = 0;
-  for (bool a : available) count += a ? 1 : 0;
-  assert(count > 0);
-  int64_t target = static_cast<int64_t>(
-      rng->NextBounded(static_cast<uint64_t>(count)));
-  for (size_t j = 0; j < available.size(); ++j) {
-    if (!available[j]) continue;
-    if (target-- == 0) return static_cast<video::ChunkId>(j);
-  }
-  assert(false && "unreachable");
-  return 0;
+/// Checks the contract the hierarchical policies rely on: the statistics'
+/// group aggregates and the availability index partition the chunks into
+/// the same groups.
+void AssertAligned(const ChunkStats& stats, const AvailabilityIndex& avail) {
+  assert(stats.num_chunks() == static_cast<int32_t>(avail.size()));
+  assert(stats.group_size() == avail.group_size());
+  (void)stats;
+  (void)avail;
 }
 
 }  // namespace
 
 std::vector<video::ChunkId> ChunkPolicy::PickBatch(
-    const ChunkStats& stats, const std::vector<bool>& available,
+    const ChunkStats& stats, const AvailabilityIndex& available,
     int32_t batch_size, Rng* rng) {
   assert(batch_size > 0);
   std::vector<video::ChunkId> batch;
@@ -42,20 +39,19 @@ ThompsonPolicy::ThompsonPolicy(BeliefParams params, bool cost_normalized)
     : belief_(params), cost_normalized_(cost_normalized) {}
 
 video::ChunkId ThompsonPolicy::Pick(const ChunkStats& stats,
-                                    const std::vector<bool>& available,
+                                    const AvailabilityIndex& available,
                                     Rng* rng) {
-  assert(available.size() == static_cast<size_t>(stats.num_chunks()));
+  assert(available.size() == static_cast<int64_t>(stats.num_chunks()));
   video::ChunkId best = -1;
   double best_score = -std::numeric_limits<double>::infinity();
-  for (int32_t j = 0; j < stats.num_chunks(); ++j) {
-    if (!available[static_cast<size_t>(j)]) continue;
+  available.ForEachAvailable([&](video::ChunkId j) {
     double score = belief_.Sample(stats.ClampedN1(j), stats.n(j), rng);
     if (cost_normalized_) score /= stats.CostPerFrame(j);
     if (score > best_score) {
       best_score = score;
       best = j;
     }
-  }
+  });
   assert(best >= 0);
   return best;
 }
@@ -64,7 +60,7 @@ BayesUcbPolicy::BayesUcbPolicy(BeliefParams params, bool cost_normalized)
     : belief_(params), cost_normalized_(cost_normalized) {}
 
 video::ChunkId BayesUcbPolicy::Pick(const ChunkStats& stats,
-                                    const std::vector<bool>& available,
+                                    const AvailabilityIndex& available,
                                     Rng* rng) {
   // Quantile schedule q_t = 1 - 1/(t+1), t = total samples so far.
   const double t = static_cast<double>(stats.total_samples());
@@ -72,8 +68,7 @@ video::ChunkId BayesUcbPolicy::Pick(const ChunkStats& stats,
   video::ChunkId best = -1;
   double best_score = -std::numeric_limits<double>::infinity();
   int64_t ties = 0;
-  for (int32_t j = 0; j < stats.num_chunks(); ++j) {
-    if (!available[static_cast<size_t>(j)]) continue;
+  available.ForEachAvailable([&](video::ChunkId j) {
     // The fast Wilson-Hilferty quantile keeps the per-pick cost comparable
     // to Thompson sampling (the exact bisection is ~100x slower).
     double score =
@@ -91,19 +86,18 @@ video::ChunkId BayesUcbPolicy::Pick(const ChunkStats& stats,
       ++ties;
       if (rng->NextBounded(static_cast<uint64_t>(ties)) == 0) best = j;
     }
-  }
+  });
   assert(best >= 0);
   return best;
 }
 
 video::ChunkId GreedyPolicy::Pick(const ChunkStats& stats,
-                                  const std::vector<bool>& available,
+                                  const AvailabilityIndex& available,
                                   Rng* rng) {
   video::ChunkId best = -1;
   double best_score = -std::numeric_limits<double>::infinity();
   int64_t ties = 0;
-  for (int32_t j = 0; j < stats.num_chunks(); ++j) {
-    if (!available[static_cast<size_t>(j)]) continue;
+  available.ForEachAvailable([&](video::ChunkId j) {
     double score = stats.PointEstimate(j);
     if (score > best_score) {
       best_score = score;
@@ -113,16 +107,233 @@ video::ChunkId GreedyPolicy::Pick(const ChunkStats& stats,
       ++ties;
       if (rng->NextBounded(static_cast<uint64_t>(ties)) == 0) best = j;
     }
-  }
+  });
   assert(best >= 0);
   return best;
 }
 
 video::ChunkId UniformPolicy::Pick(const ChunkStats& stats,
-                                   const std::vector<bool>& available,
+                                   const AvailabilityIndex& available,
                                    Rng* rng) {
   (void)stats;
-  return RandomAvailable(available, rng);
+  // One bounded draw, then a popcount-guided select: the same single
+  // NextBounded consumption (and the same result) as the historical
+  // count-then-scan, without the O(num_chunks) scans.
+  assert(!available.empty());
+  const int64_t target = static_cast<int64_t>(
+      rng->NextBounded(static_cast<uint64_t>(available.available())));
+  return available.SelectNth(target);
+}
+
+// --------------------------------------------------------- hierarchical
+
+HierThompsonPolicy::HierThompsonPolicy(BeliefParams params,
+                                       bool cost_normalized)
+    : belief_(params), cost_normalized_(cost_normalized) {}
+
+video::ChunkId HierThompsonPolicy::Pick(const ChunkStats& stats,
+                                        const AvailabilityIndex& available,
+                                        Rng* rng) {
+  AssertAligned(stats, available);
+  // Stage 1: Thompson over the group aggregates, skipping empty groups.
+  int32_t best_group = -1;
+  double best_group_score = -std::numeric_limits<double>::infinity();
+  const int32_t groups = available.num_groups();
+  for (int32_t g = 0; g < groups; ++g) {
+    if (available.GroupAvailable(g) == 0) continue;
+    double score = belief_.Sample(stats.GroupClampedN1(g), stats.GroupN(g),
+                                  rng);
+    if (cost_normalized_) score /= stats.GroupCostPerFrame(g);
+    if (score > best_group_score) {
+      best_group_score = score;
+      best_group = g;
+    }
+  }
+  assert(best_group >= 0);
+  // Stage 2: Thompson over the winning group's available chunks.
+  video::ChunkId best = -1;
+  double best_score = -std::numeric_limits<double>::infinity();
+  available.ForEachAvailableInGroup(best_group, [&](video::ChunkId j) {
+    double score = belief_.Sample(stats.ClampedN1(j), stats.n(j), rng);
+    if (cost_normalized_) score /= stats.CostPerFrame(j);
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  });
+  assert(best >= 0);
+  return best;
+}
+
+std::vector<video::ChunkId> HierThompsonPolicy::PickBatch(
+    const ChunkStats& stats, const AvailabilityIndex& available,
+    int32_t batch_size, Rng* rng) {
+  assert(batch_size > 0);
+  AssertAligned(stats, available);
+  const size_t B = static_cast<size_t>(batch_size);
+
+  // Stage 1, single pass over the group aggregates: draw all B group
+  // samples for a group while its aggregate row is hot, maintaining the
+  // per-batch-element argmax. Each element's draws are independent, so the
+  // batch is B i.i.d. posterior draws exactly as sequential picks are.
+  std::vector<int32_t> win_group(B, -1);
+  std::vector<double> win_score(B,
+                                -std::numeric_limits<double>::infinity());
+  const int32_t groups = available.num_groups();
+  for (int32_t g = 0; g < groups; ++g) {
+    if (available.GroupAvailable(g) == 0) continue;
+    const int64_t gn1 = stats.GroupClampedN1(g);
+    const int64_t gn = stats.GroupN(g);
+    const double cost = cost_normalized_ ? stats.GroupCostPerFrame(g) : 1.0;
+    for (size_t b = 0; b < B; ++b) {
+      double score = belief_.Sample(gn1, gn, rng);
+      if (cost_normalized_) score /= cost;
+      if (score > win_score[b]) {
+        win_score[b] = score;
+        win_group[b] = g;
+      }
+    }
+  }
+
+  // Stage 2: bucket the batch elements by winning group, then for each
+  // group (ascending) one pass over its available chunks, drawing each
+  // element's chunk samples chunk-major so a chunk's statistics load once
+  // per batch rather than once per element.
+  std::vector<std::pair<int32_t, size_t>> by_group;  // (group, element)
+  by_group.reserve(B);
+  for (size_t b = 0; b < B; ++b) {
+    assert(win_group[b] >= 0);
+    by_group.emplace_back(win_group[b], b);
+  }
+  std::stable_sort(by_group.begin(), by_group.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+
+  std::vector<video::ChunkId> batch(B, -1);
+  std::vector<double> best_chunk_score(
+      B, -std::numeric_limits<double>::infinity());
+  size_t i = 0;
+  while (i < by_group.size()) {
+    const int32_t g = by_group[i].first;
+    size_t end = i;
+    while (end < by_group.size() && by_group[end].first == g) ++end;
+    available.ForEachAvailableInGroup(g, [&](video::ChunkId j) {
+      const int64_t n1 = stats.ClampedN1(j);
+      const int64_t n = stats.n(j);
+      const double cost = cost_normalized_ ? stats.CostPerFrame(j) : 1.0;
+      for (size_t k = i; k < end; ++k) {
+        const size_t b = by_group[k].second;
+        double score = belief_.Sample(n1, n, rng);
+        if (cost_normalized_) score /= cost;
+        if (score > best_chunk_score[b]) {
+          best_chunk_score[b] = score;
+          batch[b] = j;
+        }
+      }
+    });
+    i = end;
+  }
+  for (size_t b = 0; b < B; ++b) assert(batch[b] >= 0);
+  return batch;
+}
+
+HierBayesUcbPolicy::HierBayesUcbPolicy(BeliefParams params,
+                                       bool cost_normalized)
+    : belief_(params), cost_normalized_(cost_normalized) {}
+
+video::ChunkId HierBayesUcbPolicy::Pick(const ChunkStats& stats,
+                                        const AvailabilityIndex& available,
+                                        Rng* rng) {
+  AssertAligned(stats, available);
+  const double t = static_cast<double>(stats.total_samples());
+  const double q = 1.0 - 1.0 / (t + 2.0);
+  const double alpha0 = belief_.params().alpha0;
+  const double beta0 = belief_.params().beta0;
+
+  // Stage 1: quantile score per non-empty group, reservoir tie-break.
+  int32_t best_group = -1;
+  double best_group_score = -std::numeric_limits<double>::infinity();
+  int64_t group_ties = 0;
+  const int32_t groups = available.num_groups();
+  for (int32_t g = 0; g < groups; ++g) {
+    if (available.GroupAvailable(g) == 0) continue;
+    double score = GammaQuantileFast(
+        q, static_cast<double>(stats.GroupClampedN1(g)) + alpha0,
+        static_cast<double>(stats.GroupN(g)) + beta0);
+    if (cost_normalized_) score /= stats.GroupCostPerFrame(g);
+    if (score > best_group_score) {
+      best_group_score = score;
+      best_group = g;
+      group_ties = 1;
+    } else if (score == best_group_score) {
+      ++group_ties;
+      if (rng->NextBounded(static_cast<uint64_t>(group_ties)) == 0) {
+        best_group = g;
+      }
+    }
+  }
+  assert(best_group >= 0);
+
+  // Stage 2: flat Bayes-UCB within the winning group.
+  video::ChunkId best = -1;
+  double best_score = -std::numeric_limits<double>::infinity();
+  int64_t ties = 0;
+  available.ForEachAvailableInGroup(best_group, [&](video::ChunkId j) {
+    double score = GammaQuantileFast(
+        q, static_cast<double>(stats.ClampedN1(j)) + alpha0,
+        static_cast<double>(stats.n(j)) + beta0);
+    if (cost_normalized_) score /= stats.CostPerFrame(j);
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+      ties = 1;
+    } else if (score == best_score) {
+      ++ties;
+      if (rng->NextBounded(static_cast<uint64_t>(ties)) == 0) best = j;
+    }
+  });
+  assert(best >= 0);
+  return best;
+}
+
+// --------------------------------------------------------------- factory
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kThompson:
+      return "thompson";
+    case PolicyKind::kBayesUcb:
+      return "bayes_ucb";
+    case PolicyKind::kGreedy:
+      return "greedy";
+    case PolicyKind::kUniform:
+      return "uniform";
+    case PolicyKind::kHierThompson:
+      return "hier_thompson";
+    case PolicyKind::kHierBayesUcb:
+      return "hier_bayes_ucb";
+  }
+  return "unknown";
+}
+
+bool ParsePolicyName(const std::string& name, PolicyKind* kind) {
+  if (name == "thompson") {
+    *kind = PolicyKind::kThompson;
+  } else if (name == "bayes_ucb") {
+    *kind = PolicyKind::kBayesUcb;
+  } else if (name == "greedy") {
+    *kind = PolicyKind::kGreedy;
+  } else if (name == "uniform") {
+    *kind = PolicyKind::kUniform;
+  } else if (name == "hier_thompson") {
+    *kind = PolicyKind::kHierThompson;
+  } else if (name == "hier_bayes_ucb") {
+    *kind = PolicyKind::kHierBayesUcb;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 std::unique_ptr<ChunkPolicy> MakePolicy(PolicyKind kind, BeliefParams params,
@@ -136,6 +347,10 @@ std::unique_ptr<ChunkPolicy> MakePolicy(PolicyKind kind, BeliefParams params,
       return std::make_unique<GreedyPolicy>();
     case PolicyKind::kUniform:
       return std::make_unique<UniformPolicy>();
+    case PolicyKind::kHierThompson:
+      return std::make_unique<HierThompsonPolicy>(params, cost_normalized);
+    case PolicyKind::kHierBayesUcb:
+      return std::make_unique<HierBayesUcbPolicy>(params, cost_normalized);
   }
   return nullptr;
 }

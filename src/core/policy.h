@@ -13,6 +13,18 @@
 //    ablation baseline.
 //  * UniformPolicy — ignores the statistics; turns the engine into chunked
 //    random sampling.
+//  * HierThompsonPolicy / HierBayesUcbPolicy — repository-scale variants:
+//    score the *groups* first (from ChunkStats' incrementally maintained
+//    group aggregates), then only the chunks of the winning group — O(n/G
+//    + G) per pick instead of O(n), which is what makes 10^5..10^7-chunk
+//    repositories tractable. Opt-in: the flat policies remain the paper's
+//    exact method and keep their pinned RNG streams.
+//
+// Availability is represented by core::AvailabilityIndex (word bitset +
+// per-group counts); policies must only return available chunks (at least
+// one is guaranteed). The flat policies iterate available chunks in
+// ascending id order, which reproduces the draw sequence of the historical
+// vector<bool> scan bit-for-bit.
 
 #ifndef EXSAMPLE_CORE_POLICY_H_
 #define EXSAMPLE_CORE_POLICY_H_
@@ -21,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "core/availability_index.h"
 #include "core/belief.h"
 #include "core/chunk_stats.h"
 #include "util/rng.h"
@@ -28,7 +41,7 @@
 namespace exsample {
 namespace core {
 
-/// Strategy interface for chunk choice. `available[j]` marks chunks that
+/// Strategy interface for chunk choice. `available` marks chunks that
 /// still have unsampled frames; implementations must only return available
 /// chunks (at least one is guaranteed).
 class ChunkPolicy {
@@ -37,14 +50,14 @@ class ChunkPolicy {
 
   /// Picks the chunk to sample next.
   virtual video::ChunkId Pick(const ChunkStats& stats,
-                              const std::vector<bool>& available,
+                              const AvailabilityIndex& available,
                               Rng* rng) = 0;
 
   /// Picks a batch of B chunks (with repetition) for batched inference
   /// (§III-F). The default implementation calls Pick() B times, which is
   /// exact for Thompson sampling since state does not change between picks.
   virtual std::vector<video::ChunkId> PickBatch(
-      const ChunkStats& stats, const std::vector<bool>& available,
+      const ChunkStats& stats, const AvailabilityIndex& available,
       int32_t batch_size, Rng* rng);
 
   virtual std::string name() const = 0;
@@ -64,7 +77,7 @@ class ThompsonPolicy : public ChunkPolicy {
                           bool cost_normalized = false);
 
   video::ChunkId Pick(const ChunkStats& stats,
-                      const std::vector<bool>& available, Rng* rng) override;
+                      const AvailabilityIndex& available, Rng* rng) override;
   std::string name() const override {
     return cost_normalized_ ? "cost_thompson" : "thompson";
   }
@@ -83,7 +96,7 @@ class BayesUcbPolicy : public ChunkPolicy {
                           bool cost_normalized = false);
 
   video::ChunkId Pick(const ChunkStats& stats,
-                      const std::vector<bool>& available, Rng* rng) override;
+                      const AvailabilityIndex& available, Rng* rng) override;
   std::string name() const override {
     return cost_normalized_ ? "cost_bayes_ucb" : "bayes_ucb";
   }
@@ -97,16 +110,75 @@ class BayesUcbPolicy : public ChunkPolicy {
 class GreedyPolicy : public ChunkPolicy {
  public:
   video::ChunkId Pick(const ChunkStats& stats,
-                      const std::vector<bool>& available, Rng* rng) override;
+                      const AvailabilityIndex& available, Rng* rng) override;
   std::string name() const override { return "greedy"; }
 };
 
-/// Uniform-random chunk choice (chunked random sampling).
+/// Uniform-random chunk choice (chunked random sampling). One bounded RNG
+/// draw plus a popcount-guided select — O(num_groups + group_size/64), not
+/// a full scan.
 class UniformPolicy : public ChunkPolicy {
  public:
   video::ChunkId Pick(const ChunkStats& stats,
-                      const std::vector<bool>& available, Rng* rng) override;
+                      const AvailabilityIndex& available, Rng* rng) override;
   std::string name() const override { return "uniform"; }
+};
+
+/// Hierarchical Thompson sampling: Thompson-sample a *group* from the
+/// group-level aggregates (Gamma over the group's summed clamped N1 and
+/// summed n), then Thompson-sample a chunk within the winning group.
+/// O(num_groups + group_size) belief draws per pick. Requires
+/// stats.group_size() == available.group_size() (the frame source
+/// constructs both from one configuration).
+///
+/// PickBatch is a single pass over the group aggregates drawing all B
+/// group samples while each group's row is hot, then one pass over each
+/// winning group's chunks — the batched-scoring path §III-F's argument
+/// needs to actually be cheaper than B independent scans. Every batch
+/// element is an independent posterior draw, exactly as sequential picks
+/// are, but the RNG stream differs from B sequential Pick() calls (the
+/// draws happen group-major); the determinism tests pin the batched
+/// stream.
+class HierThompsonPolicy : public ChunkPolicy {
+ public:
+  explicit HierThompsonPolicy(BeliefParams params = {},
+                              bool cost_normalized = false);
+
+  video::ChunkId Pick(const ChunkStats& stats,
+                      const AvailabilityIndex& available, Rng* rng) override;
+  std::vector<video::ChunkId> PickBatch(const ChunkStats& stats,
+                                        const AvailabilityIndex& available,
+                                        int32_t batch_size,
+                                        Rng* rng) override;
+  std::string name() const override {
+    return cost_normalized_ ? "cost_hier_thompson" : "hier_thompson";
+  }
+
+ private:
+  GammaBelief belief_;
+  bool cost_normalized_;
+};
+
+/// Hierarchical Bayes-UCB: the group stage scores each group's aggregate
+/// belief quantile (same 1 - 1/(t+1) schedule), the chunk stage runs flat
+/// Bayes-UCB within the winning group; reservoir tie-breaks at both
+/// stages. Batched picks use the default sequential path — quantile scores
+/// are deterministic in the statistics, so there is no group-major draw
+/// locality to exploit and each pick stays O(n/G + G).
+class HierBayesUcbPolicy : public ChunkPolicy {
+ public:
+  explicit HierBayesUcbPolicy(BeliefParams params = {},
+                              bool cost_normalized = false);
+
+  video::ChunkId Pick(const ChunkStats& stats,
+                      const AvailabilityIndex& available, Rng* rng) override;
+  std::string name() const override {
+    return cost_normalized_ ? "cost_hier_bayes_ucb" : "hier_bayes_ucb";
+  }
+
+ private:
+  GammaBelief belief_;
+  bool cost_normalized_;
 };
 
 /// Policy selector for configuration structs.
@@ -115,11 +187,22 @@ enum class PolicyKind {
   kBayesUcb,
   kGreedy,
   kUniform,
+  kHierThompson,
+  kHierBayesUcb,
 };
 
+/// Canonical user-facing name of a policy kind ("thompson", "bayes_ucb",
+/// "greedy", "uniform", "hier_thompson", "hier_bayes_ucb").
+const char* PolicyKindName(PolicyKind kind);
+
+/// Parses a user-facing policy name into `*kind`. Returns false on an
+/// unknown name (*kind untouched). Shared by the CLI tools and the serve
+/// protocol so they accept — and reject — the same policy set.
+bool ParsePolicyName(const std::string& name, PolicyKind* kind);
+
 /// Instantiates the configured policy. `cost_normalized` selects the
-/// cost-aware variant of Thompson / Bayes-UCB (greedy and uniform have no
-/// cost-aware form and ignore the flag).
+/// cost-aware variant of Thompson / Bayes-UCB and their hierarchical forms
+/// (greedy and uniform have no cost-aware form and ignore the flag).
 std::unique_ptr<ChunkPolicy> MakePolicy(PolicyKind kind,
                                         BeliefParams params = {},
                                         bool cost_normalized = false);

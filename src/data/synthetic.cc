@@ -123,9 +123,10 @@ Dataset GenerateDataset(const DatasetSpec& spec, uint64_t seed) {
   auto repo = video::VideoRepository::Create(std::move(videos)).value();
 
   std::vector<video::Chunk> chunks =
-      spec.chunk_frames > 0
-          ? video::MakeFixedLengthChunks(repo, spec.chunk_frames)
-          : video::MakePerFileChunks(repo);
+      (spec.chunk_frames > 0
+           ? video::MakeFixedLengthChunks(repo, spec.chunk_frames)
+           : video::MakePerFileChunks(repo))
+          .value();
   assert(video::ValidateChunking(chunks, repo.total_frames()).ok());
 
   Rng rng(seed);

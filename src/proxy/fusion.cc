@@ -19,7 +19,8 @@ FusionEngine::FusionEngine(const video::VideoRepository* repo,
       discriminator_(discriminator),
       config_(config),
       rng_(seed),
-      stats_(static_cast<int32_t>(chunks->size())) {
+      stats_(static_cast<int32_t>(chunks->size())),
+      available_(static_cast<int64_t>(chunks->size())) {
   assert(repo_ && chunks_ && proxy_ && detector_ && discriminator_);
   assert(!chunks_->empty());
   assert(config_.score_temperature > 0.0);
@@ -27,7 +28,6 @@ FusionEngine::FusionEngine(const video::VideoRepository* repo,
   policy_ = core::MakePolicy(config_.policy, config_.belief);
   samplers_.resize(chunks_->size());
   scored_.assign(chunks_->size(), false);
-  available_.assign(chunks_->size(), true);
   processed_before_scan_.resize(chunks_->size());
 }
 
@@ -59,9 +59,7 @@ FusionResult FusionEngine::Run(const core::QuerySpec& spec) {
 
   while (q.frames_processed < max_samples &&
          static_cast<int64_t>(q.results.size()) < spec.result_limit) {
-    bool any = false;
-    for (bool a : available_) any = any || a;
-    if (!any) break;
+    if (available_.empty()) break;
     const video::ChunkId j = policy_->Pick(stats_, available_, &rng_);
     const size_t ji = static_cast<size_t>(j);
 
@@ -87,7 +85,7 @@ FusionResult FusionEngine::Run(const core::QuerySpec& spec) {
         break;
       }
     }
-    if (samplers_[ji]->exhausted()) available_[ji] = false;
+    if (samplers_[ji]->exhausted()) available_.Clear(j);
     if (frame < 0) continue;
     if (!scored_[ji]) processed_before_scan_[ji].insert(frame);
 

@@ -102,7 +102,7 @@ class FusionEngine {
   std::unique_ptr<core::ChunkPolicy> policy_;
   std::vector<std::unique_ptr<video::FrameSampler>> samplers_;
   std::vector<bool> scored_;
-  std::vector<bool> available_;
+  core::AvailabilityIndex available_;
   /// Frames processed before a chunk was scored (the weighted sampler must
   /// not re-process them).
   std::vector<std::unordered_set<video::FrameId>> processed_before_scan_;

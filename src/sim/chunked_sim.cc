@@ -146,7 +146,9 @@ core::Trajectory RunSimTrial(const SimWorkload& workload,
   core::ChunkStats stats(m);
   std::unique_ptr<core::ChunkPolicy> policy =
       core::MakePolicy(config.policy, config.belief);
-  std::vector<bool> available(static_cast<size_t>(m), true);
+  // Default group size on both sides keeps the stats arena and the index
+  // aligned, so hierarchical policies work in the pure simulation too.
+  core::AvailabilityIndex available(m);
 
   // Cumulative weights for kWeighted.
   std::vector<double> cum_weights;

@@ -2,14 +2,58 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace exsample {
 namespace video {
 
-std::vector<Chunk> MakeFixedLengthChunks(const VideoRepository& repo,
-                                         int64_t frames_per_chunk) {
-  assert(frames_per_chunk > 0);
+Status CheckChunkCount(int64_t num_chunks) {
+  if (num_chunks > std::numeric_limits<ChunkId>::max()) {
+    return Status::InvalidArgument(
+        "chunking would produce " + std::to_string(num_chunks) +
+        " chunks, more than ChunkId can address (max " +
+        std::to_string(std::numeric_limits<ChunkId>::max()) +
+        "); use coarser chunks");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Chunks MakeFixedLengthChunks would emit for one video of `n` frames,
+/// computed arithmetically (must mirror the loop below, including the
+/// short-tail merge rule).
+int64_t FixedLengthChunkCount(int64_t n, int64_t frames_per_chunk) {
+  const int64_t full = n / frames_per_chunk;
+  const int64_t rem = n % frames_per_chunk;
+  // A remainder becomes its own chunk only when it is at least half a
+  // chunk (or the whole video is shorter than one chunk); shorter tails
+  // merge into the preceding chunk.
+  if (rem > 0 && (full == 0 || rem >= frames_per_chunk / 2)) return full + 1;
+  return full;
+}
+
+}  // namespace
+
+Result<std::vector<Chunk>> MakeFixedLengthChunks(const VideoRepository& repo,
+                                                 int64_t frames_per_chunk) {
+  if (frames_per_chunk <= 0) {
+    return Status::InvalidArgument("frames_per_chunk must be >= 1");
+  }
+  // Count before materializing: a pathological (repo, chunk-length) pair
+  // must fail with a Status, not truncate ChunkIds after allocating
+  // billions of chunks.
+  int64_t total = 0;
+  for (VideoIndex v = 0; v < static_cast<VideoIndex>(repo.num_videos());
+       ++v) {
+    total += FixedLengthChunkCount(repo.video(v).num_frames,
+                                   frames_per_chunk);
+  }
+  Status count_ok = CheckChunkCount(total);
+  if (!count_ok.ok()) return count_ok;
+
   std::vector<Chunk> chunks;
+  chunks.reserve(static_cast<size_t>(total));
   for (VideoIndex v = 0; v < static_cast<VideoIndex>(repo.num_videos()); ++v) {
     const FrameId start = repo.VideoStart(v);
     const int64_t n = repo.video(v).num_frames;
@@ -24,10 +68,14 @@ std::vector<Chunk> MakeFixedLengthChunks(const VideoRepository& repo,
       lo = hi;
     }
   }
+  assert(static_cast<int64_t>(chunks.size()) == total);
   return chunks;
 }
 
-std::vector<Chunk> MakePerFileChunks(const VideoRepository& repo) {
+Result<std::vector<Chunk>> MakePerFileChunks(const VideoRepository& repo) {
+  Status count_ok =
+      CheckChunkCount(static_cast<int64_t>(repo.num_videos()));
+  if (!count_ok.ok()) return count_ok;
   std::vector<Chunk> chunks;
   chunks.reserve(repo.num_videos());
   for (VideoIndex v = 0; v < static_cast<VideoIndex>(repo.num_videos()); ++v) {
@@ -39,14 +87,23 @@ std::vector<Chunk> MakePerFileChunks(const VideoRepository& repo) {
   return chunks;
 }
 
-std::vector<Chunk> MakeUniformChunks(int64_t num_frames, int32_t num_chunks) {
-  assert(num_chunks >= 1 && num_frames >= num_chunks);
+Result<std::vector<Chunk>> MakeUniformChunks(int64_t num_frames,
+                                             int64_t num_chunks) {
+  if (num_chunks < 1 || num_chunks > num_frames) {
+    return Status::InvalidArgument(
+        "num_chunks must be in [1, num_frames]; got " +
+        std::to_string(num_chunks) + " chunks for " +
+        std::to_string(num_frames) + " frames");
+  }
+  Status count_ok = CheckChunkCount(num_chunks);
+  if (!count_ok.ok()) return count_ok;
   std::vector<Chunk> chunks;
-  chunks.reserve(num_chunks);
-  for (int32_t j = 0; j < num_chunks; ++j) {
+  chunks.reserve(static_cast<size_t>(num_chunks));
+  for (int64_t j = 0; j < num_chunks; ++j) {
     FrameId lo = num_frames * j / num_chunks;
     FrameId hi = num_frames * (j + 1) / num_chunks;
-    chunks.push_back(Chunk{j, FrameRangeSet::Single(lo, hi)});
+    chunks.push_back(
+        Chunk{static_cast<ChunkId>(j), FrameRangeSet::Single(lo, hi)});
   }
   return chunks;
 }

@@ -24,21 +24,31 @@ struct Chunk {
   FrameRangeSet frames;
 };
 
+/// Checks that a chunking of `num_chunks` chunks is addressable: ChunkId is
+/// 32-bit, so a repository chunked finer than ~2.1 billion chunks would
+/// silently truncate ids. Returns OK or an InvalidArgument describing the
+/// overflow. Every chunk constructor below applies this check and fails
+/// cleanly instead of truncating.
+Status CheckChunkCount(int64_t num_chunks);
+
 /// Splits every video into consecutive chunks of at most
 /// `frames_per_chunk` frames (the final chunk of each video may be shorter,
 /// but never shorter than half the target unless the video itself is —
 /// short tails merge into the preceding chunk, matching how 20-minute
-/// chunking is done in practice).
-std::vector<Chunk> MakeFixedLengthChunks(const VideoRepository& repo,
-                                         int64_t frames_per_chunk);
+/// chunking is done in practice). Fails (without materializing anything)
+/// when the repository would produce more chunks than ChunkId can address.
+Result<std::vector<Chunk>> MakeFixedLengthChunks(const VideoRepository& repo,
+                                                 int64_t frames_per_chunk);
 
 /// One chunk per video file (the BDD configuration: 1000 sub-minute clips
-/// -> 1000 chunks).
-std::vector<Chunk> MakePerFileChunks(const VideoRepository& repo);
+/// -> 1000 chunks). Fails when the repository has more videos than ChunkId
+/// can address.
+Result<std::vector<Chunk>> MakePerFileChunks(const VideoRepository& repo);
 
 /// Partitions a bare frame count [0, n) into M equal chunks without a
-/// repository (used by pure simulations, §IV). M must be in [1, n].
-std::vector<Chunk> MakeUniformChunks(int64_t num_frames, int32_t num_chunks);
+/// repository (used by pure simulations, §IV). Fails unless M is in [1, n].
+Result<std::vector<Chunk>> MakeUniformChunks(int64_t num_frames,
+                                             int64_t num_chunks);
 
 /// Validates a chunking: ids dense, frames disjoint, union covers exactly
 /// [0, total_frames). Returns OK or a description of the violation.

@@ -1,0 +1,147 @@
+#include "core/availability_index.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace exsample {
+namespace core {
+namespace {
+
+std::vector<video::ChunkId> Collect(const AvailabilityIndex& idx) {
+  std::vector<video::ChunkId> out;
+  idx.ForEachAvailable([&](video::ChunkId j) { out.push_back(j); });
+  return out;
+}
+
+TEST(AvailabilityIndexTest, StartsFullyAvailable) {
+  AvailabilityIndex idx(130, 32);
+  EXPECT_EQ(idx.size(), 130);
+  EXPECT_EQ(idx.available(), 130);
+  EXPECT_FALSE(idx.empty());
+  EXPECT_EQ(idx.group_size(), 32);
+  EXPECT_EQ(idx.num_groups(), 5);  // 4 full groups + 2-chunk tail
+  for (int32_t g = 0; g < 4; ++g) EXPECT_EQ(idx.GroupAvailable(g), 32);
+  EXPECT_EQ(idx.GroupAvailable(4), 2);
+  for (int64_t j = 0; j < 130; ++j) {
+    EXPECT_TRUE(idx.Test(static_cast<video::ChunkId>(j)));
+  }
+}
+
+TEST(AvailabilityIndexTest, ClearAndSetMaintainCounts) {
+  AvailabilityIndex idx(100, 16);
+  idx.Clear(0);
+  idx.Clear(17);
+  idx.Clear(17);  // idempotent
+  idx.Clear(99);
+  EXPECT_EQ(idx.available(), 97);
+  EXPECT_FALSE(idx.Test(0));
+  EXPECT_FALSE(idx.Test(17));
+  EXPECT_FALSE(idx.Test(99));
+  EXPECT_EQ(idx.GroupAvailable(0), 15);
+  EXPECT_EQ(idx.GroupAvailable(1), 15);
+  EXPECT_EQ(idx.GroupAvailable(6), 3);  // chunks 96..99 minus 99
+  idx.Set(17);
+  idx.Set(17);  // idempotent
+  EXPECT_EQ(idx.available(), 98);
+  EXPECT_TRUE(idx.Test(17));
+  EXPECT_EQ(idx.GroupAvailable(1), 16);
+}
+
+TEST(AvailabilityIndexTest, ForEachAvailableVisitsAscending) {
+  AvailabilityIndex idx(200, 64);
+  for (video::ChunkId j = 0; j < 200; j += 3) idx.Clear(j);
+  auto seen = Collect(idx);
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), idx.available());
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_NE(seen[i] % 3, 0);
+    if (i > 0) {
+      EXPECT_LT(seen[i - 1], seen[i]);
+    }
+  }
+}
+
+TEST(AvailabilityIndexTest, SelectNthMatchesLinearScan) {
+  AvailabilityIndex idx(300, 32);
+  Rng rng(7);
+  for (int i = 0; i < 180; ++i) {
+    idx.Clear(static_cast<video::ChunkId>(rng.NextBounded(300)));
+  }
+  auto remaining = Collect(idx);
+  ASSERT_EQ(static_cast<int64_t>(remaining.size()), idx.available());
+  for (int64_t k = 0; k < idx.available(); ++k) {
+    EXPECT_EQ(idx.SelectNth(k), remaining[static_cast<size_t>(k)]) << k;
+  }
+}
+
+TEST(AvailabilityIndexTest, SelectNthCrossesGroupAndWordBoundaries) {
+  // 4 groups of 70 chunks: every group spans a 64-bit word boundary.
+  AvailabilityIndex idx(280, 70);
+  for (video::ChunkId j = 0; j < 140; ++j) idx.Clear(j);  // groups 0-1 gone
+  EXPECT_EQ(idx.GroupAvailable(0), 0);
+  EXPECT_EQ(idx.GroupAvailable(1), 0);
+  EXPECT_EQ(idx.SelectNth(0), 140);
+  EXPECT_EQ(idx.SelectNth(69), 209);
+  EXPECT_EQ(idx.SelectNth(70), 210);
+  EXPECT_EQ(idx.SelectNth(139), 279);
+}
+
+TEST(AvailabilityIndexTest, FirstAvailableInGroup) {
+  AvailabilityIndex idx(96, 32);
+  EXPECT_EQ(idx.FirstAvailableInGroup(1), 32);
+  for (video::ChunkId j = 32; j < 40; ++j) idx.Clear(j);
+  EXPECT_EQ(idx.FirstAvailableInGroup(1), 40);
+  for (video::ChunkId j = 40; j < 64; ++j) idx.Clear(j);
+  EXPECT_EQ(idx.FirstAvailableInGroup(1), -1);
+  EXPECT_EQ(idx.FirstAvailableInGroup(0), 0);
+  EXPECT_EQ(idx.FirstAvailableInGroup(2), 64);
+}
+
+TEST(AvailabilityIndexTest, ForEachAvailableInGroupMasksNeighbors) {
+  // Group size 10 packs several groups into one 64-bit word; iteration must
+  // not leak chunks of adjacent groups.
+  AvailabilityIndex idx(50, 10);
+  idx.Clear(23);
+  std::vector<video::ChunkId> seen;
+  idx.ForEachAvailableInGroup(2, [&](video::ChunkId j) {
+    seen.push_back(j);
+  });
+  EXPECT_EQ(seen, (std::vector<video::ChunkId>{20, 21, 22, 24, 25, 26, 27,
+                                               28, 29}));
+}
+
+TEST(AvailabilityIndexTest, NextAvailableSkipsClearedRuns) {
+  AvailabilityIndex idx(200, 64);
+  for (video::ChunkId j = 10; j < 150; ++j) idx.Clear(j);
+  EXPECT_EQ(idx.NextAvailable(0), 0);
+  EXPECT_EQ(idx.NextAvailable(10), 150);
+  EXPECT_EQ(idx.NextAvailable(149), 150);
+  EXPECT_EQ(idx.NextAvailable(199), 199);
+  idx.Clear(199);
+  EXPECT_EQ(idx.NextAvailable(199), -1);
+}
+
+TEST(AvailabilityIndexTest, ExhaustionReachesEmpty) {
+  AvailabilityIndex idx(67, 16);
+  for (video::ChunkId j = 0; j < 67; ++j) idx.Clear(j);
+  EXPECT_TRUE(idx.empty());
+  EXPECT_EQ(idx.available(), 0);
+  for (int32_t g = 0; g < idx.num_groups(); ++g) {
+    EXPECT_EQ(idx.GroupAvailable(g), 0);
+  }
+}
+
+TEST(DefaultChunkGroupSizeTest, SqrtWithClamps) {
+  EXPECT_EQ(DefaultChunkGroupSize(1), 16);     // clamp low
+  EXPECT_EQ(DefaultChunkGroupSize(100), 16);   // ceil(sqrt)=10 -> clamp 16
+  EXPECT_EQ(DefaultChunkGroupSize(1024), 32);
+  EXPECT_EQ(DefaultChunkGroupSize(1000000), 1000);
+  EXPECT_EQ(DefaultChunkGroupSize(100000000), 4096);  // clamp high
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace exsample

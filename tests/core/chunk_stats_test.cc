@@ -1,6 +1,11 @@
 #include "core/chunk_stats.h"
 
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "util/rng.h"
 
 namespace exsample {
 namespace core {
@@ -113,6 +118,132 @@ TEST(ChunkStatsTest, RecordCostDoesNotTouchSamplingStatistics) {
   EXPECT_EQ(s.n(0), 1);
   EXPECT_EQ(s.n(1), 0);
   EXPECT_EQ(s.total_samples(), 1);  // the cost clock is separate
+}
+
+// ------------------------------------------------------------------
+// Group-level aggregates: maintained incrementally by every mutation,
+// spanning fixed runs of group_size chunks.
+
+TEST(ChunkStatsGroupTest, ConstructorShapesGroups) {
+  ChunkStats s(10, 4);  // groups {0-3}, {4-7}, {8-9}
+  EXPECT_EQ(s.group_size(), 4);
+  EXPECT_EQ(s.num_groups(), 3);
+  EXPECT_EQ(s.GroupOf(0), 0);
+  EXPECT_EQ(s.GroupOf(3), 0);
+  EXPECT_EQ(s.GroupOf(4), 1);
+  EXPECT_EQ(s.GroupOf(9), 2);
+  for (int32_t g = 0; g < 3; ++g) {
+    EXPECT_EQ(s.GroupClampedN1(g), 0);
+    EXPECT_EQ(s.GroupN(g), 0);
+    EXPECT_EQ(s.GroupCostPerFrame(g), 1.0);
+  }
+}
+
+TEST(ChunkStatsGroupTest, DefaultGroupSizeMatchesIndexDefault) {
+  ChunkStats s(1000);
+  EXPECT_EQ(s.group_size(), DefaultChunkGroupSize(1000));
+  AvailabilityIndex idx(1000);
+  EXPECT_EQ(s.group_size(), idx.group_size());
+  EXPECT_EQ(s.num_groups(), idx.num_groups());
+}
+
+TEST(ChunkStatsGroupTest, UpdateFoldsIntoGroupSums) {
+  ChunkStats s(8, 4);
+  s.Update(0, 2, 0);
+  s.Update(3, 1, 0);
+  s.Update(5, 0, 0);
+  EXPECT_EQ(s.GroupClampedN1(0), 3);
+  EXPECT_EQ(s.GroupN(0), 2);
+  EXPECT_EQ(s.GroupClampedN1(1), 0);
+  EXPECT_EQ(s.GroupN(1), 1);
+}
+
+TEST(ChunkStatsGroupTest, GroupSumUsesPerChunkClamping) {
+  // Chunk 0 dips to -1 (cross-chunk second sighting); the group sum counts
+  // it as 0, not -1, so chunk 1's evidence is not eaten by the neighbour.
+  ChunkStats s(4, 2);
+  s.Update(1, 1, 0);   // chunk 1: N1 = 1
+  s.Update(0, 0, 1);   // chunk 0: N1 = -1
+  EXPECT_EQ(s.n1(0), -1);
+  EXPECT_EQ(s.GroupClampedN1(0), 1);
+  // Recovering chunk 0 back above zero re-enters the sum exactly.
+  s.Update(0, 2, 0);   // chunk 0: N1 = 1
+  EXPECT_EQ(s.GroupClampedN1(0), 2);
+}
+
+TEST(ChunkStatsGroupTest, UpdateSplitCreditsGroupsOfEachChunk) {
+  ChunkStats s(8, 4);
+  s.Update(6, 1, 0);  // object first seen from chunk 6 (group 1)
+  // Frame from chunk 1 (group 0): one new object, one second sighting of
+  // the group-1 object.
+  s.UpdateSplit(1, 1, {6});
+  EXPECT_EQ(s.GroupClampedN1(0), 1);
+  EXPECT_EQ(s.GroupN(0), 1);
+  EXPECT_EQ(s.GroupClampedN1(1), 0);
+  EXPECT_EQ(s.GroupN(1), 1);
+}
+
+TEST(ChunkStatsGroupTest, SeedPriorFoldsIntoGroupSums) {
+  ChunkStats s(8, 4);
+  s.SeedPrior(2, 3, 10);
+  s.SeedPrior(7, 1, 4);
+  EXPECT_EQ(s.GroupClampedN1(0), 3);
+  EXPECT_EQ(s.GroupN(0), 10);
+  EXPECT_EQ(s.GroupClampedN1(1), 1);
+  EXPECT_EQ(s.GroupN(1), 4);
+  // Warm-start priors do not advance the total-samples clock.
+  EXPECT_EQ(s.total_samples(), 0);
+}
+
+TEST(ChunkStatsGroupTest, GroupCostIsMeanOfRecordedCosts) {
+  ChunkStats s(8, 4);
+  s.RecordCost(0, 0.2);
+  s.RecordCost(1, 0.4);
+  EXPECT_NEAR(s.GroupCostPerFrame(0), 0.3, 1e-12);
+  // Unobserved group falls back to the global mean.
+  EXPECT_NEAR(s.GroupCostPerFrame(1), 0.3, 1e-12);
+}
+
+TEST(ChunkStatsGroupTest, GroupSumsMatchBruteForceUnderRandomWorkload) {
+  const int32_t m = 53;
+  const int32_t group = 8;
+  ChunkStats s(m, group);
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const auto j = static_cast<video::ChunkId>(rng.NextBounded(m));
+    switch (rng.NextBounded(4)) {
+      case 0:
+        s.Update(j, static_cast<int64_t>(rng.NextBounded(3)),
+                 static_cast<int64_t>(rng.NextBounded(2)));
+        break;
+      case 1: {
+        std::vector<video::ChunkId> d1;
+        for (int k = 0; k < 2; ++k) {
+          d1.push_back(static_cast<video::ChunkId>(rng.NextBounded(m)));
+        }
+        s.UpdateSplit(j, static_cast<int64_t>(rng.NextBounded(2)), d1);
+        break;
+      }
+      case 2:
+        s.SeedPrior(j, static_cast<int64_t>(rng.NextBounded(2)),
+                    static_cast<int64_t>(rng.NextBounded(3)));
+        break;
+      case 3:
+        s.RecordCost(j, 0.001 * static_cast<double>(1 + rng.NextBounded(50)));
+        break;
+    }
+  }
+  for (int32_t g = 0; g < s.num_groups(); ++g) {
+    int64_t n1 = 0, n = 0;
+    const int32_t lo = g * group;
+    const int32_t hi = std::min(m, lo + group);
+    for (int32_t j = lo; j < hi; ++j) {
+      n1 += s.ClampedN1(j);
+      n += s.n(j);
+    }
+    EXPECT_EQ(s.GroupClampedN1(g), n1) << "group " << g;
+    EXPECT_EQ(s.GroupN(g), n) << "group " << g;
+  }
 }
 
 }  // namespace

@@ -20,7 +20,7 @@ namespace exsample {
 namespace core {
 namespace {
 
-std::vector<bool> AllAvailable(int32_t m) { return std::vector<bool>(m, true); }
+AvailabilityIndex AllAvailable(int32_t m) { return AvailabilityIndex(m); }
 
 /// Varied (N1, n) statistics over `m` chunks, each chunk with `cost`
 /// recorded per sampled frame (uniform across chunks by default).

@@ -654,6 +654,52 @@ TEST(QueryEngineTest, DeterminismMatrixPinsRngDrawSequence) {
   }
 }
 
+TEST(QueryEngineTest, DeterminismMatrixPinsHierPolicies) {
+  // Same matrix as above for the hierarchical policies: slice size must
+  // never change the draw sequence, and these pins freeze the hier_* RNG
+  // streams (group-stage draws included) so future refactors of the
+  // availability index, the group aggregates, or the single-pass batched
+  // scorer cannot silently reorder them. batch_size 32 exercises
+  // HierThompsonPolicy::PickBatch's group-major draw order.
+  struct Golden {
+    const char* name;
+    PolicyKind policy;
+    int32_t batch_size;
+    uint64_t fingerprint;
+  };
+  const Golden kGolden[] = {
+      {"hier_thompson", PolicyKind::kHierThompson, 1,
+       0x692706a8bf976363ULL},
+      {"hier_thompson_batched", PolicyKind::kHierThompson, 32,
+       0x71a8af49356819ccULL},
+      {"hier_bayes_ucb", PolicyKind::kHierBayesUcb, 1,
+       0x54bbe2873a7e953dULL},
+  };
+  QuerySpec q;
+  q.class_id = 0;
+  q.result_limit = 25;
+  q.max_samples = 6000;
+  const int64_t kSlices[] = {1, 7, 64, int64_t{1} << 40};
+  for (const Golden& g : kGolden) {
+    EngineConfig cfg;
+    cfg.strategy = Strategy::kExSample;
+    cfg.policy = g.policy;
+    cfg.batch_size = g.batch_size;
+    cfg.group_size = 4;  // 8 chunks -> 2 groups
+    for (int64_t slice : kSlices) {
+      Harness h(SkewedDataset(41));
+      auto engine = h.MakeEngine(cfg, 71);
+      engine.Begin(q);
+      while (engine.Step(slice).running()) {
+      }
+      const uint64_t fp = ResultFingerprint(engine.TakeResult());
+      EXPECT_EQ(fp, g.fingerprint)
+          << g.name << " slice " << slice << " fingerprint 0x" << std::hex
+          << fp;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, EngineInvariantTest,
     ::testing::Values(
@@ -665,6 +711,15 @@ INSTANTIATE_TEST_SUITE_P(
                       PolicyKind::kThompson, 1,
                       CreditMode::kFirstSightingChunk},
         EngineVariant{"ucb", Strategy::kExSample, PolicyKind::kBayesUcb, 1,
+                      CreditMode::kSampledChunk},
+        EngineVariant{"hier_thompson", Strategy::kExSample,
+                      PolicyKind::kHierThompson, 1,
+                      CreditMode::kSampledChunk},
+        EngineVariant{"hier_thompson_batched", Strategy::kExSample,
+                      PolicyKind::kHierThompson, 32,
+                      CreditMode::kSampledChunk},
+        EngineVariant{"hier_ucb", Strategy::kExSample,
+                      PolicyKind::kHierBayesUcb, 1,
                       CreditMode::kSampledChunk},
         EngineVariant{"greedy", Strategy::kExSample, PolicyKind::kGreedy, 1,
                       CreditMode::kSampledChunk},

@@ -47,7 +47,7 @@ void ExpectExactCoverage(std::vector<video::FrameId> frames, int64_t n) {
 
 TEST(ExSampleFrameSourceTest, ExhaustsWithoutReplacement) {
   const int64_t kFrames = 4000;
-  auto chunks = video::MakeUniformChunks(kFrames, 8);
+  auto chunks = video::MakeUniformChunks(kFrames, 8).value();
   ExSampleFrameSource source(&chunks, FrameSourceConfig{});
   EXPECT_EQ(source.remaining(), kFrames);
   ExpectExactCoverage(Drain(&source, 1, 1), kFrames);
@@ -58,13 +58,13 @@ TEST(ExSampleFrameSourceTest, BatchedExhaustionYieldsEveryFrameOnce) {
   // batch guarantee that chunks picked several times per batch run dry
   // mid-batch; every pick must still be a valid fresh frame.
   const int64_t kFrames = 256;
-  auto chunks = video::MakeUniformChunks(kFrames, 64);  // 4 frames per chunk
+  auto chunks = video::MakeUniformChunks(kFrames, 64).value();  // 4 frames per chunk
   ExSampleFrameSource source(&chunks, FrameSourceConfig{});
   ExpectExactCoverage(Drain(&source, 32, 2), kFrames);
 }
 
 TEST(ExSampleFrameSourceTest, NextBatchHonorsWant) {
-  auto chunks = video::MakeUniformChunks(1000, 10);
+  auto chunks = video::MakeUniformChunks(1000, 10).value();
   ExSampleFrameSource source(&chunks, FrameSourceConfig{});
   Rng rng(3);
   EXPECT_EQ(source.NextBatch(16, &rng).size(), 16u);
@@ -74,7 +74,7 @@ TEST(ExSampleFrameSourceTest, NextBatchHonorsWant) {
 }
 
 TEST(ExSampleFrameSourceTest, FeedbackUpdatesChunkStats) {
-  auto chunks = video::MakeUniformChunks(100, 4);
+  auto chunks = video::MakeUniformChunks(100, 4).value();
   ExSampleFrameSource source(&chunks, FrameSourceConfig{});
   Rng rng(4);
   auto picks = source.NextBatch(1, &rng);
@@ -91,7 +91,7 @@ TEST(ExSampleFrameSourceTest, FeedbackUpdatesChunkStats) {
 }
 
 TEST(ExSampleFrameSourceTest, PicksCarryTheOwningChunk) {
-  auto chunks = video::MakeUniformChunks(500, 5);
+  auto chunks = video::MakeUniformChunks(500, 5).value();
   ExSampleFrameSource source(&chunks, FrameSourceConfig{});
   video::ChunkLookup lookup(chunks);
   Rng rng(5);
@@ -149,7 +149,7 @@ video::VideoRepository MakeGopRepo(int64_t frames, int32_t gop) {
 
 TEST(GopRunTest, RunsAreConsecutiveAndStayInsideOneGop) {
   auto repo = MakeGopRepo(200, 10);
-  auto chunks = video::MakeUniformChunks(200, 1);
+  auto chunks = video::MakeUniformChunks(200, 1).value();
   FrameSourceConfig config;
   config.gop_run_frames = 4;
   ExSampleFrameSource source(&chunks, config, &repo);
@@ -182,7 +182,7 @@ TEST(GopRunTest, RunsStopAtVideoBoundaries) {
   auto created = video::VideoRepository::Create({a, b});
   ASSERT_TRUE(created.ok());
   video::VideoRepository repo = std::move(created).value();
-  auto chunks = video::MakeUniformChunks(50, 1);
+  auto chunks = video::MakeUniformChunks(50, 1).value();
   FrameSourceConfig config;
   config.gop_run_frames = 8;
   ExSampleFrameSource source(&chunks, config, &repo);
@@ -206,7 +206,7 @@ TEST(GopRunTest, DisabledByDefaultMatchesClassicSource) {
   // gop_run_frames == 1 must build the classic within-chunk samplers and
   // produce the identical draw sequence.
   auto repo = MakeRepo(400);
-  auto chunks = video::MakeUniformChunks(400, 4);
+  auto chunks = video::MakeUniformChunks(400, 4).value();
   FrameSourceConfig config;
   ExSampleFrameSource with_repo(&chunks, config, &repo);
   ExSampleFrameSource without_repo(&chunks, config);
@@ -223,7 +223,7 @@ TEST(GopRunTest, DisabledByDefaultMatchesClassicSource) {
 
 TEST(MakeFrameSourceTest, FactoryCoversAllStrategies) {
   auto repo = MakeRepo(1000);
-  auto chunks = video::MakeUniformChunks(1000, 4);
+  auto chunks = video::MakeUniformChunks(1000, 4).value();
 
   FrameSourceConfig config;
   config.strategy = Strategy::kExSample;

@@ -1,0 +1,172 @@
+// Quality parity for the hierarchical policies (repository-scale chunk
+// selection). hier_thompson / hier_bayes_ucb buy O(n/G + G) picks by
+// scoring group aggregates before chunks; the price must NOT be the
+// savings the paper is about. On the fig5/data presets the hierarchical
+// variants have to reach k distinct results within a modest factor of
+// flat Thompson's sample budget — and keep a clear edge over uniform
+// chunked sampling, i.e. remain an *adaptive* policy.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/presets.h"
+#include "data/synthetic.h"
+#include "detect/simulated_detector.h"
+#include "track/discriminator.h"
+#include "util/stats.h"
+
+namespace exsample {
+namespace core {
+namespace {
+
+/// Median frames-to-k over `trials` runs of `policy` on `dataset`.
+double MedianFramesToK(const data::Dataset& dataset, PolicyKind policy,
+                       int32_t group_size, int64_t limit_k, int trials,
+                       uint64_t seed) {
+  std::vector<double> frames;
+  frames.reserve(static_cast<size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    detect::SimulatedDetector detector(&dataset.ground_truth, 0,
+                                       detect::PerfectDetectorConfig(),
+                                       seed + 1000 * static_cast<uint64_t>(t));
+    track::OracleDiscriminator discriminator;
+    EngineConfig cfg;
+    cfg.strategy = Strategy::kExSample;
+    cfg.policy = policy;
+    cfg.group_size = group_size;
+    QueryEngine engine(&dataset.repo, &dataset.chunks, &detector,
+                       &discriminator, cfg,
+                       seed + 7 * static_cast<uint64_t>(t));
+    QuerySpec spec;
+    spec.class_id = 0;
+    spec.result_limit = limit_k;
+    QueryResult result = engine.Run(spec);
+    EXPECT_GE(static_cast<int64_t>(result.results.size()), limit_k);
+    frames.push_back(static_cast<double>(result.frames_processed));
+  }
+  return Percentile(frames, 0.5);
+}
+
+/// Remaps a preset so class 0 is the class under test (MedianFramesToK
+/// queries class 0).
+data::Dataset PresetForClass(const std::string& preset, double scale,
+                             const std::string& cls, uint64_t seed) {
+  data::DatasetSpec spec = data::MakePresetSpec(preset, scale);
+  for (auto& c : spec.classes) {
+    if (c.name == cls) {
+      c.class_id = 0;
+    } else if (c.class_id == 0) {
+      c.class_id = 127;
+    }
+  }
+  return data::GenerateDataset(spec, seed);
+}
+
+struct ParityCase {
+  const char* preset;
+  const char* cls;
+  double scale;
+  int64_t limit_k;
+};
+
+// Tolerance: the hierarchical policy may spend up to this factor more
+// frames than its flat counterpart (the group stage loses a little
+// per-chunk resolution early on), and must keep at least this much of the
+// adaptive edge over uniform chunk choice.
+constexpr double kParityFactor = 1.6;
+
+TEST(HierQualityParityTest, HierThompsonTracksFlatOnPresets) {
+  const ParityCase kCases[] = {
+      // The Fig 6 extreme-skew exemplar: one region holds ~85% of bikes.
+      {"dashcam", "bicycle", 0.05, 8},
+      // The 1000-chunk regime (per-file chunking), moderate skew.
+      {"bdd1k", "motor", 0.1, 12},
+  };
+  for (const ParityCase& c : kCases) {
+    data::Dataset ds = PresetForClass(c.preset, c.scale, c.cls, 11);
+    const int kTrials = 5;
+    const double flat = MedianFramesToK(ds, PolicyKind::kThompson,
+                                        /*group_size=*/0, c.limit_k,
+                                        kTrials, 31);
+    const double hier = MedianFramesToK(ds, PolicyKind::kHierThompson,
+                                        /*group_size=*/0, c.limit_k,
+                                        kTrials, 31);
+    const double uniform = MedianFramesToK(ds, PolicyKind::kUniform,
+                                           /*group_size=*/0, c.limit_k,
+                                           kTrials, 31);
+    EXPECT_LE(hier, flat * kParityFactor)
+        << c.preset << "/" << c.cls << ": hier " << hier << " flat " << flat;
+    EXPECT_LT(hier, uniform)
+        << c.preset << "/" << c.cls << ": hier " << hier << " lost the "
+        << "adaptive edge over uniform " << uniform;
+  }
+}
+
+TEST(HierQualityParityTest, HierBayesUcbTracksFlatOnPreset) {
+  data::Dataset ds = PresetForClass("dashcam", 0.05, "bicycle", 13);
+  const int kTrials = 5;
+  const double flat = MedianFramesToK(ds, PolicyKind::kBayesUcb,
+                                      /*group_size=*/0, 8, kTrials, 37);
+  const double hier = MedianFramesToK(ds, PolicyKind::kHierBayesUcb,
+                                      /*group_size=*/0, 8, kTrials, 37);
+  EXPECT_LE(hier, flat * kParityFactor)
+      << "hier " << hier << " flat " << flat;
+}
+
+TEST(HierQualityParityTest, ExplicitGroupSizeReproducesAndStaysAdaptive) {
+  // A non-default group size is a legitimate configuration: results stay
+  // deterministic in the seed and quality stays in the same regime.
+  data::Dataset ds = PresetForClass("dashcam", 0.05, "bicycle", 17);
+  const double a = MedianFramesToK(ds, PolicyKind::kHierThompson,
+                                   /*group_size=*/4, 8, 5, 41);
+  const double b = MedianFramesToK(ds, PolicyKind::kHierThompson,
+                                   /*group_size=*/4, 8, 5, 41);
+  EXPECT_EQ(a, b);
+  // Sanity only: a deliberately tiny group size costs some early
+  // exploration resolution, but must stay in the adaptive regime (the
+  // tight parity bound is HierThompsonTracksFlatOnPresets' job, at the
+  // auto group size).
+  const double flat = MedianFramesToK(ds, PolicyKind::kThompson,
+                                      /*group_size=*/0, 8, 5, 41);
+  EXPECT_LE(a, flat * 3.0);
+}
+
+TEST(HierQualityParityTest, BatchedHierMatchesQualityOfUnbatched) {
+  // §III-F batching with the single-pass hierarchical PickBatch: a batch
+  // of 32 must land in the same frames-to-k regime as unbatched picks.
+  data::Dataset ds = PresetForClass("dashcam", 0.05, "bicycle", 19);
+  auto run = [&ds](int32_t batch) {
+    std::vector<double> frames;
+    for (int t = 0; t < 5; ++t) {
+      detect::SimulatedDetector detector(&ds.ground_truth, 0,
+                                         detect::PerfectDetectorConfig(),
+                                         500 + static_cast<uint64_t>(t));
+      track::OracleDiscriminator discriminator;
+      EngineConfig cfg;
+      cfg.strategy = Strategy::kExSample;
+      cfg.policy = PolicyKind::kHierThompson;
+      cfg.batch_size = batch;
+      QueryEngine engine(&ds.repo, &ds.chunks, &detector, &discriminator,
+                         cfg, 900 + static_cast<uint64_t>(t));
+      QuerySpec spec;
+      spec.class_id = 0;
+      spec.result_limit = 8;
+      frames.push_back(
+          static_cast<double>(engine.Run(spec).frames_processed));
+    }
+    return Percentile(frames, 0.5);
+  };
+  const double unbatched = run(1);
+  const double batched = run(32);
+  // Batched Thompson trades a little statistical efficiency for batching
+  // (§III-F measures this as small); allow 2x either way.
+  EXPECT_LE(batched, unbatched * 2.0);
+  EXPECT_LE(unbatched, batched * 2.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace exsample

@@ -8,12 +8,12 @@ namespace exsample {
 namespace core {
 namespace {
 
-std::vector<bool> AllAvailable(int32_t m) { return std::vector<bool>(m, true); }
+AvailabilityIndex AllAvailable(int32_t m) { return AvailabilityIndex(m); }
 
 // Fraction of picks landing on each chunk across many draws.
 std::map<video::ChunkId, double> PickFractions(ChunkPolicy* policy,
                                                const ChunkStats& stats,
-                                               const std::vector<bool>& avail,
+                                               const AvailabilityIndex& avail,
                                                int trials, uint64_t seed) {
   Rng rng(seed);
   std::map<video::ChunkId, int> counts;
@@ -70,7 +70,8 @@ TEST(ThompsonPolicyTest, RespectsAvailability) {
   ChunkStats stats(3);
   // Make chunk 1 clearly the best, then mark it unavailable.
   for (int i = 0; i < 20; ++i) stats.Update(1, 1, 0);
-  std::vector<bool> avail{true, false, true};
+  AvailabilityIndex avail(3);
+  avail.Clear(1);
   Rng rng(4);
   for (int i = 0; i < 1000; ++i) {
     EXPECT_NE(policy.Pick(stats, avail, &rng), 1);
@@ -154,7 +155,8 @@ TEST(UniformPolicyTest, IgnoresStats) {
 TEST(PickBatchTest, ReturnsRequestedSizeFromAvailable) {
   ThompsonPolicy policy;
   ChunkStats stats(3);
-  std::vector<bool> avail{true, false, true};
+  AvailabilityIndex avail(3);
+  avail.Clear(1);
   Rng rng(12);
   auto batch = policy.PickBatch(stats, avail, 16, &rng);
   EXPECT_EQ(batch.size(), 16u);
@@ -190,6 +192,164 @@ TEST(MakePolicyTest, FactoryCoversAllKinds) {
   EXPECT_EQ(MakePolicy(PolicyKind::kBayesUcb)->name(), "bayes_ucb");
   EXPECT_EQ(MakePolicy(PolicyKind::kGreedy)->name(), "greedy");
   EXPECT_EQ(MakePolicy(PolicyKind::kUniform)->name(), "uniform");
+  EXPECT_EQ(MakePolicy(PolicyKind::kHierThompson)->name(), "hier_thompson");
+  EXPECT_EQ(MakePolicy(PolicyKind::kHierBayesUcb)->name(), "hier_bayes_ucb");
+  EXPECT_EQ(MakePolicy(PolicyKind::kHierThompson, {}, true)->name(),
+            "cost_hier_thompson");
+}
+
+TEST(MakePolicyTest, NamesRoundTripThroughParse) {
+  for (PolicyKind kind :
+       {PolicyKind::kThompson, PolicyKind::kBayesUcb, PolicyKind::kGreedy,
+        PolicyKind::kUniform, PolicyKind::kHierThompson,
+        PolicyKind::kHierBayesUcb}) {
+    PolicyKind parsed = PolicyKind::kUniform;
+    EXPECT_TRUE(ParsePolicyName(PolicyKindName(kind), &parsed))
+        << PolicyKindName(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  PolicyKind untouched = PolicyKind::kGreedy;
+  EXPECT_FALSE(ParsePolicyName("thomson", &untouched));
+  EXPECT_FALSE(ParsePolicyName("", &untouched));
+  EXPECT_EQ(untouched, PolicyKind::kGreedy);
+}
+
+// ------------------------------------------------------------------
+// Hierarchical policies. Group size 4 over 8 chunks = 2 groups, small
+// enough to reason about exactly.
+
+TEST(HierThompsonPolicyTest, ConcentratesOnProductiveGroup) {
+  HierThompsonPolicy policy;
+  ChunkStats stats(8, 4);
+  AvailabilityIndex avail(8, 4);
+  // Group 0 (chunks 0-3) productive, group 1 (chunks 4-7) barren, with
+  // enough evidence that both stages concentrate.
+  for (int32_t j = 0; j < 8; ++j) {
+    for (int i = 0; i < 30; ++i) stats.Update(j, j < 4 && i % 2 == 0 ? 1 : 0, 0);
+  }
+  auto f = PickFractions(&policy, stats, avail, 20000, 21);
+  double group0 = 0.0;
+  for (int32_t j = 0; j < 4; ++j) group0 += f[j];
+  EXPECT_GT(group0, 0.9);
+}
+
+TEST(HierThompsonPolicyTest, RespectsAvailabilityAcrossGroups) {
+  HierThompsonPolicy policy;
+  ChunkStats stats(8, 4);
+  AvailabilityIndex avail(8, 4);
+  // Exhaust all of group 0: the group stage must skip it outright.
+  for (int32_t j = 0; j < 4; ++j) {
+    for (int i = 0; i < 20; ++i) stats.Update(j, 1, 0);
+    avail.Clear(j);
+  }
+  avail.Clear(5);
+  Rng rng(22);
+  for (int i = 0; i < 2000; ++i) {
+    const video::ChunkId pick = policy.Pick(stats, avail, &rng);
+    EXPECT_GE(pick, 4);
+    EXPECT_NE(pick, 5);
+  }
+}
+
+TEST(HierThompsonPolicyTest, ColdStartCoversAllChunks) {
+  HierThompsonPolicy policy;
+  ChunkStats stats(12, 4);
+  AvailabilityIndex avail(12, 4);
+  auto f = PickFractions(&policy, stats, avail, 60000, 23);
+  for (int32_t j = 0; j < 12; ++j) {
+    EXPECT_GT(f[j], 0.02) << "chunk " << j << " starved at cold start";
+  }
+}
+
+TEST(HierThompsonPolicyTest, BatchedPicksAreIndependentPosteriorDraws) {
+  // The single-pass batch is not stream-identical to sequential picks, but
+  // it must be distributionally identical: per-chunk frequencies over many
+  // batched draws match the sequential frequencies.
+  ChunkStats stats(8, 4);
+  AvailabilityIndex avail(8, 4);
+  for (int32_t j = 0; j < 8; ++j) {
+    for (int i = 0; i < 10 + 3 * j; ++i) stats.Update(j, i % (j + 2) == 0, 0);
+  }
+  HierThompsonPolicy batch_policy;
+  HierThompsonPolicy seq_policy;
+  std::map<video::ChunkId, double> batched;
+  Rng rng_batch(24);
+  constexpr int kRounds = 400;
+  constexpr int32_t kBatch = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    for (video::ChunkId j :
+         batch_policy.PickBatch(stats, avail, kBatch, &rng_batch)) {
+      batched[j] += 1.0 / (kRounds * kBatch);
+    }
+  }
+  auto sequential = PickFractions(&seq_policy, stats, avail, 20000, 25);
+  for (int32_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(batched[j], sequential[j], 0.02) << "chunk " << j;
+  }
+}
+
+TEST(HierThompsonPolicyTest, BatchRespectsAvailability) {
+  ChunkStats stats(16, 4);
+  AvailabilityIndex avail(16, 4);
+  for (int32_t j = 0; j < 4; ++j) avail.Clear(j);  // group 0 gone
+  avail.Clear(9);
+  HierThompsonPolicy policy;
+  Rng rng(26);
+  for (video::ChunkId j : policy.PickBatch(stats, avail, 256, &rng)) {
+    EXPECT_GE(j, 4);
+    EXPECT_NE(j, 9);
+  }
+}
+
+TEST(HierBayesUcbPolicyTest, FavorsProductiveGroupAndChunk) {
+  HierBayesUcbPolicy policy;
+  ChunkStats stats(8, 4);
+  AvailabilityIndex avail(8, 4);
+  for (int i = 0; i < 40; ++i) {
+    for (int32_t j = 0; j < 8; ++j) {
+      stats.Update(j, j == 6 && i % 2 == 0 ? 1 : 0, 0);
+    }
+  }
+  Rng rng(27);
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (policy.Pick(stats, avail, &rng) == 6) ++hits;
+  }
+  EXPECT_GT(hits, 990);
+}
+
+TEST(HierBayesUcbPolicyTest, ColdStartTieBreaksUniformly) {
+  HierBayesUcbPolicy policy;
+  ChunkStats stats(8, 4);
+  AvailabilityIndex avail(8, 4);
+  auto f = PickFractions(&policy, stats, avail, 40000, 28);
+  for (int32_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(f[j], 1.0 / 8.0, 0.02) << "chunk " << j;
+  }
+}
+
+TEST(HierPolicyTest, MatchesFlatWhenSingleGroup) {
+  // With every chunk in one group the group stage has a single candidate,
+  // so hierarchical Thompson must rank chunks exactly like flat Thompson
+  // (after its one extra group draw).
+  ChunkStats stats(6, 64);
+  AvailabilityIndex avail(6, 64);
+  ASSERT_EQ(avail.num_groups(), 1);
+  for (int32_t j = 0; j < 6; ++j) {
+    for (int i = 0; i < 5 * (j + 1); ++i) stats.Update(j, i % 3 == 0, 0);
+  }
+  HierThompsonPolicy hier;
+  ThompsonPolicy flat;
+  Rng rng_hier(29);
+  Rng rng_flat_check(29);
+  for (int i = 0; i < 300; ++i) {
+    // Consume the group-stage draw from a cloned stream, then the flat
+    // stage must follow the identical chunk draws.
+    GammaBelief belief;
+    belief.Sample(stats.GroupClampedN1(0), stats.GroupN(0), &rng_flat_check);
+    EXPECT_EQ(hier.Pick(stats, avail, &rng_hier),
+              flat.Pick(stats, avail, &rng_flat_check));
+  }
 }
 
 }  // namespace

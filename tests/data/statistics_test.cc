@@ -10,7 +10,7 @@ namespace {
 Dataset TinyDataset(std::vector<ObjectInstance> instances) {
   auto repo =
       video::VideoRepository::Create({video::VideoMeta{"v", 1000}}).value();
-  auto chunks = video::MakeUniformChunks(1000, 4);
+  auto chunks = video::MakeUniformChunks(1000, 4).value();
   GroundTruthIndex gt(std::move(instances), 1000);
   return Dataset{"tiny", std::move(repo), std::move(chunks), std::move(gt),
                  {}};

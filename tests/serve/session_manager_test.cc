@@ -347,6 +347,107 @@ TEST(SessionManagerTest, DeterminismMatrixPinsScheduling) {
   }
 }
 
+TEST(SessionManagerTest, WarmStartComposesWithHierPolicies) {
+  // Cross-query warm start seeds (N1, n) priors through
+  // ChunkStats::SeedPrior, which also maintains the group aggregates the
+  // hierarchical policies score — so warm-started hier sessions must run
+  // and reproduce deterministically.
+  data::Dataset ds = SkewedDataset(10);
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  spec.max_samples = 1500;
+
+  auto run_pair = [&ds, &spec]() {
+    StatsCache cache;
+    SessionManager::Options options;
+    options.threads = 1;
+    options.stats_cache = &cache;
+    options.warm_start = true;
+    options.warm_start_weight = 0.5;
+    SessionManager manager(options);
+    exec::QueryJob cold_job = MakeJob(ds, spec);
+    cold_job.config.policy = core::PolicyKind::kHierThompson;
+    cold_job.config.group_size = 4;
+    auto cold = manager.Open(std::move(cold_job), SessionOptions(),
+                             "skewed");
+    EXPECT_TRUE(cold.ok());
+    manager.WaitAllDone();
+    exec::QueryJob warm_job = MakeJob(ds, spec);
+    warm_job.config.policy = core::PolicyKind::kHierThompson;
+    warm_job.config.group_size = 4;
+    auto warm = manager.Open(std::move(warm_job), SessionOptions(),
+                             "skewed");
+    EXPECT_TRUE(warm.ok());
+    manager.WaitAllDone();
+    EXPECT_TRUE(manager.WarmStarted(warm.value()).value());
+    auto poll = manager.Poll(warm.value());
+    EXPECT_TRUE(poll.ok());
+    return std::make_pair(poll.value().frames_processed,
+                          poll.value().total_results);
+  };
+  const auto a = run_pair();
+  const auto b = run_pair();
+  EXPECT_GT(a.second, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SessionManagerTest, DeterminismMatrixPinsHierPolicies) {
+  // The hierarchical policies under the serve scheduler: every (threads,
+  // slice) combination must reproduce the pinned per-session results, so
+  // the group-stage draws are as schedule-independent as the flat ones.
+  data::Dataset ds = SkewedDataset(12);
+  struct Golden {
+    const char* name;
+    core::PolicyKind policy;
+    uint64_t fingerprint;
+  };
+  const Golden kGolden[] = {
+      {"hier_thompson", core::PolicyKind::kHierThompson,
+       0x89dd7f1f2504f178ULL},
+      {"hier_bayes_ucb", core::PolicyKind::kHierBayesUcb,
+       0x16aff72bdfe2b29dULL},
+  };
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  spec.result_limit = 12;
+  spec.max_samples = 1500;
+
+  for (const Golden& g : kGolden) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      for (int64_t slice : {int64_t{1}, int64_t{7}, int64_t{64}}) {
+        SessionManager::Options options;
+        options.threads = threads;
+        options.slice_frames = slice;
+        options.base_seed = 77;
+        SessionManager manager(options);
+        std::vector<int64_t> ids;
+        for (int i = 0; i < 3; ++i) {
+          exec::QueryJob job = MakeJob(ds, spec);
+          job.config.policy = g.policy;
+          job.config.group_size = 4;
+          auto opened = manager.Open(std::move(job));
+          ASSERT_TRUE(opened.ok());
+          ids.push_back(opened.value());
+        }
+        manager.WaitAllDone();
+        uint64_t fp = testing_util::kFnv1aOffsetBasis;
+        for (int64_t id : ids) {
+          auto poll = manager.Poll(id);
+          ASSERT_TRUE(poll.ok());
+          fp = Fnv1a(fp, static_cast<uint64_t>(poll.value().frames_processed));
+          fp = Fnv1a(fp, static_cast<uint64_t>(poll.value().total_results));
+          for (const auto& d : poll.value().new_results) {
+            fp = Fnv1a(fp, static_cast<uint64_t>(d.frame));
+          }
+        }
+        EXPECT_EQ(fp, g.fingerprint)
+            << g.name << " threads " << threads << " slice " << slice
+            << " fingerprint 0x" << std::hex << fp;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace exsample

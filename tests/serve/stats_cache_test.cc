@@ -255,7 +255,7 @@ TEST(StatsCacheTest, PriorsSeedFrameSourceStatistics) {
   // History says chunk 2 (of 4) is where the results are.
   cache.Record("repo", 0, MakeStats({{0, 25}, {0, 25}, {20, 25}, {0, 25}}));
 
-  auto chunks = video::MakeUniformChunks(4000, 4);
+  auto chunks = video::MakeUniformChunks(4000, 4).value();
   core::FrameSourceConfig config;
   config.strategy = core::Strategy::kExSample;
   auto priors = cache.Lookup("repo", 0, 1.0);
@@ -294,7 +294,7 @@ TEST(StatsCacheTest, PriorsSeedFrameSourceStatistics) {
 }
 
 TEST(StatsCacheTest, MismatchedPriorSizeIsIgnoredBySource) {
-  auto chunks = video::MakeUniformChunks(1000, 4);
+  auto chunks = video::MakeUniformChunks(1000, 4).value();
   std::vector<core::ChunkPrior> wrong_size(3, core::ChunkPrior{5, 5});
   core::FrameSourceConfig config;
   config.warm_start = &wrong_size;

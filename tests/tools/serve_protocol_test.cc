@@ -1,0 +1,133 @@
+// Protocol-level tests of the exsample_serve NDJSON loop, driven through
+// the real binary (path injected by CMake as EXSAMPLE_SERVE_BIN). The
+// serve protocol's validation promise: unknown "strategy" / "policy"
+// values are rejected with a JSON error response — never a silent
+// fallback to the default policy — and the rejection happens before any
+// dataset is generated, so garbage requests are cheap.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+#ifndef EXSAMPLE_SERVE_BIN
+#error "CMake must define EXSAMPLE_SERVE_BIN (path to the serve binary)"
+#endif
+
+namespace exsample {
+namespace {
+
+/// Pipes `input` lines into exsample_serve and returns one parsed JSON
+/// response per line of output.
+std::vector<Json> RunServe(const std::string& input) {
+  // Tiny scale keeps any dataset generation (valid-open cases) fast.
+  const std::string command = "printf '%s' '" + input + "' | " +
+                              EXSAMPLE_SERVE_BIN +
+                              " --scale 0.02 --threads 1 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[4096];
+  while (pipe != nullptr &&
+         std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    output += buffer;
+  }
+  if (pipe != nullptr) pclose(pipe);
+
+  std::vector<Json> responses;
+  size_t start = 0;
+  while (start < output.size()) {
+    size_t end = output.find('\n', start);
+    if (end == std::string::npos) end = output.size();
+    const std::string line = output.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    auto parsed = Json::Parse(line);
+    EXPECT_TRUE(parsed.ok()) << "unparseable response: " << line;
+    if (parsed.ok()) responses.push_back(std::move(parsed).value());
+  }
+  return responses;
+}
+
+TEST(ServeProtocolTest, RejectsUnknownStrategyWithJsonError) {
+  auto r = RunServe(
+      R"({"cmd":"open","preset":"dashcam","class":"bicycle","limit":1,)"
+      R"("strategy":"montecarlo"})"
+      "\n"
+      R"({"cmd":"quit"})"
+      "\n");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_FALSE(r[0].GetBool("ok", true));
+  EXPECT_NE(r[0].GetString("error", "").find("unknown strategy"),
+            std::string::npos)
+      << r[0].Dump();
+  EXPECT_NE(r[0].GetString("error", "").find("montecarlo"),
+            std::string::npos);
+  EXPECT_TRUE(r[1].GetBool("ok", false));  // quit ack
+}
+
+TEST(ServeProtocolTest, RejectsUnknownPolicyWithJsonError) {
+  auto r = RunServe(
+      R"({"cmd":"open","preset":"dashcam","class":"bicycle","limit":1,)"
+      R"("policy":"epsilon_greedy"})"
+      "\n"
+      R"({"cmd":"quit"})"
+      "\n");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_FALSE(r[0].GetBool("ok", true));
+  EXPECT_NE(r[0].GetString("error", "").find("unknown policy"),
+            std::string::npos)
+      << r[0].Dump();
+  EXPECT_NE(r[0].GetString("error", "").find("epsilon_greedy"),
+            std::string::npos);
+}
+
+TEST(ServeProtocolTest, RejectsBadGroupSize) {
+  auto r = RunServe(
+      R"({"cmd":"open","preset":"dashcam","class":"bicycle","limit":1,)"
+      R"("policy":"hier_thompson","group_size":-3})"
+      "\n"
+      R"({"cmd":"quit"})"
+      "\n");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_FALSE(r[0].GetBool("ok", true));
+  EXPECT_NE(r[0].GetString("error", "").find("group_size"),
+            std::string::npos)
+      << r[0].Dump();
+}
+
+TEST(ServeProtocolTest, AcceptsHierarchicalPolicyAndServesResults) {
+  // A hierarchical-policy session opens and polls through the standard
+  // protocol, proving the policy plumbs through to a session that
+  // actually runs under the scheduler.
+  auto responses = RunServe(
+      R"({"cmd":"open","preset":"dashcam","class":"bicycle","limit":2,)"
+      R"("policy":"hier_thompson","group_size":8})"
+      "\n"
+      R"({"cmd":"poll","session":1})"
+      "\n"
+      R"({"cmd":"quit"})"
+      "\n");
+  ASSERT_GE(responses.size(), 3u);
+  EXPECT_TRUE(responses[0].GetBool("ok", false)) << responses[0].Dump();
+  EXPECT_EQ(responses[0].GetInt("session", -1), 1);
+  EXPECT_TRUE(responses[1].GetBool("ok", false)) << responses[1].Dump();
+  EXPECT_NE(responses[1].GetString("state", ""), "");
+}
+
+TEST(ServeProtocolTest, UnknownCommandStillListsValidOnes) {
+  auto r = RunServe(R"({"cmd":"frobnicate"})"
+                    "\n"
+                    R"({"cmd":"quit"})"
+                    "\n");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_FALSE(r[0].GetBool("ok", true));
+  EXPECT_NE(r[0].GetString("error", "").find("open|poll"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace exsample

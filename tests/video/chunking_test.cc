@@ -1,5 +1,7 @@
 #include "video/chunking.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace exsample {
@@ -16,7 +18,7 @@ VideoRepository MakeRepo(std::vector<int64_t> frame_counts) {
 
 TEST(ChunkingTest, FixedLengthExactDivision) {
   auto repo = MakeRepo({100});
-  auto chunks = MakeFixedLengthChunks(repo, 25);
+  auto chunks = MakeFixedLengthChunks(repo, 25).value();
   EXPECT_EQ(chunks.size(), 4u);
   EXPECT_TRUE(ValidateChunking(chunks, repo.total_frames()).ok());
   for (const auto& c : chunks) EXPECT_EQ(c.frames.size(), 25);
@@ -24,7 +26,7 @@ TEST(ChunkingTest, FixedLengthExactDivision) {
 
 TEST(ChunkingTest, FixedLengthMergesShortTail) {
   auto repo = MakeRepo({110});
-  auto chunks = MakeFixedLengthChunks(repo, 50);
+  auto chunks = MakeFixedLengthChunks(repo, 50).value();
   // 110 = 50 + 60 (tail of 10 < 25 merges into second chunk).
   ASSERT_EQ(chunks.size(), 2u);
   EXPECT_EQ(chunks[0].frames.size(), 50);
@@ -34,7 +36,7 @@ TEST(ChunkingTest, FixedLengthMergesShortTail) {
 
 TEST(ChunkingTest, FixedLengthKeepsLongTail) {
   auto repo = MakeRepo({80});
-  auto chunks = MakeFixedLengthChunks(repo, 50);
+  auto chunks = MakeFixedLengthChunks(repo, 50).value();
   // Tail of 30 >= 25 stays separate.
   ASSERT_EQ(chunks.size(), 2u);
   EXPECT_EQ(chunks[0].frames.size(), 50);
@@ -43,7 +45,7 @@ TEST(ChunkingTest, FixedLengthKeepsLongTail) {
 
 TEST(ChunkingTest, ChunksNeverSpanVideos) {
   auto repo = MakeRepo({30, 30});
-  auto chunks = MakeFixedLengthChunks(repo, 40);
+  auto chunks = MakeFixedLengthChunks(repo, 40).value();
   // Each 30-frame video is shorter than the chunk size; one chunk per video.
   ASSERT_EQ(chunks.size(), 2u);
   EXPECT_EQ(chunks[0].frames.ranges()[0].hi, 30);
@@ -53,7 +55,7 @@ TEST(ChunkingTest, ChunksNeverSpanVideos) {
 
 TEST(ChunkingTest, PerFile) {
   auto repo = MakeRepo({10, 20, 30});
-  auto chunks = MakePerFileChunks(repo);
+  auto chunks = MakePerFileChunks(repo).value();
   ASSERT_EQ(chunks.size(), 3u);
   EXPECT_EQ(chunks[0].frames.size(), 10);
   EXPECT_EQ(chunks[1].frames.size(), 20);
@@ -62,7 +64,7 @@ TEST(ChunkingTest, PerFile) {
 }
 
 TEST(ChunkingTest, UniformChunksCoverAndBalance) {
-  auto chunks = MakeUniformChunks(1003, 7);
+  auto chunks = MakeUniformChunks(1003, 7).value();
   EXPECT_EQ(chunks.size(), 7u);
   EXPECT_TRUE(ValidateChunking(chunks, 1003).ok());
   for (const auto& c : chunks) {
@@ -72,13 +74,13 @@ TEST(ChunkingTest, UniformChunksCoverAndBalance) {
 }
 
 TEST(ChunkingTest, UniformSingleChunk) {
-  auto chunks = MakeUniformChunks(50, 1);
+  auto chunks = MakeUniformChunks(50, 1).value();
   ASSERT_EQ(chunks.size(), 1u);
   EXPECT_EQ(chunks[0].frames.size(), 50);
 }
 
 TEST(ChunkLookupTest, FindsContainingChunk) {
-  auto chunks = MakeUniformChunks(100, 4);  // 25 frames each
+  auto chunks = MakeUniformChunks(100, 4).value();  // 25 frames each
   ChunkLookup lookup(chunks);
   EXPECT_EQ(lookup.Find(0), 0);
   EXPECT_EQ(lookup.Find(24), 0);
@@ -127,6 +129,48 @@ TEST(SuggestChunkFramesTest, TinyRepository) {
   EXPECT_GE(SuggestChunkFrames(10, 30.0), 1);
   auto chunk = SuggestChunkFrames(10, 30.0);
   EXPECT_LE(chunk, 10);
+}
+
+// ------------------------------------------------------------------
+// Chunk-count overflow guard: ChunkId is 32-bit, so a chunking finer than
+// ~2.1 billion chunks must fail with a Status instead of silently
+// truncating ids (and must fail *before* materializing billions of
+// chunks).
+
+TEST(ChunkCountGuardTest, CheckChunkCountBoundary) {
+  EXPECT_TRUE(CheckChunkCount(0).ok());
+  EXPECT_TRUE(
+      CheckChunkCount(std::numeric_limits<ChunkId>::max()).ok());
+  EXPECT_FALSE(CheckChunkCount(int64_t{1} << 31).ok());
+  Status overflow =
+      CheckChunkCount(int64_t{std::numeric_limits<ChunkId>::max()} + 1);
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ChunkCountGuardTest, FixedLengthRejectsOverflowWithoutMaterializing) {
+  // A single 2^33-frame "video" chunked per frame would need 2^33 chunk
+  // ids. The count is computed arithmetically, so this returns immediately
+  // instead of allocating.
+  auto repo = MakeRepo({int64_t{1} << 33});
+  auto chunks = MakeFixedLengthChunks(repo, 1);
+  ASSERT_FALSE(chunks.ok());
+  EXPECT_EQ(chunks.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ChunkCountGuardTest, FixedLengthRejectsNonPositiveChunkFrames) {
+  auto repo = MakeRepo({100});
+  EXPECT_FALSE(MakeFixedLengthChunks(repo, 0).ok());
+  EXPECT_FALSE(MakeFixedLengthChunks(repo, -5).ok());
+}
+
+TEST(ChunkCountGuardTest, UniformRejectsBadCounts) {
+  EXPECT_FALSE(MakeUniformChunks(100, 0).ok());
+  EXPECT_FALSE(MakeUniformChunks(100, -1).ok());
+  EXPECT_FALSE(MakeUniformChunks(100, 101).ok());
+  EXPECT_FALSE(
+      MakeUniformChunks(int64_t{1} << 40, int64_t{1} << 33).ok());
+  EXPECT_TRUE(MakeUniformChunks(100, 100).ok());
 }
 
 TEST(ChunkingValidateTest, DetectsGap) {

@@ -66,6 +66,8 @@ int Main(int argc, char** argv) {
   const bool cost_aware = flags.GetBool("cost-aware");
   const int64_t gop_run = flags.GetInt("gop-run", 1);
   const std::string strategy_name = flags.GetString("strategy", "exsample");
+  const std::string policy_name = flags.GetString("policy", "");
+  const int64_t group_size = flags.GetInt("group-size", 0);
   const std::string out_path = flags.GetString("out", "");
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const bool use_tracker = flags.GetBool("tracker");
@@ -102,6 +104,11 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "error: --gop-run must be in [1, 2^31)\n");
     return 2;
   }
+  if (group_size < 0 || group_size > std::numeric_limits<int32_t>::max()) {
+    std::fprintf(stderr,
+                 "error: --group-size must be in [0, 2^31) (0 = auto)\n");
+    return 2;
+  }
   if (scale <= 0.0 || scale > 1.0) {
     std::fprintf(stderr, "error: --scale must be in (0, 1]\n");
     return 2;
@@ -133,6 +140,9 @@ int Main(int argc, char** argv) {
                  "--budget-seconds)]\n"
                  "       [--strategy exsample|random|randomplus|sequential]"
                  " [--cost-aware] [--gop-run B]\n"
+                 "       [--policy thompson|bayes_ucb|greedy|uniform|"
+                 "hier_thompson|hier_bayes_ucb]\n"
+                 "       [--group-size G  (hier_* group fan-out; 0 = auto)]\n"
                  "       [--out results.csv] [--tracker] [--seed N]\n"
                  "       [--trials N] [--threads T  (0 = all cores)] "
                  "[--json]\n"
@@ -159,8 +169,17 @@ int Main(int argc, char** argv) {
                  strategy_name.c_str());
     return 1;
   }
+  if (!policy_name.empty() &&
+      !core::ParsePolicyName(policy_name, &config.policy)) {
+    std::fprintf(stderr,
+                 "error: unknown policy '%s' (thompson|bayes_ucb|greedy|"
+                 "uniform|hier_thompson|hier_bayes_ucb)\n",
+                 policy_name.c_str());
+    return 1;
+  }
   config.cost_aware = cost_aware;
   config.gop_run_frames = static_cast<int32_t>(gop_run);
+  config.group_size = static_cast<int32_t>(group_size);
 
   // --- run: every trial is one scheduled job; job seeds derive from trial
   // ids so any thread count reproduces the same results.
@@ -233,6 +252,8 @@ int Main(int argc, char** argv) {
     query_obj.Set("class", cls->name)
         .Set("class_id", static_cast<int64_t>(cls->class_id))
         .Set("strategy", strategy_name)
+        .Set("policy", core::PolicyKindName(config.policy))
+        .Set("group_size", group_size)
         .Set("cost_aware", cost_aware)
         .Set("gop_run", gop_run)
         .Set("limit", limit)

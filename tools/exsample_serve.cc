@@ -9,7 +9,10 @@
 //   {"cmd":"open","preset":"dashcam","class":"bicycle","limit":20}
 //     -> {"ok":true,"session":1,"warm_started":false}
 //     optional keys: "scale" (default --scale), "strategy"
-//     (exsample|random|randomplus|sequential), "max_samples",
+//     (exsample|random|randomplus|sequential), "policy" (thompson|
+//     bayes_ucb|greedy|uniform|hier_thompson|hier_bayes_ucb; hier_* scale
+//     to huge chunk counts), "group_size" (hier_* group fan-out, 0 = auto),
+//     "max_samples",
 //     "budget_seconds" (modeled GPU seconds; "cost_budget_seconds" is an
 //     equivalent alias), "deadline_seconds" (wall), "tracker" (IoU
 //     discriminator instead of the oracle), "cost_aware" (score chunks by
@@ -94,18 +97,32 @@ Json HandleOpen(const Json& cmd, DatasetPool* datasets,
   const double scale = cmd.GetDouble("scale", default_scale);
   if (scale <= 0.0 || scale > 1.0) return Error("scale must be in (0, 1]");
 
+  // Validate the protocol fields before paying for dataset generation:
+  // unknown strategy/policy values are protocol errors, never silent
+  // fallbacks to the default.
+  exec::QueryJob job;
+  const std::string strategy = cmd.GetString("strategy", "exsample");
+  if (!core::ApplyStrategyName(strategy, &job.config)) {
+    return Error("unknown strategy: " + strategy);
+  }
+  const std::string policy = cmd.GetString("policy", "");
+  if (!policy.empty() &&
+      !core::ParsePolicyName(policy, &job.config.policy)) {
+    return Error("unknown policy: " + policy);
+  }
+  const int64_t group_size = cmd.GetInt("group_size", 0);
+  if (group_size < 0 || group_size > std::numeric_limits<int32_t>::max()) {
+    return Error("group_size must be in [0, 2^31) (0 = auto)");
+  }
+  job.config.group_size = static_cast<int32_t>(group_size);
+
   const data::Dataset* dataset = datasets->Get(preset, scale);
   if (dataset == nullptr) return Error("unknown preset: " + preset);
   const data::ClassSpec* cls = dataset->FindClass(class_name);
   if (cls == nullptr) return Error("class '" + class_name + "' not in " + preset);
 
-  exec::QueryJob job;
   job.repo = &dataset->repo;
   job.chunks = &dataset->chunks;
-  const std::string strategy = cmd.GetString("strategy", "exsample");
-  if (!core::ApplyStrategyName(strategy, &job.config)) {
-    return Error("unknown strategy: " + strategy);
-  }
   job.spec.class_id = cls->class_id;
   const int64_t limit = cmd.GetInt("limit", 0);
   if (limit < 0 || (cmd.Has("limit") && limit == 0)) {
