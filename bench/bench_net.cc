@@ -1,0 +1,332 @@
+// Network-serving load generator: drives net::Server end to end through
+// real TCP connections with net::Client. Sweeps connections × sessions and
+// measures what a network deployment cares about — time-to-first-result
+// under concurrent load and protocol requests/sec through one event loop —
+// demonstrating that many network tenants amortize one SessionManager.
+//
+// The server runs in process (event loop on its own thread, sessions on
+// the manager's pool); each simulated client is a thread with one blocking
+// net::Client connection multiplexing `--sessions-per-conn` sessions.
+//
+// Emits BENCH_net.json:
+//   sweep[]                 per connection-count row: aggregate_seconds,
+//                           ttfr_p50/p95_seconds (per-session time from
+//                           open to the first poll carrying a result),
+//                           requests, requests_per_second,
+//                           sessions_per_second
+//   requests_per_second_1 / _max, speedup_max_vs_1_connections
+//                           protocol throughput at 1 connection vs the
+//                           largest sweep point (the concurrency payoff;
+//                           like every wall-clock bench here, the ratio
+//                           only exceeds ~1x on multi-core hosts)
+//
+// Flags: --connections-max (32), --sessions-per-conn (4), --limit (10),
+//        --preset (dashcam), --scale (0.05), --slice-frames (256),
+//        --seed (23), --out (BENCH_net.json), --smoke (tiny sweep for CI).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/protocol_handler.h"
+#include "serve/session_manager.h"
+#include "serve/stats_cache.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace exsample {
+namespace {
+
+constexpr char kHost[] = "127.0.0.1";
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ClientOutcome {
+  int64_t requests = 0;
+  std::vector<double> ttfr_seconds;  // one per session
+  bool ok = true;
+};
+
+struct LoadConfig {
+  uint16_t port = 0;
+  int64_t sessions = 0;
+  int64_t limit = 0;
+  std::string preset;
+  double scale = 0.0;
+};
+
+/// One simulated tenant: open `sessions` sessions on a single connection,
+/// poll them round-robin to completion, record per-session TTFR.
+ClientOutcome RunClient(const LoadConfig& config) {
+  ClientOutcome outcome;
+  auto connected = net::Client::Connect(kHost, config.port, 60.0);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.status().ToString().c_str());
+    outcome.ok = false;
+    return outcome;
+  }
+  net::Client client = std::move(connected).value();
+
+  auto exchange = [&client, &outcome](const Json& request) {
+    ++outcome.requests;
+    auto response = client.Call(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "request failed: %s\n",
+                   response.status().ToString().c_str());
+      outcome.ok = false;
+      return Json();
+    }
+    return std::move(response).value();
+  };
+
+  struct Live {
+    int64_t id = 0;
+    double opened_at = 0.0;
+    double ttfr = -1.0;
+    bool done = false;
+  };
+  std::vector<Live> live;
+  for (int64_t s = 0; s < config.sessions; ++s) {
+    Json open = Json::Object()
+                    .Set("cmd", "open")
+                    .Set("preset", config.preset)
+                    .Set("class", "bicycle")
+                    .Set("scale", config.scale)
+                    .Set("limit", config.limit);
+    Live session;
+    session.opened_at = Now();
+    Json response = exchange(open);
+    if (!outcome.ok || !response.GetBool("ok", false)) {
+      std::fprintf(stderr, "open rejected: %s\n", response.Dump().c_str());
+      outcome.ok = false;
+      return outcome;
+    }
+    session.id = response.GetInt("session", -1);
+    live.push_back(session);
+  }
+
+  size_t remaining = live.size();
+  while (remaining > 0 && outcome.ok) {
+    for (Live& session : live) {
+      if (session.done) continue;
+      Json response = exchange(
+          Json::Object().Set("cmd", "poll").Set("session", session.id));
+      if (!outcome.ok) return outcome;
+      if (session.ttfr < 0 && response.GetInt("total_results", 0) > 0) {
+        session.ttfr = Now() - session.opened_at;
+      }
+      if (response.GetString("state", "") != "running") {
+        session.done = true;
+        --remaining;
+        outcome.ttfr_seconds.push_back(session.ttfr);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  client.SendLine(R"({"cmd":"quit"})");
+  return outcome;
+}
+
+struct SweepRow {
+  int64_t connections = 0;
+  double aggregate_seconds = 0.0;
+  double ttfr_p50 = 0.0;
+  double ttfr_p95 = 0.0;
+  int64_t requests = 0;
+  double requests_per_second = 0.0;
+  double sessions_per_second = 0.0;
+};
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const bool smoke = flags.GetBool("smoke");
+  const int64_t connections_max =
+      flags.GetInt("connections-max", smoke ? 4 : 32);
+  const int64_t sessions_per_conn =
+      flags.GetInt("sessions-per-conn", smoke ? 2 : 4);
+  const int64_t limit = flags.GetInt("limit", smoke ? 2 : 10);
+  const std::string preset = flags.GetString("preset", "dashcam");
+  const double scale = flags.GetDouble("scale", smoke ? 0.02 : 0.05);
+  const int64_t slice_frames = flags.GetInt("slice-frames", 256);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 23));
+  const std::string out_path = flags.GetString("out", "BENCH_net.json");
+  flags.FailOnUnknown();
+  if (connections_max < 1 || sessions_per_conn < 1 || limit < 1 ||
+      scale <= 0.0 || scale > 1.0 || slice_frames < 1) {
+    std::fprintf(stderr,
+                 "error: need --connections-max >= 1, --sessions-per-conn "
+                 ">= 1, --limit >= 1, --scale in (0, 1], "
+                 "--slice-frames >= 1\n");
+    return 2;
+  }
+
+  const size_t hw = std::thread::hardware_concurrency() > 0
+                        ? std::thread::hardware_concurrency()
+                        : 1;
+  std::printf("=== net serving: TCP front end, %s @ %.3g, limit %lld, "
+              "%lld sessions/conn (%zu cores) ===\n\n",
+              preset.c_str(), scale, static_cast<long long>(limit),
+              static_cast<long long>(sessions_per_conn), hw);
+
+  serve::StatsCache cache;
+  serve::DatasetPool datasets(seed);
+  // One manager for the whole sweep: datasets stay warm, so every sweep
+  // point measures transport + scheduling, not dataset generation.
+  serve::SessionManager::Options manager_options;
+  manager_options.threads = hw;
+  manager_options.slice_frames = slice_frames;
+  manager_options.max_live_sessions = static_cast<size_t>(
+      connections_max * sessions_per_conn + 1);
+  manager_options.base_seed = seed;
+  serve::SessionManager manager(manager_options);
+
+  net::ServerOptions server_options;
+  server_options.host = kHost;
+  server_options.port = 0;
+  server_options.max_connections = static_cast<int>(connections_max + 8);
+  auto created =
+      net::Server::Create(server_options, [&manager, &cache, &datasets] {
+        serve::ProtocolHandler::Options handler_options;
+        handler_options.close_sessions_on_destroy = true;
+        return std::make_unique<serve::ProtocolHandler>(
+            &manager, &cache, &datasets, handler_options);
+      });
+  if (!created.ok()) {
+    std::fprintf(stderr, "error: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  net::Server* server = created.value().get();
+  std::thread loop([server] { server->Serve(); });
+
+  // Generate the dataset once up front (through the protocol) so the first
+  // sweep point is not charged for it.
+  {
+    LoadConfig warmup{server->port(), 1, 1, preset, scale};
+    RunClient(warmup);
+  }
+
+  std::vector<int64_t> sweep_counts{1};
+  if (connections_max > 8) sweep_counts.push_back(8);
+  if (connections_max > 1) sweep_counts.push_back(connections_max);
+
+  Table table({"connections", "sessions", "aggregate", "ttfr p50",
+               "ttfr p95", "req/s", "sessions/s"});
+  std::vector<SweepRow> rows;
+  for (int64_t connections : sweep_counts) {
+    const LoadConfig config{server->port(), sessions_per_conn, limit, preset,
+                            scale};
+    std::vector<ClientOutcome> outcomes(static_cast<size_t>(connections));
+    std::vector<std::thread> clients;
+    const double start = Now();
+    for (int64_t c = 0; c < connections; ++c) {
+      clients.emplace_back([&config, &outcomes, c] {
+        outcomes[static_cast<size_t>(c)] = RunClient(config);
+      });
+    }
+    for (auto& thread : clients) thread.join();
+    const double aggregate = Now() - start;
+
+    SweepRow row;
+    row.connections = connections;
+    row.aggregate_seconds = aggregate;
+    std::vector<double> ttfr;
+    for (const auto& outcome : outcomes) {
+      if (!outcome.ok) {
+        std::fprintf(stderr, "error: a client failed; aborting\n");
+        server->RequestStop();
+        loop.join();
+        return 1;
+      }
+      row.requests += outcome.requests;
+      for (double t : outcome.ttfr_seconds) {
+        if (t >= 0) ttfr.push_back(t);
+      }
+    }
+    if (!ttfr.empty()) {
+      row.ttfr_p50 = Percentile(ttfr, 0.5);
+      row.ttfr_p95 = Percentile(ttfr, 0.95);
+    }
+    row.requests_per_second =
+        aggregate > 0 ? static_cast<double>(row.requests) / aggregate : 0.0;
+    row.sessions_per_second =
+        aggregate > 0
+            ? static_cast<double>(connections * sessions_per_conn) / aggregate
+            : 0.0;
+    rows.push_back(row);
+    table.AddRow({Table::Int(connections),
+                  Table::Int(connections * sessions_per_conn),
+                  Table::Num(aggregate, 4), Table::Num(row.ttfr_p50, 4),
+                  Table::Num(row.ttfr_p95, 4),
+                  Table::Num(row.requests_per_second, 1),
+                  Table::Num(row.sessions_per_second, 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  server->RequestStop();
+  loop.join();
+
+  const SweepRow& first = rows.front();
+  const SweepRow& last = rows.back();
+  const double speedup = first.sessions_per_second > 0
+                             ? last.sessions_per_second /
+                                   first.sessions_per_second
+                             : 0.0;
+  std::printf("session throughput at %lld connections vs 1: %s%s\n",
+              static_cast<long long>(last.connections),
+              Table::Ratio(speedup).c_str(),
+              hw < 2 ? " (1-core host: scaling shows on multi-core)" : "");
+
+  Json doc = Json::Object();
+  doc.Set("bench", "net")
+      .Set("preset", preset)
+      .Set("scale", scale)
+      .Set("limit_k", limit)
+      .Set("sessions_per_connection", sessions_per_conn)
+      .Set("slice_frames", slice_frames)
+      .Set("hardware_threads", static_cast<int64_t>(hw))
+      .Set("smoke", smoke);
+  Json sweep = Json::Array();
+  for (const SweepRow& row : rows) {
+    sweep.Append(Json::Object()
+                     .Set("connections", row.connections)
+                     .Set("sessions", row.connections * sessions_per_conn)
+                     .Set("aggregate_seconds", row.aggregate_seconds)
+                     .Set("ttfr_p50_seconds", row.ttfr_p50)
+                     .Set("ttfr_p95_seconds", row.ttfr_p95)
+                     .Set("requests", row.requests)
+                     .Set("requests_per_second", row.requests_per_second)
+                     .Set("sessions_per_second", row.sessions_per_second));
+  }
+  doc.Set("sweep", std::move(sweep))
+      .Set("requests_per_second_1", first.requests_per_second)
+      .Set("requests_per_second_max", last.requests_per_second)
+      .Set("speedup_max_vs_1_connections", speedup);
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << doc.Dump() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::Main(argc, argv); }

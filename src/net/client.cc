@@ -1,0 +1,125 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace exsample {
+namespace net {
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    in_ = std::move(other.in_);
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::ShutdownWrite() {
+  if (fd_ >= 0) shutdown(fd_, SHUT_WR);
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               double timeout_seconds,
+                               size_t max_response_bytes) {
+  Client client;
+  client.in_ = LineBuffer(max_response_bytes);
+  client.fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (client.fd_ < 0) {
+    return Status::InvalidArgument(std::string("socket: ") + strerror(errno));
+  }
+  if (timeout_seconds > 0.0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    setsockopt(client.fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(client.fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  const int one = 1;
+  setsockopt(client.fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  if (connect(client.fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::InvalidArgument("connect " + host + ":" +
+                                   std::to_string(port) + ": " +
+                                   strerror(errno));
+  }
+  return client;
+}
+
+Status Client::SendLine(const std::string& line) {
+  return SendRaw(line + "\n");
+}
+
+Status Client::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::InvalidArgument(std::string("send: ") + strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> Client::ReadLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  std::string line;
+  while (true) {
+    switch (in_.Pop(&line)) {
+      case LineBuffer::Next::kLine:
+        return line;
+      case LineBuffer::Next::kOverflow:
+        return Status::InvalidArgument("response line too long");
+      case LineBuffer::Next::kNeedMore:
+        break;
+    }
+    char buffer[64 * 1024];
+    const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
+    if (n == 0) return Status::NotFound("connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::InvalidArgument("read timed out");
+      }
+      return Status::InvalidArgument(std::string("recv: ") + strerror(errno));
+    }
+    in_.Append(buffer, static_cast<size_t>(n));
+  }
+}
+
+Result<Json> Client::Call(const Json& request) {
+  Status sent = SendLine(request.Dump());
+  if (!sent.ok()) return sent;
+  auto line = ReadLine();
+  if (!line.ok()) return line.status();
+  return Json::Parse(line.value());
+}
+
+}  // namespace net
+}  // namespace exsample

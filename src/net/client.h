@@ -1,0 +1,70 @@
+// net::Client: a small blocking NDJSON client for the serve protocol.
+//
+// The counterpart of net::Server for tests and load generators: connect,
+// send one JSON request per line, read one JSON response per line. All
+// calls block (with an I/O timeout set at Connect); one Client is one
+// connection and is not thread-safe — use one per client thread.
+
+#ifndef EXSAMPLE_NET_CLIENT_H_
+#define EXSAMPLE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "net/line_buffer.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace exsample {
+namespace net {
+
+class Client {
+ public:
+  /// Connects to host:port (IPv4 dotted-quad). `timeout_seconds` bounds
+  /// every subsequent send/receive (0 = block forever).
+  /// `max_response_bytes` bounds one response line — a poll of a session
+  /// with tens of thousands of accumulated results can legitimately
+  /// exceed a small cap, so the default is generous.
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                double timeout_seconds = 10.0,
+                                size_t max_response_bytes = 64 << 20);
+
+  Client() = default;
+  ~Client() { Close(); }
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Half-closes the write side (TCP FIN) while leaving reads open — the
+  /// `printf requests | nc` pattern: send everything, then drain the
+  /// responses until EOF.
+  void ShutdownWrite();
+
+  /// Writes `line` plus a trailing '\n'.
+  Status SendLine(const std::string& line);
+
+  /// Writes raw bytes with no framing added — lets tests and load
+  /// generators exercise the server against fragmented or torn writes.
+  Status SendRaw(const std::string& bytes);
+
+  /// Blocks for the next '\n'-terminated line (returned without the '\n').
+  /// NotFound signals orderly EOF — the server closed the connection.
+  Result<std::string> ReadLine();
+
+  /// SendLine(request.Dump()) + ReadLine() + parse: one protocol exchange.
+  Result<Json> Call(const Json& request);
+
+ private:
+  int fd_ = -1;
+  LineBuffer in_{64 << 20};
+};
+
+}  // namespace net
+}  // namespace exsample
+
+#endif  // EXSAMPLE_NET_CLIENT_H_

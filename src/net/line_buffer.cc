@@ -1,0 +1,50 @@
+#include "net/line_buffer.h"
+
+namespace exsample {
+namespace net {
+
+void LineBuffer::Append(const char* data, size_t n) {
+  if (overflowed_) return;
+  // Reclaim the consumed prefix before growing, so a long-lived connection
+  // streaming many small lines does not accrete an unbounded buffer.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+LineBuffer::Next LineBuffer::TakeRemainder(std::string* line) {
+  if (overflowed_) return Next::kOverflow;
+  if (buffered() == 0) return Next::kNeedMore;
+  if (buffered() > max_line_bytes_) {
+    overflowed_ = true;
+    return Next::kOverflow;
+  }
+  line->assign(buffer_, consumed_, buffer_.size() - consumed_);
+  buffer_.clear();
+  consumed_ = 0;
+  return Next::kLine;
+}
+
+LineBuffer::Next LineBuffer::Pop(std::string* line) {
+  if (overflowed_) return Next::kOverflow;
+  const size_t nl = buffer_.find('\n', consumed_);
+  if (nl == std::string::npos) {
+    if (buffered() > max_line_bytes_) {
+      overflowed_ = true;
+      return Next::kOverflow;
+    }
+    return Next::kNeedMore;
+  }
+  if (nl - consumed_ > max_line_bytes_) {
+    overflowed_ = true;
+    return Next::kOverflow;
+  }
+  line->assign(buffer_, consumed_, nl - consumed_);
+  consumed_ = nl + 1;
+  return Next::kLine;
+}
+
+}  // namespace net
+}  // namespace exsample

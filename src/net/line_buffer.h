@@ -1,0 +1,59 @@
+// LineBuffer: incremental newline framing for a byte stream.
+//
+// A TCP read returns whatever bytes are in flight — half a line, three
+// lines and a half, one byte. The buffer accumulates reads and hands back
+// complete '\n'-terminated lines one at a time, enforcing a maximum line
+// length so a peer that never sends a newline cannot grow the buffer
+// without bound. Trailing '\r' is NOT stripped here: CR handling is a
+// protocol concern and lives in serve::ProtocolHandler, shared with the
+// stdin transport.
+
+#ifndef EXSAMPLE_NET_LINE_BUFFER_H_
+#define EXSAMPLE_NET_LINE_BUFFER_H_
+
+#include <cstddef>
+#include <string>
+
+namespace exsample {
+namespace net {
+
+class LineBuffer {
+ public:
+  /// `max_line_bytes` bounds one line (terminator excluded). Longer input
+  /// trips kOverflow, after which the buffer is poisoned: framing is lost,
+  /// so the connection must be torn down rather than resynchronized.
+  explicit LineBuffer(size_t max_line_bytes) : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends raw bytes from the transport. No-op once overflowed.
+  void Append(const char* data, size_t n);
+
+  enum class Next {
+    kLine,      ///< *line holds the next complete line (no '\n')
+    kNeedMore,  ///< no complete line buffered yet
+    kOverflow,  ///< line-length limit exceeded (sticky)
+  };
+
+  /// Pops the next complete line. Call until it stops returning kLine.
+  Next Pop(std::string* line);
+
+  /// Drains whatever is buffered as one final, unterminated line — what
+  /// std::getline does at EOF. kLine with the remainder, kNeedMore when
+  /// nothing is buffered, kOverflow past the limit. The buffer is left
+  /// empty.
+  Next TakeRemainder(std::string* line);
+
+  /// Bytes buffered and not yet returned as lines.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  size_t max_line_bytes_;  // non-const so LineBuffer stays movable
+  std::string buffer_;
+  size_t consumed_ = 0;  // prefix already handed out as lines
+  bool overflowed_ = false;
+};
+
+}  // namespace net
+}  // namespace exsample
+
+#endif  // EXSAMPLE_NET_LINE_BUFFER_H_

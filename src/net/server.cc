@@ -1,0 +1,411 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "net/line_buffer.h"
+#include "util/json.h"
+
+namespace exsample {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Write-end of the wake pipe of the server that installed signal
+/// handlers. A signal handler may only touch async-signal-safe state, so
+/// the handler just writes one byte here; the event loop interprets any
+/// wake-pipe byte as a stop request.
+std::atomic<int> g_signal_wake_fd{-1};
+
+void OnStopSignal(int sig) {
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 'q';
+    // The pipe is non-blocking; if it is full a wake is already pending.
+    [[maybe_unused]] ssize_t n = write(fd, &byte, 1);
+  }
+  // One graceful stop per signal: re-arm the default disposition so a
+  // second Ctrl-C / SIGTERM terminates immediately instead of being
+  // swallowed while the drain runs (sigaction is async-signal-safe).
+  struct sigaction dfl {};
+  dfl.sa_handler = SIG_DFL;
+  sigemptyset(&dfl.sa_mask);
+  sigaction(sig, &dfl, nullptr);
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::InvalidArgument(std::string("fcntl(O_NONBLOCK): ") +
+                                   strerror(errno));
+  }
+  return Status::Ok();
+}
+
+std::string ErrorLine(const std::string& message) {
+  return Json::Object().Set("ok", false).Set("error", message).Dump() + "\n";
+}
+
+}  // namespace
+
+struct Server::Connection {
+  explicit Connection(size_t max_line_bytes) : in(max_line_bytes) {}
+
+  int fd = -1;
+  LineBuffer in;
+  std::string out;        // pending response bytes
+  size_t out_offset = 0;  // prefix of `out` already written
+  std::unique_ptr<serve::ProtocolHandler> handler;
+  Clock::time_point last_activity;
+  /// Stop reading (quit / overflow / drain); close once `out` flushes.
+  bool closing = false;
+
+  size_t pending_out() const { return out.size() - out_offset; }
+};
+
+Server::Server(ServerOptions options, HandlerFactory factory)
+    : options_(std::move(options)), factory_(std::move(factory)) {}
+
+Server::~Server() {
+  if (installed_signal_handlers_) {
+    // Hand SIGINT/SIGTERM back to the default disposition: once this
+    // server is gone, termination signals must terminate again (e.g.
+    // while the tool saves its stats file after Serve() returns).
+    struct sigaction dfl {};
+    dfl.sa_handler = SIG_DFL;
+    sigemptyset(&dfl.sa_mask);
+    sigaction(SIGINT, &dfl, nullptr);
+    sigaction(SIGTERM, &dfl, nullptr);
+  }
+  if (g_signal_wake_fd.load(std::memory_order_relaxed) == wake_write_fd_) {
+    g_signal_wake_fd.store(-1, std::memory_order_relaxed);
+  }
+  for (size_t i = connections_.size(); i > 0; --i) DestroyConnection(i - 1);
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_read_fd_ >= 0) close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) close(wake_write_fd_);
+  if (reserve_fd_ >= 0) close(reserve_fd_);
+}
+
+Result<std::unique_ptr<Server>> Server::Create(const ServerOptions& options,
+                                               HandlerFactory factory) {
+  if (!factory) {
+    return Status::InvalidArgument("net::Server needs a handler factory");
+  }
+  if (options.max_connections < 1) {
+    return Status::InvalidArgument("max_connections must be >= 1");
+  }
+  if (options.max_line_bytes < 2) {
+    return Status::InvalidArgument("max_line_bytes must be >= 2");
+  }
+  std::unique_ptr<Server> server(
+      new Server(options, std::move(factory)));
+  Status bound = server->Bind();
+  if (!bound.ok()) return bound;
+  return server;
+}
+
+Status Server::Bind() {
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    return Status::InvalidArgument(std::string("pipe: ") + strerror(errno));
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  for (int fd : pipe_fds) {
+    Status status = SetNonBlocking(fd);
+    if (!status.ok()) return status;
+  }
+
+  // Held in reserve so fd exhaustion can still accept-and-drop (see
+  // AcceptNew); harmless if it fails to open.
+  reserve_fd_ = open("/dev/null", O_RDONLY);
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::InvalidArgument(std::string("socket: ") + strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 bind address: " + options_.host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::InvalidArgument("bind " + options_.host + ":" +
+                                   std::to_string(options_.port) + ": " +
+                                   strerror(errno));
+  }
+  if (listen(listen_fd_, 128) != 0) {
+    return Status::InvalidArgument(std::string("listen: ") + strerror(errno));
+  }
+  Status status = SetNonBlocking(listen_fd_);
+  if (!status.ok()) return status;
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Status::InvalidArgument(std::string("getsockname: ") +
+                                   strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::Ok();
+}
+
+void Server::RequestStop() {
+  if (wake_write_fd_ < 0) return;
+  const char byte = 'q';
+  [[maybe_unused]] ssize_t n = write(wake_write_fd_, &byte, 1);
+}
+
+Status Server::InstallSignalHandlers() {
+  int expected = -1;
+  if (!g_signal_wake_fd.compare_exchange_strong(expected, wake_write_fd_,
+                                                std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "another net::Server already installed signal handlers");
+  }
+  struct sigaction action {};
+  action.sa_handler = OnStopSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // interrupt poll() so the stop is prompt
+  if (sigaction(SIGINT, &action, nullptr) != 0 ||
+      sigaction(SIGTERM, &action, nullptr) != 0) {
+    return Status::InvalidArgument(std::string("sigaction: ") +
+                                   strerror(errno));
+  }
+  installed_signal_handlers_ = true;
+  return Status::Ok();
+}
+
+void Server::AcceptNew() {
+  while (true) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EMFILE || errno == ENFILE) {
+        // Fd exhaustion: the queued connection stays pending, and
+        // level-triggered poll would re-report the listen fd forever — a
+        // busy spin that never serves anyone. Burn the reserve fd to
+        // accept-and-drop the connection, then re-arm the reserve.
+        if (reserve_fd_ >= 0) {
+          close(reserve_fd_);
+          reserve_fd_ = -1;
+          const int victim = accept(listen_fd_, nullptr, nullptr);
+          if (victim >= 0) close(victim);
+          reserve_fd_ = open("/dev/null", O_RDONLY);
+          continue;
+        }
+      }
+      return;  // EAGAIN / transient error: try next round
+    }
+    if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+      // Best-effort refusal so the client sees why instead of a bare RST.
+      const std::string refusal = ErrorLine(
+          "server full (" + std::to_string(options_.max_connections) +
+          " connections)");
+      [[maybe_unused]] ssize_t n =
+          send(fd, refusal.data(), refusal.size(), MSG_NOSIGNAL);
+      close(fd);
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(options_.max_line_bytes);
+    conn->fd = fd;
+    conn->handler = factory_();
+    conn->last_activity = Clock::now();
+    connections_.push_back(std::move(conn));
+    active_connections_.store(connections_.size(), std::memory_order_relaxed);
+  }
+}
+
+bool Server::ReadAndHandle(Connection* conn) {
+  char buffer[64 * 1024];
+  const ssize_t n = recv(conn->fd, buffer, sizeof(buffer), 0);
+  if (n == 0) {
+    // Orderly half-close. A pipelining client (printf ... | nc) shuts its
+    // write side down and then reads. Two stdin-parity obligations before
+    // we hang up: a final unterminated line is still a request (getline
+    // answers it on the stdin transport, so the socket must too), and
+    // responses still queued must be flushed, exactly like the quit path.
+    if (!conn->closing) {
+      std::string line;
+      if (conn->in.TakeRemainder(&line) == LineBuffer::Next::kLine) {
+        serve::ProtocolHandler::Outcome outcome =
+            conn->handler->HandleLine(line);
+        if (!outcome.response.empty()) {
+          conn->out += outcome.response;
+          conn->out += '\n';
+        }
+      }
+    }
+    conn->closing = true;
+    return FlushWrites(conn);
+  }
+  if (n < 0) {
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  }
+  conn->last_activity = Clock::now();
+  conn->in.Append(buffer, static_cast<size_t>(n));
+
+  std::string line;
+  while (!conn->closing) {
+    const LineBuffer::Next next = conn->in.Pop(&line);
+    if (next == LineBuffer::Next::kNeedMore) break;
+    if (next == LineBuffer::Next::kOverflow) {
+      conn->out += ErrorLine(
+          "line too long (max " + std::to_string(options_.max_line_bytes) +
+          " bytes); closing connection");
+      conn->closing = true;
+      break;
+    }
+    serve::ProtocolHandler::Outcome outcome = conn->handler->HandleLine(line);
+    if (!outcome.response.empty()) {
+      conn->out += outcome.response;
+      conn->out += '\n';
+    }
+    if (outcome.quit) conn->closing = true;
+  }
+  return FlushWrites(conn);
+}
+
+bool Server::FlushWrites(Connection* conn) {
+  while (conn->pending_out() > 0) {
+    const ssize_t n = send(conn->fd, conn->out.data() + conn->out_offset,
+                           conn->pending_out(), MSG_NOSIGNAL);
+    if (n < 0) {
+      return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+    }
+    conn->out_offset += static_cast<size_t>(n);
+    // Outbound progress counts as activity: a client draining a large
+    // response backlog (possibly read-paused by backpressure) is alive,
+    // not idle — it must not be reaped mid-stream.
+    conn->last_activity = Clock::now();
+  }
+  conn->out.clear();
+  conn->out_offset = 0;
+  return !conn->closing;  // fully flushed: a closing connection is done
+}
+
+void Server::DestroyConnection(size_t index) {
+  Connection* conn = connections_[index].get();
+  if (conn->fd >= 0) close(conn->fd);
+  // The handler closes this connection's sessions (freeing their admission
+  // slots) before the Connection goes away.
+  conn->handler.reset();
+  connections_.erase(connections_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+  active_connections_.store(connections_.size(), std::memory_order_relaxed);
+}
+
+Status Server::Serve() {
+  if (listen_fd_ < 0) {
+    return Status::FailedPrecondition("server was not created via Create()");
+  }
+  Clock::time_point drain_deadline{};
+
+  while (true) {
+    std::vector<pollfd> fds;
+    fds.reserve(connections_.size() + 2);
+    fds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
+    // Keep accepting even at capacity: AcceptNew refuses the overflow
+    // connection with a JSON error line instead of leaving it queued.
+    const bool accepting = !draining_;
+    fds.push_back(pollfd{listen_fd_,
+                         static_cast<short>(accepting ? POLLIN : 0), 0});
+    for (const auto& conn : connections_) {
+      short events = 0;
+      const bool paused =
+          conn->pending_out() > options_.max_write_buffer_bytes;
+      if (!conn->closing && !draining_ && !paused) events |= POLLIN;
+      if (conn->pending_out() > 0) events |= POLLOUT;
+      fds.push_back(pollfd{conn->fd, events, 0});
+    }
+
+    // Block indefinitely unless a timer (idle timeout / drain deadline)
+    // needs periodic checks; the wake pipe interrupts either way.
+    const int timeout_ms =
+        (options_.idle_timeout_seconds > 0.0 || draining_) ? 100 : -1;
+    const int ready = poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      return Status::InvalidArgument(std::string("poll: ") + strerror(errno));
+    }
+
+    if (fds[0].revents & POLLIN) {
+      char sink[64];
+      while (read(wake_read_fd_, sink, sizeof(sink)) > 0) {
+      }
+      if (!draining_) {
+        draining_ = true;
+        drain_deadline =
+            Clock::now() + std::chrono::microseconds(static_cast<int64_t>(
+                               options_.drain_timeout_seconds * 1e6));
+      }
+    }
+
+    if (!draining_ && (fds[1].revents & POLLIN)) AcceptNew();
+
+    const Clock::time_point now = Clock::now();
+    // Walk only the connections this round's pollfds cover — AcceptNew may
+    // just have appended new ones with no revents entry — and backwards,
+    // because DestroyConnection erases by index.
+    for (size_t i = fds.size() - 2; i > 0; --i) {
+      const size_t index = i - 1;
+      Connection* conn = connections_[index].get();
+      const short revents = fds[index + 2].revents;
+      bool alive = true;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        // Peer reset/vanished. Any queued responses are undeliverable.
+        alive = false;
+      } else {
+        if (alive && (revents & POLLOUT)) alive = FlushWrites(conn);
+        if (alive && (revents & POLLIN)) alive = ReadAndHandle(conn);
+        if (alive && conn->closing && conn->pending_out() == 0) alive = false;
+        if (alive && options_.idle_timeout_seconds > 0.0 && !draining_ &&
+            now - conn->last_activity >
+                std::chrono::microseconds(static_cast<int64_t>(
+                    options_.idle_timeout_seconds * 1e6))) {
+          alive = false;
+        }
+      }
+      if (!alive) DestroyConnection(index);
+    }
+
+    if (draining_) {
+      bool flush_pending = false;
+      for (const auto& conn : connections_) {
+        if (conn->pending_out() > 0) flush_pending = true;
+      }
+      if (!flush_pending || Clock::now() >= drain_deadline) {
+        for (size_t i = connections_.size(); i > 0; --i) {
+          DestroyConnection(i - 1);
+        }
+        return Status::Ok();
+      }
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace exsample

@@ -1,0 +1,142 @@
+// net::Server: a poll(2)-based TCP front end for the serve protocol.
+//
+// One event-loop thread multiplexes many concurrent client connections.
+// Each connection gets its own serve::ProtocolHandler (so its sessions are
+// private and are closed when it disconnects) while all handlers share one
+// serve::SessionManager — the whole point: many network tenants amortizing
+// one scheduler, one warm-start cache, one dataset pool.
+//
+// Layering: the server owns bytes, framing, and connection lifecycle;
+// request semantics live entirely in the handler. The server's only
+// protocol knowledge is the NDJSON envelope of its two transport-level
+// errors ("server full", "line too long"), kept here so clients always
+// receive well-formed response lines.
+//
+// Transport semantics per connection:
+//   - NDJSON: one request per '\n'-terminated line, one response line per
+//     request, in order. Requests may arrive fragmented or coalesced;
+//     LineBuffer reassembles them.
+//   - line-length limit: a line longer than max_line_bytes gets one error
+//     response and the connection is closed (framing is unrecoverable).
+//   - write backpressure: responses queue in a per-connection buffer;
+//     while the queue exceeds max_write_buffer_bytes the server stops
+//     reading from that connection (requests-in naturally throttle to
+//     responses-out; the buffer cannot grow without new requests).
+//   - idle timeout: connections silent for idle_timeout_seconds are closed.
+//   - "quit" (or EOF) ends only that connection, never the server.
+//
+// Shutdown: RequestStop() — also wired to SIGINT/SIGTERM through
+// InstallSignalHandlers() — makes Serve() stop accepting, stop reading,
+// flush pending response buffers for up to drain_timeout_seconds, close
+// every connection (each handler closes its sessions, freeing admission
+// slots and recording finished stats), and return.
+//
+// The event loop is single-threaded by design: protocol work (including
+// first-touch dataset generation on open) runs on the loop thread, while
+// the actual query work runs on the SessionManager's pool. Handlers and
+// the DatasetPool are therefore used from one thread only.
+
+#ifndef EXSAMPLE_NET_SERVER_H_
+#define EXSAMPLE_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/protocol_handler.h"
+#include "util/status.h"
+
+namespace exsample {
+namespace net {
+
+struct ServerOptions {
+  /// IPv4 address to bind, dotted-quad.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Accepted connections beyond this are refused with a JSON error line.
+  int max_connections = 256;
+  /// Per-request line-length limit (bytes, '\n' excluded).
+  size_t max_line_bytes = 1 << 20;
+  /// Pending-response bytes per connection before reads pause.
+  size_t max_write_buffer_bytes = 4 << 20;
+  /// Close connections with no inbound traffic for this long; 0 = never.
+  double idle_timeout_seconds = 0.0;
+  /// Graceful-shutdown window for flushing pending responses.
+  double drain_timeout_seconds = 5.0;
+};
+
+class Server {
+ public:
+  /// Creates the per-connection protocol handler. Called on the event-loop
+  /// thread, once per accepted connection.
+  using HandlerFactory =
+      std::function<std::unique_ptr<serve::ProtocolHandler>()>;
+
+  /// Binds and listens (so port() is valid immediately), or fails with a
+  /// Status describing the socket error.
+  static Result<std::unique_ptr<Server>> Create(const ServerOptions& options,
+                                                HandlerFactory factory);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves port 0 to the kernel's choice).
+  uint16_t port() const { return port_; }
+
+  /// Runs the event loop on the calling thread until a stop is requested,
+  /// then drains and returns. Call at most once.
+  Status Serve();
+
+  /// Requests a graceful stop. Thread-safe and async-signal-safe (it only
+  /// writes one byte to an internal pipe); returns immediately.
+  void RequestStop();
+
+  /// Routes SIGINT and SIGTERM to RequestStop() on this server. At most
+  /// one server per process may install handlers at a time. The first
+  /// signal triggers a graceful drain and re-arms the default disposition
+  /// (a second signal terminates immediately); the destructor restores
+  /// SIG_DFL for both, so signals behave normally once the server is gone
+  /// and a later server may install handlers again.
+  Status InstallSignalHandlers();
+
+  /// Currently open connections (readable from any thread; tests use it).
+  size_t active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+
+  Server(ServerOptions options, HandlerFactory factory);
+  Status Bind();
+
+  void AcceptNew();
+  /// Reads once; returns false when the connection died.
+  bool ReadAndHandle(Connection* conn);
+  /// Flushes pending output; returns false when the connection died.
+  bool FlushWrites(Connection* conn);
+  void DestroyConnection(size_t index);
+
+  const ServerOptions options_;
+  const HandlerFactory factory_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  /// Spare fd burned to accept-and-drop under EMFILE (see AcceptNew).
+  int reserve_fd_ = -1;
+  bool installed_signal_handlers_ = false;
+  bool draining_ = false;
+  std::atomic<size_t> active_connections_{0};
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace net
+}  // namespace exsample
+
+#endif  // EXSAMPLE_NET_SERVER_H_

@@ -1,0 +1,241 @@
+#include "serve/protocol_handler.h"
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "data/presets.h"
+#include "detect/simulated_detector.h"
+#include "exec/query_job.h"
+#include "track/discriminator.h"
+
+namespace exsample {
+namespace serve {
+namespace {
+
+Json Error(const std::string& message) {
+  return Json::Object().Set("ok", false).Set("error", message);
+}
+
+}  // namespace
+
+const data::Dataset* DatasetPool::Get(const std::string& preset,
+                                      double scale) {
+  const std::string key = preset + "@" + std::to_string(scale);
+  auto it = datasets_.find(key);
+  if (it != datasets_.end()) return it->second.get();
+  bool known = false;
+  for (const std::string& name : data::PresetNames()) {
+    if (name == preset) known = true;
+  }
+  if (!known) return nullptr;
+  auto dataset =
+      std::make_unique<data::Dataset>(data::MakePreset(preset, scale, seed_));
+  return datasets_.emplace(key, std::move(dataset)).first->second.get();
+}
+
+ProtocolHandler::ProtocolHandler(SessionManager* manager, StatsCache* cache,
+                                 DatasetPool* datasets, Options options)
+    : manager_(manager), cache_(cache), datasets_(datasets),
+      options_(options) {}
+
+ProtocolHandler::~ProtocolHandler() {
+  if (options_.close_sessions_on_destroy) CloseAllSessions();
+}
+
+void ProtocolHandler::CloseAllSessions() {
+  for (int64_t id : owned_) manager_->Close(id);  // NotFound is fine
+  owned_.clear();
+}
+
+ProtocolHandler::Outcome ProtocolHandler::HandleLine(const std::string& line) {
+  // CRLF clients send "...}\r"; the CR is transport framing, not JSON.
+  // Copy the line only when there is actually a CR to strip — this runs
+  // once per request on the event-loop thread.
+  const bool has_cr = !line.empty() && line.back() == '\r';
+  if (line.size() <= (has_cr ? 1u : 0u)) return Outcome{};
+  const std::string stripped =
+      has_cr ? line.substr(0, line.size() - 1) : std::string();
+  const std::string& request = has_cr ? stripped : line;
+
+  Outcome outcome;
+  auto parsed = Json::Parse(request);
+  if (!parsed.ok()) {
+    outcome.response = Error(parsed.status().ToString()).Dump();
+    return outcome;
+  }
+  const Json& cmd = parsed.value();
+  if (cmd.GetString("cmd", "") == "quit") {
+    outcome.response = Json::Object().Set("ok", true).Dump();
+    outcome.quit = true;
+    return outcome;
+  }
+  outcome.response = Dispatch(cmd).Dump();
+  return outcome;
+}
+
+Json ProtocolHandler::Dispatch(const Json& cmd) {
+  const std::string name = cmd.GetString("cmd", "");
+  if (name == "open") return HandleOpen(cmd);
+  if (name == "poll") return HandlePoll(cmd);
+  if (name == "cancel" || name == "close") {
+    const int64_t id = cmd.GetInt("session", -1);
+    Json error;
+    if (!CheckOwned(id, &error)) return error;
+    Status status =
+        name == "cancel" ? manager_->Cancel(id) : manager_->Close(id);
+    if (name == "close") owned_.erase(id);
+    return status.ok() ? Json::Object().Set("ok", true).Set("session", id)
+                       : Error(status.ToString());
+  }
+  if (name == "stats") {
+    return Json::Object()
+        .Set("ok", true)
+        .Set("live_sessions", static_cast<int64_t>(manager_->live_sessions()))
+        .Set("open_sessions", static_cast<int64_t>(manager_->open_sessions()))
+        .Set("total_opened", manager_->total_opened())
+        .Set("cache_entries", static_cast<int64_t>(cache_->size()))
+        .Set("cache_queries", cache_->queries_recorded())
+        .Set("warm_start", options_.warm_start);
+  }
+  return Error("unknown cmd: '" + name +
+               "' (open|poll|cancel|close|stats|quit)");
+}
+
+bool ProtocolHandler::CheckOwned(int64_t id, Json* error) const {
+  if (owned_.count(id) > 0) return true;
+  *error = Error("no session " + std::to_string(id));
+  return false;
+}
+
+Json ProtocolHandler::HandleOpen(const Json& cmd) {
+  const std::string preset = cmd.GetString("preset", "");
+  const std::string class_name = cmd.GetString("class", "");
+  if (preset.empty() || class_name.empty()) {
+    return Error("open requires \"preset\" and \"class\"");
+  }
+  const double scale = cmd.GetDouble("scale", options_.default_scale);
+  if (scale <= 0.0 || scale > 1.0) return Error("scale must be in (0, 1]");
+
+  // Validate the protocol fields before paying for dataset generation:
+  // unknown strategy/policy values are protocol errors, never silent
+  // fallbacks to the default.
+  exec::QueryJob job;
+  const std::string strategy = cmd.GetString("strategy", "exsample");
+  if (!core::ApplyStrategyName(strategy, &job.config)) {
+    return Error("unknown strategy: " + strategy);
+  }
+  const std::string policy = cmd.GetString("policy", "");
+  if (!policy.empty() && !core::ParsePolicyName(policy, &job.config.policy)) {
+    return Error("unknown policy: " + policy);
+  }
+  const int64_t group_size = cmd.GetInt("group_size", 0);
+  if (group_size < 0 || group_size > std::numeric_limits<int32_t>::max()) {
+    return Error("group_size must be in [0, 2^31) (0 = auto)");
+  }
+  job.config.group_size = static_cast<int32_t>(group_size);
+
+  const data::Dataset* dataset = datasets_->Get(preset, scale);
+  if (dataset == nullptr) return Error("unknown preset: " + preset);
+  const data::ClassSpec* cls = dataset->FindClass(class_name);
+  if (cls == nullptr) {
+    return Error("class '" + class_name + "' not in " + preset);
+  }
+
+  job.repo = &dataset->repo;
+  job.chunks = &dataset->chunks;
+  job.spec.class_id = cls->class_id;
+  const int64_t limit = cmd.GetInt("limit", 0);
+  if (limit < 0 || (cmd.Has("limit") && limit == 0)) {
+    return Error("limit must be >= 1 (or omitted)");
+  }
+  if (limit > 0) job.spec.result_limit = limit;
+  const int64_t max_samples = cmd.GetInt("max_samples", 0);
+  if (max_samples < 0) return Error("max_samples must be >= 0");
+  job.spec.max_samples = max_samples;
+  if (cmd.Has("budget_seconds") && cmd.Has("cost_budget_seconds")) {
+    return Error("budget_seconds and cost_budget_seconds are aliases; "
+                 "pass only one");
+  }
+  const char* budget_key = cmd.Has("cost_budget_seconds")
+                               ? "cost_budget_seconds"
+                               : "budget_seconds";
+  const double budget = cmd.GetDouble(budget_key, 0.0);
+  if (budget < 0.0 || (cmd.Has(budget_key) && budget == 0.0)) {
+    return Error(std::string(budget_key) + " must be > 0 (or omitted)");
+  }
+  job.spec.max_seconds = budget;
+  job.config.cost_aware = cmd.GetBool("cost_aware", false);
+  const int64_t gop_run = cmd.GetInt("gop_run", 1);
+  if (gop_run < 1 || gop_run > std::numeric_limits<int32_t>::max()) {
+    return Error("gop_run must be in [1, 2^31)");
+  }
+  job.config.gop_run_frames = static_cast<int32_t>(gop_run);
+
+  const detect::ClassId class_id = cls->class_id;
+  job.make_detector = [dataset, class_id](uint64_t seed) {
+    return std::make_unique<detect::SimulatedDetector>(
+        &dataset->ground_truth, class_id, detect::DetectorConfig{}, seed);
+  };
+  const bool tracker = cmd.GetBool("tracker", false);
+  job.make_discriminator =
+      [tracker]() -> std::unique_ptr<track::Discriminator> {
+    if (tracker) return std::make_unique<track::TrackerDiscriminator>();
+    return std::make_unique<track::OracleDiscriminator>();
+  };
+
+  serve::SessionOptions session_options;
+  session_options.deadline_seconds = cmd.GetDouble("deadline_seconds", 0.0);
+  if (session_options.deadline_seconds < 0.0) {
+    return Error("deadline_seconds must be >= 0");
+  }
+
+  // One cache entry per (preset, scale, class); the key survives restarts.
+  const std::string repo_key = preset + "@" + std::to_string(scale);
+  auto opened = manager_->Open(std::move(job), session_options, repo_key);
+  if (!opened.ok()) return Error(opened.status().ToString());
+  owned_.insert(opened.value());
+  // WarmStarted (not Poll): polling here would drain results the scheduler
+  // may already have found, stealing them from the client's first poll.
+  auto warm = manager_->WarmStarted(opened.value());
+  Json response =
+      Json::Object().Set("ok", true).Set("session", opened.value());
+  if (warm.ok()) response.Set("warm_started", warm.value());
+  return response;
+}
+
+Json ProtocolHandler::HandlePoll(const Json& cmd) {
+  const int64_t id = cmd.GetInt("session", -1);
+  Json error;
+  if (!CheckOwned(id, &error)) return error;
+  auto poll = manager_->Poll(id);
+  if (!poll.ok()) return Error(poll.status().ToString());
+  const serve::PollResult& p = poll.value();
+  Json response = Json::Object();
+  response.Set("ok", true)
+      .Set("session", p.session_id)
+      .Set("state", serve::SessionStateName(p.state))
+      .Set("stop_reason", serve::StopReasonName(p.stop_reason));
+  Json results = Json::Array();
+  for (const auto& d : p.new_results) {
+    results.Append(Json::Object()
+                       .Set("frame", d.frame)
+                       .Set("score", d.score)
+                       .Set("x", d.box.x)
+                       .Set("y", d.box.y)
+                       .Set("w", d.box.w)
+                       .Set("h", d.box.h));
+  }
+  response.Set("new_results", std::move(results))
+      .Set("total_results", p.total_results)
+      .Set("frames_processed", p.frames_processed)
+      .Set("cost_seconds", p.cost_seconds)
+      .Set("cost_budget_seconds", p.cost_budget_seconds)
+      .Set("seconds_to_first_result", p.seconds_to_first_result)
+      .Set("wall_seconds", p.wall_seconds)
+      .Set("warm_started", p.warm_started);
+  return response;
+}
+
+}  // namespace serve
+}  // namespace exsample

@@ -1,0 +1,117 @@
+// ProtocolHandler: the exsample_serve NDJSON command protocol, factored out
+// of the tool's stdin loop so every transport (stdin pipe, TCP connection)
+// speaks exactly the same dialect and is tested against the same code.
+//
+// One handler serves one client: it parses one protocol line at a time,
+// dispatches open/poll/cancel/close/stats/quit against a shared
+// serve::SessionManager, and tracks which sessions this client opened so
+// (a) a network peer cannot poll or cancel another connection's sessions
+// and (b) a disconnecting client's sessions can be closed and their
+// admission slots freed. Lines may end in "\r" (CRLF clients — netcat on
+// Windows, most line-oriented network tools); the trailing CR is stripped
+// before parsing, in this one place, for every transport.
+//
+// Thread model: a handler is single-client, single-threaded. Handlers for
+// different connections may share the SessionManager / StatsCache (both
+// internally locked) but must share a DatasetPool only from one thread —
+// which holds for the tool, where the stdin loop and the net::Server event
+// loop each drive all of their handlers from a single thread.
+
+#ifndef EXSAMPLE_SERVE_PROTOCOL_HANDLER_H_
+#define EXSAMPLE_SERVE_PROTOCOL_HANDLER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "data/synthetic.h"
+#include "serve/session_manager.h"
+#include "serve/stats_cache.h"
+#include "util/json.h"
+
+namespace exsample {
+namespace serve {
+
+/// Datasets generated on demand and shared by every session (on any
+/// connection) that names the same (preset, scale); they must outlive their
+/// sessions, so the pool lives for the whole process. Not internally
+/// locked: all handlers sharing a pool must run on one thread.
+class DatasetPool {
+ public:
+  explicit DatasetPool(uint64_t seed) : seed_(seed) {}
+
+  /// Returns the dataset for (preset, scale), generating it on first use,
+  /// or nullptr for an unknown preset name.
+  const data::Dataset* Get(const std::string& preset, double scale);
+
+ private:
+  const uint64_t seed_;
+  std::map<std::string, std::unique_ptr<data::Dataset>> datasets_;
+};
+
+/// One client's view of the serve protocol.
+class ProtocolHandler {
+ public:
+  struct Options {
+    /// Dataset scale used when an open omits "scale".
+    double default_scale = 0.1;
+    /// Echoed by the "stats" command (whether the manager warm-starts).
+    bool warm_start = false;
+    /// Close this handler's surviving sessions on destruction. Network
+    /// connections set this so a disconnect frees admission slots; the
+    /// stdin transport leaves it off to preserve the historical behavior
+    /// that sessions still running at EOF are dropped un-recorded.
+    bool close_sessions_on_destroy = false;
+  };
+
+  /// All pointers are non-owning and must outlive the handler.
+  ProtocolHandler(SessionManager* manager, StatsCache* cache,
+                  DatasetPool* datasets, Options options);
+  ~ProtocolHandler();
+
+  ProtocolHandler(const ProtocolHandler&) = delete;
+  ProtocolHandler& operator=(const ProtocolHandler&) = delete;
+
+  struct Outcome {
+    /// Serialized JSON response, no trailing newline; empty when the line
+    /// produced no response (blank line, or lone "\r").
+    std::string response;
+    /// True after a "quit": the transport should end this client's loop.
+    bool quit = false;
+  };
+
+  /// Handles one protocol line (no trailing '\n'; a trailing '\r' is
+  /// stripped here). Never throws; malformed input yields an error
+  /// response.
+  Outcome HandleLine(const std::string& line);
+
+  /// Closes every session this handler still owns (frees their admission
+  /// slots; partial results become unreachable). Used on disconnect and
+  /// during server drain.
+  void CloseAllSessions();
+
+  /// Sessions opened by this handler and not yet closed.
+  size_t owned_sessions() const { return owned_.size(); }
+
+ private:
+  Json Dispatch(const Json& cmd);
+  Json HandleOpen(const Json& cmd);
+  Json HandlePoll(const Json& cmd);
+  /// Shared poll/cancel/close guard: owned session id or an error. A
+  /// session opened by another handler is reported exactly like one that
+  /// does not exist, so clients cannot probe each other.
+  bool CheckOwned(int64_t id, Json* error) const;
+
+  SessionManager* const manager_;
+  StatsCache* const cache_;
+  DatasetPool* const datasets_;
+  const Options options_;
+  std::set<int64_t> owned_;
+};
+
+}  // namespace serve
+}  // namespace exsample
+
+#endif  // EXSAMPLE_SERVE_PROTOCOL_HANDLER_H_

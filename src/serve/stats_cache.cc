@@ -1,6 +1,7 @@
 #include "serve/stats_cache.h"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -75,23 +76,41 @@ int64_t StatsCache::queries_recorded() const {
 }
 
 Status StatsCache::Save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out.good()) {
-    return Status::InvalidArgument("cannot write stats cache: " + path);
+  // Write-then-rename so the file at `path` is always a complete snapshot:
+  // a crash (or full disk) mid-write leaves at worst a stale .tmp behind,
+  // never a truncated cache that the all-or-nothing Load would discard —
+  // which used to silently cost a serving process its entire warm-start
+  // history. The temp file lives in the same directory so the rename stays
+  // within one filesystem and is atomic.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.good()) {
+      return Status::InvalidArgument("cannot write stats cache: " + tmp);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    out << "exsample-stats-cache v1\n";
+    for (const auto& [key, entry] : entries_) {
+      out << "entry " << key.second << ' ' << entry.queries << ' '
+          << entry.n1.size() << ' ' << key.first << '\n';
+      out << "n1";
+      for (int64_t v : entry.n1) out << ' ' << v;
+      out << "\nn";
+      for (int64_t v : entry.n) out << ' ' << v;
+      out << '\n';
+    }
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::InvalidArgument("write failed: " + tmp);
+    }
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  out << "exsample-stats-cache v1\n";
-  for (const auto& [key, entry] : entries_) {
-    out << "entry " << key.second << ' ' << entry.queries << ' '
-        << entry.n1.size() << ' ' << key.first << '\n';
-    out << "n1";
-    for (int64_t v : entry.n1) out << ' ' << v;
-    out << "\nn";
-    for (int64_t v : entry.n) out << ' ' << v;
-    out << '\n';
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("cannot replace stats cache: " + path);
   }
-  return out.good() ? Status::Ok()
-                    : Status::InvalidArgument("write failed: " + path);
+  return Status::Ok();
 }
 
 Status StatsCache::Load(const std::string& path) {

@@ -4,6 +4,7 @@
 #ifndef EXSAMPLE_VIDEO_REPOSITORY_H_
 #define EXSAMPLE_VIDEO_REPOSITORY_H_
 
+#include <cassert>
 #include <vector>
 
 #include "util/status.h"
@@ -26,18 +27,40 @@ class VideoRepository {
 
   int64_t total_frames() const { return total_frames_; }
   size_t num_videos() const { return videos_.size(); }
-  const VideoMeta& video(VideoIndex i) const { return videos_[i]; }
 
-  /// Global index of the first frame of video i.
-  FrameId VideoStart(VideoIndex i) const { return starts_[i]; }
+  // Indexed accessors assert their preconditions in debug builds: a
+  // VideoIndex that reaches here from external input (a protocol field, a
+  // tool flag) without being range-checked is a caller bug, and an
+  // out-of-range read of videos_/starts_ must not fail silently. Audit
+  // note: in-tree callers (video/chunking.cc, bench/bench_cost_aware.cc)
+  // iterate [0, num_videos()); the serve protocol and tool flags never
+  // accept raw video ids — presets/classes are validated by name before
+  // any index is formed.
+
+  /// Precondition: i in [0, num_videos()).
+  const VideoMeta& video(VideoIndex i) const {
+    assert(i >= 0 && static_cast<size_t>(i) < videos_.size());
+    return videos_[static_cast<size_t>(i)];
+  }
+
+  /// Global index of the first frame of video i. Precondition: i in
+  /// [0, num_videos()).
+  FrameId VideoStart(VideoIndex i) const {
+    assert(i >= 0 && static_cast<size_t>(i) < starts_.size());
+    return starts_[static_cast<size_t>(i)];
+  }
 
   /// Maps a global frame id to (video, local frame). Precondition: id in
   /// [0, total_frames()).
   FrameLocation Locate(FrameId id) const;
 
-  /// Inverse of Locate.
+  /// Inverse of Locate. Preconditions: video in [0, num_videos()),
+  /// local_frame in [0, video's num_frames).
   FrameId GlobalIndex(VideoIndex video, int64_t local_frame) const {
-    return starts_[video] + local_frame;
+    assert(video >= 0 && static_cast<size_t>(video) < starts_.size());
+    assert(local_frame >= 0 &&
+           local_frame < videos_[static_cast<size_t>(video)].num_frames);
+    return starts_[static_cast<size_t>(video)] + local_frame;
   }
 
   /// Total wall-clock duration of the repository in seconds.

@@ -1,0 +1,153 @@
+// net::LineBuffer: newline framing over arbitrary read fragmentation —
+// half-received lines across reads, coalesced lines in one read, CRLF
+// passthrough (CR stripping is the protocol layer's job), and the
+// line-length limit that protects the server from a peer that never sends
+// a newline.
+
+#include "net/line_buffer.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace net {
+namespace {
+
+void Append(LineBuffer* buffer, const std::string& bytes) {
+  buffer->Append(bytes.data(), bytes.size());
+}
+
+TEST(LineBufferTest, HalfReceivedLineAcrossReads) {
+  LineBuffer buffer(1024);
+  std::string line;
+  Append(&buffer, R"({"cmd":)");
+  EXPECT_EQ(buffer.Pop(&line), LineBuffer::Next::kNeedMore);
+  Append(&buffer, R"("stats"})");
+  EXPECT_EQ(buffer.Pop(&line), LineBuffer::Next::kNeedMore);
+  Append(&buffer, "\n");
+  ASSERT_EQ(buffer.Pop(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, R"({"cmd":"stats"})");
+  EXPECT_EQ(buffer.Pop(&line), LineBuffer::Next::kNeedMore);
+  EXPECT_EQ(buffer.buffered(), 0u);
+}
+
+TEST(LineBufferTest, OneByteAtATime) {
+  LineBuffer buffer(1024);
+  const std::string input = "ab\ncd\n";
+  std::string line;
+  std::vector<std::string> lines;
+  for (char c : input) {
+    buffer.Append(&c, 1);
+    while (buffer.Pop(&line) == LineBuffer::Next::kLine) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "ab");
+  EXPECT_EQ(lines[1], "cd");
+}
+
+TEST(LineBufferTest, CoalescedLinesInOneRead) {
+  LineBuffer buffer(1024);
+  Append(&buffer, "one\ntwo\nthree\npartial");
+  std::string line;
+  ASSERT_EQ(buffer.Pop(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "one");
+  ASSERT_EQ(buffer.Pop(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "two");
+  ASSERT_EQ(buffer.Pop(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "three");
+  EXPECT_EQ(buffer.Pop(&line), LineBuffer::Next::kNeedMore);
+  EXPECT_EQ(buffer.buffered(), 7u);  // "partial"
+}
+
+TEST(LineBufferTest, CrlfSurvivesFraming) {
+  // The buffer frames on '\n' only; the '\r' reaches the protocol layer,
+  // which owns CR stripping for every transport.
+  LineBuffer buffer(1024);
+  Append(&buffer, "req\r\n\r\n");
+  std::string line;
+  ASSERT_EQ(buffer.Pop(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "req\r");
+  ASSERT_EQ(buffer.Pop(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "\r");
+}
+
+TEST(LineBufferTest, EmptyLines) {
+  LineBuffer buffer(1024);
+  Append(&buffer, "\n\nx\n");
+  std::string line;
+  ASSERT_EQ(buffer.Pop(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "");
+  ASSERT_EQ(buffer.Pop(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "");
+  ASSERT_EQ(buffer.Pop(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "x");
+}
+
+TEST(LineBufferTest, OversizedPartialLineOverflows) {
+  // A peer streaming bytes with no newline must trip the limit as soon as
+  // the partial line exceeds it — not wait for a terminator that may
+  // never come.
+  LineBuffer buffer(16);
+  Append(&buffer, std::string(17, 'x'));
+  std::string line;
+  EXPECT_EQ(buffer.Pop(&line), LineBuffer::Next::kOverflow);
+  EXPECT_TRUE(buffer.overflowed());
+  // Sticky: more input (even with newlines) cannot resynchronize.
+  Append(&buffer, "short\n");
+  EXPECT_EQ(buffer.Pop(&line), LineBuffer::Next::kOverflow);
+}
+
+TEST(LineBufferTest, OversizedCompleteLineOverflows) {
+  LineBuffer buffer(16);
+  Append(&buffer, std::string(17, 'x') + "\n");
+  std::string line;
+  EXPECT_EQ(buffer.Pop(&line), LineBuffer::Next::kOverflow);
+}
+
+TEST(LineBufferTest, LineExactlyAtLimitPasses) {
+  LineBuffer buffer(16);
+  Append(&buffer, std::string(16, 'x') + "\n");
+  std::string line;
+  ASSERT_EQ(buffer.Pop(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, std::string(16, 'x'));
+}
+
+TEST(LineBufferTest, TakeRemainderDrainsFinalUnterminatedLine) {
+  // At EOF the leftover bytes are one last line, exactly as std::getline
+  // treats an unterminated final line on stdin.
+  LineBuffer buffer(1024);
+  Append(&buffer, "complete\nleftover");
+  std::string line;
+  ASSERT_EQ(buffer.Pop(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "complete");
+  ASSERT_EQ(buffer.TakeRemainder(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "leftover");
+  EXPECT_EQ(buffer.buffered(), 0u);
+  EXPECT_EQ(buffer.TakeRemainder(&line), LineBuffer::Next::kNeedMore);
+}
+
+TEST(LineBufferTest, TakeRemainderRespectsTheLimit) {
+  LineBuffer buffer(8);
+  Append(&buffer, "toolongtoolong");
+  std::string line;
+  EXPECT_EQ(buffer.TakeRemainder(&line), LineBuffer::Next::kOverflow);
+  EXPECT_TRUE(buffer.overflowed());
+}
+
+TEST(LineBufferTest, LongStreamDoesNotAccreteConsumedBytes) {
+  // The consumed prefix is reclaimed as the stream flows; a long-lived
+  // connection must not hold every line it ever received.
+  LineBuffer buffer(1024);
+  std::string line;
+  for (int i = 0; i < 10000; ++i) {
+    Append(&buffer, "0123456789abcdef\n");
+    ASSERT_EQ(buffer.Pop(&line), LineBuffer::Next::kLine);
+  }
+  EXPECT_EQ(buffer.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace exsample

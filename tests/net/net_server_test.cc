@@ -1,0 +1,383 @@
+// net::Server + net::Client, in process: a real TCP loopback socket pair
+// with the real protocol handlers and a real SessionManager. Covers the
+// transport behaviors the stdin loop never exercised — concurrent
+// connections multiplexed onto one manager, fragmented writes, the
+// line-length limit, per-connection session cleanup on disconnect, idle
+// timeouts, capacity refusal, and graceful shutdown.
+
+#include "net/server.h"
+
+#include <signal.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "serve/protocol_handler.h"
+#include "serve/session_manager.h"
+#include "serve/stats_cache.h"
+#include "util/json.h"
+
+namespace exsample {
+namespace net {
+namespace {
+
+constexpr char kHost[] = "127.0.0.1";
+constexpr char kOpenBicycle[] =
+    R"({"cmd":"open","preset":"dashcam","class":"bicycle","limit":2,)"
+    R"("scale":0.02})";
+
+/// One serving stack (manager + cache + datasets + server on an ephemeral
+/// port) with the event loop on a background thread.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerOptions options = {}) : datasets_(7) {
+    serve::SessionManager::Options manager_options;
+    manager_options.threads = 1;
+    manager_options.base_seed = 7;
+    manager_ = std::make_unique<serve::SessionManager>(manager_options);
+
+    options.host = kHost;
+    options.port = 0;
+    auto created = Server::Create(options, [this] {
+      serve::ProtocolHandler::Options handler_options;
+      handler_options.default_scale = 0.02;
+      handler_options.close_sessions_on_destroy = true;
+      return std::make_unique<serve::ProtocolHandler>(
+          manager_.get(), &cache_, &datasets_, handler_options);
+    });
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    server_ = std::move(created).value();
+    loop_ = std::thread([this] { serve_status_ = server_->Serve(); });
+  }
+
+  ~ServerFixture() {
+    server_->RequestStop();
+    loop_.join();
+    EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+  }
+
+  Client Connect() {
+    auto client = Client::Connect(kHost, server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return client.ok() ? std::move(client).value() : Client();
+  }
+
+  Server* server() { return server_.get(); }
+  serve::SessionManager* manager() { return manager_.get(); }
+
+ private:
+  // Destruction order matters: the server (whose handlers reference the
+  // manager) must die before the manager, the manager before the datasets.
+  serve::StatsCache cache_;
+  serve::DatasetPool datasets_;
+  std::unique_ptr<serve::SessionManager> manager_;
+  std::unique_ptr<Server> server_;
+  std::thread loop_;
+  Status serve_status_;
+};
+
+Json Call(Client* client, const std::string& line) {
+  Status sent = client->SendLine(line);
+  EXPECT_TRUE(sent.ok()) << sent.ToString();
+  auto response = client->ReadLine();
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  if (!response.ok()) return Json();
+  auto parsed = Json::Parse(response.value());
+  EXPECT_TRUE(parsed.ok()) << response.value();
+  return parsed.ok() ? std::move(parsed).value() : Json();
+}
+
+/// Polls `session` over `client` until it leaves the running state.
+Json PollUntilDone(Client* client, int64_t session) {
+  const std::string poll =
+      R"({"cmd":"poll","session":)" + std::to_string(session) + "}";
+  for (int i = 0; i < 1000; ++i) {
+    Json response = Call(client, poll);
+    EXPECT_TRUE(response.GetBool("ok", false)) << response.Dump();
+    if (response.GetString("state", "") != "running") return response;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "session " << session << " never finished";
+  return Json();
+}
+
+bool WaitFor(const std::function<bool()>& predicate, double seconds = 10.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(
+                            static_cast<int64_t>(seconds * 1000));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+TEST(NetServerTest, OpenPollCloseOverSocket) {
+  ServerFixture fixture;
+  Client client = fixture.Connect();
+  ASSERT_TRUE(client.connected());
+
+  Json opened = Call(&client, kOpenBicycle);
+  ASSERT_TRUE(opened.GetBool("ok", false)) << opened.Dump();
+  const int64_t session = opened.GetInt("session", -1);
+  ASSERT_GE(session, 1);
+
+  Json done = PollUntilDone(&client, session);
+  EXPECT_EQ(done.GetInt("total_results", -1), 2);
+  EXPECT_EQ(done.GetString("state", ""), "done");
+
+  Json closed = Call(&client, R"({"cmd":"close","session":)" +
+                                  std::to_string(session) + "}");
+  EXPECT_TRUE(closed.GetBool("ok", false)) << closed.Dump();
+  EXPECT_EQ(fixture.manager()->open_sessions(), 0u);
+}
+
+TEST(NetServerTest, QuitClosesOnlyThatConnection) {
+  ServerFixture fixture;
+  Client first = fixture.Connect();
+  Client second = fixture.Connect();
+
+  Json ack = Call(&first, R"({"cmd":"quit"})");
+  EXPECT_TRUE(ack.GetBool("ok", false));
+  // The server closes `first` after flushing the ack...
+  auto eof = first.ReadLine();
+  EXPECT_FALSE(eof.ok());
+  // ...while `second` keeps serving.
+  Json stats = Call(&second, R"({"cmd":"stats"})");
+  EXPECT_TRUE(stats.GetBool("ok", false)) << stats.Dump();
+}
+
+TEST(NetServerTest, ManyConcurrentConnectionsShareOneManager) {
+  // The acceptance bar: >= 32 concurrent connections, each with its own
+  // session, all multiplexed onto one SessionManager by one event loop.
+  constexpr int kClients = 32;
+  ServerFixture fixture;
+
+  std::vector<std::thread> threads;
+  std::vector<int64_t> results(kClients, -1);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&fixture, &results, i] {
+      auto connected = Client::Connect(kHost, fixture.server()->port());
+      ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+      Client client = std::move(connected).value();
+      Json opened = Call(&client, kOpenBicycle);
+      ASSERT_TRUE(opened.GetBool("ok", false)) << opened.Dump();
+      Json done = PollUntilDone(&client, opened.GetInt("session", -1));
+      results[static_cast<size_t>(i)] = done.GetInt("total_results", -1);
+      Json ack = Call(&client, R"({"cmd":"quit"})");
+      EXPECT_TRUE(ack.GetBool("ok", false));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)], 2) << "client " << i;
+  }
+  // 32 sessions went through one manager; quits freed every connection.
+  EXPECT_EQ(fixture.manager()->total_opened(), kClients);
+  EXPECT_TRUE(WaitFor(
+      [&fixture] { return fixture.server()->active_connections() == 0; }));
+}
+
+TEST(NetServerTest, FragmentedAndCoalescedRequests) {
+  ServerFixture fixture;
+  Client client = fixture.Connect();
+
+  // One request torn across three writes with pauses: the server must
+  // reassemble it, not parse the fragments.
+  const std::string request = R"({"cmd":"stats"})";
+  ASSERT_TRUE(client.SendRaw(request.substr(0, 7)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(client.SendRaw(request.substr(7)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(client.SendRaw("\n").ok());
+  auto response = client.ReadLine();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  auto parsed = Json::Parse(response.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().GetBool("ok", false));
+
+  // Two requests coalesced into one write: two responses, in order.
+  ASSERT_TRUE(
+      client.SendRaw(R"({"cmd":"stats"})" "\n" R"({"cmd":"nope"})" "\n")
+          .ok());
+  auto first = client.ReadLine();
+  auto second = client.ReadLine();
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_TRUE(Json::Parse(first.value()).value().GetBool("ok", false));
+  EXPECT_FALSE(Json::Parse(second.value()).value().GetBool("ok", true));
+}
+
+TEST(NetServerTest, CrlfRequestsOverSocket) {
+  ServerFixture fixture;
+  Client client = fixture.Connect();
+  // A CRLF client (netcat on Windows): every line ends "\r\n", and blank
+  // "\r\n" keepalives produce no response at all.
+  ASSERT_TRUE(client.SendRaw("\r\n" R"({"cmd":"stats"})" "\r\n").ok());
+  auto response = client.ReadLine();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  Json parsed = Json::Parse(response.value()).value();
+  EXPECT_TRUE(parsed.GetBool("ok", false)) << response.value();
+  EXPECT_EQ(parsed.GetInt("live_sessions", -1), 0);
+}
+
+TEST(NetServerTest, OversizedLineGetsErrorThenDisconnect) {
+  ServerOptions options;
+  options.max_line_bytes = 512;
+  ServerFixture fixture(options);
+  Client client = fixture.Connect();
+
+  ASSERT_TRUE(client.SendRaw(std::string(600, 'x')).ok());
+  auto response = client.ReadLine();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  Json parsed = Json::Parse(response.value()).value();
+  EXPECT_FALSE(parsed.GetBool("ok", true));
+  EXPECT_NE(parsed.GetString("error", "").find("line too long"),
+            std::string::npos)
+      << response.value();
+  // Framing is unrecoverable; the server hangs up after the error.
+  auto eof = client.ReadLine();
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST(NetServerTest, HalfCloseStillDeliversQueuedResponses) {
+  // The `printf requests | nc` pattern: the client pipelines everything,
+  // half-closes its write side, then drains. The server sees EOF with
+  // responses possibly still queued — it must flush them all before
+  // hanging up, not drop the tail.
+  ServerFixture fixture;
+  Client client = fixture.Connect();
+  constexpr int kRequests = 50;
+  std::string batch;
+  for (int i = 0; i < kRequests; ++i) batch += R"({"cmd":"stats"})" "\n";
+  ASSERT_TRUE(client.SendRaw(batch).ok());
+  client.ShutdownWrite();
+
+  int responses = 0;
+  while (true) {
+    auto line = client.ReadLine();
+    if (!line.ok()) break;
+    EXPECT_TRUE(Json::Parse(line.value()).value().GetBool("ok", false));
+    ++responses;
+  }
+  EXPECT_EQ(responses, kRequests);
+}
+
+TEST(NetServerTest, UnterminatedFinalRequestIsAnsweredLikeStdin) {
+  // printf '{"cmd":"stats"}' | nc — no trailing newline. std::getline
+  // hands the stdin transport that final line, so the socket transport
+  // must answer it too (identical-to-stdin is the transport contract).
+  ServerFixture fixture;
+  Client client = fixture.Connect();
+  ASSERT_TRUE(client.SendRaw(R"({"cmd":"stats"})").ok());  // no '\n'
+  client.ShutdownWrite();
+  auto response = client.ReadLine();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(Json::Parse(response.value()).value().GetBool("ok", false))
+      << response.value();
+  auto eof = client.ReadLine();
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST(NetServerTest, DestructionRestoresDefaultSignalDisposition) {
+  // Once the server that claimed SIGINT/SIGTERM is gone, termination
+  // signals must terminate again (the tool still saves its stats file
+  // after Serve() returns), and a later server must be able to install
+  // handlers afresh.
+  {
+    ServerFixture fixture;
+    ASSERT_TRUE(fixture.server()->InstallSignalHandlers().ok());
+    struct sigaction current {};
+    sigaction(SIGTERM, nullptr, &current);
+    EXPECT_NE(current.sa_handler, SIG_DFL);
+  }
+  struct sigaction current {};
+  sigaction(SIGTERM, nullptr, &current);
+  EXPECT_EQ(current.sa_handler, SIG_DFL);
+  sigaction(SIGINT, nullptr, &current);
+  EXPECT_EQ(current.sa_handler, SIG_DFL);
+
+  ServerFixture next;
+  EXPECT_TRUE(next.server()->InstallSignalHandlers().ok());
+}
+
+TEST(NetServerTest, DisconnectClosesThatConnectionsSessions) {
+  ServerFixture fixture;
+  Client client = fixture.Connect();
+  Json opened = Call(&client, kOpenBicycle);
+  ASSERT_TRUE(opened.GetBool("ok", false)) << opened.Dump();
+  ASSERT_EQ(fixture.manager()->open_sessions(), 1u);
+
+  client.Close();  // vanish without close/quit
+  EXPECT_TRUE(WaitFor(
+      [&fixture] { return fixture.manager()->open_sessions() == 0; }))
+      << "disconnect did not free the session";
+}
+
+TEST(NetServerTest, IdleConnectionsAreReaped) {
+  ServerOptions options;
+  // Generous margin between the client's pause and the timeout: loaded
+  // CI (ASan, -j) can deschedule the client thread for hundreds of ms.
+  options.idle_timeout_seconds = 2.0;
+  ServerFixture fixture(options);
+  Client client = fixture.Connect();
+  // An active connection survives (activity resets the clock)...
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_TRUE(Call(&client, R"({"cmd":"stats"})").GetBool("ok", false));
+  // ...then silence gets it reaped.
+  auto eof = client.ReadLine();
+  EXPECT_FALSE(eof.ok());
+  EXPECT_TRUE(WaitFor(
+      [&fixture] { return fixture.server()->active_connections() == 0; }));
+}
+
+TEST(NetServerTest, OverCapacityConnectionIsRefusedPolitely) {
+  ServerOptions options;
+  options.max_connections = 1;
+  ServerFixture fixture(options);
+  Client first = fixture.Connect();
+  ASSERT_TRUE(Call(&first, R"({"cmd":"stats"})").GetBool("ok", false));
+
+  Client second = fixture.Connect();
+  auto refusal = second.ReadLine();
+  ASSERT_TRUE(refusal.ok()) << refusal.status().ToString();
+  Json parsed = Json::Parse(refusal.value()).value();
+  EXPECT_FALSE(parsed.GetBool("ok", true));
+  EXPECT_NE(parsed.GetString("error", "").find("server full"),
+            std::string::npos);
+  auto eof = second.ReadLine();
+  EXPECT_FALSE(eof.ok());
+
+  // The admitted connection is unaffected.
+  EXPECT_TRUE(Call(&first, R"({"cmd":"stats"})").GetBool("ok", false));
+}
+
+TEST(NetServerTest, GracefulStopDrainsAndClosesSessions) {
+  ServerFixture fixture;
+  Client client = fixture.Connect();
+  Json opened = Call(&client, kOpenBicycle);
+  ASSERT_TRUE(opened.GetBool("ok", false)) << opened.Dump();
+
+  fixture.server()->RequestStop();
+  // The server hangs up on us (possibly after flushing)...
+  EXPECT_TRUE(WaitFor([&client] {
+    auto line = client.ReadLine();
+    return !line.ok();
+  }));
+  // ...and every connection's sessions were closed during the drain.
+  EXPECT_TRUE(WaitFor(
+      [&fixture] { return fixture.manager()->open_sessions() == 0; }));
+  EXPECT_EQ(fixture.server()->active_connections(), 0u);
+  // The fixture destructor asserts Serve() returned Ok.
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace exsample

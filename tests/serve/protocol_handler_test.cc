@@ -1,0 +1,225 @@
+// serve::ProtocolHandler: the transport-independent NDJSON protocol logic
+// shared by the stdin loop and net::Server. Covers the framing edge cases
+// that bite when untrusted bytes arrive over a socket — CRLF and bare-CR
+// lines, blank lines — plus session ownership (one client cannot touch
+// another's sessions) and interleaved sessions on a single connection.
+
+#include "serve/protocol_handler.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "serve/session_manager.h"
+#include "serve/stats_cache.h"
+#include "util/json.h"
+
+namespace exsample {
+namespace serve {
+namespace {
+
+constexpr char kOpenBicycle[] =
+    R"({"cmd":"open","preset":"dashcam","class":"bicycle","limit":2,)"
+    R"("scale":0.02})";
+
+class ProtocolHandlerTest : public ::testing::Test {
+ protected:
+  ProtocolHandlerTest() : datasets_(7) {
+    SessionManager::Options options;
+    options.threads = 1;
+    options.base_seed = 7;
+    manager_ = std::make_unique<SessionManager>(options);
+  }
+
+  ProtocolHandler MakeHandler() {
+    ProtocolHandler::Options options;
+    options.default_scale = 0.02;
+    return ProtocolHandler(manager_.get(), &cache_, &datasets_, options);
+  }
+
+  /// Parses the (non-empty) response of one handled line.
+  Json Respond(ProtocolHandler* handler, const std::string& line) {
+    ProtocolHandler::Outcome outcome = handler->HandleLine(line);
+    EXPECT_FALSE(outcome.response.empty()) << "no response to: " << line;
+    auto parsed = Json::Parse(outcome.response);
+    EXPECT_TRUE(parsed.ok()) << outcome.response;
+    return parsed.ok() ? std::move(parsed).value() : Json();
+  }
+
+  /// Polls `session` until it leaves the running state (~10s deadline).
+  Json PollUntilDone(ProtocolHandler* handler, int64_t session) {
+    const std::string poll =
+        R"({"cmd":"poll","session":)" + std::to_string(session) + "}";
+    for (int i = 0; i < 1000; ++i) {
+      Json response = Respond(handler, poll);
+      EXPECT_TRUE(response.GetBool("ok", false)) << response.Dump();
+      if (response.GetString("state", "") != "running") return response;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "session " << session << " never finished";
+    return Json();
+  }
+
+  StatsCache cache_;
+  DatasetPool datasets_;
+  std::unique_ptr<SessionManager> manager_;
+};
+
+TEST_F(ProtocolHandlerTest, CrlfTerminatedLineParses) {
+  // A CRLF client's getline-style framing leaves a trailing '\r' on every
+  // line; the handler must strip it before JSON parsing (the original
+  // stdin loop rejected every CRLF request with a parse error).
+  ProtocolHandler handler = MakeHandler();
+  Json response = Respond(&handler, std::string(R"({"cmd":"stats"})") + "\r");
+  EXPECT_TRUE(response.GetBool("ok", false)) << response.Dump();
+  EXPECT_EQ(response.GetInt("live_sessions", -1), 0);
+}
+
+TEST_F(ProtocolHandlerTest, CrlfOpenWorksEndToEnd) {
+  ProtocolHandler handler = MakeHandler();
+  Json opened = Respond(&handler, std::string(kOpenBicycle) + "\r");
+  ASSERT_TRUE(opened.GetBool("ok", false)) << opened.Dump();
+  const int64_t id = opened.GetInt("session", -1);
+  EXPECT_GE(id, 1);
+  Json done = PollUntilDone(&handler, id);
+  EXPECT_EQ(done.GetInt("total_results", -1), 2);
+}
+
+TEST_F(ProtocolHandlerTest, BlankAndBareCrLinesProduceNoResponse) {
+  ProtocolHandler handler = MakeHandler();
+  ProtocolHandler::Outcome blank = handler.HandleLine("");
+  EXPECT_TRUE(blank.response.empty());
+  EXPECT_FALSE(blank.quit);
+  // A bare CR (an empty CRLF line) is transport noise, not a request.
+  ProtocolHandler::Outcome bare_cr = handler.HandleLine("\r");
+  EXPECT_TRUE(bare_cr.response.empty());
+  EXPECT_FALSE(bare_cr.quit);
+}
+
+TEST_F(ProtocolHandlerTest, QuitAcknowledgesAndSignalsTransport) {
+  ProtocolHandler handler = MakeHandler();
+  ProtocolHandler::Outcome outcome = handler.HandleLine(R"({"cmd":"quit"})");
+  EXPECT_TRUE(outcome.quit);
+  auto parsed = Json::Parse(outcome.response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().GetBool("ok", false));
+}
+
+TEST_F(ProtocolHandlerTest, MalformedJsonYieldsErrorNotQuit) {
+  ProtocolHandler handler = MakeHandler();
+  ProtocolHandler::Outcome outcome = handler.HandleLine("{nope");
+  EXPECT_FALSE(outcome.quit);
+  auto parsed = Json::Parse(outcome.response);
+  ASSERT_TRUE(parsed.ok()) << outcome.response;
+  EXPECT_FALSE(parsed.value().GetBool("ok", true));
+}
+
+TEST_F(ProtocolHandlerTest, UnknownCommandListsValidOnes) {
+  ProtocolHandler handler = MakeHandler();
+  Json response = Respond(&handler, R"({"cmd":"frobnicate"})");
+  EXPECT_FALSE(response.GetBool("ok", true));
+  EXPECT_NE(response.GetString("error", "").find("open|poll"),
+            std::string::npos);
+}
+
+TEST_F(ProtocolHandlerTest, SessionsArePrivateToTheirHandler) {
+  // Two handlers = two network clients sharing one SessionManager. The
+  // second client must not be able to poll, cancel, or close the first
+  // client's session — and the error must be indistinguishable from a
+  // nonexistent id, so clients cannot probe for foreign sessions.
+  ProtocolHandler alice = MakeHandler();
+  ProtocolHandler bob = MakeHandler();
+  Json opened = Respond(&alice, kOpenBicycle);
+  ASSERT_TRUE(opened.GetBool("ok", false)) << opened.Dump();
+  const int64_t id = opened.GetInt("session", -1);
+  const std::string id_str = std::to_string(id);
+
+  for (const char* cmd : {"poll", "cancel", "close"}) {
+    Json stolen = Respond(
+        &bob, std::string(R"({"cmd":")") + cmd + R"(","session":)" + id_str +
+                  "}");
+    EXPECT_FALSE(stolen.GetBool("ok", true)) << cmd;
+    EXPECT_EQ(stolen.GetString("error", ""), "no session " + id_str) << cmd;
+  }
+  // A genuinely nonexistent id reads identically.
+  Json missing = Respond(&bob, R"({"cmd":"poll","session":999})");
+  EXPECT_EQ(missing.GetString("error", ""), "no session 999");
+
+  // The owner still has full access.
+  Json done = PollUntilDone(&alice, id);
+  EXPECT_EQ(done.GetInt("total_results", -1), 2);
+}
+
+TEST_F(ProtocolHandlerTest, InterleavedSessionsOnOneConnection) {
+  // One connection running several sessions at once, polls interleaved —
+  // the multiplexing a network client actually does. Each session's
+  // result stream must stay independent and exactly-once.
+  ProtocolHandler handler = MakeHandler();
+  Json first = Respond(&handler, kOpenBicycle);
+  Json second = Respond(
+      &handler,
+      R"({"cmd":"open","preset":"dashcam","class":"bus","limit":3,)"
+      R"("scale":0.02})");
+  ASSERT_TRUE(first.GetBool("ok", false)) << first.Dump();
+  ASSERT_TRUE(second.GetBool("ok", false)) << second.Dump();
+  const int64_t a = first.GetInt("session", -1);
+  const int64_t b = second.GetInt("session", -1);
+  ASSERT_NE(a, b);
+
+  int64_t streamed_a = 0, streamed_b = 0;
+  bool done_a = false, done_b = false;
+  for (int i = 0; i < 1000 && !(done_a && done_b); ++i) {
+    for (int64_t id : {a, b}) {
+      Json poll = Respond(
+          &handler, R"({"cmd":"poll","session":)" + std::to_string(id) + "}");
+      ASSERT_TRUE(poll.GetBool("ok", false)) << poll.Dump();
+      const Json* fresh = poll.Find("new_results");
+      ASSERT_NE(fresh, nullptr);
+      (id == a ? streamed_a : streamed_b) +=
+          static_cast<int64_t>(fresh->size());
+      if (poll.GetString("state", "") != "running") {
+        (id == a ? done_a : done_b) = true;
+        EXPECT_EQ(poll.GetInt("total_results", -1),
+                  id == a ? streamed_a : streamed_b);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(done_a && done_b);
+  EXPECT_EQ(streamed_a, 2);  // limit 2
+  EXPECT_EQ(streamed_b, 3);  // limit 3
+
+  // Closing one session must not disturb the other.
+  Json closed =
+      Respond(&handler, R"({"cmd":"close","session":)" + std::to_string(a) +
+                            "}");
+  EXPECT_TRUE(closed.GetBool("ok", false));
+  Json still_there = Respond(
+      &handler, R"({"cmd":"poll","session":)" + std::to_string(b) + "}");
+  EXPECT_TRUE(still_there.GetBool("ok", false));
+  Json gone = Respond(
+      &handler, R"({"cmd":"poll","session":)" + std::to_string(a) + "}");
+  EXPECT_FALSE(gone.GetBool("ok", true));
+}
+
+TEST_F(ProtocolHandlerTest, CloseAllSessionsFreesAdmissionSlots) {
+  // net::Server tears a connection down through CloseAllSessions — a
+  // vanished client must not pin admission slots.
+  ProtocolHandler handler = MakeHandler();
+  ASSERT_TRUE(Respond(&handler, kOpenBicycle).GetBool("ok", false));
+  ASSERT_TRUE(Respond(&handler,
+                      R"({"cmd":"open","preset":"dashcam","class":"bus",)"
+                      R"("limit":3,"scale":0.02})")
+                  .GetBool("ok", false));
+  EXPECT_EQ(handler.owned_sessions(), 2u);
+  EXPECT_EQ(manager_->open_sessions(), 2u);
+  handler.CloseAllSessions();
+  EXPECT_EQ(handler.owned_sessions(), 0u);
+  EXPECT_EQ(manager_->open_sessions(), 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace exsample

@@ -293,6 +293,48 @@ TEST(StatsCacheTest, PriorsSeedFrameSourceStatistics) {
   EXPECT_EQ(cold_source.chunk_stats()->n(2), 0);
 }
 
+TEST(StatsCacheTest, SaveReplacesAtomicallyAndCleansUpItsTempFile) {
+  // Save writes path.tmp then renames: the file at `path` is always a
+  // complete snapshot (a crash mid-write can only orphan the temp), and a
+  // successful Save leaves no temp behind.
+  const std::string path = ::testing::TempDir() + "/stats_cache_atomic.txt";
+  const std::string tmp = path + ".tmp";
+  std::remove(path.c_str());
+
+  // A stale temp from a previous crash must not break the next Save.
+  {
+    std::ofstream stale(tmp);
+    stale << "leftover garbage from a crashed writer";
+  }
+
+  StatsCache cache;
+  cache.Record("repo", 0, MakeStats({{3, 5}, {1, 2}}));
+  ASSERT_TRUE(cache.Save(path).ok());
+  EXPECT_FALSE(std::ifstream(tmp).good()) << "temp file left behind";
+
+  StatsCache loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.queries_recorded(), 1);
+
+  // Saving over an existing file replaces the whole snapshot.
+  cache.Record("repo", 0, MakeStats({{3, 5}, {1, 2}}));
+  ASSERT_TRUE(cache.Save(path).ok());
+  StatsCache reloaded;
+  ASSERT_TRUE(reloaded.Load(path).ok());
+  EXPECT_EQ(reloaded.queries_recorded(), 2);
+  EXPECT_FALSE(std::ifstream(tmp).good());
+  std::remove(path.c_str());
+}
+
+TEST(StatsCacheTest, FailedSaveLeavesNoPartialTarget) {
+  StatsCache cache;
+  cache.Record("repo", 0, MakeStats({{3, 5}}));
+  const std::string path = "/nonexistent-dir/stats_cache.txt";
+  EXPECT_FALSE(cache.Save(path).ok());
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
 TEST(StatsCacheTest, MismatchedPriorSizeIsIgnoredBySource) {
   auto chunks = video::MakeUniformChunks(1000, 4).value();
   std::vector<core::ChunkPrior> wrong_size(3, core::ChunkPrior{5, 5});

@@ -1,0 +1,259 @@
+// End-to-end tests of `exsample_serve --listen`: the real binary, real TCP
+// connections, real signals. Asserts the tentpole promises — the socket
+// transport serves many concurrent connections through one SessionManager
+// with results bit-identical to stdin mode for the same requests, and
+// SIGTERM shuts the server down gracefully (drain + stats-file save).
+//
+// The binary path is injected by CMake as EXSAMPLE_SERVE_BIN.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "serve/stats_cache.h"
+#include "util/json.h"
+
+#ifndef EXSAMPLE_SERVE_BIN
+#error "CMake must define EXSAMPLE_SERVE_BIN (path to the serve binary)"
+#endif
+
+namespace exsample {
+namespace {
+
+constexpr char kOpenBicycle[] =
+    R"({"cmd":"open","preset":"dashcam","class":"bicycle","limit":2,)"
+    R"("scale":0.02})";
+
+/// A spawned exsample_serve with pipes on stdin/stdout.
+struct Tool {
+  pid_t pid = -1;
+  FILE* to_child = nullptr;    // the tool's stdin
+  FILE* from_child = nullptr;  // the tool's stdout
+
+  void SendLine(const std::string& line) const {
+    std::fprintf(to_child, "%s\n", line.c_str());
+    std::fflush(to_child);
+  }
+
+  /// Reads one response line from the tool's stdout (blocking).
+  Json ReadJsonLine() const {
+    char buffer[1 << 16];
+    if (std::fgets(buffer, sizeof(buffer), from_child) == nullptr) {
+      ADD_FAILURE() << "unexpected EOF from exsample_serve";
+      return Json();
+    }
+    auto parsed = Json::Parse(buffer);
+    EXPECT_TRUE(parsed.ok()) << "unparseable line: " << buffer;
+    return parsed.ok() ? std::move(parsed).value() : Json();
+  }
+
+  /// Closes pipes and reaps the child; returns its exit code (-1 on
+  /// abnormal termination).
+  int Wait() {
+    if (to_child != nullptr) fclose(to_child);
+    if (from_child != nullptr) fclose(from_child);
+    to_child = from_child = nullptr;
+    int status = 0;
+    if (pid > 0) waitpid(pid, &status, 0);
+    pid = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+};
+
+Tool Spawn(const std::vector<std::string>& extra_args) {
+  int in_pipe[2], out_pipe[2];
+  EXPECT_EQ(pipe(in_pipe), 0);
+  EXPECT_EQ(pipe(out_pipe), 0);
+  const pid_t pid = fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    dup2(in_pipe[0], STDIN_FILENO);
+    dup2(out_pipe[1], STDOUT_FILENO);
+    close(in_pipe[0]);
+    close(in_pipe[1]);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    std::vector<std::string> args = {EXSAMPLE_SERVE_BIN, "--scale", "0.02",
+                                     "--threads", "1", "--seed", "7"};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+    std::vector<char*> argv;
+    for (auto& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    execv(EXSAMPLE_SERVE_BIN, argv.data());
+    std::perror("execv");
+    _exit(127);
+  }
+  close(in_pipe[0]);
+  close(out_pipe[1]);
+  Tool tool;
+  tool.pid = pid;
+  tool.to_child = fdopen(in_pipe[1], "w");
+  tool.from_child = fdopen(out_pipe[0], "r");
+  return tool;
+}
+
+/// Spawns `exsample_serve --listen 0 ...` and reads the announced port.
+Tool SpawnListening(uint16_t* port,
+                    const std::vector<std::string>& extra_args = {}) {
+  std::vector<std::string> args = {"--listen", "0"};
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+  Tool tool = Spawn(args);
+  Json announce = tool.ReadJsonLine();
+  EXPECT_TRUE(announce.GetBool("listening", false)) << announce.Dump();
+  *port = static_cast<uint16_t>(announce.GetInt("port", 0));
+  EXPECT_GT(*port, 0);
+  return tool;
+}
+
+struct SessionOutcome {
+  int64_t total_results = -1;
+  int64_t frames_processed = -1;
+  std::string stop_reason;
+};
+
+/// Opens one session and polls it to completion over an established
+/// protocol exchange (send one line, read one response).
+template <typename SendRecv>
+SessionOutcome DriveSession(const SendRecv& exchange,
+                            const std::string& open_line) {
+  SessionOutcome outcome;
+  Json opened = exchange(open_line);
+  EXPECT_TRUE(opened.GetBool("ok", false)) << opened.Dump();
+  const int64_t id = opened.GetInt("session", -1);
+  EXPECT_GE(id, 1);
+  const std::string poll =
+      R"({"cmd":"poll","session":)" + std::to_string(id) + "}";
+  for (int i = 0; i < 2000; ++i) {
+    Json response = exchange(poll);
+    EXPECT_TRUE(response.GetBool("ok", false)) << response.Dump();
+    if (response.GetString("state", "") != "running") {
+      outcome.total_results = response.GetInt("total_results", -1);
+      outcome.frames_processed = response.GetInt("frames_processed", -1);
+      outcome.stop_reason = response.GetString("stop_reason", "");
+      return outcome;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ADD_FAILURE() << "session never finished";
+  return outcome;
+}
+
+TEST(ServeNetE2eTest, SocketResultsMatchStdinModeBitForBit) {
+  // The same requests through both transports: the stdin loop (the
+  // historical, pinned behavior) and a TCP connection. JobSeed determinism
+  // means identical session ids => identical frames and results.
+  Tool stdin_tool = Spawn({});
+  SessionOutcome via_stdin = DriveSession(
+      [&stdin_tool](const std::string& line) {
+        stdin_tool.SendLine(line);
+        return stdin_tool.ReadJsonLine();
+      },
+      kOpenBicycle);
+  stdin_tool.SendLine(R"({"cmd":"quit"})");
+  EXPECT_TRUE(stdin_tool.ReadJsonLine().GetBool("ok", false));
+  EXPECT_EQ(stdin_tool.Wait(), 0);
+
+  uint16_t port = 0;
+  Tool server = SpawnListening(&port);
+  auto connected = net::Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  net::Client client = std::move(connected).value();
+  SessionOutcome via_socket = DriveSession(
+      [&client](const std::string& line) {
+        Status sent = client.SendLine(line);
+        EXPECT_TRUE(sent.ok()) << sent.ToString();
+        auto response = client.ReadLine();
+        EXPECT_TRUE(response.ok()) << response.status().ToString();
+        return response.ok() ? Json::Parse(response.value()).value() : Json();
+      },
+      kOpenBicycle);
+  client.Close();
+  kill(server.pid, SIGTERM);
+  EXPECT_EQ(server.Wait(), 0);
+
+  EXPECT_EQ(via_socket.total_results, via_stdin.total_results);
+  EXPECT_EQ(via_socket.frames_processed, via_stdin.frames_processed);
+  EXPECT_EQ(via_socket.stop_reason, via_stdin.stop_reason);
+  EXPECT_EQ(via_stdin.total_results, 2);  // limit reached
+}
+
+TEST(ServeNetE2eTest, ThirtyTwoConcurrentConnectionsOneManager) {
+  uint16_t port = 0;
+  Tool server = SpawnListening(&port);
+
+  constexpr int kClients = 32;
+  std::vector<std::thread> threads;
+  std::vector<SessionOutcome> outcomes(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([port, &outcomes, i] {
+      auto connected = net::Client::Connect("127.0.0.1", port, 30.0);
+      ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+      net::Client client = std::move(connected).value();
+      outcomes[static_cast<size_t>(i)] = DriveSession(
+          [&client](const std::string& line) {
+            Status sent = client.SendLine(line);
+            EXPECT_TRUE(sent.ok()) << sent.ToString();
+            auto response = client.ReadLine();
+            EXPECT_TRUE(response.ok()) << response.status().ToString();
+            return response.ok() ? Json::Parse(response.value()).value()
+                                 : Json();
+          },
+          kOpenBicycle);
+      client.SendLine(R"({"cmd":"quit"})");
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(outcomes[static_cast<size_t>(i)].total_results, 2)
+        << "client " << i;
+  }
+  kill(server.pid, SIGTERM);
+  EXPECT_EQ(server.Wait(), 0);
+}
+
+TEST(ServeNetE2eTest, SigtermSavesStatsFileAtomically) {
+  const std::string stats_path =
+      ::testing::TempDir() + "/serve_net_e2e_stats.txt";
+  std::remove(stats_path.c_str());
+
+  uint16_t port = 0;
+  Tool server = SpawnListening(&port, {"--stats-file", stats_path});
+  auto connected = net::Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  net::Client client = std::move(connected).value();
+  // Finish one session so the warm-start cache has a recorded query.
+  SessionOutcome outcome = DriveSession(
+      [&client](const std::string& line) {
+        Status sent = client.SendLine(line);
+        EXPECT_TRUE(sent.ok()) << sent.ToString();
+        auto response = client.ReadLine();
+        EXPECT_TRUE(response.ok()) << response.status().ToString();
+        return response.ok() ? Json::Parse(response.value()).value() : Json();
+      },
+      kOpenBicycle);
+  EXPECT_EQ(outcome.total_results, 2);
+
+  kill(server.pid, SIGTERM);
+  EXPECT_EQ(server.Wait(), 0);
+
+  // The shutdown path saved a complete, loadable snapshot (write-to-temp +
+  // rename; a torn file would fail the all-or-nothing Load).
+  serve::StatsCache cache;
+  Status loaded = cache.Load(stats_path);
+  EXPECT_TRUE(loaded.ok()) << loaded.ToString();
+  EXPECT_GE(cache.queries_recorded(), 1);
+  std::remove(stats_path.c_str());
+}
+
+}  // namespace
+}  // namespace exsample

@@ -34,6 +34,23 @@ TEST(VideoRepositoryTest, LocateRoundTrip) {
   }
 }
 
+#ifndef NDEBUG
+TEST(VideoRepositoryDeathTest, OutOfRangeIndexingAssertsInDebugBuilds) {
+  // video()/VideoStart()/GlobalIndex() index internal vectors directly; an
+  // unvalidated id from external input must die loudly in debug builds
+  // instead of reading out of bounds. (Release builds keep the accessors
+  // branch-free; external ids are validated at the protocol/flag layer.)
+  auto repo = VideoRepository::Create(ThreeVideos()).value();
+  EXPECT_DEATH((void)repo.video(3), "");
+  EXPECT_DEATH((void)repo.video(-1), "");
+  EXPECT_DEATH((void)repo.VideoStart(3), "");
+  EXPECT_DEATH((void)repo.GlobalIndex(3, 0), "");
+  EXPECT_DEATH((void)repo.GlobalIndex(0, 100), "");  // video a has 100 frames
+  EXPECT_DEATH((void)repo.Locate(350), "");
+  EXPECT_DEATH((void)repo.Locate(-1), "");
+}
+#endif  // NDEBUG
+
 TEST(VideoRepositoryTest, LocateBoundaries) {
   auto repo = VideoRepository::Create(ThreeVideos()).value();
   EXPECT_EQ(repo.Locate(0).video, 0);

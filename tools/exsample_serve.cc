@@ -1,11 +1,16 @@
-// exsample_serve: interactive anytime query serving over stdin/stdout.
+// exsample_serve: interactive anytime query serving, over stdin/stdout
+// (default) or TCP (--listen).
 //
 // Reads one JSON command per input line, writes one JSON response per line
 // (NDJSON). Sessions run in the background on serve::SessionManager's
 // round-robin scheduler, so results stream in while you type and many
-// queries progress concurrently.
+// queries progress concurrently. Both transports speak the same protocol
+// through the same serve::ProtocolHandler; in --listen mode every
+// connection gets its own handler (its sessions are private and close on
+// disconnect) while all connections share one SessionManager, one
+// warm-start cache, and one dataset pool.
 //
-// Protocol (one object per line):
+// Protocol (one object per line; lines may end in CRLF):
 //   {"cmd":"open","preset":"dashcam","class":"bicycle","limit":20}
 //     -> {"ok":true,"session":1,"warm_started":false}
 //     optional keys: "scale" (default --scale), "strategy"
@@ -24,11 +29,20 @@
 //   {"cmd":"cancel","session":1}   stop early, partial results pollable
 //   {"cmd":"close","session":1}    forget the session, free its slot
 //   {"cmd":"stats"}                manager + warm-start cache counters
-//   {"cmd":"quit"}                 exit (also on EOF)
+//   {"cmd":"quit"}                 exit (stdin mode; also on EOF). In
+//                                  --listen mode: closes this connection
 //
 // Flags: --threads N (0 = all cores), --slice-frames N, --max-sessions N,
 //        --seed N, --scale S, --warm-start, --warm-start-weight W,
 //        --stats-file PATH (persist the warm-start cache across runs)
+// Network mode:
+//        --listen PORT (0 = ephemeral; the chosen port is announced on
+//        stdout as {"ok":true,"listening":true,"host":...,"port":N}),
+//        --host ADDR (default 127.0.0.1), --max-conns N,
+//        --idle-timeout SECONDS (0 = never), --max-line-bytes N.
+//        SIGINT/SIGTERM shut down gracefully: stop accepting, flush
+//        response buffers, close every connection's sessions, save
+//        --stats-file.
 //
 // Example (one shell line):
 //   printf '%s\n%s\n' '{"cmd":"open","preset":"dashcam","class":"bicycle",
@@ -36,180 +50,70 @@
 
 #include <cstdio>
 #include <iostream>
-#include <limits>
-#include <map>
 #include <memory>
 #include <string>
-#include <utility>
 
-#include "data/presets.h"
-#include "data/synthetic.h"
-#include "detect/simulated_detector.h"
-#include "exec/query_job.h"
+#include "net/server.h"
+#include "serve/protocol_handler.h"
 #include "serve/session_manager.h"
 #include "serve/stats_cache.h"
-#include "track/discriminator.h"
 #include "util/flags.h"
 #include "util/json.h"
 
 namespace exsample {
 namespace {
 
-Json Error(const std::string& message) {
-  return Json::Object().Set("ok", false).Set("error", message);
-}
-
-/// Datasets generated on demand and shared by every session that names the
-/// same (preset, scale); they must outlive their sessions, so they live for
-/// the whole process.
-class DatasetPool {
- public:
-  explicit DatasetPool(uint64_t seed) : seed_(seed) {}
-
-  /// Returns the dataset for (preset, scale), generating it on first use,
-  /// or nullptr for an unknown preset name.
-  const data::Dataset* Get(const std::string& preset, double scale) {
-    const std::string key = preset + "@" + std::to_string(scale);
-    auto it = datasets_.find(key);
-    if (it != datasets_.end()) return it->second.get();
-    bool known = false;
-    for (const std::string& name : data::PresetNames()) {
-      if (name == preset) known = true;
+/// The historical transport: one client on stdin/stdout, one handler.
+int ServeStdin(serve::ProtocolHandler* handler) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    serve::ProtocolHandler::Outcome outcome = handler->HandleLine(line);
+    if (!outcome.response.empty()) {
+      std::printf("%s\n", outcome.response.c_str());
+      std::fflush(stdout);
     }
-    if (!known) return nullptr;
-    auto dataset = std::make_unique<data::Dataset>(
-        data::MakePreset(preset, scale, seed_));
-    return datasets_.emplace(key, std::move(dataset)).first->second.get();
+    if (outcome.quit) break;
   }
-
- private:
-  const uint64_t seed_;
-  std::map<std::string, std::unique_ptr<data::Dataset>> datasets_;
-};
-
-Json HandleOpen(const Json& cmd, DatasetPool* datasets,
-                serve::SessionManager* manager, double default_scale) {
-  const std::string preset = cmd.GetString("preset", "");
-  const std::string class_name = cmd.GetString("class", "");
-  if (preset.empty() || class_name.empty()) {
-    return Error("open requires \"preset\" and \"class\"");
-  }
-  const double scale = cmd.GetDouble("scale", default_scale);
-  if (scale <= 0.0 || scale > 1.0) return Error("scale must be in (0, 1]");
-
-  // Validate the protocol fields before paying for dataset generation:
-  // unknown strategy/policy values are protocol errors, never silent
-  // fallbacks to the default.
-  exec::QueryJob job;
-  const std::string strategy = cmd.GetString("strategy", "exsample");
-  if (!core::ApplyStrategyName(strategy, &job.config)) {
-    return Error("unknown strategy: " + strategy);
-  }
-  const std::string policy = cmd.GetString("policy", "");
-  if (!policy.empty() &&
-      !core::ParsePolicyName(policy, &job.config.policy)) {
-    return Error("unknown policy: " + policy);
-  }
-  const int64_t group_size = cmd.GetInt("group_size", 0);
-  if (group_size < 0 || group_size > std::numeric_limits<int32_t>::max()) {
-    return Error("group_size must be in [0, 2^31) (0 = auto)");
-  }
-  job.config.group_size = static_cast<int32_t>(group_size);
-
-  const data::Dataset* dataset = datasets->Get(preset, scale);
-  if (dataset == nullptr) return Error("unknown preset: " + preset);
-  const data::ClassSpec* cls = dataset->FindClass(class_name);
-  if (cls == nullptr) return Error("class '" + class_name + "' not in " + preset);
-
-  job.repo = &dataset->repo;
-  job.chunks = &dataset->chunks;
-  job.spec.class_id = cls->class_id;
-  const int64_t limit = cmd.GetInt("limit", 0);
-  if (limit < 0 || (cmd.Has("limit") && limit == 0)) {
-    return Error("limit must be >= 1 (or omitted)");
-  }
-  if (limit > 0) job.spec.result_limit = limit;
-  const int64_t max_samples = cmd.GetInt("max_samples", 0);
-  if (max_samples < 0) return Error("max_samples must be >= 0");
-  job.spec.max_samples = max_samples;
-  if (cmd.Has("budget_seconds") && cmd.Has("cost_budget_seconds")) {
-    return Error("budget_seconds and cost_budget_seconds are aliases; "
-                 "pass only one");
-  }
-  const char* budget_key =
-      cmd.Has("cost_budget_seconds") ? "cost_budget_seconds"
-                                     : "budget_seconds";
-  const double budget = cmd.GetDouble(budget_key, 0.0);
-  if (budget < 0.0 || (cmd.Has(budget_key) && budget == 0.0)) {
-    return Error(std::string(budget_key) + " must be > 0 (or omitted)");
-  }
-  job.spec.max_seconds = budget;
-  job.config.cost_aware = cmd.GetBool("cost_aware", false);
-  const int64_t gop_run = cmd.GetInt("gop_run", 1);
-  if (gop_run < 1 || gop_run > std::numeric_limits<int32_t>::max()) {
-    return Error("gop_run must be in [1, 2^31)");
-  }
-  job.config.gop_run_frames = static_cast<int32_t>(gop_run);
-
-  const detect::ClassId class_id = cls->class_id;
-  job.make_detector = [dataset, class_id](uint64_t seed) {
-    return std::make_unique<detect::SimulatedDetector>(
-        &dataset->ground_truth, class_id, detect::DetectorConfig{}, seed);
-  };
-  const bool tracker = cmd.GetBool("tracker", false);
-  job.make_discriminator = [tracker]() -> std::unique_ptr<track::Discriminator> {
-    if (tracker) return std::make_unique<track::TrackerDiscriminator>();
-    return std::make_unique<track::OracleDiscriminator>();
-  };
-
-  serve::SessionOptions session_options;
-  session_options.deadline_seconds = cmd.GetDouble("deadline_seconds", 0.0);
-  if (session_options.deadline_seconds < 0.0) {
-    return Error("deadline_seconds must be >= 0");
-  }
-
-  // One cache entry per (preset, scale, class); the key survives restarts.
-  const std::string repo_key = preset + "@" + std::to_string(scale);
-  auto opened = manager->Open(std::move(job), session_options, repo_key);
-  if (!opened.ok()) return Error(opened.status().ToString());
-  // WarmStarted (not Poll): polling here would drain results the scheduler
-  // may already have found, stealing them from the client's first poll.
-  auto warm = manager->WarmStarted(opened.value());
-  Json response = Json::Object().Set("ok", true).Set("session",
-                                                     opened.value());
-  if (warm.ok()) response.Set("warm_started", warm.value());
-  return response;
+  return 0;
 }
 
-Json HandlePoll(const Json& cmd, serve::SessionManager* manager) {
-  const int64_t id = cmd.GetInt("session", -1);
-  auto poll = manager->Poll(id);
-  if (!poll.ok()) return Error(poll.status().ToString());
-  const serve::PollResult& p = poll.value();
-  Json response = Json::Object();
-  response.Set("ok", true)
-      .Set("session", p.session_id)
-      .Set("state", serve::SessionStateName(p.state))
-      .Set("stop_reason", serve::StopReasonName(p.stop_reason));
-  Json results = Json::Array();
-  for (const auto& d : p.new_results) {
-    results.Append(Json::Object()
-                       .Set("frame", d.frame)
-                       .Set("score", d.score)
-                       .Set("x", d.box.x)
-                       .Set("y", d.box.y)
-                       .Set("w", d.box.w)
-                       .Set("h", d.box.h));
+int ServeListen(const net::ServerOptions& options,
+                serve::SessionManager* manager, serve::StatsCache* cache,
+                serve::DatasetPool* datasets,
+                serve::ProtocolHandler::Options handler_options) {
+  // Connection handlers close their sessions on teardown so a vanished
+  // client cannot pin admission slots.
+  handler_options.close_sessions_on_destroy = true;
+  auto created = net::Server::Create(
+      options, [manager, cache, datasets, handler_options] {
+        return std::make_unique<serve::ProtocolHandler>(
+            manager, cache, datasets, handler_options);
+      });
+  if (!created.ok()) {
+    std::fprintf(stderr, "error: %s\n", created.status().ToString().c_str());
+    return 1;
   }
-  response.Set("new_results", std::move(results))
-      .Set("total_results", p.total_results)
-      .Set("frames_processed", p.frames_processed)
-      .Set("cost_seconds", p.cost_seconds)
-      .Set("cost_budget_seconds", p.cost_budget_seconds)
-      .Set("seconds_to_first_result", p.seconds_to_first_result)
-      .Set("wall_seconds", p.wall_seconds)
-      .Set("warm_started", p.warm_started);
-  return response;
+  net::Server* server = created.value().get();
+  Status handlers = server->InstallSignalHandlers();
+  if (!handlers.ok()) {
+    std::fprintf(stderr, "warning: %s\n", handlers.ToString().c_str());
+  }
+  // Machine-readable announcement so callers (tests, scripts) can discover
+  // an ephemeral port.
+  std::printf("%s\n", Json::Object()
+                          .Set("ok", true)
+                          .Set("listening", true)
+                          .Set("host", options.host)
+                          .Set("port", static_cast<int64_t>(server->port()))
+                          .Dump()
+                          .c_str());
+  std::fflush(stdout);
+  Status served = server->Serve();
+  if (!served.ok()) {
+    std::fprintf(stderr, "error: %s\n", served.ToString().c_str());
+    return 1;
+  }
+  return 0;
 }
 
 int Main(int argc, char** argv) {
@@ -222,6 +126,12 @@ int Main(int argc, char** argv) {
   const bool warm_start = flags.GetBool("warm-start");
   const double warm_weight = flags.GetDouble("warm-start-weight", 0.25);
   const std::string stats_file = flags.GetString("stats-file", "");
+  const bool listen = flags.Has("listen");
+  const int64_t listen_port = flags.GetInt("listen", 0);
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const int64_t max_conns = flags.GetInt("max-conns", 256);
+  const double idle_timeout = flags.GetDouble("idle-timeout", 0.0);
+  const int64_t max_line_bytes = flags.GetInt("max-line-bytes", 1 << 20);
   flags.FailOnUnknown();
   if (threads < 0) {
     std::fprintf(stderr, "error: --threads must be >= 0 (0 = all cores)\n");
@@ -243,6 +153,22 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "error: --warm-start-weight must be in (0, 1]\n");
     return 2;
   }
+  if (listen_port < 0 || listen_port > 65535) {
+    std::fprintf(stderr, "error: --listen must be in [0, 65535]\n");
+    return 2;
+  }
+  if (max_conns < 1) {
+    std::fprintf(stderr, "error: --max-conns must be >= 1\n");
+    return 2;
+  }
+  if (idle_timeout < 0.0) {
+    std::fprintf(stderr, "error: --idle-timeout must be >= 0 (0 = never)\n");
+    return 2;
+  }
+  if (max_line_bytes < 2) {
+    std::fprintf(stderr, "error: --max-line-bytes must be >= 2\n");
+    return 2;
+  }
 
   serve::StatsCache cache;
   if (!stats_file.empty()) {
@@ -255,7 +181,7 @@ int Main(int argc, char** argv) {
 
   // Declared before the manager: datasets must outlive the scheduler and
   // its sessions (reverse destruction order frees the manager first).
-  DatasetPool datasets(seed);
+  serve::DatasetPool datasets(seed);
 
   serve::SessionManager::Options options;
   options.threads = static_cast<size_t>(threads);
@@ -267,50 +193,24 @@ int Main(int argc, char** argv) {
   options.warm_start_weight = warm_weight;
   serve::SessionManager manager(options);
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.empty()) continue;
-    auto parsed = Json::Parse(line);
-    if (!parsed.ok()) {
-      std::printf("%s\n", Error(parsed.status().ToString()).Dump().c_str());
-      std::fflush(stdout);
-      continue;
-    }
-    const Json& cmd = parsed.value();
-    const std::string name = cmd.GetString("cmd", "");
-    Json response;
-    if (name == "open") {
-      response = HandleOpen(cmd, &datasets, &manager, scale);
-    } else if (name == "poll") {
-      response = HandlePoll(cmd, &manager);
-    } else if (name == "cancel" || name == "close") {
-      const int64_t id = cmd.GetInt("session", -1);
-      Status status = name == "cancel" ? manager.Cancel(id)
-                                       : manager.Close(id);
-      response = status.ok()
-                     ? Json::Object().Set("ok", true).Set("session", id)
-                     : Error(status.ToString());
-    } else if (name == "stats") {
-      response = Json::Object()
-                     .Set("ok", true)
-                     .Set("live_sessions",
-                          static_cast<int64_t>(manager.live_sessions()))
-                     .Set("open_sessions",
-                          static_cast<int64_t>(manager.open_sessions()))
-                     .Set("total_opened", manager.total_opened())
-                     .Set("cache_entries", static_cast<int64_t>(cache.size()))
-                     .Set("cache_queries", cache.queries_recorded())
-                     .Set("warm_start", warm_start);
-    } else if (name == "quit") {
-      std::printf("%s\n", Json::Object().Set("ok", true).Dump().c_str());
-      std::fflush(stdout);
-      break;
-    } else {
-      response = Error("unknown cmd: '" + name +
-                       "' (open|poll|cancel|close|stats|quit)");
-    }
-    std::printf("%s\n", response.Dump().c_str());
-    std::fflush(stdout);
+  serve::ProtocolHandler::Options handler_options;
+  handler_options.default_scale = scale;
+  handler_options.warm_start = warm_start;
+
+  int exit_code = 0;
+  if (listen) {
+    net::ServerOptions server_options;
+    server_options.host = host;
+    server_options.port = static_cast<uint16_t>(listen_port);
+    server_options.max_connections = static_cast<int>(max_conns);
+    server_options.idle_timeout_seconds = idle_timeout;
+    server_options.max_line_bytes = static_cast<size_t>(max_line_bytes);
+    exit_code = ServeListen(server_options, &manager, &cache, &datasets,
+                            handler_options);
+  } else {
+    serve::ProtocolHandler handler(&manager, &cache, &datasets,
+                                   handler_options);
+    exit_code = ServeStdin(&handler);
   }
 
   if (!stats_file.empty()) {
@@ -319,7 +219,7 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "warning: %s\n", saved.ToString().c_str());
     }
   }
-  return 0;
+  return exit_code;
 }
 
 }  // namespace
