@@ -19,10 +19,23 @@
 //                           largest sweep point (the concurrency payoff;
 //                           like every wall-clock bench here, the ratio
 //                           only exceeds ~1x on multi-core hosts)
+//   shard_sweep[]           per shard-count row ({1, 2, 4} up to
+//                           --shard-sweep-max; a fresh server per point,
+//                           same manager): session-phase TTFR p50/p95 and
+//                           a pipelined pure-protocol stats phase —
+//                           stats_requests, stats_seconds,
+//                           stats_requests_per_second
+//   shard_speedup_4_vs_1    pipelined stats requests/sec at the largest
+//                           shard point vs 1 shard (the tentpole claim:
+//                           >= 2x at 4 shards on a multi-core host)
+//   shard_ttfr_p95_1 / _max TTFR tail at 1 shard vs the largest point
+//                           (sharding must not cost first-result latency)
 //
 // Flags: --connections-max (32), --sessions-per-conn (4), --limit (10),
 //        --preset (dashcam), --scale (0.05), --slice-frames (256),
-//        --seed (23), --out (BENCH_net.json), --smoke (tiny sweep for CI).
+//        --seed (23), --out (BENCH_net.json), --smoke (tiny sweep for CI),
+//        --shards (1; shard count for the connection sweep's server),
+//        --shard-sweep-max (4; cap on the shard sweep, 0 disables it).
 
 #include <algorithm>
 #include <chrono>
@@ -151,6 +164,48 @@ struct SweepRow {
   double sessions_per_second = 0.0;
 };
 
+/// Pipelined pure-protocol load on one connection: `total` stats requests
+/// sent in windows of 64 (deep enough to amortize syscalls, shallow enough
+/// that server-side backpressure never deadlocks against our own unread
+/// responses). Returns the number of good responses.
+int64_t RunStatsPipeline(uint16_t port, int64_t total) {
+  auto connected = net::Client::Connect(kHost, port, 60.0);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.status().ToString().c_str());
+    return 0;
+  }
+  net::Client client = std::move(connected).value();
+  constexpr int64_t kWindow = 64;
+  int64_t completed = 0;
+  while (completed < total) {
+    const int64_t batch = std::min(kWindow, total - completed);
+    std::string lines;
+    for (int64_t i = 0; i < batch; ++i) lines += "{\"cmd\":\"stats\"}\n";
+    if (!client.SendRaw(lines).ok()) return completed;
+    for (int64_t i = 0; i < batch; ++i) {
+      auto line = client.ReadLine();
+      if (!line.ok()) {
+        std::fprintf(stderr, "stats read failed: %s\n",
+                     line.status().ToString().c_str());
+        return completed;
+      }
+      ++completed;
+    }
+  }
+  client.SendLine(R"({"cmd":"quit"})");
+  return completed;
+}
+
+struct ShardRow {
+  int shards = 0;
+  double ttfr_p50 = 0.0;
+  double ttfr_p95 = 0.0;
+  int64_t stats_requests = 0;
+  double stats_seconds = 0.0;
+  double stats_requests_per_second = 0.0;
+};
+
 int Main(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
   const bool smoke = flags.GetBool("smoke");
@@ -164,13 +219,17 @@ int Main(int argc, char** argv) {
   const int64_t slice_frames = flags.GetInt("slice-frames", 256);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 23));
   const std::string out_path = flags.GetString("out", "BENCH_net.json");
+  const int64_t shards = flags.GetInt("shards", 1);
+  const int64_t shard_sweep_max = flags.GetInt("shard-sweep-max", 4);
   flags.FailOnUnknown();
   if (connections_max < 1 || sessions_per_conn < 1 || limit < 1 ||
-      scale <= 0.0 || scale > 1.0 || slice_frames < 1) {
+      scale <= 0.0 || scale > 1.0 || slice_frames < 1 || shards < 1 ||
+      shard_sweep_max < 0) {
     std::fprintf(stderr,
                  "error: need --connections-max >= 1, --sessions-per-conn "
                  ">= 1, --limit >= 1, --scale in (0, 1], "
-                 "--slice-frames >= 1\n");
+                 "--slice-frames >= 1, --shards >= 1, "
+                 "--shard-sweep-max >= 0\n");
     return 2;
   }
 
@@ -194,17 +253,24 @@ int Main(int argc, char** argv) {
   manager_options.base_seed = seed;
   serve::SessionManager manager(manager_options);
 
-  net::ServerOptions server_options;
-  server_options.host = kHost;
-  server_options.port = 0;
-  server_options.max_connections = static_cast<int>(connections_max + 8);
-  auto created =
-      net::Server::Create(server_options, [&manager, &cache, &datasets] {
-        serve::ProtocolHandler::Options handler_options;
-        handler_options.close_sessions_on_destroy = true;
-        return std::make_unique<serve::ProtocolHandler>(
-            &manager, &cache, &datasets, handler_options);
-      });
+  // Every server in this bench shares the one manager/cache/dataset pool —
+  // the sharding tentpole moves the transport, never the scheduler.
+  auto make_server = [&manager, &cache, &datasets, connections_max](
+                         int server_shards) {
+    net::ServerOptions server_options;
+    server_options.host = kHost;
+    server_options.port = 0;
+    server_options.max_connections = static_cast<int>(connections_max + 8);
+    server_options.shards = server_shards;
+    return net::Server::Create(server_options, [&manager, &cache, &datasets] {
+      serve::ProtocolHandler::Options handler_options;
+      handler_options.close_sessions_on_destroy = true;
+      return std::make_unique<serve::ProtocolHandler>(
+          &manager, &cache, &datasets, handler_options);
+    });
+  };
+
+  auto created = make_server(static_cast<int>(shards));
   if (!created.ok()) {
     std::fprintf(stderr, "error: %s\n", created.status().ToString().c_str());
     return 1;
@@ -279,6 +345,105 @@ int Main(int argc, char** argv) {
   server->RequestStop();
   loop.join();
 
+  // Shard sweep: a fresh server per shard count, same warm manager. Phase
+  // one drives real sessions for TTFR percentiles; phase two hammers the
+  // event loops with pipelined stats requests — pure transport + protocol
+  // work, no scheduler time — which is where shard scaling shows.
+  std::vector<ShardRow> shard_rows;
+  const int64_t stats_per_conn = smoke ? 500 : 5000;
+  constexpr int64_t kShardPhaseConnections = 4;
+  for (int candidate : {1, 2, 4}) {
+    if (candidate > shard_sweep_max) continue;
+    auto shard_server_created = make_server(candidate);
+    if (!shard_server_created.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   shard_server_created.status().ToString().c_str());
+      return 1;
+    }
+    net::Server* shard_server = shard_server_created.value().get();
+    std::thread shard_loop([shard_server] { shard_server->Serve(); });
+
+    ShardRow row;
+    row.shards = candidate;
+    {
+      const LoadConfig config{shard_server->port(), sessions_per_conn, limit,
+                              preset, scale};
+      std::vector<ClientOutcome> outcomes(kShardPhaseConnections);
+      std::vector<std::thread> clients;
+      for (int64_t c = 0; c < kShardPhaseConnections; ++c) {
+        clients.emplace_back([&config, &outcomes, c] {
+          outcomes[static_cast<size_t>(c)] = RunClient(config);
+        });
+      }
+      for (auto& thread : clients) thread.join();
+      std::vector<double> ttfr;
+      for (const auto& outcome : outcomes) {
+        if (!outcome.ok) {
+          std::fprintf(stderr, "error: a shard-sweep client failed\n");
+          shard_server->RequestStop();
+          shard_loop.join();
+          return 1;
+        }
+        for (double t : outcome.ttfr_seconds) {
+          if (t >= 0) ttfr.push_back(t);
+        }
+      }
+      if (!ttfr.empty()) {
+        row.ttfr_p50 = Percentile(ttfr, 0.5);
+        row.ttfr_p95 = Percentile(ttfr, 0.95);
+      }
+    }
+    {
+      std::vector<int64_t> counts(kShardPhaseConnections, 0);
+      std::vector<std::thread> clients;
+      const uint16_t port = shard_server->port();
+      const double start = Now();
+      for (int64_t c = 0; c < kShardPhaseConnections; ++c) {
+        clients.emplace_back([port, stats_per_conn, &counts, c] {
+          counts[static_cast<size_t>(c)] =
+              RunStatsPipeline(port, stats_per_conn);
+        });
+      }
+      for (auto& thread : clients) thread.join();
+      row.stats_seconds = Now() - start;
+      for (int64_t count : counts) row.stats_requests += count;
+      if (row.stats_requests != kShardPhaseConnections * stats_per_conn) {
+        std::fprintf(stderr, "error: stats pipeline fell short\n");
+        shard_server->RequestStop();
+        shard_loop.join();
+        return 1;
+      }
+      row.stats_requests_per_second =
+          row.stats_seconds > 0
+              ? static_cast<double>(row.stats_requests) / row.stats_seconds
+              : 0.0;
+    }
+    shard_rows.push_back(row);
+    shard_server->RequestStop();
+    shard_loop.join();
+  }
+
+  if (!shard_rows.empty()) {
+    Table shard_table({"shards", "ttfr p50", "ttfr p95", "stats reqs",
+                       "seconds", "stats req/s"});
+    for (const ShardRow& row : shard_rows) {
+      shard_table.AddRow({Table::Int(row.shards), Table::Num(row.ttfr_p50, 4),
+                          Table::Num(row.ttfr_p95, 4),
+                          Table::Int(row.stats_requests),
+                          Table::Num(row.stats_seconds, 4),
+                          Table::Num(row.stats_requests_per_second, 1)});
+    }
+    std::printf("%s\n", shard_table.ToString().c_str());
+    const double shard_speedup =
+        shard_rows.front().stats_requests_per_second > 0
+            ? shard_rows.back().stats_requests_per_second /
+                  shard_rows.front().stats_requests_per_second
+            : 0.0;
+    std::printf("pipelined stats throughput at %d shards vs 1: %s%s\n",
+                shard_rows.back().shards, Table::Ratio(shard_speedup).c_str(),
+                hw < 2 ? " (1-core host: scaling shows on multi-core)" : "");
+  }
+
   const SweepRow& first = rows.front();
   const SweepRow& last = rows.back();
   const double speedup = first.sessions_per_second > 0
@@ -314,7 +479,31 @@ int Main(int argc, char** argv) {
   doc.Set("sweep", std::move(sweep))
       .Set("requests_per_second_1", first.requests_per_second)
       .Set("requests_per_second_max", last.requests_per_second)
-      .Set("speedup_max_vs_1_connections", speedup);
+      .Set("speedup_max_vs_1_connections", speedup)
+      .Set("shards", shards);
+  if (!shard_rows.empty()) {
+    Json shard_sweep = Json::Array();
+    for (const ShardRow& row : shard_rows) {
+      shard_sweep.Append(
+          Json::Object()
+              .Set("shards", static_cast<int64_t>(row.shards))
+              .Set("ttfr_p50_seconds", row.ttfr_p50)
+              .Set("ttfr_p95_seconds", row.ttfr_p95)
+              .Set("stats_requests", row.stats_requests)
+              .Set("stats_seconds", row.stats_seconds)
+              .Set("stats_requests_per_second",
+                   row.stats_requests_per_second));
+    }
+    const double shard_speedup =
+        shard_rows.front().stats_requests_per_second > 0
+            ? shard_rows.back().stats_requests_per_second /
+                  shard_rows.front().stats_requests_per_second
+            : 0.0;
+    doc.Set("shard_sweep", std::move(shard_sweep))
+        .Set("shard_speedup_4_vs_1", shard_speedup)
+        .Set("shard_ttfr_p95_1", shard_rows.front().ttfr_p95)
+        .Set("shard_ttfr_p95_max", shard_rows.back().ttfr_p95);
+  }
 
   std::ofstream out(out_path);
   if (!out.good()) {

@@ -2,12 +2,16 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
+
+#include <chrono>
 
 namespace exsample {
 namespace net {
@@ -59,10 +63,56 @@ Result<Client> Client::Connect(const std::string& host, uint16_t port,
   if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     return Status::InvalidArgument("bad IPv4 address: " + host);
   }
+
+  const std::string where = host + ":" + std::to_string(port);
+  if (timeout_seconds <= 0.0) {
+    // No deadline requested: plain blocking connect.
+    if (connect(client.fd_, reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+      return Status::InvalidArgument("connect " + where + ": " +
+                                     strerror(errno));
+    }
+    return client;
+  }
+
+  // Bounded connect: SO_SNDTIMEO does not govern connect(2) on all
+  // kernels, and an unreachable peer otherwise hangs for the SYN-retry
+  // minutes. Go non-blocking for the handshake, then restore.
+  const int flags = fcntl(client.fd_, F_GETFL, 0);
+  if (flags < 0 ||
+      fcntl(client.fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::InvalidArgument(std::string("fcntl(O_NONBLOCK): ") +
+                                   strerror(errno));
+  }
   if (connect(client.fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    return Status::InvalidArgument("connect " + host + ":" +
-                                   std::to_string(port) + ": " +
+    if (errno != EINPROGRESS) {
+      return Status::InvalidArgument("connect " + where + ": " +
+                                     strerror(errno));
+    }
+    pollfd waiter{client.fd_, POLLOUT, 0};
+    const int timeout_ms = static_cast<int>(timeout_seconds * 1000.0);
+    int ready;
+    do {
+      ready = poll(&waiter, 1, timeout_ms);
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) {
+      return Status::InvalidArgument(std::string("poll: ") + strerror(errno));
+    }
+    if (ready == 0) {
+      return Status::DeadlineExceeded("connect " + where + ": timed out after " +
+                                      std::to_string(timeout_seconds) + "s");
+    }
+    int error = 0;
+    socklen_t len = sizeof(error);
+    if (getsockopt(client.fd_, SOL_SOCKET, SO_ERROR, &error, &len) != 0 ||
+        error != 0) {
+      return Status::InvalidArgument("connect " + where + ": " +
+                                     strerror(error != 0 ? error : errno));
+    }
+  }
+  if (fcntl(client.fd_, F_SETFL, flags) < 0) {
+    return Status::InvalidArgument(std::string("fcntl(restore): ") +
                                    strerror(errno));
   }
   return client;
@@ -107,6 +157,49 @@ Result<std::string> Client::ReadLine() {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return Status::InvalidArgument("read timed out");
       }
+      return Status::InvalidArgument(std::string("recv: ") + strerror(errno));
+    }
+    in_.Append(buffer, static_cast<size_t>(n));
+  }
+}
+
+Result<std::string> Client::ReadLineWithTimeout(double timeout_seconds) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::microseconds(
+                         static_cast<int64_t>(timeout_seconds * 1e6));
+  std::string line;
+  while (true) {
+    switch (in_.Pop(&line)) {
+      case LineBuffer::Next::kLine:
+        return line;
+      case LineBuffer::Next::kOverflow:
+        return Status::InvalidArgument("response line too long");
+      case LineBuffer::Next::kNeedMore:
+        break;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) {
+      return Status::DeadlineExceeded("read timed out after " +
+                                      std::to_string(timeout_seconds) + "s");
+    }
+    pollfd waiter{fd_, POLLIN, 0};
+    const int ready = poll(&waiter, 1, static_cast<int>(remaining.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::InvalidArgument(std::string("poll: ") + strerror(errno));
+    }
+    if (ready == 0) {
+      return Status::DeadlineExceeded("read timed out after " +
+                                      std::to_string(timeout_seconds) + "s");
+    }
+    char buffer[64 * 1024];
+    const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
+    if (n == 0) return Status::NotFound("connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Status::InvalidArgument(std::string("recv: ") + strerror(errno));
     }
     in_.Append(buffer, static_cast<size_t>(n));

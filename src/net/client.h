@@ -22,10 +22,12 @@ namespace net {
 class Client {
  public:
   /// Connects to host:port (IPv4 dotted-quad). `timeout_seconds` bounds
-  /// every subsequent send/receive (0 = block forever).
-  /// `max_response_bytes` bounds one response line — a poll of a session
-  /// with tens of thousands of accumulated results can legitimately
-  /// exceed a small cap, so the default is generous.
+  /// the connect itself (non-blocking connect + poll, so a wedged or
+  /// black-holed server fails the call instead of hanging the caller for
+  /// the kernel's SYN-retry minutes) and every subsequent send/receive
+  /// (0 = block forever). `max_response_bytes` bounds one response line —
+  /// a poll of a session with tens of thousands of accumulated results
+  /// can legitimately exceed a small cap, so the default is generous.
   static Result<Client> Connect(const std::string& host, uint16_t port,
                                 double timeout_seconds = 10.0,
                                 size_t max_response_bytes = 64 << 20);
@@ -55,6 +57,13 @@ class Client {
   /// Blocks for the next '\n'-terminated line (returned without the '\n').
   /// NotFound signals orderly EOF — the server closed the connection.
   Result<std::string> ReadLine();
+
+  /// ReadLine with an explicit overall deadline: gives up with
+  /// kDeadlineExceeded after `timeout_seconds` even if the connection's
+  /// own I/O timeout is longer (or absent). Bytes already buffered still
+  /// count; a deadline hit mid-line leaves the partial line buffered for
+  /// a later read.
+  Result<std::string> ReadLineWithTimeout(double timeout_seconds);
 
   /// SendLine(request.Dump()) + ReadLine() + parse: one protocol exchange.
   Result<Json> Call(const Json& request);

@@ -1,0 +1,208 @@
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <unordered_map>
+#include <utility>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#define EXSAMPLE_HAVE_EPOLL 1
+#else
+#define EXSAMPLE_HAVE_EPOLL 0
+#endif
+
+namespace exsample {
+namespace net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::InvalidArgument(std::string(what) + ": " + strerror(errno));
+}
+
+/// Portable fallback: poll(2) over a persistent vector. `fds_` and the
+/// parallel `data_` are edited in place by Add/Modify/Remove (remove is
+/// swap-with-last), so a tick allocates nothing once the vectors reach
+/// their high-water size.
+class PollLoop final : public EventLoop {
+ public:
+  Status Add(int fd, bool want_read, bool want_write, void* data) override {
+    if (index_.count(fd) > 0) {
+      return Status::InvalidArgument("poll loop: fd already registered");
+    }
+    index_[fd] = fds_.size();
+    fds_.push_back(pollfd{fd, Events(want_read, want_write), 0});
+    data_.push_back(data);
+    return Status::Ok();
+  }
+
+  Status Modify(int fd, bool want_read, bool want_write,
+                void* data) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) {
+      return Status::InvalidArgument("poll loop: fd not registered");
+    }
+    fds_[it->second].events = Events(want_read, want_write);
+    data_[it->second] = data;
+    return Status::Ok();
+  }
+
+  Status Remove(int fd) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) {
+      return Status::InvalidArgument("poll loop: fd not registered");
+    }
+    const size_t at = it->second;
+    const size_t last = fds_.size() - 1;
+    if (at != last) {
+      fds_[at] = fds_[last];
+      data_[at] = data_[last];
+      index_[fds_[at].fd] = at;
+    }
+    fds_.pop_back();
+    data_.pop_back();
+    index_.erase(it);
+    return Status::Ok();
+  }
+
+  Result<int> Wait(int timeout_ms, std::vector<Event>* events) override {
+    events->clear();
+    const int ready =
+        poll(fds_.data(), static_cast<nfds_t>(fds_.size()), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) return 0;
+      return Errno("poll");
+    }
+    if (ready == 0) return 0;
+    for (size_t i = 0; i < fds_.size(); ++i) {
+      const short revents = fds_[i].revents;
+      if (revents == 0) continue;
+      Event event;
+      event.data = data_[i];
+      event.readable = (revents & POLLIN) != 0;
+      event.writable = (revents & POLLOUT) != 0;
+      event.error = (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      events->push_back(event);
+    }
+    return static_cast<int>(events->size());
+  }
+
+  size_t size() const override { return fds_.size(); }
+  const char* backend_name() const override { return "poll"; }
+
+ private:
+  static short Events(bool want_read, bool want_write) {
+    short events = 0;
+    if (want_read) events |= POLLIN;
+    if (want_write) events |= POLLOUT;
+    return events;
+  }
+
+  std::vector<pollfd> fds_;
+  std::vector<void*> data_;
+  std::unordered_map<int, size_t> index_;
+};
+
+#if EXSAMPLE_HAVE_EPOLL
+
+class EpollLoop final : public EventLoop {
+ public:
+  static Result<std::unique_ptr<EventLoop>> Make() {
+    const int fd = epoll_create1(EPOLL_CLOEXEC);
+    if (fd < 0) return Errno("epoll_create1");
+    auto loop = std::unique_ptr<EpollLoop>(new EpollLoop());
+    loop->epoll_fd_ = fd;
+    return std::unique_ptr<EventLoop>(std::move(loop));
+  }
+
+  ~EpollLoop() override {
+    if (epoll_fd_ >= 0) close(epoll_fd_);
+  }
+
+  Status Add(int fd, bool want_read, bool want_write, void* data) override {
+    epoll_event event = Spec(want_read, want_write, data);
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+      return Errno("epoll_ctl(ADD)");
+    }
+    ++size_;
+    return Status::Ok();
+  }
+
+  Status Modify(int fd, bool want_read, bool want_write,
+                void* data) override {
+    epoll_event event = Spec(want_read, want_write, data);
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+      return Errno("epoll_ctl(MOD)");
+    }
+    return Status::Ok();
+  }
+
+  Status Remove(int fd) override {
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+      return Errno("epoll_ctl(DEL)");
+    }
+    --size_;
+    return Status::Ok();
+  }
+
+  Result<int> Wait(int timeout_ms, std::vector<Event>* events) override {
+    events->clear();
+    epoll_event ready[256];
+    const int n = epoll_wait(epoll_fd_, ready, 256, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return 0;
+      return Errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      Event event;
+      event.data = ready[i].data.ptr;
+      event.readable = (ready[i].events & EPOLLIN) != 0;
+      event.writable = (ready[i].events & EPOLLOUT) != 0;
+      event.error = (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      events->push_back(event);
+    }
+    return n;
+  }
+
+  size_t size() const override { return size_; }
+  const char* backend_name() const override { return "epoll"; }
+
+ private:
+  EpollLoop() = default;
+
+  static epoll_event Spec(bool want_read, bool want_write, void* data) {
+    epoll_event event{};
+    if (want_read) event.events |= EPOLLIN;
+    if (want_write) event.events |= EPOLLOUT;
+    event.data.ptr = data;
+    return event;
+  }
+
+  int epoll_fd_ = -1;
+  size_t size_ = 0;
+};
+
+#endif  // EXSAMPLE_HAVE_EPOLL
+
+}  // namespace
+
+bool EventLoop::EpollSupported() { return EXSAMPLE_HAVE_EPOLL != 0; }
+
+Result<std::unique_ptr<EventLoop>> EventLoop::Create(Backend backend) {
+#if EXSAMPLE_HAVE_EPOLL
+  if (backend == Backend::kAuto || backend == Backend::kEpoll) {
+    return EpollLoop::Make();
+  }
+#else
+  if (backend == Backend::kEpoll) {
+    return Status::InvalidArgument("epoll is not available on this platform");
+  }
+#endif
+  return std::unique_ptr<EventLoop>(new PollLoop());
+}
+
+}  // namespace net
+}  // namespace exsample

@@ -5,13 +5,14 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <signal.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "net/line_buffer.h"
@@ -23,10 +24,14 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Write-end of the wake pipe of the server that installed signal
+std::chrono::microseconds Micros(double seconds) {
+  return std::chrono::microseconds(static_cast<int64_t>(seconds * 1e6));
+}
+
+/// Write-end of the stop pipe of the server that installed signal
 /// handlers. A signal handler may only touch async-signal-safe state, so
-/// the handler just writes one byte here; the event loop interprets any
-/// wake-pipe byte as a stop request.
+/// the handler just writes one byte here; every shard interprets a
+/// readable stop pipe as a drain request.
 std::atomic<int> g_signal_wake_fd{-1};
 
 void OnStopSignal(int sig) {
@@ -64,6 +69,9 @@ struct Server::Connection {
   explicit Connection(size_t max_line_bytes) : in(max_line_bytes) {}
 
   int fd = -1;
+  /// Position in the owning shard's connection vector (swap-remove keeps
+  /// it current).
+  size_t index = 0;
   LineBuffer in;
   std::string out;        // pending response bytes
   size_t out_offset = 0;  // prefix of `out` already written
@@ -71,8 +79,41 @@ struct Server::Connection {
   Clock::time_point last_activity;
   /// Stop reading (quit / overflow / drain); close once `out` flushes.
   bool closing = false;
+  /// Interest currently registered with the event loop (so UpdateInterest
+  /// only issues a syscall when something changed).
+  bool want_read = false;
+  bool want_write = false;
 
   size_t pending_out() const { return out.size() - out_offset; }
+};
+
+struct Server::Shard {
+  int index = 0;
+  std::unique_ptr<EventLoop> loop;
+  /// Own listener (every shard in reuseport mode; shard 0 in handoff).
+  int listen_fd = -1;
+  /// Handoff/wake pipe: the acceptor (or RequestStop racing an inbox
+  /// push) writes a byte to nudge this shard's loop.
+  int wake_read_fd = -1;
+  int wake_write_fd = -1;
+  /// Spare fd burned to accept-and-drop under EMFILE (see AcceptNew).
+  int reserve_fd = -1;
+  /// Connections owned by this shard — touched only from its thread.
+  std::vector<std::unique_ptr<Connection>> connections;
+  /// Accepted fds handed off by the acceptor shard, awaiting adoption.
+  std::mutex inbox_mu;
+  std::vector<int> inbox;
+  /// connections.size(), mirrored for cross-thread reads.
+  std::atomic<size_t> active{0};
+  std::thread thread;
+  Status status = Status::Ok();
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+  /// Tag bytes: their addresses identify control events in the loop
+  /// (everything else is a Connection*).
+  char listener_tag = 0;
+  char wake_tag = 0;
+  char stop_tag = 0;
 };
 
 Server::Server(ServerOptions options, HandlerFactory factory)
@@ -89,14 +130,32 @@ Server::~Server() {
     sigaction(SIGINT, &dfl, nullptr);
     sigaction(SIGTERM, &dfl, nullptr);
   }
-  if (g_signal_wake_fd.load(std::memory_order_relaxed) == wake_write_fd_) {
+  if (g_signal_wake_fd.load(std::memory_order_relaxed) == stop_write_fd_) {
     g_signal_wake_fd.store(-1, std::memory_order_relaxed);
   }
-  for (size_t i = connections_.size(); i > 0; --i) DestroyConnection(i - 1);
-  if (listen_fd_ >= 0) close(listen_fd_);
-  if (wake_read_fd_ >= 0) close(wake_read_fd_);
-  if (wake_write_fd_ >= 0) close(wake_write_fd_);
-  if (reserve_fd_ >= 0) close(reserve_fd_);
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+    for (auto& conn : shard->connections) {
+      if (conn->fd >= 0) close(conn->fd);
+      conn->handler.reset();
+    }
+    for (int fd : shard->inbox) close(fd);
+    if (shard->listen_fd >= 0) close(shard->listen_fd);
+    if (shard->wake_read_fd >= 0) close(shard->wake_read_fd);
+    if (shard->wake_write_fd >= 0) close(shard->wake_write_fd);
+    if (shard->reserve_fd >= 0) close(shard->reserve_fd);
+  }
+  if (stop_read_fd_ >= 0) close(stop_read_fd_);
+  // The write end is what OnStopSignal writes to. Even after the handler
+  // is de-registered above, a signal that landed on another thread may
+  // already be executing with the old fd value loaded — closing here
+  // would race that in-flight write (and could hand the recycled fd
+  // number to an unrelated file). If handlers were ever installed, leak
+  // the single write end instead: InstallSignalHandlers is a
+  // once-per-process affair and the process is on its way out.
+  if (stop_write_fd_ >= 0 && !installed_signal_handlers_) {
+    close(stop_write_fd_);
+  }
 }
 
 Result<std::unique_ptr<Server>> Server::Create(const ServerOptions& options,
@@ -110,11 +169,60 @@ Result<std::unique_ptr<Server>> Server::Create(const ServerOptions& options,
   if (options.max_line_bytes < 2) {
     return Status::InvalidArgument("max_line_bytes must be >= 2");
   }
-  std::unique_ptr<Server> server(
-      new Server(options, std::move(factory)));
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  std::unique_ptr<Server> server(new Server(options, std::move(factory)));
   Status bound = server->Bind();
   if (!bound.ok()) return bound;
   return server;
+}
+
+Result<int> Server::BindListener(uint16_t port, bool reuseport) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::InvalidArgument(std::string("socket: ") + strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport) {
+#ifdef SO_REUSEPORT
+    if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      close(fd);
+      return Status::InvalidArgument(std::string("setsockopt(SO_REUSEPORT): ") +
+                                     strerror(errno));
+    }
+#else
+    close(fd);
+    return Status::InvalidArgument("SO_REUSEPORT is not available");
+#endif
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad IPv4 bind address: " + options_.host);
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::InvalidArgument(
+        "bind " + options_.host + ":" + std::to_string(port) + ": " +
+        strerror(errno));
+    close(fd);
+    return status;
+  }
+  if (listen(fd, 128) != 0) {
+    Status status =
+        Status::InvalidArgument(std::string("listen: ") + strerror(errno));
+    close(fd);
+    return status;
+  }
+  Status status = SetNonBlocking(fd);
+  if (!status.ok()) {
+    close(fd);
+    return status;
+  }
+  return fd;
 }
 
 Status Server::Bind() {
@@ -122,62 +230,89 @@ Status Server::Bind() {
   if (pipe(pipe_fds) != 0) {
     return Status::InvalidArgument(std::string("pipe: ") + strerror(errno));
   }
-  wake_read_fd_ = pipe_fds[0];
-  wake_write_fd_ = pipe_fds[1];
+  stop_read_fd_ = pipe_fds[0];
+  stop_write_fd_ = pipe_fds[1];
   for (int fd : pipe_fds) {
     Status status = SetNonBlocking(fd);
     if (!status.ok()) return status;
   }
 
-  // Held in reserve so fd exhaustion can still accept-and-drop (see
-  // AcceptNew); harmless if it fails to open.
-  reserve_fd_ = open("/dev/null", O_RDONLY);
+  for (int i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    auto loop = EventLoop::Create(options_.backend);
+    if (!loop.ok()) return loop.status();
+    shard->loop = std::move(loop).value();
+    int wake[2];
+    if (pipe(wake) != 0) {
+      return Status::InvalidArgument(std::string("pipe: ") + strerror(errno));
+    }
+    shard->wake_read_fd = wake[0];
+    shard->wake_write_fd = wake[1];
+    for (int fd : wake) {
+      Status status = SetNonBlocking(fd);
+      if (!status.ok()) return status;
+    }
+    shards_.push_back(std::move(shard));
+  }
 
-  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::InvalidArgument(std::string("socket: ") + strerror(errno));
+  // Listener strategy. SO_REUSEPORT gives every shard its own accept
+  // queue with kernel-side load spreading; the handoff fallback (also the
+  // shards == 1 shape, where they coincide) accepts on shard 0 and deals
+  // connections round-robin.
+  const bool try_reuseport =
+      options_.shards > 1 &&
+      options_.listener_mode != ServerOptions::ListenerMode::kHandoff;
+  if (try_reuseport) {
+    auto first = BindListener(options_.port, /*reuseport=*/true);
+    if (first.ok()) {
+      reuseport_ = true;
+      shards_[0]->listen_fd = first.value();
+    } else if (options_.listener_mode ==
+               ServerOptions::ListenerMode::kReusePort) {
+      return first.status();
+    }
   }
-  const int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("bad IPv4 bind address: " + options_.host);
+  if (!reuseport_) {
+    auto fd = BindListener(options_.port, /*reuseport=*/false);
+    if (!fd.ok()) return fd.status();
+    shards_[0]->listen_fd = fd.value();
   }
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    return Status::InvalidArgument("bind " + options_.host + ":" +
-                                   std::to_string(options_.port) + ": " +
-                                   strerror(errno));
-  }
-  if (listen(listen_fd_, 128) != 0) {
-    return Status::InvalidArgument(std::string("listen: ") + strerror(errno));
-  }
-  Status status = SetNonBlocking(listen_fd_);
-  if (!status.ok()) return status;
 
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
-  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
-      0) {
+  if (getsockname(shards_[0]->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                  &len) != 0) {
     return Status::InvalidArgument(std::string("getsockname: ") +
                                    strerror(errno));
   }
   port_ = ntohs(bound.sin_port);
+
+  if (reuseport_) {
+    // The remaining shards bind the now-resolved port.
+    for (size_t i = 1; i < shards_.size(); ++i) {
+      auto fd = BindListener(port_, /*reuseport=*/true);
+      if (!fd.ok()) return fd.status();
+      shards_[i]->listen_fd = fd.value();
+    }
+  }
+  for (auto& shard : shards_) {
+    // Held in reserve so fd exhaustion can still accept-and-drop (see
+    // AcceptNew); harmless if it fails to open.
+    if (shard->listen_fd >= 0) shard->reserve_fd = open("/dev/null", O_RDONLY);
+  }
   return Status::Ok();
 }
 
 void Server::RequestStop() {
-  if (wake_write_fd_ < 0) return;
+  if (stop_write_fd_ < 0) return;
   const char byte = 'q';
-  [[maybe_unused]] ssize_t n = write(wake_write_fd_, &byte, 1);
+  [[maybe_unused]] ssize_t n = write(stop_write_fd_, &byte, 1);
 }
 
 Status Server::InstallSignalHandlers() {
   int expected = -1;
-  if (!g_signal_wake_fd.compare_exchange_strong(expected, wake_write_fd_,
+  if (!g_signal_wake_fd.compare_exchange_strong(expected, stop_write_fd_,
                                                 std::memory_order_relaxed)) {
     return Status::FailedPrecondition(
         "another net::Server already installed signal handlers");
@@ -185,7 +320,7 @@ Status Server::InstallSignalHandlers() {
   struct sigaction action {};
   action.sa_handler = OnStopSignal;
   sigemptyset(&action.sa_mask);
-  action.sa_flags = 0;  // interrupt poll() so the stop is prompt
+  action.sa_flags = 0;  // interrupt the wait so the stop is prompt
   if (sigaction(SIGINT, &action, nullptr) != 0 ||
       sigaction(SIGTERM, &action, nullptr) != 0) {
     return Status::InvalidArgument(std::string("sigaction: ") +
@@ -195,27 +330,40 @@ Status Server::InstallSignalHandlers() {
   return Status::Ok();
 }
 
-void Server::AcceptNew() {
+std::vector<size_t> Server::ConnectionsPerShard() const {
+  std::vector<size_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    counts.push_back(shard->active.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+void Server::AcceptNew(Shard* shard) {
   while (true) {
-    const int fd = accept(listen_fd_, nullptr, nullptr);
+    const int fd = accept(shard->listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EMFILE || errno == ENFILE) {
         // Fd exhaustion: the queued connection stays pending, and
-        // level-triggered poll would re-report the listen fd forever — a
-        // busy spin that never serves anyone. Burn the reserve fd to
+        // level-triggered readiness would re-report the listen fd forever
+        // — a busy spin that never serves anyone. Burn the reserve fd to
         // accept-and-drop the connection, then re-arm the reserve.
-        if (reserve_fd_ >= 0) {
-          close(reserve_fd_);
-          reserve_fd_ = -1;
-          const int victim = accept(listen_fd_, nullptr, nullptr);
+        if (shard->reserve_fd >= 0) {
+          close(shard->reserve_fd);
+          shard->reserve_fd = -1;
+          const int victim = accept(shard->listen_fd, nullptr, nullptr);
           if (victim >= 0) close(victim);
-          reserve_fd_ = open("/dev/null", O_RDONLY);
+          shard->reserve_fd = open("/dev/null", O_RDONLY);
           continue;
         }
       }
       return;  // EAGAIN / transient error: try next round
     }
-    if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+    // Claim a slot first so concurrent reuseport acceptors cannot
+    // collectively overshoot the cap.
+    if (total_connections_.fetch_add(1, std::memory_order_relaxed) >=
+        static_cast<size_t>(options_.max_connections)) {
+      total_connections_.fetch_sub(1, std::memory_order_relaxed);
       // Best-effort refusal so the client sees why instead of a bare RST.
       const std::string refusal = ErrorLine(
           "server full (" + std::to_string(options_.max_connections) +
@@ -227,20 +375,57 @@ void Server::AcceptNew() {
     }
     if (!SetNonBlocking(fd).ok()) {
       close(fd);
+      total_connections_.fetch_sub(1, std::memory_order_relaxed);
       continue;
     }
     const int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_unique<Connection>(options_.max_line_bytes);
-    conn->fd = fd;
-    conn->handler = factory_();
-    conn->last_activity = Clock::now();
-    connections_.push_back(std::move(conn));
-    active_connections_.store(connections_.size(), std::memory_order_relaxed);
+
+    Shard* target = shard;
+    if (!reuseport_ && shards_.size() > 1) {
+      // Handoff mode: only the acceptor shard runs this, so the
+      // round-robin cursor needs no lock.
+      target = shards_[next_shard_++ % shards_.size()].get();
+    }
+    if (target == shard) {
+      AdoptFd(shard, fd);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(target->inbox_mu);
+        target->inbox.push_back(fd);
+      }
+      const char byte = 'c';
+      [[maybe_unused]] ssize_t n = write(target->wake_write_fd, &byte, 1);
+    }
   }
 }
 
-bool Server::ReadAndHandle(Connection* conn) {
+void Server::AdoptFd(Shard* shard, int fd) {
+  if (shard->draining) {
+    // Raced a shutdown: the connection was admitted but its shard is
+    // already going away.
+    close(fd);
+    total_connections_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  auto conn = std::make_unique<Connection>(options_.max_line_bytes);
+  conn->fd = fd;
+  conn->handler = factory_();
+  conn->last_activity = Clock::now();
+  conn->want_read = true;
+  conn->index = shard->connections.size();
+  Status added = shard->loop->Add(fd, /*want_read=*/true,
+                                  /*want_write=*/false, conn.get());
+  if (!added.ok()) {
+    close(fd);
+    total_connections_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  shard->connections.push_back(std::move(conn));
+  shard->active.store(shard->connections.size(), std::memory_order_relaxed);
+}
+
+bool Server::ReadAndHandle(Shard* shard, Connection* conn) {
   char buffer[64 * 1024];
   const ssize_t n = recv(conn->fd, buffer, sizeof(buffer), 0);
   if (n == 0) {
@@ -270,7 +455,7 @@ bool Server::ReadAndHandle(Connection* conn) {
   conn->in.Append(buffer, static_cast<size_t>(n));
 
   std::string line;
-  while (!conn->closing) {
+  while (!conn->closing && !shard->draining) {
     const LineBuffer::Next next = conn->in.Pop(&line);
     if (next == LineBuffer::Next::kNeedMore) break;
     if (next == LineBuffer::Next::kOverflow) {
@@ -308,103 +493,189 @@ bool Server::FlushWrites(Connection* conn) {
   return !conn->closing;  // fully flushed: a closing connection is done
 }
 
-void Server::DestroyConnection(size_t index) {
-  Connection* conn = connections_[index].get();
-  if (conn->fd >= 0) close(conn->fd);
+void Server::UpdateInterest(Shard* shard, Connection* conn) {
+  const bool paused = conn->pending_out() > options_.max_write_buffer_bytes;
+  const bool want_read = !conn->closing && !shard->draining && !paused;
+  const bool want_write = conn->pending_out() > 0;
+  if (want_read == conn->want_read && want_write == conn->want_write) return;
+  conn->want_read = want_read;
+  conn->want_write = want_write;
+  // A Modify failure would leave the connection deaf; there is no
+  // recovery short of dropping it, which the next event round does when
+  // the peer gives up.
+  [[maybe_unused]] Status status =
+      shard->loop->Modify(conn->fd, want_read, want_write, conn);
+}
+
+void Server::DestroyConnection(Shard* shard, Connection* conn) {
+  [[maybe_unused]] Status removed = shard->loop->Remove(conn->fd);
+  close(conn->fd);
+  conn->fd = -1;
   // The handler closes this connection's sessions (freeing their admission
   // slots) before the Connection goes away.
   conn->handler.reset();
-  connections_.erase(connections_.begin() +
-                     static_cast<std::ptrdiff_t>(index));
-  active_connections_.store(connections_.size(), std::memory_order_relaxed);
+  const size_t at = conn->index;
+  const size_t last = shard->connections.size() - 1;
+  if (at != last) {
+    std::swap(shard->connections[at], shard->connections[last]);
+    shard->connections[at]->index = at;
+  }
+  shard->connections.pop_back();
+  shard->active.store(shard->connections.size(), std::memory_order_relaxed);
+  total_connections_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-Status Server::Serve() {
-  if (listen_fd_ < 0) {
-    return Status::FailedPrecondition("server was not created via Create()");
+void Server::RunShard(Shard* shard) {
+  shard->status = ShardLoop(shard);
+  // A shard that died (loop registration failure, Wait error) must not
+  // leave the others serving a half-alive server.
+  if (!shard->status.ok()) RequestStop();
+  // Whatever the exit path, this shard's connections are gone.
+  for (size_t i = shard->connections.size(); i > 0; --i) {
+    DestroyConnection(shard, shard->connections[i - 1].get());
   }
-  Clock::time_point drain_deadline{};
+}
 
+Status Server::ShardLoop(Shard* shard) {
+  EventLoop* loop = shard->loop.get();
+  Status status = loop->Add(stop_read_fd_, true, false, &shard->stop_tag);
+  if (!status.ok()) return status;
+  status = loop->Add(shard->wake_read_fd, true, false, &shard->wake_tag);
+  if (!status.ok()) return status;
+  bool listener_registered = false;
+  if (shard->listen_fd >= 0) {
+    status = loop->Add(shard->listen_fd, true, false, &shard->listener_tag);
+    if (!status.ok()) return status;
+    listener_registered = true;
+  }
+
+  std::vector<EventLoop::Event> events;
   while (true) {
-    std::vector<pollfd> fds;
-    fds.reserve(connections_.size() + 2);
-    fds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
-    // Keep accepting even at capacity: AcceptNew refuses the overflow
-    // connection with a JSON error line instead of leaving it queued.
-    const bool accepting = !draining_;
-    fds.push_back(pollfd{listen_fd_,
-                         static_cast<short>(accepting ? POLLIN : 0), 0});
-    for (const auto& conn : connections_) {
-      short events = 0;
-      const bool paused =
-          conn->pending_out() > options_.max_write_buffer_bytes;
-      if (!conn->closing && !draining_ && !paused) events |= POLLIN;
-      if (conn->pending_out() > 0) events |= POLLOUT;
-      fds.push_back(pollfd{conn->fd, events, 0});
-    }
-
     // Block indefinitely unless a timer (idle timeout / drain deadline)
-    // needs periodic checks; the wake pipe interrupts either way.
+    // needs periodic checks; the stop and wake pipes interrupt either way.
     const int timeout_ms =
-        (options_.idle_timeout_seconds > 0.0 || draining_) ? 100 : -1;
-    const int ready = poll(fds.data(), fds.size(), timeout_ms);
-    if (ready < 0 && errno != EINTR) {
-      return Status::InvalidArgument(std::string("poll: ") + strerror(errno));
-    }
+        (options_.idle_timeout_seconds > 0.0 || shard->draining) ? 100 : -1;
+    auto waited = loop->Wait(timeout_ms, &events);
+    if (!waited.ok()) return waited.status();
 
-    if (fds[0].revents & POLLIN) {
+    // Control events first. The drain transition only marks state — it
+    // must not destroy connections that later entries of this same batch
+    // still point at.
+    bool accept_ready = false;
+    bool wake_ready = false;
+    for (const auto& event : events) {
+      if (event.data == &shard->stop_tag) {
+        if (!shard->draining) {
+          shard->draining = true;
+          shard->drain_deadline =
+              Clock::now() + Micros(options_.drain_timeout_seconds);
+          // One stop byte fans out to every shard because nobody drains
+          // the pipe; each shard deregisters it after seeing it once.
+          [[maybe_unused]] Status ignored = loop->Remove(stop_read_fd_);
+          if (listener_registered) {
+            ignored = loop->Remove(shard->listen_fd);
+            listener_registered = false;
+          }
+          // Stop reading everywhere; pending responses keep flushing.
+          for (auto& conn : shard->connections) {
+            UpdateInterest(shard, conn.get());
+          }
+        }
+      } else if (event.data == &shard->wake_tag) {
+        wake_ready = true;
+      } else if (event.data == &shard->listener_tag) {
+        accept_ready = true;
+      }
+    }
+    if (wake_ready) {
       char sink[64];
-      while (read(wake_read_fd_, sink, sizeof(sink)) > 0) {
+      while (read(shard->wake_read_fd, sink, sizeof(sink)) > 0) {
       }
-      if (!draining_) {
-        draining_ = true;
-        drain_deadline =
-            Clock::now() + std::chrono::microseconds(static_cast<int64_t>(
-                               options_.drain_timeout_seconds * 1e6));
+      std::vector<int> adopted;
+      {
+        std::lock_guard<std::mutex> lock(shard->inbox_mu);
+        adopted.swap(shard->inbox);
       }
+      for (int fd : adopted) AdoptFd(shard, fd);
     }
+    if (accept_ready && !shard->draining) AcceptNew(shard);
 
-    if (!draining_ && (fds[1].revents & POLLIN)) AcceptNew();
-
-    const Clock::time_point now = Clock::now();
-    // Walk only the connections this round's pollfds cover — AcceptNew may
-    // just have appended new ones with no revents entry — and backwards,
-    // because DestroyConnection erases by index.
-    for (size_t i = fds.size() - 2; i > 0; --i) {
-      const size_t index = i - 1;
-      Connection* conn = connections_[index].get();
-      const short revents = fds[index + 2].revents;
+    for (const auto& event : events) {
+      if (event.data == &shard->stop_tag || event.data == &shard->wake_tag ||
+          event.data == &shard->listener_tag) {
+        continue;
+      }
+      Connection* conn = static_cast<Connection*>(event.data);
       bool alive = true;
-      if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+      if (event.error) {
         // Peer reset/vanished. Any queued responses are undeliverable.
         alive = false;
       } else {
-        if (alive && (revents & POLLOUT)) alive = FlushWrites(conn);
-        if (alive && (revents & POLLIN)) alive = ReadAndHandle(conn);
-        if (alive && conn->closing && conn->pending_out() == 0) alive = false;
-        if (alive && options_.idle_timeout_seconds > 0.0 && !draining_ &&
-            now - conn->last_activity >
-                std::chrono::microseconds(static_cast<int64_t>(
-                    options_.idle_timeout_seconds * 1e6))) {
-          alive = false;
+        if (alive && event.writable) alive = FlushWrites(conn);
+        if (alive && event.readable && !shard->draining) {
+          alive = ReadAndHandle(shard, conn);
         }
+        if (alive && conn->closing && conn->pending_out() == 0) alive = false;
       }
-      if (!alive) DestroyConnection(index);
+      if (!alive) {
+        DestroyConnection(shard, conn);
+      } else {
+        UpdateInterest(shard, conn);
+      }
     }
 
-    if (draining_) {
-      bool flush_pending = false;
-      for (const auto& conn : connections_) {
-        if (conn->pending_out() > 0) flush_pending = true;
-      }
-      if (!flush_pending || Clock::now() >= drain_deadline) {
-        for (size_t i = connections_.size(); i > 0; --i) {
-          DestroyConnection(i - 1);
+    // Timers ride the 100 ms tick. Backwards: DestroyConnection
+    // swap-removes from the vector.
+    if (!shard->draining && options_.idle_timeout_seconds > 0.0) {
+      const Clock::time_point now = Clock::now();
+      for (size_t i = shard->connections.size(); i > 0; --i) {
+        Connection* conn = shard->connections[i - 1].get();
+        if (now - conn->last_activity >
+            Micros(options_.idle_timeout_seconds)) {
+          DestroyConnection(shard, conn);
         }
-        return Status::Ok();
       }
     }
+
+    if (shard->draining) {
+      // Connections handed off but never adopted are closed unserved.
+      std::vector<int> orphans;
+      {
+        std::lock_guard<std::mutex> lock(shard->inbox_mu);
+        orphans.swap(shard->inbox);
+      }
+      for (int fd : orphans) {
+        close(fd);
+        total_connections_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      const bool expired = Clock::now() >= shard->drain_deadline;
+      for (size_t i = shard->connections.size(); i > 0; --i) {
+        Connection* conn = shard->connections[i - 1].get();
+        if (expired || conn->pending_out() == 0) {
+          DestroyConnection(shard, conn);
+        }
+      }
+      if (shard->connections.empty()) return Status::Ok();
+    }
   }
+}
+
+Status Server::Serve() {
+  if (shards_.empty() || shards_[0]->listen_fd < 0) {
+    return Status::FailedPrecondition("server was not created via Create()");
+  }
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    Shard* shard = shards_[i].get();
+    shard->thread = std::thread([this, shard] { RunShard(shard); });
+  }
+  RunShard(shards_[0].get());
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    if (shards_[i]->thread.joinable()) shards_[i]->thread.join();
+  }
+  for (const auto& shard : shards_) {
+    if (!shard->status.ok()) return shard->status;
+  }
+  return Status::Ok();
 }
 
 }  // namespace net

@@ -1,10 +1,28 @@
-// net::Server: a poll(2)-based TCP front end for the serve protocol.
+// net::Server: a sharded, epoll-based TCP front end for the serve protocol.
 //
-// One event-loop thread multiplexes many concurrent client connections.
-// Each connection gets its own serve::ProtocolHandler (so its sessions are
-// private and are closed when it disconnects) while all handlers share one
-// serve::SessionManager — the whole point: many network tenants amortizing
-// one scheduler, one warm-start cache, one dataset pool.
+// The front end is N event-loop shards, each a thread running its own
+// net::EventLoop (epoll where available, poll(2) fallback) over its own
+// slice of connections. Each connection gets its own
+// serve::ProtocolHandler (so its sessions are private and are closed when
+// it disconnects) while all handlers, on all shards, share one
+// serve::SessionManager — many network tenants amortizing one scheduler,
+// one warm-start cache, one dataset pool.
+//
+// Sharding model (the lock-light path):
+//   - A connection is owned by exactly one shard for its whole life:
+//     its reads, protocol dispatch, and writes all happen on that shard's
+//     thread, so per-connection state (LineBuffer, write buffer, handler)
+//     needs no locking.
+//   - Shards meet only in the shared serving layer: SessionManager and
+//     StatsCache are internally locked with short critical sections, and
+//     DatasetPool serializes first-touch generation behind its own mutex.
+//   - Listener strategy: with SO_REUSEPORT (Linux), every shard owns its
+//     own listening socket bound to the same address and the kernel
+//     spreads accepts across them with zero cross-shard traffic. Where
+//     SO_REUSEPORT is unavailable (or when forced via options), shard 0
+//     accepts on a single listener and hands connections to shards
+//     round-robin through a tiny mutexed inbox plus a wake-pipe byte —
+//     the only cross-shard handoff in the data path.
 //
 // Layering: the server owns bytes, framing, and connection lifecycle;
 // request semantics live entirely in the handler. The server's only
@@ -12,29 +30,34 @@
 // errors ("server full", "line too long"), kept here so clients always
 // receive well-formed response lines.
 //
-// Transport semantics per connection:
+// Transport semantics per connection (identical at every shard count):
 //   - NDJSON: one request per '\n'-terminated line, one response line per
 //     request, in order. Requests may arrive fragmented or coalesced;
 //     LineBuffer reassembles them.
 //   - line-length limit: a line longer than max_line_bytes gets one error
 //     response and the connection is closed (framing is unrecoverable).
 //   - write backpressure: responses queue in a per-connection buffer;
-//     while the queue exceeds max_write_buffer_bytes the server stops
+//     while the queue exceeds max_write_buffer_bytes the shard stops
 //     reading from that connection (requests-in naturally throttle to
 //     responses-out; the buffer cannot grow without new requests).
 //   - idle timeout: connections silent for idle_timeout_seconds are closed.
 //   - "quit" (or EOF) ends only that connection, never the server.
 //
 // Shutdown: RequestStop() — also wired to SIGINT/SIGTERM through
-// InstallSignalHandlers() — makes Serve() stop accepting, stop reading,
-// flush pending response buffers for up to drain_timeout_seconds, close
-// every connection (each handler closes its sessions, freeing admission
-// slots and recording finished stats), and return.
+// InstallSignalHandlers() — writes one byte to a stop pipe that every
+// shard's event loop watches (and, being level-triggered, keeps reporting
+// until each shard has seen it). Every shard then stops accepting, stops
+// reading, flushes pending response buffers for up to
+// drain_timeout_seconds, closes its connections (each handler closes its
+// sessions, freeing admission slots and recording finished stats), and
+// exits; Serve() joins them all and returns.
 //
-// The event loop is single-threaded by design: protocol work (including
-// first-touch dataset generation on open) runs on the loop thread, while
-// the actual query work runs on the SessionManager's pool. Handlers and
-// the DatasetPool are therefore used from one thread only.
+// Determinism: a connection's handler runs all of its requests in arrival
+// order on one thread, and session results depend only on
+// (base_seed, session id), so a given request script over one connection
+// is bit-identical to stdin mode for ANY shard count — the JobSeed
+// contract survives sharding (pinned by the shard determinism matrix in
+// tests/tools/serve_net_test.cc).
 
 #ifndef EXSAMPLE_NET_SERVER_H_
 #define EXSAMPLE_NET_SERVER_H_
@@ -46,6 +69,7 @@
 #include <string>
 #include <vector>
 
+#include "net/event_loop.h"
 #include "serve/protocol_handler.h"
 #include "util/status.h"
 
@@ -57,7 +81,8 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// TCP port; 0 picks an ephemeral port (read it back via port()).
   uint16_t port = 0;
-  /// Accepted connections beyond this are refused with a JSON error line.
+  /// Accepted connections beyond this (summed across shards) are refused
+  /// with a JSON error line.
   int max_connections = 256;
   /// Per-request line-length limit (bytes, '\n' excluded).
   size_t max_line_bytes = 1 << 20;
@@ -67,12 +92,27 @@ struct ServerOptions {
   double idle_timeout_seconds = 0.0;
   /// Graceful-shutdown window for flushing pending responses.
   double drain_timeout_seconds = 5.0;
+
+  /// Event-loop shard threads. 1 reproduces the single-threaded PR-5
+  /// behavior exactly; tools default to hardware concurrency.
+  int shards = 1;
+
+  /// How accepted connections reach shards.
+  enum class ListenerMode {
+    kAuto,       ///< SO_REUSEPORT when it works and shards > 1, else handoff
+    kReusePort,  ///< per-shard listeners; Create fails if unsupported
+    kHandoff,    ///< one listener on shard 0, round-robin handoff
+  };
+  ListenerMode listener_mode = ListenerMode::kAuto;
+
+  /// Readiness backend per shard (kAuto = epoll where available).
+  EventLoop::Backend backend = EventLoop::Backend::kAuto;
 };
 
 class Server {
  public:
-  /// Creates the per-connection protocol handler. Called on the event-loop
-  /// thread, once per accepted connection.
+  /// Creates the per-connection protocol handler. Called on the owning
+  /// shard's thread, once per accepted connection.
   using HandlerFactory =
       std::function<std::unique_ptr<serve::ProtocolHandler>()>;
 
@@ -88,8 +128,9 @@ class Server {
   /// The bound port (resolves port 0 to the kernel's choice).
   uint16_t port() const { return port_; }
 
-  /// Runs the event loop on the calling thread until a stop is requested,
-  /// then drains and returns. Call at most once.
+  /// Runs shard 0 on the calling thread and shards 1..N-1 on their own
+  /// threads until a stop is requested, then drains every shard, joins
+  /// them, and returns (the first shard error, or Ok). Call at most once.
   Status Serve();
 
   /// Requests a graceful stop. Thread-safe and async-signal-safe (it only
@@ -104,36 +145,63 @@ class Server {
   /// and a later server may install handlers again.
   Status InstallSignalHandlers();
 
-  /// Currently open connections (readable from any thread; tests use it).
+  /// Currently open connections across all shards (readable from any
+  /// thread; tests use it).
   size_t active_connections() const {
-    return active_connections_.load(std::memory_order_relaxed);
+    return total_connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of event-loop shards.
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Per-shard open-connection counts (tests assert the distribution).
+  std::vector<size_t> ConnectionsPerShard() const;
+
+  /// The listener strategy actually in effect: "reuseport" or "handoff".
+  const char* listener_mode_name() const {
+    return reuseport_ ? "reuseport" : "handoff";
   }
 
  private:
   struct Connection;
+  struct Shard;
 
   Server(ServerOptions options, HandlerFactory factory);
   Status Bind();
+  Result<int> BindListener(uint16_t port, bool reuseport);
 
-  void AcceptNew();
+  /// The shard event loop, run on the shard's thread (shard 0: the
+  /// Serve() caller's thread).
+  void RunShard(Shard* shard);
+  Status ShardLoop(Shard* shard);
+
+  void AcceptNew(Shard* shard);
+  /// Registers an accepted (already admitted + nonblocking) fd with this
+  /// shard; closes it instead when the shard is already draining.
+  void AdoptFd(Shard* shard, int fd);
   /// Reads once; returns false when the connection died.
-  bool ReadAndHandle(Connection* conn);
+  bool ReadAndHandle(Shard* shard, Connection* conn);
   /// Flushes pending output; returns false when the connection died.
   bool FlushWrites(Connection* conn);
-  void DestroyConnection(size_t index);
+  /// Re-arms the event-loop interest to match the connection state.
+  void UpdateInterest(Shard* shard, Connection* conn);
+  void DestroyConnection(Shard* shard, Connection* conn);
 
   const ServerOptions options_;
   const HandlerFactory factory_;
   uint16_t port_ = 0;
-  int listen_fd_ = -1;
-  int wake_read_fd_ = -1;
-  int wake_write_fd_ = -1;
-  /// Spare fd burned to accept-and-drop under EMFILE (see AcceptNew).
-  int reserve_fd_ = -1;
+  bool reuseport_ = false;
+  /// Stop pipe: RequestStop/signals write one byte; every shard watches
+  /// the read end (level-triggered, never drained) and deregisters it
+  /// once seen, so one byte fans out to all shards.
+  int stop_read_fd_ = -1;
+  int stop_write_fd_ = -1;
   bool installed_signal_handlers_ = false;
-  bool draining_ = false;
-  std::atomic<size_t> active_connections_{0};
-  std::vector<std::unique_ptr<Connection>> connections_;
+  std::atomic<size_t> total_connections_{0};
+  /// Round-robin cursor for handoff mode (touched only by the acceptor
+  /// shard's thread).
+  size_t next_shard_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace net

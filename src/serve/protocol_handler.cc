@@ -22,6 +22,7 @@ Json Error(const std::string& message) {
 const data::Dataset* DatasetPool::Get(const std::string& preset,
                                       double scale) {
   const std::string key = preset + "@" + std::to_string(scale);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = datasets_.find(key);
   if (it != datasets_.end()) return it->second.get();
   bool known = false;

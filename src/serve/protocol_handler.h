@@ -11,11 +11,12 @@
 // Windows, most line-oriented network tools); the trailing CR is stripped
 // before parsing, in this one place, for every transport.
 //
-// Thread model: a handler is single-client, single-threaded. Handlers for
-// different connections may share the SessionManager / StatsCache (both
-// internally locked) but must share a DatasetPool only from one thread —
-// which holds for the tool, where the stdin loop and the net::Server event
-// loop each drive all of their handlers from a single thread.
+// Thread model: a handler is single-client, single-threaded — one
+// connection's requests are handled in order on its owning event-loop
+// shard. Handlers for *different* connections may run on different shard
+// threads concurrently: everything they share is internally locked
+// (SessionManager, StatsCache, and DatasetPool, whose generated datasets
+// are immutable once built and therefore safe to read lock-free).
 
 #ifndef EXSAMPLE_SERVE_PROTOCOL_HANDLER_H_
 #define EXSAMPLE_SERVE_PROTOCOL_HANDLER_H_
@@ -23,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -36,18 +38,23 @@ namespace serve {
 
 /// Datasets generated on demand and shared by every session (on any
 /// connection) that names the same (preset, scale); they must outlive their
-/// sessions, so the pool lives for the whole process. Not internally
-/// locked: all handlers sharing a pool must run on one thread.
+/// sessions, so the pool lives for the whole process. Internally locked:
+/// handlers on different net::Server shards share one pool, and first-touch
+/// generation serializes behind the mutex (two shards opening the same
+/// never-seen preset wait rather than generate twice). The returned
+/// Dataset is immutable after generation, so sessions read it without the
+/// lock.
 class DatasetPool {
  public:
   explicit DatasetPool(uint64_t seed) : seed_(seed) {}
 
   /// Returns the dataset for (preset, scale), generating it on first use,
-  /// or nullptr for an unknown preset name.
+  /// or nullptr for an unknown preset name. Thread-safe.
   const data::Dataset* Get(const std::string& preset, double scale);
 
  private:
   const uint64_t seed_;
+  std::mutex mu_;
   std::map<std::string, std::unique_ptr<data::Dataset>> datasets_;
 };
 

@@ -144,7 +144,17 @@ int64_t SampleBinomial(Rng* rng, int64_t n, double p) {
   return static_cast<int64_t>(x);
 }
 
-double LogGamma(double x) { return std::lgamma(x); }
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // std::lgamma writes the process-global `signgam`, so concurrent calls
+  // from scheduler worker threads are a data race. The reentrant variant
+  // reports the sign through an out-parameter instead.
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 namespace {
 

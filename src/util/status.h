@@ -20,6 +20,7 @@ class Status {
     kOutOfRange,
     kNotFound,
     kFailedPrecondition,
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -36,6 +37,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -1,0 +1,209 @@
+// net::EventLoop, both backends: the epoll implementation and the
+// portable poll(2) fallback must expose identical semantics — the server's
+// shard loop is written once against the interface, so the contract
+// (level-triggered readiness, data passthrough, interest modification,
+// swap-remove stability in the fallback's persistent vector) is pinned
+// here for each backend the platform can run.
+
+#include "net/event_loop.h"
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace net {
+namespace {
+
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+  Pipe() {
+    int fds[2];
+    EXPECT_EQ(pipe(fds), 0);
+    read_fd = fds[0];
+    write_fd = fds[1];
+  }
+  ~Pipe() {
+    if (read_fd >= 0) close(read_fd);
+    if (write_fd >= 0) close(write_fd);
+  }
+  void WriteByte() {
+    const char byte = 'x';
+    EXPECT_EQ(write(write_fd, &byte, 1), 1);
+  }
+  void DrainByte() {
+    char byte;
+    EXPECT_EQ(read(read_fd, &byte, 1), 1);
+  }
+};
+
+class EventLoopTest : public ::testing::TestWithParam<EventLoop::Backend> {
+ protected:
+  std::unique_ptr<EventLoop> MakeLoop() {
+    auto loop = EventLoop::Create(GetParam());
+    EXPECT_TRUE(loop.ok()) << loop.status().ToString();
+    return std::move(loop).value();
+  }
+};
+
+TEST_P(EventLoopTest, ReportsReadableWithRegisteredData) {
+  auto loop = MakeLoop();
+  Pipe pipe;
+  int token = 42;
+  ASSERT_TRUE(loop->Add(pipe.read_fd, true, false, &token).ok());
+  EXPECT_EQ(loop->size(), 1u);
+
+  std::vector<EventLoop::Event> events;
+  // Nothing buffered: a bounded wait times out with zero events.
+  auto waited = loop->Wait(20, &events);
+  ASSERT_TRUE(waited.ok()) << waited.status().ToString();
+  EXPECT_EQ(waited.value(), 0);
+
+  pipe.WriteByte();
+  waited = loop->Wait(1000, &events);
+  ASSERT_TRUE(waited.ok());
+  ASSERT_EQ(waited.value(), 1);
+  EXPECT_EQ(events[0].data, &token);
+  EXPECT_TRUE(events[0].readable);
+  EXPECT_FALSE(events[0].writable);
+
+  // Level-triggered: the byte is still buffered, so it reports again.
+  waited = loop->Wait(1000, &events);
+  ASSERT_TRUE(waited.ok());
+  EXPECT_EQ(waited.value(), 1);
+}
+
+TEST_P(EventLoopTest, ModifyTogglesInterest) {
+  auto loop = MakeLoop();
+  Pipe pipe;
+  int token = 0;
+  ASSERT_TRUE(loop->Add(pipe.read_fd, true, false, &token).ok());
+  pipe.WriteByte();
+
+  // Interest off: pending bytes no longer wake the loop (this is exactly
+  // the server's backpressure pause).
+  ASSERT_TRUE(loop->Modify(pipe.read_fd, false, false, &token).ok());
+  std::vector<EventLoop::Event> events;
+  auto waited = loop->Wait(20, &events);
+  ASSERT_TRUE(waited.ok());
+  EXPECT_EQ(waited.value(), 0);
+
+  // Interest back on: the still-buffered byte reports immediately.
+  ASSERT_TRUE(loop->Modify(pipe.read_fd, true, false, &token).ok());
+  waited = loop->Wait(1000, &events);
+  ASSERT_TRUE(waited.ok());
+  ASSERT_EQ(waited.value(), 1);
+  EXPECT_TRUE(events[0].readable);
+}
+
+TEST_P(EventLoopTest, ReportsWritable) {
+  auto loop = MakeLoop();
+  Pipe pipe;
+  int token = 0;
+  ASSERT_TRUE(loop->Add(pipe.write_fd, false, true, &token).ok());
+  std::vector<EventLoop::Event> events;
+  auto waited = loop->Wait(1000, &events);
+  ASSERT_TRUE(waited.ok());
+  ASSERT_EQ(waited.value(), 1);
+  EXPECT_TRUE(events[0].writable);
+  EXPECT_FALSE(events[0].readable);
+}
+
+TEST_P(EventLoopTest, RemoveStopsReporting) {
+  auto loop = MakeLoop();
+  Pipe pipe;
+  int token = 0;
+  ASSERT_TRUE(loop->Add(pipe.read_fd, true, false, &token).ok());
+  pipe.WriteByte();
+  ASSERT_TRUE(loop->Remove(pipe.read_fd).ok());
+  EXPECT_EQ(loop->size(), 0u);
+
+  std::vector<EventLoop::Event> events;
+  auto waited = loop->Wait(20, &events);
+  ASSERT_TRUE(waited.ok());
+  EXPECT_EQ(waited.value(), 0);
+
+  // Double-remove and double-add are contract violations, not silent.
+  EXPECT_FALSE(loop->Remove(pipe.read_fd).ok());
+  ASSERT_TRUE(loop->Add(pipe.read_fd, true, false, &token).ok());
+  EXPECT_FALSE(loop->Add(pipe.read_fd, true, false, &token).ok());
+}
+
+TEST_P(EventLoopTest, ManyFdsRouteToTheRightData) {
+  // Regression surface for the fallback's persistent vector: Remove is
+  // swap-with-last, so interleaved add/remove must never cross-wire an
+  // fd with another registration's data.
+  auto loop = MakeLoop();
+  constexpr int kPipes = 32;
+  std::vector<std::unique_ptr<Pipe>> pipes;
+  std::vector<int> tokens(kPipes);
+  for (int i = 0; i < kPipes; ++i) {
+    pipes.push_back(std::make_unique<Pipe>());
+    tokens[static_cast<size_t>(i)] = i;
+    ASSERT_TRUE(loop->Add(pipes.back()->read_fd, true, false,
+                          &tokens[static_cast<size_t>(i)]).ok());
+  }
+  // Remove every even registration (forcing many swaps)...
+  for (int i = 0; i < kPipes; i += 2) {
+    ASSERT_TRUE(loop->Remove(pipes[static_cast<size_t>(i)]->read_fd).ok());
+  }
+  EXPECT_EQ(loop->size(), static_cast<size_t>(kPipes / 2));
+  // ...then wake every odd one and check each event carries its own data.
+  for (int i = 1; i < kPipes; i += 2) pipes[static_cast<size_t>(i)]->WriteByte();
+  std::vector<EventLoop::Event> events;
+  auto waited = loop->Wait(1000, &events);
+  ASSERT_TRUE(waited.ok());
+  ASSERT_EQ(waited.value(), kPipes / 2);
+  std::vector<bool> seen(kPipes, false);
+  for (const auto& event : events) {
+    const int token = *static_cast<int*>(event.data);
+    ASSERT_GE(token, 0);
+    ASSERT_LT(token, kPipes);
+    EXPECT_EQ(token % 2, 1) << "a removed fd reported an event";
+    EXPECT_FALSE(seen[static_cast<size_t>(token)]) << "duplicate event";
+    seen[static_cast<size_t>(token)] = true;
+  }
+}
+
+TEST_P(EventLoopTest, BackendNameMatches) {
+  auto loop = MakeLoop();
+  if (GetParam() == EventLoop::Backend::kPoll) {
+    EXPECT_STREQ(loop->backend_name(), "poll");
+  } else {
+    EXPECT_STREQ(loop->backend_name(),
+                 EventLoop::EpollSupported() ? "epoll" : "poll");
+  }
+}
+
+std::vector<EventLoop::Backend> Backends() {
+  std::vector<EventLoop::Backend> backends{EventLoop::Backend::kPoll,
+                                           EventLoop::Backend::kAuto};
+  if (EventLoop::EpollSupported()) {
+    backends.push_back(EventLoop::Backend::kEpoll);
+  }
+  return backends;
+}
+
+std::string BackendName(
+    const ::testing::TestParamInfo<EventLoop::Backend>& info) {
+  switch (info.param) {
+    case EventLoop::Backend::kPoll:
+      return "Poll";
+    case EventLoop::Backend::kEpoll:
+      return "Epoll";
+    case EventLoop::Backend::kAuto:
+      return "Auto";
+  }
+  return "Unknown";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, EventLoopTest,
+                         ::testing::ValuesIn(Backends()), BackendName);
+
+}  // namespace
+}  // namespace net
+}  // namespace exsample

@@ -1,0 +1,151 @@
+// net::Client connection and read deadlines, against raw sockets rather
+// than a full Server: a backlog-saturated listener that never accepts
+// (connect must time out, not hang for the kernel's SYN-retry minutes), a
+// dead port (connect must fail fast, not wait out the deadline), and an
+// accepted-but-silent peer (ReadLineWithTimeout must expire while leaving
+// partial lines buffered for later reads).
+
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A listening socket we control directly (backlog, accept timing).
+struct RawListener {
+  int fd = -1;
+  uint16_t port = 0;
+
+  explicit RawListener(int backlog) {
+    fd = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0) << strerror(errno);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << strerror(errno);
+    EXPECT_EQ(listen(fd, backlog), 0) << strerror(errno);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port = ntohs(addr.sin_port);
+  }
+
+  ~RawListener() {
+    if (fd >= 0) close(fd);
+  }
+
+  int Accept() {
+    return accept(fd, nullptr, nullptr);
+  }
+};
+
+TEST(NetClientTest, ConnectTimesOutOnSaturatedBacklog) {
+  // listen(backlog=0) and never accept: after the tiny queue fills, the
+  // kernel drops further SYNs and the handshake never completes. Each
+  // earlier successful connect is kept alive so the queue stays full.
+  RawListener listener(0);
+  std::vector<Client> parked;
+  bool timed_out = false;
+  for (int i = 0; i < 16 && !timed_out; ++i) {
+    const Clock::time_point start = Clock::now();
+    auto connected = Client::Connect("127.0.0.1", listener.port, 0.5);
+    if (connected.ok()) {
+      parked.push_back(std::move(connected).value());
+      continue;
+    }
+    EXPECT_EQ(connected.status().code(), Status::Code::kDeadlineExceeded)
+        << connected.status().ToString();
+    // The deadline was honored: neither instant failure nor a SYN-retry
+    // hang.
+    const double elapsed = SecondsSince(start);
+    EXPECT_GE(elapsed, 0.4);
+    EXPECT_LT(elapsed, 5.0);
+    timed_out = true;
+  }
+  EXPECT_TRUE(timed_out) << "backlog never saturated after "
+                         << parked.size() << " connects";
+}
+
+TEST(NetClientTest, ConnectFailsFastOnRefusal) {
+  // Grab an ephemeral port, close it, then connect to it: loopback RST is
+  // immediate, so a refused connect must not consume the timeout.
+  uint16_t dead_port = 0;
+  {
+    RawListener listener(1);
+    dead_port = listener.port;
+  }
+  const Clock::time_point start = Clock::now();
+  auto connected = Client::Connect("127.0.0.1", dead_port, 5.0);
+  ASSERT_FALSE(connected.ok());
+  EXPECT_NE(connected.status().code(), Status::Code::kDeadlineExceeded)
+      << connected.status().ToString();
+  EXPECT_LT(SecondsSince(start), 2.0);
+}
+
+TEST(NetClientTest, ReadLineDeadlineOnSilentPeer) {
+  RawListener listener(8);
+  auto connected = Client::Connect("127.0.0.1", listener.port, 30.0);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  Client client = std::move(connected).value();
+  const int peer = listener.Accept();
+  ASSERT_GE(peer, 0) << strerror(errno);
+
+  // Silent peer: the read deadline fires even though the connection's own
+  // I/O timeout (30s) is far longer.
+  Clock::time_point start = Clock::now();
+  auto line = client.ReadLineWithTimeout(0.3);
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), Status::Code::kDeadlineExceeded)
+      << line.status().ToString();
+  double elapsed = SecondsSince(start);
+  EXPECT_GE(elapsed, 0.25);
+  EXPECT_LT(elapsed, 5.0);
+
+  // A complete line followed by a partial one: the full line is returned
+  // in time...
+  ASSERT_EQ(write(peer, "hello\nwor", 9), 9);
+  line = client.ReadLineWithTimeout(5.0);
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(line.value(), "hello");
+
+  // ...the partial line times out without being lost...
+  start = Clock::now();
+  line = client.ReadLineWithTimeout(0.3);
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), Status::Code::kDeadlineExceeded);
+  EXPECT_GE(SecondsSince(start), 0.25);
+
+  // ...and completing it later yields the stitched line.
+  ASSERT_EQ(write(peer, "ld\n", 3), 3);
+  line = client.ReadLineWithTimeout(5.0);
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(line.value(), "world");
+
+  close(peer);
+  line = client.ReadLineWithTimeout(5.0);
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace exsample

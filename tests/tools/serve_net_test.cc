@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -185,6 +186,79 @@ TEST(ServeNetE2eTest, SocketResultsMatchStdinModeBitForBit) {
   EXPECT_EQ(via_socket.frames_processed, via_stdin.frames_processed);
   EXPECT_EQ(via_socket.stop_reason, via_stdin.stop_reason);
   EXPECT_EQ(via_stdin.total_results, 2);  // limit reached
+}
+
+TEST(ServeNetE2eTest, ShardCountDeterminismMatrix) {
+  // The perf tentpole must not move results: the same two-session script
+  // over {stdin} and over sockets at --shards {1, 2, 4} is bit-identical.
+  // Session randomness is f(base seed, session id), a connection's lines
+  // are handled in arrival order on exactly one shard thread, and session
+  // ids are allocated per-script — so shard count can change throughput
+  // but never outcomes.
+  auto drive_two_sessions = [](const std::function<Json(const std::string&)>&
+                                   exchange) {
+    std::vector<SessionOutcome> outcomes;
+    outcomes.push_back(DriveSession(exchange, kOpenBicycle));
+    outcomes.push_back(DriveSession(exchange, kOpenBicycle));
+    return outcomes;
+  };
+
+  Tool stdin_tool = Spawn({});
+  const std::vector<SessionOutcome> baseline =
+      drive_two_sessions([&stdin_tool](const std::string& line) {
+        stdin_tool.SendLine(line);
+        return stdin_tool.ReadJsonLine();
+      });
+  stdin_tool.SendLine(R"({"cmd":"quit"})");
+  EXPECT_TRUE(stdin_tool.ReadJsonLine().GetBool("ok", false));
+  EXPECT_EQ(stdin_tool.Wait(), 0);
+  ASSERT_EQ(baseline.size(), 2u);
+  EXPECT_EQ(baseline[0].total_results, 2);
+
+  for (int shards : {1, 2, 4}) {
+    uint16_t port = 0;
+    Tool server =
+        SpawnListening(&port, {"--shards", std::to_string(shards)});
+    auto connected = net::Client::Connect("127.0.0.1", port, 30.0);
+    ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+    net::Client client = std::move(connected).value();
+    const std::vector<SessionOutcome> via_socket =
+        drive_two_sessions([&client](const std::string& line) {
+          Status sent = client.SendLine(line);
+          EXPECT_TRUE(sent.ok()) << sent.ToString();
+          auto response = client.ReadLine();
+          EXPECT_TRUE(response.ok()) << response.status().ToString();
+          return response.ok() ? Json::Parse(response.value()).value()
+                               : Json();
+        });
+    client.Close();
+    kill(server.pid, SIGTERM);
+    EXPECT_EQ(server.Wait(), 0);
+
+    ASSERT_EQ(via_socket.size(), baseline.size());
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(via_socket[i].total_results, baseline[i].total_results)
+          << shards << " shards, session " << (i + 1);
+      EXPECT_EQ(via_socket[i].frames_processed, baseline[i].frames_processed)
+          << shards << " shards, session " << (i + 1);
+      EXPECT_EQ(via_socket[i].stop_reason, baseline[i].stop_reason)
+          << shards << " shards, session " << (i + 1);
+    }
+  }
+}
+
+TEST(ServeNetE2eTest, AnnouncesRequestedShardCount) {
+  uint16_t port = 0;
+  Tool server = Spawn({"--listen", "0", "--shards", "3"});
+  Json announce = server.ReadJsonLine();
+  EXPECT_TRUE(announce.GetBool("listening", false)) << announce.Dump();
+  EXPECT_EQ(announce.GetInt("shards", -1), 3);
+  const std::string listener = announce.GetString("listener", "");
+  EXPECT_TRUE(listener == "reuseport" || listener == "handoff") << listener;
+  port = static_cast<uint16_t>(announce.GetInt("port", 0));
+  EXPECT_GT(port, 0);
+  kill(server.pid, SIGTERM);
+  EXPECT_EQ(server.Wait(), 0);
 }
 
 TEST(ServeNetE2eTest, ThirtyTwoConcurrentConnectionsOneManager) {

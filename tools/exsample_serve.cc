@@ -37,12 +37,17 @@
 //        --stats-file PATH (persist the warm-start cache across runs)
 // Network mode:
 //        --listen PORT (0 = ephemeral; the chosen port is announced on
-//        stdout as {"ok":true,"listening":true,"host":...,"port":N}),
+//        stdout as {"ok":true,"listening":true,"host":...,"port":N,
+//        "shards":N,"listener":"reuseport"|"handoff"}),
 //        --host ADDR (default 127.0.0.1), --max-conns N,
-//        --idle-timeout SECONDS (0 = never), --max-line-bytes N.
-//        SIGINT/SIGTERM shut down gracefully: stop accepting, flush
-//        response buffers, close every connection's sessions, save
-//        --stats-file.
+//        --idle-timeout SECONDS (0 = never), --max-line-bytes N,
+//        --shards N (event-loop shard threads; 0 = hardware concurrency,
+//        the default — each shard owns a slice of connections on its own
+//        epoll loop, all sharing one SessionManager; results stay
+//        bit-identical to stdin mode for any shard count).
+//        SIGINT/SIGTERM shut down gracefully: every shard stops
+//        accepting, flushes response buffers, closes its connections'
+//        sessions; then the process saves --stats-file.
 //
 // Example (one shell line):
 //   printf '%s\n%s\n' '{"cmd":"open","preset":"dashcam","class":"bicycle",
@@ -52,6 +57,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "net/server.h"
 #include "serve/protocol_handler.h"
@@ -99,14 +105,17 @@ int ServeListen(const net::ServerOptions& options,
     std::fprintf(stderr, "warning: %s\n", handlers.ToString().c_str());
   }
   // Machine-readable announcement so callers (tests, scripts) can discover
-  // an ephemeral port.
-  std::printf("%s\n", Json::Object()
-                          .Set("ok", true)
-                          .Set("listening", true)
-                          .Set("host", options.host)
-                          .Set("port", static_cast<int64_t>(server->port()))
-                          .Dump()
-                          .c_str());
+  // an ephemeral port (and see the sharding actually in effect).
+  std::printf("%s\n",
+              Json::Object()
+                  .Set("ok", true)
+                  .Set("listening", true)
+                  .Set("host", options.host)
+                  .Set("port", static_cast<int64_t>(server->port()))
+                  .Set("shards", static_cast<int64_t>(server->shards()))
+                  .Set("listener", std::string(server->listener_mode_name()))
+                  .Dump()
+                  .c_str());
   std::fflush(stdout);
   Status served = server->Serve();
   if (!served.ok()) {
@@ -132,6 +141,7 @@ int Main(int argc, char** argv) {
   const int64_t max_conns = flags.GetInt("max-conns", 256);
   const double idle_timeout = flags.GetDouble("idle-timeout", 0.0);
   const int64_t max_line_bytes = flags.GetInt("max-line-bytes", 1 << 20);
+  const int64_t shards = flags.GetInt("shards", 0);
   flags.FailOnUnknown();
   if (threads < 0) {
     std::fprintf(stderr, "error: --threads must be >= 0 (0 = all cores)\n");
@@ -167,6 +177,11 @@ int Main(int argc, char** argv) {
   }
   if (max_line_bytes < 2) {
     std::fprintf(stderr, "error: --max-line-bytes must be >= 2\n");
+    return 2;
+  }
+  if (shards < 0 || shards > 1024) {
+    std::fprintf(stderr,
+                 "error: --shards must be in [0, 1024] (0 = all cores)\n");
     return 2;
   }
 
@@ -205,6 +220,10 @@ int Main(int argc, char** argv) {
     server_options.max_connections = static_cast<int>(max_conns);
     server_options.idle_timeout_seconds = idle_timeout;
     server_options.max_line_bytes = static_cast<size_t>(max_line_bytes);
+    const unsigned hw = std::thread::hardware_concurrency();
+    server_options.shards =
+        shards > 0 ? static_cast<int>(shards)
+                   : static_cast<int>(hw > 0 ? hw : 1);
     exit_code = ServeListen(server_options, &manager, &cache, &datasets,
                             handler_options);
   } else {
