@@ -30,14 +30,24 @@
 //                           >= 2x at 4 shards on a multi-core host)
 //   shard_ttfr_p95_1 / _max TTFR tail at 1 shard vs the largest point
 //                           (sharding must not cost first-result latency)
+//   metrics_off_stats_rps / metrics_on_stats_rps / metrics_overhead_fraction
+//                           the same pipelined stats phase against a bare
+//                           server vs one with the obs registry wired in
+//                           (a `metrics` scraper polling mid-run); the
+//                           observability acceptance gate is overhead < 2%
+//
+// Also writes the last mid-run `metrics` scrape to --metrics-out — the
+// snapshot CI uploads as an artifact.
 //
 // Flags: --connections-max (32), --sessions-per-conn (4), --limit (10),
 //        --preset (dashcam), --scale (0.05), --slice-frames (256),
 //        --seed (23), --out (BENCH_net.json), --smoke (tiny sweep for CI),
 //        --shards (1; shard count for the connection sweep's server),
-//        --shard-sweep-max (4; cap on the shard sweep, 0 disables it).
+//        --shard-sweep-max (4; cap on the shard sweep, 0 disables it),
+//        --metrics-out (BENCH_net_metrics.json; mid-run scrape snapshot).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -48,6 +58,7 @@
 
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "serve/protocol_handler.h"
 #include "serve/session_manager.h"
 #include "serve/stats_cache.h"
@@ -221,6 +232,8 @@ int Main(int argc, char** argv) {
   const std::string out_path = flags.GetString("out", "BENCH_net.json");
   const int64_t shards = flags.GetInt("shards", 1);
   const int64_t shard_sweep_max = flags.GetInt("shard-sweep-max", 4);
+  const std::string metrics_out =
+      flags.GetString("metrics-out", "BENCH_net_metrics.json");
   flags.FailOnUnknown();
   if (connections_max < 1 || sessions_per_conn < 1 || limit < 1 ||
       scale <= 0.0 || scale > 1.0 || slice_frames < 1 || shards < 1 ||
@@ -256,18 +269,22 @@ int Main(int argc, char** argv) {
   // Every server in this bench shares the one manager/cache/dataset pool —
   // the sharding tentpole moves the transport, never the scheduler.
   auto make_server = [&manager, &cache, &datasets, connections_max](
-                         int server_shards) {
+                         int server_shards,
+                         obs::Registry* metrics = nullptr) {
     net::ServerOptions server_options;
     server_options.host = kHost;
     server_options.port = 0;
     server_options.max_connections = static_cast<int>(connections_max + 8);
     server_options.shards = server_shards;
-    return net::Server::Create(server_options, [&manager, &cache, &datasets] {
-      serve::ProtocolHandler::Options handler_options;
-      handler_options.close_sessions_on_destroy = true;
-      return std::make_unique<serve::ProtocolHandler>(
-          &manager, &cache, &datasets, handler_options);
-    });
+    server_options.metrics = metrics;
+    return net::Server::Create(
+        server_options, [&manager, &cache, &datasets, metrics] {
+          serve::ProtocolHandler::Options handler_options;
+          handler_options.close_sessions_on_destroy = true;
+          handler_options.metrics = metrics;
+          return std::make_unique<serve::ProtocolHandler>(
+              &manager, &cache, &datasets, handler_options);
+        });
   };
 
   auto created = make_server(static_cast<int>(shards));
@@ -444,6 +461,110 @@ int Main(int argc, char** argv) {
                 hw < 2 ? " (1-core host: scaling shows on multi-core)" : "");
   }
 
+  // Metrics overhead phase: the pipelined stats workload against a bare
+  // server, then against one with the obs registry wired through every
+  // layer and a scraper polling `metrics` mid-run. The delta is the price
+  // of instrumentation on the protocol hot path — gated < 2% in CI.
+  // Best-of-three per mode: a 2% bar needs the noise floor of a repeated
+  // measurement, not one wall-clock sample.
+  struct OverheadPoint {
+    double seconds = 0.0;
+    int64_t requests = 0;
+    double rps = 0.0;
+  };
+  const int64_t overhead_stats_per_conn = smoke ? 5000 : 20000;
+  constexpr int kOverheadTrials = 3;
+  auto run_stats_phase = [overhead_stats_per_conn](uint16_t port) {
+    OverheadPoint point;
+    std::vector<int64_t> counts(kShardPhaseConnections, 0);
+    std::vector<std::thread> clients;
+    const double start = Now();
+    for (int64_t c = 0; c < kShardPhaseConnections; ++c) {
+      clients.emplace_back([port, overhead_stats_per_conn, &counts, c] {
+        counts[static_cast<size_t>(c)] =
+            RunStatsPipeline(port, overhead_stats_per_conn);
+      });
+    }
+    for (auto& thread : clients) thread.join();
+    point.seconds = Now() - start;
+    for (int64_t count : counts) point.requests += count;
+    point.rps = point.seconds > 0
+                    ? static_cast<double>(point.requests) / point.seconds
+                    : 0.0;
+    return point;
+  };
+
+  OverheadPoint metrics_off, metrics_on;
+  std::string scrape_dump;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool with_metrics = pass == 1;
+    obs::Registry registry;
+    auto overhead_created = make_server(static_cast<int>(shards),
+                                        with_metrics ? &registry : nullptr);
+    if (!overhead_created.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   overhead_created.status().ToString().c_str());
+      return 1;
+    }
+    net::Server* overhead_server = overhead_created.value().get();
+    std::thread overhead_loop([overhead_server] { overhead_server->Serve(); });
+
+    std::atomic<bool> load_done{false};
+    std::thread scraper;
+    if (with_metrics) {
+      const uint16_t port = overhead_server->port();
+      scraper = std::thread([port, &load_done, &scrape_dump] {
+        auto connected = net::Client::Connect(kHost, port, 60.0);
+        if (!connected.ok()) return;
+        net::Client client = std::move(connected).value();
+        while (!load_done.load(std::memory_order_relaxed)) {
+          auto response = client.Call(Json::Object().Set("cmd", "metrics"));
+          if (response.ok() && response.value().GetBool("ok", false)) {
+            scrape_dump = response.value().Dump();
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        client.SendLine(R"({"cmd":"quit"})");
+      });
+    }
+
+    OverheadPoint best;
+    for (int trial = 0; trial < kOverheadTrials; ++trial) {
+      const OverheadPoint point = run_stats_phase(overhead_server->port());
+      if (point.requests !=
+          kShardPhaseConnections * overhead_stats_per_conn) {
+        std::fprintf(stderr, "error: overhead stats pipeline fell short\n");
+        load_done.store(true, std::memory_order_relaxed);
+        if (scraper.joinable()) scraper.join();
+        overhead_server->RequestStop();
+        overhead_loop.join();
+        return 1;
+      }
+      if (point.rps > best.rps) best = point;
+    }
+    load_done.store(true, std::memory_order_relaxed);
+    if (scraper.joinable()) scraper.join();
+    overhead_server->RequestStop();
+    overhead_loop.join();
+    (with_metrics ? metrics_on : metrics_off) = best;
+  }
+  const double metrics_overhead =
+      metrics_off.rps > 0
+          ? (metrics_off.rps - metrics_on.rps) / metrics_off.rps
+          : 0.0;
+  std::printf("stats throughput: metrics off %.1f req/s, on %.1f req/s "
+              "(overhead %+.2f%%, scraped mid-run)\n\n",
+              metrics_off.rps, metrics_on.rps, metrics_overhead * 100.0);
+  if (!scrape_dump.empty()) {
+    std::ofstream metrics_file(metrics_out, std::ios::trunc);
+    if (metrics_file.good()) {
+      metrics_file << scrape_dump << "\n";
+      std::printf("wrote %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", metrics_out.c_str());
+    }
+  }
+
   const SweepRow& first = rows.front();
   const SweepRow& last = rows.back();
   const double speedup = first.sessions_per_second > 0
@@ -480,7 +601,10 @@ int Main(int argc, char** argv) {
       .Set("requests_per_second_1", first.requests_per_second)
       .Set("requests_per_second_max", last.requests_per_second)
       .Set("speedup_max_vs_1_connections", speedup)
-      .Set("shards", shards);
+      .Set("shards", shards)
+      .Set("metrics_off_stats_rps", metrics_off.rps)
+      .Set("metrics_on_stats_rps", metrics_on.rps)
+      .Set("metrics_overhead_fraction", metrics_overhead);
   if (!shard_rows.empty()) {
     Json shard_sweep = Json::Array();
     for (const ShardRow& row : shard_rows) {

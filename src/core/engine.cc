@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <utility>
 
@@ -89,10 +90,34 @@ StepStatus QueryEngine::Step(int64_t max_frames) {
         run.done = StepStatus::Done::kSamplesExhausted;
         break;
       }
-      run.pending = source_->NextBatch(want, &rng_);
+      if (metrics_.pick_seconds != nullptr) {
+        const auto pick_start = std::chrono::steady_clock::now();
+        run.pending = source_->NextBatch(want, &rng_);
+        metrics_.pick_seconds->Observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          pick_start)
+                .count(),
+            metrics_cell_);
+      } else {
+        run.pending = source_->NextBatch(want, &rng_);
+      }
+      if (metrics_.pick_batches != nullptr) {
+        metrics_.pick_batches->Add(1, metrics_cell_);
+      }
       if (run.pending.empty()) {
         run.done = StepStatus::Done::kSourceExhausted;
         break;
+      }
+      if (metrics_.picks_by_policy != nullptr &&
+          config_.strategy == Strategy::kExSample) {
+        metrics_.picks_by_policy->Add(
+            static_cast<int64_t>(run.pending.size()),
+            static_cast<size_t>(config_.policy));
+      }
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEvent::Kind::kPick, /*frame=*/-1,
+                       run.pending.front().chunk,
+                       static_cast<double>(run.pending.size()));
       }
     }
 
@@ -109,6 +134,14 @@ StepStatus QueryEngine::Step(int64_t max_frames) {
     ++status.frames_this_step;
     source_->OnFrameCost(pick, decode_cost + inference_cost);
     source_->OnFeedback(pick, match);
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEvent::Kind::kFrame, pick.frame, pick.chunk,
+                     decode_cost + inference_cost);
+      if (!match.d0.empty()) {
+        trace_->Record(obs::TraceEvent::Kind::kHit, pick.frame, pick.chunk,
+                       static_cast<double>(match.d0.size()));
+      }
+    }
 
     if (!match.d0.empty()) {
       bool new_true_instance = false;
@@ -152,6 +185,21 @@ StepStatus QueryEngine::Step(int64_t max_frames) {
   status.total_results = static_cast<int64_t>(result.results.size());
   status.cost_seconds = result.total_seconds();
   status.done = run.done;
+  // Fold the slice's deltas into the metric sinks: one relaxed add per
+  // family per Step keeps the per-frame loop clean of atomics.
+  if (metrics_.frames_sampled != nullptr && status.frames_this_step > 0) {
+    metrics_.frames_sampled->Add(status.frames_this_step, metrics_cell_);
+  }
+  if (metrics_.results_found != nullptr && status.results_this_step > 0) {
+    metrics_.results_found->Add(status.results_this_step, metrics_cell_);
+  }
+  if (metrics_.cost_per_frame_micros != nullptr &&
+      status.frames_processed > 0) {
+    metrics_.cost_per_frame_micros->Set(
+        static_cast<int64_t>(1e6 * status.cost_seconds /
+                             static_cast<double>(status.frames_processed)),
+        metrics_cell_);
+  }
   return status;
 }
 

@@ -23,6 +23,8 @@
 #include "core/frame_source.h"
 #include "core/query.h"
 #include "detect/detector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "track/discriminator.h"
 #include "util/rng.h"
 #include "video/chunking.h"
@@ -31,6 +33,29 @@
 
 namespace exsample {
 namespace core {
+
+/// Optional metric sinks for the engine loop (all non-owning; any pointer
+/// may be null to disable that family). The engine folds slice-level deltas
+/// into them — one relaxed atomic add per Step for the counters, one
+/// clocked NextBatch per refill for the pick histogram — and never touches
+/// its RNG on behalf of a sink, so instrumented runs are bit-identical to
+/// bare ones.
+struct EngineMetrics {
+  /// Frames processed (added once per Step with the slice's delta).
+  obs::Counter* frames_sampled = nullptr;
+  /// Discriminator d0 verdicts reported (same cadence).
+  obs::Counter* results_found = nullptr;
+  /// FrameSource::NextBatch calls.
+  obs::Counter* pick_batches = nullptr;
+  /// Wall time of each NextBatch call (the bandit's pick latency).
+  obs::LatencyHistogram* pick_seconds = nullptr;
+  /// Frames picked, celled by PolicyKind (cell = static_cast<size_t>(kind));
+  /// only recorded for Strategy::kExSample sources.
+  obs::Counter* picks_by_policy = nullptr;
+  /// Snapshot of the run's modeled cost per frame in microseconds (the
+  /// engine-side view of the EWMA cost estimates), set once per Step.
+  obs::Gauge* cost_per_frame_micros = nullptr;
+};
 
 /// Engine configuration: the frame-source choice plus loop-level knobs.
 struct EngineConfig : FrameSourceConfig {
@@ -120,6 +145,20 @@ class QueryEngine {
   /// unfinished run is cancelled (this is how a serving session aborts).
   QueryResult TakeResult();
 
+  /// Attaches metric sinks (copied; the pointed-to instruments must outlive
+  /// the engine). `cell` selects the counter cell this engine writes —
+  /// callers hash a stable id (session id, shard index) so concurrent
+  /// engines spread across cells. Call before Begin().
+  void set_metrics(const EngineMetrics& metrics, size_t cell) {
+    metrics_ = metrics;
+    metrics_cell_ = cell;
+  }
+
+  /// Attaches a per-query trace recorder (non-owning, may be null). The
+  /// engine records one kPick event per source batch and one kFrame (plus
+  /// kHit on new objects) per processed frame. Call before Begin().
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
   /// The frame source driving this engine.
   const FrameSource& frame_source() const { return *source_; }
 
@@ -151,6 +190,9 @@ class QueryEngine {
   Rng rng_;
   std::unique_ptr<FrameSource> source_;
   std::unique_ptr<RunState> run_;
+  EngineMetrics metrics_;
+  size_t metrics_cell_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace core

@@ -44,6 +44,7 @@ std::vector<JobResult> MultiQueryRunner::RunAll(
         job.make_discriminator();
     core::QueryEngine engine(job.repo, job.chunks, detector.get(),
                              discriminator.get(), job.config, engine_seed);
+    if (job.trace != nullptr) engine.set_trace(job.trace);
 
     JobResult& out = results[i];
     out.job_id = job.id;

@@ -50,6 +50,11 @@ struct QueryJob {
   core::QuerySpec spec;
   DetectorFactory make_detector;
   DiscriminatorFactory make_discriminator;
+  /// Optional per-query trace sink (non-owning; must outlive the run).
+  /// Attached to the engine before execution; recording never touches the
+  /// job's RNG streams, so a traced run matches an untraced one bit for
+  /// bit. Single-writer: don't share one recorder between jobs.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Outcome of one scheduled job, in the job order passed to RunAll().

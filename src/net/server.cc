@@ -301,6 +301,22 @@ Status Server::Bind() {
     // AcceptNew); harmless if it fails to open.
     if (shard->listen_fd >= 0) shard->reserve_fd = open("/dev/null", O_RDONLY);
   }
+
+  if (options_.metrics != nullptr) {
+    obs::Registry* reg = options_.metrics;
+    const size_t cells = shards_.size();
+    m_accepted_ = reg->GetCounter("net.accepted", cells);
+    m_refused_ = reg->GetCounter("net.refused", cells);
+    m_bytes_in_ = reg->GetCounter("net.bytes_in", cells);
+    m_bytes_out_ = reg->GetCounter("net.bytes_out", cells);
+    m_requests_ = reg->GetCounter("net.requests", cells);
+    m_backpressure_pauses_ =
+        reg->GetCounter("net.backpressure_pauses", cells);
+    m_idle_reaps_ = reg->GetCounter("net.idle_reaps", cells);
+    m_connections_ = reg->GetGauge("net.connections", cells);
+    m_request_seconds_ = reg->GetHistogram("net.request_seconds", cells);
+  }
+  started_ = Clock::now();
   return Status::Ok();
 }
 
@@ -364,6 +380,9 @@ void Server::AcceptNew(Shard* shard) {
     if (total_connections_.fetch_add(1, std::memory_order_relaxed) >=
         static_cast<size_t>(options_.max_connections)) {
       total_connections_.fetch_sub(1, std::memory_order_relaxed);
+      if (m_refused_ != nullptr) {
+        m_refused_->Add(1, static_cast<size_t>(shard->index));
+      }
       // Best-effort refusal so the client sees why instead of a bare RST.
       const std::string refusal = ErrorLine(
           "server full (" + std::to_string(options_.max_connections) +
@@ -377,6 +396,9 @@ void Server::AcceptNew(Shard* shard) {
       close(fd);
       total_connections_.fetch_sub(1, std::memory_order_relaxed);
       continue;
+    }
+    if (m_accepted_ != nullptr) {
+      m_accepted_->Add(1, static_cast<size_t>(shard->index));
     }
     const int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -423,9 +445,14 @@ void Server::AdoptFd(Shard* shard, int fd) {
   }
   shard->connections.push_back(std::move(conn));
   shard->active.store(shard->connections.size(), std::memory_order_relaxed);
+  if (m_connections_ != nullptr) {
+    m_connections_->Set(static_cast<int64_t>(shard->connections.size()),
+                        static_cast<size_t>(shard->index));
+  }
 }
 
 bool Server::ReadAndHandle(Shard* shard, Connection* conn) {
+  const size_t cell = static_cast<size_t>(shard->index);
   char buffer[64 * 1024];
   const ssize_t n = recv(conn->fd, buffer, sizeof(buffer), 0);
   if (n == 0) {
@@ -438,7 +465,7 @@ bool Server::ReadAndHandle(Shard* shard, Connection* conn) {
       std::string line;
       if (conn->in.TakeRemainder(&line) == LineBuffer::Next::kLine) {
         serve::ProtocolHandler::Outcome outcome =
-            conn->handler->HandleLine(line);
+            HandleRequest(shard, conn, line);
         if (!outcome.response.empty()) {
           conn->out += outcome.response;
           conn->out += '\n';
@@ -446,13 +473,14 @@ bool Server::ReadAndHandle(Shard* shard, Connection* conn) {
       }
     }
     conn->closing = true;
-    return FlushWrites(conn);
+    return FlushWrites(shard, conn);
   }
   if (n < 0) {
     return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
   }
   conn->last_activity = Clock::now();
   conn->in.Append(buffer, static_cast<size_t>(n));
+  if (m_bytes_in_ != nullptr) m_bytes_in_->Add(n, cell);
 
   std::string line;
   while (!conn->closing && !shard->draining) {
@@ -465,17 +493,29 @@ bool Server::ReadAndHandle(Shard* shard, Connection* conn) {
       conn->closing = true;
       break;
     }
-    serve::ProtocolHandler::Outcome outcome = conn->handler->HandleLine(line);
+    serve::ProtocolHandler::Outcome outcome = HandleRequest(shard, conn, line);
     if (!outcome.response.empty()) {
       conn->out += outcome.response;
       conn->out += '\n';
     }
     if (outcome.quit) conn->closing = true;
   }
-  return FlushWrites(conn);
+  return FlushWrites(shard, conn);
 }
 
-bool Server::FlushWrites(Connection* conn) {
+serve::ProtocolHandler::Outcome Server::HandleRequest(
+    Shard* shard, Connection* conn, const std::string& line) {
+  const size_t cell = static_cast<size_t>(shard->index);
+  if (m_requests_ != nullptr) m_requests_->Add(1, cell);
+  if (m_request_seconds_ == nullptr) return conn->handler->HandleLine(line);
+  const Clock::time_point start = Clock::now();
+  serve::ProtocolHandler::Outcome outcome = conn->handler->HandleLine(line);
+  m_request_seconds_->Observe(
+      std::chrono::duration<double>(Clock::now() - start).count(), cell);
+  return outcome;
+}
+
+bool Server::FlushWrites(Shard* shard, Connection* conn) {
   while (conn->pending_out() > 0) {
     const ssize_t n = send(conn->fd, conn->out.data() + conn->out_offset,
                            conn->pending_out(), MSG_NOSIGNAL);
@@ -483,6 +523,9 @@ bool Server::FlushWrites(Connection* conn) {
       return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
     }
     conn->out_offset += static_cast<size_t>(n);
+    if (m_bytes_out_ != nullptr) {
+      m_bytes_out_->Add(n, static_cast<size_t>(shard->index));
+    }
     // Outbound progress counts as activity: a client draining a large
     // response backlog (possibly read-paused by backpressure) is alive,
     // not idle — it must not be reaped mid-stream.
@@ -498,6 +541,12 @@ void Server::UpdateInterest(Shard* shard, Connection* conn) {
   const bool want_read = !conn->closing && !shard->draining && !paused;
   const bool want_write = conn->pending_out() > 0;
   if (want_read == conn->want_read && want_write == conn->want_write) return;
+  // A pause is the read-interest falling edge caused by backpressure (not
+  // by closing or draining, which also clear want_read).
+  if (m_backpressure_pauses_ != nullptr && conn->want_read && !want_read &&
+      paused && !conn->closing && !shard->draining) {
+    m_backpressure_pauses_->Add(1, static_cast<size_t>(shard->index));
+  }
   conn->want_read = want_read;
   conn->want_write = want_write;
   // A Modify failure would leave the connection deaf; there is no
@@ -523,6 +572,10 @@ void Server::DestroyConnection(Shard* shard, Connection* conn) {
   shard->connections.pop_back();
   shard->active.store(shard->connections.size(), std::memory_order_relaxed);
   total_connections_.fetch_sub(1, std::memory_order_relaxed);
+  if (m_connections_ != nullptr) {
+    m_connections_->Set(static_cast<int64_t>(shard->connections.size()),
+                        static_cast<size_t>(shard->index));
+  }
 }
 
 void Server::RunShard(Shard* shard) {
@@ -611,7 +664,7 @@ Status Server::ShardLoop(Shard* shard) {
         // Peer reset/vanished. Any queued responses are undeliverable.
         alive = false;
       } else {
-        if (alive && event.writable) alive = FlushWrites(conn);
+        if (alive && event.writable) alive = FlushWrites(shard, conn);
         if (alive && event.readable && !shard->draining) {
           alive = ReadAndHandle(shard, conn);
         }
@@ -632,6 +685,9 @@ Status Server::ShardLoop(Shard* shard) {
         Connection* conn = shard->connections[i - 1].get();
         if (now - conn->last_activity >
             Micros(options_.idle_timeout_seconds)) {
+          if (m_idle_reaps_ != nullptr) {
+            m_idle_reaps_->Add(1, static_cast<size_t>(shard->index));
+          }
           DestroyConnection(shard, conn);
         }
       }

@@ -63,6 +63,7 @@
 #define EXSAMPLE_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -70,6 +71,7 @@
 #include <vector>
 
 #include "net/event_loop.h"
+#include "obs/metrics.h"
 #include "serve/protocol_handler.h"
 #include "util/status.h"
 
@@ -107,6 +109,13 @@ struct ServerOptions {
 
   /// Readiness backend per shard (kAuto = epoll where available).
   EventLoop::Backend backend = EventLoop::Backend::kAuto;
+
+  /// Optional metrics registry (non-owning; must outlive the server). When
+  /// set, the server registers the net.* families with one cell per shard
+  /// — accepts, refusals, bytes in/out, requests, request latency,
+  /// backpressure pauses, idle reaps, live connections — and each shard
+  /// writes only its own cell, preserving the lock-light sharding model.
+  obs::Registry* metrics = nullptr;
 };
 
 class Server {
@@ -162,6 +171,14 @@ class Server {
     return reuseport_ ? "reuseport" : "handoff";
   }
 
+  /// Wall seconds since Create() bound the listeners (the "stats" and
+  /// "metrics" commands report this as server uptime).
+  double uptime_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started_)
+        .count();
+  }
+
  private:
   struct Connection;
   struct Shard;
@@ -181,8 +198,13 @@ class Server {
   void AdoptFd(Shard* shard, int fd);
   /// Reads once; returns false when the connection died.
   bool ReadAndHandle(Shard* shard, Connection* conn);
+  /// Dispatches one request line through the connection's handler, with
+  /// request counting / latency observation when metrics are attached.
+  serve::ProtocolHandler::Outcome HandleRequest(Shard* shard,
+                                                Connection* conn,
+                                                const std::string& line);
   /// Flushes pending output; returns false when the connection died.
-  bool FlushWrites(Connection* conn);
+  bool FlushWrites(Shard* shard, Connection* conn);
   /// Re-arms the event-loop interest to match the connection state.
   void UpdateInterest(Shard* shard, Connection* conn);
   void DestroyConnection(Shard* shard, Connection* conn);
@@ -202,6 +224,19 @@ class Server {
   /// shard's thread).
   size_t next_shard_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::chrono::steady_clock::time_point started_{};
+
+  /// net.* instruments, one cell per shard; all null when
+  /// options_.metrics is null (every touch is null-guarded).
+  obs::Counter* m_accepted_ = nullptr;
+  obs::Counter* m_refused_ = nullptr;
+  obs::Counter* m_bytes_in_ = nullptr;
+  obs::Counter* m_bytes_out_ = nullptr;
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_backpressure_pauses_ = nullptr;
+  obs::Counter* m_idle_reaps_ = nullptr;
+  obs::Gauge* m_connections_ = nullptr;
+  obs::LatencyHistogram* m_request_seconds_ = nullptr;
 };
 
 }  // namespace net

@@ -1,0 +1,218 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace exsample {
+namespace obs {
+
+int64_t Counter::Total() const {
+  int64_t total = 0;
+  for (const MetricCell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t Gauge::Total() const {
+  int64_t total = 0;
+  for (const MetricCell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+LatencyHistogram::LatencyHistogram(size_t cells)
+    : num_cells_(cells > 0 ? cells : 1), cells_(num_cells_) {}
+
+void LatencyHistogram::Observe(double seconds, size_t cell) {
+  if (!std::isfinite(seconds) || seconds < 0.0) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Bucket = position of the highest set bit of ceil(microseconds): every
+  // observation <= 2^b us lands in bucket b, overflow in the last bucket.
+  const double micros = seconds * 1e6;
+  size_t bucket = 0;
+  if (micros > 1.0) {
+    const uint64_t us = static_cast<uint64_t>(std::ceil(micros));
+    bucket = static_cast<size_t>(64 - __builtin_clzll(us - 1));
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+  }
+  Cell& c = cells_[cell % num_cells_];
+  c.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  c.count.fetch_add(1, std::memory_order_relaxed);
+  c.sum_nanos.fetch_add(static_cast<int64_t>(seconds * 1e9),
+                        std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::TotalCount() const {
+  int64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double LatencyHistogram::TotalSumSeconds() const {
+  int64_t nanos = 0;
+  for (const Cell& cell : cells_) {
+    nanos += cell.sum_nanos.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(nanos) * 1e-9;
+}
+
+std::vector<int64_t> LatencyHistogram::BucketTotals() const {
+  std::vector<int64_t> totals(kBuckets, 0);
+  for (const Cell& cell : cells_) {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      totals[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return totals;
+}
+
+double LatencyHistogram::BucketUpperSeconds(size_t bucket) {
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  // Bucket b: <= 2^b microseconds. The +inf bucket reports the largest
+  // finite bound so JSON output stays a number.
+  return std::ldexp(1e-6, static_cast<int>(bucket));
+}
+
+double LatencyHistogram::ApproxQuantile(double q) const {
+  const std::vector<int64_t> totals = BucketTotals();
+  int64_t count = 0;
+  for (int64_t c : totals) count += c;
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    cumulative += totals[b];
+    if (static_cast<double>(cumulative) >= target && totals[b] > 0) {
+      return BucketUpperSeconds(b);
+    }
+  }
+  return BucketUpperSeconds(kBuckets - 1);
+}
+
+Registry::Family* Registry::FindLocked(const std::string& name) {
+  for (const auto& family : families_) {
+    if (family->name == name) return family.get();
+  }
+  return nullptr;
+}
+
+Counter* Registry::GetCounter(const std::string& name, size_t cells) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Family* existing = FindLocked(name)) {
+    return existing->kind == Kind::kCounter ? existing->counter.get()
+                                            : nullptr;
+  }
+  auto family = std::make_unique<Family>();
+  family->name = name;
+  family->kind = Kind::kCounter;
+  family->counter = std::make_unique<Counter>(cells);
+  Counter* out = family->counter.get();
+  families_.push_back(std::move(family));
+  return out;
+}
+
+Gauge* Registry::GetGauge(const std::string& name, size_t cells) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Family* existing = FindLocked(name)) {
+    return existing->kind == Kind::kGauge ? existing->gauge.get() : nullptr;
+  }
+  auto family = std::make_unique<Family>();
+  family->name = name;
+  family->kind = Kind::kGauge;
+  family->gauge = std::make_unique<Gauge>(cells);
+  Gauge* out = family->gauge.get();
+  families_.push_back(std::move(family));
+  return out;
+}
+
+LatencyHistogram* Registry::GetHistogram(const std::string& name,
+                                         size_t cells) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Family* existing = FindLocked(name)) {
+    return existing->kind == Kind::kHistogram ? existing->histogram.get()
+                                              : nullptr;
+  }
+  auto family = std::make_unique<Family>();
+  family->name = name;
+  family->kind = Kind::kHistogram;
+  family->histogram = std::make_unique<LatencyHistogram>(cells);
+  LatencyHistogram* out = family->histogram.get();
+  families_.push_back(std::move(family));
+  return out;
+}
+
+namespace {
+
+Json CellsJson(const std::vector<int64_t>& values) {
+  Json cells = Json::Array();
+  for (int64_t v : values) cells.Append(v);
+  return cells;
+}
+
+}  // namespace
+
+Json Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::Object();
+  Json gauges = Json::Object();
+  Json histograms = Json::Object();
+  for (const auto& family : families_) {
+    switch (family->kind) {
+      case Kind::kCounter: {
+        const Counter& c = *family->counter;
+        std::vector<int64_t> cells(c.cells());
+        for (size_t i = 0; i < c.cells(); ++i) cells[i] = c.Cell(i);
+        Json entry = Json::Object().Set("total", c.Total());
+        if (c.cells() > 1) entry.Set("cells", CellsJson(cells));
+        counters.Set(family->name, std::move(entry));
+        break;
+      }
+      case Kind::kGauge: {
+        const Gauge& g = *family->gauge;
+        std::vector<int64_t> cells(g.cells());
+        for (size_t i = 0; i < g.cells(); ++i) cells[i] = g.Cell(i);
+        Json entry = Json::Object().Set("total", g.Total());
+        if (g.cells() > 1) entry.Set("cells", CellsJson(cells));
+        gauges.Set(family->name, std::move(entry));
+        break;
+      }
+      case Kind::kHistogram: {
+        const LatencyHistogram& h = *family->histogram;
+        Json entry = Json::Object()
+                         .Set("count", h.TotalCount())
+                         .Set("sum_seconds", h.TotalSumSeconds())
+                         .Set("p50_seconds", h.ApproxQuantile(0.50))
+                         .Set("p95_seconds", h.ApproxQuantile(0.95))
+                         .Set("p99_seconds", h.ApproxQuantile(0.99));
+        if (h.rejected() > 0) entry.Set("rejected", h.rejected());
+        Json buckets = Json::Array();
+        const std::vector<int64_t> totals = h.BucketTotals();
+        for (size_t b = 0; b < totals.size(); ++b) {
+          if (totals[b] == 0) continue;  // sparse: only occupied buckets
+          buckets.Append(
+              Json::Object()
+                  .Set("le_seconds", LatencyHistogram::BucketUpperSeconds(b))
+                  .Set("count", totals[b]));
+        }
+        entry.Set("buckets", std::move(buckets));
+        histograms.Set(family->name, std::move(entry));
+        break;
+      }
+    }
+  }
+  return Json::Object()
+      .Set("counters", std::move(counters))
+      .Set("gauges", std::move(gauges))
+      .Set("histograms", std::move(histograms));
+}
+
+}  // namespace obs
+}  // namespace exsample

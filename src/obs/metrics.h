@@ -1,0 +1,191 @@
+// Lock-light runtime metrics: counters, gauges, and fixed-bucket latency
+// histograms, aggregated on scrape.
+//
+// Design goals, in order:
+//   1. Hot paths pay one relaxed atomic add. Every instrument is a family
+//      of `cells` independent cache-line-aligned slots; a shard (or any
+//      stable modular hash of a session id) owns a cell, so concurrent
+//      writers on different cells never contend and never fence. There is
+//      no lock anywhere on the write path.
+//   2. Observation never perturbs results. Instruments touch no RNG and no
+//      engine state; a fully instrumented run is bit-identical to a bare
+//      one (pinned by the determinism matrices).
+//   3. Scrapes are safe against writers. A scrape loads each cell once
+//      (relaxed atomic load — no torn reads) and sums; because every cell
+//      is monotone for counters, successive scrape totals are monotone
+//      too, even while all shards keep writing. Scrapes take only the
+//      registry's registration mutex (so the family list is stable), never
+//      a per-instrument lock.
+//
+// The Registry owns every instrument: Counter/Gauge/Histogram return
+// stable pointers for the registry's lifetime, so instrumented subsystems
+// hold raw pointers and need no lifetime bookkeeping of their own.
+// Registration is idempotent by name (two subsystems may share a family)
+// but a name's kind and cell count are fixed by the first registration.
+//
+// Snapshot() serializes everything to JSON — totals plus the per-cell
+// breakdown — which is exactly what the serve protocol's `metrics` command
+// and the --metrics-dump flag emit.
+
+#ifndef EXSAMPLE_OBS_METRICS_H_
+#define EXSAMPLE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace exsample {
+namespace obs {
+
+/// One cache line per writer slot so concurrent cells never false-share.
+struct alignas(64) MetricCell {
+  std::atomic<int64_t> value{0};
+};
+
+/// Monotonic counter family. Add() is one relaxed fetch_add on the caller's
+/// cell; Total() sums the cells. Never decremented.
+class Counter {
+ public:
+  explicit Counter(size_t cells) : cells_(cells > 0 ? cells : 1) {}
+
+  void Add(int64_t delta = 1, size_t cell = 0) {
+    assert(delta >= 0 && "counters are monotonic");
+    cells_[cell % cells_.size()].value.fetch_add(delta,
+                                                 std::memory_order_relaxed);
+  }
+
+  int64_t Total() const;
+  size_t cells() const { return cells_.size(); }
+  int64_t Cell(size_t i) const {
+    return cells_[i].value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<MetricCell> cells_;
+};
+
+/// Gauge family: a value that can move both ways (live connections, last
+/// observed cost). Set/Add are relaxed; Total() sums the cells (so a
+/// per-shard gauge totals across shards).
+class Gauge {
+ public:
+  explicit Gauge(size_t cells) : cells_(cells > 0 ? cells : 1) {}
+
+  void Set(int64_t value, size_t cell = 0) {
+    cells_[cell % cells_.size()].value.store(value,
+                                             std::memory_order_relaxed);
+  }
+  void Add(int64_t delta, size_t cell = 0) {
+    cells_[cell % cells_.size()].value.fetch_add(delta,
+                                                 std::memory_order_relaxed);
+  }
+
+  int64_t Total() const;
+  size_t cells() const { return cells_.size(); }
+  int64_t Cell(size_t i) const {
+    return cells_[i].value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<MetricCell> cells_;
+};
+
+/// Latency histogram with fixed power-of-two buckets from 1 microsecond up
+/// (bucket b counts observations <= 2^b us; the last bucket is +inf), so
+/// Observe() is a leading-zero count plus one relaxed add — no allocation,
+/// no comparison ladder. Buckets are shared across cells (per-cell counts),
+/// and a per-cell count/sum pair supports mean latency on scrape.
+///
+/// Non-finite or negative observations are dropped (counted under
+/// `rejected`), so a NaN can never poison the percentile estimates — the
+/// same discipline util::RunningStat and util::Histogram follow.
+class LatencyHistogram {
+ public:
+  /// Buckets: <=1us, <=2us, ... <=2^(kBuckets-2)us (~134s), then +inf.
+  static constexpr size_t kBuckets = 29;
+
+  explicit LatencyHistogram(size_t cells);
+
+  void Observe(double seconds, size_t cell = 0);
+
+  int64_t TotalCount() const;
+  double TotalSumSeconds() const;
+  int64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  /// Counts per bucket, summed over cells.
+  std::vector<int64_t> BucketTotals() const;
+  /// Upper bound of bucket b in seconds (+inf bucket reports the largest
+  /// finite bound).
+  static double BucketUpperSeconds(size_t bucket);
+  /// Approximate q-quantile (q in [0,1]) from the bucket counts: the upper
+  /// bound of the bucket where the cumulative count crosses q. 0 when
+  /// empty.
+  double ApproxQuantile(double q) const;
+
+  size_t cells() const { return num_cells_; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<int64_t> buckets[kBuckets] = {};
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum_nanos{0};
+  };
+
+  const size_t num_cells_;
+  std::vector<Cell> cells_;
+  std::atomic<int64_t> rejected_{0};
+};
+
+/// Owns instruments; hands out stable pointers; serializes snapshots.
+/// Thread-safe: registration locks, writes are lock-free, Snapshot locks
+/// only the family list.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers (or finds) the named instrument. Idempotent: a second call
+  /// with the same name returns the existing family (its original cell
+  /// count — callers sharing a name must agree on shape). A name may hold
+  /// only one kind; re-registering under a different kind returns nullptr.
+  Counter* GetCounter(const std::string& name, size_t cells = 1);
+  Gauge* GetGauge(const std::string& name, size_t cells = 1);
+  LatencyHistogram* GetHistogram(const std::string& name, size_t cells = 1);
+
+  /// Full dump: {"counters":{name:{"total":..,"cells":[..]}},
+  /// "gauges":{...}, "histograms":{name:{"count":..,"sum_seconds":..,
+  /// "p50_seconds":..,"p95_seconds":..,"p99_seconds":..,"rejected":..,
+  /// "buckets":[{"le_seconds":..,"count":..}, ...nonzero only]}}}.
+  /// Families appear in registration order so snapshots diff cleanly.
+  Json Snapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Family {
+    std::string name;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Family* FindLocked(const std::string& name);
+
+  mutable std::mutex mu_;
+  /// unique_ptr elements keep instrument addresses stable across growth.
+  std::vector<std::unique_ptr<Family>> families_;
+};
+
+}  // namespace obs
+}  // namespace exsample
+
+#endif  // EXSAMPLE_OBS_METRICS_H_

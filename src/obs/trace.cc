@@ -1,0 +1,73 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace exsample {
+namespace obs {
+
+const char* TraceEventKindName(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kPick:
+      return "pick";
+    case TraceEvent::Kind::kFrame:
+      return "frame";
+    case TraceEvent::Kind::kHit:
+      return "hit";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : ring_(capacity > 0 ? capacity : 1) {}
+
+void TraceRecorder::Record(TraceEvent::Kind kind, int64_t frame,
+                           int64_t chunk, double value) {
+  TraceEvent& slot = ring_[next_];
+  slot.kind = kind;
+  slot.seq = total_;
+  slot.frame = frame;
+  slot.chunk = chunk;
+  slot.value = value;
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  const size_t held =
+      std::min(static_cast<size_t>(total_), ring_.size());
+  std::vector<TraceEvent> out;
+  out.reserve(held);
+  // Oldest event sits at the write cursor once the ring has wrapped.
+  const size_t start =
+      static_cast<size_t>(total_) > ring_.size() ? next_ : 0;
+  for (size_t i = 0; i < held; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRecorder::Reset() {
+  next_ = 0;
+  total_ = 0;
+}
+
+Json TraceRecorder::ToJson() const {
+  const std::vector<TraceEvent> events = Events();
+  Json array = Json::Array();
+  for (const TraceEvent& event : events) {
+    Json entry = Json::Object()
+                     .Set("seq", event.seq)
+                     .Set("kind", TraceEventKindName(event.kind));
+    if (event.frame >= 0) entry.Set("frame", event.frame);
+    if (event.chunk >= 0) entry.Set("chunk", event.chunk);
+    entry.Set("value", event.value);
+    array.Append(std::move(entry));
+  }
+  return Json::Object()
+      .Set("total_recorded", total_)
+      .Set("dropped", total_ - static_cast<int64_t>(events.size()))
+      .Set("events", std::move(array));
+}
+
+}  // namespace obs
+}  // namespace exsample

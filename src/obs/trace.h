@@ -1,0 +1,82 @@
+// Per-query trace recorder: a bounded ring buffer of sampling events for
+// offline analysis of bandit trajectories.
+//
+// Where the metrics registry answers "how much, overall", a trace answers
+// "what did this one query actually do": which chunk the bandit picked,
+// which frames it scanned, where it hit, and what each frame cost. The
+// engine appends one event per pick batch and per processed frame when a
+// recorder is attached (opt-in; nullptr — the default — costs nothing).
+//
+// Determinism contract: recording touches no RNG and reads no engine state
+// that feeds back into sampling, so a traced run is bit-identical to an
+// untraced one (pinned by the determinism matrix).
+//
+// The buffer is bounded: once `capacity` events are held, the oldest are
+// overwritten (a query's endgame is usually the interesting part; the
+// total_recorded counter tells consumers how much was dropped). Thread
+// model: single-writer — a recorder belongs to one engine, and the serving
+// layer already serializes an engine's slices behind the session mutex.
+
+#ifndef EXSAMPLE_OBS_TRACE_H_
+#define EXSAMPLE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace exsample {
+namespace obs {
+
+/// One sampling event. `value` is kind-specific (see Kind).
+struct TraceEvent {
+  enum class Kind : uint8_t {
+    kPick,   ///< bandit chose a chunk; value = frames requested in the batch
+    kFrame,  ///< a frame was decoded + detected; value = modeled cost seconds
+    kHit,    ///< the discriminator reported new objects; value = |d0|
+  };
+
+  Kind kind = Kind::kFrame;
+  /// Monotone event index since Reset (survives ring eviction).
+  int64_t seq = 0;
+  /// Global frame id (-1 for kPick events).
+  int64_t frame = -1;
+  /// Chunk the frame was drawn from (-1 for chunk-less sources).
+  int64_t chunk = -1;
+  double value = 0.0;
+};
+
+const char* TraceEventKindName(TraceEvent::Kind kind);
+
+/// Fixed-capacity single-writer event ring.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 65536);
+
+  void Record(TraceEvent::Kind kind, int64_t frame, int64_t chunk,
+              double value);
+
+  /// Events still held, oldest first.
+  std::vector<TraceEvent> Events() const;
+  /// Events ever recorded (>= Events().size(); the difference was evicted).
+  int64_t total_recorded() const { return total_; }
+  size_t capacity() const { return ring_.size(); }
+
+  void Reset();
+
+  /// {"total_recorded":N,"dropped":D,"events":[{"seq":..,"kind":"frame",
+  /// "frame":..,"chunk":..,"value":..}, ...]} — the exsample_query --trace
+  /// file format.
+  Json ToJson() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;      // ring write cursor
+  int64_t total_ = 0;    // events ever recorded
+};
+
+}  // namespace obs
+}  // namespace exsample
+
+#endif  // EXSAMPLE_OBS_TRACE_H_

@@ -90,17 +90,40 @@ Json ProtocolHandler::Dispatch(const Json& cmd) {
                        : Error(status.ToString());
   }
   if (name == "stats") {
-    return Json::Object()
-        .Set("ok", true)
-        .Set("live_sessions", static_cast<int64_t>(manager_->live_sessions()))
-        .Set("open_sessions", static_cast<int64_t>(manager_->open_sessions()))
-        .Set("total_opened", manager_->total_opened())
-        .Set("cache_entries", static_cast<int64_t>(cache_->size()))
-        .Set("cache_queries", cache_->queries_recorded())
-        .Set("warm_start", options_.warm_start);
+    Json response =
+        Json::Object()
+            .Set("ok", true)
+            .Set("live_sessions",
+                 static_cast<int64_t>(manager_->live_sessions()))
+            .Set("open_sessions",
+                 static_cast<int64_t>(manager_->open_sessions()))
+            .Set("total_opened", manager_->total_opened())
+            .Set("cache_entries", static_cast<int64_t>(cache_->size()))
+            .Set("cache_queries", cache_->queries_recorded())
+            .Set("warm_start", options_.warm_start);
+    MergeServerInfo(&response);
+    return response;
+  }
+  if (name == "metrics") {
+    if (options_.metrics == nullptr) {
+      return Error("metrics not enabled on this server");
+    }
+    Json response = Json::Object().Set("ok", true);
+    MergeServerInfo(&response);
+    response.Set("metrics", options_.metrics->Snapshot());
+    return response;
   }
   return Error("unknown cmd: '" + name +
-               "' (open|poll|cancel|close|stats|quit)");
+               "' (open|poll|cancel|close|stats|metrics|quit)");
+}
+
+void ProtocolHandler::MergeServerInfo(Json* response) const {
+  if (!options_.server_info) return;
+  const Json info = options_.server_info();
+  if (!info.is_object()) return;
+  for (const auto& member : info.members()) {
+    response->Set(member.first, member.second);
+  }
 }
 
 bool ProtocolHandler::CheckOwned(int64_t id, Json* error) const {

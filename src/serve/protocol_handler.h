@@ -22,6 +22,7 @@
 #define EXSAMPLE_SERVE_PROTOCOL_HANDLER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,6 +30,7 @@
 #include <string>
 
 #include "data/synthetic.h"
+#include "obs/metrics.h"
 #include "serve/session_manager.h"
 #include "serve/stats_cache.h"
 #include "util/json.h"
@@ -71,6 +73,14 @@ class ProtocolHandler {
     /// stdin transport leaves it off to preserve the historical behavior
     /// that sessions still running at EOF are dropped un-recorded.
     bool close_sessions_on_destroy = false;
+    /// Registry snapshotted by the "metrics" command (non-owning, may be
+    /// null — the command then reports metrics as unavailable).
+    obs::Registry* metrics = nullptr;
+    /// Transport-level status merged into "stats" and "metrics" responses:
+    /// uptime, shard count, per-shard connection counts. Supplied by the
+    /// tool (which knows whether it serves stdin or TCP); must be
+    /// thread-safe — handlers on different shards call it concurrently.
+    std::function<Json()> server_info;
   };
 
   /// All pointers are non-owning and must outlive the handler.
@@ -106,6 +116,9 @@ class ProtocolHandler {
   Json Dispatch(const Json& cmd);
   Json HandleOpen(const Json& cmd);
   Json HandlePoll(const Json& cmd);
+  /// Folds the transport's server_info fields (uptime, shards, per-shard
+  /// connections) into a response object; no-op without a callback.
+  void MergeServerInfo(Json* response) const;
   /// Shared poll/cancel/close guard: owned session id or an error. A
   /// session opened by another handler is reported exactly like one that
   /// does not exist, so clients cannot probe each other.

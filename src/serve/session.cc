@@ -63,10 +63,40 @@ StopReason FromDone(core::StepStatus::Done done) {
 
 }  // namespace
 
+ServeMetrics ServeMetrics::Register(obs::Registry* registry, size_t cells) {
+  ServeMetrics m;
+  m.sessions_opened = registry->GetCounter("serve.sessions_opened");
+  m.sessions_finished = registry->GetCounter("serve.sessions_finished");
+  m.sessions_cancelled = registry->GetCounter("serve.sessions_cancelled");
+  m.sessions_closed = registry->GetCounter("serve.sessions_closed");
+  m.admission_rejected = registry->GetCounter("serve.admission_rejected");
+  m.slices_run = registry->GetCounter("serve.slices_run", cells);
+  m.slice_seconds = registry->GetHistogram("serve.slice_seconds", cells);
+  m.polls = registry->GetCounter("serve.polls", cells);
+  m.poll_results = registry->GetCounter("serve.poll_results", cells);
+  m.ttfr_seconds =
+      registry->GetHistogram("serve.time_to_first_result_seconds", cells);
+  m.warm_hits = registry->GetCounter("serve.warm_start_hits");
+  m.warm_misses = registry->GetCounter("serve.warm_start_misses");
+  m.engine.frames_sampled =
+      registry->GetCounter("core.frames_sampled", cells);
+  m.engine.results_found = registry->GetCounter("core.results_found", cells);
+  m.engine.pick_batches = registry->GetCounter("core.pick_batches", cells);
+  m.engine.pick_seconds =
+      registry->GetHistogram("core.pick_seconds", cells);
+  m.engine.picks_by_policy = registry->GetCounter(
+      "core.picks_by_policy",
+      static_cast<size_t>(core::PolicyKind::kHierBayesUcb) + 1);
+  m.engine.cost_per_frame_micros =
+      registry->GetGauge("core.cost_per_frame_micros", cells);
+  return m;
+}
+
 QuerySession::QuerySession(const exec::QueryJob& job, uint64_t base_seed,
                            SessionOptions options,
                            std::vector<core::ChunkPrior> warm_priors,
-                           std::string repo_key)
+                           std::string repo_key, const ServeMetrics* metrics,
+                           size_t metrics_cell)
     : id_(job.id),
       seed_(exec::MultiQueryRunner::JobSeed(base_seed, job.id)),
       repo_key_(std::move(repo_key)),
@@ -74,6 +104,8 @@ QuerySession::QuerySession(const exec::QueryJob& job, uint64_t base_seed,
       cost_budget_seconds_(job.spec.max_seconds),
       options_(options),
       warm_priors_(std::move(warm_priors)),
+      metrics_(metrics),
+      metrics_cell_(metrics_cell),
       opened_(std::chrono::steady_clock::now()) {
   assert(job.repo != nullptr);
   assert(job.make_detector && job.make_discriminator);
@@ -91,6 +123,9 @@ QuerySession::QuerySession(const exec::QueryJob& job, uint64_t base_seed,
   engine_ = std::make_unique<core::QueryEngine>(
       job.repo, job.chunks, detector_.get(), discriminator_.get(), config,
       engine_seed);
+  if (metrics_ != nullptr) {
+    engine_->set_metrics(metrics_->engine, metrics_cell_);
+  }
   engine_->Begin(job.spec);
 }
 
@@ -104,6 +139,12 @@ void QuerySession::FinishLocked(SessionState state, StopReason reason) {
   stop_reason_ = reason;
   finished_wall_ = ElapsedSeconds();
   final_result_ = engine_->TakeResult();
+  if (metrics_ != nullptr) {
+    obs::Counter* counter = state == SessionState::kDone
+                                ? metrics_->sessions_finished
+                                : metrics_->sessions_cancelled;
+    if (counter != nullptr) counter->Add(1);
+  }
   // Published last: once observers see a non-running state, the final
   // result and stop reason are in place.
   state_.store(state, std::memory_order_release);
@@ -114,9 +155,26 @@ bool QuerySession::RunSlice(int64_t max_frames) {
   if (state_.load(std::memory_order_relaxed) != SessionState::kRunning) {
     return false;
   }
-  const core::StepStatus status = engine_->Step(max_frames);
+  core::StepStatus status;
+  if (metrics_ != nullptr && metrics_->slice_seconds != nullptr) {
+    const auto slice_start = std::chrono::steady_clock::now();
+    status = engine_->Step(max_frames);
+    metrics_->slice_seconds->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      slice_start)
+            .count(),
+        metrics_cell_);
+  } else {
+    status = engine_->Step(max_frames);
+  }
+  if (metrics_ != nullptr && metrics_->slices_run != nullptr) {
+    metrics_->slices_run->Add(1, metrics_cell_);
+  }
   if (first_result_wall_ < 0.0 && status.total_results > 0) {
     first_result_wall_ = ElapsedSeconds();
+    if (metrics_ != nullptr && metrics_->ttfr_seconds != nullptr) {
+      metrics_->ttfr_seconds->Observe(first_result_wall_, metrics_cell_);
+    }
   }
   if (!status.running()) {
     FinishLocked(SessionState::kDone, FromDone(status.done));
@@ -151,6 +209,13 @@ PollResult QuerySession::Poll() {
   poll.wall_seconds =
       state == SessionState::kRunning ? ElapsedSeconds() : finished_wall_;
   poll.warm_started = !warm_priors_.empty();
+  if (metrics_ != nullptr) {
+    if (metrics_->polls != nullptr) metrics_->polls->Add(1, metrics_cell_);
+    if (metrics_->poll_results != nullptr && !poll.new_results.empty()) {
+      metrics_->poll_results->Add(
+          static_cast<int64_t>(poll.new_results.size()), metrics_cell_);
+    }
+  }
   return poll;
 }
 

@@ -26,9 +26,37 @@
 #include "core/engine.h"
 #include "core/frame_source.h"
 #include "exec/query_job.h"
+#include "obs/metrics.h"
 
 namespace exsample {
 namespace serve {
+
+/// Metric sinks for the serving layer (all pointers owned by an
+/// obs::Registry and non-owning here; a default-constructed instance — all
+/// null — disables everything). Sessions write the session-scoped families;
+/// the SessionManager writes the manager-scoped ones. The nested
+/// EngineMetrics are handed to each session's engine.
+struct ServeMetrics {
+  obs::Counter* sessions_opened = nullptr;
+  obs::Counter* sessions_finished = nullptr;   // engine terminated on its own
+  obs::Counter* sessions_cancelled = nullptr;  // cancel / deadline
+  obs::Counter* sessions_closed = nullptr;     // explicit Close()
+  obs::Counter* admission_rejected = nullptr;
+  obs::Counter* slices_run = nullptr;
+  obs::LatencyHistogram* slice_seconds = nullptr;
+  obs::Counter* polls = nullptr;
+  obs::Counter* poll_results = nullptr;  // results delivered via Poll
+  /// Wall time from open to the first surfaced result.
+  obs::LatencyHistogram* ttfr_seconds = nullptr;
+  obs::Counter* warm_hits = nullptr;    // StatsCache lookup found priors
+  obs::Counter* warm_misses = nullptr;  // lookup ran and came back empty
+  core::EngineMetrics engine;
+
+  /// Registers every serve.* and core.* family into `registry` (idempotent;
+  /// shared names must agree on `cells`). Cells spread concurrent writers:
+  /// the manager hashes session ids into them.
+  static ServeMetrics Register(obs::Registry* registry, size_t cells);
+};
 
 /// Client-visible lifecycle state.
 enum class SessionState {
@@ -96,10 +124,15 @@ class QuerySession {
   /// `job.id` is the session id. `warm_priors` (possibly empty) are
   /// chunk-stat pseudo-counts seeded into an ExSample source; the session
   /// stores them so the engine's non-owning config pointer stays valid.
+  /// `metrics` (non-owning, may be null) receives this session's slice /
+  /// time-to-first-result observations on cell `metrics_cell` and is wired
+  /// through to the engine; instruments must outlive the session.
   QuerySession(const exec::QueryJob& job, uint64_t base_seed,
                SessionOptions options = {},
                std::vector<core::ChunkPrior> warm_priors = {},
-               std::string repo_key = {});
+               std::string repo_key = {},
+               const ServeMetrics* metrics = nullptr,
+               size_t metrics_cell = 0);
 
   int64_t id() const { return id_; }
   uint64_t seed() const { return seed_; }
@@ -155,6 +188,8 @@ class QuerySession {
   const double cost_budget_seconds_;
   const SessionOptions options_;
   const std::vector<core::ChunkPrior> warm_priors_;
+  const ServeMetrics* const metrics_;  // non-owning; null = uninstrumented
+  const size_t metrics_cell_;
   const std::chrono::steady_clock::time_point opened_;
 
   mutable std::mutex mu_;

@@ -1,5 +1,6 @@
 #include "serve/session_manager.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -8,6 +9,11 @@ namespace serve {
 
 SessionManager::SessionManager(Options options)
     : options_(options), pool_(options.threads) {
+  if (options_.metrics != nullptr) {
+    // One cell per pool worker: concurrent slices land on different cells
+    // (sessions are hashed by id), so the hot path never contends.
+    metrics_ = ServeMetrics::Register(options_.metrics, pool_.num_threads());
+  }
   scheduler_ = std::thread(&SessionManager::SchedulerLoop, this);
 }
 
@@ -38,6 +44,9 @@ Result<int64_t> SessionManager::Open(exec::QueryJob job,
 
   std::lock_guard<std::mutex> lock(mu_);
   if (LiveLocked() >= options_.max_live_sessions) {
+    if (metrics_.admission_rejected != nullptr) {
+      metrics_.admission_rejected->Add(1);
+    }
     return Status::FailedPrecondition(
         "admission denied: " + std::to_string(options_.max_live_sessions) +
         " sessions already live");
@@ -52,11 +61,18 @@ Result<int64_t> SessionManager::Open(exec::QueryJob job,
     warm_priors = options_.stats_cache->Lookup(repo_key, job.spec.class_id,
                                                options_.warm_start_weight);
     if (warm_priors.size() != job.chunks->size()) warm_priors.clear();
+    obs::Counter* warm_counter =
+        warm_priors.empty() ? metrics_.warm_misses : metrics_.warm_hits;
+    if (warm_counter != nullptr) warm_counter->Add(1);
   }
 
+  const ServeMetrics* metrics =
+      options_.metrics != nullptr ? &metrics_ : nullptr;
   auto session = std::make_shared<QuerySession>(
       job, options_.base_seed, session_options, std::move(warm_priors),
-      repo_key);
+      repo_key, metrics,
+      static_cast<size_t>(job.id) % std::max<size_t>(1, pool_.num_threads()));
+  if (metrics_.sessions_opened != nullptr) metrics_.sessions_opened->Add(1);
   const int64_t id = session->id();
   sessions_.emplace(id, std::move(session));
   work_cv_.notify_all();
@@ -127,6 +143,7 @@ Status SessionManager::Close(int64_t session_id) {
   // shared_ptr keeps the session alive past this scope.
   session->Cancel();
   MaybeRecordStats(session.get());
+  if (metrics_.sessions_closed != nullptr) metrics_.sessions_closed->Add(1);
   idle_cv_.notify_all();
   return Status::Ok();
 }

@@ -61,6 +61,11 @@ class SessionManager {
     bool warm_start = false;
     /// Trust placed in cached statistics when seeding priors.
     double warm_start_weight = 0.25;
+    /// Optional metrics registry (non-owning; must outlive the manager).
+    /// When set, the manager registers the serve.* and core.* families and
+    /// every session it opens reports into them — with no effect on any
+    /// session's results (instrumentation touches no RNG).
+    obs::Registry* metrics = nullptr;
   };
 
   SessionManager() : SessionManager(Options()) {}
@@ -113,6 +118,8 @@ class SessionManager {
 
   const Options options_;
   ThreadPool pool_;
+  /// Sinks registered in options_.metrics; all-null when uninstrumented.
+  ServeMetrics metrics_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // wakes the scheduler

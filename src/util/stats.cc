@@ -8,6 +8,10 @@
 namespace exsample {
 
 void RunningStat::Add(double x) {
+  if (!std::isfinite(x)) {
+    ++rejected_;
+    return;
+  }
   if (count_ == 0) {
     min_ = max_ = x;
   } else {
@@ -21,9 +25,12 @@ void RunningStat::Add(double x) {
 }
 
 void RunningStat::Merge(const RunningStat& other) {
+  rejected_ += other.rejected_;
   if (other.count_ == 0) return;
   if (count_ == 0) {
+    int64_t rejected = rejected_;
     *this = other;
+    rejected_ = rejected;
     return;
   }
   double delta = other.mean_ - mean_;
@@ -45,8 +52,14 @@ double RunningStat::variance() const {
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
 double Percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
   assert(q >= 0.0 && q <= 1.0);
+  // NaN has no rank (it breaks the sort's strict weak ordering) and a
+  // single +/-inf would bleed into every interpolated quantile near the
+  // edges: drop non-finite entries before ranking.
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [](double v) { return !std::isfinite(v); }),
+               values.end());
+  if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
   if (values.size() == 1) return values[0];
   double pos = q * static_cast<double>(values.size() - 1);
@@ -57,13 +70,15 @@ double Percentile(std::vector<double> values, double q) {
 }
 
 double GeometricMean(const std::vector<double>& values) {
-  if (values.empty()) return 0.0;
   double log_sum = 0.0;
+  int64_t used = 0;
   for (double v : values) {
-    assert(v > 0.0);
+    if (!std::isfinite(v) || v <= 0.0) continue;  // log undefined / infinite
     log_sum += std::log(v);
+    ++used;
   }
-  return std::exp(log_sum / static_cast<double>(values.size()));
+  if (used == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(used));
 }
 
 Histogram::Histogram(double lo, double hi, size_t bins)
@@ -73,13 +88,25 @@ Histogram::Histogram(double lo, double hi, size_t bins)
 }
 
 void Histogram::Add(double x) {
-  double pos = (x - lo_) / width_;
-  int64_t bin = static_cast<int64_t>(std::floor(pos));
-  if (bin < 0) bin = 0;
-  if (bin >= static_cast<int64_t>(counts_.size())) {
-    bin = static_cast<int64_t>(counts_.size()) - 1;
+  if (std::isnan(x)) {
+    ++rejected_;
+    return;
   }
-  ++counts_[static_cast<size_t>(bin)];
+  size_t bin;
+  if (x <= lo_) {
+    bin = 0;  // includes -inf: saturate like any other out-of-range value
+  } else if (x >= hi_) {
+    bin = counts_.size() - 1;  // includes +inf
+  } else {
+    double pos = (x - lo_) / width_;
+    int64_t b = static_cast<int64_t>(std::floor(pos));
+    if (b < 0) b = 0;
+    if (b >= static_cast<int64_t>(counts_.size())) {
+      b = static_cast<int64_t>(counts_.size()) - 1;
+    }
+    bin = static_cast<size_t>(b);
+  }
+  ++counts_[bin];
   ++total_;
 }
 

@@ -13,15 +13,21 @@
 namespace exsample {
 
 /// Numerically stable streaming mean/variance (Welford's algorithm).
+///
+/// Non-finite observations (NaN, +/-inf) are rejected rather than folded
+/// in — one NaN would otherwise poison mean/m2 permanently. Rejections are
+/// counted (see rejected()) so callers can notice a polluted input stream.
 class RunningStat {
  public:
-  /// Adds one observation.
+  /// Adds one observation. Non-finite values are dropped and counted.
   void Add(double x);
 
   /// Merges another accumulator into this one (parallel reduction).
   void Merge(const RunningStat& other);
 
   int64_t count() const { return count_; }
+  /// Observations dropped for being NaN or infinite.
+  int64_t rejected() const { return rejected_; }
   double mean() const { return mean_; }
   /// Unbiased sample variance; 0 when fewer than two observations.
   double variance() const;
@@ -32,6 +38,7 @@ class RunningStat {
 
  private:
   int64_t count_ = 0;
+  int64_t rejected_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
@@ -40,15 +47,18 @@ class RunningStat {
 
 /// Returns the q-quantile (q in [0,1]) of values using linear interpolation
 /// between order statistics. Copies and sorts internally; values may be
-/// unsorted. Returns 0 for empty input.
+/// unsorted. Non-finite values are dropped before ranking (a NaN would
+/// break the sort's ordering outright). Returns 0 for empty input.
 double Percentile(std::vector<double> values, double q);
 
-/// Geometric mean of strictly positive values; returns 0 for empty input.
+/// Geometric mean of the strictly positive, finite values; non-positive or
+/// non-finite entries are skipped. Returns 0 when nothing qualifies.
 double GeometricMean(const std::vector<double>& values);
 
-/// Fixed-width-bin histogram over [lo, hi); out-of-range values clamp into
-/// the first/last bin. Used to reproduce the Figure 2 conditional histograms
-/// and the Figure 6 chunk-abundance plots.
+/// Fixed-width-bin histogram over [lo, hi); out-of-range finite values (and
+/// +/-inf) saturate into the first/last bin, NaN is rejected and counted.
+/// Used to reproduce the Figure 2 conditional histograms and the Figure 6
+/// chunk-abundance plots.
 class Histogram {
  public:
   /// Creates a histogram with `bins` equal bins spanning [lo, hi).
@@ -60,6 +70,8 @@ class Histogram {
   double lo() const { return lo_; }
   double hi() const { return hi_; }
   int64_t total() const { return total_; }
+  /// Observations dropped for being NaN.
+  int64_t rejected() const { return rejected_; }
   int64_t count(size_t bin) const { return counts_[bin]; }
   /// Midpoint of the given bin.
   double BinCenter(size_t bin) const;
@@ -76,6 +88,7 @@ class Histogram {
   double width_;
   std::vector<int64_t> counts_;
   int64_t total_ = 0;
+  int64_t rejected_ = 0;
 };
 
 }  // namespace exsample

@@ -700,6 +700,55 @@ TEST(QueryEngineTest, DeterminismMatrixPinsHierPolicies) {
   }
 }
 
+TEST(QueryEngineTest, InstrumentationDoesNotPerturbDeterminism) {
+  // The pinned fingerprints above must survive with metrics and tracing
+  // attached: instruments read engine state but never feed anything back
+  // into sampling. Re-runs the exsample pin from the determinism matrix
+  // with every instrument live.
+  QuerySpec q;
+  q.class_id = 0;
+  q.result_limit = 25;
+  q.max_samples = 6000;
+  EngineConfig cfg;
+  cfg.strategy = Strategy::kExSample;
+
+  for (int64_t slice : {int64_t{7}, int64_t{1} << 40}) {
+    // Fresh instruments per slice size so per-run assertions stay exact.
+    obs::Registry registry;
+    EngineMetrics metrics;
+    metrics.frames_sampled = registry.GetCounter("core.frames_sampled", 2);
+    metrics.results_found = registry.GetCounter("core.results_found", 2);
+    metrics.pick_batches = registry.GetCounter("core.pick_batches", 2);
+    metrics.pick_seconds = registry.GetHistogram("core.pick_seconds", 2);
+    metrics.picks_by_policy = registry.GetCounter(
+        "core.picks_by_policy",
+        static_cast<size_t>(PolicyKind::kHierBayesUcb) + 1);
+    metrics.cost_per_frame_micros =
+        registry.GetGauge("core.cost_per_frame_micros", 2);
+    obs::TraceRecorder trace;
+
+    Harness h(SkewedDataset(41));
+    auto engine = h.MakeEngine(cfg, 71);
+    engine.set_metrics(metrics, /*cell=*/1);
+    engine.set_trace(&trace);
+    engine.Begin(q);
+    while (engine.Step(slice).running()) {
+    }
+    auto result = engine.TakeResult();
+    EXPECT_EQ(ResultFingerprint(result), 0x9a44ecdaa1738408ULL)
+        << "slice " << slice;
+    EXPECT_EQ(metrics.frames_sampled->Cell(1), result.frames_processed);
+    EXPECT_EQ(metrics.results_found->Cell(1),
+              static_cast<int64_t>(result.results.size()));
+    EXPECT_GT(metrics.pick_batches->Total(), 0);
+    EXPECT_GT(metrics.pick_seconds->TotalCount(), 0);
+    EXPECT_EQ(metrics.picks_by_policy->Cell(
+                  static_cast<size_t>(PolicyKind::kThompson)),
+              metrics.picks_by_policy->Total());
+    EXPECT_GT(trace.total_recorded(), 0);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, EngineInvariantTest,
     ::testing::Values(

@@ -9,6 +9,7 @@
 
 #include <signal.h>
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <memory>
@@ -38,18 +39,23 @@ constexpr char kOpenBicycle[] =
 /// port) with the event loop on a background thread.
 class ServerFixture {
  public:
-  explicit ServerFixture(ServerOptions options = {}) : datasets_(7) {
+  explicit ServerFixture(ServerOptions options = {},
+                         obs::Registry* metrics = nullptr)
+      : datasets_(7) {
     serve::SessionManager::Options manager_options;
     manager_options.threads = 1;
     manager_options.base_seed = 7;
+    manager_options.metrics = metrics;
     manager_ = std::make_unique<serve::SessionManager>(manager_options);
 
     options.host = kHost;
     options.port = 0;
-    auto created = Server::Create(options, [this] {
+    options.metrics = metrics;
+    auto created = Server::Create(options, [this, metrics] {
       serve::ProtocolHandler::Options handler_options;
       handler_options.default_scale = 0.02;
       handler_options.close_sessions_on_destroy = true;
+      handler_options.metrics = metrics;
       return std::make_unique<serve::ProtocolHandler>(
           manager_.get(), &cache_, &datasets_, handler_options);
     });
@@ -533,6 +539,83 @@ TEST(NetServerShardTest, PollFallbackBackendStillServes) {
   EXPECT_EQ(done.GetInt("total_results", -1), 2);
   Json ack = Call(&client, R"({"cmd":"quit"})");
   EXPECT_TRUE(ack.GetBool("ok", false));
+}
+
+TEST(NetServerShardTest, MetricsScrapeUnderConcurrentLoad) {
+  // Satellite of the observability PR: a `metrics` scrape must stay
+  // coherent while every shard is writing — counters monotone across
+  // successive scrapes, no torn reads, no protocol disruption. Runs under
+  // TSan via the `net` label.
+  obs::Registry registry;
+  ServerOptions options;
+  options.shards = 4;
+  options.listener_mode = ServerOptions::ListenerMode::kHandoff;
+  ServerFixture fixture(options, &registry);
+
+  constexpr int kWorkers = 3;
+  constexpr int kRequestsPerWorker = 300;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&fixture, &go] {
+      auto connected = Client::Connect(kHost, fixture.server()->port());
+      ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+      Client client = std::move(connected).value();
+      while (!go.load(std::memory_order_relaxed)) std::this_thread::yield();
+      // Pipeline the whole batch, then drain: keeps all shards busy while
+      // the scraper reads.
+      std::string batch;
+      for (int i = 0; i < kRequestsPerWorker; ++i) {
+        batch += R"({"cmd":"stats"})" "\n";
+      }
+      ASSERT_TRUE(client.SendRaw(batch).ok());
+      for (int i = 0; i < kRequestsPerWorker; ++i) {
+        auto line = client.ReadLineWithTimeout(30.0);
+        ASSERT_TRUE(line.ok()) << line.status().ToString() << " after " << i;
+        EXPECT_TRUE(Json::Parse(line.value()).value().GetBool("ok", false));
+      }
+      Json ack = Call(&client, R"({"cmd":"quit"})");
+      EXPECT_TRUE(ack.GetBool("ok", false));
+    });
+  }
+
+  Client scraper = fixture.Connect();
+  go.store(true, std::memory_order_relaxed);
+  int64_t last_requests = 0;
+  for (int i = 0; i < 25; ++i) {
+    Json response = Call(&scraper, R"({"cmd":"metrics"})");
+    ASSERT_TRUE(response.GetBool("ok", false)) << response.Dump();
+    const Json* snapshot = response.Find("metrics");
+    ASSERT_NE(snapshot, nullptr);
+    const Json* requests = snapshot->Find("counters")->Find("net.requests");
+    ASSERT_NE(requests, nullptr);
+    const int64_t total = requests->GetInt("total", -1);
+    EXPECT_GE(total, last_requests) << "scrape " << i << " went backwards";
+    last_requests = total;
+  }
+  for (auto& worker : workers) worker.join();
+
+  // Everything drained: the final scrape covers all the load, per shard.
+  Json final_scrape = Call(&scraper, R"({"cmd":"metrics"})");
+  ASSERT_TRUE(final_scrape.GetBool("ok", false)) << final_scrape.Dump();
+  const Json* counters = final_scrape.Find("metrics")->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const Json* requests = counters->Find("net.requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_GE(requests->GetInt("total", -1),
+            int64_t{kWorkers} * kRequestsPerWorker);
+  const Json* cells = requests->Find("cells");
+  ASSERT_NE(cells, nullptr);
+  EXPECT_EQ(cells->size(), 4u);  // one cell per shard
+  EXPECT_GT(counters->Find("net.bytes_in")->GetInt("total", -1), 0);
+  EXPECT_GT(counters->Find("net.bytes_out")->GetInt("total", -1), 0);
+  EXPECT_GE(counters->Find("net.accepted")->GetInt("total", -1),
+            int64_t{kWorkers} + 1);
+  const Json* latency =
+      final_scrape.Find("metrics")->Find("histograms")->Find(
+          "net.request_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GT(latency->GetInt("count", -1), 0);
 }
 
 TEST(NetServerTest, GracefulStopDrainsAndClosesSessions) {

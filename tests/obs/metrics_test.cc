@@ -1,0 +1,204 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddAndTotal) {
+  Counter c(4);
+  c.Add();            // default delta 1, cell 0
+  c.Add(5, 1);
+  c.Add(2, 3);
+  EXPECT_EQ(c.Total(), 8);
+  EXPECT_EQ(c.Cell(0), 1);
+  EXPECT_EQ(c.Cell(1), 5);
+  EXPECT_EQ(c.Cell(2), 0);
+  EXPECT_EQ(c.Cell(3), 2);
+}
+
+TEST(CounterTest, CellIndexWraps) {
+  Counter c(2);
+  c.Add(1, 0);
+  c.Add(1, 2);  // wraps onto cell 0
+  c.Add(1, 5);  // wraps onto cell 1
+  EXPECT_EQ(c.Cell(0), 2);
+  EXPECT_EQ(c.Cell(1), 1);
+}
+
+TEST(CounterTest, ZeroCellsClampsToOne) {
+  Counter c(0);
+  c.Add(3, 7);
+  EXPECT_EQ(c.cells(), 1u);
+  EXPECT_EQ(c.Total(), 3);
+}
+
+TEST(GaugeTest, SetOverwritesAddAccumulates) {
+  Gauge g(2);
+  g.Set(10, 0);
+  g.Set(4, 1);
+  g.Add(-1, 1);
+  EXPECT_EQ(g.Cell(0), 10);
+  EXPECT_EQ(g.Cell(1), 3);
+  EXPECT_EQ(g.Total(), 13);
+  g.Set(2, 0);
+  EXPECT_EQ(g.Cell(0), 2);
+}
+
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  LatencyHistogram h(1);
+  h.Observe(0.0);        // <= 1us bucket
+  h.Observe(1e-6);       // exactly 1us: bucket 0
+  h.Observe(1.5e-6);     // bucket 1 (<= 2us)
+  h.Observe(1.0);        // 1s = 1e6 us -> bucket 20 (2^20 us ~ 1.05s)
+  const std::vector<int64_t> totals = h.BucketTotals();
+  EXPECT_EQ(totals[0], 2);
+  EXPECT_EQ(totals[1], 1);
+  EXPECT_EQ(totals[20], 1);
+  EXPECT_EQ(h.TotalCount(), 4);
+  EXPECT_NEAR(h.TotalSumSeconds(), 1.0 + 2.5e-6, 1e-9);
+}
+
+TEST(LatencyHistogramTest, UpperBoundsArePowersOfTwoMicros) {
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperSeconds(0), 1e-6);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperSeconds(1), 2e-6);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperSeconds(10), 1024e-6);
+}
+
+TEST(LatencyHistogramTest, HugeObservationLandsInOverflowBucket) {
+  LatencyHistogram h(1);
+  h.Observe(1e9);  // far past the largest finite bucket
+  const std::vector<int64_t> totals = h.BucketTotals();
+  EXPECT_EQ(totals[LatencyHistogram::kBuckets - 1], 1);
+}
+
+TEST(LatencyHistogramTest, RejectsNonFiniteAndNegative) {
+  LatencyHistogram h(1);
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  h.Observe(std::numeric_limits<double>::infinity());
+  h.Observe(-1.0);
+  EXPECT_EQ(h.TotalCount(), 0);
+  EXPECT_EQ(h.rejected(), 3);
+  h.Observe(1e-3);
+  EXPECT_EQ(h.TotalCount(), 1);
+}
+
+TEST(LatencyHistogramTest, ApproxQuantileWalksBuckets) {
+  LatencyHistogram h(1);
+  for (int i = 0; i < 90; ++i) h.Observe(1e-6);   // bucket 0
+  for (int i = 0; i < 10; ++i) h.Observe(100e-6); // bucket 7 (128us)
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 1e-6);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.99), 128e-6);
+  EXPECT_EQ(h.ApproxQuantile(0.5), h.ApproxQuantile(-1.0));  // clamped
+}
+
+TEST(RegistryTest, IdempotentByNameKindChecked) {
+  Registry reg;
+  Counter* c1 = reg.GetCounter("net.requests", 4);
+  Counter* c2 = reg.GetCounter("net.requests", 8);  // cells fixed by first
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(c1->cells(), 4u);
+  EXPECT_EQ(reg.GetGauge("net.requests"), nullptr);     // kind mismatch
+  EXPECT_EQ(reg.GetHistogram("net.requests"), nullptr);
+  EXPECT_NE(reg.GetGauge("net.connections"), nullptr);
+}
+
+TEST(RegistryTest, PointersStableAcrossGrowth) {
+  Registry reg;
+  Counter* first = reg.GetCounter("family.0");
+  for (int i = 1; i < 100; ++i) {
+    reg.GetCounter("family." + std::to_string(i));
+  }
+  EXPECT_EQ(reg.GetCounter("family.0"), first);
+  first->Add(7);
+  EXPECT_EQ(first->Total(), 7);
+}
+
+TEST(RegistryTest, SnapshotShapes) {
+  Registry reg;
+  Counter* c = reg.GetCounter("net.requests", 2);
+  c->Add(3, 0);
+  c->Add(4, 1);
+  reg.GetGauge("net.connections")->Set(5);
+  LatencyHistogram* h = reg.GetHistogram("net.request_seconds", 2);
+  h->Observe(1e-3, 0);
+  h->Observe(2e-3, 1);
+
+  const Json snap = reg.Snapshot();
+  const Json* counters = snap.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const Json* requests = counters->Find("net.requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->GetInt("total", -1), 7);
+  const Json* cells = requests->Find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->size(), 2u);
+  EXPECT_EQ(cells->items()[0].AsInt(), 3);
+  EXPECT_EQ(cells->items()[1].AsInt(), 4);
+
+  const Json* gauges = snap.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("net.connections")->GetInt("total", -1), 5);
+
+  const Json* histograms = snap.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const Json* latency = histograms->Find("net.request_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->GetInt("count", -1), 2);
+  EXPECT_NEAR(latency->GetDouble("sum_seconds", 0.0), 3e-3, 1e-9);
+  EXPECT_GT(latency->GetDouble("p99_seconds", 0.0), 0.0);
+  const Json* buckets = latency->Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  EXPECT_GT(buckets->size(), 0u);  // sparse: only occupied buckets
+
+  // Round-trips through the JSON writer/parser.
+  auto parsed = Json::Parse(snap.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value()
+                .Find("counters")
+                ->Find("net.requests")
+                ->GetInt("total", -1),
+            7);
+}
+
+TEST(RegistryTest, ConcurrentWritersAndScrapersStayMonotonic) {
+  Registry reg;
+  constexpr int kWriters = 4;
+  Counter* c = reg.GetCounter("stress.counter", kWriters);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([c, w, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c->Add(1, static_cast<size_t>(w));
+      }
+    });
+  }
+  // Counters are per-cell monotone, so scrape totals must never decrease
+  // no matter how the writes interleave.
+  int64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t now = c->Total();
+    EXPECT_GE(now, last);
+    last = now;
+    const Json snap = reg.Snapshot();
+    const int64_t json_total =
+        snap.Find("counters")->Find("stress.counter")->GetInt("total", -1);
+    EXPECT_GE(json_total, last);
+    last = json_total;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+  EXPECT_GE(c->Total(), last);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace exsample

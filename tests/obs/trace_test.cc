@@ -1,0 +1,93 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace obs {
+namespace {
+
+TEST(TraceRecorderTest, RecordsInOrder) {
+  TraceRecorder rec(16);
+  rec.Record(TraceEvent::Kind::kPick, -1, 3, 8.0);
+  rec.Record(TraceEvent::Kind::kFrame, 42, 3, 0.05);
+  rec.Record(TraceEvent::Kind::kHit, 42, 3, 1.0);
+  const auto events = rec.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, TraceEvent::Kind::kPick);
+  EXPECT_EQ(events[0].seq, 0);
+  EXPECT_EQ(events[0].frame, -1);
+  EXPECT_EQ(events[0].chunk, 3);
+  EXPECT_EQ(events[1].kind, TraceEvent::Kind::kFrame);
+  EXPECT_EQ(events[1].frame, 42);
+  EXPECT_DOUBLE_EQ(events[1].value, 0.05);
+  EXPECT_EQ(events[2].kind, TraceEvent::Kind::kHit);
+  EXPECT_EQ(rec.total_recorded(), 3);
+}
+
+TEST(TraceRecorderTest, RingEvictsOldestKeepsSeq) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.Record(TraceEvent::Kind::kFrame, i, -1, 0.0);
+  }
+  EXPECT_EQ(rec.total_recorded(), 10);
+  const auto events = rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // The newest four survive, oldest first, with original sequence numbers.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);
+    EXPECT_EQ(events[i].frame, 6 + i);
+  }
+}
+
+TEST(TraceRecorderTest, ExactCapacityDoesNotWrap) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 4; ++i) {
+    rec.Record(TraceEvent::Kind::kFrame, i, -1, 0.0);
+  }
+  const auto events = rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].seq, 0);
+  EXPECT_EQ(events[3].seq, 3);
+}
+
+TEST(TraceRecorderTest, ResetClears) {
+  TraceRecorder rec(4);
+  rec.Record(TraceEvent::Kind::kFrame, 1, -1, 0.0);
+  rec.Reset();
+  EXPECT_EQ(rec.total_recorded(), 0);
+  EXPECT_TRUE(rec.Events().empty());
+  rec.Record(TraceEvent::Kind::kFrame, 2, -1, 0.0);
+  EXPECT_EQ(rec.Events()[0].seq, 0);
+}
+
+TEST(TraceRecorderTest, KindNames) {
+  EXPECT_STREQ(TraceEventKindName(TraceEvent::Kind::kPick), "pick");
+  EXPECT_STREQ(TraceEventKindName(TraceEvent::Kind::kFrame), "frame");
+  EXPECT_STREQ(TraceEventKindName(TraceEvent::Kind::kHit), "hit");
+}
+
+TEST(TraceRecorderTest, ToJsonShape) {
+  TraceRecorder rec(2);
+  rec.Record(TraceEvent::Kind::kPick, -1, 0, 4.0);
+  rec.Record(TraceEvent::Kind::kFrame, 7, 0, 0.01);
+  rec.Record(TraceEvent::Kind::kHit, 7, 0, 2.0);  // evicts the pick
+  const Json doc = rec.ToJson();
+  EXPECT_EQ(doc.GetInt("total_recorded", -1), 3);
+  EXPECT_EQ(doc.GetInt("dropped", -1), 1);
+  const Json* events = doc.Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 2u);
+  const Json& first = events->items()[0];
+  EXPECT_EQ(first.GetString("kind", ""), "frame");
+  EXPECT_EQ(first.GetInt("seq", -1), 1);
+  EXPECT_EQ(first.GetInt("frame", -1), 7);
+  EXPECT_EQ(first.GetInt("chunk", -1), 0);
+  // kPick events omit "frame" (it is -1); round-trip through the parser.
+  auto parsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Find("events")->size(), 2u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace exsample

@@ -220,6 +220,102 @@ TEST_F(ProtocolHandlerTest, CloseAllSessionsFreesAdmissionSlots) {
   EXPECT_EQ(manager_->open_sessions(), 0u);
 }
 
+TEST_F(ProtocolHandlerTest, MetricsCommandRequiresARegistry) {
+  ProtocolHandler handler = MakeHandler();  // no registry wired
+  Json response = Respond(&handler, R"({"cmd":"metrics"})");
+  EXPECT_FALSE(response.GetBool("ok", true));
+  EXPECT_NE(response.GetString("error", "").find("not enabled"),
+            std::string::npos)
+      << response.Dump();
+}
+
+TEST_F(ProtocolHandlerTest, MetricsCommandReturnsSnapshotWithServerInfo) {
+  obs::Registry registry;
+  registry.GetCounter("net.requests", 2)->Add(41, 1);
+  ProtocolHandler::Options options;
+  options.default_scale = 0.02;
+  options.metrics = &registry;
+  options.server_info = [] {
+    return Json::Object().Set("transport", "test").Set("shards", int64_t{4});
+  };
+  ProtocolHandler handler(manager_.get(), &cache_, &datasets_, options);
+
+  Json response = Respond(&handler, R"({"cmd":"metrics"})");
+  ASSERT_TRUE(response.GetBool("ok", false)) << response.Dump();
+  // Transport identity rides along with the snapshot.
+  EXPECT_EQ(response.GetString("transport", ""), "test");
+  EXPECT_EQ(response.GetInt("shards", -1), 4);
+  const Json* snapshot = response.Find("metrics");
+  ASSERT_NE(snapshot, nullptr);
+  const Json* counters = snapshot->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const Json* requests = counters->Find("net.requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->GetInt("total", -1), 41);
+  const Json* cells = requests->Find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->size(), 2u);
+  EXPECT_EQ(cells->items()[1].AsInt(), 41);
+}
+
+TEST_F(ProtocolHandlerTest, StatsMergesServerInfo) {
+  // The stats reply must carry the serving topology — uptime, shard count,
+  // per-shard connections — alongside the session-manager counters.
+  ProtocolHandler::Options options;
+  options.default_scale = 0.02;
+  options.server_info = [] {
+    Json per_shard = Json::Array();
+    per_shard.Append(int64_t{1});
+    per_shard.Append(int64_t{2});
+    return Json::Object()
+        .Set("transport", "tcp")
+        .Set("uptime_seconds", 12.5)
+        .Set("shards", int64_t{2})
+        .Set("connections", int64_t{3})
+        .Set("shard_connections", std::move(per_shard));
+  };
+  ProtocolHandler handler(manager_.get(), &cache_, &datasets_, options);
+
+  Json response = Respond(&handler, R"({"cmd":"stats"})");
+  ASSERT_TRUE(response.GetBool("ok", false)) << response.Dump();
+  EXPECT_EQ(response.GetInt("live_sessions", -1), 0);  // manager stats intact
+  EXPECT_EQ(response.GetString("transport", ""), "tcp");
+  EXPECT_DOUBLE_EQ(response.GetDouble("uptime_seconds", 0.0), 12.5);
+  EXPECT_EQ(response.GetInt("shards", -1), 2);
+  EXPECT_EQ(response.GetInt("connections", -1), 3);
+  const Json* per_shard = response.Find("shard_connections");
+  ASSERT_NE(per_shard, nullptr);
+  ASSERT_EQ(per_shard->size(), 2u);
+  EXPECT_EQ(per_shard->items()[0].AsInt(), 1);
+  EXPECT_EQ(per_shard->items()[1].AsInt(), 2);
+}
+
+TEST_F(ProtocolHandlerTest, MetricsCommandSeesLiveServeCounters) {
+  // One registry shared by the manager and the handler: after a session
+  // completes, a scrape through the protocol reflects it.
+  obs::Registry registry;
+  SessionManager::Options manager_options;
+  manager_options.threads = 1;
+  manager_options.base_seed = 7;
+  manager_options.metrics = &registry;
+  SessionManager manager(manager_options);
+  ProtocolHandler::Options options;
+  options.default_scale = 0.02;
+  options.metrics = &registry;
+  ProtocolHandler handler(&manager, &cache_, &datasets_, options);
+
+  Json opened = Respond(&handler, kOpenBicycle);
+  ASSERT_TRUE(opened.GetBool("ok", false)) << opened.Dump();
+  PollUntilDone(&handler, opened.GetInt("session", -1));
+
+  Json response = Respond(&handler, R"({"cmd":"metrics"})");
+  ASSERT_TRUE(response.GetBool("ok", false)) << response.Dump();
+  const Json* counters = response.Find("metrics")->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("serve.sessions_opened")->GetInt("total", -1), 1);
+  EXPECT_GT(counters->Find("core.frames_sampled")->GetInt("total", -1), 0);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace exsample

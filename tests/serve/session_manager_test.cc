@@ -448,6 +448,91 @@ TEST(SessionManagerTest, DeterminismMatrixPinsHierPolicies) {
   }
 }
 
+TEST(SessionManagerTest, MetricsEnabledPreservesPinnedFingerprints) {
+  // Same matrix row as DeterminismMatrixPinsScheduling's exsample pin, but
+  // with a metrics registry attached: instrumented serving must be
+  // bit-identical to bare serving.
+  data::Dataset ds = SkewedDataset(12);
+  core::QuerySpec spec;
+  spec.class_id = 0;
+  spec.result_limit = 12;
+  spec.max_samples = 1500;
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    for (int64_t slice : {int64_t{1}, int64_t{7}, int64_t{64}}) {
+      obs::Registry registry;
+      SessionManager::Options options;
+      options.threads = threads;
+      options.slice_frames = slice;
+      options.base_seed = 77;
+      options.metrics = &registry;
+      SessionManager manager(options);
+      std::vector<int64_t> ids;
+      for (int i = 0; i < 3; ++i) {
+        auto opened = manager.Open(MakeJob(ds, spec));
+        ASSERT_TRUE(opened.ok());
+        ids.push_back(opened.value());
+      }
+      manager.WaitAllDone();
+      uint64_t fp = testing_util::kFnv1aOffsetBasis;
+      int64_t total_frames = 0;
+      int64_t total_results = 0;
+      for (int64_t id : ids) {
+        auto poll = manager.Poll(id);
+        ASSERT_TRUE(poll.ok());
+        total_frames += poll.value().frames_processed;
+        total_results += poll.value().total_results;
+        fp = Fnv1a(fp, static_cast<uint64_t>(poll.value().frames_processed));
+        fp = Fnv1a(fp, static_cast<uint64_t>(poll.value().total_results));
+        for (const auto& d : poll.value().new_results) {
+          fp = Fnv1a(fp, static_cast<uint64_t>(d.frame));
+        }
+      }
+      EXPECT_EQ(fp, 0x2426590dae82c3feULL)
+          << "threads " << threads << " slice " << slice << " fingerprint 0x"
+          << std::hex << fp;
+
+      // The shared registry saw the run: totals line up with the polls.
+      EXPECT_EQ(registry.GetCounter("serve.sessions_opened")->Total(), 3);
+      EXPECT_EQ(registry.GetCounter("serve.sessions_finished")->Total(), 3);
+      EXPECT_EQ(registry.GetCounter("core.frames_sampled")->Total(),
+                total_frames);
+      EXPECT_EQ(registry.GetCounter("core.results_found")->Total(),
+                total_results);
+      EXPECT_GT(registry.GetCounter("serve.slices_run")->Total(), 0);
+      EXPECT_GT(registry.GetHistogram("serve.slice_seconds")->TotalCount(),
+                0);
+    }
+  }
+}
+
+TEST(SessionManagerTest, MetricsCountAdmissionAndLifecycle) {
+  data::Dataset ds = SkewedDataset(5);
+  core::QuerySpec spec;
+  spec.class_id = 0;  // unbounded: stays live until cancelled
+
+  obs::Registry registry;
+  SessionManager::Options options;
+  options.threads = 2;
+  options.max_live_sessions = 1;
+  options.metrics = &registry;
+  SessionManager manager(options);
+
+  auto s1 = manager.Open(MakeJob(ds, spec));
+  ASSERT_TRUE(s1.ok());
+  auto rejected = manager.Open(MakeJob(ds, spec));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(registry.GetCounter("serve.admission_rejected")->Total(), 1);
+
+  ASSERT_TRUE(manager.Cancel(s1.value()).ok());
+  manager.WaitAllDone();
+  EXPECT_EQ(registry.GetCounter("serve.sessions_opened")->Total(), 1);
+  EXPECT_EQ(registry.GetCounter("serve.sessions_cancelled")->Total(), 1);
+  EXPECT_EQ(registry.GetCounter("serve.sessions_finished")->Total(), 0);
+  ASSERT_TRUE(manager.Close(s1.value()).ok());
+  EXPECT_EQ(registry.GetCounter("serve.sessions_closed")->Total(), 1);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace exsample

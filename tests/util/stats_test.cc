@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -62,6 +63,42 @@ TEST(RunningStatTest, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
 }
 
+TEST(RunningStatTest, RejectsNonFinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  RunningStat s;
+  s.Add(3.0);
+  s.Add(nan);
+  s.Add(inf);
+  s.Add(-inf);
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 2);
+  EXPECT_EQ(s.rejected(), 3);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_TRUE(std::isfinite(s.variance()));
+  EXPECT_EQ(s.min(), 3.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatTest, MergePropagatesRejected) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  RunningStat a, b;
+  a.Add(nan);
+  b.Add(1.0);
+  b.Add(nan);
+  b.Add(nan);
+  a.Merge(b);  // a has no samples: exercises the copy-from-other path
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.rejected(), 3);
+
+  RunningStat c;
+  c.Add(2.0);
+  c.Add(nan);
+  c.Merge(b);  // both non-empty: exercises the combining path
+  EXPECT_EQ(c.count(), 2);
+  EXPECT_EQ(c.rejected(), 3);
+}
+
 TEST(PercentileTest, Basics) {
   std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
   EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
@@ -82,6 +119,22 @@ TEST(GeometricMeanTest, KnownValue) {
   EXPECT_EQ(GeometricMean({}), 0.0);
 }
 
+TEST(PercentileTest, IgnoresNonFinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // A NaN that sorted into the middle used to poison the interpolation.
+  EXPECT_DOUBLE_EQ(Percentile({1.0, nan, 3.0, inf, 2.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({nan, -inf, 5.0}, 1.0), 5.0);
+  EXPECT_EQ(Percentile({nan, inf, -inf}, 0.5), 0.0);  // nothing usable
+}
+
+TEST(GeometricMeanTest, SkipsNonPositiveAndNonFinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(GeometricMean({1.0, 4.0, nan, 0.0, -3.0, inf}), 2.0, 1e-12);
+  EXPECT_EQ(GeometricMean({nan, 0.0, -1.0}), 0.0);
+}
+
 TEST(HistogramTest, BinningAndClamping) {
   Histogram h(0.0, 10.0, 10);
   h.Add(0.5);    // bin 0
@@ -94,6 +147,19 @@ TEST(HistogramTest, BinningAndClamping) {
   EXPECT_EQ(h.count(9), 2);
   EXPECT_EQ(h.count(5), 1);
   EXPECT_EQ(h.count(3), 0);
+}
+
+TEST(HistogramTest, NanRejectedInfinitySaturates) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  Histogram h(0.0, 10.0, 10);
+  h.Add(nan);  // dropped, not binned
+  h.Add(inf);  // saturates to the top bin
+  h.Add(-inf); // saturates to the bottom bin
+  EXPECT_EQ(h.total(), 2);
+  EXPECT_EQ(h.rejected(), 1);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(9), 1);
 }
 
 TEST(HistogramTest, BinCenters) {

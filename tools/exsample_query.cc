@@ -20,6 +20,11 @@
 //
 //   # machine-readable output (spec, per-trial frames/seconds/trajectory)
 //   exsample_query --preset dashcam --class bicycle --limit 50 --json
+//
+//   # per-query trace: every pick/frame/hit event as JSON for offline
+//   # bandit-trajectory analysis (single trial only; tracing never
+//   # perturbs results — the traced run is bit-identical to an untraced one)
+//   exsample_query --preset dashcam --class bicycle --limit 50 --trace trace.json
 
 #include <cstdio>
 #include <fstream>
@@ -35,6 +40,7 @@
 #include "detect/simulated_detector.h"
 #include "exec/multi_query_runner.h"
 #include "exec/query_job.h"
+#include "obs/trace.h"
 #include "track/discriminator.h"
 #include "util/flags.h"
 #include "util/json.h"
@@ -74,9 +80,15 @@ int Main(int argc, char** argv) {
   const bool json_output = flags.GetBool("json");
   const int64_t trials = flags.GetInt("trials", 1);
   const int64_t threads_flag = flags.GetInt("threads", 0);
+  const std::string trace_path = flags.GetString("trace", "");
   flags.FailOnUnknown();
   if (trials < 1) {
     std::fprintf(stderr, "error: --trials must be >= 1\n");
+    return 2;
+  }
+  if (!trace_path.empty() && trials != 1) {
+    std::fprintf(stderr,
+                 "error: --trace records one query; use --trials 1\n");
     return 2;
   }
   if (threads_flag < 0) {
@@ -188,6 +200,7 @@ int Main(int argc, char** argv) {
   if (limit > 0) query.result_limit = limit;
   query.max_seconds = budget_seconds;
 
+  obs::TraceRecorder trace;
   std::vector<exec::QueryJob> jobs;
   jobs.reserve(static_cast<size_t>(trials));
   for (int64_t t = 0; t < trials; ++t) {
@@ -206,6 +219,7 @@ int Main(int argc, char** argv) {
       if (use_tracker) return std::make_unique<track::TrackerDiscriminator>();
       return std::make_unique<track::OracleDiscriminator>();
     };
+    if (!trace_path.empty()) job.trace = &trace;  // single trial (checked)
     jobs.push_back(std::move(job));
   }
   exec::MultiQueryRunner::Options options;
@@ -214,6 +228,31 @@ int Main(int argc, char** argv) {
   std::vector<exec::JobResult> outcomes =
       exec::MultiQueryRunner(options).RunAll(jobs);
   const core::QueryResult& result = outcomes.front().result;
+
+  // --- optional trace dump: the run's pick/frame/hit event stream plus
+  // enough query context to interpret it standalone.
+  if (!trace_path.empty()) {
+    Json doc = Json::Object();
+    doc.Set("tool", "exsample_query")
+        .Set("dataset", dataset.name)
+        .Set("class", cls->name)
+        .Set("strategy", strategy_name)
+        .Set("policy", core::PolicyKindName(config.policy))
+        .Set("seed", static_cast<int64_t>(outcomes.front().seed))
+        .Set("results", static_cast<int64_t>(result.results.size()))
+        .Set("frames", result.frames_processed)
+        .Set("trace", trace.ToJson());
+    std::ofstream trace_out(trace_path, std::ios::trunc);
+    if (!trace_out.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    trace_out << doc.Dump() << "\n";
+    std::fprintf(json_output ? stderr : stdout,
+                 "wrote %lld trace events to %s\n",
+                 static_cast<long long>(trace.total_recorded()),
+                 trace_path.c_str());
+  }
 
   // --- optional CSV dump (trial 0's results), in either output mode
   if (!out_path.empty()) {

@@ -28,13 +28,20 @@
 //         "total_results":7,"frames_processed":1536,"cost_seconds":93.1,...}
 //   {"cmd":"cancel","session":1}   stop early, partial results pollable
 //   {"cmd":"close","session":1}    forget the session, free its slot
-//   {"cmd":"stats"}                manager + warm-start cache counters
+//   {"cmd":"stats"}                manager + warm-start cache counters,
+//                                  plus transport info: uptime_seconds and
+//                                  (TCP) shards + per-shard connections
+//   {"cmd":"metrics"}              full runtime-metrics snapshot (net.*,
+//                                  serve.*, core.* counters/gauges/latency
+//                                  histograms with per-shard cells)
 //   {"cmd":"quit"}                 exit (stdin mode; also on EOF). In
 //                                  --listen mode: closes this connection
 //
 // Flags: --threads N (0 = all cores), --slice-frames N, --max-sessions N,
 //        --seed N, --scale S, --warm-start, --warm-start-weight W,
-//        --stats-file PATH (persist the warm-start cache across runs)
+//        --stats-file PATH (persist the warm-start cache across runs),
+//        --metrics-dump PATH (write the final metrics snapshot as JSON on
+//        exit — SIGINT/SIGTERM drain first, then the dump is written)
 // Network mode:
 //        --listen PORT (0 = ephemeral; the chosen port is announced on
 //        stdout as {"ok":true,"listening":true,"host":...,"port":N,
@@ -53,13 +60,16 @@
 //   printf '%s\n%s\n' '{"cmd":"open","preset":"dashcam","class":"bicycle",
 //   "limit":5}' '{"cmd":"stats"}' | exsample_serve --warm-start
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <thread>
 
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "serve/protocol_handler.h"
 #include "serve/session_manager.h"
 #include "serve/stats_cache.h"
@@ -90,6 +100,27 @@ int ServeListen(const net::ServerOptions& options,
   // Connection handlers close their sessions on teardown so a vanished
   // client cannot pin admission slots.
   handler_options.close_sessions_on_destroy = true;
+  // Handlers are created per connection after the server exists, so the
+  // server_info callback reaches the server through one shared slot filled
+  // in below (Create -> fill -> Serve; shard threads start inside Serve,
+  // whose thread creation orders the write before any handler runs).
+  auto server_slot = std::make_shared<net::Server*>(nullptr);
+  handler_options.server_info = [server_slot]() {
+    Json info = Json::Object().Set("transport", "tcp");
+    net::Server* server = *server_slot;
+    if (server == nullptr) return info;
+    info.Set("uptime_seconds", server->uptime_seconds())
+        .Set("shards", static_cast<int64_t>(server->shards()))
+        .Set("listener", std::string(server->listener_mode_name()))
+        .Set("connections",
+             static_cast<int64_t>(server->active_connections()));
+    Json per_shard = Json::Array();
+    for (size_t count : server->ConnectionsPerShard()) {
+      per_shard.Append(static_cast<int64_t>(count));
+    }
+    info.Set("shard_connections", std::move(per_shard));
+    return info;
+  };
   auto created = net::Server::Create(
       options, [manager, cache, datasets, handler_options] {
         return std::make_unique<serve::ProtocolHandler>(
@@ -100,6 +131,7 @@ int ServeListen(const net::ServerOptions& options,
     return 1;
   }
   net::Server* server = created.value().get();
+  *server_slot = server;
   Status handlers = server->InstallSignalHandlers();
   if (!handlers.ok()) {
     std::fprintf(stderr, "warning: %s\n", handlers.ToString().c_str());
@@ -142,6 +174,7 @@ int Main(int argc, char** argv) {
   const double idle_timeout = flags.GetDouble("idle-timeout", 0.0);
   const int64_t max_line_bytes = flags.GetInt("max-line-bytes", 1 << 20);
   const int64_t shards = flags.GetInt("shards", 0);
+  const std::string metrics_dump = flags.GetString("metrics-dump", "");
   flags.FailOnUnknown();
   if (threads < 0) {
     std::fprintf(stderr, "error: --threads must be >= 0 (0 = all cores)\n");
@@ -198,6 +231,11 @@ int Main(int argc, char** argv) {
   // its sessions (reverse destruction order frees the manager first).
   serve::DatasetPool datasets(seed);
 
+  // One registry for the whole process: the serve/core families are
+  // registered by the manager, the net.* families by the server (TCP mode),
+  // and both the "metrics" command and --metrics-dump snapshot all of it.
+  obs::Registry metrics;
+
   serve::SessionManager::Options options;
   options.threads = static_cast<size_t>(threads);
   options.slice_frames = slice_frames;
@@ -206,11 +244,13 @@ int Main(int argc, char** argv) {
   options.stats_cache = &cache;
   options.warm_start = warm_start;
   options.warm_start_weight = warm_weight;
+  options.metrics = &metrics;
   serve::SessionManager manager(options);
 
   serve::ProtocolHandler::Options handler_options;
   handler_options.default_scale = scale;
   handler_options.warm_start = warm_start;
+  handler_options.metrics = &metrics;
 
   int exit_code = 0;
   if (listen) {
@@ -220,6 +260,7 @@ int Main(int argc, char** argv) {
     server_options.max_connections = static_cast<int>(max_conns);
     server_options.idle_timeout_seconds = idle_timeout;
     server_options.max_line_bytes = static_cast<size_t>(max_line_bytes);
+    server_options.metrics = &metrics;
     const unsigned hw = std::thread::hardware_concurrency();
     server_options.shards =
         shards > 0 ? static_cast<int>(shards)
@@ -227,6 +268,15 @@ int Main(int argc, char** argv) {
     exit_code = ServeListen(server_options, &manager, &cache, &datasets,
                             handler_options);
   } else {
+    const auto started = std::chrono::steady_clock::now();
+    handler_options.server_info = [started]() {
+      return Json::Object()
+          .Set("transport", "stdin")
+          .Set("uptime_seconds",
+               std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - started)
+                   .count());
+    };
     serve::ProtocolHandler handler(&manager, &cache, &datasets,
                                    handler_options);
     exit_code = ServeStdin(&handler);
@@ -236,6 +286,16 @@ int Main(int argc, char** argv) {
     Status saved = cache.Save(stats_file);
     if (!saved.ok()) {
       std::fprintf(stderr, "warning: %s\n", saved.ToString().c_str());
+    }
+  }
+  if (!metrics_dump.empty()) {
+    std::ofstream out(metrics_dump, std::ios::trunc);
+    if (out) {
+      out << metrics.Snapshot().Dump() << "\n";
+    }
+    if (!out) {
+      std::fprintf(stderr, "warning: could not write --metrics-dump %s\n",
+                   metrics_dump.c_str());
     }
   }
   return exit_code;
