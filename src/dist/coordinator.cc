@@ -1,0 +1,600 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace exsample {
+namespace dist {
+namespace {
+
+/// Domain-separation constant for the coordinator's RNG stream, so the
+/// shard-level draws never alias a worker's JobSeed streams even when the
+/// coordinator and the workers share one user-facing seed.
+constexpr uint64_t kCoordinatorStream = 0xD157C00Dull;
+
+/// Worker failures are transport-level: a torn connection (Unavailable) or
+/// a wedged peer (DeadlineExceeded). Anything else — a worker-side protocol
+/// error, a malformed reply — is a bug, not a failure to route around, but
+/// the coordinator still routes around it (capped by the retry waves and
+/// the give-up clock) rather than crash-looping a live query.
+bool IsTimeout(const Status& status) {
+  return status.code() == Status::Code::kDeadlineExceeded;
+}
+
+double CostPerFrame(const ShardAggregate& agg) {
+  if (agg.n <= 0 || agg.cost_seconds <= 0.0) return 1.0;
+  return agg.cost_seconds / static_cast<double>(agg.n);
+}
+
+}  // namespace
+
+// --- LocalShardBackend
+
+LocalShardBackend::LocalShardBackend(Options options)
+    : pool_(options.seed) {
+  if (options.num_workers < 1) options.num_workers = 1;
+  workers_.reserve(static_cast<size_t>(options.num_workers));
+  for (int w = 0; w < options.num_workers; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->cache = std::make_unique<serve::StatsCache>();
+    worker->state = std::make_unique<WorkerState>(
+        &pool_, worker->cache.get(), options.seed, options.default_scale);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+LocalShardBackend::~LocalShardBackend() = default;
+
+serve::StatsCache* LocalShardBackend::worker_cache(int worker) {
+  return workers_[static_cast<size_t>(worker)]->cache.get();
+}
+
+Result<Json> LocalShardBackend::Call(int32_t shard, const Json& request) {
+  Worker* worker = workers_[static_cast<size_t>(WorkerOf(shard))].get();
+  std::lock_guard<std::mutex> lock(worker->mu);
+  Json reply = worker->state->Handle(request.GetString("cmd", ""), request);
+  // Round-trip through the serialized form so the local reference decodes
+  // exactly the bytes a TCP worker would have sent — number formatting
+  // included. Local-vs-remote bit-equality is pinned on this.
+  return Json::Parse(reply.Dump());
+}
+
+Result<OpenReply> LocalShardBackend::Open(int32_t shard,
+                                          const ShardSpec& spec) {
+  if (dist_ids_.size() <= static_cast<size_t>(shard)) {
+    dist_ids_.resize(static_cast<size_t>(shard) + 1, 0);
+  }
+  auto reply = Call(shard, OpenRequest(spec));
+  if (!reply.ok()) return reply.status();
+  auto parsed = ParseOpenReply(reply.value());
+  if (parsed.ok()) dist_ids_[static_cast<size_t>(shard)] = parsed.value().dist_id;
+  return parsed;
+}
+
+Result<PickReply> LocalShardBackend::Pick(int32_t shard, int64_t frames) {
+  auto reply = Call(shard, PickRequest(dist_ids_[static_cast<size_t>(shard)],
+                                       frames));
+  if (!reply.ok()) return reply.status();
+  return ParsePickReply(reply.value(),
+                        static_cast<detect::ClassId>(
+                            reply.value().GetInt("class_id", 0)));
+}
+
+Result<StatsReply> LocalShardBackend::Stats(int32_t shard) {
+  auto reply = Call(shard, StatsRequest(dist_ids_[static_cast<size_t>(shard)]));
+  if (!reply.ok()) return reply.status();
+  return ParseStatsReply(reply.value());
+}
+
+Result<ReportReply> LocalShardBackend::Report(int32_t shard) {
+  auto reply = Call(shard, ReportRequest(dist_ids_[static_cast<size_t>(shard)]));
+  if (!reply.ok()) return reply.status();
+  return ParseReportReply(reply.value());
+}
+
+Status LocalShardBackend::Revive(int /*worker*/) { return Status::Ok(); }
+
+// --- ClientShardBackend
+
+ClientShardBackend::ClientShardBackend(std::vector<Endpoint> endpoints,
+                                       Options options)
+    : options_(options) {
+  workers_.reserve(endpoints.size());
+  for (Endpoint& endpoint : endpoints) {
+    auto worker = std::make_unique<Worker>();
+    worker->endpoint = std::move(endpoint);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+Status ClientShardBackend::ConnectLocked(Worker* worker) {
+  auto connected = net::Client::Connect(worker->endpoint.host,
+                                        worker->endpoint.port,
+                                        options_.connect_timeout_seconds);
+  if (!connected.ok()) {
+    // A refused or unreachable endpoint is a worker that may come back.
+    if (connected.status().code() == Status::Code::kDeadlineExceeded) {
+      return connected.status();
+    }
+    return Status::Unavailable(connected.status().message());
+  }
+  worker->client = std::move(connected).value();
+  return Status::Ok();
+}
+
+Status ClientShardBackend::ConnectAll() {
+  Status first = Status::Ok();
+  for (auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    if (worker->client.connected()) continue;
+    Status status = ConnectLocked(worker.get());
+    if (!status.ok() && first.ok()) first = status;
+  }
+  return first;
+}
+
+bool ClientShardBackend::worker_connected(int worker) {
+  Worker* w = workers_[static_cast<size_t>(worker)].get();
+  std::lock_guard<std::mutex> lock(w->mu);
+  return w->client.connected();
+}
+
+Result<Json> ClientShardBackend::Call(int32_t shard, const Json& request) {
+  Worker* worker = workers_[static_cast<size_t>(WorkerOf(shard))].get();
+  std::lock_guard<std::mutex> lock(worker->mu);
+  if (!worker->client.connected()) {
+    return Status::Unavailable("worker " + std::to_string(WorkerOf(shard)) +
+                               " is not connected");
+  }
+  auto reply = worker->client.CallWithTimeout(request,
+                                              options_.rpc_timeout_seconds);
+  if (!reply.ok()) {
+    // Torn connection: gone for sure. Timeout: the connection may still
+    // deliver the stale response later, which would desync every future
+    // exchange on it — drop it either way; Revive() reconnects.
+    worker->client.Close();
+  }
+  return reply;
+}
+
+Result<OpenReply> ClientShardBackend::Open(int32_t shard,
+                                           const ShardSpec& spec) {
+  if (dist_ids_.size() <= static_cast<size_t>(shard)) {
+    dist_ids_.resize(static_cast<size_t>(shard) + 1, 0);
+  }
+  {
+    // First use connects lazily, so Open works without ConnectAll().
+    Worker* worker = workers_[static_cast<size_t>(WorkerOf(shard))].get();
+    std::lock_guard<std::mutex> lock(worker->mu);
+    if (!worker->client.connected()) {
+      Status status = ConnectLocked(worker);
+      if (!status.ok()) return status;
+    }
+  }
+  auto reply = Call(shard, OpenRequest(spec));
+  if (!reply.ok()) return reply.status();
+  auto parsed = ParseOpenReply(reply.value());
+  if (parsed.ok()) dist_ids_[static_cast<size_t>(shard)] = parsed.value().dist_id;
+  return parsed;
+}
+
+Result<PickReply> ClientShardBackend::Pick(int32_t shard, int64_t frames) {
+  auto reply = Call(shard, PickRequest(dist_ids_[static_cast<size_t>(shard)],
+                                       frames));
+  if (!reply.ok()) return reply.status();
+  return ParsePickReply(reply.value(),
+                        static_cast<detect::ClassId>(
+                            reply.value().GetInt("class_id", 0)));
+}
+
+Result<StatsReply> ClientShardBackend::Stats(int32_t shard) {
+  auto reply = Call(shard, StatsRequest(dist_ids_[static_cast<size_t>(shard)]));
+  if (!reply.ok()) return reply.status();
+  return ParseStatsReply(reply.value());
+}
+
+Result<ReportReply> ClientShardBackend::Report(int32_t shard) {
+  auto reply = Call(shard, ReportRequest(dist_ids_[static_cast<size_t>(shard)]));
+  if (!reply.ok()) return reply.status();
+  return ParseReportReply(reply.value());
+}
+
+Status ClientShardBackend::Revive(int worker) {
+  Worker* w = workers_[static_cast<size_t>(worker)].get();
+  std::lock_guard<std::mutex> lock(w->mu);
+  w->client.Close();
+  return ConnectLocked(w);
+}
+
+// --- Coordinator
+
+Coordinator::Coordinator(ShardBackend* backend, CoordinatorOptions options)
+    : backend_(backend), options_(std::move(options)),
+      belief_(options_.belief),
+      rng_(SplitMix64(options_.seed ^ kCoordinatorStream).Next()),
+      rows_(static_cast<size_t>(options_.num_shards)),
+      available_(options_.num_shards, options_.num_shards),
+      workers_(static_cast<size_t>(backend->num_workers())) {
+  if (options_.metrics != nullptr) {
+    obs::Registry* r = options_.metrics;
+    const size_t shards = static_cast<size_t>(options_.num_shards);
+    const size_t nw = workers_.size();
+    m_picks_ = r->GetCounter("dist.picks", shards);
+    m_pick_frames_ = r->GetCounter("dist.pick_frames", shards);
+    m_results_ = r->GetCounter("dist.results");
+    m_retries_ = r->GetCounter("dist.retries");
+    m_rpc_timeouts_ = r->GetCounter("dist.rpc_timeouts");
+    m_rpc_disconnects_ = r->GetCounter("dist.rpc_disconnects");
+    m_rejoins_ = r->GetCounter("dist.rejoins");
+    m_shards_unavailable_ = r->GetGauge("dist.shards_unavailable");
+    m_rpc_seconds_ = r->GetHistogram("dist.rpc_seconds", nw);
+  }
+}
+
+double Coordinator::MonotonicSeconds() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status Coordinator::OpenAll() {
+  if (opened_) return Status::Ok();
+  int32_t open = 0;
+  for (int32_t s = 0; s < options_.num_shards; ++s) {
+    const int worker = backend_->WorkerOf(s);
+    if (!workers_[static_cast<size_t>(worker)].up) {
+      available_.Clear(s);
+      continue;
+    }
+    ShardSpec spec = options_.shard;
+    spec.shard_index = s;
+    spec.num_shards = options_.num_shards;
+    spec.seed_tag = s;
+    auto reply = backend_->Open(s, spec);
+    if (reply.ok()) {
+      rows_[static_cast<size_t>(s)].open = true;
+      rows_[static_cast<size_t>(s)].agg = reply.value().agg;
+      ++open;
+      continue;
+    }
+    const Status& status = reply.status();
+    if (status.code() == Status::Code::kUnavailable ||
+        status.code() == Status::Code::kDeadlineExceeded) {
+      MarkWorkerDown(worker, status);
+      continue;
+    }
+    return status;  // bad spec / protocol error: fatal, not routable
+  }
+  if (open == 0) {
+    return Status::Unavailable("no shard could be opened (" +
+                               std::to_string(options_.num_shards) +
+                               " shards, all workers failed)");
+  }
+  opened_ = true;
+  return Status::Ok();
+}
+
+int32_t Coordinator::SampleShard() {
+  if (available_.empty()) return -1;
+  if (options_.shard_policy == core::PolicyKind::kUniform) {
+    return static_cast<int32_t>(available_.SelectNth(static_cast<int64_t>(
+        rng_.NextBounded(static_cast<uint64_t>(available_.available())))));
+  }
+  const bool ucb = options_.shard_policy == core::PolicyKind::kBayesUcb ||
+                   options_.shard_policy == core::PolicyKind::kHierBayesUcb;
+  // Same quantile schedule as BayesUcbPolicy, with t = shard picks issued.
+  const double q = 1.0 - 1.0 / (static_cast<double>(picks_issued_) + 2.0);
+  int32_t best = -1;
+  double best_score = -std::numeric_limits<double>::infinity();
+  int64_t ties = 0;
+  available_.ForEachAvailable([&](video::ChunkId s) {
+    const ShardAggregate& agg = rows_[static_cast<size_t>(s)].agg;
+    double score = ucb ? belief_.Quantile(agg.n1, agg.n, q)
+                       : belief_.Sample(agg.n1, agg.n, &rng_);
+    if (options_.cost_aware) score /= CostPerFrame(agg);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int32_t>(s);
+      ties = 1;
+    } else if (score == best_score) {
+      ++ties;
+      if (rng_.NextBounded(static_cast<uint64_t>(ties)) == 0) {
+        best = static_cast<int32_t>(s);
+      }
+    }
+  });
+  return best;
+}
+
+void Coordinator::MergeReply(const Budget& budget, const PickReply& reply) {
+  Row& row = rows_[static_cast<size_t>(budget.shard)];
+  row.agg = reply.agg;
+  row.picks += budget.picks;
+  row.frames_processed = reply.frames_processed;
+  row.cost_seconds = reply.cost_seconds;
+  row.results += static_cast<int64_t>(reply.new_results.size());
+  results_.insert(results_.end(), reply.new_results.begin(),
+                  reply.new_results.end());
+  if (!reply.running) {
+    row.exhausted = true;
+    available_.Clear(budget.shard);
+  }
+  if (m_picks_ != nullptr) {
+    m_picks_->Add(budget.picks, static_cast<size_t>(budget.shard));
+    m_pick_frames_->Add(budget.frames, static_cast<size_t>(budget.shard));
+    m_results_->Add(static_cast<int64_t>(reply.new_results.size()));
+  }
+}
+
+void Coordinator::MarkWorkerDown(int worker, const Status& status) {
+  if (IsTimeout(status)) {
+    ++rpc_timeouts_;
+    if (m_rpc_timeouts_ != nullptr) m_rpc_timeouts_->Add(1);
+  } else {
+    ++rpc_disconnects_;
+    if (m_rpc_disconnects_ != nullptr) m_rpc_disconnects_->Add(1);
+  }
+  WorkerHealth& health = workers_[static_cast<size_t>(worker)];
+  const double now = MonotonicSeconds();
+  if (health.up) {
+    health.up = false;
+    health.down_since = now;
+    health.backoff = options_.rejoin_backoff_seconds;
+    health.next_attempt = now + health.backoff;
+  }
+  for (int32_t s = 0; s < options_.num_shards; ++s) {
+    if (backend_->WorkerOf(s) != worker) continue;
+    if (available_.Test(s)) available_.Clear(s);
+    rows_[static_cast<size_t>(s)].open = false;
+  }
+  if (m_shards_unavailable_ != nullptr) {
+    int64_t unavailable = 0;
+    for (int32_t s = 0; s < options_.num_shards; ++s) {
+      if (!rows_[static_cast<size_t>(s)].exhausted && !available_.Test(s)) {
+        ++unavailable;
+      }
+    }
+    m_shards_unavailable_->Set(unavailable);
+  }
+}
+
+void Coordinator::TryRejoin() {
+  if (!options_.rejoin) return;
+  const double now = MonotonicSeconds();
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    WorkerHealth& health = workers_[w];
+    if (health.up || now < health.next_attempt) continue;
+    Status revived = backend_->Revive(static_cast<int>(w));
+    if (!revived.ok()) {
+      health.backoff = std::min(health.backoff * 2.0, 5.0);
+      health.next_attempt = now + health.backoff;
+      continue;
+    }
+    health.up = true;
+    for (int32_t s = 0; s < options_.num_shards; ++s) {
+      if (backend_->WorkerOf(s) != static_cast<int>(w)) continue;
+      Row& row = rows_[static_cast<size_t>(s)];
+      if (row.exhausted) continue;
+      ShardSpec spec = options_.shard;
+      spec.shard_index = s;
+      spec.num_shards = options_.num_shards;
+      spec.seed_tag = s;
+      // The rejoin resumes from whatever the worker persisted on its way
+      // down; a cold cache just reopens cold.
+      spec.warm_start = true;
+      auto reply = backend_->Open(s, spec);
+      if (!reply.ok()) {
+        MarkWorkerDown(static_cast<int>(w), reply.status());
+        break;
+      }
+      row.open = true;
+      row.agg = reply.value().agg;
+      available_.Set(s);
+      ++rejoins_;
+      if (m_rejoins_ != nullptr) m_rejoins_->Add(1);
+    }
+    if (m_shards_unavailable_ != nullptr && health.up) {
+      int64_t unavailable = 0;
+      for (int32_t s = 0; s < options_.num_shards; ++s) {
+        if (!rows_[static_cast<size_t>(s)].exhausted &&
+            !available_.Test(s)) {
+          ++unavailable;
+        }
+      }
+      m_shards_unavailable_->Set(unavailable);
+    }
+  }
+}
+
+std::vector<Coordinator::Budget> Coordinator::DispatchWave(
+    const std::vector<Budget>& wave) {
+  // Group the wave by hosting worker; shards of one worker go down one
+  // connection sequentially, different workers in parallel.
+  std::vector<std::vector<size_t>> by_worker(workers_.size());
+  for (size_t i = 0; i < wave.size(); ++i) {
+    by_worker[static_cast<size_t>(backend_->WorkerOf(wave[i].shard))]
+        .push_back(i);
+  }
+  std::vector<std::optional<Result<PickReply>>> replies(wave.size());
+  auto run_worker = [&](size_t w) {
+    for (size_t i : by_worker[w]) {
+      const auto started = std::chrono::steady_clock::now();
+      replies[i].emplace(backend_->Pick(wave[i].shard, wave[i].frames));
+      if (m_rpc_seconds_ != nullptr) {
+        m_rpc_seconds_->Observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          started)
+                .count(),
+            w);
+      }
+    }
+  };
+  std::vector<size_t> active;
+  for (size_t w = 0; w < by_worker.size(); ++w) {
+    if (!by_worker[w].empty()) active.push_back(w);
+  }
+  if (active.size() == 1) {
+    run_worker(active[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(active.size());
+    for (size_t w : active) threads.emplace_back(run_worker, w);
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Merge in ascending shard order (the wave is built ascending), so the
+  // result stream is independent of which worker replied first.
+  std::vector<Budget> failed;
+  for (size_t i = 0; i < wave.size(); ++i) {
+    Result<PickReply>& reply = *replies[i];
+    if (reply.ok()) {
+      MergeReply(wave[i], reply.value());
+    } else {
+      MarkWorkerDown(backend_->WorkerOf(wave[i].shard), reply.status());
+      failed.push_back(wave[i]);
+    }
+  }
+  return failed;
+}
+
+Result<CoordinatorResult> Coordinator::Run() {
+  Status opened = OpenAll();
+  if (!opened.ok()) return opened;
+
+  CoordinatorResult out;
+  const int64_t limit = options_.result_limit;
+  std::string stop_reason;
+  std::vector<int64_t> frames(static_cast<size_t>(options_.num_shards));
+  std::vector<int64_t> picks(static_cast<size_t>(options_.num_shards));
+
+  while (true) {
+    if (limit > 0 &&
+        static_cast<int64_t>(results_.size()) >= limit) {
+      stop_reason = "limit";
+      break;
+    }
+    bool all_exhausted = true;
+    for (const Row& row : rows_) all_exhausted &= row.exhausted;
+    if (all_exhausted) {
+      stop_reason = "exhausted";
+      break;
+    }
+    if (options_.max_rounds > 0 && out.rounds >= options_.max_rounds) {
+      stop_reason = "max_rounds";
+      break;
+    }
+    TryRejoin();
+    if (!AnyShardAvailable()) {
+      const double now = MonotonicSeconds();
+      if (no_shard_since_ < 0.0) no_shard_since_ = now;
+      if (!options_.rejoin ||
+          now - no_shard_since_ > options_.unavailable_give_up_seconds) {
+        stop_reason = "unavailable";
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    no_shard_since_ = -1.0;
+
+    // Draw this round's shard choices and fold them into budgets.
+    std::fill(frames.begin(), frames.end(), 0);
+    std::fill(picks.begin(), picks.end(), 0);
+    for (int32_t p = 0; p < options_.picks_per_round; ++p) {
+      const int32_t s = SampleShard();
+      if (s < 0) break;
+      frames[static_cast<size_t>(s)] += options_.frames_per_pick;
+      picks[static_cast<size_t>(s)] += 1;
+      ++picks_issued_;
+    }
+    std::vector<Budget> wave;
+    for (int32_t s = 0; s < options_.num_shards; ++s) {
+      if (picks[static_cast<size_t>(s)] > 0) {
+        wave.push_back(Budget{s, frames[static_cast<size_t>(s)],
+                              picks[static_cast<size_t>(s)]});
+      }
+    }
+    if (wave.empty()) continue;
+
+    // Dispatch, then re-sample failed picks against survivors with
+    // exponential backoff.
+    int32_t wave_num = 0;
+    std::vector<Budget> failed = DispatchWave(wave);
+    while (!failed.empty() && wave_num < options_.max_retry_waves &&
+           AnyShardAvailable()) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.retry_backoff_seconds * static_cast<double>(1 << wave_num)));
+      ++wave_num;
+      std::fill(frames.begin(), frames.end(), 0);
+      std::fill(picks.begin(), picks.end(), 0);
+      int64_t moved = 0;
+      for (const Budget& lost : failed) {
+        for (int64_t p = 0; p < lost.picks; ++p) {
+          const int32_t s = SampleShard();
+          if (s < 0) break;
+          frames[static_cast<size_t>(s)] += options_.frames_per_pick;
+          picks[static_cast<size_t>(s)] += 1;
+          ++moved;
+        }
+      }
+      retries_ += moved;
+      if (m_retries_ != nullptr) m_retries_->Add(moved);
+      std::vector<Budget> retry_wave;
+      for (int32_t s = 0; s < options_.num_shards; ++s) {
+        if (picks[static_cast<size_t>(s)] > 0) {
+          retry_wave.push_back(Budget{s, frames[static_cast<size_t>(s)],
+                                      picks[static_cast<size_t>(s)]});
+        }
+      }
+      if (retry_wave.empty()) break;
+      failed = DispatchWave(retry_wave);
+    }
+    ++out.rounds;
+  }
+
+  ReportAll();
+
+  out.results = results_;
+  if (limit > 0 && static_cast<int64_t>(out.results.size()) > limit) {
+    out.results.resize(static_cast<size_t>(limit));
+  }
+  out.picks = picks_issued_;
+  out.retries = retries_;
+  out.rpc_timeouts = rpc_timeouts_;
+  out.rpc_disconnects = rpc_disconnects_;
+  out.rejoins = rejoins_;
+  out.stop_reason = stop_reason;
+  for (int32_t s = 0; s < options_.num_shards; ++s) {
+    const Row& row = rows_[static_cast<size_t>(s)];
+    ShardOutcome outcome;
+    outcome.shard = s;
+    outcome.worker = backend_->WorkerOf(s);
+    outcome.picks = row.picks;
+    outcome.frames = row.frames_processed;
+    outcome.results = row.results;
+    outcome.exhausted = row.exhausted;
+    outcome.available = available_.Test(s);
+    outcome.agg = row.agg;
+    out.shards.push_back(outcome);
+    out.frames_processed += row.frames_processed;
+    out.cost_seconds += row.cost_seconds;
+  }
+  return out;
+}
+
+void Coordinator::ReportAll() {
+  for (int32_t s = 0; s < options_.num_shards; ++s) {
+    Row& row = rows_[static_cast<size_t>(s)];
+    if (!row.open) continue;
+    if (!workers_[static_cast<size_t>(backend_->WorkerOf(s))].up) continue;
+    auto reply = backend_->Report(s);
+    if (reply.ok()) row.agg = reply.value().agg;
+  }
+}
+
+}  // namespace dist
+}  // namespace exsample

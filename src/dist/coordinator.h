@@ -1,0 +1,339 @@
+// Coordinator: the top level of the bandit, one decision higher than the
+// hierarchical policies.
+//
+// ExSample's hier policies pick group -> chunk from incrementally
+// maintained group aggregates; a repository sharded across worker
+// processes is the same decision one level up. The coordinator keeps one
+// ShardAggregate row per logical shard (synced in full by every dist.pick
+// reply), Thompson-samples or Bayes-UCB-scores a shard per pick from those
+// rows exactly as HierThompsonPolicy scores a group, and delegates the
+// within-shard chunk pick to the worker hosting that shard.
+//
+// Determinism. Shards are LOGICAL: L is fixed by the query, shard s always
+// owns chunk range [s*m/L, (s+1)*m/L) and always samples the JobSeed
+// stream (base_seed, s) — worker processes only host shards (s % W). A
+// round draws picks_per_round shard choices from the coordinator RNG,
+// folds them into per-shard frame budgets, dispatches the budgets to the
+// workers in parallel (one thread per worker), barriers, and merges the
+// replies in ascending shard order. Every coordinator RNG draw and every
+// merge is therefore a pure function of (seed, L, the aggregate rows), so
+// a healthy run's results are bit-identical across ANY worker count —
+// including the in-process LocalShardBackend — while still running W
+// workers' compute concurrently. The e2e matrix pins this.
+//
+// Failure handling reuses the machinery that models chunks going dry: a
+// worker whose RPC fails marks all its shards unavailable in a
+// coordinator-side core::AvailabilityIndex (Unavailable = torn
+// connection, DeadlineExceeded = wedged peer — distinguished by
+// net::Client so the retry policy can reconnect eagerly on the former and
+// back off on the latter). The failed picks' frame budgets are re-sampled
+// against the surviving shards with exponential backoff; a worker that
+// comes back is revived between rounds and its shards re-open with
+// warm_start=true, resuming from the StatsCache evidence the worker
+// persisted on disconnect. Failure paths consult the wall clock, so runs
+// with failures are not bit-reproducible — healthy runs never enter them.
+
+#ifndef EXSAMPLE_DIST_COORDINATOR_H_
+#define EXSAMPLE_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/availability_index.h"
+#include "core/belief.h"
+#include "core/policy.h"
+#include "dist/wire.h"
+#include "dist/worker.h"
+#include "net/client.h"
+#include "obs/metrics.h"
+#include "serve/protocol_handler.h"
+#include "serve/stats_cache.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace exsample {
+namespace dist {
+
+/// Transport abstraction between the coordinator and the shard hosts.
+/// Thread contract: the coordinator serializes calls per worker (one
+/// dispatch thread per worker, shards grouped by WorkerOf); calls for
+/// shards on different workers may run concurrently.
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  virtual int num_workers() const = 0;
+  /// The worker hosting shard s (shards of one worker fail together).
+  virtual int WorkerOf(int32_t shard) const = 0;
+
+  virtual Result<OpenReply> Open(int32_t shard, const ShardSpec& spec) = 0;
+  virtual Result<PickReply> Pick(int32_t shard, int64_t frames) = 0;
+  virtual Result<StatsReply> Stats(int32_t shard) = 0;
+  virtual Result<ReportReply> Report(int32_t shard) = 0;
+
+  /// Attempts to bring a failed worker back (reconnect / no-op). The
+  /// coordinator re-opens the worker's shards afterwards.
+  virtual Status Revive(int worker) = 0;
+};
+
+/// In-process backend: the determinism reference and the unit-test rig.
+/// Each simulated worker is a WorkerState — the exact code a remote
+/// worker's ProtocolHandler runs — and every call round-trips through the
+/// same JSON documents the TCP transport carries, so local and remote
+/// picks are bit-identical down to number formatting.
+class LocalShardBackend : public ShardBackend {
+ public:
+  struct Options {
+    int num_workers = 1;
+    /// Worker-process base seed (datasets and session streams); every
+    /// worker must agree, exactly as every remote worker gets the same
+    /// --seed.
+    uint64_t seed = 1;
+    double default_scale = 0.1;
+  };
+
+  explicit LocalShardBackend(Options options);
+  ~LocalShardBackend() override;
+
+  int num_workers() const override { return static_cast<int>(workers_.size()); }
+  int WorkerOf(int32_t shard) const override {
+    return static_cast<int>(shard % num_workers());
+  }
+
+  Result<OpenReply> Open(int32_t shard, const ShardSpec& spec) override;
+  Result<PickReply> Pick(int32_t shard, int64_t frames) override;
+  Result<StatsReply> Stats(int32_t shard) override;
+  Result<ReportReply> Report(int32_t shard) override;
+  Status Revive(int worker) override;
+
+  /// The simulated worker's warm-start cache (tests inspect it).
+  serve::StatsCache* worker_cache(int worker);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::unique_ptr<serve::StatsCache> cache;
+    std::unique_ptr<WorkerState> state;
+  };
+
+  Result<Json> Call(int32_t shard, const Json& request);
+
+  serve::DatasetPool pool_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  /// shard -> worker-local dist session id.
+  std::vector<int64_t> dist_ids_;
+};
+
+/// TCP backend: one net::Client per worker endpoint, dist.* verbs over the
+/// serve protocol. A transport failure closes the connection and reports
+/// Unavailable/DeadlineExceeded upward; Revive() reconnects.
+class ClientShardBackend : public ShardBackend {
+ public:
+  struct Endpoint {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+  };
+  struct Options {
+    /// Bounds each connect attempt (a vanished worker fails fast instead
+    /// of hanging for the SYN-retry minutes).
+    double connect_timeout_seconds = 5.0;
+    /// Per-RPC deadline (ReadLineWithTimeout under Call).
+    double rpc_timeout_seconds = 30.0;
+  };
+
+  ClientShardBackend(std::vector<Endpoint> endpoints, Options options);
+
+  int num_workers() const override {
+    return static_cast<int>(workers_.size());
+  }
+  int WorkerOf(int32_t shard) const override {
+    return static_cast<int>(shard % num_workers());
+  }
+
+  /// Connects every worker; the first failure is returned (workers that
+  /// did connect stay connected).
+  Status ConnectAll();
+
+  Result<OpenReply> Open(int32_t shard, const ShardSpec& spec) override;
+  Result<PickReply> Pick(int32_t shard, int64_t frames) override;
+  Result<StatsReply> Stats(int32_t shard) override;
+  Result<ReportReply> Report(int32_t shard) override;
+  Status Revive(int worker) override;
+
+  bool worker_connected(int worker);
+
+ private:
+  struct Worker {
+    Endpoint endpoint;
+    std::mutex mu;
+    net::Client client;
+  };
+
+  Result<Json> Call(int32_t shard, const Json& request);
+  Status ConnectLocked(Worker* worker);
+
+  const Options options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<int64_t> dist_ids_;
+};
+
+/// Coordinator configuration. `shard` is the per-shard template:
+/// shard_index/num_shards/seed_tag are overwritten per shard.
+struct CoordinatorOptions {
+  ShardSpec shard;
+  /// Logical shards L (fixed per query; independent of worker count).
+  int32_t num_shards = 4;
+  /// Coordinator RNG seed (the shard-level Thompson stream).
+  uint64_t seed = 1;
+  /// Shard-level scoring: kThompson (belief draw per shard, the default),
+  /// kBayesUcb (1 - 1/(t+1) quantile), or kUniform (ignore the evidence;
+  /// round-robin-ish load for benchmarks). Other kinds fall back to
+  /// kThompson.
+  core::PolicyKind shard_policy = core::PolicyKind::kThompson;
+  core::BeliefParams belief;
+  /// Normalize shard scores by the shard's modeled cost per frame.
+  bool cost_aware = false;
+  /// Stop after this many results (0 = run every shard dry).
+  int64_t result_limit = 0;
+  /// Frames per pick delegated to the chosen shard.
+  int64_t frames_per_pick = 256;
+  /// Shard choices drawn per round; their budgets dispatch in parallel.
+  int32_t picks_per_round = 4;
+  /// Safety valve (0 = unbounded).
+  int64_t max_rounds = 0;
+  /// Re-dispatch waves for failed picks within one round.
+  int32_t max_retry_waves = 8;
+  /// Backoff before retry wave w is 2^w times this.
+  double retry_backoff_seconds = 0.01;
+  /// Try to revive failed workers between rounds (warm-started reopen).
+  bool rejoin = true;
+  /// Minimum wait before the first revive attempt of a worker; doubles
+  /// per failed attempt.
+  double rejoin_backoff_seconds = 0.2;
+  /// Give up once no shard has been available for this long.
+  double unavailable_give_up_seconds = 10.0;
+  /// Optional metrics registry (non-owning; may be null).
+  obs::Registry* metrics = nullptr;
+};
+
+/// Per-shard outcome in CoordinatorResult.
+struct ShardOutcome {
+  int32_t shard = 0;
+  int worker = 0;
+  int64_t picks = 0;          ///< picks delegated (including retries)
+  int64_t frames = 0;         ///< frames processed by the shard session
+  int64_t results = 0;        ///< results the shard contributed
+  bool exhausted = false;     ///< shard session stopped
+  bool available = false;     ///< shard reachable at the end
+  ShardAggregate agg;         ///< final synced aggregate row
+};
+
+struct CoordinatorResult {
+  std::vector<detect::Detection> results;
+  int64_t frames_processed = 0;
+  double cost_seconds = 0.0;  ///< summed modeled cost across shards
+  int64_t rounds = 0;
+  int64_t picks = 0;
+  int64_t retries = 0;          ///< re-dispatched picks after failures
+  int64_t rpc_timeouts = 0;
+  int64_t rpc_disconnects = 0;
+  int64_t rejoins = 0;          ///< shard sessions re-opened after revive
+  /// "limit" | "exhausted" | "unavailable" | "max_rounds"
+  std::string stop_reason;
+  std::vector<ShardOutcome> shards;
+};
+
+class Coordinator {
+ public:
+  /// `backend` is non-owning and must outlive the coordinator.
+  Coordinator(ShardBackend* backend, CoordinatorOptions options);
+
+  /// Opens every shard. Worker failures here mark shards unavailable
+  /// rather than failing the call; at least one shard must open. Invalid
+  /// configurations (bad spec, protocol errors) fail outright.
+  Status OpenAll();
+
+  /// Runs the query to its stopping rule and reports the shards at the
+  /// end. Calls OpenAll() first if it has not run.
+  Result<CoordinatorResult> Run();
+
+  const ShardAggregate& aggregate(int32_t shard) const {
+    return rows_[static_cast<size_t>(shard)].agg;
+  }
+
+ private:
+  struct Row {
+    ShardAggregate agg;
+    int64_t picks = 0;
+    int64_t frames_processed = 0;
+    int64_t results = 0;
+    double cost_seconds = 0.0;
+    bool open = false;
+    bool exhausted = false;
+  };
+  struct WorkerHealth {
+    bool up = true;
+    double down_since = 0.0;     ///< MonotonicSeconds timestamp
+    double next_attempt = 0.0;   ///< earliest revive try
+    double backoff = 0.0;
+  };
+  /// One shard's budget within a dispatch wave.
+  struct Budget {
+    int32_t shard = 0;
+    int64_t frames = 0;
+    int64_t picks = 0;
+  };
+
+  /// Draws one shard choice from the aggregate rows (Thompson/Bayes-UCB/
+  /// uniform over available shards); -1 when none is available.
+  int32_t SampleShard();
+  /// Dispatches budgets (grouped by worker, parallel across workers) and
+  /// merges replies in ascending shard order; failed budgets are returned
+  /// for the caller's retry waves.
+  std::vector<Budget> DispatchWave(const std::vector<Budget>& wave);
+  void MergeReply(const Budget& budget, const PickReply& reply);
+  void MarkWorkerDown(int worker, const Status& status);
+  /// Revives due workers and re-opens their shards warm-started.
+  void TryRejoin();
+  bool AnyShardAvailable() const { return !available_.empty(); }
+  void ReportAll();
+  double MonotonicSeconds() const;
+
+  ShardBackend* const backend_;
+  const CoordinatorOptions options_;
+  core::GammaBelief belief_;
+  Rng rng_;
+  std::vector<Row> rows_;
+  core::AvailabilityIndex available_;
+  std::vector<WorkerHealth> workers_;
+  std::vector<detect::Detection> results_;
+  bool opened_ = false;
+  int64_t picks_issued_ = 0;
+  double no_shard_since_ = -1.0;
+
+  // Tallies mirrored into CoordinatorResult.
+  int64_t retries_ = 0;
+  int64_t rpc_timeouts_ = 0;
+  int64_t rpc_disconnects_ = 0;
+  int64_t rejoins_ = 0;
+
+  // dist.* instruments (null when options_.metrics is null).
+  obs::Counter* m_picks_ = nullptr;            ///< cell = shard
+  obs::Counter* m_pick_frames_ = nullptr;      ///< cell = shard
+  obs::Counter* m_results_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_rpc_timeouts_ = nullptr;
+  obs::Counter* m_rpc_disconnects_ = nullptr;
+  obs::Counter* m_rejoins_ = nullptr;
+  obs::Gauge* m_shards_unavailable_ = nullptr;
+  /// Observed from dispatch threads; histogram writes are lock-free.
+  obs::LatencyHistogram* m_rpc_seconds_ = nullptr;
+};
+
+}  // namespace dist
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DIST_COORDINATOR_H_

@@ -1,0 +1,250 @@
+#include "dist/wire.h"
+
+#include <limits>
+#include <utility>
+
+namespace exsample {
+namespace dist {
+namespace {
+
+Status WorkerError(const Json& reply) {
+  return Status::InvalidArgument("worker error: " +
+                                 reply.GetString("error", "(no message)"));
+}
+
+}  // namespace
+
+Json ToJson(const ShardAggregate& agg) {
+  return Json::Object()
+      .Set("n1", agg.n1)
+      .Set("n", agg.n)
+      .Set("cost_seconds", agg.cost_seconds);
+}
+
+ShardAggregate AggregateFromJson(const Json* json) {
+  ShardAggregate agg;
+  if (json == nullptr || !json->is_object()) return agg;
+  agg.n1 = json->GetInt("n1", 0);
+  agg.n = json->GetInt("n", 0);
+  agg.cost_seconds = json->GetDouble("cost_seconds", 0.0);
+  return agg;
+}
+
+ShardAggregate AggregateFromStats(const core::ChunkStats& stats) {
+  ShardAggregate agg;
+  for (int32_t g = 0; g < stats.num_groups(); ++g) {
+    agg.n1 += stats.GroupClampedN1(g);
+    agg.n += stats.GroupN(g);
+  }
+  return agg;
+}
+
+Json OpenRequest(const ShardSpec& spec) {
+  Json cmd = Json::Object()
+                 .Set("cmd", "dist.open")
+                 .Set("preset", spec.preset)
+                 .Set("class", spec.class_name)
+                 .Set("scale", spec.scale)
+                 .Set("shard", static_cast<int64_t>(spec.shard_index))
+                 .Set("num_shards", static_cast<int64_t>(spec.num_shards))
+                 .Set("seed_tag", spec.seed_tag)
+                 .Set("policy", core::PolicyKindName(spec.policy))
+                 .Set("group_size", static_cast<int64_t>(spec.group_size))
+                 .Set("cost_aware", spec.cost_aware)
+                 .Set("gop_run", static_cast<int64_t>(spec.gop_run))
+                 .Set("tracker", spec.tracker)
+                 .Set("warm_start", spec.warm_start)
+                 .Set("warm_weight", spec.warm_weight)
+                 .Set("max_samples", spec.max_samples);
+  return cmd;
+}
+
+Json PickRequest(int64_t dist_id, int64_t frames) {
+  return Json::Object()
+      .Set("cmd", "dist.pick")
+      .Set("dist", dist_id)
+      .Set("frames", frames);
+}
+
+Json StatsRequest(int64_t dist_id) {
+  return Json::Object().Set("cmd", "dist.stats").Set("dist", dist_id);
+}
+
+Json ReportRequest(int64_t dist_id) {
+  return Json::Object().Set("cmd", "dist.report").Set("dist", dist_id);
+}
+
+Result<ShardSpec> ParseOpenRequest(const Json& cmd) {
+  ShardSpec spec;
+  spec.preset = cmd.GetString("preset", "");
+  spec.class_name = cmd.GetString("class", "");
+  if (spec.preset.empty() || spec.class_name.empty()) {
+    return Status::InvalidArgument(
+        "dist.open requires \"preset\" and \"class\"");
+  }
+  spec.scale = cmd.GetDouble("scale", spec.scale);
+  if (spec.scale <= 0.0 || spec.scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  const int64_t num_shards = cmd.GetInt("num_shards", 1);
+  const int64_t shard = cmd.GetInt("shard", 0);
+  if (num_shards < 1 || num_shards > std::numeric_limits<int32_t>::max()) {
+    return Status::InvalidArgument("num_shards must be in [1, 2^31)");
+  }
+  if (shard < 0 || shard >= num_shards) {
+    return Status::InvalidArgument("shard must be in [0, num_shards)");
+  }
+  spec.shard_index = static_cast<int32_t>(shard);
+  spec.num_shards = static_cast<int32_t>(num_shards);
+  spec.seed_tag = cmd.GetInt("seed_tag", -1);
+  if (spec.seed_tag < 0) spec.seed_tag = spec.shard_index;
+  const std::string policy = cmd.GetString("policy", "");
+  if (!policy.empty() && !core::ParsePolicyName(policy, &spec.policy)) {
+    return Status::InvalidArgument("unknown policy: " + policy);
+  }
+  const int64_t group_size = cmd.GetInt("group_size", 0);
+  if (group_size < 0 || group_size > std::numeric_limits<int32_t>::max()) {
+    return Status::InvalidArgument("group_size must be in [0, 2^31) (0 = auto)");
+  }
+  spec.group_size = static_cast<int32_t>(group_size);
+  spec.cost_aware = cmd.GetBool("cost_aware", false);
+  const int64_t gop_run = cmd.GetInt("gop_run", 1);
+  if (gop_run < 1 || gop_run > std::numeric_limits<int32_t>::max()) {
+    return Status::InvalidArgument("gop_run must be in [1, 2^31)");
+  }
+  spec.gop_run = static_cast<int32_t>(gop_run);
+  spec.tracker = cmd.GetBool("tracker", false);
+  spec.warm_start = cmd.GetBool("warm_start", false);
+  spec.warm_weight = cmd.GetDouble("warm_weight", spec.warm_weight);
+  if (spec.warm_weight <= 0.0 || spec.warm_weight > 1.0) {
+    return Status::InvalidArgument("warm_weight must be in (0, 1]");
+  }
+  spec.max_samples = cmd.GetInt("max_samples", 0);
+  if (spec.max_samples < 0) {
+    return Status::InvalidArgument("max_samples must be >= 0");
+  }
+  return spec;
+}
+
+Json OpenReplyJson(const OpenReply& reply) {
+  return Json::Object()
+      .Set("ok", true)
+      .Set("dist", reply.dist_id)
+      .Set("chunks", reply.chunks)
+      .Set("frames", reply.frames)
+      .Set("warm_started", reply.warm_started)
+      .Set("agg", ToJson(reply.agg));
+}
+
+Json PickReplyJson(const PickReply& reply, detect::ClassId class_id) {
+  Json results = Json::Array();
+  for (const detect::Detection& d : reply.new_results) {
+    results.Append(Json::Object()
+                       .Set("frame", d.frame)
+                       .Set("score", d.score)
+                       .Set("x", d.box.x)
+                       .Set("y", d.box.y)
+                       .Set("w", d.box.w)
+                       .Set("h", d.box.h)
+                       .Set("instance", d.instance));
+  }
+  return Json::Object()
+      .Set("ok", true)
+      .Set("running", reply.running)
+      .Set("stop_reason", reply.stop_reason)
+      .Set("class_id", static_cast<int64_t>(class_id))
+      .Set("new_results", std::move(results))
+      .Set("frames_processed", reply.frames_processed)
+      .Set("cost_seconds", reply.cost_seconds)
+      .Set("agg", ToJson(reply.agg));
+}
+
+Json StatsReplyJson(const StatsReply& reply) {
+  Json n1 = Json::Array();
+  Json n = Json::Array();
+  for (int64_t v : reply.n1) n1.Append(v);
+  for (int64_t v : reply.n) n.Append(v);
+  return Json::Object()
+      .Set("ok", true)
+      .Set("n1", std::move(n1))
+      .Set("n", std::move(n))
+      .Set("agg", ToJson(reply.agg));
+}
+
+Json ReportReplyJson(const ReportReply& reply) {
+  return Json::Object()
+      .Set("ok", true)
+      .Set("recorded", reply.recorded)
+      .Set("agg", ToJson(reply.agg));
+}
+
+Result<OpenReply> ParseOpenReply(const Json& reply) {
+  if (!reply.GetBool("ok", false)) return WorkerError(reply);
+  OpenReply out;
+  out.dist_id = reply.GetInt("dist", 0);
+  out.chunks = reply.GetInt("chunks", 0);
+  out.frames = reply.GetInt("frames", 0);
+  out.warm_started = reply.GetBool("warm_started", false);
+  out.agg = AggregateFromJson(reply.Find("agg"));
+  if (out.dist_id <= 0) {
+    return Status::InvalidArgument("dist.open reply carries no session id");
+  }
+  return out;
+}
+
+Result<PickReply> ParsePickReply(const Json& reply,
+                                 detect::ClassId class_id) {
+  if (!reply.GetBool("ok", false)) return WorkerError(reply);
+  PickReply out;
+  out.running = reply.GetBool("running", false);
+  out.stop_reason = reply.GetString("stop_reason", "");
+  out.frames_processed = reply.GetInt("frames_processed", 0);
+  out.cost_seconds = reply.GetDouble("cost_seconds", 0.0);
+  out.agg = AggregateFromJson(reply.Find("agg"));
+  const Json* results = reply.Find("new_results");
+  if (results != nullptr && results->is_array()) {
+    out.new_results.reserve(results->items().size());
+    for (const Json& item : results->items()) {
+      detect::Detection d;
+      d.frame = item.GetInt("frame", -1);
+      d.class_id = class_id;
+      d.score = item.GetDouble("score", 0.0);
+      d.box.x = item.GetDouble("x", 0.0);
+      d.box.y = item.GetDouble("y", 0.0);
+      d.box.w = item.GetDouble("w", 0.0);
+      d.box.h = item.GetDouble("h", 0.0);
+      d.instance = item.GetInt("instance", detect::kNoInstance);
+      out.new_results.push_back(d);
+    }
+  }
+  return out;
+}
+
+Result<StatsReply> ParseStatsReply(const Json& reply) {
+  if (!reply.GetBool("ok", false)) return WorkerError(reply);
+  StatsReply out;
+  const Json* n1 = reply.Find("n1");
+  const Json* n = reply.Find("n");
+  if (n1 != nullptr && n1->is_array()) {
+    for (const Json& v : n1->items()) out.n1.push_back(v.AsInt());
+  }
+  if (n != nullptr && n->is_array()) {
+    for (const Json& v : n->items()) out.n.push_back(v.AsInt());
+  }
+  if (out.n1.size() != out.n.size()) {
+    return Status::InvalidArgument("dist.stats arrays disagree on length");
+  }
+  out.agg = AggregateFromJson(reply.Find("agg"));
+  return out;
+}
+
+Result<ReportReply> ParseReportReply(const Json& reply) {
+  if (!reply.GetBool("ok", false)) return WorkerError(reply);
+  ReportReply out;
+  out.recorded = reply.GetBool("recorded", false);
+  out.agg = AggregateFromJson(reply.Find("agg"));
+  return out;
+}
+
+}  // namespace dist
+}  // namespace exsample

@@ -1,0 +1,154 @@
+// Wire types of the distributed-search protocol (the dist.* verbs).
+//
+// The coordinator and the workers exchange NDJSON over the existing serve
+// protocol; this header pins the request/reply shapes in one place so both
+// sides — and the in-process LocalShardBackend used as the determinism
+// reference — encode and decode exactly the same documents. Every reply a
+// worker sends carries the shard's *full* per-shard aggregate (summed
+// clamped N1, summed n, modeled cost), not a delta: a lost reply then
+// costs nothing but staleness, and parity tests can compare the aggregate
+// against a brute-force recompute from the worker's ChunkStats at any
+// point.
+//
+// Verbs (one request object per line, one reply per request):
+//   dist.open   — instantiate one shard-scoped session on the worker
+//   dist.pick   — advance that session by a frame budget, return new
+//                 results + the refreshed aggregate
+//   dist.stats  — per-chunk (N1, n) arrays for parity checking
+//   dist.report — finish the session: persist its statistics into the
+//                 worker's StatsCache and free it
+
+#ifndef EXSAMPLE_DIST_WIRE_H_
+#define EXSAMPLE_DIST_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/chunk_stats.h"
+#include "core/policy.h"
+#include "detect/detection.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace exsample {
+namespace dist {
+
+/// One shard's bandit evidence, as synced to the coordinator: the same
+/// sums ChunkStats maintains per group, taken over the whole shard. The
+/// coordinator feeds (n1, n) to its Gamma belief exactly as the
+/// hierarchical policies feed a group's row.
+struct ShardAggregate {
+  /// Sum of per-chunk clamped N1 over the shard's chunks.
+  int64_t n1 = 0;
+  /// Frames sampled in the shard (including warm-start pseudo-counts).
+  int64_t n = 0;
+  /// Modeled decode + inference seconds spent by the shard's session.
+  double cost_seconds = 0.0;
+};
+
+/// Everything dist.open needs to instantiate one shard-scoped session.
+/// The coordinator fills shard_index/num_shards/seed_tag per shard from
+/// one template; the remaining fields describe the query itself.
+struct ShardSpec {
+  std::string preset;
+  std::string class_name;
+  double scale = 0.1;
+  /// Logical shard [0, num_shards) — shard s owns chunk range
+  /// [s*m/L, (s+1)*m/L) of the preset's m chunks, independent of how many
+  /// worker processes host the shards (that is what makes results
+  /// identical across worker counts).
+  int32_t shard_index = 0;
+  int32_t num_shards = 1;
+  /// Session/job id on the worker, and therefore the JobSeed stream; -1
+  /// defaults to shard_index so shard s samples the same trajectory on
+  /// any worker.
+  int64_t seed_tag = -1;
+  /// Within-shard chunk policy.
+  core::PolicyKind policy = core::PolicyKind::kThompson;
+  int32_t group_size = 0;  ///< hier_* fan-out; 0 = auto
+  bool cost_aware = false;
+  int32_t gop_run = 1;
+  bool tracker = false;  ///< IoU discriminator instead of the oracle
+  /// Seed the shard session from the worker's StatsCache (per-shard key).
+  bool warm_start = false;
+  double warm_weight = 0.25;
+  /// Per-shard frame cap (0 = none). The coordinator enforces the global
+  /// result limit; shard sessions run unbounded otherwise.
+  int64_t max_samples = 0;
+};
+
+// --- requests (coordinator -> worker)
+
+Json OpenRequest(const ShardSpec& spec);
+Json PickRequest(int64_t dist_id, int64_t frames);
+Json StatsRequest(int64_t dist_id);
+Json ReportRequest(int64_t dist_id);
+
+/// Parses a dist.open request back into a spec. Field-level validation
+/// (unknown policy name, out-of-range shard) fails here; dataset-dependent
+/// checks are the worker's job.
+Result<ShardSpec> ParseOpenRequest(const Json& cmd);
+
+// --- replies (worker -> coordinator)
+
+struct OpenReply {
+  int64_t dist_id = 0;
+  int64_t chunks = 0;  ///< chunks owned by the shard
+  int64_t frames = 0;  ///< frames owned by the shard
+  bool warm_started = false;
+  ShardAggregate agg;
+};
+
+struct PickReply {
+  /// False once the shard session stopped (exhausted / frame cap); the
+  /// coordinator then retires the shard like a dried-up chunk.
+  bool running = true;
+  std::string stop_reason;  ///< serve::StopReasonName string
+  std::vector<detect::Detection> new_results;
+  int64_t frames_processed = 0;  ///< cumulative over the shard session
+  double cost_seconds = 0.0;
+  ShardAggregate agg;
+};
+
+struct StatsReply {
+  std::vector<int64_t> n1;  ///< raw per-chunk N1 (may be negative)
+  std::vector<int64_t> n;
+  ShardAggregate agg;
+};
+
+struct ReportReply {
+  /// True when this call persisted the session's statistics (false if a
+  /// teardown already recorded them).
+  bool recorded = false;
+  ShardAggregate agg;
+};
+
+Json ToJson(const ShardAggregate& agg);
+ShardAggregate AggregateFromJson(const Json* json);
+
+/// The canonical aggregate of a stats arena: per-chunk clamped N1 and n
+/// summed via the incrementally maintained group rows (cost is filled by
+/// the caller from the session's modeled spend). Parity tests pit this
+/// against a brute-force per-chunk sum.
+ShardAggregate AggregateFromStats(const core::ChunkStats& stats);
+
+Json OpenReplyJson(const OpenReply& reply);
+Json PickReplyJson(const PickReply& reply, detect::ClassId class_id);
+Json StatsReplyJson(const StatsReply& reply);
+Json ReportReplyJson(const ReportReply& reply);
+
+/// Reply parsers: a transport-intact {"ok":false,...} reply parses to
+/// InvalidArgument carrying the worker's error (a protocol bug, not a
+/// worker failure — the coordinator treats it as fatal, unlike
+/// Unavailable/DeadlineExceeded from the transport).
+Result<OpenReply> ParseOpenReply(const Json& reply);
+Result<PickReply> ParsePickReply(const Json& reply,
+                                 detect::ClassId class_id);
+Result<StatsReply> ParseStatsReply(const Json& reply);
+Result<ReportReply> ParseReportReply(const Json& reply);
+
+}  // namespace dist
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DIST_WIRE_H_

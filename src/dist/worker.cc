@@ -1,0 +1,205 @@
+#include "dist/worker.h"
+
+#include <utility>
+
+#include "core/frame_source.h"
+#include "detect/simulated_detector.h"
+#include "exec/query_job.h"
+#include "track/discriminator.h"
+
+namespace exsample {
+namespace dist {
+namespace {
+
+Json Error(const std::string& message) {
+  return Json::Object().Set("ok", false).Set("error", message);
+}
+
+}  // namespace
+
+std::string ShardRepoKey(const std::string& preset, double scale,
+                         int32_t shard_index, int32_t num_shards) {
+  return preset + "@" + std::to_string(scale) + "#shard" +
+         std::to_string(shard_index) + "/" + std::to_string(num_shards);
+}
+
+WorkerState::WorkerState(serve::DatasetPool* datasets,
+                         serve::StatsCache* cache, uint64_t base_seed,
+                         double default_scale)
+    : datasets_(datasets), cache_(cache), base_seed_(base_seed),
+      default_scale_(default_scale) {}
+
+WorkerState::~WorkerState() { RecordAll(); }
+
+Json WorkerState::Handle(const std::string& name, const Json& cmd) {
+  if (name == "dist.open") return HandleOpen(cmd);
+  if (name == "dist.pick") return HandlePick(cmd);
+  if (name == "dist.stats") return HandleStats(cmd);
+  if (name == "dist.report") return HandleReport(cmd);
+  return Error("unknown cmd: '" + name +
+               "' (dist.open|dist.pick|dist.stats|dist.report)");
+}
+
+WorkerState::Shard* WorkerState::FindShard(int64_t dist_id) {
+  auto it = shards_.find(dist_id);
+  return it == shards_.end() ? nullptr : it->second.get();
+}
+
+Json WorkerState::HandleOpen(const Json& cmd) {
+  Json defaulted = cmd;
+  if (!defaulted.Has("scale")) defaulted.Set("scale", default_scale_);
+  auto parsed = ParseOpenRequest(defaulted);
+  if (!parsed.ok()) return Error(parsed.status().ToString());
+  const ShardSpec& spec = parsed.value();
+
+  const data::Dataset* dataset = datasets_->Get(spec.preset, spec.scale);
+  if (dataset == nullptr) return Error("unknown preset: " + spec.preset);
+  const data::ClassSpec* cls = dataset->FindClass(spec.class_name);
+  if (cls == nullptr) {
+    return Error("class '" + spec.class_name + "' not in " + spec.preset);
+  }
+  const int64_t total_chunks =
+      static_cast<int64_t>(dataset->chunks.size());
+  if (spec.num_shards > total_chunks) {
+    return Error("num_shards (" + std::to_string(spec.num_shards) +
+                 ") exceeds the preset's " + std::to_string(total_chunks) +
+                 " chunks");
+  }
+
+  auto shard = std::make_unique<Shard>();
+  shard->spec = spec;
+  shard->repo_key = ShardRepoKey(spec.preset, spec.scale, spec.shard_index,
+                                 spec.num_shards);
+  // Shard s of L owns the contiguous chunk range [s*m/L, (s+1)*m/L):
+  // every shard non-empty (L <= m), every chunk owned exactly once, and
+  // the partition depends only on (m, L) — never on worker count.
+  const int64_t lo = spec.shard_index * total_chunks / spec.num_shards;
+  const int64_t hi =
+      (spec.shard_index + 1) * total_chunks / spec.num_shards;
+  shard->chunks.reserve(static_cast<size_t>(hi - lo));
+  for (int64_t i = lo; i < hi; ++i) {
+    video::Chunk chunk;
+    chunk.id = static_cast<video::ChunkId>(i - lo);
+    chunk.frames = dataset->chunks[static_cast<size_t>(i)].frames;
+    shard->frames += chunk.frames.size();
+    shard->chunks.push_back(std::move(chunk));
+  }
+
+  std::vector<core::ChunkPrior> priors;
+  if (spec.warm_start && cache_ != nullptr) {
+    priors = cache_->Lookup(shard->repo_key, cls->class_id,
+                            spec.warm_weight);
+  }
+
+  exec::QueryJob job;
+  job.id = spec.seed_tag;
+  job.repo = &dataset->repo;
+  job.chunks = &shard->chunks;
+  job.config.strategy = core::Strategy::kExSample;
+  job.config.policy = spec.policy;
+  job.config.group_size = spec.group_size;
+  job.config.cost_aware = spec.cost_aware;
+  job.config.gop_run_frames = spec.gop_run;
+  job.spec.class_id = cls->class_id;
+  job.spec.max_samples = spec.max_samples;
+  const detect::ClassId class_id = cls->class_id;
+  job.make_detector = [dataset, class_id](uint64_t seed) {
+    return std::make_unique<detect::SimulatedDetector>(
+        &dataset->ground_truth, class_id, detect::DetectorConfig{}, seed);
+  };
+  const bool tracker = spec.tracker;
+  job.make_discriminator =
+      [tracker]() -> std::unique_ptr<track::Discriminator> {
+    if (tracker) return std::make_unique<track::TrackerDiscriminator>();
+    return std::make_unique<track::OracleDiscriminator>();
+  };
+
+  shard->session = std::make_unique<serve::QuerySession>(
+      job, base_seed_, serve::SessionOptions{}, std::move(priors),
+      shard->repo_key);
+
+  OpenReply reply;
+  reply.dist_id = next_id_++;
+  reply.chunks = static_cast<int64_t>(shard->chunks.size());
+  reply.frames = shard->frames;
+  reply.warm_started = shard->session->warm_started();
+  reply.agg = AggregateFromStats(*shard->session->chunk_stats());
+  shards_.emplace(reply.dist_id, std::move(shard));
+  return OpenReplyJson(reply);
+}
+
+Json WorkerState::HandlePick(const Json& cmd) {
+  Shard* shard = FindShard(cmd.GetInt("dist", -1));
+  if (shard == nullptr) {
+    return Error("no dist session " + std::to_string(cmd.GetInt("dist", -1)));
+  }
+  const int64_t frames = cmd.GetInt("frames", 0);
+  if (frames < 1) return Error("frames must be >= 1");
+  shard->session->RunSlice(frames);
+  serve::PollResult p = shard->session->Poll();
+
+  PickReply reply;
+  reply.running = p.state == serve::SessionState::kRunning;
+  reply.stop_reason = serve::StopReasonName(p.stop_reason);
+  reply.new_results = std::move(p.new_results);
+  reply.frames_processed = p.frames_processed;
+  reply.cost_seconds = p.cost_seconds;
+  reply.agg = AggregateFromStats(*shard->session->chunk_stats());
+  reply.agg.cost_seconds = p.cost_seconds;
+  return PickReplyJson(reply, shard->session->class_id());
+}
+
+Json WorkerState::HandleStats(const Json& cmd) {
+  Shard* shard = FindShard(cmd.GetInt("dist", -1));
+  if (shard == nullptr) {
+    return Error("no dist session " + std::to_string(cmd.GetInt("dist", -1)));
+  }
+  const core::ChunkStats* stats = shard->session->chunk_stats();
+  StatsReply reply;
+  reply.n1.reserve(static_cast<size_t>(stats->num_chunks()));
+  reply.n.reserve(static_cast<size_t>(stats->num_chunks()));
+  for (int32_t j = 0; j < stats->num_chunks(); ++j) {
+    reply.n1.push_back(stats->n1(j));
+    reply.n.push_back(stats->n(j));
+  }
+  reply.agg = AggregateFromStats(*stats);
+  return StatsReplyJson(reply);
+}
+
+Json WorkerState::HandleReport(const Json& cmd) {
+  const int64_t dist_id = cmd.GetInt("dist", -1);
+  auto it = shards_.find(dist_id);
+  if (it == shards_.end()) {
+    return Error("no dist session " + std::to_string(dist_id));
+  }
+  Shard* shard = it->second.get();
+  shard->session->Cancel();
+  ReportReply reply;
+  reply.agg = AggregateFromStats(*shard->session->chunk_stats());
+  const bool claimed = shard->session->MarkStatsRecorded();
+  if (claimed && cache_ != nullptr) {
+    cache_->Record(shard->repo_key, shard->session->class_id(),
+                   *shard->session->chunk_stats(),
+                   shard->session->warm_priors());
+  }
+  reply.recorded = claimed && cache_ != nullptr;
+  Json response = ReportReplyJson(reply);
+  shards_.erase(it);
+  return response;
+}
+
+void WorkerState::RecordShard(Shard* shard) {
+  shard->session->Cancel();
+  if (cache_ != nullptr && shard->session->MarkStatsRecorded()) {
+    cache_->Record(shard->repo_key, shard->session->class_id(),
+                   *shard->session->chunk_stats(),
+                   shard->session->warm_priors());
+  }
+}
+
+void WorkerState::RecordAll() {
+  for (auto& entry : shards_) RecordShard(entry.second.get());
+}
+
+}  // namespace dist
+}  // namespace exsample

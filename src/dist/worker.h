@@ -1,0 +1,105 @@
+// Worker side of distributed search: shard-scoped sessions behind the
+// dist.* protocol verbs.
+//
+// A WorkerState hosts the shard sessions one coordinator connection opened:
+// each dist.open instantiates a QuerySession over a contiguous slice of the
+// preset's chunks (shard s of L owns chunks [s*m/L, (s+1)*m/L), re-numbered
+// 0..m_s-1 but keeping their global frame ids, so results need no
+// translation). Unlike the interactive serve sessions, shard sessions are
+// NOT scheduled in the background by the SessionManager: the coordinator
+// alone advances them, one dist.pick at a time, so a shard's trajectory
+// depends only on (base_seed, seed_tag) and the sequence of pick budgets —
+// never on worker count, scheduling, or wall clock. That synchronous drive
+// is what makes distributed runs bit-reproducible.
+//
+// Warm start and failure recovery share one mechanism: every shard session
+// carries a per-shard repository key ("preset@scale#shard<s>/<L>"); on
+// dist.report — or on connection teardown via RecordAll(), which is how a
+// crashed coordinator's evidence survives — the session's ChunkStats are
+// recorded into the worker's StatsCache under that key, and a later
+// dist.open with warm_start seeds from it. A worker that drops out and
+// rejoins therefore resumes with the evidence it had already paid for.
+
+#ifndef EXSAMPLE_DIST_WORKER_H_
+#define EXSAMPLE_DIST_WORKER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/wire.h"
+#include "serve/protocol_handler.h"
+#include "serve/session.h"
+#include "serve/stats_cache.h"
+#include "util/json.h"
+#include "video/chunking.h"
+
+namespace exsample {
+namespace dist {
+
+/// The per-shard warm-start cache key: shard slices are their own
+/// repositories as far as the StatsCache is concerned (their chunk counts
+/// differ from the full preset's), so they get their own entries.
+std::string ShardRepoKey(const std::string& preset, double scale,
+                         int32_t shard_index, int32_t num_shards);
+
+/// One connection's dist.* state. Single-threaded, like the
+/// ProtocolHandler that owns it: one coordinator connection drives its
+/// shards in request order. All pointers are non-owning and must outlive
+/// the state.
+class WorkerState {
+ public:
+  WorkerState(serve::DatasetPool* datasets, serve::StatsCache* cache,
+              uint64_t base_seed, double default_scale);
+  ~WorkerState();
+
+  WorkerState(const WorkerState&) = delete;
+  WorkerState& operator=(const WorkerState&) = delete;
+
+  /// Dispatches one dist.* command ("dist.open", "dist.pick", "dist.stats",
+  /// "dist.report") to its handler; unknown names yield an error reply.
+  Json Handle(const std::string& name, const Json& cmd);
+
+  /// Records every live shard session's statistics into the cache (at most
+  /// once per session — dist.report and teardown cannot double-count).
+  /// Called by the owning handler on disconnect/drain, so a coordinator
+  /// that vanishes mid-query still leaves its evidence behind for the
+  /// warm-started rejoin.
+  void RecordAll();
+
+  /// Shard sessions currently open.
+  size_t open_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    ShardSpec spec;
+    std::string repo_key;
+    /// Re-numbered chunk slice the session samples; the session's engine
+    /// holds a pointer into this vector, so it is immutable after open.
+    std::vector<video::Chunk> chunks;
+    int64_t frames = 0;
+    std::unique_ptr<serve::QuerySession> session;
+  };
+
+  Json HandleOpen(const Json& cmd);
+  Json HandlePick(const Json& cmd);
+  Json HandleStats(const Json& cmd);
+  Json HandleReport(const Json& cmd);
+  /// Persists one shard's statistics (idempotent per session).
+  void RecordShard(Shard* shard);
+  Shard* FindShard(int64_t dist_id);
+
+  serve::DatasetPool* const datasets_;
+  serve::StatsCache* const cache_;  // may be null: no warm start
+  const uint64_t base_seed_;
+  const double default_scale_;
+  std::map<int64_t, std::unique_ptr<Shard>> shards_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace dist
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DIST_WORKER_H_

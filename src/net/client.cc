@@ -122,6 +122,17 @@ Status Client::SendLine(const std::string& line) {
   return SendRaw(line + "\n");
 }
 
+Status Client::EofStatus() const {
+  // EOF on a line boundary is the peer finishing politely; EOF with a
+  // partial line buffered means a response was torn off mid-flight.
+  if (in_.buffered() > 0) {
+    return Status::Unavailable("connection closed mid-line (" +
+                               std::to_string(in_.buffered()) +
+                               " bytes of a partial line discarded)");
+  }
+  return Status::NotFound("connection closed by peer");
+}
+
 Status Client::SendRaw(const std::string& bytes) {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   size_t sent = 0;
@@ -130,6 +141,13 @@ Status Client::SendRaw(const std::string& bytes) {
         send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable(std::string("send: ") + strerror(errno));
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("send timed out (connection I/O "
+                                        "timeout)");
+      }
       return Status::InvalidArgument(std::string("send: ") + strerror(errno));
     }
     sent += static_cast<size_t>(n);
@@ -151,11 +169,15 @@ Result<std::string> Client::ReadLine() {
     }
     char buffer[64 * 1024];
     const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
-    if (n == 0) return Status::NotFound("connection closed by peer");
+    if (n == 0) return EofStatus();
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Status::InvalidArgument("read timed out");
+        return Status::DeadlineExceeded("read timed out (connection I/O "
+                                        "timeout)");
+      }
+      if (errno == ECONNRESET || errno == EPIPE) {
+        return Status::Unavailable(std::string("recv: ") + strerror(errno));
       }
       return Status::InvalidArgument(std::string("recv: ") + strerror(errno));
     }
@@ -197,20 +219,47 @@ Result<std::string> Client::ReadLineWithTimeout(double timeout_seconds) {
     }
     char buffer[64 * 1024];
     const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
-    if (n == 0) return Status::NotFound("connection closed by peer");
+    if (n == 0) return EofStatus();
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == ECONNRESET || errno == EPIPE) {
+        return Status::Unavailable(std::string("recv: ") + strerror(errno));
+      }
       return Status::InvalidArgument(std::string("recv: ") + strerror(errno));
     }
     in_.Append(buffer, static_cast<size_t>(n));
   }
 }
 
+namespace {
+
+/// In a Call a response is owed, so "the peer closed politely" (NotFound
+/// from ReadLine) still means the exchange failed in a retry-on-reconnect
+/// way; timeouts pass through untouched.
+Status OwedResponseStatus(const Status& status) {
+  if (status.code() == Status::Code::kNotFound) {
+    return Status::Unavailable("connection closed before the response: " +
+                               status.message());
+  }
+  return status;
+}
+
+}  // namespace
+
 Result<Json> Client::Call(const Json& request) {
   Status sent = SendLine(request.Dump());
-  if (!sent.ok()) return sent;
+  if (!sent.ok()) return OwedResponseStatus(sent);
   auto line = ReadLine();
-  if (!line.ok()) return line.status();
+  if (!line.ok()) return OwedResponseStatus(line.status());
+  return Json::Parse(line.value());
+}
+
+Result<Json> Client::CallWithTimeout(const Json& request,
+                                     double timeout_seconds) {
+  Status sent = SendLine(request.Dump());
+  if (!sent.ok()) return OwedResponseStatus(sent);
+  auto line = ReadLineWithTimeout(timeout_seconds);
+  if (!line.ok()) return OwedResponseStatus(line.status());
   return Json::Parse(line.value());
 }
 

@@ -55,7 +55,13 @@ class Client {
   Status SendRaw(const std::string& bytes);
 
   /// Blocks for the next '\n'-terminated line (returned without the '\n').
-  /// NotFound signals orderly EOF — the server closed the connection.
+  /// Error taxonomy (callers' retry policies depend on the distinction):
+  ///   - NotFound: orderly EOF on a line boundary — the server finished
+  ///     talking and closed; nothing was lost.
+  ///   - Unavailable: the connection died mid-line (EOF or reset with a
+  ///     partial line buffered) — a response was torn off in flight.
+  ///   - DeadlineExceeded: the connection's I/O timeout elapsed; the peer
+  ///     may still be alive, just slow.
   Result<std::string> ReadLine();
 
   /// ReadLine with an explicit overall deadline: gives up with
@@ -66,9 +72,22 @@ class Client {
   Result<std::string> ReadLineWithTimeout(double timeout_seconds);
 
   /// SendLine(request.Dump()) + ReadLine() + parse: one protocol exchange.
+  /// Because a request was sent, a response is owed: EOF before one full
+  /// response line arrives is reported as Unavailable ("closed
+  /// mid-response"), never NotFound, while a slow peer stays
+  /// DeadlineExceeded — so retry policies can reconnect on the former and
+  /// back off on the latter.
   Result<Json> Call(const Json& request);
 
+  /// Call with an explicit per-exchange deadline (ReadLineWithTimeout
+  /// underneath): kDeadlineExceeded after `timeout_seconds` without a
+  /// complete response, same Unavailable mapping for a torn connection.
+  Result<Json> CallWithTimeout(const Json& request, double timeout_seconds);
+
  private:
+  /// NotFound for a clean EOF, Unavailable when a partial line was torn.
+  Status EofStatus() const;
+
   int fd_ = -1;
   LineBuffer in_{64 << 20};
 };

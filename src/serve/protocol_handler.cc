@@ -6,6 +6,7 @@
 
 #include "data/presets.h"
 #include "detect/simulated_detector.h"
+#include "dist/worker.h"
 #include "exec/query_job.h"
 #include "track/discriminator.h"
 
@@ -47,6 +48,13 @@ ProtocolHandler::~ProtocolHandler() {
 void ProtocolHandler::CloseAllSessions() {
   for (int64_t id : owned_) manager_->Close(id);  // NotFound is fine
   owned_.clear();
+  if (dist_worker_ != nullptr) {
+    // Persist shard statistics before dropping the sessions, so a
+    // coordinator that vanished mid-query leaves warm-start evidence for
+    // its rejoin.
+    dist_worker_->RecordAll();
+    dist_worker_.reset();
+  }
 }
 
 ProtocolHandler::Outcome ProtocolHandler::HandleLine(const std::string& line) {
@@ -100,7 +108,11 @@ Json ProtocolHandler::Dispatch(const Json& cmd) {
             .Set("total_opened", manager_->total_opened())
             .Set("cache_entries", static_cast<int64_t>(cache_->size()))
             .Set("cache_queries", cache_->queries_recorded())
-            .Set("warm_start", options_.warm_start);
+            .Set("warm_start", options_.warm_start)
+            .Set("dist_shards",
+                 static_cast<int64_t>(
+                     dist_worker_ == nullptr ? 0
+                                             : dist_worker_->open_shards()));
     MergeServerInfo(&response);
     return response;
   }
@@ -113,8 +125,18 @@ Json ProtocolHandler::Dispatch(const Json& cmd) {
     response.Set("metrics", options_.metrics->Snapshot());
     return response;
   }
+  if (name.rfind("dist.", 0) == 0) return DispatchDist(name, cmd);
   return Error("unknown cmd: '" + name +
-               "' (open|poll|cancel|close|stats|metrics|quit)");
+               "' (open|poll|cancel|close|stats|metrics|quit|dist.*)");
+}
+
+Json ProtocolHandler::DispatchDist(const std::string& name, const Json& cmd) {
+  if (dist_worker_ == nullptr) {
+    dist_worker_ = std::make_unique<dist::WorkerState>(
+        datasets_, cache_, manager_->options().base_seed,
+        options_.default_scale);
+  }
+  return dist_worker_->Handle(name, cmd);
 }
 
 void ProtocolHandler::MergeServerInfo(Json* response) const {

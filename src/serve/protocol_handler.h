@@ -36,6 +36,9 @@
 #include "util/json.h"
 
 namespace exsample {
+namespace dist {
+class WorkerState;
+}  // namespace dist
 namespace serve {
 
 /// Datasets generated on demand and shared by every session (on any
@@ -116,6 +119,11 @@ class ProtocolHandler {
   Json Dispatch(const Json& cmd);
   Json HandleOpen(const Json& cmd);
   Json HandlePoll(const Json& cmd);
+  /// Routes dist.* verbs to the lazily created worker state (one per
+  /// connection, like the owned-session set: a coordinator's shards are
+  /// private to its connection and torn down — statistics recorded —
+  /// when it disconnects).
+  Json DispatchDist(const std::string& name, const Json& cmd);
   /// Folds the transport's server_info fields (uptime, shards, per-shard
   /// connections) into a response object; no-op without a callback.
   void MergeServerInfo(Json* response) const;
@@ -129,6 +137,8 @@ class ProtocolHandler {
   DatasetPool* const datasets_;
   const Options options_;
   std::set<int64_t> owned_;
+  /// Shard sessions opened by dist.* verbs (null until the first one).
+  std::unique_ptr<dist::WorkerState> dist_worker_;
 };
 
 }  // namespace serve

@@ -21,6 +21,7 @@ class Status {
     kNotFound,
     kFailedPrecondition,
     kDeadlineExceeded,
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -40,6 +41,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  /// A peer or dependency that may come back: connection refused, reset, or
+  /// closed mid-exchange. Distinct from kDeadlineExceeded so retry policies
+  /// can treat "the peer is gone" differently from "the peer is slow".
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -1,0 +1,229 @@
+// Property tests for the shard-aggregate sync. Two layers:
+//
+//  1. AggregateFromStats (the worker's incremental group-row sum) against
+//     a brute-force per-chunk recompute, over arbitrary random
+//     interleavings of Update / UpdateSplit / SeedPrior / RecordCost —
+//     the exact mutation mix a live shard session performs.
+//
+//  2. The coordinator's synced rows against dist.stats recomputes DURING
+//     a coordinated run, via a decorator backend that cross-checks every
+//     pick reply — including runs where scripted failures knock a worker
+//     out mid-stream and the rejoin path re-opens its shards. A lost
+//     reply may leave a row stale, but every reply that does arrive must
+//     carry an aggregate equal to the worker's per-chunk truth.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/chunk_stats.h"
+#include "dist/coordinator.h"
+#include "util/rng.h"
+
+namespace exsample {
+namespace dist {
+namespace {
+
+TEST(AggregatePropertyTest, GroupSumsMatchBruteForceUnderRandomMutation) {
+  Rng rng(0xA66E6A7Eull);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int32_t num_chunks =
+        static_cast<int32_t>(1 + rng.NextBounded(97));
+    const int32_t group_size =
+        static_cast<int32_t>(1 + rng.NextBounded(16));
+    core::ChunkStats stats(num_chunks, group_size);
+    const int64_t ops = 50 + static_cast<int64_t>(rng.NextBounded(200));
+    for (int64_t op = 0; op < ops; ++op) {
+      const video::ChunkId j = static_cast<video::ChunkId>(
+          rng.NextBounded(static_cast<uint64_t>(num_chunks)));
+      switch (rng.NextBounded(4)) {
+        case 0:
+          stats.Update(j, static_cast<int64_t>(rng.NextBounded(3)),
+                       static_cast<int64_t>(rng.NextBounded(3)));
+          break;
+        case 1: {
+          // Cross-chunk decrements: d1 credits other chunks' N1, the
+          // path that drives raw N1 negative (paper footnote 1).
+          std::vector<video::ChunkId> d1_chunks;
+          const uint64_t decrements = rng.NextBounded(3);
+          for (uint64_t k = 0; k < decrements; ++k) {
+            d1_chunks.push_back(static_cast<video::ChunkId>(
+                rng.NextBounded(static_cast<uint64_t>(num_chunks))));
+          }
+          stats.UpdateSplit(j, static_cast<int64_t>(rng.NextBounded(3)),
+                            d1_chunks);
+          break;
+        }
+        case 2:
+          stats.SeedPrior(j, static_cast<int64_t>(rng.NextBounded(8)),
+                          static_cast<int64_t>(rng.NextBounded(32)));
+          break;
+        default:
+          stats.RecordCost(j, 0.001 * static_cast<double>(
+                                          1 + rng.NextBounded(1000)));
+          break;
+      }
+    }
+    const ShardAggregate agg = AggregateFromStats(stats);
+    int64_t n1 = 0;
+    int64_t n = 0;
+    for (int32_t j = 0; j < num_chunks; ++j) {
+      n1 += stats.ClampedN1(j);
+      n += stats.n(j);
+    }
+    EXPECT_EQ(agg.n1, n1) << "trial " << trial << " chunks " << num_chunks
+                          << " group " << group_size;
+    EXPECT_EQ(agg.n, n) << "trial " << trial;
+    // SeedPrior adds pseudo-counts to n without advancing the clock.
+    EXPECT_GE(agg.n, stats.total_samples()) << "trial " << trial;
+  }
+}
+
+/// Decorator backend: forwards to a LocalShardBackend, cross-checks every
+/// pick reply's aggregate against a dist.stats recompute, and fails
+/// scripted pick calls with Unavailable to script worker loss. Revive is
+/// always accepted, so the coordinator's rejoin path re-opens the shards.
+class CheckingFlakyBackend : public ShardBackend {
+ public:
+  CheckingFlakyBackend(LocalShardBackend* inner,
+                       std::vector<int64_t> fail_on_picks)
+      : inner_(inner), fail_on_picks_(std::move(fail_on_picks)) {}
+
+  int num_workers() const override { return inner_->num_workers(); }
+  int WorkerOf(int32_t shard) const override {
+    return inner_->WorkerOf(shard);
+  }
+
+  Result<OpenReply> Open(int32_t shard, const ShardSpec& spec) override {
+    return inner_->Open(shard, spec);
+  }
+
+  // Pick runs on the coordinator's per-worker dispatch threads, so the
+  // call counter and tallies are atomic.
+  Result<PickReply> Pick(int32_t shard, int64_t frames) override {
+    const int64_t call = pick_calls_.fetch_add(1) + 1;
+    if (std::find(fail_on_picks_.begin(), fail_on_picks_.end(), call) !=
+        fail_on_picks_.end()) {
+      ++injected_failures_;
+      return Status::Unavailable("scripted failure on pick " +
+                                 std::to_string(call));
+    }
+    auto reply = inner_->Pick(shard, frames);
+    if (!reply.ok()) return reply;
+    // The invariant under test: every reply's aggregate equals the
+    // worker's per-chunk truth at that instant.
+    auto stats = inner_->Stats(shard);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    if (stats.ok()) {
+      int64_t n1 = 0;
+      int64_t n = 0;
+      for (size_t j = 0; j < stats.value().n.size(); ++j) {
+        n1 += stats.value().n1[j] > 0 ? stats.value().n1[j] : 0;
+        n += stats.value().n[j];
+      }
+      EXPECT_EQ(reply.value().agg.n1, n1) << "shard " << shard;
+      EXPECT_EQ(reply.value().agg.n, n) << "shard " << shard;
+      EXPECT_EQ(stats.value().agg.n1, n1) << "shard " << shard;
+      EXPECT_EQ(stats.value().agg.n, n) << "shard " << shard;
+      ++checked_;
+    }
+    return reply;
+  }
+
+  Result<StatsReply> Stats(int32_t shard) override {
+    return inner_->Stats(shard);
+  }
+  Result<ReportReply> Report(int32_t shard) override {
+    return inner_->Report(shard);
+  }
+  Status Revive(int worker) override {
+    ++revives_;
+    return inner_->Revive(worker);
+  }
+
+  int64_t checked() const { return checked_; }
+  int64_t injected_failures() const { return injected_failures_; }
+  int64_t revives() const { return revives_; }
+
+ private:
+  LocalShardBackend* inner_;
+  std::vector<int64_t> fail_on_picks_;
+  std::atomic<int64_t> pick_calls_{0};
+  std::atomic<int64_t> injected_failures_{0};
+  std::atomic<int64_t> checked_{0};
+  std::atomic<int64_t> revives_{0};
+};
+
+CoordinatorOptions PropertyRunOptions() {
+  CoordinatorOptions options;
+  options.shard.preset = "dashcam";
+  options.shard.class_name = "bicycle";
+  options.shard.scale = 0.02;
+  options.num_shards = 4;
+  options.seed = 7;
+  options.frames_per_pick = 48;
+  options.picks_per_round = 4;
+  options.result_limit = 12;
+  options.retry_backoff_seconds = 0.001;
+  options.rejoin_backoff_seconds = 0.001;
+  return options;
+}
+
+TEST(AggregatePropertyTest, CoordinatorRowsMatchWorkerTruthWhenHealthy) {
+  LocalShardBackend inner({1, 7, 0.02});
+  CheckingFlakyBackend backend(&inner, {});
+  Coordinator coordinator(&backend, PropertyRunOptions());
+  auto run = coordinator.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(backend.checked(), 0);
+  EXPECT_EQ(run.value().retries, 0);
+}
+
+TEST(AggregatePropertyTest, AggregateSyncSurvivesShardLossAndRejoin) {
+  // Picks 2 and 3 vanish (their replies are lost, the worker marked
+  // down); the rejoin path must re-open the shards warm-started and the
+  // sync invariant must hold for every reply that does arrive.
+  LocalShardBackend inner({1, 7, 0.02});
+  CheckingFlakyBackend backend(&inner, {2, 3});
+  Coordinator coordinator(&backend, PropertyRunOptions());
+  auto run = coordinator.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const CoordinatorResult& result = run.value();
+  EXPECT_EQ(result.stop_reason, "limit");
+  EXPECT_EQ(result.results.size(), 12u);
+  EXPECT_EQ(backend.injected_failures(), 2);
+  EXPECT_GE(result.rpc_disconnects, 1);
+  EXPECT_GE(backend.revives(), 1);
+  EXPECT_GE(result.rejoins, 1);
+  EXPECT_GT(backend.checked(), 0);
+}
+
+TEST(AggregatePropertyTest, MultiWorkerLossOnlyRetiresTheFailedShards) {
+  // With 2 simulated workers, a scripted failure downs only the worker
+  // hosting that pick's shard; the other worker keeps serving and the
+  // query completes even before any rejoin.
+  LocalShardBackend inner({2, 7, 0.02});
+  CheckingFlakyBackend backend(&inner, {1});
+  CoordinatorOptions options = PropertyRunOptions();
+  options.rejoin = false;
+  Coordinator coordinator(&backend, options);
+  auto run = coordinator.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const CoordinatorResult& result = run.value();
+  EXPECT_EQ(result.stop_reason, "limit");
+  EXPECT_EQ(result.results.size(), 12u);
+  EXPECT_GE(result.retries, 1);
+  EXPECT_EQ(result.rejoins, 0);
+  // The downed worker's shards ended unavailable; the survivor's did not.
+  int unavailable = 0;
+  for (const ShardOutcome& shard : result.shards) {
+    if (!shard.available && !shard.exhausted) ++unavailable;
+  }
+  EXPECT_EQ(unavailable, 2) << "exactly the failed worker's two shards";
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace exsample

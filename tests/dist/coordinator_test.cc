@@ -1,0 +1,239 @@
+// dist::Coordinator over LocalShardBackend: the full top-level bandit
+// loop — open, sample shards, dispatch budgets, merge, stop — without a
+// socket in sight. LocalShardBackend routes every call through the same
+// WorkerState code and the same JSON documents as TCP workers, so these
+// tests pin the coordinator semantics the e2e matrix then holds the
+// network stack to.
+
+#include "dist/coordinator.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace exsample {
+namespace dist {
+namespace {
+
+CoordinatorOptions BaseOptions() {
+  CoordinatorOptions options;
+  options.shard.preset = "dashcam";
+  options.shard.class_name = "bicycle";
+  options.shard.scale = 0.02;
+  options.num_shards = 4;
+  options.seed = 7;
+  options.frames_per_pick = 64;
+  options.picks_per_round = 4;
+  return options;
+}
+
+LocalShardBackend::Options LocalOptions(int workers) {
+  LocalShardBackend::Options options;
+  options.num_workers = workers;
+  options.seed = 7;
+  options.default_scale = 0.02;
+  return options;
+}
+
+uint64_t Fingerprint(const std::vector<detect::Detection>& results) {
+  uint64_t h = 1469598103934665603ULL;
+  auto fold = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  fold(results.size());
+  for (const detect::Detection& d : results) {
+    fold(static_cast<uint64_t>(d.frame));
+    fold(static_cast<uint64_t>(d.instance));
+  }
+  return h;
+}
+
+TEST(DistCoordinatorTest, ReachesTheResultLimit) {
+  LocalShardBackend backend(LocalOptions(1));
+  CoordinatorOptions options = BaseOptions();
+  options.result_limit = 8;
+  Coordinator coordinator(&backend, options);
+  auto run = coordinator.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const CoordinatorResult& result = run.value();
+  EXPECT_EQ(result.stop_reason, "limit");
+  EXPECT_EQ(result.results.size(), 8u);
+  EXPECT_GT(result.rounds, 0);
+  EXPECT_GT(result.frames_processed, 0);
+  EXPECT_EQ(result.retries, 0);
+  EXPECT_EQ(result.rpc_disconnects, 0);
+  EXPECT_EQ(result.rejoins, 0);
+  // Every result is a real detection with a valid frame id (instance is
+  // the oracle's label when it has one, kNoInstance otherwise).
+  for (const detect::Detection& d : result.results) {
+    EXPECT_GE(d.frame, 0);
+    EXPECT_GE(d.instance, detect::kNoInstance);
+  }
+}
+
+TEST(DistCoordinatorTest, ResultsAreIdenticalAcrossWorkerCounts) {
+  // Shards are logical: the worker layout decides only where a shard's
+  // session runs. Identical seeds must give identical result streams for
+  // 1, 2, and 3 in-process workers.
+  std::set<uint64_t> fingerprints;
+  for (int workers : {1, 2, 3}) {
+    LocalShardBackend backend(LocalOptions(workers));
+    CoordinatorOptions options = BaseOptions();
+    options.result_limit = 8;
+    Coordinator coordinator(&backend, options);
+    auto run = coordinator.Run();
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    fingerprints.insert(Fingerprint(run.value().results));
+  }
+  EXPECT_EQ(fingerprints.size(), 1u)
+      << "worker layout leaked into the result stream";
+}
+
+TEST(DistCoordinatorTest, RepeatedRunsAreDeterministic) {
+  uint64_t first = 0;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    LocalShardBackend backend(LocalOptions(2));
+    CoordinatorOptions options = BaseOptions();
+    options.result_limit = 10;
+    Coordinator coordinator(&backend, options);
+    auto run = coordinator.Run();
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    const uint64_t fp = Fingerprint(run.value().results);
+    if (attempt == 0) {
+      first = fp;
+    } else {
+      EXPECT_EQ(fp, first);
+    }
+  }
+}
+
+TEST(DistCoordinatorTest, ExhaustsShardsUnderSampleCaps) {
+  // Per-shard max_samples stops each shard session; with no result limit
+  // the coordinator must retire every shard and stop on exhaustion.
+  LocalShardBackend backend(LocalOptions(1));
+  CoordinatorOptions options = BaseOptions();
+  options.shard.max_samples = 128;
+  options.frames_per_pick = 64;
+  Coordinator coordinator(&backend, options);
+  auto run = coordinator.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const CoordinatorResult& result = run.value();
+  EXPECT_EQ(result.stop_reason, "exhausted");
+  for (const ShardOutcome& shard : result.shards) {
+    EXPECT_TRUE(shard.exhausted) << "shard " << shard.shard;
+    EXPECT_LE(shard.agg.n, 128 + options.frames_per_pick);
+  }
+}
+
+TEST(DistCoordinatorTest, MaxRoundsIsASafetyValve) {
+  LocalShardBackend backend(LocalOptions(1));
+  CoordinatorOptions options = BaseOptions();
+  options.max_rounds = 2;
+  Coordinator coordinator(&backend, options);
+  auto run = coordinator.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().stop_reason, "max_rounds");
+  EXPECT_EQ(run.value().rounds, 2);
+}
+
+TEST(DistCoordinatorTest, ShardPolicyVariantsAllComplete) {
+  for (core::PolicyKind policy :
+       {core::PolicyKind::kThompson, core::PolicyKind::kBayesUcb,
+        core::PolicyKind::kUniform}) {
+    LocalShardBackend backend(LocalOptions(2));
+    CoordinatorOptions options = BaseOptions();
+    options.shard_policy = policy;
+    options.result_limit = 6;
+    Coordinator coordinator(&backend, options);
+    auto run = coordinator.Run();
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run.value().stop_reason, "limit");
+    EXPECT_EQ(run.value().results.size(), 6u);
+  }
+}
+
+TEST(DistCoordinatorTest, CostAwareScoringCompletes) {
+  LocalShardBackend backend(LocalOptions(1));
+  CoordinatorOptions options = BaseOptions();
+  options.cost_aware = true;
+  options.shard.cost_aware = true;
+  options.result_limit = 6;
+  Coordinator coordinator(&backend, options);
+  auto run = coordinator.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().results.size(), 6u);
+  EXPECT_GT(run.value().cost_seconds, 0.0);
+}
+
+TEST(DistCoordinatorTest, InvalidSpecFailsOutright) {
+  // A bad query is a caller bug, not a worker failure: no retries, no
+  // availability bookkeeping, just the error.
+  LocalShardBackend backend(LocalOptions(1));
+  CoordinatorOptions options = BaseOptions();
+  options.shard.class_name = "unicorn";
+  Coordinator coordinator(&backend, options);
+  auto run = coordinator.Run();
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(DistCoordinatorTest, MetricsObserveTheRun) {
+  obs::Registry metrics;
+  LocalShardBackend backend(LocalOptions(2));
+  CoordinatorOptions options = BaseOptions();
+  options.result_limit = 8;
+  options.metrics = &metrics;
+  Coordinator coordinator(&backend, options);
+  auto run = coordinator.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const CoordinatorResult& result = run.value();
+  // Healthy run: every issued pick merged, so the counter matches.
+  EXPECT_EQ(metrics.GetCounter("dist.picks")->Total(), result.picks);
+  EXPECT_GE(metrics.GetCounter("dist.results")->Total(),
+            static_cast<int64_t>(result.results.size()));
+  EXPECT_EQ(metrics.GetCounter("dist.retries")->Total(), 0);
+  EXPECT_EQ(metrics.GetCounter("dist.rpc_disconnects")->Total(), 0);
+  EXPECT_EQ(metrics.GetGauge("dist.shards_unavailable")->Total(), 0);
+  // A round folds same-shard picks into one RPC, so the RPC count is
+  // positive but bounded by the pick count.
+  EXPECT_GT(metrics.GetHistogram("dist.rpc_seconds")->TotalCount(), 0);
+  EXPECT_LE(metrics.GetHistogram("dist.rpc_seconds")->TotalCount(),
+            result.picks);
+}
+
+TEST(DistCoordinatorTest, AggregatesMatchPerShardTallies) {
+  LocalShardBackend backend(LocalOptions(2));
+  CoordinatorOptions options = BaseOptions();
+  options.result_limit = 10;
+  Coordinator coordinator(&backend, options);
+  auto run = coordinator.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const CoordinatorResult& result = run.value();
+  int64_t frames = 0;
+  int64_t picks = 0;
+  for (const ShardOutcome& shard : result.shards) {
+    frames += shard.frames;
+    picks += shard.picks;
+    // A shard that was picked sampled frames; an untouched shard is
+    // pristine.
+    if (shard.picks > 0) {
+      EXPECT_GT(shard.agg.n, 0) << "shard " << shard.shard;
+      EXPECT_EQ(shard.agg.n, shard.frames) << "shard " << shard.shard;
+    } else {
+      EXPECT_EQ(shard.agg.n, 0) << "shard " << shard.shard;
+    }
+  }
+  EXPECT_EQ(frames, result.frames_processed);
+  EXPECT_EQ(picks, result.picks);
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace exsample

@@ -1,0 +1,315 @@
+// End-to-end distributed search over real TCP: a coordinator with a
+// ClientShardBackend against in-process net::Server workers (each with
+// its own SessionManager, StatsCache, and DatasetPool — the full stack a
+// worker process runs). Pins the two promises the dist subsystem makes:
+//
+//  1. Determinism matrix: a healthy run's results are bit-identical for
+//     1, 2, and 4 TCP workers AND the in-process LocalShardBackend
+//     reference — worker layout must never leak into the result stream.
+//  2. Fault tolerance: a worker torn down mid-query (via FaultProxy, so
+//     the failure is deterministic) does not lose the query. The failed
+//     picks re-route to survivors, the worker's shard statistics persist
+//     on teardown, and the rejoin path re-opens its shards through the
+//     same endpoint — the query still runs every shard to completion.
+//
+// Runs under TSan via the `dist` label: the per-worker dispatch threads,
+// the server event loops, and the proxy relay threads all race here.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testing/fault_injection.h"
+#include "../testing/fingerprint.h"
+#include "dist/coordinator.h"
+#include "net/server.h"
+#include "serve/protocol_handler.h"
+#include "serve/session_manager.h"
+#include "serve/stats_cache.h"
+
+namespace exsample {
+namespace dist {
+namespace {
+
+constexpr char kHost[] = "127.0.0.1";
+
+/// One complete worker process, in-process: its own manager, cache,
+/// datasets, and a net::Server on an ephemeral loopback port. Mirrors
+/// what `exsample_serve --listen 0 --threads 1 --seed 7 --scale 0.02`
+/// would spawn.
+class WorkerStack {
+ public:
+  WorkerStack() : datasets_(7) {
+    serve::SessionManager::Options manager_options;
+    manager_options.threads = 1;
+    manager_options.base_seed = 7;
+    manager_ = std::make_unique<serve::SessionManager>(manager_options);
+
+    net::ServerOptions options;
+    options.host = kHost;
+    options.port = 0;
+    auto created = net::Server::Create(options, [this] {
+      serve::ProtocolHandler::Options handler_options;
+      handler_options.default_scale = 0.02;
+      handler_options.close_sessions_on_destroy = true;
+      return std::make_unique<serve::ProtocolHandler>(
+          manager_.get(), &cache_, &datasets_, handler_options);
+    });
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    server_ = std::move(created).value();
+    loop_ = std::thread([this] { serve_status_ = server_->Serve(); });
+  }
+
+  ~WorkerStack() {
+    server_->RequestStop();
+    loop_.join();
+    EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+  }
+
+  uint16_t port() const { return server_->port(); }
+  serve::StatsCache* cache() { return &cache_; }
+
+ private:
+  // Destruction order: server (whose handlers reference the manager)
+  // before manager, manager before datasets.
+  serve::StatsCache cache_;
+  serve::DatasetPool datasets_;
+  std::unique_ptr<serve::SessionManager> manager_;
+  std::unique_ptr<net::Server> server_;
+  std::thread loop_;
+  Status serve_status_;
+};
+
+/// The worker records shard statistics when its server notices the
+/// connection died — asynchronously; cache checks poll for it.
+bool WaitFor(const std::function<bool()>& predicate, double seconds = 10.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+uint64_t Fingerprint(const std::vector<detect::Detection>& results) {
+  uint64_t h = testing_util::kFnv1aOffsetBasis;
+  h = testing_util::Fnv1a(h, results.size());
+  for (const detect::Detection& d : results) {
+    h = testing_util::Fnv1a(h, static_cast<uint64_t>(d.frame));
+    h = testing_util::Fnv1a(h, static_cast<uint64_t>(d.instance));
+  }
+  return h;
+}
+
+CoordinatorOptions MatrixOptions() {
+  CoordinatorOptions options;
+  options.shard.preset = "dashcam";
+  options.shard.class_name = "bicycle";
+  options.shard.scale = 0.02;
+  options.num_shards = 4;
+  options.seed = 7;
+  options.frames_per_pick = 64;
+  options.picks_per_round = 4;
+  options.result_limit = 8;
+  return options;
+}
+
+/// Exhaustion-mode options: no result limit, a small per-shard sample
+/// cap. The coordinator must then pick EVERY shard to completion, which
+/// guarantees the faulted worker receives picks (so a scripted fault on
+/// its first pick always fires) and makes per-shard outcomes comparable
+/// across runs: an uninterrupted shard consumes the same deterministic
+/// prefix of its sampling stream no matter how budgets partition it.
+CoordinatorOptions ExhaustionOptions() {
+  CoordinatorOptions options = MatrixOptions();
+  options.result_limit = 0;
+  options.shard.max_samples = 96;
+  options.frames_per_pick = 48;
+  options.retry_backoff_seconds = 0.01;
+  options.rejoin_backoff_seconds = 0.1;
+  return options;
+}
+
+ClientShardBackend::Options FastRpcOptions() {
+  ClientShardBackend::Options options;
+  options.connect_timeout_seconds = 5.0;
+  options.rpc_timeout_seconds = 30.0;
+  return options;
+}
+
+TEST(DistE2eTest, ResultsMatchLocalReferenceAcrossTcpWorkerCounts) {
+  // The in-process reference result stream...
+  uint64_t reference = 0;
+  int64_t reference_frames = 0;
+  {
+    LocalShardBackend::Options local;
+    local.seed = 7;
+    local.default_scale = 0.02;
+    LocalShardBackend backend(local);
+    Coordinator coordinator(&backend, MatrixOptions());
+    auto run = coordinator.Run();
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ASSERT_EQ(run.value().stop_reason, "limit");
+    reference = Fingerprint(run.value().results);
+    reference_frames = run.value().frames_processed;
+  }
+
+  // ...must be byte-identical over real sockets at every worker count.
+  for (int num_workers : {1, 2, 4}) {
+    std::vector<std::unique_ptr<WorkerStack>> workers;
+    std::vector<ClientShardBackend::Endpoint> endpoints;
+    for (int w = 0; w < num_workers; ++w) {
+      workers.push_back(std::make_unique<WorkerStack>());
+      endpoints.push_back({kHost, workers.back()->port()});
+    }
+    ClientShardBackend backend(endpoints, FastRpcOptions());
+    ASSERT_TRUE(backend.ConnectAll().ok());
+    Coordinator coordinator(&backend, MatrixOptions());
+    auto run = coordinator.Run();
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    const CoordinatorResult& result = run.value();
+    EXPECT_EQ(result.stop_reason, "limit") << num_workers << " workers";
+    EXPECT_EQ(Fingerprint(result.results), reference)
+        << num_workers << " workers diverged from the local reference";
+    EXPECT_EQ(result.frames_processed, reference_frames)
+        << num_workers << " workers";
+    EXPECT_EQ(result.rpc_disconnects, 0);
+    EXPECT_EQ(result.rejoins, 0);
+  }
+}
+
+TEST(DistE2eTest, WorkerTornDownMidQueryStillCompletesEveryShard) {
+  // The acceptance scenario: one of two workers "crashes" mid-query.
+  // FaultProxy drops worker 1's connection right after its FIRST pick
+  // request is relayed upstream (the worker did the work; the reply is
+  // lost), then keeps accepting so the rejoin reconnects through the
+  // same port. Requests through the proxy: open shard 1, open shard 3,
+  // then the fatal pick — trigger_request = 3 is deterministic.
+  WorkerStack worker0;
+  WorkerStack worker1;
+  testing_util::FaultProxy::Options fault;
+  fault.upstream_port = worker1.port();
+  fault.fault = testing_util::FaultProxy::Fault::kDropAfterRequest;
+  fault.trigger_request = 3;
+  testing_util::FaultProxy proxy(fault);
+  ASSERT_TRUE(proxy.Start());
+
+  const CoordinatorOptions options = ExhaustionOptions();
+
+  // Reference: the same exhaustion run with no faults. Shards 0 and 2
+  // live on the unfaulted worker, so their per-shard result counts must
+  // match this run exactly.
+  std::vector<int64_t> reference_results;
+  {
+    LocalShardBackend::Options local;
+    local.seed = 7;
+    local.default_scale = 0.02;
+    LocalShardBackend backend(local);
+    Coordinator coordinator(&backend, options);
+    auto run = coordinator.Run();
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ASSERT_EQ(run.value().stop_reason, "exhausted");
+    for (const ShardOutcome& shard : run.value().shards) {
+      reference_results.push_back(shard.results);
+    }
+  }
+
+  ClientShardBackend backend(
+      {{kHost, worker0.port()}, {kHost, proxy.port()}}, FastRpcOptions());
+  ASSERT_TRUE(backend.ConnectAll().ok());
+  Coordinator coordinator(&backend, options);
+  auto run = coordinator.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const CoordinatorResult& result = run.value();
+
+  EXPECT_EQ(proxy.faults_fired(), 1);
+  EXPECT_GE(result.rpc_disconnects, 1);
+  EXPECT_GE(result.rejoins, 1) << "worker 1 never rejoined";
+  // The query survived the crash and still ran every shard dry.
+  EXPECT_EQ(result.stop_reason, "exhausted");
+  for (const ShardOutcome& shard : result.shards) {
+    EXPECT_TRUE(shard.exhausted) << "shard " << shard.shard;
+  }
+  // The unfaulted worker's shards were untouched by the failure: same
+  // deterministic sampling prefix, same results as the clean reference.
+  EXPECT_EQ(result.shards[0].results, reference_results[0]);
+  EXPECT_EQ(result.shards[2].results, reference_results[2]);
+  // The crashed worker persisted its shard statistics on teardown (the
+  // evidence the warm-started reopen resumed from).
+  EXPECT_TRUE(WaitFor([&worker1] { return worker1.cache()->size() >= 1u; }));
+}
+
+TEST(DistE2eTest, WedgedWorkerTimesOutAndQueryCompletes) {
+  // A slow peer, not a dead one: the proxy holds worker 1's first pick
+  // response past the RPC deadline. The client must time out (not hang),
+  // close the connection so the late bytes cannot desync it, and finish
+  // the query via retries and rejoin.
+  WorkerStack worker0;
+  WorkerStack worker1;
+  testing_util::FaultProxy::Options fault;
+  fault.upstream_port = worker1.port();
+  fault.fault = testing_util::FaultProxy::Fault::kDelayResponse;
+  fault.trigger_request = 3;
+  fault.delay_seconds = 1.5;
+  testing_util::FaultProxy proxy(fault);
+  ASSERT_TRUE(proxy.Start());
+
+  CoordinatorOptions options = ExhaustionOptions();
+  ClientShardBackend::Options rpc = FastRpcOptions();
+  rpc.rpc_timeout_seconds = 0.4;
+  ClientShardBackend backend(
+      {{kHost, worker0.port()}, {kHost, proxy.port()}}, rpc);
+  ASSERT_TRUE(backend.ConnectAll().ok());
+  Coordinator coordinator(&backend, options);
+  auto run = coordinator.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const CoordinatorResult& result = run.value();
+
+  EXPECT_EQ(proxy.faults_fired(), 1);
+  EXPECT_GE(result.rpc_timeouts, 1) << "deadline never tripped";
+  EXPECT_GE(result.rejoins, 1);
+  EXPECT_EQ(result.stop_reason, "exhausted");
+  for (const ShardOutcome& shard : result.shards) {
+    EXPECT_TRUE(shard.exhausted) << "shard " << shard.shard;
+  }
+}
+
+TEST(DistE2eTest, AllWorkersGoneReportsUnavailable) {
+  // Rejoin disabled and the only worker unreachable mid-query: the run
+  // must end cleanly with stop_reason "unavailable", returning whatever
+  // results it had — not hang, not crash.
+  WorkerStack worker;
+  testing_util::FaultProxy::Options fault;
+  fault.upstream_port = worker.port();
+  fault.fault = testing_util::FaultProxy::Fault::kDropAfterRequest;
+  fault.trigger_request = 5;  // open x4, then the first pick
+  testing_util::FaultProxy proxy(fault);
+  ASSERT_TRUE(proxy.Start());
+
+  CoordinatorOptions options = ExhaustionOptions();
+  options.rejoin = false;
+  ClientShardBackend backend({{kHost, proxy.port()}}, FastRpcOptions());
+  ASSERT_TRUE(backend.ConnectAll().ok());
+  Coordinator coordinator(&backend, options);
+  auto run = coordinator.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().stop_reason, "unavailable");
+  EXPECT_EQ(run.value().rejoins, 0);
+  EXPECT_GE(run.value().rpc_disconnects, 1);
+  // Teardown still persisted the picked shards' statistics.
+  EXPECT_TRUE(WaitFor([&worker] { return worker.cache()->size() >= 1u; }));
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace exsample

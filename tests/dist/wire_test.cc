@@ -1,0 +1,251 @@
+// dist wire types: the NDJSON documents the coordinator and the workers
+// exchange. Round-trips every request/reply through Dump+Parse — the
+// exact transformation the TCP transport (and LocalShardBackend, by
+// design) applies — and pins the validation the worker relies on to
+// reject malformed coordinator requests.
+
+#include "dist/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace exsample {
+namespace dist {
+namespace {
+
+ShardSpec FullSpec() {
+  ShardSpec spec;
+  spec.preset = "dashcam";
+  spec.class_name = "bicycle";
+  spec.scale = 0.05;
+  spec.shard_index = 3;
+  spec.num_shards = 8;
+  spec.seed_tag = 3;
+  spec.policy = core::PolicyKind::kBayesUcb;
+  spec.group_size = 32;
+  spec.cost_aware = true;
+  spec.gop_run = 4;
+  spec.tracker = true;
+  spec.warm_start = true;
+  spec.warm_weight = 0.5;
+  spec.max_samples = 1234;
+  return spec;
+}
+
+/// Serializes and re-parses, as the transport would.
+Json Reserialize(const Json& value) {
+  auto parsed = Json::Parse(value.Dump());
+  EXPECT_TRUE(parsed.ok()) << value.Dump();
+  return parsed.ok() ? std::move(parsed).value() : Json();
+}
+
+TEST(DistWireTest, OpenRequestRoundTripsEveryField) {
+  const ShardSpec spec = FullSpec();
+  auto parsed = ParseOpenRequest(Reserialize(OpenRequest(spec)));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ShardSpec& out = parsed.value();
+  EXPECT_EQ(out.preset, spec.preset);
+  EXPECT_EQ(out.class_name, spec.class_name);
+  EXPECT_DOUBLE_EQ(out.scale, spec.scale);
+  EXPECT_EQ(out.shard_index, spec.shard_index);
+  EXPECT_EQ(out.num_shards, spec.num_shards);
+  EXPECT_EQ(out.seed_tag, spec.seed_tag);
+  EXPECT_EQ(out.policy, spec.policy);
+  EXPECT_EQ(out.group_size, spec.group_size);
+  EXPECT_EQ(out.cost_aware, spec.cost_aware);
+  EXPECT_EQ(out.gop_run, spec.gop_run);
+  EXPECT_EQ(out.tracker, spec.tracker);
+  EXPECT_EQ(out.warm_start, spec.warm_start);
+  EXPECT_DOUBLE_EQ(out.warm_weight, spec.warm_weight);
+  EXPECT_EQ(out.max_samples, spec.max_samples);
+}
+
+TEST(DistWireTest, SeedTagDefaultsToShardIndex) {
+  // The shard's JobSeed stream must depend only on the logical shard, so
+  // an unset seed_tag falls back to the shard index — any worker that
+  // hosts shard 5 samples shard 5's trajectory.
+  Json cmd = Json::Object()
+                 .Set("cmd", "dist.open")
+                 .Set("preset", "dashcam")
+                 .Set("class", "bicycle")
+                 .Set("shard", static_cast<int64_t>(5))
+                 .Set("num_shards", static_cast<int64_t>(8));
+  auto parsed = ParseOpenRequest(cmd);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().seed_tag, 5);
+}
+
+TEST(DistWireTest, ParseOpenRequestRejectsMalformedFields) {
+  const struct {
+    const char* name;
+    Json cmd;
+  } kCases[] = {
+      {"missing class", Json::Object().Set("preset", "dashcam")},
+      {"bad scale", Json::Object()
+                        .Set("preset", "dashcam")
+                        .Set("class", "bicycle")
+                        .Set("scale", 1.5)},
+      {"shard out of range", Json::Object()
+                                 .Set("preset", "dashcam")
+                                 .Set("class", "bicycle")
+                                 .Set("shard", static_cast<int64_t>(4))
+                                 .Set("num_shards", static_cast<int64_t>(4))},
+      {"negative shard", Json::Object()
+                             .Set("preset", "dashcam")
+                             .Set("class", "bicycle")
+                             .Set("shard", static_cast<int64_t>(-1))
+                             .Set("num_shards", static_cast<int64_t>(4))},
+      {"zero shards", Json::Object()
+                          .Set("preset", "dashcam")
+                          .Set("class", "bicycle")
+                          .Set("num_shards", static_cast<int64_t>(0))},
+      {"unknown policy", Json::Object()
+                             .Set("preset", "dashcam")
+                             .Set("class", "bicycle")
+                             .Set("policy", "nope")},
+      {"bad warm weight", Json::Object()
+                              .Set("preset", "dashcam")
+                              .Set("class", "bicycle")
+                              .Set("warm_weight", 0.0)},
+      {"negative max_samples", Json::Object()
+                                   .Set("preset", "dashcam")
+                                   .Set("class", "bicycle")
+                                   .Set("max_samples",
+                                        static_cast<int64_t>(-1))},
+      {"bad gop_run", Json::Object()
+                          .Set("preset", "dashcam")
+                          .Set("class", "bicycle")
+                          .Set("gop_run", static_cast<int64_t>(0))},
+  };
+  for (const auto& test : kCases) {
+    auto parsed = ParseOpenRequest(test.cmd);
+    EXPECT_FALSE(parsed.ok()) << test.name;
+  }
+}
+
+TEST(DistWireTest, AggregateJsonRoundTrip) {
+  ShardAggregate agg;
+  agg.n1 = 41;
+  agg.n = 1337;
+  agg.cost_seconds = 12.625;  // representable exactly; Dump must preserve
+  const Json round_tripped = Reserialize(ToJson(agg));
+  const ShardAggregate out = AggregateFromJson(&round_tripped);
+  EXPECT_EQ(out.n1, agg.n1);
+  EXPECT_EQ(out.n, agg.n);
+  EXPECT_EQ(out.cost_seconds, agg.cost_seconds);
+}
+
+TEST(DistWireTest, AggregateFromMissingJsonIsZero) {
+  const ShardAggregate out = AggregateFromJson(nullptr);
+  EXPECT_EQ(out.n1, 0);
+  EXPECT_EQ(out.n, 0);
+  EXPECT_EQ(out.cost_seconds, 0.0);
+}
+
+TEST(DistWireTest, OpenReplyRoundTrip) {
+  OpenReply reply;
+  reply.dist_id = 7;
+  reply.chunks = 12;
+  reply.frames = 3456;
+  reply.warm_started = true;
+  reply.agg.n1 = 3;
+  reply.agg.n = 90;
+  auto parsed = ParseOpenReply(Reserialize(OpenReplyJson(reply)));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().dist_id, 7);
+  EXPECT_EQ(parsed.value().chunks, 12);
+  EXPECT_EQ(parsed.value().frames, 3456);
+  EXPECT_TRUE(parsed.value().warm_started);
+  EXPECT_EQ(parsed.value().agg.n1, 3);
+  EXPECT_EQ(parsed.value().agg.n, 90);
+}
+
+TEST(DistWireTest, PickReplyRoundTripsDetections) {
+  PickReply reply;
+  reply.running = true;
+  reply.stop_reason = "none";
+  reply.frames_processed = 512;
+  reply.cost_seconds = 3.25;
+  reply.agg.n1 = 5;
+  reply.agg.n = 512;
+  detect::Detection d;
+  d.frame = 4242;
+  d.score = 0.875;
+  d.box = {10.5, 20.25, 30.0, 40.0};
+  d.instance = 17;
+  reply.new_results.push_back(d);
+  auto parsed = ParsePickReply(Reserialize(PickReplyJson(reply, 2)), 2);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const PickReply& out = parsed.value();
+  EXPECT_TRUE(out.running);
+  EXPECT_EQ(out.stop_reason, "none");
+  EXPECT_EQ(out.frames_processed, 512);
+  EXPECT_EQ(out.cost_seconds, 3.25);
+  ASSERT_EQ(out.new_results.size(), 1u);
+  EXPECT_EQ(out.new_results[0].frame, 4242);
+  EXPECT_EQ(out.new_results[0].class_id, 2);
+  EXPECT_EQ(out.new_results[0].score, 0.875);
+  EXPECT_EQ(out.new_results[0].box.x, 10.5);
+  EXPECT_EQ(out.new_results[0].instance, 17);
+}
+
+TEST(DistWireTest, StatsReplyRoundTripsRawArrays) {
+  StatsReply reply;
+  reply.n1 = {3, -1, 0};  // raw N1 may dip negative (paper footnote 1)
+  reply.n = {10, 20, 30};
+  reply.agg.n1 = 3;
+  reply.agg.n = 60;
+  auto parsed = ParseStatsReply(Reserialize(StatsReplyJson(reply)));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().n1, reply.n1);
+  EXPECT_EQ(parsed.value().n, reply.n);
+  EXPECT_EQ(parsed.value().agg.n1, 3);
+}
+
+TEST(DistWireTest, MismatchedStatsArraysRejected) {
+  Json reply = Json::Object().Set("ok", true);
+  Json n1 = Json::Array();
+  n1.Append(static_cast<int64_t>(1));
+  Json n = Json::Array();
+  reply.Set("n1", std::move(n1)).Set("n", std::move(n));
+  EXPECT_FALSE(ParseStatsReply(reply).ok());
+}
+
+TEST(DistWireTest, WorkerErrorParsesToInvalidArgument) {
+  // A transport-intact error reply is a protocol bug, not a worker
+  // failure: it must NOT look like Unavailable, or the coordinator would
+  // retry a request the worker will reject forever.
+  const Json error =
+      Json::Object().Set("ok", false).Set("error", "no dist session 9");
+  auto open = ParseOpenReply(error);
+  ASSERT_FALSE(open.ok());
+  EXPECT_EQ(open.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(open.status().message().find("no dist session 9"),
+            std::string::npos);
+  EXPECT_FALSE(ParsePickReply(error, 0).ok());
+  EXPECT_FALSE(ParseStatsReply(error).ok());
+  EXPECT_FALSE(ParseReportReply(error).ok());
+}
+
+TEST(DistWireTest, AggregateFromStatsSumsGroupRows) {
+  core::ChunkStats stats(10, 4);  // groups: [0,4) [4,8) [8,10)
+  stats.Update(0, 3, 0);
+  stats.Update(5, 2, 0);
+  stats.Update(9, 0, 1);  // dips chunk 9's raw N1 to -1; clamps to 0
+  stats.SeedPrior(2, 4, 16);
+  const ShardAggregate agg = AggregateFromStats(stats);
+  int64_t n1 = 0;
+  int64_t n = 0;
+  for (int32_t j = 0; j < stats.num_chunks(); ++j) {
+    n1 += stats.ClampedN1(j);
+    n += stats.n(j);
+  }
+  EXPECT_EQ(agg.n1, n1);
+  EXPECT_EQ(agg.n, n);
+  EXPECT_EQ(agg.n1, 3 + 2 + 0 + 4);  // chunk 9 clamps to zero
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace exsample

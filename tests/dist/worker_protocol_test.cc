@@ -1,0 +1,241 @@
+// dist.* verbs through serve::ProtocolHandler — the exact path a remote
+// coordinator's requests take on a worker. Covers shard-session
+// lifecycle (open/pick/stats/report), the chunk-range partition
+// invariants, request validation, per-shard warm-start recording, and
+// the teardown path that persists statistics when a coordinator's
+// connection vanishes mid-query.
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "dist/wire.h"
+#include "dist/worker.h"
+#include "serve/protocol_handler.h"
+#include "serve/session_manager.h"
+#include "serve/stats_cache.h"
+#include "util/json.h"
+
+namespace exsample {
+namespace dist {
+namespace {
+
+class DistWorkerProtocolTest : public ::testing::Test {
+ protected:
+  DistWorkerProtocolTest() : datasets_(7) {
+    serve::SessionManager::Options options;
+    options.threads = 1;
+    options.base_seed = 7;
+    manager_ = std::make_unique<serve::SessionManager>(options);
+  }
+
+  std::unique_ptr<serve::ProtocolHandler> MakeHandler() {
+    serve::ProtocolHandler::Options options;
+    options.default_scale = 0.02;
+    return std::make_unique<serve::ProtocolHandler>(manager_.get(), &cache_,
+                                                    &datasets_, options);
+  }
+
+  Json Respond(serve::ProtocolHandler* handler, const Json& cmd) {
+    serve::ProtocolHandler::Outcome outcome =
+        handler->HandleLine(cmd.Dump());
+    EXPECT_FALSE(outcome.response.empty());
+    auto parsed = Json::Parse(outcome.response);
+    EXPECT_TRUE(parsed.ok()) << outcome.response;
+    return parsed.ok() ? std::move(parsed).value() : Json();
+  }
+
+  static Json OpenCmd(int32_t shard, int32_t num_shards) {
+    ShardSpec spec;
+    spec.preset = "dashcam";
+    spec.class_name = "bicycle";
+    spec.scale = 0.02;
+    spec.shard_index = shard;
+    spec.num_shards = num_shards;
+    return OpenRequest(spec);
+  }
+
+  serve::StatsCache cache_;
+  serve::DatasetPool datasets_;
+  std::unique_ptr<serve::SessionManager> manager_;
+};
+
+TEST_F(DistWorkerProtocolTest, ShardPartitionCoversTheRepository) {
+  // Opening every shard of an L-way split must partition the preset's
+  // chunks: per-shard counts sum to the 1-way totals, every shard
+  // non-empty.
+  auto handler = MakeHandler();
+  Json whole = Respond(handler.get(), OpenCmd(0, 1));
+  ASSERT_TRUE(whole.GetBool("ok", false)) << whole.Dump();
+  const int64_t total_chunks = whole.GetInt("chunks", -1);
+  const int64_t total_frames = whole.GetInt("frames", -1);
+  ASSERT_GT(total_chunks, 0);
+  ASSERT_GT(total_frames, 0);
+
+  const int32_t kShards = 4;
+  int64_t chunks = 0;
+  int64_t frames = 0;
+  for (int32_t s = 0; s < kShards; ++s) {
+    Json reply = Respond(handler.get(), OpenCmd(s, kShards));
+    ASSERT_TRUE(reply.GetBool("ok", false)) << reply.Dump();
+    EXPECT_GT(reply.GetInt("chunks", 0), 0) << "empty shard " << s;
+    chunks += reply.GetInt("chunks", 0);
+    frames += reply.GetInt("frames", 0);
+  }
+  EXPECT_EQ(chunks, total_chunks);
+  EXPECT_EQ(frames, total_frames);
+}
+
+TEST_F(DistWorkerProtocolTest, PickAdvancesAndSyncsAggregates) {
+  auto handler = MakeHandler();
+  Json opened = Respond(handler.get(), OpenCmd(0, 2));
+  ASSERT_TRUE(opened.GetBool("ok", false)) << opened.Dump();
+  const int64_t dist_id = opened.GetInt("dist", -1);
+  ASSERT_GE(dist_id, 1);
+  // A fresh shard has no evidence.
+  EXPECT_EQ(AggregateFromJson(opened.Find("agg")).n, 0);
+
+  Json pick = Respond(handler.get(), PickRequest(dist_id, 64));
+  ASSERT_TRUE(pick.GetBool("ok", false)) << pick.Dump();
+  EXPECT_TRUE(pick.GetBool("running", false));
+  const ShardAggregate after_pick = AggregateFromJson(pick.Find("agg"));
+  EXPECT_EQ(after_pick.n, 64);  // every budgeted frame was sampled
+  EXPECT_EQ(pick.GetInt("frames_processed", -1), 64);
+
+  // dist.stats recomputes the same aggregate from the per-chunk arrays.
+  Json stats = Respond(handler.get(), StatsRequest(dist_id));
+  ASSERT_TRUE(stats.GetBool("ok", false)) << stats.Dump();
+  auto parsed = ParseStatsReply(stats);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  int64_t n1 = 0;
+  int64_t n = 0;
+  for (size_t j = 0; j < parsed.value().n.size(); ++j) {
+    n1 += parsed.value().n1[j] > 0 ? parsed.value().n1[j] : 0;
+    n += parsed.value().n[j];
+  }
+  EXPECT_EQ(parsed.value().agg.n1, n1);
+  EXPECT_EQ(parsed.value().agg.n, n);
+  EXPECT_EQ(parsed.value().agg.n1, after_pick.n1);
+  EXPECT_EQ(parsed.value().agg.n, after_pick.n);
+}
+
+TEST_F(DistWorkerProtocolTest, PicksAreDeterministicAcrossWorkers) {
+  // Two independent worker stacks with the same base seed must produce
+  // byte-identical pick replies for the same shard: the shard's sampling
+  // stream depends only on (base_seed, seed_tag), never on which worker
+  // process hosts it.
+  auto worker_a = MakeHandler();
+  serve::StatsCache cache_b;
+  serve::DatasetPool datasets_b(7);
+  serve::SessionManager::Options manager_options;
+  manager_options.threads = 1;
+  manager_options.base_seed = 7;
+  serve::SessionManager manager_b(manager_options);
+  serve::ProtocolHandler::Options handler_options;
+  handler_options.default_scale = 0.02;
+  serve::ProtocolHandler worker_b(&manager_b, &cache_b, &datasets_b,
+                                  handler_options);
+
+  Json open_a = Respond(worker_a.get(), OpenCmd(1, 3));
+  Json open_b = Respond(&worker_b, OpenCmd(1, 3));
+  EXPECT_EQ(open_a.Dump(), open_b.Dump());
+  for (int round = 0; round < 4; ++round) {
+    Json pick_a =
+        Respond(worker_a.get(), PickRequest(open_a.GetInt("dist", -1), 96));
+    Json pick_b =
+        Respond(&worker_b, PickRequest(open_b.GetInt("dist", -1), 96));
+    EXPECT_EQ(pick_a.Dump(), pick_b.Dump()) << "round " << round;
+  }
+}
+
+TEST_F(DistWorkerProtocolTest, ReportPersistsShardScopedStatistics) {
+  auto handler = MakeHandler();
+  Json opened = Respond(handler.get(), OpenCmd(1, 2));
+  const int64_t dist_id = opened.GetInt("dist", -1);
+  Respond(handler.get(), PickRequest(dist_id, 128));
+  ASSERT_EQ(cache_.size(), 0u);
+
+  Json report = Respond(handler.get(), ReportRequest(dist_id));
+  ASSERT_TRUE(report.GetBool("ok", false)) << report.Dump();
+  EXPECT_TRUE(report.GetBool("recorded", false));
+  EXPECT_EQ(cache_.size(), 1u);
+  EXPECT_EQ(cache_.queries_recorded(), 1);
+
+  // The cache key is shard-scoped, so a later open of the SAME shard
+  // warm-starts while a different shard stays cold.
+  Json same_shard = OpenCmd(1, 2);
+  same_shard.Set("warm_start", true);
+  Json reopened = Respond(handler.get(), same_shard);
+  ASSERT_TRUE(reopened.GetBool("ok", false)) << reopened.Dump();
+  EXPECT_TRUE(reopened.GetBool("warm_started", false));
+  EXPECT_GT(AggregateFromJson(reopened.Find("agg")).n, 0);
+  Json other_shard = OpenCmd(0, 2);
+  other_shard.Set("warm_start", true);
+  Json cold = Respond(handler.get(), other_shard);
+  ASSERT_TRUE(cold.GetBool("ok", false)) << cold.Dump();
+  EXPECT_FALSE(cold.GetBool("warm_started", false));
+
+  // The reported session is gone.
+  Json missing = Respond(handler.get(), PickRequest(dist_id, 1));
+  EXPECT_FALSE(missing.GetBool("ok", true));
+}
+
+TEST_F(DistWorkerProtocolTest, TeardownRecordsOpenShards) {
+  // A coordinator that disconnects mid-query must still leave warm-start
+  // evidence behind: handler teardown (the disconnect path) records every
+  // open shard session.
+  {
+    auto handler = MakeHandler();
+    Json opened = Respond(handler.get(), OpenCmd(0, 2));
+    Respond(handler.get(), PickRequest(opened.GetInt("dist", -1), 128));
+    handler->CloseAllSessions();
+    EXPECT_EQ(cache_.size(), 1u);
+    // Teardown claimed the recording; a dangling report cannot
+    // double-record because the handler's worker state is gone.
+  }
+  EXPECT_EQ(cache_.queries_recorded(), 1);
+}
+
+TEST_F(DistWorkerProtocolTest, StatsCommandCountsDistShards) {
+  auto handler = MakeHandler();
+  Json before = Respond(handler.get(), Json::Object().Set("cmd", "stats"));
+  EXPECT_EQ(before.GetInt("dist_shards", -1), 0);
+  Respond(handler.get(), OpenCmd(0, 2));
+  Respond(handler.get(), OpenCmd(1, 2));
+  Json after = Respond(handler.get(), Json::Object().Set("cmd", "stats"));
+  EXPECT_EQ(after.GetInt("dist_shards", -1), 2);
+}
+
+TEST_F(DistWorkerProtocolTest, RejectsMalformedRequests) {
+  auto handler = MakeHandler();
+  // Dataset-dependent validation: more shards than chunks.
+  Json too_many = OpenCmd(0, 1 << 20);
+  Json reply = Respond(handler.get(), too_many);
+  EXPECT_FALSE(reply.GetBool("ok", true)) << reply.Dump();
+  // Unknown preset.
+  Json bad_preset = OpenCmd(0, 2);
+  bad_preset.Set("preset", "nope");
+  EXPECT_FALSE(Respond(handler.get(), bad_preset).GetBool("ok", true));
+  // Unknown class.
+  Json bad_class = OpenCmd(0, 2);
+  bad_class.Set("class", "unicorn");
+  EXPECT_FALSE(Respond(handler.get(), bad_class).GetBool("ok", true));
+  // Pick of a session that does not exist.
+  EXPECT_FALSE(
+      Respond(handler.get(), PickRequest(99, 16)).GetBool("ok", true));
+  // Pick with a degenerate budget.
+  Json opened = Respond(handler.get(), OpenCmd(0, 2));
+  EXPECT_FALSE(
+      Respond(handler.get(), PickRequest(opened.GetInt("dist", -1), 0))
+          .GetBool("ok", true));
+  // Unknown dist verb.
+  EXPECT_FALSE(Respond(handler.get(),
+                       Json::Object().Set("cmd", "dist.nope"))
+                   .GetBool("ok", true));
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace exsample

@@ -15,9 +15,13 @@
 
 #include <chrono>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "util/json.h"
 
 namespace exsample {
 namespace net {
@@ -144,6 +148,107 @@ TEST(NetClientTest, ReadLineDeadlineOnSilentPeer) {
   line = client.ReadLineWithTimeout(5.0);
   ASSERT_FALSE(line.ok());
   EXPECT_EQ(line.status().code(), Status::Code::kNotFound);
+}
+
+// --- Call error taxonomy -----------------------------------------------
+//
+// A retry policy keys on the distinction: Unavailable = the connection is
+// gone for sure (reconnect eagerly), DeadlineExceeded = the peer may just
+// be slow (back off). The distributed coordinator's worker-failure
+// handling depends on these codes.
+
+/// Reads one '\n'-terminated line from a raw fd (the peer's view of the
+/// client's request).
+bool ReadRequestLine(int fd) {
+  std::string buffer;
+  char c;
+  while (read(fd, &c, 1) == 1) {
+    if (c == '\n') return true;
+    buffer.push_back(c);
+  }
+  return false;
+}
+
+TEST(NetClientTest, CallReportsUnavailableWhenPeerClosesMidResponse) {
+  // The peer takes the request and hangs up without answering. A response
+  // was owed, so this is NOT the orderly NotFound EOF — the call must
+  // come back Unavailable so the caller reconnects instead of concluding
+  // the conversation ended cleanly.
+  RawListener listener(8);
+  auto connected = Client::Connect("127.0.0.1", listener.port, 30.0);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  Client client = std::move(connected).value();
+  const int peer = listener.Accept();
+  ASSERT_GE(peer, 0) << strerror(errno);
+  std::thread peer_thread([peer] {
+    EXPECT_TRUE(ReadRequestLine(peer));
+    close(peer);
+  });
+
+  auto reply = client.Call(Json::Object().Set("cmd", "stats"));
+  peer_thread.join();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), Status::Code::kUnavailable)
+      << reply.status().ToString();
+  EXPECT_NE(reply.status().message().find("closed before the response"),
+            std::string::npos)
+      << reply.status().ToString();
+}
+
+TEST(NetClientTest, CallReportsUnavailableOnTornResponseLine) {
+  // Half a response line, then the connection dies: torn bytes are not an
+  // orderly EOF either.
+  RawListener listener(8);
+  auto connected = Client::Connect("127.0.0.1", listener.port, 30.0);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  Client client = std::move(connected).value();
+  const int peer = listener.Accept();
+  ASSERT_GE(peer, 0) << strerror(errno);
+  std::thread peer_thread([peer] {
+    EXPECT_TRUE(ReadRequestLine(peer));
+    const char torn[] = "{\"ok\":tr";  // no terminating newline
+    EXPECT_EQ(write(peer, torn, sizeof(torn) - 1),
+              static_cast<ssize_t>(sizeof(torn) - 1));
+    close(peer);
+  });
+
+  auto reply = client.Call(Json::Object().Set("cmd", "stats"));
+  peer_thread.join();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), Status::Code::kUnavailable)
+      << reply.status().ToString();
+}
+
+TEST(NetClientTest, CallWithTimeoutReportsDeadlineOnSilentPeer) {
+  // The peer accepts the request and simply never answers: the connection
+  // is intact, so this must surface as DeadlineExceeded (back off, maybe
+  // retry), never as Unavailable.
+  RawListener listener(8);
+  auto connected = Client::Connect("127.0.0.1", listener.port, 30.0);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  Client client = std::move(connected).value();
+  const int peer = listener.Accept();
+  ASSERT_GE(peer, 0) << strerror(errno);
+
+  const Clock::time_point start = Clock::now();
+  auto reply = client.CallWithTimeout(Json::Object().Set("cmd", "stats"),
+                                      0.3);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), Status::Code::kDeadlineExceeded)
+      << reply.status().ToString();
+  const double elapsed = SecondsSince(start);
+  EXPECT_GE(elapsed, 0.25);
+  EXPECT_LT(elapsed, 5.0);
+
+  // The connection survived the deadline: a (late) response still gets
+  // through to a follow-up read on the same connection.
+  const char late[] = "{\"ok\":true}\n";
+  ASSERT_EQ(write(peer, late, sizeof(late) - 1),
+            static_cast<ssize_t>(sizeof(late) - 1));
+  auto line = client.ReadLineWithTimeout(5.0);
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(line.value(), "{\"ok\":true}");
+  close(peer);
 }
 
 }  // namespace

@@ -1,0 +1,284 @@
+// FaultProxy: a TCP shim between a coordinator and one worker that can
+// break the connection in precisely scripted ways.
+//
+// Connection-failure tests that kill real processes or yank real cables
+// are timing-dependent; this proxy makes them deterministic instead. It
+// listens on an ephemeral loopback port, forwards NDJSON request/reply
+// exchanges to the upstream worker, and fires one scripted fault on the
+// Nth request it relays (counted across all proxied connections):
+//
+//   kDropAfterRequest  — forward the request, then close both sides
+//                        before the response is relayed: the worker did
+//                        the work, the client sees the connection die
+//                        mid-response (net::Client reports Unavailable).
+//   kTruncateResponse  — relay half the response bytes, then close: a
+//                        torn line (Unavailable with a partial buffered).
+//   kGarbleResponse    — flip bits in the response before relaying: the
+//                        transport is intact but the payload is garbage.
+//   kDelayResponse     — hold the response for delay_seconds, then relay
+//                        it: a slow peer (DeadlineExceeded under a
+//                        shorter RPC deadline) whose late bytes would
+//                        desync a connection that was not dropped.
+//   kBlackholeResponse — swallow the response, keep the connection open:
+//                        a wedged peer that never answers.
+//
+// The accept loop keeps running after a fault, so a coordinator's rejoin
+// path can reconnect *through the same proxy port* and reach a fresh
+// upstream connection — which is exactly how the rejoin/warm-start tests
+// drive a worker "crash" without killing a process: dropping the proxied
+// connection tears down the worker's ProtocolHandler (persisting its
+// shard statistics) while the worker process stays up to welcome the
+// rejoin.
+//
+// The relay is strictly request/reply per connection (one line each way),
+// matching the serve protocol; pipelined protocols would need a
+// different shim. Header-only, raw POSIX sockets, test-support only.
+
+#ifndef EXSAMPLE_TESTS_TESTING_FAULT_INJECTION_H_
+#define EXSAMPLE_TESTS_TESTING_FAULT_INJECTION_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace exsample {
+namespace testing_util {
+
+class FaultProxy {
+ public:
+  enum class Fault {
+    kNone,
+    kDropAfterRequest,
+    kTruncateResponse,
+    kGarbleResponse,
+    kDelayResponse,
+    kBlackholeResponse,
+  };
+
+  struct Options {
+    std::string upstream_host = "127.0.0.1";
+    uint16_t upstream_port = 0;
+    Fault fault = Fault::kNone;
+    /// Fires on the Nth request relayed (1-based, counted across all
+    /// connections); 0 never fires. Exactly one fault fires per proxy.
+    int64_t trigger_request = 0;
+    double delay_seconds = 0.6;
+  };
+
+  explicit FaultProxy(Options options) : options_(options) {}
+  ~FaultProxy() { Stop(); }
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// Binds the ephemeral listen port and starts the accept loop. Returns
+  /// false (with the port left 0) if the socket setup fails.
+  bool Start() {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return false;
+    const int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        listen(listen_fd_, 16) != 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    return true;
+  }
+
+  /// Stops accepting, tears down every proxied connection, joins threads.
+  /// Idempotent.
+  void Stop() {
+    if (listen_fd_ >= 0) {
+      shutdown(listen_fd_, SHUT_RDWR);
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::vector<std::unique_ptr<Connection>> connections;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      connections.swap(connections_);
+    }
+    for (auto& connection : connections) {
+      connection->Shutdown();
+      if (connection->thread.joinable()) connection->thread.join();
+      connection->CloseBoth();
+    }
+  }
+
+  uint16_t port() const { return port_; }
+  int64_t requests_seen() const {
+    return requests_seen_.load(std::memory_order_relaxed);
+  }
+  int64_t faults_fired() const {
+    return faults_fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One proxied connection: the accepted client socket, its upstream
+  /// socket, and the relay thread driving both.
+  struct Connection {
+    int client_fd = -1;
+    int upstream_fd = -1;
+    std::thread thread;
+
+    void Shutdown() {
+      // shutdown() (not just close) unblocks a relay thread parked in a
+      // blocking read on either socket.
+      if (client_fd >= 0) shutdown(client_fd, SHUT_RDWR);
+      if (upstream_fd >= 0) shutdown(upstream_fd, SHUT_RDWR);
+    }
+    void CloseBoth() {
+      if (client_fd >= 0) close(client_fd);
+      if (upstream_fd >= 0) close(upstream_fd);
+      client_fd = upstream_fd = -1;
+    }
+  };
+
+  /// Byte-buffered line reader over a raw fd; returns false on EOF/error.
+  /// The trailing '\n' is stripped.
+  struct LineReader {
+    int fd;
+    std::string buffer;
+
+    explicit LineReader(int fd_in) : fd(fd_in) {}
+
+    bool ReadLine(std::string* line) {
+      while (true) {
+        const size_t newline = buffer.find('\n');
+        if (newline != std::string::npos) {
+          line->assign(buffer, 0, newline);
+          buffer.erase(0, newline + 1);
+          return true;
+        }
+        char chunk[4096];
+        const ssize_t n = read(fd, chunk, sizeof(chunk));
+        if (n <= 0) return false;
+        buffer.append(chunk, static_cast<size_t>(n));
+      }
+    }
+  };
+
+  static bool WriteAll(int fd, const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  int ConnectUpstream() {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.upstream_port);
+    if (inet_pton(AF_INET, options_.upstream_host.c_str(), &addr.sin_addr) !=
+            1 ||
+        connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  void AcceptLoop() {
+    while (true) {
+      const int client_fd = accept(listen_fd_, nullptr, nullptr);
+      if (client_fd < 0) return;  // listener closed: Stop()
+      const int upstream_fd = ConnectUpstream();
+      if (upstream_fd < 0) {
+        close(client_fd);
+        continue;
+      }
+      auto connection = std::make_unique<Connection>();
+      connection->client_fd = client_fd;
+      connection->upstream_fd = upstream_fd;
+      Connection* raw = connection.get();
+      connection->thread = std::thread([this, raw] { Relay(raw); });
+      std::lock_guard<std::mutex> lock(mu_);
+      connections_.push_back(std::move(connection));
+    }
+  }
+
+  void Relay(Connection* connection) {
+    LineReader from_client(connection->client_fd);
+    LineReader from_upstream(connection->upstream_fd);
+    std::string request;
+    std::string response;
+    while (from_client.ReadLine(&request)) {
+      const int64_t n =
+          requests_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+      const bool triggered =
+          options_.fault != Fault::kNone && n == options_.trigger_request;
+      if (!WriteAll(connection->upstream_fd, request + "\n")) break;
+      if (!from_upstream.ReadLine(&response)) break;
+      if (!triggered) {
+        if (!WriteAll(connection->client_fd, response + "\n")) break;
+        continue;
+      }
+      faults_fired_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.fault == Fault::kDropAfterRequest) {
+        break;  // the worker did the work; the client never hears back
+      }
+      if (options_.fault == Fault::kTruncateResponse) {
+        WriteAll(connection->client_fd,
+                 response.substr(0, response.size() / 2));
+        break;
+      }
+      if (options_.fault == Fault::kGarbleResponse) {
+        std::string garbled = response;
+        for (size_t i = 1; i < garbled.size(); i += 3) garbled[i] ^= 0x55;
+        if (!WriteAll(connection->client_fd, garbled + "\n")) break;
+        continue;
+      }
+      if (options_.fault == Fault::kDelayResponse) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(options_.delay_seconds));
+        if (!WriteAll(connection->client_fd, response + "\n")) break;
+        continue;
+      }
+      // kBlackholeResponse: swallow it, stay connected, keep relaying.
+    }
+    connection->Shutdown();
+  }
+
+  const Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::atomic<int64_t> requests_seen_{0};
+  std::atomic<int64_t> faults_fired_{0};
+};
+
+}  // namespace testing_util
+}  // namespace exsample
+
+#endif  // EXSAMPLE_TESTS_TESTING_FAULT_INJECTION_H_

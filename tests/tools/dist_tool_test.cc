@@ -1,0 +1,104 @@
+// End-to-end tests of the `exsample_dist` binary: the distributed-search
+// driver with its in-process backend and with real spawned
+// `exsample_serve` worker processes over TCP. Pins the tool-level
+// promise: the same query prints the same results fingerprint whether the
+// shards run in-process or across worker processes.
+//
+// The binary path is injected by CMake as EXSAMPLE_DIST_BIN (the serve
+// binary it spawns is found as a sibling of the dist binary).
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+#ifndef EXSAMPLE_DIST_BIN
+#error "CMake must define EXSAMPLE_DIST_BIN (path to the dist binary)"
+#endif
+
+namespace exsample {
+namespace {
+
+/// Runs the dist binary with the given extra args and parses the single
+/// JSON document it prints on stdout. Fails the test on abnormal exit.
+Json RunDist(const std::vector<std::string>& extra_args) {
+  int out_pipe[2];
+  EXPECT_EQ(pipe(out_pipe), 0);
+  const pid_t pid = fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    dup2(out_pipe[1], STDOUT_FILENO);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    std::vector<std::string> args = {EXSAMPLE_DIST_BIN, "--class", "bicycle",
+                                     "--scale", "0.02", "--seed", "7",
+                                     "--shards", "4"};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+    std::vector<char*> argv;
+    for (auto& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    execv(EXSAMPLE_DIST_BIN, argv.data());
+    std::perror("execv");
+    _exit(127);
+  }
+  close(out_pipe[1]);
+  std::string output;
+  FILE* from_child = fdopen(out_pipe[0], "r");
+  char buffer[1 << 16];
+  while (std::fgets(buffer, sizeof(buffer), from_child) != nullptr) {
+    output += buffer;
+  }
+  fclose(from_child);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "exsample_dist exited abnormally; output: " << output;
+  auto parsed = Json::Parse(output);
+  EXPECT_TRUE(parsed.ok()) << "unparseable output: " << output;
+  return parsed.ok() ? std::move(parsed).value() : Json();
+}
+
+TEST(DistToolTest, LocalModeReachesTheLimit) {
+  Json result = RunDist({"--limit", "6"});
+  ASSERT_TRUE(result.GetBool("ok", false)) << result.Dump();
+  EXPECT_EQ(result.GetInt("results", -1), 6);
+  EXPECT_EQ(result.GetString("stop_reason", ""), "limit");
+  EXPECT_GT(result.GetInt("frames_processed", -1), 0);
+  EXPECT_EQ(result.GetInt("workers", -1), 1);
+  EXPECT_EQ(result.GetInt("rpc_disconnects", -1), 0);
+  const Json* shards = result.Find("shards");
+  ASSERT_NE(shards, nullptr);
+  EXPECT_EQ(shards->size(), 4u);
+  EXPECT_FALSE(result.GetString("results_fingerprint", "").empty());
+}
+
+TEST(DistToolTest, SpawnedTcpWorkersMatchTheLocalFingerprint) {
+  // The tool-level determinism matrix: in-process shards and real spawned
+  // worker processes must print the identical results fingerprint.
+  Json local = RunDist({"--limit", "6"});
+  ASSERT_TRUE(local.GetBool("ok", false)) << local.Dump();
+  const std::string reference =
+      local.GetString("results_fingerprint", "");
+  ASSERT_FALSE(reference.empty());
+
+  for (const char* workers : {"1", "2"}) {
+    Json distributed = RunDist({"--limit", "6", "--workers", workers});
+    ASSERT_TRUE(distributed.GetBool("ok", false)) << distributed.Dump();
+    EXPECT_EQ(distributed.GetString("results_fingerprint", ""), reference)
+        << workers << " workers diverged; " << distributed.Dump();
+    EXPECT_EQ(distributed.GetInt("frames_processed", -1),
+              local.GetInt("frames_processed", -2));
+    EXPECT_EQ(distributed.GetInt("results", -1), 6);
+  }
+}
+
+}  // namespace
+}  // namespace exsample

@@ -1,0 +1,401 @@
+// exsample_dist: distributed repository search — the coordinator front end.
+//
+// Runs one query as a top-level bandit over logical shards (dist::
+// Coordinator), delegating within-shard picks to workers that speak the
+// serve protocol's dist.* verbs. Three ways to get workers:
+//
+//   (default)            in-process LocalShardBackend — no processes, no
+//                        sockets; the determinism reference
+//   --workers N          spawn N exsample_serve --listen 0 children next
+//                        to this binary and connect to them; children are
+//                        SIGTERMed and reaped on exit
+//   --connect h:p,h:p    connect to already-running exsample_serve workers
+//
+// Results are bit-identical across all three (and across any worker
+// count) for a healthy run: shards are logical, so the worker layout only
+// decides where a shard's session runs, never what it samples.
+//
+// Output: one JSON object on stdout —
+//   {"ok":true,"results":17,"results_fingerprint":"0x...","stop_reason":
+//    "limit","rounds":9,"picks":36,"frames_processed":9216,
+//    "cost_seconds":...,"retries":0,"rpc_timeouts":0,"rpc_disconnects":0,
+//    "rejoins":0,"wall_seconds":...,"workers":4,"shards":[{per-shard}]}
+//
+// Flags: --preset NAME --class NAME (required), --scale S, --limit K,
+//        --shards L (logical shards), --policy P (within-shard),
+//        --shard-policy thompson|bayes_ucb|uniform, --cost-aware,
+//        --tracker, --gop-run N, --group-size N, --max-samples N,
+//        --frames-per-pick N, --picks-per-round N, --max-rounds N,
+//        --seed N, --warm-start, --warm-start-weight W,
+//        --rpc-timeout S, --connect-timeout S, --dump-results,
+//        --metrics-dump PATH
+
+#include <libgen.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "obs/metrics.h"
+#include "util/flags.h"
+#include "util/json.h"
+
+namespace exsample {
+namespace {
+
+/// FNV-1a over the result stream (frame, instance per detection, preceded
+/// by the count) — the same scheme the determinism-matrix tests pin, so a
+/// tool run can be compared against a test fingerprint directly.
+uint64_t Fingerprint(const std::vector<detect::Detection>& results) {
+  uint64_t h = 1469598103934665603ULL;
+  auto fold = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  fold(static_cast<uint64_t>(results.size()));
+  for (const detect::Detection& d : results) {
+    fold(static_cast<uint64_t>(d.frame));
+    fold(static_cast<uint64_t>(d.instance));
+  }
+  return h;
+}
+
+std::string Hex(uint64_t v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+/// One spawned exsample_serve --listen 0 child. Only its stdout pipe is
+/// kept (for the announce line); the child inherits stderr.
+struct WorkerProcess {
+  pid_t pid = -1;
+  uint16_t port = 0;
+};
+
+/// Spawns a worker next to this binary and parses its announce line for
+/// the ephemeral port. Returns pid -1 on failure.
+WorkerProcess SpawnWorker(const std::string& serve_bin, uint64_t seed,
+                          double scale) {
+  WorkerProcess worker;
+  int out_pipe[2];
+  if (pipe(out_pipe) != 0) return worker;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    return worker;
+  }
+  if (pid == 0) {
+    dup2(out_pipe[1], STDOUT_FILENO);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    // Workers serve dist.* sessions synchronously; one scheduler thread
+    // and one event-loop shard keep each child lean.
+    std::vector<std::string> args = {
+        serve_bin,  "--listen", "0",
+        "--shards", "1",        "--threads",
+        "1",        "--seed",   std::to_string(seed),
+        "--scale",  std::to_string(scale)};
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    execv(serve_bin.c_str(), argv.data());
+    std::perror("execv exsample_serve");
+    _exit(127);
+  }
+  close(out_pipe[1]);
+  FILE* from_child = fdopen(out_pipe[0], "r");
+  char line[4096];
+  if (from_child != nullptr &&
+      std::fgets(line, sizeof(line), from_child) != nullptr) {
+    auto announce = Json::Parse(line);
+    if (announce.ok() && announce.value().GetBool("listening", false)) {
+      worker.pid = pid;
+      worker.port =
+          static_cast<uint16_t>(announce.value().GetInt("port", 0));
+    }
+  }
+  // The pipe is drained no further; the worker talks TCP from here on.
+  if (from_child != nullptr) fclose(from_child);
+  if (worker.port == 0 && pid > 0) {
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+    worker.pid = -1;
+  }
+  return worker;
+}
+
+void ReapWorkers(std::vector<WorkerProcess>* workers) {
+  for (const WorkerProcess& worker : *workers) {
+    if (worker.pid > 0) kill(worker.pid, SIGTERM);
+  }
+  for (const WorkerProcess& worker : *workers) {
+    if (worker.pid > 0) waitpid(worker.pid, nullptr, 0);
+  }
+  workers->clear();
+}
+
+/// The exsample_serve binary is expected next to this one.
+std::string SiblingServeBin(const char* argv0) {
+  char self[4096];
+  const ssize_t n = readlink("/proc/self/exe", self, sizeof(self) - 1);
+  std::string path;
+  if (n > 0) {
+    self[n] = '\0';
+    path = self;
+  } else {
+    path = argv0;
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  return dir + "/exsample_serve";
+}
+
+bool ParseEndpoints(const std::string& csv,
+                    std::vector<dist::ClientShardBackend::Endpoint>* out) {
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string item = csv.substr(pos, comma - pos);
+    const size_t colon = item.find_last_of(':');
+    if (colon == std::string::npos || colon + 1 >= item.size()) return false;
+    const long port = std::strtol(item.c_str() + colon + 1, nullptr, 10);
+    if (port < 1 || port > 65535) return false;
+    dist::ClientShardBackend::Endpoint endpoint;
+    endpoint.host = colon == 0 ? "127.0.0.1" : item.substr(0, colon);
+    endpoint.port = static_cast<uint16_t>(port);
+    out->push_back(std::move(endpoint));
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+int Main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const std::string preset = flags.GetString("preset", "dashcam");
+  const std::string class_name = flags.GetString("class", "");
+  const double scale = flags.GetDouble("scale", 0.1);
+  const int64_t limit = flags.GetInt("limit", 0);
+  const int64_t num_shards = flags.GetInt("shards", 4);
+  const std::string policy = flags.GetString("policy", "thompson");
+  const std::string shard_policy =
+      flags.GetString("shard-policy", "thompson");
+  const bool cost_aware = flags.GetBool("cost-aware");
+  const bool tracker = flags.GetBool("tracker");
+  const int64_t gop_run = flags.GetInt("gop-run", 1);
+  const int64_t group_size = flags.GetInt("group-size", 0);
+  const int64_t max_samples = flags.GetInt("max-samples", 0);
+  const int64_t frames_per_pick = flags.GetInt("frames-per-pick", 256);
+  const int64_t picks_per_round = flags.GetInt("picks-per-round", 4);
+  const int64_t max_rounds = flags.GetInt("max-rounds", 0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const bool warm_start = flags.GetBool("warm-start");
+  const double warm_weight = flags.GetDouble("warm-start-weight", 0.25);
+  const double rpc_timeout = flags.GetDouble("rpc-timeout", 30.0);
+  const double connect_timeout = flags.GetDouble("connect-timeout", 5.0);
+  const int64_t spawn_workers = flags.GetInt("workers", 0);
+  const std::string connect = flags.GetString("connect", "");
+  const bool dump_results = flags.GetBool("dump-results");
+  const std::string metrics_dump = flags.GetString("metrics-dump", "");
+  flags.FailOnUnknown();
+
+  if (class_name.empty()) {
+    std::fprintf(stderr, "error: --class is required\n");
+    return 2;
+  }
+  if (scale <= 0.0 || scale > 1.0) {
+    std::fprintf(stderr, "error: --scale must be in (0, 1]\n");
+    return 2;
+  }
+  if (num_shards < 1 || num_shards > 65536) {
+    std::fprintf(stderr, "error: --shards must be in [1, 65536]\n");
+    return 2;
+  }
+  if (limit < 0 || max_samples < 0 || max_rounds < 0) {
+    std::fprintf(stderr,
+                 "error: --limit/--max-samples/--max-rounds must be >= 0\n");
+    return 2;
+  }
+  if (frames_per_pick < 1 || picks_per_round < 1) {
+    std::fprintf(
+        stderr,
+        "error: --frames-per-pick and --picks-per-round must be >= 1\n");
+    return 2;
+  }
+  if (warm_weight <= 0.0 || warm_weight > 1.0) {
+    std::fprintf(stderr, "error: --warm-start-weight must be in (0, 1]\n");
+    return 2;
+  }
+  if (spawn_workers < 0 || spawn_workers > 256) {
+    std::fprintf(stderr, "error: --workers must be in [0, 256]\n");
+    return 2;
+  }
+  if (spawn_workers > 0 && !connect.empty()) {
+    std::fprintf(stderr, "error: --workers and --connect are exclusive\n");
+    return 2;
+  }
+
+  dist::CoordinatorOptions options;
+  options.shard.preset = preset;
+  options.shard.class_name = class_name;
+  options.shard.scale = scale;
+  options.shard.cost_aware = cost_aware;
+  options.shard.tracker = tracker;
+  options.shard.gop_run = static_cast<int32_t>(gop_run);
+  options.shard.group_size = static_cast<int32_t>(group_size);
+  options.shard.max_samples = max_samples;
+  options.shard.warm_start = warm_start;
+  options.shard.warm_weight = warm_weight;
+  if (!core::ParsePolicyName(policy, &options.shard.policy)) {
+    std::fprintf(stderr, "error: unknown --policy %s\n", policy.c_str());
+    return 2;
+  }
+  if (!core::ParsePolicyName(shard_policy, &options.shard_policy)) {
+    std::fprintf(stderr, "error: unknown --shard-policy %s\n",
+                 shard_policy.c_str());
+    return 2;
+  }
+  options.num_shards = static_cast<int32_t>(num_shards);
+  options.seed = seed;
+  options.cost_aware = cost_aware;
+  options.result_limit = limit;
+  options.frames_per_pick = frames_per_pick;
+  options.picks_per_round = static_cast<int32_t>(picks_per_round);
+  options.max_rounds = max_rounds;
+  obs::Registry metrics;
+  options.metrics = &metrics;
+
+  // Pick the backend: spawned children / remote endpoints / in-process.
+  std::vector<WorkerProcess> children;
+  std::unique_ptr<dist::ShardBackend> backend;
+  if (spawn_workers > 0) {
+    const std::string serve_bin = SiblingServeBin(argv[0]);
+    std::vector<dist::ClientShardBackend::Endpoint> endpoints;
+    for (int64_t w = 0; w < spawn_workers; ++w) {
+      WorkerProcess child = SpawnWorker(serve_bin, seed, scale);
+      if (child.pid < 0) {
+        std::fprintf(stderr, "error: could not spawn %s\n",
+                     serve_bin.c_str());
+        ReapWorkers(&children);
+        return 1;
+      }
+      children.push_back(child);
+      endpoints.push_back({"127.0.0.1", child.port});
+    }
+    dist::ClientShardBackend::Options client_options;
+    client_options.connect_timeout_seconds = connect_timeout;
+    client_options.rpc_timeout_seconds = rpc_timeout;
+    backend = std::make_unique<dist::ClientShardBackend>(
+        std::move(endpoints), client_options);
+  } else if (!connect.empty()) {
+    std::vector<dist::ClientShardBackend::Endpoint> endpoints;
+    if (!ParseEndpoints(connect, &endpoints)) {
+      std::fprintf(stderr,
+                   "error: --connect expects host:port[,host:port...]\n");
+      return 2;
+    }
+    dist::ClientShardBackend::Options client_options;
+    client_options.connect_timeout_seconds = connect_timeout;
+    client_options.rpc_timeout_seconds = rpc_timeout;
+    backend = std::make_unique<dist::ClientShardBackend>(
+        std::move(endpoints), client_options);
+  } else {
+    dist::LocalShardBackend::Options local_options;
+    local_options.num_workers = 1;
+    local_options.seed = seed;
+    local_options.default_scale = scale;
+    backend = std::make_unique<dist::LocalShardBackend>(local_options);
+  }
+
+  dist::Coordinator coordinator(backend.get(), options);
+  const auto started = std::chrono::steady_clock::now();
+  auto run = coordinator.Run();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  ReapWorkers(&children);
+  if (!run.ok()) {
+    std::printf("%s\n", Json::Object()
+                            .Set("ok", false)
+                            .Set("error", run.status().ToString())
+                            .Dump()
+                            .c_str());
+    return 1;
+  }
+  const dist::CoordinatorResult& result = run.value();
+
+  Json shards = Json::Array();
+  for (const dist::ShardOutcome& shard : result.shards) {
+    shards.Append(Json::Object()
+                      .Set("shard", static_cast<int64_t>(shard.shard))
+                      .Set("worker", static_cast<int64_t>(shard.worker))
+                      .Set("picks", shard.picks)
+                      .Set("frames", shard.frames)
+                      .Set("results", shard.results)
+                      .Set("exhausted", shard.exhausted)
+                      .Set("available", shard.available)
+                      .Set("agg", dist::ToJson(shard.agg)));
+  }
+  Json output =
+      Json::Object()
+          .Set("ok", true)
+          .Set("results", static_cast<int64_t>(result.results.size()))
+          .Set("results_fingerprint", Hex(Fingerprint(result.results)))
+          .Set("stop_reason", result.stop_reason)
+          .Set("rounds", result.rounds)
+          .Set("picks", result.picks)
+          .Set("frames_processed", result.frames_processed)
+          .Set("cost_seconds", result.cost_seconds)
+          .Set("retries", result.retries)
+          .Set("rpc_timeouts", result.rpc_timeouts)
+          .Set("rpc_disconnects", result.rpc_disconnects)
+          .Set("rejoins", result.rejoins)
+          .Set("wall_seconds", wall_seconds)
+          .Set("workers", static_cast<int64_t>(backend->num_workers()))
+          .Set("shards", std::move(shards));
+  if (dump_results) {
+    Json detections = Json::Array();
+    for (const detect::Detection& d : result.results) {
+      detections.Append(Json::Object()
+                            .Set("frame", d.frame)
+                            .Set("score", d.score)
+                            .Set("instance", d.instance));
+    }
+    output.Set("detections", std::move(detections));
+  }
+  std::printf("%s\n", output.Dump().c_str());
+  std::fflush(stdout);
+
+  if (!metrics_dump.empty()) {
+    std::ofstream out(metrics_dump, std::ios::trunc);
+    if (out) out << metrics.Snapshot().Dump() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "warning: could not write --metrics-dump %s\n",
+                   metrics_dump.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::Main(argc, argv); }
