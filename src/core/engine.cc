@@ -50,6 +50,14 @@ QueryEngine::QueryEngine(const video::VideoRepository* repo,
   assert(config_.batch_size >= 1);
 }
 
+QueryEngine::~QueryEngine() {
+  // A run torn down mid-batch must release the executor's claim on the
+  // batch before the decoder (owned by run_) goes away.
+  if (run_ != nullptr && run_->executor_batch_open && executor_ != nullptr) {
+    executor_->Abort();
+  }
+}
+
 QueryResult QueryEngine::Run(const QuerySpec& spec) {
   Begin(spec);
   Step(std::numeric_limits<int64_t>::max());
@@ -119,14 +127,37 @@ StepStatus QueryEngine::Step(int64_t max_frames) {
                        run.pending.front().chunk,
                        static_cast<double>(run.pending.size()));
       }
+      if (executor_ != nullptr) {
+        executor_->BeginBatch(run.pending, &run.decoder);
+        run.executor_batch_open = true;
+      }
     }
 
-    // 2) Decode + detect + discriminate, 3) feed cost + verdict back.
+    // 2) Decode + detect + discriminate, 3) feed cost + verdict back. With
+    // an executor, decode + detect already ran (or are running) ahead;
+    // Await hands back this pick's work. Either way the discriminate /
+    // feedback / termination sequence below is identical — that, plus
+    // BeginBatch consuming the same NextBatch results, is the determinism
+    // argument (see ARCHITECTURE.md "Pipelined execution").
+    const size_t pick_index = run.pending_next;
     const PickedFrame pick = run.pending[run.pending_next++];
-    const double decode_cost = run.decoder.Read(pick.frame);
+    double decode_cost;
+    double inference_cost;
+    std::vector<detect::Detection> dets;
+    if (executor_ != nullptr) {
+      FrameWork work = executor_->Await(pick_index);
+      decode_cost = work.decode_seconds;
+      inference_cost = work.inference_seconds;
+      dets = std::move(work.detections);
+      if (run.pending_next >= run.pending.size()) {
+        run.executor_batch_open = false;  // batch fully consumed
+      }
+    } else {
+      decode_cost = run.decoder.Read(pick.frame);
+      dets = detector_->Detect(pick.frame);
+      inference_cost = detector_->InferenceSeconds();
+    }
     result.decode_seconds += decode_cost;
-    std::vector<detect::Detection> dets = detector_->Detect(pick.frame);
-    const double inference_cost = detector_->InferenceSeconds();
     result.inference_seconds += inference_cost;
     track::MatchResult match = discriminator_->GetMatches(pick.frame, dets);
     discriminator_->Add(pick.frame, dets);
@@ -170,6 +201,10 @@ StepStatus QueryEngine::Step(int64_t max_frames) {
     }
     if (run.done != StepStatus::Done::kRunning) {
       // Mirror Run's mid-batch break: unprocessed picks are discarded.
+      if (run.executor_batch_open) {
+        executor_->Abort();
+        run.executor_batch_open = false;
+      }
       run.pending.clear();
       run.pending_next = 0;
     }
@@ -210,6 +245,10 @@ const QueryResult& QueryEngine::result() const {
 
 QueryResult QueryEngine::TakeResult() {
   assert(run_ != nullptr && "TakeResult() requires an open run");
+  if (run_->executor_batch_open && executor_ != nullptr) {
+    executor_->Abort();  // cancel mid-batch: drop undelivered work
+    run_->executor_batch_open = false;
+  }
   if (run_->done == StepStatus::Done::kRunning) {
     run_->done = StepStatus::Done::kCancelled;
     run_->result.reported.Finish(run_->result.frames_processed);

@@ -57,6 +57,43 @@ struct EngineMetrics {
   obs::Gauge* cost_per_frame_micros = nullptr;
 };
 
+/// Decoded + detected outcome of one pick, as produced by a BatchExecutor.
+/// The costs are the modeled charges the engine folds into the run's
+/// accounting (QueryResult::decode_seconds / inference_seconds and the
+/// OnFrameCost feedback), not wall-clock measurements.
+struct FrameWork {
+  double decode_seconds = 0.0;
+  double inference_seconds = 0.0;
+  std::vector<detect::Detection> detections;
+};
+
+/// Executes one pick batch's decode + detect work on the engine's behalf
+/// (see exec::Pipeline for the async decode-ahead implementation). The
+/// engine calls BeginBatch once per source refill with the whole pending
+/// batch and the run's decoder, then Await(i) for i = 0..n-1 in pick order;
+/// feedback ordering and every RNG draw stay exactly as in the serial path.
+/// Abort() ends an open batch early (result limit hit mid-batch, cancel,
+/// engine teardown); it must be safe to call at any point and must return
+/// only when the executor holds no reference to the batch.
+class BatchExecutor {
+ public:
+  virtual ~BatchExecutor() = default;
+
+  /// Opens a batch: `picks` are the engine's pending frames in pick order;
+  /// `decoder` is the run's stateful decoder, to be used only inside this
+  /// call (cost replay happens here, on the engine thread, so decode
+  /// accounting is deterministic for any executor concurrency).
+  virtual void BeginBatch(const std::vector<PickedFrame>& picks,
+                          video::SimulatedDecoder* decoder) = 0;
+
+  /// Blocks until pick `pick_index` of the open batch is decoded and
+  /// detected, and returns its work. Called in pick order.
+  virtual FrameWork Await(size_t pick_index) = 0;
+
+  /// Discards the rest of the open batch. No-op without one.
+  virtual void Abort() = 0;
+};
+
 /// Engine configuration: the frame-source choice plus loop-level knobs.
 struct EngineConfig : FrameSourceConfig {
   /// Frames processed per batched iteration (§III-F); 1 = unbatched.
@@ -154,6 +191,16 @@ class QueryEngine {
     metrics_cell_ = cell;
   }
 
+  /// Attaches a batch executor (non-owning, may be null to stay on the
+  /// serial in-engine path; the executor must outlive the engine's runs).
+  /// The engine then routes every pending batch through
+  /// BeginBatch/Await/Abort instead of its inline decode + detect calls;
+  /// result sets are bit-identical either way (see exec::Pipeline). Call
+  /// before Begin().
+  void set_executor(BatchExecutor* executor) { executor_ = executor; }
+
+  ~QueryEngine();
+
   /// Attaches a per-query trace recorder (non-owning, may be null). The
   /// engine records one kPick event per source batch and one kFrame (plus
   /// kHit on new objects) per processed frame. Call before Begin().
@@ -179,6 +226,9 @@ class QueryEngine {
     /// granularity while NextBatch stays at config batch granularity.
     std::vector<PickedFrame> pending;
     size_t pending_next = 0;
+    /// True while a BatchExecutor batch for `pending` is open (executor
+    /// path only); cleared when the batch is fully consumed or aborted.
+    bool executor_batch_open = false;
     QueryResult result;
     StepStatus::Done done = StepStatus::Done::kRunning;
   };
@@ -193,6 +243,7 @@ class QueryEngine {
   EngineMetrics metrics_;
   size_t metrics_cell_ = 0;
   obs::TraceRecorder* trace_ = nullptr;
+  BatchExecutor* executor_ = nullptr;
 };
 
 }  // namespace core

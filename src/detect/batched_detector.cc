@@ -1,0 +1,27 @@
+#include "detect/batched_detector.h"
+
+namespace exsample {
+namespace detect {
+
+std::vector<std::vector<Detection>> SerialDetectorAdapter::DetectBatch(
+    const video::FrameId* frames, size_t count) {
+  std::vector<std::vector<Detection>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(detector_->Detect(frames[i]));
+  }
+  return out;
+}
+
+std::vector<std::vector<Detection>> LatencyModeledDetector::DetectBatch(
+    const video::FrameId* frames, size_t count) {
+  std::vector<std::vector<Detection>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(detector_->Detect(frames[i]));
+  }
+  return out;
+}
+
+}  // namespace detect
+}  // namespace exsample

@@ -1,0 +1,128 @@
+// BatchedObjectDetector: the GPU-style batched inference interface.
+//
+// Real detectors amortize fixed per-invocation work (kernel launches, host
+// <-> device transfers, preprocessing setup) across a batch, so per-batch
+// latency is sublinear in batch size. The pipeline feeds decoded frames to
+// this interface in decode-completion order, up to a configured max batch.
+//
+// Two cost notions, deliberately separate:
+//   * FrameSeconds() — the deterministic per-frame inference charge used by
+//     the engine's result accounting (QueryResult::inference_seconds and the
+//     OnFrameCost feedback). Pure function of the backend, never of batch
+//     shape or wall clock, so pipelined accounting matches the serial path
+//     bit for bit.
+//   * BatchSeconds(n) — the modeled wall cost of one n-frame invocation,
+//     used for wall-clock emulation and latency metrics. Sublinear backends
+//     make batching show up as real end-to-end speedup in bench_pipeline.
+//
+// Backends:
+//   * SerialDetectorAdapter — wraps any ObjectDetector one frame at a time;
+//     the reference backend the determinism matrix runs against.
+//   * LatencyModeledDetector — same detections, but BatchSeconds models
+//     setup + n * per_frame (sublinear per frame), the bench's GPU stand-in.
+
+#ifndef EXSAMPLE_DETECT_BATCHED_DETECTOR_H_
+#define EXSAMPLE_DETECT_BATCHED_DETECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "detect/detector.h"
+#include "video/types.h"
+
+namespace exsample {
+namespace detect {
+
+/// Batched inference over decoded frames.
+class BatchedObjectDetector {
+ public:
+  virtual ~BatchedObjectDetector() = default;
+
+  /// Runs inference on `count` frames; returns one detection vector per
+  /// input frame, in input order. Detections must depend only on the frame
+  /// (not on batch shape or call order) — the pipeline reorders freely.
+  virtual std::vector<std::vector<Detection>> DetectBatch(
+      const video::FrameId* frames, size_t count) = 0;
+
+  /// Deterministic per-frame inference charge (seconds) for result
+  /// accounting; independent of batch shape.
+  virtual double FrameSeconds() const = 0;
+
+  /// Modeled wall cost (seconds) of one `count`-frame invocation.
+  virtual double BatchSeconds(size_t count) const = 0;
+
+  /// Frames inferred so far.
+  virtual int64_t frames_processed() const = 0;
+};
+
+/// Wraps a per-frame ObjectDetector as a batch backend: DetectBatch calls
+/// Detect once per frame, FrameSeconds and BatchSeconds both charge the
+/// wrapped detector's per-frame latency (no batching win — the reference
+/// backend for bit-identity against the serial engine path).
+class SerialDetectorAdapter : public BatchedObjectDetector {
+ public:
+  /// `detector` is non-owning and must outlive the adapter.
+  explicit SerialDetectorAdapter(ObjectDetector* detector)
+      : detector_(detector) {}
+
+  std::vector<std::vector<Detection>> DetectBatch(const video::FrameId* frames,
+                                                  size_t count) override;
+  double FrameSeconds() const override {
+    return detector_->InferenceSeconds();
+  }
+  double BatchSeconds(size_t count) const override {
+    return static_cast<double>(count) * detector_->InferenceSeconds();
+  }
+  int64_t frames_processed() const override {
+    return detector_->frames_processed();
+  }
+
+ private:
+  ObjectDetector* const detector_;
+};
+
+/// Latency model for a GPU-style backend: one invocation costs
+/// setup + count * per_frame, so bigger batches cost less per frame.
+struct BatchLatencyModel {
+  /// Fixed per-invocation cost (launch + transfer + preprocessing).
+  double batch_setup_seconds = 0.012;
+  /// Marginal per-frame cost within a batch.
+  double per_frame_seconds = 0.004;
+};
+
+/// Same detections as the wrapped detector, with modeled batch latency.
+/// FrameSeconds charges the one-frame invocation cost (setup + per_frame) —
+/// what a serial caller would pay per frame — so serial and pipelined runs
+/// of this backend account identically while BatchSeconds rewards batching.
+class LatencyModeledDetector : public BatchedObjectDetector {
+ public:
+  /// `detector` is non-owning and must outlive the adapter.
+  LatencyModeledDetector(ObjectDetector* detector, BatchLatencyModel model)
+      : detector_(detector), model_(model) {}
+
+  std::vector<std::vector<Detection>> DetectBatch(const video::FrameId* frames,
+                                                  size_t count) override;
+  double FrameSeconds() const override {
+    return model_.batch_setup_seconds + model_.per_frame_seconds;
+  }
+  double BatchSeconds(size_t count) const override {
+    return count == 0 ? 0.0
+                      : model_.batch_setup_seconds +
+                            static_cast<double>(count) *
+                                model_.per_frame_seconds;
+  }
+  int64_t frames_processed() const override {
+    return detector_->frames_processed();
+  }
+  const BatchLatencyModel& model() const { return model_; }
+
+ private:
+  ObjectDetector* const detector_;
+  const BatchLatencyModel model_;
+};
+
+}  // namespace detect
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DETECT_BATCHED_DETECTOR_H_

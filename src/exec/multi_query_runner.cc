@@ -4,6 +4,8 @@
 #include <cassert>
 #include <thread>
 
+#include "detect/batched_detector.h"
+#include "exec/pipeline.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -45,6 +47,21 @@ std::vector<JobResult> MultiQueryRunner::RunAll(
     core::QueryEngine engine(job.repo, job.chunks, detector.get(),
                              discriminator.get(), job.config, engine_seed);
     if (job.trace != nullptr) engine.set_trace(job.trace);
+
+    // Pipelined execution: wrap the job's detector as the batch backend and
+    // route the engine's batches through a per-job pipeline. Bit-identical
+    // to the serial path (see exec/pipeline.h), so jobs may mix modes.
+    std::unique_ptr<detect::SerialDetectorAdapter> batched;
+    std::unique_ptr<Pipeline> pipeline;
+    if (job.pipeline_depth > 0) {
+      batched = std::make_unique<detect::SerialDetectorAdapter>(detector.get());
+      PipelineOptions popt;
+      popt.queue_depth = job.pipeline_depth;
+      popt.detect_batch = job.detect_batch;
+      popt.decode_threads = job.pipeline_threads;
+      pipeline = std::make_unique<Pipeline>(job.repo, batched.get(), popt);
+      engine.set_executor(pipeline.get());
+    }
 
     JobResult& out = results[i];
     out.job_id = job.id;

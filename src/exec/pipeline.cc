@@ -1,0 +1,290 @@
+#include "exec/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+namespace exsample {
+namespace exec {
+
+namespace {
+
+void EmulateWall(double modeled_seconds, double wall_scale) {
+  if (wall_scale <= 0.0 || modeled_seconds <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(modeled_seconds * wall_scale));
+}
+
+double WallSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+PipelineMetrics PipelineMetrics::Register(obs::Registry* registry,
+                                          size_t cells) {
+  PipelineMetrics m;
+  m.queue_depth = registry->GetGauge("pipeline.queue_depth", cells);
+  m.decode_seconds = registry->GetHistogram("pipeline.decode_seconds", cells);
+  m.detect_batch_seconds =
+      registry->GetHistogram("pipeline.detect_batch_seconds", cells);
+  m.stalls_detector_starved =
+      registry->GetCounter("pipeline.stalls_detector_starved", cells);
+  m.stalls_queue_full =
+      registry->GetCounter("pipeline.stalls_queue_full", cells);
+  m.batches = registry->GetCounter("pipeline.batches", cells);
+  m.frames_decoded = registry->GetCounter("pipeline.frames_decoded", cells);
+  m.detect_batches = registry->GetCounter("pipeline.detect_batches", cells);
+  m.detect_frames = registry->GetCounter("pipeline.detect_frames", cells);
+  m.plan_seeks = registry->GetCounter("pipeline.plan_seeks", cells);
+  m.plan_coalesced_frames =
+      registry->GetCounter("pipeline.plan_coalesced_frames", cells);
+  return m;
+}
+
+Pipeline::Pipeline(const video::VideoRepository* repo,
+                   detect::BatchedObjectDetector* detector,
+                   PipelineOptions options, const PipelineMetrics* metrics,
+                   size_t cell)
+    : repo_(repo), detector_(detector), options_([&options] {
+        PipelineOptions o = options;
+        o.queue_depth = std::max<int32_t>(1, o.queue_depth);
+        o.detect_batch = std::max<int32_t>(1, o.detect_batch);
+        o.decode_threads = std::max<int32_t>(1, o.decode_threads);
+        return o;
+      }()),
+      metrics_(metrics),
+      cell_(cell) {
+  assert(repo_ != nullptr && detector_ != nullptr);
+  workers_.reserve(static_cast<size_t>(options_.decode_threads));
+  for (int32_t i = 0; i < options_.decode_threads; ++i) {
+    workers_.emplace_back([this] { DecodeWorker(); });
+  }
+}
+
+Pipeline::~Pipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    ++generation_;
+    batch_open_ = false;
+  }
+  decode_cv_.notify_all();
+  detect_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void Pipeline::BeginBatch(const std::vector<core::PickedFrame>& picks,
+                          video::SimulatedDecoder* decoder) {
+  // Plan (and cost-replay) on the engine thread, outside the lock: workers
+  // never touch the decoder, and decode accounting must not depend on
+  // worker scheduling.
+  std::vector<video::FrameId> frames;
+  frames.reserve(picks.size());
+  for (const core::PickedFrame& pick : picks) frames.push_back(pick.frame);
+  video::DecodePlan plan =
+      video::BuildDecodePlan(*repo_, frames, decoder, options_.plan_reorder);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++generation_;  // orphan any straggler from the previous batch
+    plan_ = std::move(plan);
+    decoded_.assign(plan_.entries.size(), 0);
+    next_claim_ = 0;
+    detect_cursor_ = 0;
+    decoded_ahead_ = 0;
+    work_.assign(picks.size(), core::FrameWork{});
+    ready_.assign(picks.size(), 0);
+    batch_open_ = true;
+    if (metrics_ != nullptr) {
+      if (metrics_->batches != nullptr) metrics_->batches->Add(1, cell_);
+      if (metrics_->plan_seeks != nullptr) {
+        metrics_->plan_seeks->Add(plan_.seeks, cell_);
+      }
+      if (metrics_->plan_coalesced_frames != nullptr) {
+        metrics_->plan_coalesced_frames->Add(plan_.coalesced_frames, cell_);
+      }
+      if (metrics_->queue_depth != nullptr) {
+        metrics_->queue_depth->Set(0, cell_);
+      }
+    }
+  }
+  decode_cv_.notify_all();
+}
+
+void Pipeline::DecodeWorker() {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool stalled_full = false;
+  for (;;) {
+    const bool batch_has_work =
+        batch_open_ && next_claim_ < plan_.entries.size();
+    const bool queue_full =
+        batch_has_work && next_claim_ - detect_cursor_ >=
+                              static_cast<size_t>(options_.queue_depth);
+    if (stopping_) return;
+    if (!batch_has_work || queue_full) {
+      if (queue_full && !stalled_full) {
+        stalled_full = true;  // count once per backpressure episode
+        if (metrics_ != nullptr && metrics_->stalls_queue_full != nullptr) {
+          metrics_->stalls_queue_full->Add(1, cell_);
+        }
+      }
+      decode_cv_.wait(lock);
+      continue;
+    }
+    stalled_full = false;
+    const uint64_t generation = generation_;
+    const size_t index = next_claim_++;
+    const video::DecodePlanEntry entry = plan_.entries[index];
+    lock.unlock();
+
+    const auto start = std::chrono::steady_clock::now();
+    // The modeled decode already happened at plan build; a worker's job is
+    // the wall-time shape: hold a queue slot for the duration of the decode.
+    EmulateWall(entry.seconds, options_.wall_scale);
+    const double wall = WallSince(start);
+
+    lock.lock();
+    if (generation_ != generation) continue;  // batch ended while decoding
+    decoded_[index] = 1;
+    ++decoded_ahead_;
+    if (metrics_ != nullptr) {
+      if (metrics_->frames_decoded != nullptr) {
+        metrics_->frames_decoded->Add(1, cell_);
+      }
+      if (metrics_->decode_seconds != nullptr) {
+        metrics_->decode_seconds->Observe(wall, cell_);
+      }
+      if (metrics_->queue_depth != nullptr) {
+        metrics_->queue_depth->Set(static_cast<int64_t>(decoded_ahead_),
+                                   cell_);
+      }
+    }
+    detect_cv_.notify_all();
+  }
+}
+
+void Pipeline::DetectReady(std::unique_lock<std::mutex>& lock) {
+  const size_t begin = detect_cursor_;
+  const size_t max_end =
+      std::min(plan_.entries.size(),
+               begin + static_cast<size_t>(options_.detect_batch));
+  auto contiguous_end = [this, max_end] {
+    size_t end = detect_cursor_;
+    while (end < max_end && decoded_[end] != 0) ++end;
+    return end;
+  };
+  size_t end = contiguous_end();
+  assert(end > begin && "DetectReady requires a decoded prefix");
+  // Optionally wait (bounded) for more decoded frames to fill the batch —
+  // batch shape affects wall time and metrics only, never results.
+  if (options_.max_wait_seconds > 0.0 && end < max_end) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.max_wait_seconds));
+    while (end < max_end &&
+           detect_cv_.wait_until(lock, deadline) !=
+               std::cv_status::timeout) {
+      end = contiguous_end();
+    }
+    end = contiguous_end();
+  }
+
+  // Claim [begin, end) before releasing the lock; workers may then decode
+  // ahead into the freed queue slots while inference runs.
+  const size_t count = end - begin;
+  detect_cursor_ = end;
+  decoded_ahead_ -= count;
+  std::vector<video::FrameId> frames(count);
+  std::vector<size_t> pick_indices(count);
+  std::vector<double> decode_costs(count);
+  for (size_t i = 0; i < count; ++i) {
+    const video::DecodePlanEntry& entry = plan_.entries[begin + i];
+    frames[i] = entry.frame;
+    pick_indices[i] = entry.pick_index;
+    decode_costs[i] = entry.seconds;
+  }
+  if (metrics_ != nullptr && metrics_->queue_depth != nullptr) {
+    metrics_->queue_depth->Set(static_cast<int64_t>(decoded_ahead_), cell_);
+  }
+  lock.unlock();
+  decode_cv_.notify_all();  // queue slots freed
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::vector<detect::Detection>> detections =
+      detector_->DetectBatch(frames.data(), count);
+  EmulateWall(detector_->BatchSeconds(count), options_.wall_scale);
+  const double wall = WallSince(start);
+  assert(detections.size() == count);
+
+  lock.lock();
+  const double frame_seconds = detector_->FrameSeconds();
+  for (size_t i = 0; i < count; ++i) {
+    core::FrameWork& work = work_[pick_indices[i]];
+    work.decode_seconds = decode_costs[i];
+    work.inference_seconds = frame_seconds;
+    work.detections = std::move(detections[i]);
+    ready_[pick_indices[i]] = 1;
+  }
+  if (metrics_ != nullptr) {
+    if (metrics_->detect_batches != nullptr) {
+      metrics_->detect_batches->Add(1, cell_);
+    }
+    if (metrics_->detect_frames != nullptr) {
+      metrics_->detect_frames->Add(static_cast<int64_t>(count), cell_);
+    }
+    if (metrics_->detect_batch_seconds != nullptr) {
+      metrics_->detect_batch_seconds->Observe(wall, cell_);
+    }
+  }
+}
+
+core::FrameWork Pipeline::Await(size_t pick_index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(batch_open_ && pick_index < ready_.size());
+  while (ready_[pick_index] == 0) {
+    if (detect_cursor_ < plan_.entries.size() &&
+        decoded_[detect_cursor_] != 0) {
+      DetectReady(lock);
+      continue;
+    }
+    // Nothing decoded past the cursor yet: the detector is starved.
+    if (metrics_ != nullptr &&
+        metrics_->stalls_detector_starved != nullptr) {
+      metrics_->stalls_detector_starved->Add(1, cell_);
+    }
+    detect_cv_.wait(lock, [this] {
+      return detect_cursor_ < plan_.entries.size() &&
+             decoded_[detect_cursor_] != 0;
+    });
+  }
+  return std::move(work_[pick_index]);
+}
+
+void Pipeline::Abort() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!batch_open_) return;
+    ++generation_;  // stragglers discard their claims on wake
+    batch_open_ = false;
+    plan_ = video::DecodePlan{};
+    decoded_.clear();
+    work_.clear();
+    ready_.clear();
+    next_claim_ = 0;
+    detect_cursor_ = 0;
+    decoded_ahead_ = 0;
+    if (metrics_ != nullptr && metrics_->queue_depth != nullptr) {
+      metrics_->queue_depth->Set(0, cell_);
+    }
+  }
+  decode_cv_.notify_all();
+  detect_cv_.notify_all();
+}
+
+}  // namespace exec
+}  // namespace exsample

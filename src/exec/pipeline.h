@@ -1,0 +1,161 @@
+// exec::Pipeline: staged decode -> detect execution for one engine.
+//
+// Turns each engine pick batch into
+//   1. a GOP-aware decode plan (video::BuildDecodePlan): same-GOP picks
+//      coalesce into one seek, groups run I-frame-first, and every entry
+//      carries the measured per-frame cost, replayed through the run's own
+//      decoder on the engine thread;
+//   2. a bounded async decode-ahead queue: worker threads claim plan
+//      entries in plan order and "decode" ahead of the detector, stalling
+//      (backpressure) when queue_depth frames are decoded but not yet
+//      claimed by detection;
+//   3. batched detection: Await() gathers the contiguous decoded prefix of
+//      the plan — waiting up to max_wait_seconds to fill a batch — and
+//      hands it to the BatchedObjectDetector, up to detect_batch frames per
+//      invocation.
+//
+// Determinism: the engine's RNG is touched only by FrameSource::NextBatch,
+// which the engine calls identically with or without a pipeline; the plan
+// is a pure function of the batch; per-pick charges come from the plan and
+// FrameSeconds(), not from wall clocks; and detections are per-frame pure.
+// So result sets are bit-identical to the serial path for any queue depth,
+// detect batch size, or worker count (pinned by tests/pipeline). Queue and
+// batch *shapes* — and therefore the metrics below — do depend on thread
+// timing; results never do.
+//
+// Wall emulation: with wall_scale > 0, workers sleep each entry's modeled
+// decode cost (scaled) and detection sleeps BatchSeconds (scaled), so
+// bench_pipeline measures real overlap and batching wins with wall clocks
+// while results stay simulated and deterministic.
+//
+// Thread model: BeginBatch / Await / Abort are called by the one engine
+// thread; decode workers only touch the plan queue under the pipeline
+// mutex. The destructor joins the workers; it is safe to destroy a
+// pipeline with a batch still open (undelivered work is dropped).
+
+#ifndef EXSAMPLE_EXEC_PIPELINE_H_
+#define EXSAMPLE_EXEC_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "detect/batched_detector.h"
+#include "obs/metrics.h"
+#include "video/decode_plan.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace exec {
+
+/// Pipeline shape knobs. Results are identical for every setting; only
+/// wall-clock behaviour (and the stall/batch metrics) change.
+struct PipelineOptions {
+  /// Max frames decoded ahead of detection (backpressure bound), >= 1.
+  int32_t queue_depth = 4;
+  /// Max frames per BatchedObjectDetector::DetectBatch invocation, >= 1.
+  int32_t detect_batch = 8;
+  /// Decode worker threads, >= 1.
+  int32_t decode_threads = 1;
+  /// How long detection waits for more decoded frames before running a
+  /// partial batch (0 = never wait; detect whatever is ready).
+  double max_wait_seconds = 0.0;
+  /// GOP-aware I-frame-first reordering (false = keep pick order — the
+  /// serial-equivalent schedule the bench baselines against).
+  bool plan_reorder = true;
+  /// > 0: emulate wall time by sleeping scaled modeled costs (decode
+  /// entries and detect batches). 0 = run at full speed.
+  double wall_scale = 0.0;
+};
+
+/// Metric sinks for the pipeline (all non-owning, registry-owned; a
+/// default-constructed instance disables everything).
+struct PipelineMetrics {
+  /// Frames decoded ahead but not yet claimed by detection (sampled on
+  /// every queue transition).
+  obs::Gauge* queue_depth = nullptr;
+  /// Wall time per decoded frame (includes emulated decode sleep).
+  obs::LatencyHistogram* decode_seconds = nullptr;
+  /// Wall time per DetectBatch invocation (includes emulated sleep).
+  obs::LatencyHistogram* detect_batch_seconds = nullptr;
+  /// Await found nothing decoded and had to wait (detector starved).
+  obs::Counter* stalls_detector_starved = nullptr;
+  /// A decode worker blocked on the queue_depth bound (queue full).
+  obs::Counter* stalls_queue_full = nullptr;
+  obs::Counter* batches = nullptr;         // BeginBatch calls
+  obs::Counter* frames_decoded = nullptr;  // plan entries decoded
+  obs::Counter* detect_batches = nullptr;  // DetectBatch invocations
+  obs::Counter* detect_frames = nullptr;   // frames through DetectBatch
+  /// Decode-plan telemetry: seeks the plans paid, and frames coalesced
+  /// into an already-open GOP (seeks avoided vs one-seek-per-frame).
+  obs::Counter* plan_seeks = nullptr;
+  obs::Counter* plan_coalesced_frames = nullptr;
+
+  /// Registers every pipeline.* family into `registry` (idempotent; shared
+  /// names must agree on `cells`).
+  static PipelineMetrics Register(obs::Registry* registry, size_t cells);
+};
+
+/// The staged executor. One pipeline serves one engine (single-threaded
+/// caller); its worker threads live for the pipeline's lifetime.
+class Pipeline : public core::BatchExecutor {
+ public:
+  /// `repo` and `detector` are non-owning and must outlive the pipeline.
+  /// `metrics` (may be null) must outlive it too; `cell` spreads concurrent
+  /// pipelines across metric cells.
+  Pipeline(const video::VideoRepository* repo,
+           detect::BatchedObjectDetector* detector, PipelineOptions options,
+           const PipelineMetrics* metrics = nullptr, size_t cell = 0);
+  ~Pipeline() override;
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  void BeginBatch(const std::vector<core::PickedFrame>& picks,
+                  video::SimulatedDecoder* decoder) override;
+  core::FrameWork Await(size_t pick_index) override;
+  void Abort() override;
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  void DecodeWorker();
+  /// Runs one detection round: claims the contiguous decoded prefix (up to
+  /// detect_batch), releases the lock for inference, publishes the work.
+  /// Precondition: at least one decoded, unclaimed entry. Called with
+  /// `lock` held; returns with it held.
+  void DetectReady(std::unique_lock<std::mutex>& lock);
+
+  const video::VideoRepository* const repo_;
+  detect::BatchedObjectDetector* const detector_;
+  const PipelineOptions options_;
+  const PipelineMetrics* const metrics_;  // may be null
+  const size_t cell_;
+
+  std::mutex mu_;
+  std::condition_variable decode_cv_;  // wakes workers: work or shutdown
+  std::condition_variable detect_cv_;  // wakes Await: frames decoded
+  /// Guards stale workers against a batch that ended while they slept:
+  /// bumped by BeginBatch, Abort and shutdown; a worker that wakes into a
+  /// different generation discards its claim.
+  uint64_t generation_ = 0;
+  bool stopping_ = false;
+  bool batch_open_ = false;
+  video::DecodePlan plan_;
+  std::vector<char> decoded_;       // per plan entry
+  size_t next_claim_ = 0;           // next plan entry a worker may take
+  size_t detect_cursor_ = 0;        // plan entries claimed by detection
+  size_t decoded_ahead_ = 0;        // decoded, not yet claimed by detection
+  std::vector<core::FrameWork> work_;  // per pick index
+  std::vector<char> ready_;            // per pick index
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace exec
+}  // namespace exsample
+
+#endif  // EXSAMPLE_EXEC_PIPELINE_H_

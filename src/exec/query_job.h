@@ -55,6 +55,15 @@ struct QueryJob {
   /// job's RNG streams, so a traced run matches an untraced one bit for
   /// bit. Single-writer: don't share one recorder between jobs.
   obs::TraceRecorder* trace = nullptr;
+  /// Pipelined decode -> detect execution: decode-ahead queue depth. 0 (the
+  /// default) runs the serial in-engine path; > 0 routes batches through an
+  /// exec::Pipeline (results are bit-identical either way — see
+  /// exec/pipeline.h).
+  int32_t pipeline_depth = 0;
+  /// Max frames per batched-detector invocation (pipelined runs only).
+  int32_t detect_batch = 8;
+  /// Decode worker threads (pipelined runs only).
+  int32_t pipeline_threads = 1;
 };
 
 /// Outcome of one scheduled job, in the job order passed to RunAll().

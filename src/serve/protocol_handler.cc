@@ -217,6 +217,21 @@ Json ProtocolHandler::HandleOpen(const Json& cmd) {
     return Error("gop_run must be in [1, 2^31)");
   }
   job.config.gop_run_frames = static_cast<int32_t>(gop_run);
+  // Pipelined decode -> detect execution (0 = serial path). Results are
+  // bit-identical either way; the knobs shape wall-clock behaviour and the
+  // pipeline.* metrics only.
+  const int64_t pipeline_depth = cmd.GetInt("pipeline_depth", 0);
+  if (pipeline_depth < 0 ||
+      pipeline_depth > std::numeric_limits<int32_t>::max()) {
+    return Error("pipeline_depth must be in [0, 2^31) (0 = serial)");
+  }
+  job.pipeline_depth = static_cast<int32_t>(pipeline_depth);
+  const int64_t detect_batch = cmd.GetInt("detect_batch", 8);
+  if (detect_batch < 1 ||
+      detect_batch > std::numeric_limits<int32_t>::max()) {
+    return Error("detect_batch must be in [1, 2^31)");
+  }
+  job.detect_batch = static_cast<int32_t>(detect_batch);
 
   const detect::ClassId class_id = cls->class_id;
   job.make_detector = [dataset, class_id](uint64_t seed) {

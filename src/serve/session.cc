@@ -89,6 +89,7 @@ ServeMetrics ServeMetrics::Register(obs::Registry* registry, size_t cells) {
       static_cast<size_t>(core::PolicyKind::kHierBayesUcb) + 1);
   m.engine.cost_per_frame_micros =
       registry->GetGauge("core.cost_per_frame_micros", cells);
+  m.pipeline = exec::PipelineMetrics::Register(registry, cells);
   return m;
 }
 
@@ -125,6 +126,21 @@ QuerySession::QuerySession(const exec::QueryJob& job, uint64_t base_seed,
       engine_seed);
   if (metrics_ != nullptr) {
     engine_->set_metrics(metrics_->engine, metrics_cell_);
+  }
+  if (job.pipeline_depth > 0) {
+    // Pipelined decode -> detect for this session's slices; bit-identical
+    // to the serial path, so pipelined and serial sessions may coexist on
+    // one manager (and in one determinism matrix).
+    batched_detector_ =
+        std::make_unique<detect::SerialDetectorAdapter>(detector_.get());
+    exec::PipelineOptions popt;
+    popt.queue_depth = job.pipeline_depth;
+    popt.detect_batch = job.detect_batch;
+    popt.decode_threads = job.pipeline_threads;
+    pipeline_ = std::make_unique<exec::Pipeline>(
+        job.repo, batched_detector_.get(), popt,
+        metrics_ != nullptr ? &metrics_->pipeline : nullptr, metrics_cell_);
+    engine_->set_executor(pipeline_.get());
   }
   engine_->Begin(job.spec);
 }

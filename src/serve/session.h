@@ -25,6 +25,8 @@
 
 #include "core/engine.h"
 #include "core/frame_source.h"
+#include "detect/batched_detector.h"
+#include "exec/pipeline.h"
 #include "exec/query_job.h"
 #include "obs/metrics.h"
 
@@ -51,6 +53,9 @@ struct ServeMetrics {
   obs::Counter* warm_hits = nullptr;    // StatsCache lookup found priors
   obs::Counter* warm_misses = nullptr;  // lookup ran and came back empty
   core::EngineMetrics engine;
+  /// Handed to each pipelined session's exec::Pipeline (queue depth gauge,
+  /// decode/detect latency histograms, stall counters).
+  exec::PipelineMetrics pipeline;
 
   /// Registers every serve.* and core.* family into `registry` (idempotent;
   /// shared names must agree on `cells`). Cells spread concurrent writers:
@@ -195,6 +200,11 @@ class QuerySession {
   mutable std::mutex mu_;
   std::unique_ptr<detect::ObjectDetector> detector_;
   std::unique_ptr<track::Discriminator> discriminator_;
+  /// Pipelined execution (job.pipeline_depth > 0 only; null otherwise).
+  /// Declared before engine_ so the engine — whose destructor aborts any
+  /// open batch — is destroyed first, then the pipeline joins its workers.
+  std::unique_ptr<detect::SerialDetectorAdapter> batched_detector_;
+  std::unique_ptr<exec::Pipeline> pipeline_;
   std::unique_ptr<core::QueryEngine> engine_;
   /// Written under mu_, readable without it (see state()).
   std::atomic<SessionState> state_{SessionState::kRunning};

@@ -1,0 +1,114 @@
+#include "video/decode_plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace exsample {
+namespace video {
+
+namespace {
+
+/// A pick annotated with its GOP coordinates.
+struct Annotated {
+  FrameId frame = -1;
+  size_t pick_index = 0;
+  VideoIndex video = 0;
+  int64_t gop = 0;     // GOP index within the video
+  int64_t offset = 0;  // offset within the GOP
+};
+
+}  // namespace
+
+DecodePlan BuildDecodePlan(const VideoRepository& repo,
+                           const std::vector<FrameId>& frames,
+                           SimulatedDecoder* decoder, bool reorder) {
+  assert(decoder != nullptr);
+  DecodePlan plan;
+  plan.entries.reserve(frames.size());
+
+  std::vector<Annotated> picks(frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    const FrameLocation loc = repo.Locate(frames[i]);
+    const int32_t gop = repo.video(loc.video).keyframe_interval;
+    picks[i] = Annotated{frames[i], i, loc.video, loc.local_frame / gop,
+                         loc.local_frame % gop};
+  }
+
+  std::vector<size_t> order(picks.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  if (reorder) {
+    // Cluster same-GOP picks and decode each cluster front to back; the
+    // pick index tiebreak keeps the order a pure function of the batch.
+    std::sort(order.begin(), order.end(), [&picks](size_t a, size_t b) {
+      const Annotated& x = picks[a];
+      const Annotated& y = picks[b];
+      if (x.video != y.video) return x.video < y.video;
+      if (x.gop != y.gop) return x.gop < y.gop;
+      if (x.frame != y.frame) return x.frame < y.frame;
+      return x.pick_index < y.pick_index;
+    });
+    // Slice the sorted picks into (video, GOP) groups.
+    struct Group {
+      size_t begin = 0, end = 0;  // range in `order`
+      int64_t max_offset = 0;     // deepest predicted chain the group needs
+      FrameId first_frame = 0;
+    };
+    std::vector<Group> groups;
+    for (size_t i = 0; i < order.size();) {
+      const Annotated& head = picks[order[i]];
+      Group g;
+      g.begin = i;
+      g.first_frame = head.frame;
+      while (i < order.size() && picks[order[i]].video == head.video &&
+             picks[order[i]].gop == head.gop) {
+        g.max_offset = picks[order[i]].offset;  // ascending within the group
+        ++i;
+      }
+      g.end = i;
+      groups.push_back(g);
+    }
+    // I-frame-first: groups whose deepest pick sits nearest the keyframe
+    // decode first (a keyframe-only group costs one seek + one keyframe);
+    // first_frame breaks ties deterministically.
+    std::sort(groups.begin(), groups.end(), [](const Group& a, const Group& b) {
+      if (a.max_offset != b.max_offset) return a.max_offset < b.max_offset;
+      return a.first_frame < b.first_frame;
+    });
+    std::vector<size_t> grouped;
+    grouped.reserve(order.size());
+    for (const Group& g : groups) {
+      for (size_t i = g.begin; i < g.end; ++i) grouped.push_back(order[i]);
+    }
+    order = std::move(grouped);
+  }
+
+  // Replay the schedule against the run's decoder: entry costs are exactly
+  // what the decoder charges in this order, and the decoder ends positioned
+  // for the next batch.
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Annotated& pick = picks[order[i]];
+    DecodePlanEntry entry;
+    entry.frame = pick.frame;
+    entry.pick_index = pick.pick_index;
+    const int64_t seeks_before = decoder->stats().seeks;
+    entry.seconds = decoder->Read(pick.frame);
+    entry.seek = decoder->stats().seeks > seeks_before;
+    plan.total_seconds += entry.seconds;
+    if (entry.seek) ++plan.seeks;
+    plan.entries.push_back(entry);
+    const bool new_group =
+        i == 0 || picks[order[i - 1]].video != pick.video ||
+        picks[order[i - 1]].gop != pick.gop;
+    if (new_group) {
+      ++plan.gop_groups;
+    } else {
+      ++plan.coalesced_frames;
+    }
+  }
+  return plan;
+}
+
+}  // namespace video
+}  // namespace exsample

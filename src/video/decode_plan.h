@@ -1,0 +1,72 @@
+// DecodePlan: a GOP-aware decode schedule for one batch of picked frames.
+//
+// The engine's pick batches address frames in bandit order, which scatters
+// reads across GOPs and pays a container seek + keyframe decode almost every
+// time. A DecodePlan reorders the batch before it reaches the decoder:
+//
+//   * picks are grouped by the GOP they live in, so same-GOP picks coalesce
+//     into one seek + one keyframe + a single forward predicted chain (the
+//     corrected SimulatedDecoder accounting makes this fall out naturally);
+//   * groups are ordered I-frame-first — groups whose deepest pick sits on
+//     (or nearest) the keyframe come first, so the cheapest frames reach the
+//     detector earliest (EKO's observation: sample cheap I-frames before
+//     paying full GOP decode), which matters when a downstream result limit
+//     can end the batch early;
+//   * within a group, frames are decoded in ascending order (the only order
+//     the predicted chain supports without re-decoding).
+//
+// Building a plan replays the schedule against the caller's SimulatedDecoder
+// — the same stateful decoder the run accounts with — so every entry carries
+// the measured per-frame cost the pipeline actually pays, and the decoder is
+// left positioned exactly where the plan ends (costs stay deterministic
+// across consecutive batches).
+
+#ifndef EXSAMPLE_VIDEO_DECODE_PLAN_H_
+#define EXSAMPLE_VIDEO_DECODE_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "video/decoder.h"
+#include "video/repository.h"
+#include "video/types.h"
+
+namespace exsample {
+namespace video {
+
+/// One scheduled decode. `pick_index` maps the entry back to the position of
+/// the frame in the batch the plan was built from.
+struct DecodePlanEntry {
+  FrameId frame = -1;
+  size_t pick_index = 0;
+  /// Measured cost of this decode in plan order, in (modeled) seconds.
+  double seconds = 0.0;
+  /// Whether this decode paid a container seek.
+  bool seek = false;
+};
+
+/// The schedule plus its aggregate accounting.
+struct DecodePlan {
+  std::vector<DecodePlanEntry> entries;
+  double total_seconds = 0.0;
+  int64_t seeks = 0;
+  /// Distinct (video, GOP) groups in the batch.
+  int64_t gop_groups = 0;
+  /// Frames that shared a group with an earlier frame (each one is a seek
+  /// the plan avoided relative to worst-case random access).
+  int64_t coalesced_frames = 0;
+};
+
+/// Builds the schedule for `frames` and replays it against `decoder`,
+/// recording per-entry measured costs. With `reorder` false the plan keeps
+/// the original pick order (still measured through the decoder — the
+/// serial-equivalent baseline the pipeline bench compares against).
+DecodePlan BuildDecodePlan(const VideoRepository& repo,
+                           const std::vector<FrameId>& frames,
+                           SimulatedDecoder* decoder, bool reorder = true);
+
+}  // namespace video
+}  // namespace exsample
+
+#endif  // EXSAMPLE_VIDEO_DECODE_PLAN_H_

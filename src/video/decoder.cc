@@ -11,26 +11,48 @@ SimulatedDecoder::SimulatedDecoder(const VideoRepository* repo,
   assert(repo_ != nullptr);
 }
 
-double SimulatedDecoder::PeekCost(FrameId frame) const {
+double SimulatedDecoder::CostFor(FrameId frame, bool* is_seek) const {
   assert(frame >= 0 && frame < repo_->total_frames());
   const FrameLocation loc = repo_->Locate(frame);
   const int32_t gop = repo_->video(loc.video).keyframe_interval;
   const int64_t offset_in_gop = loc.local_frame % gop;
 
-  if (frame == next_sequential_) {
-    // Sequential read: keyframe decode at GOP starts, predicted otherwise.
-    return offset_in_gop == 0 ? model_.keyframe_decode_seconds
-                              : model_.predicted_decode_seconds;
+  // Forward read inside the GOP the decoder is parked in: the container is
+  // already positioned and the reference chain up to the current position is
+  // already decoded, so the target costs only the remaining predicted-frame
+  // chain — no seek, no keyframe re-decode (unless the position is parked
+  // exactly on the GOP start, where the keyframe itself is still unpaid).
+  // Charging the full seek + keyframe here double-counted work the decoder
+  // had already done, which also hid the value of coalescing same-GOP picks.
+  if (next_sequential_ >= 0 && frame >= next_sequential_) {
+    const FrameLocation pos = repo_->Locate(next_sequential_);
+    if (pos.video == loc.video &&
+        pos.local_frame / gop == loc.local_frame / gop) {
+      if (is_seek != nullptr) *is_seek = false;
+      const int64_t steps = loc.local_frame - pos.local_frame;
+      if (pos.local_frame % gop == 0) {
+        return model_.keyframe_decode_seconds +
+               static_cast<double>(steps) * model_.predicted_decode_seconds;
+      }
+      return static_cast<double>(steps + 1) *
+             model_.predicted_decode_seconds;
+    }
   }
   // Random access: seek to the preceding keyframe, decode it, then decode
   // forward to the target.
+  if (is_seek != nullptr) *is_seek = true;
   return model_.seek_seconds + model_.keyframe_decode_seconds +
          static_cast<double>(offset_in_gop) * model_.predicted_decode_seconds;
 }
 
+double SimulatedDecoder::PeekCost(FrameId frame) const {
+  return CostFor(frame, nullptr);
+}
+
 double SimulatedDecoder::Read(FrameId frame) {
-  const double cost = PeekCost(frame);
-  if (frame != next_sequential_) ++stats_.seeks;
+  bool is_seek = false;
+  const double cost = CostFor(frame, &is_seek);
+  if (is_seek) ++stats_.seeks;
   ++stats_.frames_decoded;
   stats_.total_seconds += cost;
   next_sequential_ = frame + 1;

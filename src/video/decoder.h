@@ -55,10 +55,11 @@ struct DecodeStats {
 };
 
 /// Simulates reads against a repository. The decoder remembers its position;
-/// reading the immediately following frame is cheap (predicted-frame decode
-/// only, or keyframe decode at GOP boundaries), while a random jump pays
-/// seek + keyframe + predicted decodes from the preceding keyframe to the
-/// target.
+/// any forward read within the GOP it is parked in is cheap (only the
+/// remaining predicted-frame chain — the seek and keyframe were already paid
+/// when the decoder entered the GOP), while a jump to another GOP, another
+/// video, or backwards pays seek + keyframe + predicted decodes from the
+/// preceding keyframe to the target.
 class SimulatedDecoder {
  public:
   SimulatedDecoder(const VideoRepository* repo, DecodeCostModel model);
@@ -74,6 +75,10 @@ class SimulatedDecoder {
   double PeekCost(FrameId frame) const;
 
  private:
+  /// Shared Read/PeekCost costing; sets *is_seek (when non-null) to whether
+  /// the read pays a container seek.
+  double CostFor(FrameId frame, bool* is_seek) const;
+
   const VideoRepository* repo_;
   DecodeCostModel model_;
   DecodeStats stats_;

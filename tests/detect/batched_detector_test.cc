@@ -1,0 +1,126 @@
+#include "detect/batched_detector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "detect/simulated_detector.h"
+
+namespace exsample {
+namespace detect {
+namespace {
+
+// Fake oracle: instance i (0..num_objects-1) is visible in frames
+// [100*i, 100*i + 50) with a fixed box.
+class FakeOracle : public FrameOracle {
+ public:
+  explicit FakeOracle(int num_objects) : num_objects_(num_objects) {}
+
+  std::vector<Detection> TrueObjectsAt(video::FrameId frame,
+                                       ClassId class_id) const override {
+    std::vector<Detection> out;
+    for (int i = 0; i < num_objects_; ++i) {
+      if (frame >= 100 * i && frame < 100 * i + 50) {
+        Detection d;
+        d.frame = frame;
+        d.class_id = class_id;
+        d.instance = i;
+        d.box = BBox{100.0 * i, 50.0, 40.0, 80.0};
+        out.push_back(d);
+      }
+    }
+    return out;
+  }
+
+ private:
+  int num_objects_;
+};
+
+// A noisy config so the equivalence checks cover the detector's RNG path,
+// not just the perfect-detection fast path.
+DetectorConfig NoisyConfig() {
+  DetectorConfig cfg;
+  cfg.miss_rate = 0.2;
+  cfg.box_jitter = 0.1;
+  cfg.false_positive_rate = 0.3;
+  return cfg;
+}
+
+void ExpectSameDetections(const std::vector<Detection>& a,
+                          const std::vector<Detection>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].frame, b[i].frame);
+    EXPECT_EQ(a[i].instance, b[i].instance);
+    EXPECT_EQ(a[i].box, b[i].box);
+    EXPECT_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST(SerialDetectorAdapterTest, BatchMatchesDirectPerFrameDetect) {
+  FakeOracle oracle(3);
+  SimulatedDetector direct(&oracle, 1, NoisyConfig(), 7);
+  SimulatedDetector wrapped(&oracle, 1, NoisyConfig(), 7);
+  SerialDetectorAdapter adapter(&wrapped);
+
+  const std::vector<video::FrameId> frames = {0, 10, 120, 60, 240};
+  auto batched = adapter.DetectBatch(frames.data(), frames.size());
+  ASSERT_EQ(batched.size(), frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    ExpectSameDetections(batched[i], direct.Detect(frames[i]));
+  }
+  EXPECT_EQ(adapter.frames_processed(),
+            static_cast<int64_t>(frames.size()));
+}
+
+TEST(SerialDetectorAdapterTest, CostsMatchWrappedDetector) {
+  FakeOracle oracle(1);
+  SimulatedDetector det(&oracle, 1, PerfectDetectorConfig(), 42);
+  SerialDetectorAdapter adapter(&det);
+  EXPECT_DOUBLE_EQ(adapter.FrameSeconds(), det.InferenceSeconds());
+  // No batching win: an n-frame batch costs exactly n serial inferences.
+  EXPECT_DOUBLE_EQ(adapter.BatchSeconds(1), det.InferenceSeconds());
+  EXPECT_DOUBLE_EQ(adapter.BatchSeconds(8), 8 * det.InferenceSeconds());
+  EXPECT_DOUBLE_EQ(adapter.BatchSeconds(0), 0.0);
+}
+
+TEST(LatencyModeledDetectorTest, SameDetectionsAsWrappedDetector) {
+  FakeOracle oracle(3);
+  SimulatedDetector direct(&oracle, 1, NoisyConfig(), 7);
+  SimulatedDetector wrapped(&oracle, 1, NoisyConfig(), 7);
+  LatencyModeledDetector modeled(&wrapped, BatchLatencyModel{});
+
+  const std::vector<video::FrameId> frames = {0, 10, 120, 60};
+  auto batched = modeled.DetectBatch(frames.data(), frames.size());
+  ASSERT_EQ(batched.size(), frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    ExpectSameDetections(batched[i], direct.Detect(frames[i]));
+  }
+}
+
+TEST(LatencyModeledDetectorTest, BatchCostIsSublinearPerFrame) {
+  FakeOracle oracle(1);
+  SimulatedDetector det(&oracle, 1, PerfectDetectorConfig(), 42);
+  BatchLatencyModel model;
+  model.batch_setup_seconds = 0.012;
+  model.per_frame_seconds = 0.004;
+  LatencyModeledDetector modeled(&det, model);
+
+  // Serial accounting: one frame pays the full invocation (setup + frame).
+  EXPECT_DOUBLE_EQ(modeled.FrameSeconds(), 0.016);
+  EXPECT_DOUBLE_EQ(modeled.BatchSeconds(1), modeled.FrameSeconds());
+  EXPECT_DOUBLE_EQ(modeled.BatchSeconds(0), 0.0);
+
+  // The setup amortizes: per-frame cost strictly decreases with batch size
+  // and an 8-frame batch beats 8 single-frame invocations by 7 setups.
+  EXPECT_DOUBLE_EQ(modeled.BatchSeconds(8), 0.012 + 8 * 0.004);
+  EXPECT_LT(modeled.BatchSeconds(8), 8 * modeled.BatchSeconds(1));
+  EXPECT_LT(modeled.BatchSeconds(64) / 64.0, modeled.BatchSeconds(8) / 8.0);
+  EXPECT_NEAR(modeled.BatchSeconds(8 * 16),
+              8 * modeled.BatchSeconds(16) - 7 * model.batch_setup_seconds,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace detect
+}  // namespace exsample

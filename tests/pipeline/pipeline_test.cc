@@ -1,0 +1,479 @@
+// exec::Pipeline: the pipelined decode -> detect executor must be a pure
+// wall-clock optimization. The determinism matrix here is the contract the
+// whole feature hangs on: for ANY queue depth, detect batch size, or worker
+// count, a pipelined run's result set is bit-identical to the serial
+// engine's, pinned against the same golden fingerprints the core matrix
+// freezes. The lifecycle tests cover the hard concurrent edges: abort with
+// workers mid-decode, destruction with a batch in flight, deadline expiry
+// mid-batch through the serving layer.
+
+#include "exec/pipeline.h"
+
+#include <cstdint>
+#include <ios>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "detect/batched_detector.h"
+#include "detect/simulated_detector.h"
+#include "exec/query_job.h"
+#include "obs/metrics.h"
+#include "serve/session.h"
+#include "track/discriminator.h"
+#include "util/json.h"
+
+#include "../testing/fingerprint.h"
+
+namespace exsample {
+namespace exec {
+namespace {
+
+using testing_util::Fnv1a;
+
+// Same skewed dataset as the core determinism matrix (tests/core): 40k
+// frames, 8 chunks, 60 instances concentrated in the middle chunks.
+data::Dataset SkewedDataset(uint64_t seed = 41) {
+  data::DatasetSpec spec;
+  spec.name = "skewed";
+  spec.num_videos = 1;
+  spec.frames_per_video = 40000;
+  spec.chunk_frames = 5000;
+  data::ClassSpec c;
+  c.class_id = 0;
+  c.name = "obj";
+  c.num_instances = 60;
+  c.mean_duration_frames = 200.0;
+  c.placement = data::Placement::kNormal;
+  c.stddev_fraction = 0.05;
+  spec.classes.push_back(c);
+  return data::GenerateDataset(spec, seed);
+}
+
+struct Harness {
+  data::Dataset dataset;
+  std::unique_ptr<detect::SimulatedDetector> detector;
+  std::unique_ptr<track::OracleDiscriminator> discriminator;
+
+  explicit Harness(data::Dataset ds, uint64_t seed = 9)
+      : dataset(std::move(ds)) {
+    detector = std::make_unique<detect::SimulatedDetector>(
+        &dataset.ground_truth, 0, detect::PerfectDetectorConfig(), seed);
+    discriminator = std::make_unique<track::OracleDiscriminator>();
+  }
+
+  core::QueryEngine MakeEngine(core::EngineConfig config,
+                               uint64_t seed = 71) {
+    return core::QueryEngine(&dataset.repo, &dataset.chunks, detector.get(),
+                             discriminator.get(), config, seed);
+  }
+};
+
+// Identical scheme to the core matrix: frames processed, the result
+// stream, and both trajectories. Never hashes seconds — the pipeline's
+// decode reordering legitimately changes decode_seconds vs pick order.
+uint64_t ResultFingerprint(const core::QueryResult& r) {
+  uint64_t h = testing_util::kFnv1aOffsetBasis;
+  h = Fnv1a(h, static_cast<uint64_t>(r.frames_processed));
+  for (const auto& d : r.results) {
+    h = Fnv1a(h, static_cast<uint64_t>(d.frame));
+    h = Fnv1a(h, static_cast<uint64_t>(d.instance));
+  }
+  for (const auto& p : r.reported.points()) {
+    h = Fnv1a(h, static_cast<uint64_t>(p.samples));
+    h = Fnv1a(h, static_cast<uint64_t>(p.count));
+  }
+  for (const auto& p : r.true_instances.points()) {
+    h = Fnv1a(h, static_cast<uint64_t>(p.samples));
+    h = Fnv1a(h, static_cast<uint64_t>(p.count));
+  }
+  return h;
+}
+
+core::QuerySpec MatrixSpec() {
+  core::QuerySpec q;
+  q.class_id = 0;
+  q.result_limit = 25;
+  q.max_samples = 6000;
+  return q;
+}
+
+core::QueryResult RunPipelined(const core::EngineConfig& cfg,
+                               const core::QuerySpec& q,
+                               PipelineOptions popt,
+                               const PipelineMetrics* metrics = nullptr,
+                               size_t cell = 0) {
+  Harness h(SkewedDataset());
+  detect::SerialDetectorAdapter adapter(h.detector.get());
+  // Pipeline declared before the engine: the engine's destructor aborts
+  // any open batch, then the pipeline joins its workers.
+  Pipeline pipeline(&h.dataset.repo, &adapter, popt, metrics, cell);
+  auto engine = h.MakeEngine(cfg);
+  engine.set_executor(&pipeline);
+  return engine.Run(q);
+}
+
+// The tentpole contract. Runs the serial engine (no executor) for the
+// policy, checks it against the pinned golden (which for hier_thompson is
+// the very constant the core matrix pins — one scheme, two files), then
+// sweeps {queue depth} x {detect batch} x {worker threads} and demands
+// bit-identity. Also pins that decode accounting — while legitimately
+// different from pick order — is identical across every pipeline shape:
+// the plan depends on the batch, never on timing.
+void CheckMatrix(core::EngineConfig cfg, uint64_t golden) {
+  const core::QuerySpec q = MatrixSpec();
+  uint64_t serial_fp;
+  {
+    Harness h(SkewedDataset());
+    auto engine = h.MakeEngine(cfg);
+    serial_fp = ResultFingerprint(engine.Run(q));
+  }
+  EXPECT_EQ(serial_fp, golden)
+      << "serial fingerprint 0x" << std::hex << serial_fp;
+
+  double pipelined_decode_seconds = -1.0;
+  for (int32_t depth : {1, 4, 16}) {
+    for (int32_t batch : {1, 8, 64}) {
+      for (int32_t threads : {1, 4}) {
+        PipelineOptions popt;
+        popt.queue_depth = depth;
+        popt.detect_batch = batch;
+        popt.decode_threads = threads;
+        const core::QueryResult result = RunPipelined(cfg, q, popt);
+        const uint64_t fp = ResultFingerprint(result);
+        EXPECT_EQ(fp, serial_fp)
+            << "depth " << depth << " batch " << batch << " threads "
+            << threads << " fingerprint 0x" << std::hex << fp;
+        if (pipelined_decode_seconds < 0.0) {
+          pipelined_decode_seconds = result.decode_seconds;
+        } else {
+          EXPECT_DOUBLE_EQ(result.decode_seconds, pipelined_decode_seconds)
+              << "depth " << depth << " batch " << batch << " threads "
+              << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelineDeterminismTest, MatrixMatchesSerialThompson) {
+  core::EngineConfig cfg;
+  cfg.strategy = core::Strategy::kExSample;
+  cfg.batch_size = 32;
+  CheckMatrix(cfg, 0x73ed08d640151828ULL);
+}
+
+TEST(PipelineDeterminismTest, MatrixMatchesSerialHierThompson) {
+  core::EngineConfig cfg;
+  cfg.strategy = core::Strategy::kExSample;
+  cfg.policy = core::PolicyKind::kHierThompson;
+  cfg.batch_size = 32;
+  cfg.group_size = 4;  // 8 chunks -> 2 groups
+  // Golden shared with QueryEngineTest.DeterminismMatrixPinsHierPolicies
+  // ("hier_thompson_batched"): the pipelined path must land on the exact
+  // fingerprint the core matrix pins for this configuration.
+  CheckMatrix(cfg, 0x71a8af49356819ccULL);
+}
+
+TEST(PipelineDeterminismTest, StepSliceSizesDoNotChangeResults) {
+  // A batch stays open across Step boundaries: slicing one frame at a time
+  // makes every Await land in a different engine call. Wall emulation on
+  // top (tiny scale) keeps workers asleep mid-slice.
+  core::EngineConfig cfg;
+  cfg.strategy = core::Strategy::kExSample;
+  cfg.batch_size = 32;
+  const core::QuerySpec q = MatrixSpec();
+  uint64_t serial_fp;
+  {
+    Harness h(SkewedDataset());
+    auto engine = h.MakeEngine(cfg);
+    serial_fp = ResultFingerprint(engine.Run(q));
+  }
+  for (int64_t slice : {int64_t{1}, int64_t{7}}) {
+    Harness h(SkewedDataset());
+    detect::SerialDetectorAdapter adapter(h.detector.get());
+    PipelineOptions popt;
+    popt.queue_depth = 8;
+    popt.detect_batch = 8;
+    popt.decode_threads = 2;
+    popt.wall_scale = slice == 1 ? 0.0 : 0.001;
+    Pipeline pipeline(&h.dataset.repo, &adapter, popt);
+    auto engine = h.MakeEngine(cfg);
+    engine.set_executor(&pipeline);
+    engine.Begin(q);
+    while (engine.Step(slice).running()) {
+    }
+    EXPECT_EQ(ResultFingerprint(engine.TakeResult()), serial_fp)
+        << "slice " << slice;
+  }
+}
+
+TEST(PipelineDeterminismTest, MaxWaitShapesBatchesNotResults) {
+  // max_wait_seconds trades latency for fuller detect batches; it must be
+  // invisible in the result stream.
+  core::EngineConfig cfg;
+  cfg.strategy = core::Strategy::kExSample;
+  cfg.batch_size = 32;
+  const core::QuerySpec q = MatrixSpec();
+  uint64_t serial_fp;
+  {
+    Harness h(SkewedDataset());
+    auto engine = h.MakeEngine(cfg);
+    serial_fp = ResultFingerprint(engine.Run(q));
+  }
+  PipelineOptions popt;
+  popt.queue_depth = 16;
+  popt.detect_batch = 16;
+  popt.decode_threads = 2;
+  popt.max_wait_seconds = 0.0005;
+  popt.wall_scale = 0.001;
+  EXPECT_EQ(ResultFingerprint(RunPipelined(cfg, q, popt)), serial_fp);
+}
+
+TEST(PipelineLifecycleTest, TakeResultMidBatchAbortsCleanly) {
+  // One Step leaves 31 of the 32-pick batch pending; TakeResult must abort
+  // the open batch (workers possibly asleep mid-"decode") without hanging
+  // and report exactly the work actually awaited.
+  Harness h(SkewedDataset());
+  core::EngineConfig cfg;
+  cfg.strategy = core::Strategy::kExSample;
+  cfg.batch_size = 32;
+  detect::SerialDetectorAdapter adapter(h.detector.get());
+  PipelineOptions popt;
+  popt.queue_depth = 16;
+  popt.detect_batch = 4;
+  popt.decode_threads = 4;
+  popt.wall_scale = 0.01;
+  Pipeline pipeline(&h.dataset.repo, &adapter, popt);
+  auto engine = h.MakeEngine(cfg);
+  engine.set_executor(&pipeline);
+  engine.Begin(MatrixSpec());
+  ASSERT_TRUE(engine.Step(1).running());
+  auto result = engine.TakeResult();
+  EXPECT_EQ(result.frames_processed, 1);
+}
+
+TEST(PipelineLifecycleTest, AbortThenNextBatchDeliversCorrectWork) {
+  // Direct executor-contract exercise: abort a half-consumed batch while
+  // workers sleep, immediately open another, and verify the second batch's
+  // work against direct per-frame detection. The generation guard must
+  // keep stale decodes from the first batch out of the second.
+  Harness h(SkewedDataset());
+  detect::SimulatedDetector reference(&h.dataset.ground_truth, 0,
+                                      detect::PerfectDetectorConfig(), 9);
+  detect::SerialDetectorAdapter adapter(h.detector.get());
+  PipelineOptions popt;
+  popt.queue_depth = 8;
+  popt.detect_batch = 4;
+  popt.decode_threads = 4;
+  popt.wall_scale = 0.02;
+  Pipeline pipeline(&h.dataset.repo, &adapter, popt);
+  video::SimulatedDecoder decoder(&h.dataset.repo,
+                                  video::DecodeCostModel{});
+
+  std::vector<core::PickedFrame> first;
+  for (video::FrameId f : {100, 5000, 20000, 20010, 33333}) {
+    first.push_back(core::PickedFrame{f, 0});
+  }
+  pipeline.BeginBatch(first, &decoder);
+  core::FrameWork w0 = pipeline.Await(0);
+  EXPECT_GT(w0.decode_seconds, 0.0);
+  pipeline.Abort();
+
+  std::vector<core::PickedFrame> second;
+  for (video::FrameId f : {17000, 17004, 250}) {
+    second.push_back(core::PickedFrame{f, 0});
+  }
+  pipeline.BeginBatch(second, &decoder);
+  for (size_t i = 0; i < second.size(); ++i) {
+    core::FrameWork w = pipeline.Await(i);
+    auto expected = reference.Detect(second[i].frame);
+    ASSERT_EQ(w.detections.size(), expected.size()) << "pick " << i;
+    for (size_t j = 0; j < expected.size(); ++j) {
+      EXPECT_EQ(w.detections[j].frame, expected[j].frame);
+      EXPECT_EQ(w.detections[j].instance, expected[j].instance);
+    }
+    EXPECT_GT(w.decode_seconds, 0.0) << "pick " << i;
+    EXPECT_DOUBLE_EQ(w.inference_seconds, adapter.FrameSeconds());
+  }
+}
+
+TEST(PipelineLifecycleTest, DestructorDrainsWithBatchInFlight) {
+  Harness h(SkewedDataset());
+  detect::SerialDetectorAdapter adapter(h.detector.get());
+  video::SimulatedDecoder decoder(&h.dataset.repo,
+                                  video::DecodeCostModel{});
+  std::vector<core::PickedFrame> picks;
+  for (video::FrameId f = 0; f < 64; ++f) {
+    picks.push_back(core::PickedFrame{f * 601, 0});
+  }
+  {
+    PipelineOptions popt;
+    popt.queue_depth = 16;
+    popt.detect_batch = 8;
+    popt.decode_threads = 4;
+    popt.wall_scale = 0.02;
+    Pipeline pipeline(&h.dataset.repo, &adapter, popt);
+    pipeline.BeginBatch(picks, &decoder);
+    // Destroyed with everything undelivered and workers mid-sleep.
+  }
+  {
+    PipelineOptions popt;
+    popt.queue_depth = 4;
+    popt.detect_batch = 2;
+    popt.decode_threads = 2;
+    popt.wall_scale = 0.02;
+    Pipeline pipeline(&h.dataset.repo, &adapter, popt);
+    pipeline.BeginBatch(picks, &decoder);
+    pipeline.Await(0);  // partially consumed, then destroyed
+  }
+}
+
+TEST(PipelineMetricsTest, SnapshotExposesQueueAndBatchFamilies) {
+  obs::Registry registry;
+  PipelineMetrics metrics = PipelineMetrics::Register(&registry, 2);
+  core::EngineConfig cfg;
+  cfg.strategy = core::Strategy::kExSample;
+  cfg.batch_size = 32;
+  PipelineOptions popt;
+  popt.queue_depth = 8;
+  popt.detect_batch = 8;
+  popt.decode_threads = 2;
+  const core::QueryResult result =
+      RunPipelined(cfg, MatrixSpec(), popt, &metrics, /*cell=*/1);
+
+  EXPECT_GT(metrics.batches->Total(), 0);
+  // Decode-ahead is speculative: the batch the result limit aborts may have
+  // decoded (and even detected) picks the engine never awaited, so the
+  // counters bound frames_processed from above — never undercount it.
+  EXPECT_GE(metrics.frames_decoded->Total(), result.frames_processed);
+  EXPECT_GE(metrics.detect_frames->Total(), result.frames_processed);
+  EXPECT_LE(metrics.detect_frames->Total(), metrics.frames_decoded->Total());
+  // Batching happened: fewer invocations than frames, none larger than
+  // the configured max.
+  EXPECT_GT(metrics.detect_batches->Total(), 0);
+  EXPECT_LE(metrics.detect_batches->Total(), metrics.detect_frames->Total());
+  EXPECT_EQ(metrics.decode_seconds->TotalCount(),
+            metrics.frames_decoded->Total());
+  EXPECT_EQ(metrics.detect_batch_seconds->TotalCount(),
+            metrics.detect_batches->Total());
+  EXPECT_GT(metrics.plan_seeks->Total(), 0);
+  // Everything was written on cell 1 (the session's assigned cell).
+  EXPECT_EQ(metrics.frames_decoded->Cell(1),
+            metrics.frames_decoded->Total());
+
+  const Json snap = registry.Snapshot();
+  const Json* counters = snap.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  for (const char* name :
+       {"pipeline.batches", "pipeline.frames_decoded",
+        "pipeline.detect_batches", "pipeline.detect_frames",
+        "pipeline.stalls_detector_starved", "pipeline.stalls_queue_full",
+        "pipeline.plan_seeks", "pipeline.plan_coalesced_frames"}) {
+    EXPECT_NE(counters->Find(name), nullptr) << name;
+  }
+  const Json* gauges = snap.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->Find("pipeline.queue_depth"), nullptr);
+  const Json* histograms = snap.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  EXPECT_NE(histograms->Find("pipeline.decode_seconds"), nullptr);
+  EXPECT_NE(histograms->Find("pipeline.detect_batch_seconds"), nullptr);
+}
+
+TEST(PipelineMetricsTest, InstrumentationDoesNotPerturbResults) {
+  core::EngineConfig cfg;
+  cfg.strategy = core::Strategy::kExSample;
+  cfg.batch_size = 32;
+  const core::QuerySpec q = MatrixSpec();
+  uint64_t serial_fp;
+  {
+    Harness h(SkewedDataset());
+    auto engine = h.MakeEngine(cfg);
+    serial_fp = ResultFingerprint(engine.Run(q));
+  }
+  obs::Registry registry;
+  PipelineMetrics metrics = PipelineMetrics::Register(&registry, 2);
+  PipelineOptions popt;
+  popt.queue_depth = 4;
+  popt.detect_batch = 8;
+  popt.decode_threads = 2;
+  EXPECT_EQ(ResultFingerprint(RunPipelined(cfg, q, popt, &metrics, 0)),
+            serial_fp);
+}
+
+TEST(PipelineServeTest, SessionDeadlineMidBatchCancelsCleanly) {
+  // A pipelined QuerySession whose wall deadline expires mid-batch: the
+  // deadline check fires at the slice boundary with the batch still open,
+  // and FinishLocked's TakeResult must abort it without hanging.
+  Harness h(SkewedDataset());
+  QueryJob job;
+  job.id = 1;
+  job.repo = &h.dataset.repo;
+  job.chunks = &h.dataset.chunks;
+  job.config.strategy = core::Strategy::kExSample;
+  job.config.batch_size = 32;
+  job.spec.class_id = 0;
+  job.spec.result_limit = 25;
+  job.pipeline_depth = 8;
+  job.detect_batch = 4;
+  job.pipeline_threads = 2;
+  job.make_detector = [&h](uint64_t seed) {
+    return std::make_unique<detect::SimulatedDetector>(
+        &h.dataset.ground_truth, 0, detect::PerfectDetectorConfig(), seed);
+  };
+  job.make_discriminator = [] {
+    return std::make_unique<track::OracleDiscriminator>();
+  };
+  serve::SessionOptions options;
+  options.deadline_seconds = 1e-9;  // expires at the first slice boundary
+  serve::QuerySession session(job, /*base_seed=*/7, options);
+  EXPECT_FALSE(session.RunSlice(1));
+  ASSERT_TRUE(session.finished());
+  EXPECT_EQ(session.state(), serve::SessionState::kCancelled);
+  EXPECT_EQ(session.result().frames_processed, 1);
+}
+
+TEST(PipelineServeTest, PipelinedSessionMatchesSerialSession) {
+  // Two sessions with the same (base_seed, id) — one serial, one pipelined
+  // — must stream identical results: the serving layer's reproducibility
+  // promise is independent of the execution mode.
+  Harness h(SkewedDataset());
+  auto make_job = [&h](int32_t pipeline_depth) {
+    QueryJob job;
+    job.id = 3;
+    job.repo = &h.dataset.repo;
+    job.chunks = &h.dataset.chunks;
+    job.config.strategy = core::Strategy::kExSample;
+    job.config.batch_size = 32;
+    job.spec.class_id = 0;
+    job.spec.result_limit = 25;
+    job.spec.max_samples = 6000;
+    job.pipeline_depth = pipeline_depth;
+    job.detect_batch = 8;
+    job.pipeline_threads = 2;
+    job.make_detector = [&h](uint64_t seed) {
+      return std::make_unique<detect::SimulatedDetector>(
+          &h.dataset.ground_truth, 0, detect::PerfectDetectorConfig(), seed);
+    };
+    job.make_discriminator = [] {
+      return std::make_unique<track::OracleDiscriminator>();
+    };
+    return job;
+  };
+  auto run = [](serve::QuerySession* session) {
+    while (session->RunSlice(64)) {
+    }
+    return ResultFingerprint(session->result());
+  };
+  serve::QuerySession serial(make_job(0), /*base_seed=*/7);
+  serve::QuerySession pipelined(make_job(8), /*base_seed=*/7);
+  EXPECT_EQ(run(&pipelined), run(&serial));
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace exsample

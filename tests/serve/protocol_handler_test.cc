@@ -316,6 +316,67 @@ TEST_F(ProtocolHandlerTest, MetricsCommandSeesLiveServeCounters) {
   EXPECT_GT(counters->Find("core.frames_sampled")->GetInt("total", -1), 0);
 }
 
+TEST_F(ProtocolHandlerTest, OpenValidatesPipelineFields) {
+  ProtocolHandler handler = MakeHandler();
+  Json bad_depth = Respond(
+      &handler, R"({"cmd":"open","preset":"dashcam","class":"bicycle",)"
+                R"("limit":2,"scale":0.02,"pipeline_depth":-1})");
+  EXPECT_FALSE(bad_depth.GetBool("ok", true));
+  EXPECT_NE(bad_depth.GetString("error", "").find("pipeline_depth"),
+            std::string::npos)
+      << bad_depth.Dump();
+  Json bad_batch = Respond(
+      &handler, R"({"cmd":"open","preset":"dashcam","class":"bicycle",)"
+                R"("limit":2,"scale":0.02,"detect_batch":0})");
+  EXPECT_FALSE(bad_batch.GetBool("ok", true));
+  EXPECT_NE(bad_batch.GetString("error", "").find("detect_batch"),
+            std::string::npos)
+      << bad_batch.Dump();
+}
+
+TEST_F(ProtocolHandlerTest, PipelinedOpenRunsAndExportsPipelineMetrics) {
+  // A pipelined open must stream the same protocol surface as a serial one
+  // and surface its queue/batch counters through the metrics command — the
+  // serving-layer face of the pipelined executor.
+  obs::Registry registry;
+  SessionManager::Options manager_options;
+  manager_options.threads = 1;
+  manager_options.base_seed = 7;
+  manager_options.metrics = &registry;
+  SessionManager manager(manager_options);
+  ProtocolHandler::Options options;
+  options.default_scale = 0.02;
+  options.metrics = &registry;
+  ProtocolHandler handler(&manager, &cache_, &datasets_, options);
+
+  Json opened = Respond(
+      &handler, R"({"cmd":"open","preset":"dashcam","class":"bicycle",)"
+                R"("limit":2,"scale":0.02,"pipeline_depth":4,)"
+                R"("detect_batch":8})");
+  ASSERT_TRUE(opened.GetBool("ok", false)) << opened.Dump();
+  Json done = PollUntilDone(&handler, opened.GetInt("session", -1));
+  EXPECT_EQ(done.GetInt("total_results", -1), 2);
+
+  Json response = Respond(&handler, R"({"cmd":"metrics"})");
+  ASSERT_TRUE(response.GetBool("ok", false)) << response.Dump();
+  const Json* snapshot = response.Find("metrics");
+  ASSERT_NE(snapshot, nullptr);
+  const Json* counters = snapshot->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("pipeline.batches"), nullptr);
+  EXPECT_GT(counters->Find("pipeline.batches")->GetInt("total", -1), 0);
+  EXPECT_GT(counters->Find("pipeline.frames_decoded")->GetInt("total", -1),
+            0);
+  EXPECT_GT(counters->Find("pipeline.detect_frames")->GetInt("total", -1),
+            0);
+  ASSERT_NE(snapshot->Find("gauges"), nullptr);
+  EXPECT_NE(snapshot->Find("gauges")->Find("pipeline.queue_depth"), nullptr);
+  ASSERT_NE(snapshot->Find("histograms"), nullptr);
+  EXPECT_NE(
+      snapshot->Find("histograms")->Find("pipeline.detect_batch_seconds"),
+      nullptr);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace exsample

@@ -1,0 +1,136 @@
+#include "video/decode_plan.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace video {
+namespace {
+
+VideoRepository OneVideo(int64_t frames = 200, int32_t gop = 20) {
+  return VideoRepository::Create({VideoMeta{"v", frames, 30.0, gop}}).value();
+}
+
+TEST(DecodePlanTest, CoalescesSameGopPicksIntoOneSeek) {
+  auto repo = OneVideo();
+  DecodeCostModel m;
+  SimulatedDecoder d(&repo, m);
+  // 45, 43, 49 share GOP 2 (frames 40..59); 105 sits alone in GOP 5.
+  DecodePlan plan = BuildDecodePlan(repo, {45, 43, 49, 105}, &d);
+
+  ASSERT_EQ(plan.entries.size(), 4u);
+  EXPECT_EQ(plan.gop_groups, 2);
+  EXPECT_EQ(plan.coalesced_frames, 2);  // 45 and 49 ride GOP 2's seek
+  EXPECT_EQ(plan.seeks, 2);             // one per group, not one per frame
+
+  // I-frame-first: GOP 5's deepest pick (offset 5) beats GOP 2's (offset
+  // 9), so 105 is scheduled first; GOP 2 then decodes in ascending order.
+  EXPECT_EQ(plan.entries[0].frame, 105);
+  EXPECT_EQ(plan.entries[1].frame, 43);
+  EXPECT_EQ(plan.entries[2].frame, 45);
+  EXPECT_EQ(plan.entries[3].frame, 49);
+
+  // Measured costs: the coalesced frames pay only their predicted chains.
+  EXPECT_NEAR(plan.entries[0].seconds,
+              m.seek_seconds + m.keyframe_decode_seconds +
+                  5 * m.predicted_decode_seconds,
+              1e-12);
+  EXPECT_TRUE(plan.entries[0].seek);
+  EXPECT_NEAR(plan.entries[1].seconds,
+              m.seek_seconds + m.keyframe_decode_seconds +
+                  3 * m.predicted_decode_seconds,
+              1e-12);
+  EXPECT_TRUE(plan.entries[1].seek);
+  EXPECT_NEAR(plan.entries[2].seconds, 2 * m.predicted_decode_seconds,
+              1e-12);
+  EXPECT_FALSE(plan.entries[2].seek);
+  EXPECT_NEAR(plan.entries[3].seconds, 4 * m.predicted_decode_seconds,
+              1e-12);
+  EXPECT_FALSE(plan.entries[3].seek);
+
+  double sum = 0.0;
+  for (const auto& e : plan.entries) sum += e.seconds;
+  EXPECT_NEAR(plan.total_seconds, sum, 1e-12);
+  // The replay went through the caller's decoder: its accounting is the
+  // plan's accounting.
+  EXPECT_NEAR(d.stats().total_seconds, plan.total_seconds, 1e-12);
+  EXPECT_EQ(d.stats().seeks, plan.seeks);
+  EXPECT_EQ(d.stats().frames_decoded, 4);
+}
+
+TEST(DecodePlanTest, PickIndexMapsEntriesBackToBatchOrder) {
+  auto repo = OneVideo();
+  SimulatedDecoder d(&repo, DecodeCostModel{});
+  const std::vector<FrameId> frames = {45, 43, 49, 105};
+  DecodePlan plan = BuildDecodePlan(repo, frames, &d);
+  std::vector<bool> seen(frames.size(), false);
+  for (const auto& e : plan.entries) {
+    ASSERT_LT(e.pick_index, frames.size());
+    EXPECT_FALSE(seen[e.pick_index]) << "duplicate pick_index";
+    seen[e.pick_index] = true;
+    EXPECT_EQ(e.frame, frames[e.pick_index]);
+  }
+}
+
+TEST(DecodePlanTest, NoReorderKeepsPickOrderButStillMeasures) {
+  auto repo = OneVideo();
+  DecodeCostModel m;
+  SimulatedDecoder d(&repo, m);
+  const std::vector<FrameId> frames = {45, 43, 49, 105};
+  DecodePlan plan = BuildDecodePlan(repo, frames, &d, /*reorder=*/false);
+  ASSERT_EQ(plan.entries.size(), 4u);
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(plan.entries[i].frame, frames[i]);
+    EXPECT_EQ(plan.entries[i].pick_index, i);
+  }
+  // 43 is a backward jump after 45, so the unordered schedule pays three
+  // seeks where the reordered one pays two.
+  EXPECT_EQ(plan.seeks, 3);
+  // 49 still coalesces behind 43, but decodes the whole 44..49 chain: the
+  // 45 already decoded out of order does not shorten it.
+  EXPECT_NEAR(plan.entries[2].seconds, 6 * m.predicted_decode_seconds,
+              1e-12);
+  EXPECT_NEAR(d.stats().total_seconds, plan.total_seconds, 1e-12);
+}
+
+TEST(DecodePlanTest, ReorderNeverCostsMoreThanPickOrder) {
+  auto repo = OneVideo(2000, 25);
+  // A scattered, duplicate-GOP-heavy batch.
+  std::vector<FrameId> frames;
+  for (int i = 0; i < 40; ++i) {
+    frames.push_back((static_cast<FrameId>(i) * 389 + 17) % 2000);
+  }
+  SimulatedDecoder ordered(&repo, DecodeCostModel{});
+  DecodePlan with = BuildDecodePlan(repo, frames, &ordered);
+  SimulatedDecoder raw(&repo, DecodeCostModel{});
+  DecodePlan without = BuildDecodePlan(repo, frames, &raw, /*reorder=*/false);
+  EXPECT_LE(with.total_seconds, without.total_seconds + 1e-12);
+  EXPECT_LE(with.seeks, without.seeks);
+}
+
+TEST(DecodePlanTest, LeavesDecoderPositionedAtPlanEnd) {
+  auto repo = OneVideo();
+  DecodeCostModel m;
+  SimulatedDecoder d(&repo, m);
+  DecodePlan plan = BuildDecodePlan(repo, {43, 45}, &d);
+  ASSERT_EQ(plan.entries.back().frame, 45);
+  // The decoder is parked right after frame 45: the next frame in the GOP
+  // costs a single predicted decode, exactly as if the reads were inline.
+  EXPECT_NEAR(d.PeekCost(46), m.predicted_decode_seconds, 1e-12);
+}
+
+TEST(DecodePlanTest, EmptyBatchBuildsEmptyPlan) {
+  auto repo = OneVideo();
+  SimulatedDecoder d(&repo, DecodeCostModel{});
+  DecodePlan plan = BuildDecodePlan(repo, {}, &d);
+  EXPECT_TRUE(plan.entries.empty());
+  EXPECT_EQ(plan.total_seconds, 0.0);
+  EXPECT_EQ(plan.seeks, 0);
+  EXPECT_EQ(plan.gop_groups, 0);
+  EXPECT_EQ(d.stats().frames_decoded, 0);
+}
+
+}  // namespace
+}  // namespace video
+}  // namespace exsample

@@ -54,6 +54,57 @@ TEST(SimulatedDecoderTest, StatsAccumulate) {
   EXPECT_GT(d.stats().total_seconds, 0.0);
 }
 
+// Consecutive claims landing in the same GOP must not re-pay the seek +
+// keyframe the decoder already spent entering that GOP: a forward skip
+// within the current GOP costs only the predicted chain from the current
+// position to the target. (The old accounting charged the full random
+// access again, double-charging every same-GOP follow-up claim.)
+TEST(SimulatedDecoderTest, ForwardSkipWithinGopPaysNoSecondSeek) {
+  auto repo = OneVideo();
+  DecodeCostModel m;
+  SimulatedDecoder d(&repo, m);
+  // Enter GOP 2 (frames 40..59) at offset 3: one full random access.
+  double entry = d.Read(43);
+  EXPECT_NEAR(entry, m.seek_seconds + m.keyframe_decode_seconds +
+                         3 * m.predicted_decode_seconds,
+              1e-12);
+  EXPECT_EQ(d.stats().seeks, 1);
+  // Skip forward to offset 9 in the same GOP: frames 44..49 decode
+  // incrementally — six predicted frames, no seek, no keyframe.
+  double skip = d.Read(49);
+  EXPECT_NEAR(skip, 6 * m.predicted_decode_seconds, 1e-12);
+  EXPECT_EQ(d.stats().seeks, 1);
+  // PeekCost agrees with what Read would charge.
+  EXPECT_NEAR(d.PeekCost(55), 6 * m.predicted_decode_seconds, 1e-12);
+  // Backwards inside the GOP is still a seek (reference chain restarts).
+  double back = d.Read(41);
+  EXPECT_NEAR(back, m.seek_seconds + m.keyframe_decode_seconds +
+                        1 * m.predicted_decode_seconds,
+              1e-12);
+  EXPECT_EQ(d.stats().seeks, 2);
+  // Crossing into the next GOP is a seek again.
+  double next_gop = d.Read(65);
+  EXPECT_NEAR(next_gop, m.seek_seconds + m.keyframe_decode_seconds +
+                            5 * m.predicted_decode_seconds,
+              1e-12);
+  EXPECT_EQ(d.stats().seeks, 3);
+}
+
+// When the decoder is parked exactly on a GOP start (after reading the last
+// frame of the previous GOP), a forward skip into that GOP still owes the
+// keyframe decode — but not the seek.
+TEST(SimulatedDecoderTest, ForwardSkipFromGopStartPaysKeyframeNotSeek) {
+  auto repo = OneVideo();
+  DecodeCostModel m;
+  SimulatedDecoder d(&repo, m);
+  d.Read(19);  // last frame of GOP 0; position is now frame 20 (GOP start)
+  double skip = d.Read(24);
+  EXPECT_NEAR(skip, m.keyframe_decode_seconds +
+                        4 * m.predicted_decode_seconds,
+              1e-12);
+  EXPECT_EQ(d.stats().seeks, 1);  // only the initial Read(19)
+}
+
 TEST(SimulatedDecoderTest, SequentialAcrossVideoBoundaryIsASeek) {
   auto repo =
       VideoRepository::Create({VideoMeta{"a", 30}, VideoMeta{"b", 30}}).value();

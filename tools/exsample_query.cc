@@ -71,6 +71,9 @@ int Main(int argc, char** argv) {
       flags.Has("budget-seconds") && flags.Has("cost-budget");
   const bool cost_aware = flags.GetBool("cost-aware");
   const int64_t gop_run = flags.GetInt("gop-run", 1);
+  const int64_t batch = flags.GetInt("batch", 1);
+  const int64_t pipeline_depth = flags.GetInt("pipeline-depth", 0);
+  const int64_t detect_batch = flags.GetInt("detect-batch", 8);
   const std::string strategy_name = flags.GetString("strategy", "exsample");
   const std::string policy_name = flags.GetString("policy", "");
   const int64_t group_size = flags.GetInt("group-size", 0);
@@ -116,6 +119,21 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "error: --gop-run must be in [1, 2^31)\n");
     return 2;
   }
+  if (batch < 1 || batch > std::numeric_limits<int32_t>::max()) {
+    std::fprintf(stderr, "error: --batch must be in [1, 2^31)\n");
+    return 2;
+  }
+  if (pipeline_depth < 0 ||
+      pipeline_depth > std::numeric_limits<int32_t>::max()) {
+    std::fprintf(stderr,
+                 "error: --pipeline-depth must be in [0, 2^31) "
+                 "(0 = serial path)\n");
+    return 2;
+  }
+  if (detect_batch < 1 || detect_batch > std::numeric_limits<int32_t>::max()) {
+    std::fprintf(stderr, "error: --detect-batch must be in [1, 2^31)\n");
+    return 2;
+  }
   if (group_size < 0 || group_size > std::numeric_limits<int32_t>::max()) {
     std::fprintf(stderr,
                  "error: --group-size must be in [0, 2^31) (0 = auto)\n");
@@ -152,6 +170,9 @@ int Main(int argc, char** argv) {
                  "--budget-seconds)]\n"
                  "       [--strategy exsample|random|randomplus|sequential]"
                  " [--cost-aware] [--gop-run B]\n"
+                 "       [--batch N  (picks per source batch)]\n"
+                 "       [--pipeline-depth N  (decode-ahead queue; 0 = "
+                 "serial path)] [--detect-batch N]\n"
                  "       [--policy thompson|bayes_ucb|greedy|uniform|"
                  "hier_thompson|hier_bayes_ucb]\n"
                  "       [--group-size G  (hier_* group fan-out; 0 = auto)]\n"
@@ -192,6 +213,7 @@ int Main(int argc, char** argv) {
   config.cost_aware = cost_aware;
   config.gop_run_frames = static_cast<int32_t>(gop_run);
   config.group_size = static_cast<int32_t>(group_size);
+  config.batch_size = static_cast<int32_t>(batch);
 
   // --- run: every trial is one scheduled job; job seeds derive from trial
   // ids so any thread count reproduces the same results.
@@ -210,6 +232,8 @@ int Main(int argc, char** argv) {
     job.chunks = &dataset.chunks;
     job.config = config;
     job.spec = query;
+    job.pipeline_depth = static_cast<int32_t>(pipeline_depth);
+    job.detect_batch = static_cast<int32_t>(detect_batch);
     job.make_detector = [&dataset, cls](uint64_t detector_seed) {
       return std::make_unique<detect::SimulatedDetector>(
           &dataset.ground_truth, cls->class_id, detect::DetectorConfig{},
@@ -295,6 +319,9 @@ int Main(int argc, char** argv) {
         .Set("group_size", group_size)
         .Set("cost_aware", cost_aware)
         .Set("gop_run", gop_run)
+        .Set("batch", batch)
+        .Set("pipeline_depth", pipeline_depth)
+        .Set("detect_batch", detect_batch)
         .Set("limit", limit)
         .Set("budget_seconds", budget_seconds)
         .Set("tracker", use_tracker)
