@@ -28,7 +28,10 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/predicate.h"
 #include "exec/multi_query_runner.h"
+#include "exec/predicate_jobs.h"
+#include "serve/session.h"
 #include "serve/session_manager.h"
 #include "util/flags.h"
 #include "util/json.h"
@@ -256,6 +259,86 @@ int Main(int argc, char** argv) {
               deterministic ? "yes" : "NO (bug!)");
   doc.Set("deterministic", deterministic);
 
+  // --- multi-class shared-decode phase: one kMultiClass session over all
+  // of paired_street's classes against the same four queries run serially,
+  // one engine each. Decode seconds are the *modeled* cost, so the ratio
+  // measures how much frame overlap the shared decode cache absorbs — a
+  // property of the sampler, deterministic on any host. Each class runs to
+  // the same per-class sample cap (a quarter of the repository) so the
+  // constituent sampling fractions are high enough to overlap.
+  bool multiclass_deterministic = true;
+  {
+    auto pds = data::MakePreset("paired_street", scale, seed);
+    const int64_t per_class_samples = pds.repo.total_frames() / 4;
+    core::PredicateRequest request;
+    request.kind = core::PredicateKind::kMultiClass;
+    for (const auto& cls : pds.classes) {
+      request.class_names.push_back(cls.name);
+    }
+    auto resolved = exec::ResolvePredicate(pds, request);
+    if (!resolved.ok()) {
+      std::fprintf(stderr, "multiclass resolve failed: %s\n",
+                   resolved.status().ToString().c_str());
+      return 1;
+    }
+    exec::QueryJob multi_job;
+    multi_job.id = 0;
+    multi_job.repo = &pds.repo;
+    multi_job.chunks = &pds.chunks;
+    multi_job.config.strategy = core::Strategy::kExSample;
+    multi_job.spec.max_samples = per_class_samples;
+    exec::ConfigurePredicateJob(&pds, resolved.value(), /*use_tracker=*/false,
+                                detect::DetectorConfig{}, &multi_job);
+    auto run_multi = [&multi_job, seed](int64_t slice) {
+      serve::QuerySession session(multi_job, seed);
+      while (session.RunSlice(slice)) {
+      }
+      return session.result();
+    };
+    const core::QueryResult shared = run_multi(4096);
+    const core::QueryResult resliced = run_multi(257);
+    multiclass_deterministic =
+        shared.frames_processed == resliced.frames_processed &&
+        shared.results.size() == resliced.results.size() &&
+        shared.decode_seconds == resliced.decode_seconds;
+    if (!multiclass_deterministic) {
+      std::fprintf(stderr, "DETERMINISM VIOLATION: multi-class session "
+                   "differs across slice sizes\n");
+    }
+
+    double serial_decode = 0.0;
+    for (const auto& cls : pds.classes) {
+      core::PredicateRequest single;
+      single.class_names = {cls.name};
+      auto single_resolved = exec::ResolvePredicate(pds, single);
+      if (!single_resolved.ok()) std::exit(1);
+      exec::QueryJob job;
+      job.id = 0;
+      job.repo = &pds.repo;
+      job.chunks = &pds.chunks;
+      job.config.strategy = core::Strategy::kExSample;
+      job.spec.max_samples = per_class_samples;
+      exec::ConfigurePredicateJob(&pds, single_resolved.value(),
+                                  /*use_tracker=*/false,
+                                  detect::DetectorConfig{}, &job);
+      serve::QuerySession session(job, seed);
+      while (session.RunSlice(4096)) {
+      }
+      serial_decode += session.result().decode_seconds;
+    }
+    const double decode_speedup =
+        shared.decode_seconds > 0 ? serial_decode / shared.decode_seconds
+                                  : 0.0;
+    std::printf("multi-class over %zu classes: shared decode %.4fs vs "
+                "serial per-class %.4fs -> %s modeled decode speedup\n",
+                pds.classes.size(), shared.decode_seconds, serial_decode,
+                Table::Ratio(decode_speedup).c_str());
+    doc.Set("multiclass_shared_decode_seconds", shared.decode_seconds)
+        .Set("multiclass_serial_decode_seconds", serial_decode)
+        .Set("speedup_multiclass_shared_decode", decode_speedup)
+        .Set("multiclass_deterministic", multiclass_deterministic);
+  }
+
   std::ofstream out(out_path);
   if (!out.good()) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
@@ -263,7 +346,7 @@ int Main(int argc, char** argv) {
   }
   out << doc.Dump() << "\n";
   std::printf("wrote %s\n", out_path.c_str());
-  return deterministic ? 0 : 1;
+  return deterministic && multiclass_deterministic ? 0 : 1;
 }
 
 }  // namespace

@@ -67,6 +67,7 @@ QueryResult QueryEngine::Run(const QuerySpec& spec) {
 void QueryEngine::Begin(const QuerySpec& spec) {
   assert(run_ == nullptr && "Begin() called on an already-open run");
   run_ = std::make_unique<RunState>(repo_, config_.decode_model);
+  run_->decoder.set_decode_cache(config_.decode_cache);
   run_->spec = spec;
   run_->max_samples =
       spec.max_samples > 0 ? spec.max_samples : repo_->total_frames();

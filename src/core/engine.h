@@ -100,6 +100,12 @@ struct EngineConfig : FrameSourceConfig {
   int32_t batch_size = 1;
   /// Simulate decode costs (adds decoder latency to the time accounting).
   video::DecodeCostModel decode_model;
+  /// Shared decode stream for multi-class sessions (non-owning, may be
+  /// null): attached to the run's decoder at Begin so constituent queries
+  /// read each other's decoded frames at zero modeled cost (see
+  /// core/multi_engine.h). Null leaves decode behavior bit-identical to a
+  /// cacheless run. Must outlive the engine's runs.
+  video::SharedDecodeCache* decode_cache = nullptr;
 };
 
 /// Progress report for one incremental slice (see QueryEngine::Step).

@@ -1,0 +1,175 @@
+#include "core/multi_engine.h"
+
+#include <cassert>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace exsample {
+namespace core {
+
+struct MultiClassEngine::Sub {
+  std::unique_ptr<detect::ObjectDetector> detector;
+  std::unique_ptr<track::Discriminator> discriminator;
+  std::unique_ptr<QueryEngine> engine;
+  /// Stable storage for this constituent's warm priors (the engine config
+  /// keeps a pointer into it).
+  std::vector<ChunkPrior> warm;
+  /// Merged-view bookkeeping: results already copied out, cost already
+  /// folded in, true-instance count already summed.
+  size_t consumed = 0;
+  double last_decode = 0.0;
+  double last_inference = 0.0;
+  int64_t last_true = 0;
+  bool done = false;
+  /// Snapshot of the sub-run after TakeResult (sub_result falls back here
+  /// once the run is closed).
+  QueryResult final_result;
+};
+
+MultiClassEngine::MultiClassEngine(const video::VideoRepository* repo,
+                                   const std::vector<video::Chunk>* chunks,
+                                   MultiClassOptions options, uint64_t seed)
+    : options_(std::move(options)) {
+  assert(!options_.classes.empty());
+  assert(options_.warm_start.empty() ||
+         options_.warm_start.size() == options_.classes.size());
+  // One (engine seed, detector seed) pair per constituent, drawn in
+  // canonical class order — the single-class session split, repeated.
+  SplitMix64 stream(seed);
+  for (size_t i = 0; i < options_.classes.size(); ++i) {
+    const detect::ClassId cls = options_.classes[i];
+    const uint64_t engine_seed = stream.Next();
+    const uint64_t detector_seed = stream.Next();
+    auto sub = std::make_unique<Sub>();
+    sub->detector = options_.make_detector(cls, detector_seed);
+    sub->discriminator = options_.make_discriminator();
+    if (i < options_.warm_start.size()) sub->warm = options_.warm_start[i];
+    EngineConfig config = options_.config;
+    config.decode_cache = &cache_;
+    config.warm_start = sub->warm.empty() ? nullptr : &sub->warm;
+    sub->engine = std::make_unique<QueryEngine>(
+        repo, chunks, sub->detector.get(), sub->discriminator.get(), config,
+        engine_seed);
+    subs_.push_back(std::move(sub));
+  }
+}
+
+MultiClassEngine::~MultiClassEngine() = default;
+
+void MultiClassEngine::set_metrics(const EngineMetrics& metrics, size_t cell) {
+  for (auto& sub : subs_) sub->engine->set_metrics(metrics, cell);
+}
+
+void MultiClassEngine::Begin(const QuerySpec& spec) {
+  assert(!open_ && "Begin() called on an already-open run");
+  for (size_t i = 0; i < subs_.size(); ++i) {
+    QuerySpec sub_spec = spec;
+    sub_spec.class_id = options_.classes[i];
+    sub_spec.predicate = QueryPredicate::Single(options_.classes[i]);
+    subs_[i]->engine->Begin(sub_spec);
+  }
+  merged_ = QueryResult();
+  rr_ = 0;
+  open_ = true;
+  final_reason_ = StepStatus::Done::kRunning;
+}
+
+int64_t MultiClassEngine::StepSub(size_t i) {
+  Sub& sub = *subs_[i];
+  const StepStatus status = sub.engine->Step(1);
+  const QueryResult& r = sub.engine->result();
+  merged_.frames_processed += status.frames_this_step;
+  merged_.decode_seconds += r.decode_seconds - sub.last_decode;
+  merged_.inference_seconds += r.inference_seconds - sub.last_inference;
+  sub.last_decode = r.decode_seconds;
+  sub.last_inference = r.inference_seconds;
+  if (r.results.size() > sub.consumed) {
+    merged_.results.insert(merged_.results.end(),
+                           r.results.begin() + sub.consumed, r.results.end());
+    sub.consumed = r.results.size();
+    merged_.reported.Record(merged_.frames_processed,
+                            static_cast<int64_t>(merged_.results.size()));
+  }
+  const int64_t sub_true = r.true_instances.final_count();
+  if (sub_true != sub.last_true) {
+    const int64_t merged_true =
+        merged_.true_instances.final_count() + (sub_true - sub.last_true);
+    sub.last_true = sub_true;
+    merged_.true_instances.Record(merged_.frames_processed, merged_true);
+  }
+  if (!status.running()) {
+    sub.done = true;
+    final_reason_ = status.done;
+  }
+  return status.frames_this_step;
+}
+
+StepStatus MultiClassEngine::Step(int64_t max_frames) {
+  assert(open_ && "Step() requires Begin()");
+  StepStatus out;
+  const int64_t results_before = static_cast<int64_t>(merged_.results.size());
+  int64_t processed = 0;
+  while (processed < max_frames) {
+    // Advance the cursor to the next live constituent; stop when none left.
+    size_t scanned = 0;
+    while (scanned < subs_.size() && subs_[rr_]->done) {
+      rr_ = (rr_ + 1) % subs_.size();
+      ++scanned;
+    }
+    if (scanned == subs_.size()) break;
+    const size_t i = rr_;
+    rr_ = (rr_ + 1) % subs_.size();
+    const int64_t frames = StepSub(i);
+    processed += frames;
+    // A live sub that reports neither progress nor completion would spin
+    // this loop forever; treat it as exhausted defensively.
+    if (frames == 0 && !subs_[i]->done) break;
+  }
+  bool all_done = true;
+  for (const auto& sub : subs_) all_done = all_done && sub->done;
+  out.frames_this_step = processed;
+  out.results_this_step =
+      static_cast<int64_t>(merged_.results.size()) - results_before;
+  out.frames_processed = merged_.frames_processed;
+  out.total_results = static_cast<int64_t>(merged_.results.size());
+  out.cost_seconds = merged_.total_seconds();
+  out.done = all_done ? final_reason_ : StepStatus::Done::kRunning;
+  return out;
+}
+
+const QueryResult& MultiClassEngine::sub_result(size_t i) const {
+  assert(i < subs_.size());
+  if (subs_[i]->engine->run_open()) return subs_[i]->engine->result();
+  return subs_[i]->final_result;
+}
+
+const ChunkStats* MultiClassEngine::sub_chunk_stats(size_t i) const {
+  assert(i < subs_.size());
+  return subs_[i]->engine->chunk_stats();
+}
+
+const std::vector<ChunkPrior>& MultiClassEngine::sub_warm_priors(
+    size_t i) const {
+  assert(i < subs_.size());
+  return subs_[i]->warm;
+}
+
+QueryResult MultiClassEngine::TakeResult() {
+  assert(open_ && "TakeResult() requires an open run");
+  bool all_done = true;
+  for (const auto& sub : subs_) all_done = all_done && sub->done;
+  if (!all_done) final_reason_ = StepStatus::Done::kCancelled;
+  for (auto& sub : subs_) {
+    if (sub->engine->run_open()) sub->final_result = sub->engine->TakeResult();
+  }
+  merged_.reported.Finish(merged_.frames_processed);
+  merged_.true_instances.Finish(merged_.frames_processed);
+  open_ = false;
+  QueryResult out = std::move(merged_);
+  merged_ = QueryResult();
+  return out;
+}
+
+}  // namespace core
+}  // namespace exsample

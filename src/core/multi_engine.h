@@ -1,0 +1,130 @@
+// MultiClassEngine: N independent single-class queries sharing one decode
+// stream — the kMultiClass predicate. Each constituent class runs a full
+// QueryEngine (own bandit, own detector noise stream, own discriminator);
+// the engines share a video::SharedDecodeCache, so a frame decoded for one
+// class costs every other class nothing. That is the whole point: the
+// decode work of exploring the repository is paid once, not once per class.
+//
+// Determinism contracts (the predicate test matrix pins all three):
+//  * Per-class equivalence — each sub-run's result stream is bit-identical
+//    to a standalone single-class QueryEngine with the same (engine seed,
+//    detector seed), because the shared cache only changes modeled decode
+//    *cost*, never picks, detections or verdicts (for non-cost-aware,
+//    unbudgeted specs, where cost feeds no decision).
+//  * Slicing invariance — constituent scheduling is an internal per-frame
+//    round-robin (one frame per sub-engine per turn, position persisted),
+//    so the merged result stream is append-only and identical for any outer
+//    Step slice sizes — the serve layer's Poll drain contract.
+//  * Seed derivation — SplitMix64 over the session seed yields each class's
+//    (engine seed, detector seed) pair in canonical class order; with one
+//    class this is exactly the single-class session's split.
+
+#ifndef EXSAMPLE_CORE_MULTI_ENGINE_H_
+#define EXSAMPLE_CORE_MULTI_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/predicate.h"
+#include "detect/detector.h"
+#include "track/discriminator.h"
+#include "video/chunking.h"
+#include "video/decoder.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace core {
+
+/// Per-class component factories plus the shared run configuration.
+struct MultiClassOptions {
+  /// Shared engine config. `decode_cache` is overridden with the session's
+  /// internal shared cache; `warm_start` is overridden per class (below).
+  EngineConfig config;
+  /// Constituent classes in canonical (sorted, deduped) order.
+  std::vector<detect::ClassId> classes;
+  /// Detector for one constituent, from its class and detector seed.
+  std::function<std::unique_ptr<detect::ObjectDetector>(detect::ClassId,
+                                                        uint64_t)>
+      make_detector;
+  std::function<std::unique_ptr<track::Discriminator>()> make_discriminator;
+  /// Optional per-class warm-start priors, parallel to `classes` (empty =
+  /// cold start everywhere; per-class entries may be empty vectors). Copied.
+  std::vector<std::vector<ChunkPrior>> warm_start;
+};
+
+/// Steps N single-class QueryEngines round-robin over a shared decode
+/// cache, merging their result streams. Mirrors the QueryEngine run API
+/// (Begin / Step / result / TakeResult) so serve::QuerySession can drive
+/// either behind one code path.
+class MultiClassEngine {
+ public:
+  MultiClassEngine(const video::VideoRepository* repo,
+                   const std::vector<video::Chunk>* chunks,
+                   MultiClassOptions options, uint64_t seed);
+  ~MultiClassEngine();
+
+  /// Opens the run. `spec`'s stopping rules (result_limit, max_samples,
+  /// max_seconds) apply to EACH constituent class independently — "k per
+  /// class", the natural multi-class reading of the paper's limit query.
+  void Begin(const QuerySpec& spec);
+
+  /// Advances by up to `max_frames` frames total (across constituents) and
+  /// reports merged progress. `done` is kRunning until EVERY constituent
+  /// finished; the final reason is the last constituent's.
+  StepStatus Step(int64_t max_frames);
+
+  bool run_open() const { return open_; }
+
+  /// Merged view of the open run: results in discovery order (each
+  /// detection carries its class_id), counters and trajectories summed.
+  const QueryResult& result() const { return merged_; }
+
+  /// Closes the run; cancels unfinished constituents.
+  QueryResult TakeResult();
+
+  // --- per-constituent views (index into classes()).
+  const std::vector<detect::ClassId>& classes() const {
+    return options_.classes;
+  }
+  size_t num_classes() const { return options_.classes.size(); }
+  /// Per-class result stream of the open run. Requires run_open().
+  const QueryResult& sub_result(size_t i) const;
+  /// Per-class chunk statistics (for per-class StatsCache recording).
+  const ChunkStats* sub_chunk_stats(size_t i) const;
+  /// The warm priors constituent `i` was seeded with (empty = cold).
+  const std::vector<ChunkPrior>& sub_warm_priors(size_t i) const;
+
+  const video::SharedDecodeCache& decode_cache() const { return cache_; }
+  /// Reads served from the shared cache so far: total frames processed
+  /// minus unique frames decoded — the sharing win in frames.
+  int64_t cached_reads() const {
+    return merged_.frames_processed - cache_.size();
+  }
+
+  /// Forwarded to every constituent engine. Call before Begin().
+  void set_metrics(const EngineMetrics& metrics, size_t cell);
+
+ private:
+  struct Sub;
+
+  /// Steps constituent `i` by one frame and folds its progress into the
+  /// merged view. Returns frames processed (0 when the sub just finished).
+  int64_t StepSub(size_t i);
+
+  MultiClassOptions options_;
+  video::SharedDecodeCache cache_;
+  std::vector<std::unique_ptr<Sub>> subs_;
+  QueryResult merged_;
+  /// Round-robin cursor, persisted across Step calls (slicing invariance).
+  size_t rr_ = 0;
+  bool open_ = false;
+  StepStatus::Done final_reason_ = StepStatus::Done::kRunning;
+};
+
+}  // namespace core
+}  // namespace exsample
+
+#endif  // EXSAMPLE_CORE_MULTI_ENGINE_H_

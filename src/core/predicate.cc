@@ -1,0 +1,348 @@
+#include "core/predicate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace exsample {
+namespace core {
+namespace {
+
+/// Formats the sequence window exactly the way ParseWindow re-reads it:
+/// %g covers every positive double the protocol accepts, "inf" the sentinel.
+std::string WindowToken(double within_seconds) {
+  if (std::isinf(within_seconds)) return "inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", within_seconds);
+  return buf;
+}
+
+bool ParseWindowToken(const std::string& token, double* within) {
+  if (token == "inf") {
+    *within = kUnboundedWindow;
+    return true;
+  }
+  if (token.empty()) return false;
+  char* end = nullptr;
+  double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  if (!(value > 0.0) || std::isinf(value) || std::isnan(value)) return false;
+  *within = value;
+  return true;
+}
+
+/// Splits "c1,c3,c7" into class ids; false on any malformed element.
+bool ParseClassList(const std::string& body,
+                    std::vector<detect::ClassId>* classes) {
+  classes->clear();
+  size_t pos = 0;
+  while (pos <= body.size()) {
+    size_t comma = body.find(',', pos);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string token = body.substr(pos, comma - pos);
+    if (token.size() < 2 || token[0] != 'c') return false;
+    int64_t id = 0;
+    for (size_t i = 1; i < token.size(); ++i) {
+      if (token[i] < '0' || token[i] > '9') return false;
+      id = id * 10 + (token[i] - '0');
+      if (id > INT32_MAX) return false;
+    }
+    // Canonical spelling has no leading zeros ("c07" re-serializes as "c7").
+    if (token.size() > 2 && token[1] == '0') return false;
+    classes->push_back(static_cast<detect::ClassId>(id));
+    if (comma == body.size()) break;
+    pos = comma + 1;
+  }
+  return !classes->empty();
+}
+
+}  // namespace
+
+const char* PredicateKindName(PredicateKind kind) {
+  switch (kind) {
+    case PredicateKind::kSingleClass:
+      return "single";
+    case PredicateKind::kConjunction:
+      return "and";
+    case PredicateKind::kSequence:
+      return "seq";
+    case PredicateKind::kMultiClass:
+      return "multi";
+  }
+  return "single";
+}
+
+bool ParsePredicateKindName(const std::string& name, PredicateKind* kind) {
+  if (name == "single") {
+    *kind = PredicateKind::kSingleClass;
+  } else if (name == "and") {
+    *kind = PredicateKind::kConjunction;
+  } else if (name == "seq") {
+    *kind = PredicateKind::kSequence;
+  } else if (name == "multi") {
+    *kind = PredicateKind::kMultiClass;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+QueryPredicate QueryPredicate::Single(detect::ClassId cls) {
+  QueryPredicate pred;
+  pred.kind = PredicateKind::kSingleClass;
+  pred.classes = {cls};
+  return pred;
+}
+
+QueryPredicate QueryPredicate::And(std::vector<detect::ClassId> classes) {
+  QueryPredicate pred;
+  pred.kind = PredicateKind::kConjunction;
+  pred.classes = std::move(classes);
+  return NormalizePredicate(std::move(pred));
+}
+
+QueryPredicate QueryPredicate::Seq(detect::ClassId first, detect::ClassId then,
+                                   double within) {
+  QueryPredicate pred;
+  pred.kind = PredicateKind::kSequence;
+  pred.classes = {first, then};
+  pred.within_seconds = within;
+  return pred;
+}
+
+QueryPredicate QueryPredicate::Multi(std::vector<detect::ClassId> classes) {
+  QueryPredicate pred;
+  pred.kind = PredicateKind::kMultiClass;
+  pred.classes = std::move(classes);
+  return NormalizePredicate(std::move(pred));
+}
+
+bool QueryPredicate::operator==(const QueryPredicate& other) const {
+  if (kind != other.kind || classes != other.classes) return false;
+  if (kind != PredicateKind::kSequence) return true;
+  // Two unbounded windows compare equal even though inf != inf is a trap
+  // with NaN-style semantics elsewhere; within is never NaN post-validate.
+  return within_seconds == other.within_seconds;
+}
+
+QueryPredicate NormalizePredicate(QueryPredicate pred) {
+  switch (pred.kind) {
+    case PredicateKind::kSingleClass:
+    case PredicateKind::kSequence:
+      // Sequence order is semantic (A then B); nothing to canonicalize.
+      break;
+    case PredicateKind::kConjunction:
+    case PredicateKind::kMultiClass: {
+      std::sort(pred.classes.begin(), pred.classes.end());
+      pred.classes.erase(
+          std::unique(pred.classes.begin(), pred.classes.end()),
+          pred.classes.end());
+      // Conjunction(A, A) IS SingleClass(A) structurally — that collapse is
+      // what makes the equivalence property in the tests hold bit for bit.
+      if (pred.classes.size() == 1) pred.kind = PredicateKind::kSingleClass;
+      break;
+    }
+  }
+  if (pred.kind != PredicateKind::kSequence) {
+    pred.within_seconds = kUnboundedWindow;
+  }
+  return pred;
+}
+
+Status ValidatePredicate(const QueryPredicate& pred) {
+  for (detect::ClassId cls : pred.classes) {
+    if (cls < 0) return Status::InvalidArgument("predicate class id < 0");
+  }
+  switch (pred.kind) {
+    case PredicateKind::kSingleClass:
+      if (pred.classes.size() != 1) {
+        return Status::InvalidArgument(
+            "single-class predicate needs exactly 1 class");
+      }
+      break;
+    case PredicateKind::kConjunction:
+      if (pred.classes.size() < 2) {
+        return Status::InvalidArgument(
+            "and predicate needs >= 2 distinct classes");
+      }
+      break;
+    case PredicateKind::kSequence:
+      if (pred.classes.size() != 2) {
+        return Status::InvalidArgument(
+            "seq predicate needs exactly 2 classes");
+      }
+      if (std::isnan(pred.within_seconds) || !(pred.within_seconds > 0.0)) {
+        return Status::InvalidArgument("seq within_seconds must be > 0");
+      }
+      break;
+    case PredicateKind::kMultiClass:
+      if (pred.classes.size() < 2) {
+        return Status::InvalidArgument(
+            "multi predicate needs >= 2 distinct classes");
+      }
+      break;
+  }
+  return Status::Ok();
+}
+
+QueryPredicate EffectivePredicate(const QueryPredicate& pred,
+                                  detect::ClassId fallback_class) {
+  if (!pred.classes.empty()) return pred;
+  return QueryPredicate::Single(fallback_class);
+}
+
+std::string PredicateKey(const QueryPredicate& pred) {
+  auto class_list = [&pred]() {
+    std::string out;
+    for (size_t i = 0; i < pred.classes.size(); ++i) {
+      if (i > 0) out += ',';
+      out += 'c';
+      out += std::to_string(pred.classes[i]);
+    }
+    return out;
+  };
+  switch (pred.kind) {
+    case PredicateKind::kSingleClass:
+      return "c" + std::to_string(pred.classes.empty() ? 0 : pred.classes[0]);
+    case PredicateKind::kConjunction:
+      return "and(" + class_list() + ")";
+    case PredicateKind::kSequence:
+      return "seq(" + class_list() +
+             ",w=" + WindowToken(pred.within_seconds) + ")";
+    case PredicateKind::kMultiClass:
+      return "multi(" + class_list() + ")";
+  }
+  return "c0";
+}
+
+Result<QueryPredicate> ParsePredicateKey(const std::string& key) {
+  auto invalid = [&key]() {
+    return Status::InvalidArgument("invalid predicate key: " + key);
+  };
+  QueryPredicate pred;
+  if (!key.empty() && key[0] == 'c') {
+    pred.kind = PredicateKind::kSingleClass;
+    if (!ParseClassList(key, &pred.classes) || pred.classes.size() != 1) {
+      return invalid();
+    }
+  } else {
+    const size_t open = key.find('(');
+    if (open == std::string::npos || key.empty() || key.back() != ')') {
+      return invalid();
+    }
+    const std::string head = key.substr(0, open);
+    std::string body = key.substr(open + 1, key.size() - open - 2);
+    if (head == "and") {
+      pred.kind = PredicateKind::kConjunction;
+    } else if (head == "multi") {
+      pred.kind = PredicateKind::kMultiClass;
+    } else if (head == "seq") {
+      pred.kind = PredicateKind::kSequence;
+      const size_t w = body.rfind(",w=");
+      if (w == std::string::npos) return invalid();
+      if (!ParseWindowToken(body.substr(w + 3), &pred.within_seconds)) {
+        return invalid();
+      }
+      body = body.substr(0, w);
+    } else {
+      return invalid();
+    }
+    if (!ParseClassList(body, &pred.classes)) return invalid();
+  }
+  Status status = ValidatePredicate(pred);
+  if (!status.ok()) return status;
+  // Canonical-form check: anything that does not re-serialize to the input
+  // byte for byte AFTER normalization (unsorted "and(c3,c1)", duplicate
+  // classes "and(c1,c1)", "seq(c1,c2,w=2.0)" instead of w=2) is rejected,
+  // so a key is either the canonical spelling or invalid — there is
+  // exactly one spelling per row.
+  pred = NormalizePredicate(pred);
+  if (PredicateKey(pred) != key) return invalid();
+  return pred;
+}
+
+Result<PredicateRequest> ParsePredicateJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("predicate must be a JSON object");
+  }
+  PredicateRequest request;
+  const Json* kind = json.Find("kind");
+  if (kind == nullptr || !kind->is_string()) {
+    return Status::InvalidArgument(
+        "predicate requires a string \"kind\" (and|seq|multi|single)");
+  }
+  if (!ParsePredicateKindName(kind->AsString(), &request.kind)) {
+    return Status::InvalidArgument("unknown predicate kind: " +
+                                   kind->AsString());
+  }
+  const Json* classes = json.Find("classes");
+  if (classes == nullptr || !classes->is_array() || classes->size() == 0) {
+    return Status::InvalidArgument(
+        "predicate requires a non-empty \"classes\" array of class names");
+  }
+  for (const Json& item : classes->items()) {
+    if (!item.is_string() || item.AsString().empty()) {
+      return Status::InvalidArgument(
+          "predicate \"classes\" entries must be non-empty strings");
+    }
+    request.class_names.push_back(item.AsString());
+  }
+  switch (request.kind) {
+    case PredicateKind::kSingleClass:
+      if (request.class_names.size() != 1) {
+        return Status::InvalidArgument(
+            "single predicate takes exactly 1 class");
+      }
+      break;
+    case PredicateKind::kSequence:
+      if (request.class_names.size() != 2) {
+        return Status::InvalidArgument("seq predicate takes exactly 2 classes");
+      }
+      break;
+    case PredicateKind::kConjunction:
+    case PredicateKind::kMultiClass:
+      if (request.class_names.size() < 2) {
+        return Status::InvalidArgument(
+            std::string(PredicateKindName(request.kind)) +
+            " predicate takes >= 2 classes");
+      }
+      break;
+  }
+  const Json* within = json.Find("within_seconds");
+  if (within != nullptr) {
+    if (request.kind != PredicateKind::kSequence) {
+      return Status::InvalidArgument(
+          "within_seconds is only valid for seq predicates");
+    }
+    if (!within->is_number() || !(within->AsDouble() > 0.0)) {
+      return Status::InvalidArgument("within_seconds must be a number > 0");
+    }
+    request.within_seconds = within->AsDouble();
+  }
+  // Reject unknown keys outright: a typo like "witin_seconds" must be a
+  // structured error, never a silently different query.
+  for (const auto& member : json.members()) {
+    if (member.first != "kind" && member.first != "classes" &&
+        member.first != "within_seconds") {
+      return Status::InvalidArgument("unknown predicate key: " + member.first);
+    }
+  }
+  return request;
+}
+
+Json PredicateRequestJson(const PredicateRequest& request) {
+  Json json = Json::Object();
+  json.Set("kind", PredicateKindName(request.kind));
+  Json classes = Json::Array();
+  for (const std::string& name : request.class_names) classes.Append(name);
+  json.Set("classes", std::move(classes));
+  if (request.kind == PredicateKind::kSequence &&
+      !std::isinf(request.within_seconds)) {
+    json.Set("within_seconds", request.within_seconds);
+  }
+  return json;
+}
+
+}  // namespace core
+}  // namespace exsample

@@ -1,0 +1,144 @@
+// QueryPredicate: the generalized query model (ROADMAP item 2).
+//
+// The paper's workload is "find k distinct instances of one class" (§II-B);
+// this header opens it to a small closed hierarchy of composite predicates
+// while keeping the single-class case the degenerate — and bit-identical —
+// member of the family:
+//
+//  * SingleClass(A)          — the classic query.
+//  * Conjunction{classes}    — "A AND B in the same frame": a result is a
+//                              new distinct object of the result class
+//                              observed in a frame where every other
+//                              constituent class is also detected.
+//  * Sequence{A, B, within}  — "A then B within t seconds": a result is a
+//                              new distinct B observed at frame f with A
+//                              observed somewhere in [f - within, f] of
+//                              video time (built on track::Discriminator
+//                              state; see track/predicate_discriminator.h).
+//  * MultiClass{classes}     — N independent single-class result sets
+//                              sharing one decode stream (see
+//                              core/multi_engine.h).
+//
+// Every predicate has a canonical serialized key — "c3", "and(c1,c3)",
+// "seq(c1,c3,w=2.5)", "multi(c1,c3)" — used everywhere a class id is used
+// today: StatsCache warm-start rows, wire forms, tool output. The *result
+// class* of a predicate (the class whose new distinct objects count as
+// results) is the last class in canonical order.
+
+#ifndef EXSAMPLE_CORE_PREDICATE_H_
+#define EXSAMPLE_CORE_PREDICATE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "detect/detection.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace exsample {
+namespace core {
+
+enum class PredicateKind {
+  kSingleClass,
+  kConjunction,
+  kSequence,
+  kMultiClass,
+};
+
+/// Wire name of a kind: "single" | "and" | "seq" | "multi".
+const char* PredicateKindName(PredicateKind kind);
+/// Inverse of PredicateKindName; false on unknown names.
+bool ParsePredicateKindName(const std::string& name, PredicateKind* kind);
+
+/// Sequence window sentinel: "any earlier sampled frame qualifies".
+inline constexpr double kUnboundedWindow =
+    std::numeric_limits<double>::infinity();
+
+/// A query predicate over object classes. Fields are only meaningful after
+/// NormalizePredicate + ValidatePredicate (construction helpers below
+/// normalize for you).
+struct QueryPredicate {
+  PredicateKind kind = PredicateKind::kSingleClass;
+  /// Constituent classes in canonical order: sorted + deduped for
+  /// kConjunction / kMultiClass, the (A, B) order for kSequence, exactly
+  /// one entry for kSingleClass. Empty means "unset" — resolved from
+  /// QuerySpec::class_id for backward compatibility (see EffectivePredicate).
+  std::vector<detect::ClassId> classes;
+  /// kSequence only: window in video seconds (kUnboundedWindow = no bound).
+  double within_seconds = kUnboundedWindow;
+
+  static QueryPredicate Single(detect::ClassId cls);
+  static QueryPredicate And(std::vector<detect::ClassId> classes);
+  static QueryPredicate Seq(detect::ClassId first, detect::ClassId then,
+                            double within = kUnboundedWindow);
+  static QueryPredicate Multi(std::vector<detect::ClassId> classes);
+
+  bool is_single() const { return kind == PredicateKind::kSingleClass; }
+  bool is_composite() const { return kind != PredicateKind::kSingleClass; }
+  /// The class whose new distinct objects are the predicate's results: the
+  /// last class in canonical order. Requires !classes.empty().
+  detect::ClassId result_class() const { return classes.back(); }
+
+  bool operator==(const QueryPredicate& other) const;
+  bool operator!=(const QueryPredicate& other) const {
+    return !(*this == other);
+  }
+};
+
+/// Canonicalizes a predicate: sorts + dedups classes for kConjunction /
+/// kMultiClass and collapses degenerate composites onto the single-class
+/// form — Conjunction(A, A) IS SingleClass(A), structurally, which is what
+/// makes the equivalence property hold bit for bit.
+QueryPredicate NormalizePredicate(QueryPredicate pred);
+
+/// Structural invariants of a normalized predicate (class counts per kind,
+/// positive window, non-negative ids). InvalidArgument with a specific
+/// message on violation.
+Status ValidatePredicate(const QueryPredicate& pred);
+
+/// The predicate QuerySpec-level consumers should act on: `pred` itself
+/// when its classes are set, else SingleClass(`fallback_class`) — the
+/// backward-compatible reading of a spec that only set class_id.
+QueryPredicate EffectivePredicate(const QueryPredicate& pred,
+                                  detect::ClassId fallback_class);
+
+/// Canonical whitespace-free key: "c<id>", "and(c1,c3)",
+/// "seq(c1,c3,w=<seconds|inf>)", "multi(c1,c3)". Keys of normalized
+/// predicates are unique and stable, so they serve as StatsCache row keys
+/// and as the compact wire/tool spelling.
+std::string PredicateKey(const QueryPredicate& pred);
+
+/// Inverse of PredicateKey. Rejects anything that does not re-serialize to
+/// the input byte for byte (the canonical-form check), so a cache file key
+/// is either the canonical spelling or invalid.
+Result<QueryPredicate> ParsePredicateKey(const std::string& key);
+
+/// Transport form of a predicate before class names are resolved against a
+/// dataset: the {"kind": "and", "classes": ["car", "person"],
+/// "within_seconds": 2.0} JSON shape carried by the serve protocol and
+/// dist.open. Structural validation happens at parse time — before any
+/// dataset is generated; name resolution is the dataset owner's job.
+struct PredicateRequest {
+  PredicateKind kind = PredicateKind::kSingleClass;
+  std::vector<std::string> class_names;
+  double within_seconds = kUnboundedWindow;
+
+  bool is_composite() const { return kind != PredicateKind::kSingleClass; }
+};
+
+/// Parses and structurally validates a predicate JSON object. Unknown
+/// kinds, missing/empty/mistyped "classes", wrong class counts for the
+/// kind, and non-positive "within_seconds" are all InvalidArgument —
+/// malformed predicates must never fall back to single-class silently.
+Result<PredicateRequest> ParsePredicateJson(const Json& json);
+
+/// The JSON form ParsePredicateJson accepts ("within_seconds" emitted only
+/// for bounded sequences).
+Json PredicateRequestJson(const PredicateRequest& request);
+
+}  // namespace core
+}  // namespace exsample
+
+#endif  // EXSAMPLE_CORE_PREDICATE_H_

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/predicate.h"
 #include "detect/detection.h"
 #include "video/types.h"
 
@@ -15,8 +16,17 @@ namespace core {
 
 /// What to search for and when to stop.
 struct QuerySpec {
-  /// Object class searched for.
+  /// Object class searched for. Kept as the fast path / backward-compatible
+  /// spelling of a single-class query; composite queries set `predicate`.
   detect::ClassId class_id = 0;
+  /// The generalized query predicate (core/predicate.h). Default-constructed
+  /// (empty classes) means "single class_id above" — see EffectivePredicate.
+  /// Consumers that act on it: exec::ConfigurePredicateJob wires the matching
+  /// detector/discriminator pair, serve::QuerySession routes kMultiClass to
+  /// core::MultiClassEngine. The QueryEngine itself stays predicate-agnostic:
+  /// class filtering lives in the detector, novelty in the discriminator, so
+  /// the bandit's N1/n feedback is predicate-level for free.
+  QueryPredicate predicate;
   /// Stop after this many distinct results (limit clause). Use a large
   /// value together with max_samples for recall-sweep experiments.
   int64_t result_limit = INT64_MAX;

@@ -196,6 +196,43 @@ DatasetSpec NightStreet() {
   return s;
 }
 
+// paired_street: 5 hours from a fixed street camera, built for composite
+// predicates — every class has an independent population PLUS correlated
+// pairs: car+person co-located in the same frames (conjunction ground
+// truth) and bicycle -> truck with a ~1.5 s lag (sequence ground truth).
+DatasetSpec PairedStreet() {
+  DatasetSpec s;
+  s.name = "paired_street";
+  s.num_videos = 1;
+  s.frames_per_video = 540000;  // 5 h at 30 fps
+  s.chunk_frames = 36000;
+  const double kSweep = 150.0;
+  s.classes.push_back(Cls(0, "car", 4000, 300, Placement::kNormal, 0.35,
+                          kSweep, 110.0));
+  s.classes.push_back(Cls(1, "person", 2500, 280, Placement::kNormal, 0.30,
+                          kSweep, 60.0));
+  s.classes.push_back(Cls(2, "bicycle", 700, 260, Placement::kNormal, 0.20,
+                          kSweep, 55.0));
+  s.classes.push_back(Cls(3, "truck", 500, 280, Placement::kNormal, 0.25,
+                          kSweep, 150.0));
+  PairSpec car_person;
+  car_person.class_a = 0;
+  car_person.class_b = 1;
+  car_person.num_pairs = 600;
+  car_person.lag_frames = 0;
+  car_person.co_located = true;
+  s.pairs.push_back(car_person);
+  PairSpec bike_truck;
+  bike_truck.class_a = 2;
+  bike_truck.class_b = 3;
+  bike_truck.num_pairs = 300;
+  bike_truck.lag_frames = 45;  // ~1.5 s at 30 fps
+  bike_truck.lag_jitter_frames = 15;
+  bike_truck.co_located = false;
+  s.pairs.push_back(bike_truck);
+  return s;
+}
+
 DatasetSpec ScaleSpec(DatasetSpec spec, double scale) {
   assert(scale > 0.0 && scale <= 1.0);
   if (scale == 1.0) return spec;
@@ -212,6 +249,7 @@ DatasetSpec ScaleSpec(DatasetSpec spec, double scale) {
   if (spec.num_videos > 1 && spec.frames_per_video <= 2000) {
     spec.num_videos = scale_count(spec.num_videos);
     for (auto& c : spec.classes) c.num_instances = scale_count(c.num_instances);
+    for (auto& p : spec.pairs) p.num_pairs = scale_count(p.num_pairs);
   } else {
     spec.frames_per_video = scale_count(spec.frames_per_video);
     if (spec.chunk_frames > 0) {
@@ -226,6 +264,15 @@ DatasetSpec ScaleSpec(DatasetSpec spec, double scale) {
           std::max(2.0, c.mean_duration_frames * scale),
           static_cast<double>(spec.total_frames()) / 4.0);
     }
+    // Pair lags live on the frame axis too; shrink them with it so the
+    // "B within t seconds of A" structure survives scaling.
+    for (auto& p : spec.pairs) {
+      p.num_pairs = scale_count(p.num_pairs);
+      p.lag_frames = static_cast<int64_t>(
+          std::llround(static_cast<double>(p.lag_frames) * scale));
+      p.lag_jitter_frames = static_cast<int64_t>(
+          std::llround(static_cast<double>(p.lag_jitter_frames) * scale));
+    }
   }
   return spec;
 }
@@ -234,7 +281,7 @@ DatasetSpec ScaleSpec(DatasetSpec spec, double scale) {
 
 std::vector<std::string> PresetNames() {
   return {"dashcam", "bdd1k", "bdd_mot", "amsterdam", "archie",
-          "night_street"};
+          "night_street", "paired_street"};
 }
 
 DatasetSpec MakePresetSpec(const std::string& name, double scale) {
@@ -251,6 +298,8 @@ DatasetSpec MakePresetSpec(const std::string& name, double scale) {
     spec = Archie();
   } else if (name == "night_street") {
     spec = NightStreet();
+  } else if (name == "paired_street") {
+    spec = PairedStreet();
   } else {
     std::fprintf(stderr, "fatal: unknown preset name '%s'\n", name.c_str());
     std::abort();

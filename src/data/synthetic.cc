@@ -140,9 +140,51 @@ Dataset GenerateDataset(const DatasetSpec& spec, uint64_t seed) {
     }
   }
 
+  // Correlated pairs ride after the independent populations so pair-free
+  // specs draw exactly the RNG stream they always did. The per-class
+  // num_instances counts in the returned Dataset include pair instances —
+  // downstream consumers (preset structure tests, recall denominators)
+  // read those counts as "instances of this class in the ground truth".
+  std::vector<ClassSpec> classes = spec.classes;
+  auto class_spec_of = [&classes](detect::ClassId id) -> ClassSpec* {
+    for (auto& cls : classes) {
+      if (cls.class_id == id) return &cls;
+    }
+    return nullptr;
+  };
+  for (const auto& pair : spec.pairs) {
+    Rng pair_rng = rng.Fork();
+    ClassSpec* spec_a = class_spec_of(pair.class_a);
+    ClassSpec* spec_b = class_spec_of(pair.class_b);
+    assert(spec_a != nullptr && spec_b != nullptr);
+    for (int64_t i = 0; i < pair.num_pairs; ++i) {
+      ObjectInstance anchor =
+          MakeInstance(*spec_a, next_id++, spec.total_frames(), &pair_rng);
+      ObjectInstance consequent =
+          MakeInstance(*spec_b, next_id++, spec.total_frames(), &pair_rng);
+      int64_t lag = pair.lag_frames;
+      if (pair.lag_jitter_frames > 0) {
+        lag += static_cast<int64_t>(pair_rng.NextBounded(
+                   2 * static_cast<uint64_t>(pair.lag_jitter_frames) + 1)) -
+               pair.lag_jitter_frames;
+      }
+      if (pair.co_located) consequent.duration_frames = anchor.duration_frames;
+      video::FrameId start = anchor.start_frame + lag;
+      start = std::max<video::FrameId>(0, start);
+      start = std::min<video::FrameId>(
+          start, spec.total_frames() - consequent.duration_frames);
+      consequent.start_frame = start;
+      instances.push_back(anchor);
+      instances.push_back(consequent);
+    }
+    spec_a->num_instances += pair.num_pairs;
+    spec_b->num_instances += pair.num_pairs;
+  }
+
   GroundTruthIndex gt(std::move(instances), spec.total_frames());
-  return Dataset{spec.name, std::move(repo), std::move(chunks), std::move(gt),
-                 spec.classes};
+  return Dataset{spec.name,         std::move(repo), std::move(chunks),
+                 std::move(gt),     std::move(classes),
+                 spec.fps};
 }
 
 }  // namespace data

@@ -61,6 +61,31 @@ struct ClassSpec {
   double mean_box_pixels = 80.0;
 };
 
+/// Correlated instance pairs: ground truth for composite predicates. Each
+/// pair is an anchor instance of `class_a` plus a consequent instance of
+/// `class_b` whose appearance is tied to the anchor's — co-occurring in the
+/// same frames (conjunction ground truth) or starting `lag_frames` later
+/// (sequence ground truth). Pair instances are generated in addition to the
+/// per-class populations; the returned Dataset's per-class num_instances
+/// counts include them.
+struct PairSpec {
+  detect::ClassId class_a = 0;
+  detect::ClassId class_b = 0;
+  int64_t num_pairs = 0;
+  /// Frames between the anchor's start and the consequent's start (0 =
+  /// simultaneous onset).
+  int64_t lag_frames = 0;
+  /// Uniform jitter applied to the lag: actual lag in
+  /// [lag_frames - jitter, lag_frames + jitter].
+  int64_t lag_jitter_frames = 0;
+  /// True: the consequent copies the anchor's temporal interval exactly
+  /// (shifted by the lag, duration equal) — with lag 0 the two classes are
+  /// visible in precisely the same frames, the setup the
+  /// seq(inf) == conjunction property test requires. False: the consequent
+  /// keeps its own class's sampled duration.
+  bool co_located = true;
+};
+
 /// Whole-dataset generation parameters.
 struct DatasetSpec {
   std::string name;
@@ -70,6 +95,8 @@ struct DatasetSpec {
   /// Chunking: frames per chunk, or 0 for one chunk per video file.
   int64_t chunk_frames = 36000;
   std::vector<ClassSpec> classes;
+  /// Correlated cross-class pairs (both class ids must appear in `classes`).
+  std::vector<PairSpec> pairs;
 
   int64_t total_frames() const { return num_videos * frames_per_video; }
 };
@@ -81,6 +108,9 @@ struct Dataset {
   std::vector<video::Chunk> chunks;
   GroundTruthIndex ground_truth;
   std::vector<ClassSpec> classes;
+  /// Frame rate of the generating spec — converts predicate time windows
+  /// ("B within 2s of A") to frame windows.
+  double fps = 30.0;
 
   /// Looks up a class spec by name (nullptr if absent).
   const ClassSpec* FindClass(const std::string& class_name) const;

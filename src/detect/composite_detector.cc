@@ -1,0 +1,35 @@
+#include "detect/composite_detector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace exsample {
+namespace detect {
+
+CompositeDetector::CompositeDetector(
+    std::vector<std::unique_ptr<ObjectDetector>> inner)
+    : inner_(std::move(inner)) {
+  assert(!inner_.empty());
+}
+
+std::vector<Detection> CompositeDetector::Detect(video::FrameId frame) {
+  ++frames_processed_;
+  std::vector<Detection> out;
+  for (auto& detector : inner_) {
+    std::vector<Detection> dets = detector->Detect(frame);
+    out.insert(out.end(), dets.begin(), dets.end());
+  }
+  return out;
+}
+
+double CompositeDetector::InferenceSeconds() const {
+  double widest = 0.0;
+  for (const auto& detector : inner_) {
+    widest = std::max(widest, detector->InferenceSeconds());
+  }
+  return widest;
+}
+
+}  // namespace detect
+}  // namespace exsample

@@ -1,0 +1,44 @@
+// CompositeDetector: one inference pass over the union of a predicate's
+// constituent classes. Real multi-class networks emit every class from a
+// single forward pass; this models that by concatenating per-class inner
+// detectors (each a noise-isolated stream keyed by its own seed) and
+// charging the latency of the widest inner — one shared pass, not N serial
+// ones.
+//
+// Determinism contract: each inner detector's noise is a pure function of
+// (its seed, frame, instance) — see detect/simulated_detector.h — so
+// per-class detections here are bit-identical to what the same inner would
+// emit in a standalone single-class run with the same seed. The predicate
+// property tests lean on exactly that.
+
+#ifndef EXSAMPLE_DETECT_COMPOSITE_DETECTOR_H_
+#define EXSAMPLE_DETECT_COMPOSITE_DETECTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace exsample {
+namespace detect {
+
+/// Concatenates the detections of several single-class detectors, in the
+/// order given (predicate-canonical class order by construction).
+class CompositeDetector : public ObjectDetector {
+ public:
+  explicit CompositeDetector(std::vector<std::unique_ptr<ObjectDetector>> inner);
+
+  std::vector<Detection> Detect(video::FrameId frame) override;
+  /// One shared pass: the widest inner head dominates, heads run fused.
+  double InferenceSeconds() const override;
+  int64_t frames_processed() const override { return frames_processed_; }
+
+ private:
+  std::vector<std::unique_ptr<ObjectDetector>> inner_;
+  int64_t frames_processed_ = 0;
+};
+
+}  // namespace detect
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DETECT_COMPOSITE_DETECTOR_H_

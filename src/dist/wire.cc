@@ -42,9 +42,15 @@ ShardAggregate AggregateFromStats(const core::ChunkStats& stats) {
 Json OpenRequest(const ShardSpec& spec) {
   Json cmd = Json::Object()
                  .Set("cmd", "dist.open")
-                 .Set("preset", spec.preset)
-                 .Set("class", spec.class_name)
-                 .Set("scale", spec.scale)
+                 .Set("preset", spec.preset);
+  // Composite opens carry the predicate object; single-class opens keep
+  // the exact legacy "class" form (wire bytes unchanged).
+  if (spec.has_predicate()) {
+    cmd.Set("predicate", core::PredicateRequestJson(spec.predicate));
+  } else {
+    cmd.Set("class", spec.class_name);
+  }
+  cmd.Set("scale", spec.scale)
                  .Set("shard", static_cast<int64_t>(spec.shard_index))
                  .Set("num_shards", static_cast<int64_t>(spec.num_shards))
                  .Set("seed_tag", spec.seed_tag)
@@ -78,9 +84,23 @@ Result<ShardSpec> ParseOpenRequest(const Json& cmd) {
   ShardSpec spec;
   spec.preset = cmd.GetString("preset", "");
   spec.class_name = cmd.GetString("class", "");
-  if (spec.preset.empty() || spec.class_name.empty()) {
+  const Json* predicate_json = cmd.Find("predicate");
+  if (spec.preset.empty() ||
+      (spec.class_name.empty() && predicate_json == nullptr)) {
     return Status::InvalidArgument(
-        "dist.open requires \"preset\" and \"class\"");
+        "dist.open requires \"preset\" and \"class\" (or \"predicate\")");
+  }
+  if (!spec.class_name.empty() && predicate_json != nullptr) {
+    return Status::InvalidArgument(
+        "dist.open takes exactly one of \"class\" and \"predicate\"");
+  }
+  if (predicate_json != nullptr) {
+    if (!predicate_json->is_object()) {
+      return Status::InvalidArgument("\"predicate\" must be a JSON object");
+    }
+    auto parsed_predicate = core::ParsePredicateJson(*predicate_json);
+    if (!parsed_predicate.ok()) return parsed_predicate.status();
+    spec.predicate = parsed_predicate.value();
   }
   spec.scale = cmd.GetDouble("scale", spec.scale);
   if (spec.scale <= 0.0 || spec.scale > 1.0) {
@@ -139,24 +159,30 @@ Json OpenReplyJson(const OpenReply& reply) {
 Json PickReplyJson(const PickReply& reply, detect::ClassId class_id) {
   Json results = Json::Array();
   for (const detect::Detection& d : reply.new_results) {
-    results.Append(Json::Object()
-                       .Set("frame", d.frame)
-                       .Set("score", d.score)
-                       .Set("x", d.box.x)
-                       .Set("y", d.box.y)
-                       .Set("w", d.box.w)
-                       .Set("h", d.box.h)
-                       .Set("instance", d.instance));
+    Json item = Json::Object()
+                    .Set("frame", d.frame)
+                    .Set("score", d.score)
+                    .Set("x", d.box.x)
+                    .Set("y", d.box.y)
+                    .Set("w", d.box.w)
+                    .Set("h", d.box.h)
+                    .Set("instance", d.instance);
+    if (reply.multi_class) {
+      item.Set("class_id", static_cast<int64_t>(d.class_id));
+    }
+    results.Append(std::move(item));
   }
-  return Json::Object()
-      .Set("ok", true)
-      .Set("running", reply.running)
-      .Set("stop_reason", reply.stop_reason)
-      .Set("class_id", static_cast<int64_t>(class_id))
-      .Set("new_results", std::move(results))
-      .Set("frames_processed", reply.frames_processed)
-      .Set("cost_seconds", reply.cost_seconds)
-      .Set("agg", ToJson(reply.agg));
+  Json out = Json::Object()
+                 .Set("ok", true)
+                 .Set("running", reply.running)
+                 .Set("stop_reason", reply.stop_reason)
+                 .Set("class_id", static_cast<int64_t>(class_id))
+                 .Set("new_results", std::move(results))
+                 .Set("frames_processed", reply.frames_processed)
+                 .Set("cost_seconds", reply.cost_seconds)
+                 .Set("agg", ToJson(reply.agg));
+  if (reply.multi_class) out.Set("multi_class", true);
+  return out;
 }
 
 Json StatsReplyJson(const StatsReply& reply) {
@@ -198,6 +224,7 @@ Result<PickReply> ParsePickReply(const Json& reply,
   PickReply out;
   out.running = reply.GetBool("running", false);
   out.stop_reason = reply.GetString("stop_reason", "");
+  out.multi_class = reply.GetBool("multi_class", false);
   out.frames_processed = reply.GetInt("frames_processed", 0);
   out.cost_seconds = reply.GetDouble("cost_seconds", 0.0);
   out.agg = AggregateFromJson(reply.Find("agg"));
@@ -207,7 +234,10 @@ Result<PickReply> ParsePickReply(const Json& reply,
     for (const Json& item : results->items()) {
       detect::Detection d;
       d.frame = item.GetInt("frame", -1);
-      d.class_id = class_id;
+      // Multi-class replies carry per-detection class ids; the top-level
+      // class_id is the fallback for legacy single-class replies.
+      d.class_id = static_cast<detect::ClassId>(
+          item.GetInt("class_id", class_id));
       d.score = item.GetDouble("score", 0.0);
       d.box.x = item.GetDouble("x", 0.0);
       d.box.y = item.GetDouble("y", 0.0);

@@ -27,6 +27,7 @@
 
 #include "core/chunk_stats.h"
 #include "core/policy.h"
+#include "core/predicate.h"
 #include "detect/detection.h"
 #include "util/json.h"
 #include "util/status.h"
@@ -53,6 +54,12 @@ struct ShardAggregate {
 struct ShardSpec {
   std::string preset;
   std::string class_name;
+  /// Composite query: when set (non-empty class_names), dist.open carries a
+  /// "predicate" object instead of "class" and the worker builds the shard
+  /// session through exec::ConfigurePredicateJob. Empty = the legacy
+  /// single-class form named by class_name — whose wire bytes are unchanged.
+  core::PredicateRequest predicate;
+  bool has_predicate() const { return !predicate.class_names.empty(); }
   double scale = 0.1;
   /// Logical shard [0, num_shards) — shard s owns chunk range
   /// [s*m/L, (s+1)*m/L) of the preset's m chunks, independent of how many
@@ -105,6 +112,10 @@ struct PickReply {
   /// coordinator then retires the shard like a dried-up chunk.
   bool running = true;
   std::string stop_reason;  ///< serve::StopReasonName string
+  /// kMultiClass shard sessions: detections interleave classes, so the
+  /// reply carries per-detection class ids (single-class replies stay
+  /// byte-identical and use the top-level class_id).
+  bool multi_class = false;
   std::vector<detect::Detection> new_results;
   int64_t frames_processed = 0;  ///< cumulative over the shard session
   double cost_seconds = 0.0;

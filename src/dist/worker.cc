@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "core/frame_source.h"
+#include "core/predicate.h"
 #include "detect/simulated_detector.h"
+#include "exec/predicate_jobs.h"
 #include "exec/query_job.h"
 #include "track/discriminator.h"
 
@@ -13,6 +15,25 @@ namespace {
 
 Json Error(const std::string& message) {
   return Json::Object().Set("ok", false).Set("error", message);
+}
+
+// The shard's full bandit aggregate. kMultiClass sessions expose per-class
+// ChunkStats; their shard-level aggregate is the constituents' sum (every
+// sampled frame counts once per constituent that sampled it — the same
+// reading AggregateFromStats gives a single engine).
+ShardAggregate SessionAggregate(const serve::QuerySession& session) {
+  if (!session.is_multi_class()) {
+    return AggregateFromStats(*session.chunk_stats());
+  }
+  ShardAggregate agg;
+  for (size_t i = 0; i < session.num_classes(); ++i) {
+    const core::ChunkStats* stats = session.sub_chunk_stats(i);
+    if (stats == nullptr) continue;
+    const ShardAggregate part = AggregateFromStats(*stats);
+    agg.n1 += part.n1;
+    agg.n += part.n;
+  }
+  return agg;
 }
 
 }  // namespace
@@ -54,9 +75,17 @@ Json WorkerState::HandleOpen(const Json& cmd) {
 
   const data::Dataset* dataset = datasets_->Get(spec.preset, spec.scale);
   if (dataset == nullptr) return Error("unknown preset: " + spec.preset);
-  const data::ClassSpec* cls = dataset->FindClass(spec.class_name);
-  if (cls == nullptr) {
-    return Error("class '" + spec.class_name + "' not in " + spec.preset);
+  const data::ClassSpec* cls = nullptr;
+  core::QueryPredicate predicate;
+  if (spec.has_predicate()) {
+    auto resolved = exec::ResolvePredicate(*dataset, spec.predicate);
+    if (!resolved.ok()) return Error(resolved.status().ToString());
+    predicate = resolved.value();
+  } else {
+    cls = dataset->FindClass(spec.class_name);
+    if (cls == nullptr) {
+      return Error("class '" + spec.class_name + "' not in " + spec.preset);
+    }
   }
   const int64_t total_chunks =
       static_cast<int64_t>(dataset->chunks.size());
@@ -86,9 +115,24 @@ Json WorkerState::HandleOpen(const Json& cmd) {
   }
 
   std::vector<core::ChunkPrior> priors;
+  std::vector<std::vector<core::ChunkPrior>> multi_priors;
   if (spec.warm_start && cache_ != nullptr) {
-    priors = cache_->Lookup(shard->repo_key, cls->class_id,
-                            spec.warm_weight);
+    if (spec.has_predicate() &&
+        predicate.kind == core::PredicateKind::kMultiClass) {
+      // Per-constituent warm start from each class's own shard-scoped row.
+      multi_priors.resize(predicate.classes.size());
+      for (size_t i = 0; i < predicate.classes.size(); ++i) {
+        multi_priors[i] = cache_->Lookup(shard->repo_key,
+                                         predicate.classes[i],
+                                         spec.warm_weight);
+      }
+    } else if (spec.has_predicate()) {
+      priors = cache_->LookupPredicate(shard->repo_key, predicate,
+                                       spec.warm_weight);
+    } else {
+      priors = cache_->Lookup(shard->repo_key, cls->class_id,
+                              spec.warm_weight);
+    }
   }
 
   exec::QueryJob job;
@@ -100,30 +144,37 @@ Json WorkerState::HandleOpen(const Json& cmd) {
   job.config.group_size = spec.group_size;
   job.config.cost_aware = spec.cost_aware;
   job.config.gop_run_frames = spec.gop_run;
-  job.spec.class_id = cls->class_id;
   job.spec.max_samples = spec.max_samples;
-  const detect::ClassId class_id = cls->class_id;
-  job.make_detector = [dataset, class_id](uint64_t seed) {
-    return std::make_unique<detect::SimulatedDetector>(
-        &dataset->ground_truth, class_id, detect::DetectorConfig{}, seed);
-  };
-  const bool tracker = spec.tracker;
-  job.make_discriminator =
-      [tracker]() -> std::unique_ptr<track::Discriminator> {
-    if (tracker) return std::make_unique<track::TrackerDiscriminator>();
-    return std::make_unique<track::OracleDiscriminator>();
-  };
+  if (spec.has_predicate()) {
+    exec::ConfigurePredicateJob(dataset, predicate, spec.tracker,
+                                detect::DetectorConfig{}, &job);
+  } else {
+    // Legacy single-class shard: byte-for-byte the factories this worker
+    // has always built (the dist determinism matrices run through here).
+    job.spec.class_id = cls->class_id;
+    const detect::ClassId class_id = cls->class_id;
+    job.make_detector = [dataset, class_id](uint64_t seed) {
+      return std::make_unique<detect::SimulatedDetector>(
+          &dataset->ground_truth, class_id, detect::DetectorConfig{}, seed);
+    };
+    const bool tracker = spec.tracker;
+    job.make_discriminator =
+        [tracker]() -> std::unique_ptr<track::Discriminator> {
+      if (tracker) return std::make_unique<track::TrackerDiscriminator>();
+      return std::make_unique<track::OracleDiscriminator>();
+    };
+  }
 
   shard->session = std::make_unique<serve::QuerySession>(
       job, base_seed_, serve::SessionOptions{}, std::move(priors),
-      shard->repo_key);
+      shard->repo_key, nullptr, 0, std::move(multi_priors));
 
   OpenReply reply;
   reply.dist_id = next_id_++;
   reply.chunks = static_cast<int64_t>(shard->chunks.size());
   reply.frames = shard->frames;
   reply.warm_started = shard->session->warm_started();
-  reply.agg = AggregateFromStats(*shard->session->chunk_stats());
+  reply.agg = SessionAggregate(*shard->session);
   shards_.emplace(reply.dist_id, std::move(shard));
   return OpenReplyJson(reply);
 }
@@ -141,10 +192,11 @@ Json WorkerState::HandlePick(const Json& cmd) {
   PickReply reply;
   reply.running = p.state == serve::SessionState::kRunning;
   reply.stop_reason = serve::StopReasonName(p.stop_reason);
+  reply.multi_class = p.multi_class;
   reply.new_results = std::move(p.new_results);
   reply.frames_processed = p.frames_processed;
   reply.cost_seconds = p.cost_seconds;
-  reply.agg = AggregateFromStats(*shard->session->chunk_stats());
+  reply.agg = SessionAggregate(*shard->session);
   reply.agg.cost_seconds = p.cost_seconds;
   return PickReplyJson(reply, shard->session->class_id());
 }
@@ -154,15 +206,32 @@ Json WorkerState::HandleStats(const Json& cmd) {
   if (shard == nullptr) {
     return Error("no dist session " + std::to_string(cmd.GetInt("dist", -1)));
   }
-  const core::ChunkStats* stats = shard->session->chunk_stats();
   StatsReply reply;
-  reply.n1.reserve(static_cast<size_t>(stats->num_chunks()));
-  reply.n.reserve(static_cast<size_t>(stats->num_chunks()));
-  for (int32_t j = 0; j < stats->num_chunks(); ++j) {
-    reply.n1.push_back(stats->n1(j));
-    reply.n.push_back(stats->n(j));
+  if (shard->session->is_multi_class()) {
+    // Per-chunk element-wise sum over the constituents, mirroring the
+    // aggregate: the shard-level parity view of a multi-class session.
+    for (size_t c = 0; c < shard->session->num_classes(); ++c) {
+      const core::ChunkStats* stats = shard->session->sub_chunk_stats(c);
+      if (stats == nullptr) continue;
+      if (reply.n1.empty()) {
+        reply.n1.assign(static_cast<size_t>(stats->num_chunks()), 0);
+        reply.n.assign(static_cast<size_t>(stats->num_chunks()), 0);
+      }
+      for (int32_t j = 0; j < stats->num_chunks(); ++j) {
+        reply.n1[static_cast<size_t>(j)] += stats->n1(j);
+        reply.n[static_cast<size_t>(j)] += stats->n(j);
+      }
+    }
+  } else {
+    const core::ChunkStats* stats = shard->session->chunk_stats();
+    reply.n1.reserve(static_cast<size_t>(stats->num_chunks()));
+    reply.n.reserve(static_cast<size_t>(stats->num_chunks()));
+    for (int32_t j = 0; j < stats->num_chunks(); ++j) {
+      reply.n1.push_back(stats->n1(j));
+      reply.n.push_back(stats->n(j));
+    }
   }
-  reply.agg = AggregateFromStats(*stats);
+  reply.agg = SessionAggregate(*shard->session);
   return StatsReplyJson(reply);
 }
 
@@ -175,25 +244,38 @@ Json WorkerState::HandleReport(const Json& cmd) {
   Shard* shard = it->second.get();
   shard->session->Cancel();
   ReportReply reply;
-  reply.agg = AggregateFromStats(*shard->session->chunk_stats());
+  reply.agg = SessionAggregate(*shard->session);
   const bool claimed = shard->session->MarkStatsRecorded();
-  if (claimed && cache_ != nullptr) {
-    cache_->Record(shard->repo_key, shard->session->class_id(),
-                   *shard->session->chunk_stats(),
-                   shard->session->warm_priors());
-  }
+  if (claimed && cache_ != nullptr) RecordClaimedShard(shard);
   reply.recorded = claimed && cache_ != nullptr;
   Json response = ReportReplyJson(reply);
   shards_.erase(it);
   return response;
 }
 
+void WorkerState::RecordClaimedShard(Shard* shard) {
+  serve::QuerySession* session = shard->session.get();
+  if (session->is_multi_class()) {
+    // Each constituent's evidence goes to its own "c<id>" row so a later
+    // single-class or multi-class open over this shard can reuse it.
+    for (size_t i = 0; i < session->num_classes(); ++i) {
+      const core::ChunkStats* stats = session->sub_chunk_stats(i);
+      if (stats == nullptr || stats->total_samples() == 0) continue;
+      cache_->Record(shard->repo_key, session->multi_classes()[i], *stats,
+                     session->sub_warm_priors(i));
+    }
+    return;
+  }
+  // Single-class predicates key as "c<id>" — the row this cache always
+  // used — and composites under their canonical predicate key.
+  cache_->Record(shard->repo_key, core::PredicateKey(session->predicate()),
+                 *session->chunk_stats(), session->warm_priors());
+}
+
 void WorkerState::RecordShard(Shard* shard) {
   shard->session->Cancel();
   if (cache_ != nullptr && shard->session->MarkStatsRecorded()) {
-    cache_->Record(shard->repo_key, shard->session->class_id(),
-                   *shard->session->chunk_stats(),
-                   shard->session->warm_priors());
+    RecordClaimedShard(shard);
   }
 }
 

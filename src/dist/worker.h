@@ -89,6 +89,10 @@ class WorkerState {
   Json HandleReport(const Json& cmd);
   /// Persists one shard's statistics (idempotent per session).
   void RecordShard(Shard* shard);
+  /// Writes the cache rows for a shard whose record right is already
+  /// claimed: per constituent class for kMultiClass sessions, under the
+  /// canonical predicate key otherwise. Requires cache_ != nullptr.
+  void RecordClaimedShard(Shard* shard);
   Shard* FindShard(int64_t dist_id);
 
   serve::DatasetPool* const datasets_;

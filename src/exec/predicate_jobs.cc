@@ -1,0 +1,136 @@
+#include "exec/predicate_jobs.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "detect/composite_detector.h"
+#include "track/discriminator.h"
+#include "track/predicate_discriminator.h"
+#include "util/rng.h"
+
+namespace exsample {
+namespace exec {
+namespace {
+
+std::unique_ptr<track::Discriminator> MakeInner(
+    bool use_tracker) {
+  if (use_tracker) return std::make_unique<track::TrackerDiscriminator>();
+  return std::make_unique<track::OracleDiscriminator>();
+}
+
+}  // namespace
+
+Result<core::QueryPredicate> ResolvePredicate(
+    const data::Dataset& dataset, const core::PredicateRequest& request) {
+  // Arity is checked on the REQUEST, before normalization: a one-name
+  // "and" must be an error, not a silent collapse to single-class.
+  // (ParsePredicateJson enforces the same rules for transport requests;
+  // this covers callers that build a PredicateRequest directly — CLI
+  // flags, hand-built ShardSpecs.)
+  const size_t n = request.class_names.size();
+  switch (request.kind) {
+    case core::PredicateKind::kSingleClass:
+      if (n != 1) {
+        return Status::InvalidArgument("single predicate takes exactly 1 class");
+      }
+      break;
+    case core::PredicateKind::kSequence:
+      if (n != 2) {
+        return Status::InvalidArgument("seq predicate takes exactly 2 classes");
+      }
+      break;
+    case core::PredicateKind::kConjunction:
+    case core::PredicateKind::kMultiClass:
+      if (n < 2) {
+        return Status::InvalidArgument(
+            std::string(core::PredicateKindName(request.kind)) +
+            " predicate takes >= 2 classes");
+      }
+      break;
+  }
+  core::QueryPredicate pred;
+  pred.kind = request.kind;
+  pred.within_seconds = request.within_seconds;
+  for (const std::string& name : request.class_names) {
+    const data::ClassSpec* cls = dataset.FindClass(name);
+    if (cls == nullptr) {
+      return Status::NotFound("unknown class: " + name);
+    }
+    pred.classes.push_back(cls->class_id);
+  }
+  pred = core::NormalizePredicate(std::move(pred));
+  Status status = core::ValidatePredicate(pred);
+  if (!status.ok()) return status;
+  return pred;
+}
+
+int64_t WithinFrames(double within_seconds, double fps) {
+  if (std::isinf(within_seconds)) return track::kUnboundedWindowFrames;
+  const int64_t frames = std::llround(within_seconds * fps);
+  return frames > 0 ? frames : 1;
+}
+
+uint64_t ClassDetectorSeed(uint64_t seed, detect::ClassId cls) {
+  // The MultiQueryRunner::JobSeed mixing discipline, keyed by class id so
+  // the derivation is independent of the class's position in the predicate.
+  SplitMix64 stream(seed ^
+                    (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(cls) + 1)));
+  stream.Next();
+  return stream.Next();
+}
+
+void ConfigurePredicateJob(const data::Dataset* dataset,
+                           const core::QueryPredicate& predicate,
+                           bool use_tracker,
+                           const detect::DetectorConfig& detector_config,
+                           QueryJob* job) {
+  job->spec.class_id = predicate.result_class();
+  job->spec.predicate = predicate;
+  switch (predicate.kind) {
+    case core::PredicateKind::kSingleClass: {
+      const detect::ClassId cls = predicate.classes.front();
+      job->make_detector = [dataset, cls, detector_config](uint64_t seed) {
+        return std::make_unique<detect::SimulatedDetector>(
+            &dataset->ground_truth, cls, detector_config, seed);
+      };
+      job->make_discriminator = [use_tracker]() { return MakeInner(use_tracker); };
+      break;
+    }
+    case core::PredicateKind::kConjunction:
+    case core::PredicateKind::kSequence: {
+      const std::vector<detect::ClassId> classes = predicate.classes;
+      job->make_detector = [dataset, classes,
+                            detector_config](uint64_t seed) {
+        std::vector<std::unique_ptr<detect::ObjectDetector>> inner;
+        for (detect::ClassId cls : classes) {
+          inner.push_back(std::make_unique<detect::SimulatedDetector>(
+              &dataset->ground_truth, cls, detector_config,
+              ClassDetectorSeed(seed, cls)));
+        }
+        return std::make_unique<detect::CompositeDetector>(std::move(inner));
+      };
+      const int64_t within =
+          WithinFrames(predicate.within_seconds, dataset->fps);
+      job->make_discriminator = [predicate, within, use_tracker]() {
+        return std::make_unique<track::PredicateDiscriminator>(
+            predicate, within,
+            [use_tracker]() { return MakeInner(use_tracker); });
+      };
+      break;
+    }
+    case core::PredicateKind::kMultiClass: {
+      job->make_class_detector = [dataset, detector_config](
+                                     detect::ClassId cls, uint64_t seed) {
+        return std::make_unique<detect::SimulatedDetector>(
+            &dataset->ground_truth, cls, detector_config, seed);
+      };
+      job->make_discriminator = [use_tracker]() { return MakeInner(use_tracker); };
+      break;
+    }
+  }
+}
+
+}  // namespace exec
+}  // namespace exsample

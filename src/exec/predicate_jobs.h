@@ -1,0 +1,63 @@
+// Predicate -> runnable-job wiring, shared by every front end (the serve
+// protocol handler, the dist worker, exsample_query). One place owns the
+// mapping from a core::QueryPredicate to the detector/discriminator pair
+// that implements it, so the serve, dist and CLI paths cannot drift:
+//
+//   kSingleClass  -> SimulatedDetector(class) + Tracker/Oracle — byte-for-
+//                    byte the factories single-class runs always had.
+//   kConjunction/ -> detect::CompositeDetector over the constituent classes
+//   kSequence        (class-id-derived inner seeds) +
+//                    track::PredicateDiscriminator wrapping Tracker/Oracle.
+//   kMultiClass   -> per-class factory (QueryJob::make_class_detector) for
+//                    core::MultiClassEngine plus the plain single-class
+//                    discriminator factory it instantiates per constituent.
+//
+// Inner detector seeds are derived from the CLASS ID, not the list
+// position: seq(A, B) and and(A, B) then see identical per-class noise
+// streams for the same job seed, which is what the Seq(inf) == Conjunction
+// property test pins.
+
+#ifndef EXSAMPLE_EXEC_PREDICATE_JOBS_H_
+#define EXSAMPLE_EXEC_PREDICATE_JOBS_H_
+
+#include <cstdint>
+
+#include "core/predicate.h"
+#include "data/synthetic.h"
+#include "detect/simulated_detector.h"
+#include "exec/query_job.h"
+#include "util/status.h"
+
+namespace exsample {
+namespace exec {
+
+/// Resolves a transport-level predicate request (class names) against a
+/// dataset into a normalized, validated QueryPredicate. NotFound for
+/// unknown class names, InvalidArgument for structural violations that
+/// survive normalization.
+Result<core::QueryPredicate> ResolvePredicate(
+    const data::Dataset& dataset, const core::PredicateRequest& request);
+
+/// A sequence window in frames at the dataset's frame rate
+/// (track::kUnboundedWindowFrames for the unbounded sentinel).
+int64_t WithinFrames(double within_seconds, double fps);
+
+/// Fills `job`'s spec targeting fields (class_id = the predicate's result
+/// class, spec.predicate) and the factory set implementing `predicate`.
+/// `use_tracker` picks TrackerDiscriminator over OracleDiscriminator for
+/// result-class novelty, exactly as in single-class runs. `predicate` must
+/// be normalized + validated; `dataset` must outlive every run of the job.
+void ConfigurePredicateJob(const data::Dataset* dataset,
+                           const core::QueryPredicate& predicate,
+                           bool use_tracker,
+                           const detect::DetectorConfig& detector_config,
+                           QueryJob* job);
+
+/// The seed of one constituent class's detector noise stream, derived from
+/// the job-level detector seed and the class id (pure, order-free).
+uint64_t ClassDetectorSeed(uint64_t seed, detect::ClassId cls);
+
+}  // namespace exec
+}  // namespace exsample
+
+#endif  // EXSAMPLE_EXEC_PREDICATE_JOBS_H_

@@ -35,6 +35,12 @@ using DetectorFactory =
 using DiscriminatorFactory =
     std::function<std::unique_ptr<track::Discriminator>()>;
 
+/// Builds a fresh detector for one constituent class of a kMultiClass
+/// predicate (core::MultiClassEngine instantiates one per class, each with
+/// its own derived seed).
+using ClassDetectorFactory = std::function<std::unique_ptr<
+    detect::ObjectDetector>(detect::ClassId cls, uint64_t seed)>;
+
 /// One schedulable query run. The referenced repository and chunk vector
 /// are read-only during execution and must outlive the runner call; many
 /// jobs typically share them.
@@ -50,6 +56,11 @@ struct QueryJob {
   core::QuerySpec spec;
   DetectorFactory make_detector;
   DiscriminatorFactory make_discriminator;
+  /// kMultiClass predicates only: per-constituent detector factory (the
+  /// single factories above are unused in that case). See
+  /// exec::ConfigurePredicateJob, which fills whichever pair the job's
+  /// spec.predicate needs.
+  ClassDetectorFactory make_class_detector;
   /// Optional per-query trace sink (non-owning; must outlive the run).
   /// Attached to the engine before execution; recording never touches the
   /// job's RNG streams, so a traced run matches an untraced one bit for

@@ -4,9 +4,11 @@
 #include <utility>
 #include <vector>
 
+#include "core/predicate.h"
 #include "data/presets.h"
 #include "detect/simulated_detector.h"
 #include "dist/worker.h"
+#include "exec/predicate_jobs.h"
 #include "exec/query_job.h"
 #include "track/discriminator.h"
 
@@ -157,8 +159,12 @@ bool ProtocolHandler::CheckOwned(int64_t id, Json* error) const {
 Json ProtocolHandler::HandleOpen(const Json& cmd) {
   const std::string preset = cmd.GetString("preset", "");
   const std::string class_name = cmd.GetString("class", "");
-  if (preset.empty() || class_name.empty()) {
-    return Error("open requires \"preset\" and \"class\"");
+  const Json* predicate_json = cmd.Find("predicate");
+  if (preset.empty() || (class_name.empty() && predicate_json == nullptr)) {
+    return Error("open requires \"preset\" and \"class\" (or \"predicate\")");
+  }
+  if (!class_name.empty() && predicate_json != nullptr) {
+    return Error("pass exactly one of \"class\" and \"predicate\"");
   }
   const double scale = cmd.GetDouble("scale", options_.default_scale);
   if (scale <= 0.0 || scale > 1.0) return Error("scale must be in (0, 1]");
@@ -181,16 +187,39 @@ Json ProtocolHandler::HandleOpen(const Json& cmd) {
   }
   job.config.group_size = static_cast<int32_t>(group_size);
 
+  // Structural predicate validation runs before dataset generation: a
+  // malformed or unknown predicate is a protocol error — never a silent
+  // single-class fallback, and never worth paying MakePreset for.
+  core::PredicateRequest predicate_request;
+  if (predicate_json != nullptr) {
+    if (!predicate_json->is_object()) {
+      return Error("\"predicate\" must be a JSON object");
+    }
+    auto parsed_predicate = core::ParsePredicateJson(*predicate_json);
+    if (!parsed_predicate.ok()) {
+      return Error(parsed_predicate.status().ToString());
+    }
+    predicate_request = parsed_predicate.value();
+  }
+
   const data::Dataset* dataset = datasets_->Get(preset, scale);
   if (dataset == nullptr) return Error("unknown preset: " + preset);
-  const data::ClassSpec* cls = dataset->FindClass(class_name);
-  if (cls == nullptr) {
-    return Error("class '" + class_name + "' not in " + preset);
+  const data::ClassSpec* cls = nullptr;
+  core::QueryPredicate predicate;
+  if (predicate_json != nullptr) {
+    auto resolved = exec::ResolvePredicate(*dataset, predicate_request);
+    if (!resolved.ok()) return Error(resolved.status().ToString());
+    predicate = resolved.value();
+  } else {
+    cls = dataset->FindClass(class_name);
+    if (cls == nullptr) {
+      return Error("class '" + class_name + "' not in " + preset);
+    }
   }
 
   job.repo = &dataset->repo;
   job.chunks = &dataset->chunks;
-  job.spec.class_id = cls->class_id;
+  if (cls != nullptr) job.spec.class_id = cls->class_id;
   const int64_t limit = cmd.GetInt("limit", 0);
   if (limit < 0 || (cmd.Has("limit") && limit == 0)) {
     return Error("limit must be >= 1 (or omitted)");
@@ -233,17 +262,24 @@ Json ProtocolHandler::HandleOpen(const Json& cmd) {
   }
   job.detect_batch = static_cast<int32_t>(detect_batch);
 
-  const detect::ClassId class_id = cls->class_id;
-  job.make_detector = [dataset, class_id](uint64_t seed) {
-    return std::make_unique<detect::SimulatedDetector>(
-        &dataset->ground_truth, class_id, detect::DetectorConfig{}, seed);
-  };
   const bool tracker = cmd.GetBool("tracker", false);
-  job.make_discriminator =
-      [tracker]() -> std::unique_ptr<track::Discriminator> {
-    if (tracker) return std::make_unique<track::TrackerDiscriminator>();
-    return std::make_unique<track::OracleDiscriminator>();
-  };
+  if (cls != nullptr) {
+    // Legacy single-class open: byte-for-byte the factories this handler
+    // has always built (the pinned session fingerprints run through here).
+    const detect::ClassId class_id = cls->class_id;
+    job.make_detector = [dataset, class_id](uint64_t seed) {
+      return std::make_unique<detect::SimulatedDetector>(
+          &dataset->ground_truth, class_id, detect::DetectorConfig{}, seed);
+    };
+    job.make_discriminator =
+        [tracker]() -> std::unique_ptr<track::Discriminator> {
+      if (tracker) return std::make_unique<track::TrackerDiscriminator>();
+      return std::make_unique<track::OracleDiscriminator>();
+    };
+  } else {
+    exec::ConfigurePredicateJob(dataset, predicate, tracker,
+                                detect::DetectorConfig{}, &job);
+  }
 
   serve::SessionOptions session_options;
   session_options.deadline_seconds = cmd.GetDouble("deadline_seconds", 0.0);
@@ -261,6 +297,11 @@ Json ProtocolHandler::HandleOpen(const Json& cmd) {
   auto warm = manager_->WarmStarted(opened.value());
   Json response =
       Json::Object().Set("ok", true).Set("session", opened.value());
+  if (predicate_json != nullptr) {
+    // Echo the canonical spelling so clients see exactly which normalized
+    // predicate the session answers.
+    response.Set("predicate", core::PredicateKey(predicate));
+  }
   if (warm.ok()) response.Set("warm_started", warm.value());
   return response;
 }
@@ -279,13 +320,19 @@ Json ProtocolHandler::HandlePoll(const Json& cmd) {
       .Set("stop_reason", serve::StopReasonName(p.stop_reason));
   Json results = Json::Array();
   for (const auto& d : p.new_results) {
-    results.Append(Json::Object()
-                       .Set("frame", d.frame)
-                       .Set("score", d.score)
-                       .Set("x", d.box.x)
-                       .Set("y", d.box.y)
-                       .Set("w", d.box.w)
-                       .Set("h", d.box.h));
+    Json item = Json::Object()
+                    .Set("frame", d.frame)
+                    .Set("score", d.score)
+                    .Set("x", d.box.x)
+                    .Set("y", d.box.y)
+                    .Set("w", d.box.w)
+                    .Set("h", d.box.h);
+    // Multi-class streams interleave classes, so each detection says whose
+    // it is; single-class responses stay byte-identical to before.
+    if (p.multi_class) {
+      item.Set("class_id", static_cast<int64_t>(d.class_id));
+    }
+    results.Append(std::move(item));
   }
   response.Set("new_results", std::move(results))
       .Set("total_results", p.total_results)
@@ -295,6 +342,9 @@ Json ProtocolHandler::HandlePoll(const Json& cmd) {
       .Set("seconds_to_first_result", p.seconds_to_first_result)
       .Set("wall_seconds", p.wall_seconds)
       .Set("warm_started", p.warm_started);
+  if (p.multi_class) {
+    response.Set("multi_class", true).Set("cached_reads", p.cached_reads);
+  }
   return response;
 }
 

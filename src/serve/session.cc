@@ -93,22 +93,46 @@ ServeMetrics ServeMetrics::Register(obs::Registry* registry, size_t cells) {
   return m;
 }
 
-QuerySession::QuerySession(const exec::QueryJob& job, uint64_t base_seed,
-                           SessionOptions options,
-                           std::vector<core::ChunkPrior> warm_priors,
-                           std::string repo_key, const ServeMetrics* metrics,
-                           size_t metrics_cell)
+QuerySession::QuerySession(
+    const exec::QueryJob& job, uint64_t base_seed, SessionOptions options,
+    std::vector<core::ChunkPrior> warm_priors, std::string repo_key,
+    const ServeMetrics* metrics, size_t metrics_cell,
+    std::vector<std::vector<core::ChunkPrior>> multi_warm_priors)
     : id_(job.id),
       seed_(exec::MultiQueryRunner::JobSeed(base_seed, job.id)),
       repo_key_(std::move(repo_key)),
       class_id_(job.spec.class_id),
+      predicate_(
+          core::EffectivePredicate(job.spec.predicate, job.spec.class_id)),
       cost_budget_seconds_(job.spec.max_seconds),
       options_(options),
       warm_priors_(std::move(warm_priors)),
+      multi_warm_priors_(std::move(multi_warm_priors)),
       metrics_(metrics),
       metrics_cell_(metrics_cell),
       opened_(std::chrono::steady_clock::now()) {
   assert(job.repo != nullptr);
+
+  if (predicate_.kind == core::PredicateKind::kMultiClass) {
+    // N per-class engines over one shared decode cache. The MultiClassEngine
+    // derives each constituent's (engine seed, detector seed) pair from the
+    // session seed with the same SplitMix64 split the single-class path uses.
+    assert(job.make_class_detector && job.make_discriminator);
+    core::MultiClassOptions mopt;
+    mopt.config = job.config;
+    mopt.classes = predicate_.classes;
+    mopt.make_detector = job.make_class_detector;
+    mopt.make_discriminator = job.make_discriminator;
+    mopt.warm_start = multi_warm_priors_;
+    multi_engine_ = std::make_unique<core::MultiClassEngine>(
+        job.repo, job.chunks, std::move(mopt), seed_);
+    if (metrics_ != nullptr) {
+      multi_engine_->set_metrics(metrics_->engine, metrics_cell_);
+    }
+    multi_engine_->Begin(job.spec);
+    return;
+  }
+
   assert(job.make_detector && job.make_discriminator);
 
   // Same seed split as MultiQueryRunner::RunAll: engine and detector get
@@ -151,10 +175,21 @@ double QuerySession::ElapsedSeconds() const {
       .count();
 }
 
+core::StepStatus QuerySession::StepEngineLocked(int64_t max_frames) {
+  return multi_engine_ != nullptr ? multi_engine_->Step(max_frames)
+                                  : engine_->Step(max_frames);
+}
+
+const core::QueryResult& QuerySession::CurrentResultLocked() const {
+  return multi_engine_ != nullptr ? multi_engine_->result()
+                                  : engine_->result();
+}
+
 void QuerySession::FinishLocked(SessionState state, StopReason reason) {
   stop_reason_ = reason;
   finished_wall_ = ElapsedSeconds();
-  final_result_ = engine_->TakeResult();
+  final_result_ = multi_engine_ != nullptr ? multi_engine_->TakeResult()
+                                           : engine_->TakeResult();
   if (metrics_ != nullptr) {
     obs::Counter* counter = state == SessionState::kDone
                                 ? metrics_->sessions_finished
@@ -174,14 +209,14 @@ bool QuerySession::RunSlice(int64_t max_frames) {
   core::StepStatus status;
   if (metrics_ != nullptr && metrics_->slice_seconds != nullptr) {
     const auto slice_start = std::chrono::steady_clock::now();
-    status = engine_->Step(max_frames);
+    status = StepEngineLocked(max_frames);
     metrics_->slice_seconds->Observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       slice_start)
             .count(),
         metrics_cell_);
   } else {
-    status = engine_->Step(max_frames);
+    status = StepEngineLocked(max_frames);
   }
   if (metrics_ != nullptr && metrics_->slices_run != nullptr) {
     metrics_->slices_run->Add(1, metrics_cell_);
@@ -208,7 +243,7 @@ PollResult QuerySession::Poll() {
   std::lock_guard<std::mutex> lock(mu_);
   const SessionState state = state_.load(std::memory_order_relaxed);
   const core::QueryResult& current =
-      state == SessionState::kRunning ? engine_->result() : final_result_;
+      state == SessionState::kRunning ? CurrentResultLocked() : final_result_;
   PollResult poll;
   poll.session_id = id_;
   poll.state = state;
@@ -224,7 +259,16 @@ PollResult QuerySession::Poll() {
   poll.seconds_to_first_result = first_result_wall_;
   poll.wall_seconds =
       state == SessionState::kRunning ? ElapsedSeconds() : finished_wall_;
-  poll.warm_started = !warm_priors_.empty();
+  poll.warm_started = warm_started();
+  if (multi_engine_ != nullptr) {
+    poll.multi_class = true;
+    // Total reads minus unique decoded frames = reads the shared cache
+    // absorbed. Computed from `current` so it stays right after finish,
+    // when the merged result has been moved out of the engine.
+    poll.cached_reads =
+        current.frames_processed -
+        static_cast<int64_t>(multi_engine_->decode_cache().size());
+  }
   if (metrics_ != nullptr) {
     if (metrics_->polls != nullptr) metrics_->polls->Add(1, metrics_cell_);
     if (metrics_->poll_results != nullptr && !poll.new_results.empty()) {
@@ -259,7 +303,29 @@ const core::QueryResult& QuerySession::result() const {
 
 const core::ChunkStats* QuerySession::chunk_stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return engine_->chunk_stats();
+  return multi_engine_ != nullptr ? nullptr : engine_->chunk_stats();
+}
+
+size_t QuerySession::num_classes() const {
+  assert(multi_engine_ != nullptr);
+  return multi_engine_->num_classes();
+}
+
+const std::vector<detect::ClassId>& QuerySession::multi_classes() const {
+  assert(multi_engine_ != nullptr);
+  return multi_engine_->classes();
+}
+
+const core::ChunkStats* QuerySession::sub_chunk_stats(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(multi_engine_ != nullptr);
+  return multi_engine_->sub_chunk_stats(i);
+}
+
+const std::vector<core::ChunkPrior>& QuerySession::sub_warm_priors(
+    size_t i) const {
+  assert(multi_engine_ != nullptr);
+  return multi_engine_->sub_warm_priors(i);
 }
 
 }  // namespace serve

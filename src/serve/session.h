@@ -25,6 +25,8 @@
 
 #include "core/engine.h"
 #include "core/frame_source.h"
+#include "core/multi_engine.h"
+#include "core/predicate.h"
 #include "detect/batched_detector.h"
 #include "exec/pipeline.h"
 #include "exec/query_job.h"
@@ -119,6 +121,12 @@ struct PollResult {
   double wall_seconds = 0.0;
   /// True when the session was seeded from the cross-query stats cache.
   bool warm_started = false;
+  /// True for kMultiClass sessions: new_results interleaves the per-class
+  /// streams (each detection carries its class_id).
+  bool multi_class = false;
+  /// kMultiClass only: frames served from the shared decode cache so far —
+  /// the decode work the constituent classes did NOT repeat.
+  int64_t cached_reads = 0;
 };
 
 /// A live anytime query. Construction builds the engine exactly the way
@@ -132,19 +140,38 @@ class QuerySession {
   /// `metrics` (non-owning, may be null) receives this session's slice /
   /// time-to-first-result observations on cell `metrics_cell` and is wired
   /// through to the engine; instruments must outlive the session.
+  ///
+  /// When `job.spec.predicate` is kMultiClass, the session drives a
+  /// core::MultiClassEngine (per-class QueryEngines over one shared decode
+  /// cache) instead of a single QueryEngine; `multi_warm_priors` — parallel
+  /// to the predicate's classes — seeds each constituent and `warm_priors`
+  /// is ignored. Multi-class sessions run the serial execution path
+  /// (job.pipeline_depth does not apply).
   QuerySession(const exec::QueryJob& job, uint64_t base_seed,
                SessionOptions options = {},
                std::vector<core::ChunkPrior> warm_priors = {},
                std::string repo_key = {},
                const ServeMetrics* metrics = nullptr,
-               size_t metrics_cell = 0);
+               size_t metrics_cell = 0,
+               std::vector<std::vector<core::ChunkPrior>> multi_warm_priors =
+                   {});
 
   int64_t id() const { return id_; }
   uint64_t seed() const { return seed_; }
   /// Cache key of the repository this session queried ("" = uncacheable).
   const std::string& repo_key() const { return repo_key_; }
   detect::ClassId class_id() const { return class_id_; }
-  bool warm_started() const { return !warm_priors_.empty(); }
+  /// The (normalized) predicate this session answers; SingleClass(class_id)
+  /// for legacy single-class opens.
+  const core::QueryPredicate& predicate() const { return predicate_; }
+  bool is_multi_class() const { return multi_engine_ != nullptr; }
+  bool warm_started() const {
+    if (!warm_priors_.empty()) return true;
+    for (const auto& p : multi_warm_priors_) {
+      if (!p.empty()) return true;
+    }
+    return false;
+  }
   /// The priors this session was seeded with (empty = cold start); the
   /// manager subtracts them when recording the session into a StatsCache.
   const std::vector<core::ChunkPrior>& warm_priors() const {
@@ -176,23 +203,37 @@ class QuerySession {
   /// being double-counted.
   bool MarkStatsRecorded();
 
-  /// The final result; requires finished().
+  /// The final result; requires finished(). For kMultiClass this is the
+  /// merged stream (per-class streams via sub accessors below).
   const core::QueryResult& result() const;
-  /// Per-chunk statistics (ExSample sources only, else nullptr). Valid for
-  /// the session's lifetime.
+  /// Per-chunk statistics (ExSample sources only, else nullptr). For
+  /// kMultiClass sessions returns nullptr — the per-class statistics are
+  /// the meaningful ones; use sub_chunk_stats. Valid for the session's
+  /// lifetime.
   const core::ChunkStats* chunk_stats() const;
+
+  // --- kMultiClass views (require is_multi_class()); the manager records
+  // each constituent's statistics under its own "c<id>" cache row.
+  size_t num_classes() const;
+  const std::vector<detect::ClassId>& multi_classes() const;
+  const core::ChunkStats* sub_chunk_stats(size_t i) const;
+  const std::vector<core::ChunkPrior>& sub_warm_priors(size_t i) const;
 
  private:
   double ElapsedSeconds() const;
   void FinishLocked(SessionState state, StopReason reason);
+  core::StepStatus StepEngineLocked(int64_t max_frames);
+  const core::QueryResult& CurrentResultLocked() const;
 
   const int64_t id_;
   const uint64_t seed_;
   const std::string repo_key_;
   const detect::ClassId class_id_;
+  const core::QueryPredicate predicate_;
   const double cost_budget_seconds_;
   const SessionOptions options_;
   const std::vector<core::ChunkPrior> warm_priors_;
+  const std::vector<std::vector<core::ChunkPrior>> multi_warm_priors_;
   const ServeMetrics* const metrics_;  // non-owning; null = uninstrumented
   const size_t metrics_cell_;
   const std::chrono::steady_clock::time_point opened_;
@@ -205,7 +246,12 @@ class QuerySession {
   /// open batch — is destroyed first, then the pipeline joins its workers.
   std::unique_ptr<detect::SerialDetectorAdapter> batched_detector_;
   std::unique_ptr<exec::Pipeline> pipeline_;
+  /// Exactly one of engine_ / multi_engine_ is non-null: multi_engine_ for
+  /// kMultiClass predicates, engine_ for everything else (single-class,
+  /// conjunction and sequence predicates are one engine with composite
+  /// detector/discriminator — see exec::ConfigurePredicateJob).
   std::unique_ptr<core::QueryEngine> engine_;
+  std::unique_ptr<core::MultiClassEngine> multi_engine_;
   /// Written under mu_, readable without it (see state()).
   std::atomic<SessionState> state_{SessionState::kRunning};
   StopReason stop_reason_ = StopReason::kNone;

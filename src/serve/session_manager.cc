@@ -37,7 +37,11 @@ size_t SessionManager::LiveLocked() const {
 Result<int64_t> SessionManager::Open(exec::QueryJob job,
                                      SessionOptions session_options,
                                      const std::string& repo_key) {
-  if (job.repo == nullptr || !job.make_detector || !job.make_discriminator) {
+  const core::QueryPredicate predicate =
+      core::EffectivePredicate(job.spec.predicate, job.spec.class_id);
+  const bool multi = predicate.kind == core::PredicateKind::kMultiClass;
+  if (job.repo == nullptr || !job.make_discriminator ||
+      (multi ? !job.make_class_detector : !job.make_detector)) {
     return Status::InvalidArgument(
         "QueryJob needs a repository and detector/discriminator factories");
   }
@@ -55,14 +59,33 @@ Result<int64_t> SessionManager::Open(exec::QueryJob job,
   ++total_opened_;
 
   std::vector<core::ChunkPrior> warm_priors;
+  std::vector<std::vector<core::ChunkPrior>> multi_warm_priors;
   if (options_.warm_start && options_.stats_cache != nullptr &&
       !repo_key.empty() && job.config.strategy == core::Strategy::kExSample &&
       job.chunks != nullptr) {
-    warm_priors = options_.stats_cache->Lookup(repo_key, job.spec.class_id,
-                                               options_.warm_start_weight);
-    if (warm_priors.size() != job.chunks->size()) warm_priors.clear();
+    bool any_warm = false;
+    if (multi) {
+      // Each constituent class warm-starts independently from its own
+      // "c<id>" row — the same row single-class queries read and write.
+      multi_warm_priors.resize(predicate.classes.size());
+      for (size_t i = 0; i < predicate.classes.size(); ++i) {
+        multi_warm_priors[i] = options_.stats_cache->Lookup(
+            repo_key, predicate.classes[i], options_.warm_start_weight);
+        if (multi_warm_priors[i].size() != job.chunks->size()) {
+          multi_warm_priors[i].clear();
+        }
+        any_warm = any_warm || !multi_warm_priors[i].empty();
+      }
+    } else {
+      // Exact predicate row first; conjunctions/sequences with no history
+      // of their own compose their constituents' single-class rows.
+      warm_priors = options_.stats_cache->LookupPredicate(
+          repo_key, predicate, options_.warm_start_weight);
+      if (warm_priors.size() != job.chunks->size()) warm_priors.clear();
+      any_warm = !warm_priors.empty();
+    }
     obs::Counter* warm_counter =
-        warm_priors.empty() ? metrics_.warm_misses : metrics_.warm_hits;
+        any_warm ? metrics_.warm_hits : metrics_.warm_misses;
     if (warm_counter != nullptr) warm_counter->Add(1);
   }
 
@@ -71,7 +94,8 @@ Result<int64_t> SessionManager::Open(exec::QueryJob job,
   auto session = std::make_shared<QuerySession>(
       job, options_.base_seed, session_options, std::move(warm_priors),
       repo_key, metrics,
-      static_cast<size_t>(job.id) % std::max<size_t>(1, pool_.num_threads()));
+      static_cast<size_t>(job.id) % std::max<size_t>(1, pool_.num_threads()),
+      std::move(multi_warm_priors));
   if (metrics_.sessions_opened != nullptr) metrics_.sessions_opened->Add(1);
   const int64_t id = session->id();
   sessions_.emplace(id, std::move(session));
@@ -103,12 +127,36 @@ Result<bool> SessionManager::WarmStarted(int64_t session_id) const {
 
 void SessionManager::MaybeRecordStats(QuerySession* session) {
   if (options_.stats_cache == nullptr || session->repo_key().empty()) return;
+  if (session->is_multi_class()) {
+    // Record each constituent under its own "c<id>" row so multi-class
+    // history is reusable by single-class queries (and vice versa).
+    bool any = false;
+    for (size_t i = 0; i < session->num_classes(); ++i) {
+      const core::ChunkStats* stats = session->sub_chunk_stats(i);
+      if (stats != nullptr && stats->total_samples() > 0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any || !session->MarkStatsRecorded()) return;
+    for (size_t i = 0; i < session->num_classes(); ++i) {
+      const core::ChunkStats* stats = session->sub_chunk_stats(i);
+      if (stats == nullptr || stats->total_samples() == 0) continue;
+      options_.stats_cache->Record(session->repo_key(),
+                                   session->multi_classes()[i], *stats,
+                                   session->sub_warm_priors(i));
+    }
+    return;
+  }
   const core::ChunkStats* stats = session->chunk_stats();
   if (stats == nullptr || stats->total_samples() == 0) return;
   // The session itself owns the exactly-once guard: a finished session can
   // be harvested by both the scheduler round and a Cancel/Close.
   if (!session->MarkStatsRecorded()) return;
-  options_.stats_cache->Record(session->repo_key(), session->class_id(),
+  // Single-class predicates key as "c<id>" — the exact row this cache has
+  // always used — so legacy sessions read and write unchanged rows.
+  options_.stats_cache->Record(session->repo_key(),
+                               core::PredicateKey(session->predicate()),
                                *stats, session->warm_priors());
 }
 

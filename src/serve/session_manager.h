@@ -15,8 +15,11 @@
 //
 // Warm start (optional, off by default): when a finished session queried an
 // ExSample source under a named repository key, its chunk statistics are
-// recorded into a StatsCache; new sessions on the same (repository, class)
-// are seeded with scaled-down priors. Note warm-started results depend on
+// recorded into a StatsCache keyed by the predicate's canonical form; new
+// sessions on the same (repository, predicate) are seeded with scaled-down
+// priors. Composite predicates with no exact history compose their
+// constituents' single-class rows; kMultiClass sessions look up and record
+// each constituent class separately. Note warm-started results depend on
 // which queries finished before they opened — cross-session determinism
 // holds for a fixed open/finish history, not across arbitrary timings.
 

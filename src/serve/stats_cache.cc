@@ -1,5 +1,6 @@
 #include "serve/stats_cache.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -8,8 +9,16 @@
 
 namespace exsample {
 namespace serve {
+namespace {
 
-void StatsCache::Record(const std::string& repo_key, detect::ClassId class_id,
+std::string ClassKey(detect::ClassId class_id) {
+  return "c" + std::to_string(class_id);
+}
+
+}  // namespace
+
+void StatsCache::Record(const std::string& repo_key,
+                        const std::string& predicate_key,
                         const core::ChunkStats& stats,
                         const std::vector<core::ChunkPrior>& seeded) {
   Entry incoming;
@@ -29,7 +38,13 @@ void StatsCache::Record(const std::string& repo_key, detect::ClassId class_id,
   }
   incoming.queries = 1;
   std::lock_guard<std::mutex> lock(mu_);
-  MergeLocked(Key(repo_key, class_id), incoming);
+  MergeLocked(Key(repo_key, predicate_key), incoming);
+}
+
+void StatsCache::Record(const std::string& repo_key, detect::ClassId class_id,
+                        const core::ChunkStats& stats,
+                        const std::vector<core::ChunkPrior>& seeded) {
+  Record(repo_key, ClassKey(class_id), stats, seeded);
 }
 
 void StatsCache::MergeLocked(const Key& key, const Entry& entry) {
@@ -45,11 +60,9 @@ void StatsCache::MergeLocked(const Key& key, const Entry& entry) {
   slot.queries += entry.queries;
 }
 
-std::vector<core::ChunkPrior> StatsCache::Lookup(const std::string& repo_key,
-                                                 detect::ClassId class_id,
-                                                 double weight) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(Key(repo_key, class_id));
+std::vector<core::ChunkPrior> StatsCache::LookupLocked(const Key& key,
+                                                       double weight) const {
+  auto it = entries_.find(key);
   if (it == entries_.end() || it->second.queries <= 0) return {};
   const Entry& entry = it->second;
   const double scale = weight / static_cast<double>(entry.queries);
@@ -61,6 +74,51 @@ std::vector<core::ChunkPrior> StatsCache::Lookup(const std::string& repo_key,
         std::llround(scale * static_cast<double>(entry.n[j])));
   }
   return priors;
+}
+
+std::vector<core::ChunkPrior> StatsCache::Lookup(
+    const std::string& repo_key, const std::string& predicate_key,
+    double weight) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return LookupLocked(Key(repo_key, predicate_key), weight);
+}
+
+std::vector<core::ChunkPrior> StatsCache::Lookup(const std::string& repo_key,
+                                                 detect::ClassId class_id,
+                                                 double weight) const {
+  return Lookup(repo_key, ClassKey(class_id), weight);
+}
+
+std::vector<core::ChunkPrior> StatsCache::LookupPredicate(
+    const std::string& repo_key, const core::QueryPredicate& predicate,
+    double weight) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<core::ChunkPrior> exact =
+      LookupLocked(Key(repo_key, core::PredicateKey(predicate)), weight);
+  if (!exact.empty() || predicate.is_single() ||
+      predicate.kind == core::PredicateKind::kMultiClass) {
+    return exact;
+  }
+  // Compose the constituents' single-class rows. All must exist and agree
+  // on the chunk count — one cold or re-chunked constituent makes the
+  // composition meaningless, so that is a cold start, not a partial one.
+  std::vector<core::ChunkPrior> composed;
+  for (size_t i = 0; i < predicate.classes.size(); ++i) {
+    std::vector<core::ChunkPrior> part =
+        LookupLocked(Key(repo_key, ClassKey(predicate.classes[i])), weight);
+    if (part.empty() || (i > 0 && part.size() != composed.size())) return {};
+    if (i == 0) {
+      composed = std::move(part);
+      continue;
+    }
+    for (size_t j = 0; j < composed.size(); ++j) {
+      // A composite result needs every constituent: the scarcest class
+      // bounds N1. Exploration effort is the most any constituent spent.
+      composed[j].n1 = std::min(composed[j].n1, part[j].n1);
+      composed[j].n = std::max(composed[j].n, part[j].n);
+    }
+  }
+  return composed;
 }
 
 size_t StatsCache::size() const {
@@ -89,8 +147,10 @@ Status StatsCache::Save(const std::string& path) const {
       return Status::InvalidArgument("cannot write stats cache: " + tmp);
     }
     std::lock_guard<std::mutex> lock(mu_);
-    out << "exsample-stats-cache v1\n";
+    out << "exsample-stats-cache v2\n";
     for (const auto& [key, entry] : entries_) {
+      // The predicate key is whitespace-free by grammar; the repo key may
+      // contain spaces, so it goes last and runs to end of line.
       out << "entry " << key.second << ' ' << entry.queries << ' '
           << entry.n1.size() << ' ' << key.first << '\n';
       out << "n1";
@@ -119,9 +179,12 @@ Status StatsCache::Load(const std::string& path) {
     return Status::NotFound("stats cache not found: " + path);
   }
   std::string line;
-  if (!std::getline(in, line) || line != "exsample-stats-cache v1") {
+  // Exact-version match only: v1 rows were keyed by raw class id, which the
+  // predicate-keyed cache cannot attribute — re-learning beats silently
+  // merging history under the wrong key.
+  if (!std::getline(in, line) || line != "exsample-stats-cache v2") {
     return Status::InvalidArgument(
-        "bad stats cache header (expected 'exsample-stats-cache v1'): " +
+        "bad stats cache header (expected 'exsample-stats-cache v2'): " +
         path);
   }
   // Parse the whole file into a staging area first: corrupted, truncated,
@@ -132,20 +195,20 @@ Status StatsCache::Load(const std::string& path) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream header(line);
-    std::string tag;
-    int64_t class_id = 0, queries = 0, chunks = 0;
-    header >> tag >> class_id >> queries >> chunks;
+    std::string tag, predicate_key;
+    int64_t queries = 0, chunks = 0;
+    header >> tag >> predicate_key >> queries >> chunks;
     std::string repo_key;
     std::getline(header, repo_key);
     if (!repo_key.empty() && repo_key.front() == ' ') repo_key.erase(0, 1);
     // Upper bound guards resize() against corrupted/hostile files; real
-    // chunkings are a few hundred entries (§IV-C sweeps 16..512). The
-    // class id must survive the cast to detect::ClassId (int32) unchanged,
-    // else corrupted ids would silently merge into the wrong class.
+    // chunkings are a few hundred entries (§IV-C sweeps 16..512). The key
+    // must be a canonical predicate spelling — anything else (including a
+    // v1-style bare class id smuggled under a v2 header) is corruption.
     constexpr int64_t kMaxChunks = int64_t{1} << 20;
     if (tag != "entry" || header.fail() || chunks <= 0 ||
-        chunks > kMaxChunks || queries <= 0 || class_id < 0 ||
-        class_id > std::numeric_limits<detect::ClassId>::max()) {
+        chunks > kMaxChunks || queries <= 0 ||
+        !core::ParsePredicateKey(predicate_key).ok()) {
       return Status::InvalidArgument("bad stats cache entry line: " + line);
     }
     Entry entry;
@@ -177,8 +240,7 @@ Status StatsCache::Load(const std::string& path) {
             "trailing data on stats cache row: " + line);
       }
     }
-    staged.emplace_back(Key(repo_key, static_cast<detect::ClassId>(class_id)),
-                        std::move(entry));
+    staged.emplace_back(Key(repo_key, predicate_key), std::move(entry));
   }
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, entry] : staged) MergeLocked(key, entry);

@@ -4,16 +4,29 @@
 // stored video is reusable by later queries over the same video. Here the
 // learned state is ExSample's per-chunk (N1, n) bandit statistics: when a
 // session finishes, SessionManager records its ChunkStats under the
-// (repository key, class id) it queried; when a new session opens with warm
-// start enabled, the accumulated statistics are averaged over contributing
-// queries, scaled down by a confidence weight, and seeded into the fresh
-// ExSampleFrameSource as pseudo-counts (core::ChunkPrior). A warm-started
-// query therefore begins with a belief already concentrated on the chunks
-// that paid off before, instead of re-spending samples on cold exploration.
+// (repository key, predicate key) it queried; when a new session opens with
+// warm start enabled, the accumulated statistics are averaged over
+// contributing queries, scaled down by a confidence weight, and seeded into
+// the fresh ExSampleFrameSource as pseudo-counts (core::ChunkPrior). A
+// warm-started query therefore begins with a belief already concentrated on
+// the chunks that paid off before, instead of re-spending samples on cold
+// exploration.
+//
+// Rows are keyed by the predicate's canonical serialized form
+// (core::PredicateKey): single-class history lives under "c<id>" — the same
+// row whether the class was queried alone, as a constituent of a kMultiClass
+// session, or (in the composing lookup) consulted for a conjunction. A
+// composite predicate with no exact row composes its constituents'
+// single-class rows: per chunk, N1 = the minimum across constituents (a
+// conjunction result needs every class, so the scarcest class bounds the
+// expectation) and n = the maximum (the chunk was explored at least that
+// hard). Single-class priors thereby compose into conjunctions — the
+// EKO-style reuse the refactor preserves per constituent class.
 //
 // The cache is thread-safe (sessions finish on pool workers) and optionally
-// persists to a small line-based text file so a serving process can carry
-// statistics across restarts.
+// persists to a small line-based text file (format v2; v1 files — keyed by
+// raw class id — are rejected all-or-nothing, mirroring the PR 3
+// hardening) so a serving process can carry statistics across restarts.
 
 #ifndef EXSAMPLE_SERVE_STATS_CACHE_H_
 #define EXSAMPLE_SERVE_STATS_CACHE_H_
@@ -27,18 +40,19 @@
 
 #include "core/chunk_stats.h"
 #include "core/frame_source.h"
+#include "core/predicate.h"
 #include "detect/detection.h"
 #include "util/status.h"
 
 namespace exsample {
 namespace serve {
 
-/// Accumulates per-(repository, class) chunk statistics across queries and
-/// produces scaled warm-start priors for new ones.
+/// Accumulates per-(repository, predicate) chunk statistics across queries
+/// and produces scaled warm-start priors for new ones.
 class StatsCache {
  public:
   /// Merges one finished query's statistics into the entry for
-  /// (repo_key, class_id). Negative raw N1 values are clamped at zero
+  /// (repo_key, predicate_key). Negative raw N1 values are clamped at zero
   /// before accumulation (a prior must not owe evidence). A stats object
   /// whose chunk count differs from the existing entry's replaces it (the
   /// repository was re-chunked; stale shapes are useless).
@@ -48,18 +62,37 @@ class StatsCache {
   /// actually observed enters the cache — otherwise each warm-started
   /// generation would re-deposit its inherited pseudo-counts and history
   /// would compound beyond the intended weight.
+  void Record(const std::string& repo_key, const std::string& predicate_key,
+              const core::ChunkStats& stats,
+              const std::vector<core::ChunkPrior>& seeded = {});
+  /// Single-class convenience: records under the canonical "c<id>" key.
   void Record(const std::string& repo_key, detect::ClassId class_id,
               const core::ChunkStats& stats,
               const std::vector<core::ChunkPrior>& seeded = {});
 
   /// Warm-start priors for a new query: per-chunk
-  /// round(weight * accumulated / queries). Empty when no entry exists.
-  /// `weight` in (0, 1] controls how much a new query trusts history.
+  /// round(weight * accumulated / queries) from the exact row. Empty when
+  /// no entry exists. `weight` in (0, 1] controls how much a new query
+  /// trusts history.
+  std::vector<core::ChunkPrior> Lookup(const std::string& repo_key,
+                                       const std::string& predicate_key,
+                                       double weight) const;
+  /// Single-class convenience: the "c<id>" row.
   std::vector<core::ChunkPrior> Lookup(const std::string& repo_key,
                                        detect::ClassId class_id,
                                        double weight) const;
 
-  /// Number of distinct (repo_key, class) entries.
+  /// Priors for a composite predicate: the exact row when one exists, else
+  /// composed from the constituents' single-class rows (all must exist with
+  /// equal chunk counts; per chunk n1 = min, n = max across constituents —
+  /// see file comment). kSingleClass falls through to the exact lookup;
+  /// kMultiClass constituents warm-start individually (the session manager
+  /// looks each class up by "c<id>"), so composition never applies to them.
+  std::vector<core::ChunkPrior> LookupPredicate(
+      const std::string& repo_key, const core::QueryPredicate& predicate,
+      double weight) const;
+
+  /// Number of distinct (repo_key, predicate) entries.
   size_t size() const;
   /// Total queries recorded across all entries.
   int64_t queries_recorded() const;
@@ -67,9 +100,11 @@ class StatsCache {
   /// Writes the cache to a text file (overwrites).
   Status Save(const std::string& path) const;
   /// Merges a previously saved cache into this one. Missing file is
-  /// NotFound; corrupted, truncated, or version-skewed content is
-  /// InvalidArgument and leaves the cache exactly as it was (all-or-nothing
-  /// — the file is fully validated before anything merges).
+  /// NotFound; corrupted, truncated, or version-skewed content — including
+  /// any pre-predicate v1 file and any entry whose key fails the canonical
+  /// predicate-key grammar — is InvalidArgument and leaves the cache
+  /// exactly as it was (all-or-nothing — the file is fully validated
+  /// before anything merges).
   Status Load(const std::string& path);
 
  private:
@@ -78,9 +113,11 @@ class StatsCache {
     std::vector<int64_t> n;
     int64_t queries = 0;
   };
-  using Key = std::pair<std::string, detect::ClassId>;
+  using Key = std::pair<std::string, std::string>;
 
   void MergeLocked(const Key& key, const Entry& entry);
+  std::vector<core::ChunkPrior> LookupLocked(const Key& key,
+                                             double weight) const;
 
   mutable std::mutex mu_;
   std::map<Key, Entry> entries_;

@@ -1,0 +1,98 @@
+#include "track/predicate_discriminator.h"
+
+#include <cassert>
+
+namespace exsample {
+namespace track {
+namespace {
+
+std::vector<detect::Detection> OfClass(
+    const std::vector<detect::Detection>& dets, detect::ClassId cls) {
+  std::vector<detect::Detection> out;
+  for (const detect::Detection& det : dets) {
+    if (det.class_id == cls) out.push_back(det);
+  }
+  return out;
+}
+
+bool HasClass(const std::vector<detect::Detection>& dets,
+              detect::ClassId cls) {
+  for (const detect::Detection& det : dets) {
+    if (det.class_id == cls) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PredicateDiscriminator::PredicateDiscriminator(
+    core::QueryPredicate predicate, int64_t within_frames,
+    const InnerDiscriminatorFactory& make_inner)
+    : predicate_(std::move(predicate)),
+      within_frames_(within_frames),
+      inner_(make_inner()) {
+  assert(predicate_.kind == core::PredicateKind::kConjunction ||
+         predicate_.kind == core::PredicateKind::kSequence);
+  assert(!predicate_.classes.empty());
+}
+
+bool PredicateDiscriminator::Qualifies(
+    video::FrameId frame, const std::vector<detect::Detection>& dets) const {
+  if (predicate_.kind == core::PredicateKind::kConjunction) {
+    // Every non-result constituent must be co-detected in this frame. (The
+    // result class's own presence is implied by the detection under test.)
+    for (size_t i = 0; i + 1 < predicate_.classes.size(); ++i) {
+      if (!HasClass(dets, predicate_.classes[i])) return false;
+    }
+    return true;
+  }
+  // Sequence: an antecedent sighting at fa with frame - within <= fa <=
+  // frame. The current frame's own detections count (fa == frame), which is
+  // what makes seq(A, B, inf) on co-located instances coincide with and(A, B).
+  if (HasClass(dets, predicate_.classes.front())) return true;
+  auto it = antecedent_frames_.upper_bound(frame);
+  if (it == antecedent_frames_.begin()) return false;
+  const video::FrameId latest = *std::prev(it);
+  if (within_frames_ == kUnboundedWindowFrames) return true;
+  return latest >= frame - within_frames_;
+}
+
+MatchResult PredicateDiscriminator::GetMatches(
+    video::FrameId frame, const std::vector<detect::Detection>& dets) const {
+  const detect::ClassId result_class = predicate_.result_class();
+  MatchResult inner =
+      inner_->GetMatches(frame, OfClass(dets, result_class));
+  MatchResult out;
+  if (Qualifies(frame, dets)) out.d0 = std::move(inner.d0);
+  // A -1 is only valid against an object whose first sighting produced a
+  // predicate-level +1; anything else was consumed silently.
+  for (size_t i = 0; i < inner.d1_first_frames.size(); ++i) {
+    if (qualifying_frames_.count(inner.d1_first_frames[i]) > 0) {
+      ++out.num_d1;
+      out.d1_first_frames.push_back(inner.d1_first_frames[i]);
+    }
+  }
+  return out;
+}
+
+void PredicateDiscriminator::Add(video::FrameId frame,
+                                 const std::vector<detect::Detection>& dets) {
+  // Qualification must be judged on pre-Add state, identically to the
+  // GetMatches call the engine issued just before.
+  const bool qualifies = Qualifies(frame, dets);
+  if (qualifies) {
+    const detect::ClassId result_class = predicate_.result_class();
+    MatchResult inner =
+        inner_->GetMatches(frame, OfClass(dets, result_class));
+    num_distinct_ += static_cast<int64_t>(inner.d0.size());
+    qualifying_frames_.insert(frame);
+  }
+  if (predicate_.kind == core::PredicateKind::kSequence &&
+      HasClass(dets, predicate_.classes.front())) {
+    antecedent_frames_.insert(frame);
+  }
+  inner_->Add(frame, OfClass(dets, predicate_.result_class()));
+}
+
+}  // namespace track
+}  // namespace exsample

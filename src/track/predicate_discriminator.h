@@ -1,0 +1,91 @@
+// PredicateDiscriminator: composite-predicate matching as a discriminator
+// composition, so the query engine's Algorithm-1 loop needs no changes for
+// conjunction / sequence queries — d0/d1 it sees ARE predicate-level events,
+// which keeps the bandit's N1 <- N1 + |d0| - |d1| feedback paper-faithful.
+//
+// Semantics (the "first-sighting-must-qualify" rule):
+//  * A frame *qualifies* when the predicate's context holds there —
+//    conjunction: every non-result constituent class is detected in the
+//    frame; sequence(A, B, within): some sampled frame in
+//    [frame - within, frame] (the frame itself included) contained an A.
+//  * A result-class object becomes a predicate result iff its FIRST
+//    processed sighting lands in a qualifying frame — mirroring how
+//    single-class queries credit an object to its first sighting. An object
+//    first seen in a non-qualifying frame is consumed (tracked, never
+//    reported), exactly like a duplicate sighting in the single-class case.
+//  * d1 events pass through only when the matched object's first sighting
+//    was qualifying: the chunk that received the +1 gets the -1, and chunks
+//    that never got a +1 never see a -1.
+//
+// Sequence state is the discriminator's memory of *sampled* A-presence
+// frames: ExSample samples frames out of order, so "A then B" is judged
+// against what the query has actually observed, not unseen ground truth —
+// the same observability contract the single-class discriminator has.
+
+#ifndef EXSAMPLE_TRACK_PREDICATE_DISCRIMINATOR_H_
+#define EXSAMPLE_TRACK_PREDICATE_DISCRIMINATOR_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "core/predicate.h"
+#include "track/discriminator.h"
+
+namespace exsample {
+namespace track {
+
+/// Makes the inner discriminator judging result-class novelty (typically a
+/// TrackerDiscriminator or OracleDiscriminator, same as single-class runs).
+using InnerDiscriminatorFactory =
+    std::function<std::unique_ptr<Discriminator>()>;
+
+/// Sentinel for an unbounded sequence window in frames.
+inline constexpr int64_t kUnboundedWindowFrames = -1;
+
+/// Wraps a single-class discriminator with predicate qualification for
+/// kConjunction / kSequence predicates. The detections it receives are the
+/// union across constituent classes (see detect::CompositeDetector); it
+/// partitions them by class internally.
+class PredicateDiscriminator : public Discriminator {
+ public:
+  /// `predicate` must be normalized + validated and of kind kConjunction or
+  /// kSequence. `within_frames` is the sequence window converted to frames
+  /// (kUnboundedWindowFrames = unbounded); ignored for conjunctions.
+  PredicateDiscriminator(core::QueryPredicate predicate, int64_t within_frames,
+                         const InnerDiscriminatorFactory& make_inner);
+
+  MatchResult GetMatches(video::FrameId frame,
+                         const std::vector<detect::Detection>& dets)
+      const override;
+  void Add(video::FrameId frame,
+           const std::vector<detect::Detection>& dets) override;
+  int64_t num_distinct() const override { return num_distinct_; }
+
+  const core::QueryPredicate& predicate() const { return predicate_; }
+
+ private:
+  /// Does the predicate context hold at `frame` given its detections and
+  /// the current observation state? Pure — called identically from the
+  /// const GetMatches and (pre-mutation) from Add.
+  bool Qualifies(video::FrameId frame,
+                 const std::vector<detect::Detection>& dets) const;
+
+  core::QueryPredicate predicate_;
+  int64_t within_frames_;
+  std::unique_ptr<Discriminator> inner_;
+  /// Frames whose qualification was established at Add time; membership
+  /// decides whether a d1's first sighting ever produced a predicate +1.
+  std::unordered_set<video::FrameId> qualifying_frames_;
+  /// kSequence only: sampled frames where the antecedent class was
+  /// detected. Ordered for the window search.
+  std::set<video::FrameId> antecedent_frames_;
+  int64_t num_distinct_ = 0;
+};
+
+}  // namespace track
+}  // namespace exsample
+
+#endif  // EXSAMPLE_TRACK_PREDICATE_DISCRIMINATOR_H_

@@ -46,10 +46,18 @@ double SimulatedDecoder::CostFor(FrameId frame, bool* is_seek) const {
 }
 
 double SimulatedDecoder::PeekCost(FrameId frame) const {
+  if (cache_ != nullptr && cache_->Contains(frame)) return 0.0;
   return CostFor(frame, nullptr);
 }
 
 double SimulatedDecoder::Read(FrameId frame) {
+  if (cache_ != nullptr && cache_->Contains(frame)) {
+    // Already resident from an earlier constituent's read: free, and the
+    // decoder position is deliberately untouched so the miss-path costs of
+    // this stream stay exactly what they'd be without the cache.
+    ++stats_.cached_reads;
+    return 0.0;
+  }
   bool is_seek = false;
   const double cost = CostFor(frame, &is_seek);
   if (is_seek) ++stats_.seeks;
@@ -65,6 +73,7 @@ double SimulatedDecoder::Read(FrameId frame) {
       next_sequential_ = -1;
     }
   }
+  if (cache_ != nullptr) cache_->Insert(frame);
   return cost;
 }
 

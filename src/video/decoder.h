@@ -8,6 +8,7 @@
 #define EXSAMPLE_VIDEO_DECODER_H_
 
 #include <cstdint>
+#include <unordered_set>
 
 #include "video/repository.h"
 #include "video/types.h"
@@ -51,7 +52,26 @@ inline DecodeCostModel DecodeHeavyCostModel() {
 struct DecodeStats {
   int64_t frames_decoded = 0;
   int64_t seeks = 0;
+  /// Reads satisfied by a SharedDecodeCache at zero modeled cost (not
+  /// included in frames_decoded — nothing was decoded).
+  int64_t cached_reads = 0;
   double total_seconds = 0.0;
+};
+
+/// Frames already decoded once this session and still resident: the shared
+/// decode stream of a multi-class session (core/multi_engine.h). The first
+/// constituent query to touch a frame pays the modeled decode; every other
+/// constituent reads it back for free. Membership only — the simulation
+/// never materializes pixels. Not thread-safe: a multi-class session steps
+/// its sub-engines from one thread by construction.
+class SharedDecodeCache {
+ public:
+  bool Contains(FrameId frame) const { return frames_.count(frame) > 0; }
+  void Insert(FrameId frame) { frames_.insert(frame); }
+  int64_t size() const { return static_cast<int64_t>(frames_.size()); }
+
+ private:
+  std::unordered_set<FrameId> frames_;
 };
 
 /// Simulates reads against a repository. The decoder remembers its position;
@@ -74,6 +94,12 @@ class SimulatedDecoder {
   /// performing the read.
   double PeekCost(FrameId frame) const;
 
+  /// Attaches a shared decode cache (nullptr detaches). With a cache, a
+  /// Read of a cached frame costs 0.0 and leaves the decoder position
+  /// untouched; a miss pays the normal model and publishes the frame. The
+  /// cache must outlive the decoder.
+  void set_decode_cache(SharedDecodeCache* cache) { cache_ = cache; }
+
  private:
   /// Shared Read/PeekCost costing; sets *is_seek (when non-null) to whether
   /// the read pays a container seek.
@@ -82,6 +108,7 @@ class SimulatedDecoder {
   const VideoRepository* repo_;
   DecodeCostModel model_;
   DecodeStats stats_;
+  SharedDecodeCache* cache_ = nullptr;
   // Position after the last read: global id of the next sequential frame,
   // or -1 when unpositioned.
   FrameId next_sequential_ = -1;

@@ -1,0 +1,183 @@
+// PredicateDiscriminator semantics, pinned on hand-built detection
+// streams: conjunction ("A AND B in the same frame") and sequence ("A then
+// B within t") as discriminator compositions over an inner single-class
+// discriminator. The contract under test is the first-sighting-must-qualify
+// rule — a result-class object counts iff its FIRST processed sighting
+// landed in a qualifying frame, and d1 decrements pass through only for
+// objects whose first sighting produced the predicate-level +1 — which is
+// exactly what keeps the bandit's N1 <- N1 + |d0| - |d1| feedback sound at
+// the predicate level.
+
+#include "track/predicate_discriminator.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/predicate.h"
+#include "track/discriminator.h"
+
+namespace exsample {
+namespace track {
+namespace {
+
+constexpr detect::ClassId kA = 0;  // context / antecedent class
+constexpr detect::ClassId kB = 1;  // result class
+
+detect::Detection Det(video::FrameId frame, detect::ClassId cls,
+                      detect::InstanceId instance) {
+  detect::Detection d;
+  d.frame = frame;
+  d.class_id = cls;
+  d.instance = instance;
+  return d;
+}
+
+InnerDiscriminatorFactory OracleInner() {
+  return [] { return std::make_unique<OracleDiscriminator>(); };
+}
+
+/// Mirrors the engine's per-frame protocol: judge, then record.
+MatchResult Process(PredicateDiscriminator* d, video::FrameId frame,
+                    const std::vector<detect::Detection>& dets) {
+  MatchResult matches = d->GetMatches(frame, dets);
+  d->Add(frame, dets);
+  return matches;
+}
+
+PredicateDiscriminator Conjunction() {
+  return PredicateDiscriminator(core::QueryPredicate::And({kA, kB}),
+                                kUnboundedWindowFrames, OracleInner());
+}
+
+PredicateDiscriminator Sequence(int64_t within_frames) {
+  return PredicateDiscriminator(core::QueryPredicate::Seq(kA, kB, 2.0),
+                                within_frames, OracleInner());
+}
+
+TEST(PredicateDiscriminatorTest, ConjunctionRequiresContextClassInFrame) {
+  PredicateDiscriminator d = Conjunction();
+
+  // Both classes present: the B detection is a predicate result.
+  MatchResult both = Process(&d, 10, {Det(10, kA, 1), Det(10, kB, 100)});
+  ASSERT_EQ(both.d0.size(), 1u);
+  EXPECT_EQ(both.d0[0].instance, 100);
+  EXPECT_EQ(both.num_d1, 0);
+  EXPECT_EQ(d.num_distinct(), 1);
+
+  // B alone: the frame does not qualify; the object is consumed silently.
+  MatchResult alone = Process(&d, 20, {Det(20, kB, 200)});
+  EXPECT_TRUE(alone.d0.empty());
+  EXPECT_EQ(d.num_distinct(), 1);
+
+  // A alone: context without a result-class detection reports nothing.
+  MatchResult context = Process(&d, 30, {Det(30, kA, 2)});
+  EXPECT_TRUE(context.d0.empty());
+  EXPECT_EQ(context.num_d1, 0);
+
+  // A fresh B in a qualifying frame still counts.
+  MatchResult fresh = Process(&d, 40, {Det(40, kA, 2), Det(40, kB, 300)});
+  ASSERT_EQ(fresh.d0.size(), 1u);
+  EXPECT_EQ(fresh.d0[0].instance, 300);
+  EXPECT_EQ(d.num_distinct(), 2);
+}
+
+TEST(PredicateDiscriminatorTest, FirstSightingMustQualify) {
+  PredicateDiscriminator d = Conjunction();
+
+  // First sighting of instance 100 lands in a non-qualifying frame: it is
+  // consumed — tracked, never reported.
+  EXPECT_TRUE(Process(&d, 10, {Det(10, kB, 100)}).d0.empty());
+
+  // Re-sighted in a frame that DOES qualify: still not a result (the inner
+  // discriminator knows it), and the d1 decrement is suppressed because the
+  // first sighting never produced a predicate-level +1.
+  MatchResult requalified = Process(&d, 20, {Det(20, kA, 1), Det(20, kB, 100)});
+  EXPECT_TRUE(requalified.d0.empty());
+  EXPECT_EQ(requalified.num_d1, 0);
+  EXPECT_EQ(d.num_distinct(), 0);
+}
+
+TEST(PredicateDiscriminatorTest, D1PassesThroughForQualifiedObjects) {
+  PredicateDiscriminator d = Conjunction();
+
+  // Qualifying first sighting at frame 10: +1.
+  ASSERT_EQ(Process(&d, 10, {Det(10, kA, 1), Det(10, kB, 100)}).d0.size(),
+            1u);
+  // Second sighting: the object had been seen exactly once, and its first
+  // sighting was qualifying — the -1 passes through, credited to frame 10
+  // (the chunk that received the +1 gets the -1).
+  MatchResult second = Process(&d, 30, {Det(30, kA, 1), Det(30, kB, 100)});
+  EXPECT_TRUE(second.d0.empty());
+  EXPECT_EQ(second.num_d1, 1);
+  ASSERT_EQ(second.d1_first_frames.size(), 1u);
+  EXPECT_EQ(second.d1_first_frames[0], 10);
+}
+
+TEST(PredicateDiscriminatorTest, SequenceAntecedentWithinWindowQualifies) {
+  PredicateDiscriminator d = Sequence(30);
+
+  // Antecedent observed at frame 100.
+  EXPECT_TRUE(Process(&d, 100, {Det(100, kA, 1)}).d0.empty());
+
+  // B at frame 120: 100 is within [90, 120] — a result.
+  MatchResult hit = Process(&d, 120, {Det(120, kB, 5)});
+  ASSERT_EQ(hit.d0.size(), 1u);
+  EXPECT_EQ(hit.d0[0].instance, 5);
+  EXPECT_EQ(d.num_distinct(), 1);
+
+  // B at frame 200: the latest antecedent (100) fell out of [170, 200].
+  EXPECT_TRUE(Process(&d, 200, {Det(200, kB, 6)}).d0.empty());
+  EXPECT_EQ(d.num_distinct(), 1);
+}
+
+TEST(PredicateDiscriminatorTest, SequenceSameFrameAntecedentCounts) {
+  PredicateDiscriminator d = Sequence(30);
+  // A and B in the same frame: the window [f - w, f] includes f itself,
+  // which is what makes seq(A, B, inf) coincide with and(A, B) on
+  // co-located instances.
+  MatchResult same = Process(&d, 50, {Det(50, kA, 1), Det(50, kB, 9)});
+  ASSERT_EQ(same.d0.size(), 1u);
+  EXPECT_EQ(same.d0[0].instance, 9);
+}
+
+TEST(PredicateDiscriminatorTest, SequenceUnboundedWindowRemembersForever) {
+  PredicateDiscriminator d = Sequence(kUnboundedWindowFrames);
+  Process(&d, 10, {Det(10, kA, 1)});
+  // Any later sampled B qualifies, however distant.
+  MatchResult far = Process(&d, 500000, {Det(500000, kB, 5)});
+  EXPECT_EQ(far.d0.size(), 1u);
+  // But an antecedent strictly AFTER the consequent frame never does:
+  // "A then B", not "A and B in either order".
+  MatchResult before = Process(&d, 5, {Det(5, kB, 6)});
+  EXPECT_TRUE(before.d0.empty());
+}
+
+TEST(PredicateDiscriminatorTest, SequenceJudgesSampledObservationOrder) {
+  // ExSample samples frames out of order; the sequence is judged against
+  // what the query has actually observed. The consequent's frame is sampled
+  // BEFORE the antecedent's earlier frame is: at processing time nothing
+  // qualified it, and first-sighting-must-qualify keeps it consumed even
+  // after the antecedent surfaces.
+  PredicateDiscriminator d = Sequence(50);
+  EXPECT_TRUE(Process(&d, 420, {Det(420, kB, 8)}).d0.empty());
+
+  // The antecedent at frame 400 arrives later in sampling order.
+  Process(&d, 400, {Det(400, kA, 1)});
+
+  // Instance 8 re-sighted: consumed forever (no d0, no d1 pass-through).
+  MatchResult resight = Process(&d, 425, {Det(425, kB, 8)});
+  EXPECT_TRUE(resight.d0.empty());
+  EXPECT_EQ(resight.num_d1, 0);
+
+  // A fresh consequent first-sighted now qualifies: 400 is in [380, 430].
+  MatchResult fresh = Process(&d, 430, {Det(430, kB, 9)});
+  ASSERT_EQ(fresh.d0.size(), 1u);
+  EXPECT_EQ(fresh.d0[0].instance, 9);
+  EXPECT_EQ(d.num_distinct(), 1);
+}
+
+}  // namespace
+}  // namespace track
+}  // namespace exsample

@@ -1,0 +1,212 @@
+// Composite predicates through the dist path: for each new predicate kind
+// (and / seq / multi) the LocalShardBackend reference run is pinned to a
+// golden fingerprint, and the same query over real TCP workers — 1 and 2 —
+// must reproduce it bit-identically. Mirrors the single-class matrix in
+// tests/dist/dist_e2e_test.cc (whose pins this suite must not disturb);
+// the predicate rides dist.open as the "predicate" object, so this is the
+// wire round-trip test for ShardSpec.predicate as well.
+//
+// Runs under TSan via the `predicate` label, so the runs are exhaustion
+// mode with a small per-shard sample cap: bounded work, deterministic
+// outcome, every shard picked to completion.
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testing/fingerprint.h"
+#include "core/predicate.h"
+#include "dist/coordinator.h"
+#include "net/server.h"
+#include "serve/protocol_handler.h"
+#include "serve/session_manager.h"
+#include "serve/stats_cache.h"
+
+namespace exsample {
+namespace dist {
+namespace {
+
+constexpr char kHost[] = "127.0.0.1";
+
+/// One in-process worker process — manager, cache, datasets, net::Server
+/// on an ephemeral port — matching the rig in tests/dist/dist_e2e_test.cc.
+class WorkerStack {
+ public:
+  WorkerStack() : datasets_(7) {
+    serve::SessionManager::Options manager_options;
+    manager_options.threads = 1;
+    manager_options.base_seed = 7;
+    manager_ = std::make_unique<serve::SessionManager>(manager_options);
+
+    net::ServerOptions options;
+    options.host = kHost;
+    options.port = 0;
+    auto created = net::Server::Create(options, [this] {
+      serve::ProtocolHandler::Options handler_options;
+      handler_options.default_scale = 0.02;
+      handler_options.close_sessions_on_destroy = true;
+      return std::make_unique<serve::ProtocolHandler>(
+          manager_.get(), &cache_, &datasets_, handler_options);
+    });
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    server_ = std::move(created).value();
+    loop_ = std::thread([this] { serve_status_ = server_->Serve(); });
+  }
+
+  ~WorkerStack() {
+    server_->RequestStop();
+    loop_.join();
+    EXPECT_TRUE(serve_status_.ok()) << serve_status_.ToString();
+  }
+
+  uint16_t port() const { return server_->port(); }
+
+ private:
+  serve::StatsCache cache_;
+  serve::DatasetPool datasets_;
+  std::unique_ptr<serve::SessionManager> manager_;
+  std::unique_ptr<net::Server> server_;
+  std::thread loop_;
+  Status serve_status_;
+};
+
+uint64_t Fingerprint(const std::vector<detect::Detection>& results) {
+  uint64_t h = testing_util::kFnv1aOffsetBasis;
+  h = testing_util::Fnv1a(h, results.size());
+  for (const detect::Detection& d : results) {
+    h = testing_util::Fnv1a(h, static_cast<uint64_t>(d.frame));
+    h = testing_util::Fnv1a(h, static_cast<uint64_t>(d.instance));
+    h = testing_util::Fnv1a(h, static_cast<uint64_t>(d.class_id));
+  }
+  return h;
+}
+
+struct Golden {
+  const char* name;
+  core::PredicateRequest predicate;
+  uint64_t fingerprint;
+};
+
+core::PredicateRequest Request(core::PredicateKind kind,
+                               std::vector<std::string> classes,
+                               double within = core::kUnboundedWindow) {
+  core::PredicateRequest request;
+  request.kind = kind;
+  request.class_names = std::move(classes);
+  request.within_seconds = within;
+  return request;
+}
+
+std::vector<Golden> GoldenMatrix() {
+  // Pins captured from the initial implementation on the paired_street
+  // preset; a change here means the dist predicate path changed behavior.
+  return {
+      {"and", Request(core::PredicateKind::kConjunction, {"car", "person"}),
+       0x4c09df0f5ed7ee02ULL},
+      {"seq",
+       Request(core::PredicateKind::kSequence, {"bicycle", "truck"}, 2.0),
+       0x335676a90009b34eULL},
+      {"multi", Request(core::PredicateKind::kMultiClass, {"car", "bicycle"}),
+       0x3af22493d1d22f8eULL},
+  };
+}
+
+/// Exhaustion-mode options (see dist_e2e_test.cc): no result limit, small
+/// per-shard sample cap, so every run picks every shard dry and the
+/// outcome is a pure function of (seed, L, predicate).
+CoordinatorOptions PredicateOptions(const core::PredicateRequest& predicate) {
+  CoordinatorOptions options;
+  options.shard.preset = "paired_street";
+  options.shard.predicate = predicate;
+  options.shard.scale = 0.02;
+  options.shard.max_samples = 96;
+  options.num_shards = 4;
+  options.seed = 7;
+  options.frames_per_pick = 48;
+  options.picks_per_round = 4;
+  options.result_limit = 0;
+  options.retry_backoff_seconds = 0.01;
+  options.rejoin_backoff_seconds = 0.1;
+  return options;
+}
+
+ClientShardBackend::Options FastRpcOptions() {
+  ClientShardBackend::Options options;
+  options.connect_timeout_seconds = 5.0;
+  options.rpc_timeout_seconds = 30.0;
+  return options;
+}
+
+TEST(PredicateDistTest, EveryKindMatchesItsPinAcrossLocalAndTcpBackends) {
+  for (const Golden& g : GoldenMatrix()) {
+    SCOPED_TRACE(g.name);
+    const CoordinatorOptions options = PredicateOptions(g.predicate);
+
+    // The in-process reference run against the pinned golden.
+    {
+      LocalShardBackend::Options local;
+      local.seed = 7;
+      local.default_scale = 0.02;
+      LocalShardBackend backend(local);
+      Coordinator coordinator(&backend, options);
+      auto run = coordinator.Run();
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_EQ(run.value().stop_reason, "exhausted");
+      EXPECT_EQ(Fingerprint(run.value().results), g.fingerprint)
+          << "local fingerprint 0x" << std::hex
+          << Fingerprint(run.value().results);
+    }
+
+    // Real sockets, 1 and 2 workers: bit-identical to the same pin, so
+    // the predicate survives the dist.open round trip and worker layout
+    // never leaks into composite result streams.
+    for (int num_workers : {1, 2}) {
+      std::vector<std::unique_ptr<WorkerStack>> workers;
+      std::vector<ClientShardBackend::Endpoint> endpoints;
+      for (int w = 0; w < num_workers; ++w) {
+        workers.push_back(std::make_unique<WorkerStack>());
+        endpoints.push_back({kHost, workers.back()->port()});
+      }
+      ClientShardBackend backend(endpoints, FastRpcOptions());
+      ASSERT_TRUE(backend.ConnectAll().ok());
+      Coordinator coordinator(&backend, options);
+      auto run = coordinator.Run();
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      const CoordinatorResult& result = run.value();
+      EXPECT_EQ(result.stop_reason, "exhausted") << num_workers << " workers";
+      EXPECT_EQ(result.rpc_disconnects, 0);
+      EXPECT_EQ(Fingerprint(result.results), g.fingerprint)
+          << num_workers << " workers diverged from the local pin";
+    }
+  }
+}
+
+TEST(PredicateDistTest, MultiClassRepliesCarryBothClasses) {
+  // The multi kind decodes one stream for several classes; its merged
+  // result stream must actually contain detections of more than one class
+  // (otherwise the pin above could be satisfied by a degenerate stream).
+  core::PredicateRequest predicate =
+      Request(core::PredicateKind::kMultiClass, {"car", "bicycle"});
+  LocalShardBackend::Options local;
+  local.seed = 7;
+  local.default_scale = 0.02;
+  LocalShardBackend backend(local);
+  Coordinator coordinator(&backend, PredicateOptions(predicate));
+  auto run = coordinator.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  std::set<detect::ClassId> seen;
+  for (const detect::Detection& d : run.value().results) {
+    seen.insert(d.class_id);
+  }
+  EXPECT_GT(seen.size(), 1u) << "multi-class run found only one class";
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace exsample

@@ -1,0 +1,342 @@
+// Predicate-level equivalence properties through the real engine stack:
+//
+//  1. Conjunction(A, A) collapses structurally to SingleClass(A), so the
+//     configured job IS the legacy single-class job — bit-identical runs.
+//  2. Seq(A, B, inf) on perfectly co-located instances == And(A, B): the
+//     sequence's unbounded memory can only add qualification on frames
+//     where the antecedent is absent, and co-location (+ a perfect
+//     detector) makes such frames impossible.
+//  3. A kMultiClass run's per-class streams are bit-identical to standalone
+//     single-class engines with the SplitMix64-derived (engine seed,
+//     detector seed) pairs — the shared decode cache changes modeled decode
+//     cost only, never picks, detections, or verdicts.
+//
+// These are the properties that make composite predicates safe to refactor
+// through: any change that breaks one of them changes query semantics.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/multi_engine.h"
+#include "core/predicate.h"
+#include "data/synthetic.h"
+#include "detect/simulated_detector.h"
+#include "exec/predicate_jobs.h"
+#include "exec/query_job.h"
+#include "serve/session.h"
+#include "track/discriminator.h"
+#include "util/rng.h"
+
+namespace exsample {
+namespace core {
+namespace {
+
+/// One class, skewed placement — the classic single-class workload.
+data::Dataset SingleClassDataset(uint64_t seed) {
+  data::DatasetSpec spec;
+  spec.name = "single";
+  spec.num_videos = 1;
+  spec.frames_per_video = 20000;
+  spec.chunk_frames = 2000;
+  data::ClassSpec c;
+  c.class_id = 0;
+  c.name = "a";
+  c.num_instances = 40;
+  c.mean_duration_frames = 120.0;
+  c.placement = data::Placement::kNormal;
+  c.stddev_fraction = 0.1;
+  spec.classes.push_back(c);
+  return data::GenerateDataset(spec, seed);
+}
+
+/// Class 1 has NO independent instances: every one of its instances comes
+/// from a co-located pair (lag 0, interval copied from the class-0 anchor),
+/// so every frame containing class 1 also contains class 0 — the setup the
+/// seq(inf) == conjunction property requires.
+data::Dataset CoLocatedDataset(uint64_t seed) {
+  data::DatasetSpec spec;
+  spec.name = "colocated";
+  spec.num_videos = 1;
+  spec.frames_per_video = 24000;
+  spec.chunk_frames = 2000;
+  data::ClassSpec a;
+  a.class_id = 0;
+  a.name = "a";
+  a.num_instances = 30;
+  a.mean_duration_frames = 120.0;
+  a.placement = data::Placement::kNormal;
+  a.stddev_fraction = 0.15;
+  spec.classes.push_back(a);
+  data::ClassSpec b = a;
+  b.class_id = 1;
+  b.name = "b";
+  b.num_instances = 0;
+  spec.classes.push_back(b);
+  data::PairSpec pair;
+  pair.class_a = 0;
+  pair.class_b = 1;
+  pair.num_pairs = 20;
+  pair.lag_frames = 0;
+  pair.lag_jitter_frames = 0;
+  pair.co_located = true;
+  spec.pairs.push_back(pair);
+  return data::GenerateDataset(spec, seed);
+}
+
+/// Three independent classes sharing one repository.
+data::Dataset TriClassDataset(uint64_t seed) {
+  data::DatasetSpec spec;
+  spec.name = "tri";
+  spec.num_videos = 1;
+  spec.frames_per_video = 20000;
+  spec.chunk_frames = 2000;
+  const struct {
+    detect::ClassId id;
+    const char* name;
+    int64_t instances;
+    double center;
+  } kClasses[] = {{0, "a", 24, 0.3}, {1, "b", 18, 0.5}, {2, "c", 12, 0.7}};
+  for (const auto& k : kClasses) {
+    data::ClassSpec c;
+    c.class_id = k.id;
+    c.name = k.name;
+    c.num_instances = k.instances;
+    c.mean_duration_frames = 120.0;
+    c.placement = data::Placement::kNormal;
+    c.center_fraction = k.center;
+    c.stddev_fraction = 0.1;
+    spec.classes.push_back(c);
+  }
+  return data::GenerateDataset(spec, seed);
+}
+
+exec::QueryJob MakePredicateJob(const data::Dataset& ds,
+                                const QueryPredicate& predicate,
+                                const detect::DetectorConfig& config,
+                                QuerySpec spec, int64_t id = 1) {
+  exec::QueryJob job;
+  job.id = id;
+  job.repo = &ds.repo;
+  job.chunks = &ds.chunks;
+  job.config.strategy = Strategy::kExSample;
+  job.spec = spec;
+  exec::ConfigurePredicateJob(&ds, predicate, /*use_tracker=*/false, config,
+                              &job);
+  return job;
+}
+
+QueryResult RunSession(const exec::QueryJob& job, uint64_t base_seed,
+                       int64_t slice = 256) {
+  serve::QuerySession session(job, base_seed);
+  while (session.RunSlice(slice)) {
+  }
+  return session.result();
+}
+
+void ExpectSameRun(const QueryResult& a, const QueryResult& b) {
+  EXPECT_EQ(a.frames_processed, b.frames_processed);
+  EXPECT_EQ(a.decode_seconds, b.decode_seconds);
+  EXPECT_EQ(a.inference_seconds, b.inference_seconds);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].frame, b.results[i].frame) << "result " << i;
+    EXPECT_EQ(a.results[i].instance, b.results[i].instance) << "result " << i;
+    EXPECT_EQ(a.results[i].class_id, b.results[i].class_id) << "result " << i;
+  }
+}
+
+TEST(PredicateEngineTest, ConjunctionOfSameClassIsTheSingleClassRun) {
+  data::Dataset ds = SingleClassDataset(21);
+  QuerySpec spec;
+  spec.result_limit = 10;
+  spec.max_samples = 3000;
+
+  // And(A, A) normalizes to SingleClass(A) structurally...
+  QueryPredicate aa;
+  aa.kind = PredicateKind::kConjunction;
+  aa.classes = {0, 0};
+  const QueryPredicate collapsed = NormalizePredicate(aa);
+  ASSERT_EQ(collapsed, QueryPredicate::Single(0));
+  ASSERT_TRUE(ValidatePredicate(collapsed).ok());
+
+  // ...so the configured job runs the legacy single-class factories and
+  // reproduces a hand-built single-class job bit for bit (noisy detector
+  // included: the noise streams must be seeded identically).
+  const QueryResult via_predicate = RunSession(
+      MakePredicateJob(ds, collapsed, detect::DetectorConfig{}, spec), 77);
+
+  exec::QueryJob legacy;
+  legacy.id = 1;
+  legacy.repo = &ds.repo;
+  legacy.chunks = &ds.chunks;
+  legacy.config.strategy = Strategy::kExSample;
+  legacy.spec = spec;
+  legacy.spec.class_id = 0;
+  legacy.make_detector = [&ds](uint64_t seed) {
+    return std::make_unique<detect::SimulatedDetector>(
+        &ds.ground_truth, 0, detect::DetectorConfig{}, seed);
+  };
+  legacy.make_discriminator = [] {
+    return std::make_unique<track::OracleDiscriminator>();
+  };
+  const QueryResult via_legacy = RunSession(legacy, 77);
+
+  EXPECT_GT(via_predicate.frames_processed, 0);
+  ExpectSameRun(via_predicate, via_legacy);
+}
+
+TEST(PredicateEngineTest, UnboundedSequenceEqualsConjunctionWhenCoLocated) {
+  data::Dataset ds = CoLocatedDataset(31);
+  QuerySpec spec;
+  spec.result_limit = 12;
+  spec.max_samples = 4000;
+
+  // A perfect detector is essential: detector noise could drop the
+  // antecedent from a frame the sequence already remembers from an earlier
+  // sample, making the two predicates diverge legitimately.
+  const detect::DetectorConfig perfect = detect::PerfectDetectorConfig();
+  const QueryPredicate conj = NormalizePredicate(QueryPredicate::And({0, 1}));
+  const QueryPredicate seq =
+      NormalizePredicate(QueryPredicate::Seq(0, 1, kUnboundedWindow));
+  ASSERT_TRUE(ValidatePredicate(conj).ok());
+  ASSERT_TRUE(ValidatePredicate(seq).ok());
+  ASSERT_EQ(conj.result_class(), seq.result_class());
+
+  const QueryResult via_conj =
+      RunSession(MakePredicateJob(ds, conj, perfect, spec), 55);
+  const QueryResult via_seq =
+      RunSession(MakePredicateJob(ds, seq, perfect, spec), 55);
+
+  EXPECT_GT(via_conj.results.size(), 0u);
+  ExpectSameRun(via_conj, via_seq);
+}
+
+TEST(PredicateEngineTest, MultiClassSubRunsMatchStandaloneEngines) {
+  data::Dataset ds = TriClassDataset(41);
+  const std::vector<detect::ClassId> classes = {0, 1, 2};
+  constexpr uint64_t kSeed = 99;
+
+  QuerySpec spec;
+  spec.result_limit = 6;
+  spec.max_samples = 2500;
+  spec.predicate = QueryPredicate::Multi(classes);
+
+  MultiClassOptions options;
+  options.config.strategy = Strategy::kExSample;
+  options.classes = classes;
+  options.make_detector = [&ds](detect::ClassId cls, uint64_t seed) {
+    return std::make_unique<detect::SimulatedDetector>(
+        &ds.ground_truth, cls, detect::DetectorConfig{}, seed);
+  };
+  options.make_discriminator = [] {
+    return std::make_unique<track::OracleDiscriminator>();
+  };
+  MultiClassEngine multi(&ds.repo, &ds.chunks, options, kSeed);
+  multi.Begin(spec);
+  while (multi.Step(64).running()) {
+  }
+
+  // Each constituent must reproduce a standalone single-class engine seeded
+  // with the documented derivation: SplitMix64 over the session seed yields
+  // (engine seed, detector seed) per class in canonical order.
+  SplitMix64 stream(kSeed);
+  int64_t summed_frames = 0;
+  size_t summed_results = 0;
+  double serial_decode = 0.0;
+  for (size_t i = 0; i < classes.size(); ++i) {
+    const detect::ClassId cls = classes[i];
+    const uint64_t engine_seed = stream.Next();
+    const uint64_t detector_seed = stream.Next();
+    detect::SimulatedDetector detector(&ds.ground_truth, cls,
+                                       detect::DetectorConfig{},
+                                       detector_seed);
+    track::OracleDiscriminator discriminator;
+    EngineConfig config;
+    config.strategy = Strategy::kExSample;
+    QueryEngine engine(&ds.repo, &ds.chunks, &detector, &discriminator,
+                       config, engine_seed);
+    QuerySpec sub_spec = spec;
+    sub_spec.class_id = cls;
+    sub_spec.predicate = QueryPredicate::Single(cls);
+    const QueryResult standalone = engine.Run(sub_spec);
+    serial_decode += standalone.decode_seconds;
+
+    const QueryResult& sub = multi.sub_result(i);
+    EXPECT_EQ(sub.frames_processed, standalone.frames_processed)
+        << "class " << cls;
+    ASSERT_EQ(sub.results.size(), standalone.results.size())
+        << "class " << cls;
+    for (size_t r = 0; r < sub.results.size(); ++r) {
+      EXPECT_EQ(sub.results[r].frame, standalone.results[r].frame);
+      EXPECT_EQ(sub.results[r].instance, standalone.results[r].instance);
+    }
+    summed_frames += sub.frames_processed;
+    summed_results += sub.results.size();
+  }
+
+  // The merged stream is exactly the per-class streams interleaved: class
+  // order preserved within each class, totals summed.
+  const QueryResult& merged = multi.result();
+  EXPECT_EQ(merged.frames_processed, summed_frames);
+  EXPECT_EQ(merged.results.size(), summed_results);
+  for (size_t i = 0; i < classes.size(); ++i) {
+    std::vector<detect::Detection> of_class;
+    for (const detect::Detection& d : merged.results) {
+      if (d.class_id == classes[i]) of_class.push_back(d);
+    }
+    const QueryResult& sub = multi.sub_result(i);
+    ASSERT_EQ(of_class.size(), sub.results.size()) << "class " << classes[i];
+    for (size_t r = 0; r < of_class.size(); ++r) {
+      EXPECT_EQ(of_class[r].frame, sub.results[r].frame);
+      EXPECT_EQ(of_class[r].instance, sub.results[r].instance);
+    }
+  }
+
+  // The sharing win: frames decoded by one constituent are free for the
+  // rest, so the shared run's modeled decode cost cannot exceed the serial
+  // per-class sum, and every cached read is one decode not repeated.
+  EXPECT_EQ(multi.cached_reads(),
+            merged.frames_processed -
+                static_cast<int64_t>(multi.decode_cache().size()));
+  EXPECT_GE(multi.cached_reads(), 0);
+  EXPECT_LE(merged.decode_seconds, serial_decode + 1e-9);
+}
+
+TEST(PredicateEngineTest, MultiClassMergedStreamIsSlicingInvariant) {
+  data::Dataset ds = TriClassDataset(41);
+  const std::vector<detect::ClassId> classes = {0, 1, 2};
+  QuerySpec spec;
+  spec.result_limit = 6;
+  spec.max_samples = 2000;
+  spec.predicate = QueryPredicate::Multi(classes);
+
+  auto run = [&ds, &classes, &spec](int64_t slice) {
+    MultiClassOptions options;
+    options.config.strategy = Strategy::kExSample;
+    options.classes = classes;
+    options.make_detector = [&ds](detect::ClassId cls, uint64_t seed) {
+      return std::make_unique<detect::SimulatedDetector>(
+          &ds.ground_truth, cls, detect::DetectorConfig{}, seed);
+    };
+    options.make_discriminator = [] {
+      return std::make_unique<track::OracleDiscriminator>();
+    };
+    MultiClassEngine engine(&ds.repo, &ds.chunks, options, 7);
+    engine.Begin(spec);
+    while (engine.Step(slice).running()) {
+    }
+    return engine.TakeResult();
+  };
+
+  const QueryResult fine = run(1);
+  const QueryResult coarse = run(4096);
+  EXPECT_GT(fine.results.size(), 0u);
+  ExpectSameRun(fine, coarse);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace exsample

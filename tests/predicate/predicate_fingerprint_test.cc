@@ -1,0 +1,180 @@
+// Determinism matrix for the composite predicate kinds, mirroring the
+// single-class pins in tests/serve/session_manager_test.cc: for each new
+// kind (and / seq / multi) a golden fingerprint is pinned and every
+// (threads, slice) combination under the serve scheduler must reproduce it
+// — plus a direct QuerySession drive of the same jobs, so the engine path
+// and the serve path are provably the same trajectory.
+//
+// The single-class pins (0x2426590dae82c3feULL et al.) live in the serve
+// matrix and are untouched by this suite; these pins extend the same
+// contract to the predicate family.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/predicate.h"
+#include "data/synthetic.h"
+#include "detect/simulated_detector.h"
+#include "exec/predicate_jobs.h"
+#include "exec/query_job.h"
+#include "serve/session.h"
+#include "serve/session_manager.h"
+
+#include "../testing/fingerprint.h"
+
+namespace exsample {
+namespace serve {
+namespace {
+
+using testing_util::Fnv1a;
+
+/// Two classes with both co-located pairs (conjunction ground truth) and
+/// lagged pairs (sequence ground truth), plus independent instances of
+/// each, so every predicate kind has something to find.
+data::Dataset PairedDataset(uint64_t seed = 12) {
+  data::DatasetSpec spec;
+  spec.name = "paired";
+  spec.num_videos = 1;
+  spec.frames_per_video = 30000;
+  spec.chunk_frames = 3000;
+  data::ClassSpec a;
+  a.class_id = 0;
+  a.name = "a";
+  a.num_instances = 36;
+  a.mean_duration_frames = 140.0;
+  a.placement = data::Placement::kNormal;
+  a.stddev_fraction = 0.12;
+  spec.classes.push_back(a);
+  data::ClassSpec b = a;
+  b.class_id = 1;
+  b.name = "b";
+  b.num_instances = 8;
+  spec.classes.push_back(b);
+  data::PairSpec conj;
+  conj.class_a = 0;
+  conj.class_b = 1;
+  conj.num_pairs = 20;
+  conj.lag_frames = 0;
+  conj.co_located = true;
+  spec.pairs.push_back(conj);
+  data::PairSpec lagged;
+  lagged.class_a = 0;
+  lagged.class_b = 1;
+  lagged.num_pairs = 12;
+  lagged.lag_frames = 40;
+  lagged.lag_jitter_frames = 10;
+  lagged.co_located = false;
+  spec.pairs.push_back(lagged);
+  return data::GenerateDataset(spec, seed);
+}
+
+struct Golden {
+  const char* name;
+  core::QueryPredicate predicate;
+  uint64_t fingerprint;
+};
+
+std::vector<Golden> GoldenMatrix() {
+  // Golden values captured from the initial implementation; any scheduler,
+  // engine, or predicate-wiring change that alters them is a semantic
+  // change to composite queries, not a refactor.
+  return {
+      // The seq window is wide (20 s = 600 frames at the synthetic 30 fps)
+      // so the antecedent-memory path actually fires under sparse sampling
+      // and the seq trajectory diverges from the conjunction's.
+      {"and", core::QueryPredicate::And({0, 1}), 0x07d9038ddca6f234ULL},
+      {"seq", core::QueryPredicate::Seq(0, 1, 20.0), 0xa58ca8f4ba56795dULL},
+      {"multi", core::QueryPredicate::Multi({0, 1}), 0xf704f76f0ef08577ULL},
+  };
+}
+
+core::QuerySpec MatrixSpec() {
+  core::QuerySpec spec;
+  spec.result_limit = 10;
+  spec.max_samples = 1200;
+  return spec;
+}
+
+exec::QueryJob MakeJob(const data::Dataset& ds,
+                       const core::QueryPredicate& predicate,
+                       int64_t id = 0) {
+  exec::QueryJob job;
+  job.id = id;
+  job.repo = &ds.repo;
+  job.chunks = &ds.chunks;
+  job.config.strategy = core::Strategy::kExSample;
+  job.spec = MatrixSpec();
+  exec::ConfigurePredicateJob(&ds, predicate, /*use_tracker=*/false,
+                              detect::DetectorConfig{}, &job);
+  return job;
+}
+
+uint64_t FoldPoll(uint64_t fp, const PollResult& poll) {
+  fp = Fnv1a(fp, static_cast<uint64_t>(poll.frames_processed));
+  fp = Fnv1a(fp, static_cast<uint64_t>(poll.total_results));
+  for (const auto& d : poll.new_results) {
+    fp = Fnv1a(fp, static_cast<uint64_t>(d.frame));
+    fp = Fnv1a(fp, static_cast<uint64_t>(d.class_id));
+  }
+  return fp;
+}
+
+TEST(PredicateFingerprintTest, DeterminismMatrixPinsEveryPredicateKind) {
+  data::Dataset ds = PairedDataset();
+  for (const Golden& g : GoldenMatrix()) {
+    ASSERT_TRUE(core::ValidatePredicate(g.predicate).ok()) << g.name;
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      for (int64_t slice : {int64_t{1}, int64_t{7}, int64_t{64}}) {
+        SessionManager::Options options;
+        options.threads = threads;
+        options.slice_frames = slice;
+        options.base_seed = 77;
+        SessionManager manager(options);
+        std::vector<int64_t> ids;
+        for (int i = 0; i < 2; ++i) {
+          auto opened = manager.Open(MakeJob(ds, g.predicate));
+          ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+          ids.push_back(opened.value());
+        }
+        manager.WaitAllDone();
+        uint64_t fp = testing_util::kFnv1aOffsetBasis;
+        for (int64_t id : ids) {
+          auto poll = manager.Poll(id);
+          ASSERT_TRUE(poll.ok());
+          if (g.predicate.kind == core::PredicateKind::kMultiClass) {
+            EXPECT_TRUE(poll.value().multi_class);
+          }
+          fp = FoldPoll(fp, poll.value());
+        }
+        EXPECT_EQ(fp, g.fingerprint)
+            << g.name << " threads " << threads << " slice " << slice
+            << " fingerprint 0x" << std::hex << fp;
+      }
+    }
+  }
+}
+
+TEST(PredicateFingerprintTest, DirectSessionDriveMatchesTheServePins) {
+  // The same jobs driven as bare QuerySessions (no manager, one unbounded
+  // slice) must land on the identical pinned fingerprints: the scheduler
+  // adds scheduling, never trajectory.
+  data::Dataset ds = PairedDataset();
+  for (const Golden& g : GoldenMatrix()) {
+    uint64_t fp = testing_util::kFnv1aOffsetBasis;
+    for (int64_t id = 1; id <= 2; ++id) {
+      QuerySession session(MakeJob(ds, g.predicate, id), 77);
+      while (session.RunSlice(int64_t{1} << 40)) {
+      }
+      PollResult poll = session.Poll();
+      fp = FoldPoll(fp, poll);
+    }
+    EXPECT_EQ(fp, g.fingerprint)
+        << g.name << " fingerprint 0x" << std::hex << fp;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace exsample

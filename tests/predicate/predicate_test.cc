@@ -1,0 +1,325 @@
+// Unit tests of the predicate model itself: canonical key grammar,
+// normalization, structural validation, the transport JSON shape, and the
+// StatsCache keying/composition rules built on the canonical keys.
+//
+// The canonical key is load-bearing everywhere a class id used to be — the
+// stats-cache rows, the wire forms, the tool output — so the grammar tests
+// pin not just acceptance but the *rejection* of every near-miss spelling:
+// a key either is the canonical serialization or it is invalid.
+
+#include "core/predicate.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/chunk_stats.h"
+#include "serve/stats_cache.h"
+#include "util/json.h"
+
+namespace exsample {
+namespace core {
+namespace {
+
+TEST(PredicateKeyTest, CanonicalKeysRoundTrip) {
+  struct Case {
+    QueryPredicate pred;
+    const char* key;
+  };
+  const Case kCases[] = {
+      {QueryPredicate::Single(3), "c3"},
+      {QueryPredicate::Single(0), "c0"},
+      {QueryPredicate::And({3, 1}), "and(c1,c3)"},
+      {QueryPredicate::And({0, 2, 7}), "and(c0,c2,c7)"},
+      {QueryPredicate::Seq(1, 3, 2.5), "seq(c1,c3,w=2.5)"},
+      {QueryPredicate::Seq(1, 3), "seq(c1,c3,w=inf)"},
+      {QueryPredicate::Seq(3, 1, 45), "seq(c3,c1,w=45)"},
+      {QueryPredicate::Multi({2, 0}), "multi(c0,c2)"},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_EQ(PredicateKey(c.pred), c.key);
+    auto parsed = ParsePredicateKey(c.key);
+    ASSERT_TRUE(parsed.ok()) << c.key << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed.value(), c.pred) << c.key;
+    // The parse re-serializes byte for byte.
+    EXPECT_EQ(PredicateKey(parsed.value()), c.key);
+  }
+}
+
+TEST(PredicateKeyTest, RejectsEveryNonCanonicalSpelling) {
+  const char* kBad[] = {
+      "",
+      "c",
+      "c-1",
+      "c07",              // leading zero: not the canonical integer spelling
+      "c1x",
+      "7",                // bare class id (the v1 stats-cache key shape)
+      "and()",
+      "and(c1)",          // 1-class composite normalizes to "c1"
+      "and(c3,c1)",       // unsorted
+      "and(c1,c1)",       // duplicates collapse under normalization
+      "and(c1,c3",        // unbalanced
+      "and(c1, c3)",      // whitespace
+      "AND(c1,c3)",
+      "seq(c1)",
+      "seq(c1,c3)",       // missing window
+      "seq(c1,c3,w=)",
+      "seq(c1,c3,w=0)",   // window must be positive
+      "seq(c1,c3,w=-2)",
+      "seq(c1,c3,w=2.0)", // %g prints "2"; "2.0" is non-canonical
+      "seq(c1,c3,2.5)",
+      "multi(c1)",
+      "multi(c3,c1)",
+      "both(c1,c3)",
+      "c1,c3",
+  };
+  for (const char* key : kBad) {
+    EXPECT_FALSE(ParsePredicateKey(key).ok()) << "accepted: '" << key << "'";
+  }
+}
+
+TEST(PredicateNormalizeTest, SortsDedupsAndCollapsesDegenerates) {
+  // Conjunction(A, A) IS SingleClass(A): the collapse is structural, which
+  // is what makes the equivalence property in predicate_engine_test hold
+  // bit for bit rather than merely behaviorally.
+  QueryPredicate aa;
+  aa.kind = PredicateKind::kConjunction;
+  aa.classes = {4, 4};
+  const QueryPredicate collapsed = NormalizePredicate(aa);
+  EXPECT_EQ(collapsed, QueryPredicate::Single(4));
+  EXPECT_EQ(collapsed.kind, PredicateKind::kSingleClass);
+  EXPECT_EQ(PredicateKey(collapsed), "c4");
+
+  QueryPredicate multi;
+  multi.kind = PredicateKind::kMultiClass;
+  multi.classes = {9};
+  EXPECT_EQ(NormalizePredicate(multi), QueryPredicate::Single(9));
+
+  QueryPredicate unsorted;
+  unsorted.kind = PredicateKind::kConjunction;
+  unsorted.classes = {5, 2, 5, 1};
+  const QueryPredicate norm = NormalizePredicate(unsorted);
+  EXPECT_EQ(norm.classes, (std::vector<detect::ClassId>{1, 2, 5}));
+  EXPECT_EQ(norm.result_class(), 5);
+
+  // Sequence order is meaningful and must survive normalization.
+  const QueryPredicate seq = NormalizePredicate(QueryPredicate::Seq(3, 1, 2));
+  EXPECT_EQ(seq.classes, (std::vector<detect::ClassId>{3, 1}));
+  EXPECT_EQ(seq.result_class(), 1);
+}
+
+TEST(PredicateValidateTest, EnforcesPerKindInvariants) {
+  EXPECT_TRUE(ValidatePredicate(QueryPredicate::Single(0)).ok());
+  EXPECT_TRUE(ValidatePredicate(QueryPredicate::And({1, 2})).ok());
+  EXPECT_TRUE(ValidatePredicate(QueryPredicate::Seq(1, 2, 0.5)).ok());
+  EXPECT_TRUE(ValidatePredicate(QueryPredicate::Multi({0, 1, 2})).ok());
+
+  QueryPredicate bad;
+  bad.kind = PredicateKind::kSingleClass;
+  bad.classes = {};
+  EXPECT_FALSE(ValidatePredicate(bad).ok());
+  bad.classes = {1, 2};
+  EXPECT_FALSE(ValidatePredicate(bad).ok());
+
+  bad.kind = PredicateKind::kConjunction;
+  bad.classes = {1};
+  EXPECT_FALSE(ValidatePredicate(bad).ok());
+
+  bad.kind = PredicateKind::kSequence;
+  bad.classes = {1, 2, 3};
+  bad.within_seconds = 1.0;
+  EXPECT_FALSE(ValidatePredicate(bad).ok());
+  bad.classes = {1, 2};
+  bad.within_seconds = 0.0;
+  EXPECT_FALSE(ValidatePredicate(bad).ok());
+  bad.within_seconds = -1.0;
+  EXPECT_FALSE(ValidatePredicate(bad).ok());
+  bad.within_seconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ValidatePredicate(bad).ok());
+
+  QueryPredicate negative = QueryPredicate::Single(0);
+  negative.classes = {-1};
+  EXPECT_FALSE(ValidatePredicate(negative).ok());
+}
+
+TEST(PredicateEffectiveTest, FallsBackToSpecClassId) {
+  QueryPredicate unset;  // default-constructed: empty classes
+  EXPECT_EQ(EffectivePredicate(unset, 7), QueryPredicate::Single(7));
+  const QueryPredicate set = QueryPredicate::And({1, 2});
+  EXPECT_EQ(EffectivePredicate(set, 7), set);
+}
+
+// ------------------------------------------------------------------
+// Transport JSON.
+
+Result<PredicateRequest> ParseJsonText(const std::string& text) {
+  auto json = Json::Parse(text);
+  EXPECT_TRUE(json.ok()) << text;
+  return ParsePredicateJson(json.value());
+}
+
+TEST(PredicateJsonTest, ParsesEveryKind) {
+  auto single = ParseJsonText(R"({"kind":"single","classes":["car"]})");
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  EXPECT_EQ(single.value().kind, PredicateKind::kSingleClass);
+  EXPECT_EQ(single.value().class_names,
+            (std::vector<std::string>{"car"}));
+
+  auto both = ParseJsonText(R"({"kind":"and","classes":["car","person"]})");
+  ASSERT_TRUE(both.ok()) << both.status().ToString();
+  EXPECT_EQ(both.value().kind, PredicateKind::kConjunction);
+
+  auto seq = ParseJsonText(
+      R"({"kind":"seq","classes":["bicycle","truck"],"within_seconds":2})");
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  EXPECT_EQ(seq.value().kind, PredicateKind::kSequence);
+  EXPECT_EQ(seq.value().within_seconds, 2.0);
+
+  // A sequence without within_seconds is the unbounded window.
+  auto unbounded =
+      ParseJsonText(R"({"kind":"seq","classes":["bicycle","truck"]})");
+  ASSERT_TRUE(unbounded.ok());
+  EXPECT_TRUE(std::isinf(unbounded.value().within_seconds));
+
+  auto multi = ParseJsonText(R"({"kind":"multi","classes":["car","truck"]})");
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+  EXPECT_EQ(multi.value().kind, PredicateKind::kMultiClass);
+}
+
+TEST(PredicateJsonTest, RejectsEveryMalformedShape) {
+  const char* kBad[] = {
+      R"({"classes":["car"]})",                            // missing kind
+      R"({"kind":"both","classes":["car","person"]})",     // unknown kind
+      R"({"kind":"and"})",                                 // missing classes
+      R"({"kind":"and","classes":[]})",                    // empty classes
+      R"({"kind":"and","classes":"car"})",                 // mistyped classes
+      R"({"kind":"and","classes":[1,2]})",                 // non-string names
+      R"({"kind":"and","classes":["car",""]})",            // empty name
+      R"({"kind":"and","classes":["car"]})",               // arity: and >= 2
+      R"({"kind":"single","classes":["car","person"]})",   // single == 1
+      R"({"kind":"seq","classes":["car"]})",               // seq == 2
+      R"({"kind":"seq","classes":["a","b","c"]})",
+      R"({"kind":"multi","classes":["car"]})",             // multi >= 2
+      // within_seconds is a sequence-only field and must be positive.
+      R"({"kind":"and","classes":["car","person"],"within_seconds":2})",
+      R"({"kind":"seq","classes":["a","b"],"within_seconds":0})",
+      R"({"kind":"seq","classes":["a","b"],"within_seconds":-1})",
+      // Unknown keys are rejected: a typo must never silently widen the
+      // window or drop a constraint.
+      R"({"kind":"seq","classes":["a","b"],"witin_seconds":2})",
+      R"({"kind":"and","classes":["car","person"],"extra":true})",
+  };
+  for (const char* text : kBad) {
+    auto parsed = ParseJsonText(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(PredicateJsonTest, RequestJsonRoundTrips) {
+  PredicateRequest request;
+  request.kind = PredicateKind::kSequence;
+  request.class_names = {"bicycle", "truck"};
+  request.within_seconds = 2.5;
+  auto back = ParsePredicateJson(PredicateRequestJson(request));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().kind, request.kind);
+  EXPECT_EQ(back.value().class_names, request.class_names);
+  EXPECT_EQ(back.value().within_seconds, request.within_seconds);
+
+  // Unbounded sequences omit within_seconds and still round-trip.
+  request.within_seconds = kUnboundedWindow;
+  const Json json = PredicateRequestJson(request);
+  EXPECT_EQ(json.Find("within_seconds"), nullptr) << json.Dump();
+  auto unbounded = ParsePredicateJson(json);
+  ASSERT_TRUE(unbounded.ok());
+  EXPECT_TRUE(std::isinf(unbounded.value().within_seconds));
+
+  PredicateRequest multi;
+  multi.kind = PredicateKind::kMultiClass;
+  multi.class_names = {"car", "person"};
+  auto multi_back = ParsePredicateJson(PredicateRequestJson(multi));
+  ASSERT_TRUE(multi_back.ok());
+  EXPECT_EQ(multi_back.value().kind, PredicateKind::kMultiClass);
+  EXPECT_EQ(multi_back.value().class_names, multi.class_names);
+}
+
+// ------------------------------------------------------------------
+// StatsCache keying: warm-start rows are keyed by canonical predicate key,
+// and composite predicates with no exact row compose their constituents'
+// single-class rows (per chunk: n1 = min, n = max).
+
+core::ChunkStats StatsWith(const std::vector<int64_t>& n1,
+                           const std::vector<int64_t>& n) {
+  core::ChunkStats stats(static_cast<int32_t>(n1.size()));
+  for (size_t j = 0; j < n1.size(); ++j) {
+    const auto chunk = static_cast<video::ChunkId>(j);
+    for (int64_t i = 0; i < n[j]; ++i) {
+      // d0 once per n1 unit, then pure samples: lands exactly on (n1, n).
+      stats.Update(chunk, i < n1[j] ? 1 : 0, 0);
+    }
+  }
+  return stats;
+}
+
+TEST(StatsCachePredicateTest, CompositeLookupComposesConstituentRows) {
+  serve::StatsCache cache;
+  cache.Record("repo", 1, StatsWith({4, 0, 2}, {10, 5, 8}));
+  cache.Record("repo", 3, StatsWith({1, 3, 2}, {6, 9, 8}));
+
+  const QueryPredicate pred = QueryPredicate::And({1, 3});
+  auto priors = cache.LookupPredicate("repo", pred, 1.0);
+  ASSERT_EQ(priors.size(), 3u);
+  // Per chunk: n1 = min across constituents (the scarcest class bounds a
+  // conjunction), n = max (the chunk was explored at least that hard).
+  EXPECT_EQ(priors[0].n1, 1);
+  EXPECT_EQ(priors[0].n, 10);
+  EXPECT_EQ(priors[1].n1, 0);
+  EXPECT_EQ(priors[1].n, 9);
+  EXPECT_EQ(priors[2].n1, 2);
+  EXPECT_EQ(priors[2].n, 8);
+
+  // A missing constituent row means no composition: cold start.
+  EXPECT_TRUE(
+      cache.LookupPredicate("repo", QueryPredicate::And({1, 9}), 1.0)
+          .empty());
+  // Unknown repository: cold start.
+  EXPECT_TRUE(cache.LookupPredicate("other", pred, 1.0).empty());
+}
+
+TEST(StatsCachePredicateTest, ExactCompositeRowWinsOverComposition) {
+  serve::StatsCache cache;
+  cache.Record("repo", 1, StatsWith({5, 5}, {9, 9}));
+  cache.Record("repo", 3, StatsWith({5, 5}, {9, 9}));
+  const QueryPredicate pred = QueryPredicate::And({1, 3});
+  cache.Record("repo", PredicateKey(pred), StatsWith({2, 0}, {4, 4}));
+
+  auto priors = cache.LookupPredicate("repo", pred, 1.0);
+  ASSERT_EQ(priors.size(), 2u);
+  EXPECT_EQ(priors[0].n1, 2);  // the exact "and(c1,c3)" row, not min/max
+  EXPECT_EQ(priors[0].n, 4);
+  EXPECT_EQ(priors[1].n1, 0);
+  EXPECT_EQ(priors[1].n, 4);
+}
+
+TEST(StatsCachePredicateTest, SingleClassKeyIsTheCanonicalSpelling) {
+  serve::StatsCache cache;
+  cache.Record("repo", 5, StatsWith({3}, {7}));
+  // The class-id overload and the key overload land on the same row.
+  auto by_key = cache.Lookup("repo", "c5", 1.0);
+  auto by_id = cache.Lookup("repo", 5, 1.0);
+  ASSERT_EQ(by_key.size(), 1u);
+  ASSERT_EQ(by_id.size(), 1u);
+  EXPECT_EQ(by_key[0].n1, by_id[0].n1);
+  EXPECT_EQ(by_key[0].n, by_id[0].n);
+  // LookupPredicate on a single class falls through to the exact row.
+  auto by_pred = cache.LookupPredicate("repo", QueryPredicate::Single(5), 1.0);
+  ASSERT_EQ(by_pred.size(), 1u);
+  EXPECT_EQ(by_pred[0].n1, by_id[0].n1);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace exsample

@@ -179,48 +179,62 @@ void ExpectLoadFailsCleanly(const std::string& content,
 TEST(StatsCacheTest, LoadGarbageFailsCleanlyAndLeavesCacheEmpty) {
   ExpectLoadFailsCleanly("", "empty file");
   ExpectLoadFailsCleanly("\x7f\x45\x4c\x46 binary junk \x00\x01", "binary");
-  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry what\n",
+  ExpectLoadFailsCleanly("exsample-stats-cache v2\nentry what\n",
                          "malformed entry header");
   ExpectLoadFailsCleanly(
-      "exsample-stats-cache v1\nentry 0 1 999999999999 key\n",
+      "exsample-stats-cache v2\nentry c0 1 999999999999 key\n",
       "absurd chunk count");
-  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 0 2 key\n"
+  ExpectLoadFailsCleanly("exsample-stats-cache v2\nentry c0 0 2 key\n"
                          "n1 1 1\nn 1 1\n",
                          "zero queries");
 }
 
 TEST(StatsCacheTest, LoadVersionSkewRejected) {
-  ExpectLoadFailsCleanly("exsample-stats-cache v2\nentry 0 1 1 key\n"
+  // v1 files keyed rows by bare class id; the predicate-keyed v2 cache
+  // cannot attribute them, so even a perfectly well-formed v1 file is
+  // rejected at the header — all or nothing, never a partial merge.
+  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 1 2 key\n"
+                         "n1 9 0\nn 9 9\n",
+                         "well-formed v1 file");
+  ExpectLoadFailsCleanly("exsample-stats-cache v3\nentry c0 1 1 key\n"
                          "n1 1\nn 1\n",
                          "future version");
   ExpectLoadFailsCleanly("exsample-stats-cache\n", "missing version");
+  // A v1-style bare-class-id key smuggled under a v2 header is entry-level
+  // corruption: keys must parse as canonical predicate spellings.
+  ExpectLoadFailsCleanly("exsample-stats-cache v2\nentry 0 1 1 key\n"
+                         "n1 1\nn 1\n",
+                         "bare class id key");
+  ExpectLoadFailsCleanly("exsample-stats-cache v2\nentry and(c1,c0) 1 1 key\n"
+                         "n1 1\nn 1\n",
+                         "non-canonical predicate key");
 }
 
 TEST(StatsCacheTest, LoadHalfWrittenFileRejected) {
   // A crash mid-Save: header + entry line but rows cut off, or a row cut
   // mid-way (fewer values than the declared chunk count).
-  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 1 3 key\n",
+  ExpectLoadFailsCleanly("exsample-stats-cache v2\nentry c0 1 3 key\n",
                          "rows missing");
-  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 1 3 key\nn1 4 2\n",
+  ExpectLoadFailsCleanly("exsample-stats-cache v2\nentry c0 1 3 key\nn1 4 2\n",
                          "row truncated");
   ExpectLoadFailsCleanly(
-      "exsample-stats-cache v1\nentry 0 1 3 key\nn1 4 2 1\n",
+      "exsample-stats-cache v2\nentry c0 1 3 key\nn1 4 2 1\n",
       "second row missing");
 }
 
 TEST(StatsCacheTest, LoadRejectsSilentCorruption) {
   // Negative counts, wrong row tags, swapped rows, and trailing extra
   // values were all silently accepted before the all-or-nothing rewrite.
-  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 1 2 key\n"
+  ExpectLoadFailsCleanly("exsample-stats-cache v2\nentry c0 1 2 key\n"
                          "n1 -4 2\nn 3 3\n",
                          "negative n1");
-  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 1 2 key\n"
+  ExpectLoadFailsCleanly("exsample-stats-cache v2\nentry c0 1 2 key\n"
                          "n1 4 2\nn 3 -1\n",
                          "negative n");
-  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 1 2 key\n"
+  ExpectLoadFailsCleanly("exsample-stats-cache v2\nentry c0 1 2 key\n"
                          "n 4 2\nn1 3 3\n",
                          "swapped row tags");
-  ExpectLoadFailsCleanly("exsample-stats-cache v1\nentry 0 1 2 key\n"
+  ExpectLoadFailsCleanly("exsample-stats-cache v2\nentry c0 1 2 key\n"
                          "n1 4 2 9\nn 3 3\n",
                          "trailing value on row");
 }
@@ -232,9 +246,9 @@ TEST(StatsCacheTest, FailedLoadLeavesExistingEntriesUntouched) {
     // First entry is valid; the second is truncated. Nothing — including
     // the valid first entry — may reach the live cache.
     std::ofstream out(path);
-    out << "exsample-stats-cache v1\n"
-        << "entry 0 1 2 key\nn1 9 0\nn 9 9\n"
-        << "entry 1 1 2 key\nn1 5\n";
+    out << "exsample-stats-cache v2\n"
+        << "entry c0 1 2 key\nn1 9 0\nn 9 9\n"
+        << "entry c1 1 2 key\nn1 5\n";
   }
   StatsCache cache;
   cache.Record("repo", 0, MakeStats({{6, 10}, {0, 4}}));
@@ -242,6 +256,34 @@ TEST(StatsCacheTest, FailedLoadLeavesExistingEntriesUntouched) {
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.queries_recorded(), 1);
   EXPECT_TRUE(cache.Lookup("key", 0, 1.0).empty());
+  auto priors = cache.Lookup("repo", 0, 1.0);
+  ASSERT_EQ(priors.size(), 2u);
+  EXPECT_EQ(priors[0].n1, 6);
+  std::remove(path.c_str());
+}
+
+TEST(StatsCacheTest, OldVersionFileRejectedAllOrNothing) {
+  // The PR-3-era v1 format (bare class-id keys) against a populated v2
+  // cache: Load must reject the whole file at the header and leave every
+  // live entry exactly as it was — no partial merge, no clearing.
+  const std::string path =
+      ::testing::TempDir() + "/stats_cache_v1_reject_test.txt";
+  {
+    std::ofstream out(path);
+    out << "exsample-stats-cache v1\n"
+        << "entry 0 1 2 key\nn1 9 0\nn 9 9\n"
+        << "entry 1 2 2 other\nn1 5 5\nn 8 8\n";
+  }
+  StatsCache cache;
+  cache.Record("repo", 0, MakeStats({{6, 10}, {0, 4}}));
+  Status status = cache.Load(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("header"), std::string::npos) << status.ToString();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.queries_recorded(), 1);
+  EXPECT_TRUE(cache.Lookup("key", 0, 1.0).empty());
+  EXPECT_TRUE(cache.Lookup("other", 1, 1.0).empty());
   auto priors = cache.Lookup("repo", 0, 1.0);
   ASSERT_EQ(priors.size(), 2u);
   EXPECT_EQ(priors[0].n1, 6);

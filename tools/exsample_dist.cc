@@ -21,7 +21,11 @@
 //    "cost_seconds":...,"retries":0,"rpc_timeouts":0,"rpc_disconnects":0,
 //    "rejoins":0,"wall_seconds":...,"workers":4,"shards":[{per-shard}]}
 //
-// Flags: --preset NAME --class NAME (required), --scale S, --limit K,
+// Flags: --preset NAME --class NAME (required; composite queries pass
+//        --classes a,b --predicate and|seq|multi [--within SECONDS]
+//        instead of --class — the open carries a "predicate" object and
+//        multi-class picks return per-detection class ids),
+//        --scale S, --limit K,
 //        --shards L (logical shards), --policy P (within-shard),
 //        --shard-policy thompson|bayes_ucb|uniform, --cost-aware,
 //        --tracker, --gop-run N, --group-size N, --max-samples N,
@@ -44,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "core/predicate.h"
 #include "dist/coordinator.h"
 #include "obs/metrics.h"
 #include "util/flags.h"
@@ -187,10 +192,26 @@ bool ParseEndpoints(const std::string& csv,
   return !out->empty();
 }
 
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 int Main(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
   const std::string preset = flags.GetString("preset", "dashcam");
   const std::string class_name = flags.GetString("class", "");
+  const std::string classes_csv = flags.GetString("classes", "");
+  const std::string predicate_name = flags.GetString("predicate", "");
+  const double within_flag = flags.GetDouble("within", 0.0);
   const double scale = flags.GetDouble("scale", 0.1);
   const int64_t limit = flags.GetInt("limit", 0);
   const int64_t num_shards = flags.GetInt("shards", 4);
@@ -216,8 +237,48 @@ int Main(int argc, char** argv) {
   const std::string metrics_dump = flags.GetString("metrics-dump", "");
   flags.FailOnUnknown();
 
-  if (class_name.empty()) {
-    std::fprintf(stderr, "error: --class is required\n");
+  // --- composite predicate flags, mirroring exsample_query: --classes a,b
+  // --predicate and|seq|multi [--within S], exclusive with --class.
+  const bool use_predicate =
+      !predicate_name.empty() || !classes_csv.empty();
+  core::PredicateRequest predicate_request;
+  if (use_predicate) {
+    if (!class_name.empty()) {
+      std::fprintf(stderr,
+                   "error: pass either --class or --classes/--predicate, "
+                   "not both\n");
+      return 2;
+    }
+    if (predicate_name.empty() || classes_csv.empty()) {
+      std::fprintf(stderr,
+                   "error: --classes and --predicate go together "
+                   "(--predicate single|and|seq|multi)\n");
+      return 2;
+    }
+    if (!core::ParsePredicateKindName(predicate_name,
+                                      &predicate_request.kind)) {
+      std::fprintf(stderr,
+                   "error: unknown predicate '%s' (single|and|seq|multi)\n",
+                   predicate_name.c_str());
+      return 2;
+    }
+    predicate_request.class_names = SplitCommaList(classes_csv);
+    if (flags.Has("within")) {
+      if (predicate_request.kind != core::PredicateKind::kSequence) {
+        std::fprintf(stderr, "error: --within applies to --predicate seq\n");
+        return 2;
+      }
+      if (within_flag <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --within must be > 0 seconds (omit it for an "
+                     "unbounded window)\n");
+        return 2;
+      }
+      predicate_request.within_seconds = within_flag;
+    }
+  } else if (class_name.empty()) {
+    std::fprintf(stderr,
+                 "error: --class (or --classes/--predicate) is required\n");
     return 2;
   }
   if (scale <= 0.0 || scale > 1.0) {
@@ -255,6 +316,7 @@ int Main(int argc, char** argv) {
   dist::CoordinatorOptions options;
   options.shard.preset = preset;
   options.shard.class_name = class_name;
+  if (use_predicate) options.shard.predicate = predicate_request;
   options.shard.scale = scale;
   options.shard.cost_aware = cost_aware;
   options.shard.tracker = tracker;

@@ -21,6 +21,13 @@
 //   # machine-readable output (spec, per-trial frames/seconds/trajectory)
 //   exsample_query --preset dashcam --class bicycle --limit 50 --json
 //
+//   # composite predicates: car AND person in the same frame; car then
+//   # person within 2 seconds; independent car+person result sets over one
+//   # shared decode stream
+//   exsample_query --preset paired_street --classes car,person --predicate and --limit 20
+//   exsample_query --preset paired_street --classes car,person --predicate seq --within 2 --limit 20
+//   exsample_query --preset paired_street --classes car,person --predicate multi --limit 20
+//
 //   # per-query trace: every pick/frame/hit event as JSON for offline
 //   # bandit-trajectory analysis (single trial only; tracing never
 //   # perturbs results — the traced run is bit-identical to an untraced one)
@@ -33,14 +40,17 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/predicate.h"
 #include "data/presets.h"
 #include "data/spec_io.h"
 #include "data/statistics.h"
 #include "detect/cost_model.h"
 #include "detect/simulated_detector.h"
 #include "exec/multi_query_runner.h"
+#include "exec/predicate_jobs.h"
 #include "exec/query_job.h"
 #include "obs/trace.h"
+#include "serve/session.h"
 #include "track/discriminator.h"
 #include "util/flags.h"
 #include "util/json.h"
@@ -50,6 +60,19 @@
 namespace exsample {
 namespace {
 
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 int Main(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
   const std::string print_spec = flags.GetString("print-spec", "");
@@ -57,6 +80,9 @@ int Main(int argc, char** argv) {
   const std::string preset = flags.GetString("preset", "");
   const double scale = flags.GetDouble("scale", 0.1);
   const std::string class_name = flags.GetString("class", "");
+  const std::string classes_flag = flags.GetString("classes", "");
+  const std::string predicate_name = flags.GetString("predicate", "");
+  const double within_flag = flags.GetDouble("within", 0.0);
   const int64_t limit = flags.GetInt("limit", 0);
   // --cost-budget is the explicit "modeled GPU seconds" spelling of
   // --budget-seconds (both cap QuerySpec::max_seconds).
@@ -143,6 +169,52 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "error: --scale must be in (0, 1]\n");
     return 2;
   }
+  // --- composite predicate flags: --classes a,b --predicate and|seq|multi
+  // [--within S]. Mutually exclusive with the single-class --class spelling.
+  const bool use_predicate = !predicate_name.empty() || !classes_flag.empty();
+  core::PredicateRequest predicate_request;
+  if (use_predicate) {
+    if (!class_name.empty()) {
+      std::fprintf(stderr,
+                   "error: pass either --class or --classes/--predicate, "
+                   "not both\n");
+      return 2;
+    }
+    if (predicate_name.empty() || classes_flag.empty()) {
+      std::fprintf(stderr,
+                   "error: --classes and --predicate go together "
+                   "(--predicate single|and|seq|multi)\n");
+      return 2;
+    }
+    if (!core::ParsePredicateKindName(predicate_name,
+                                      &predicate_request.kind)) {
+      std::fprintf(stderr,
+                   "error: unknown predicate '%s' (single|and|seq|multi)\n",
+                   predicate_name.c_str());
+      return 2;
+    }
+    predicate_request.class_names = SplitCommaList(classes_flag);
+    if (flags.Has("within")) {
+      if (predicate_request.kind != core::PredicateKind::kSequence) {
+        std::fprintf(stderr, "error: --within applies to --predicate seq\n");
+        return 2;
+      }
+      if (within_flag <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --within must be > 0 seconds (omit it for an "
+                     "unbounded window)\n");
+        return 2;
+      }
+      predicate_request.within_seconds = within_flag;
+    }
+    if (!trace_path.empty() &&
+        predicate_request.kind == core::PredicateKind::kMultiClass) {
+      std::fprintf(stderr,
+                   "error: --trace records one engine; multi predicates run "
+                   "one engine per class\n");
+      return 2;
+    }
+  }
   const size_t threads = static_cast<size_t>(threads_flag);
 
   if (!print_spec.empty()) {
@@ -166,6 +238,8 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: exsample_query (--spec FILE | --preset NAME) "
                  "--class NAME [--limit N] [--budget-seconds S]\n"
+                 "       [--classes A,B --predicate single|and|seq|multi "
+                 "[--within S]  (composite query instead of --class)]\n"
                  "       [--cost-budget S  (modeled GPU seconds; alias of "
                  "--budget-seconds)]\n"
                  "       [--strategy exsample|random|randomplus|sequential]"
@@ -184,7 +258,27 @@ int Main(int argc, char** argv) {
   }
   data::Dataset dataset = data::GenerateDataset(spec, seed);
 
-  const data::ClassSpec* cls = dataset.FindClass(class_name);
+  core::QueryPredicate predicate;
+  const data::ClassSpec* cls = nullptr;
+  if (use_predicate) {
+    auto resolved = exec::ResolvePredicate(dataset, predicate_request);
+    if (!resolved.ok()) {
+      std::fprintf(stderr, "error: %s; available classes:",
+                   resolved.status().ToString().c_str());
+      for (const auto& c : dataset.classes) {
+        std::fprintf(stderr, " %s", c.name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+    predicate = resolved.value();
+    // The result class's spec, for reporting.
+    for (const auto& c : dataset.classes) {
+      if (c.class_id == predicate.result_class()) cls = &c;
+    }
+  } else {
+    cls = dataset.FindClass(class_name);
+  }
   if (cls == nullptr) {
     std::fprintf(stderr, "error: class '%s' not in dataset; available:",
                  class_name.c_str());
@@ -234,23 +328,51 @@ int Main(int argc, char** argv) {
     job.spec = query;
     job.pipeline_depth = static_cast<int32_t>(pipeline_depth);
     job.detect_batch = static_cast<int32_t>(detect_batch);
-    job.make_detector = [&dataset, cls](uint64_t detector_seed) {
-      return std::make_unique<detect::SimulatedDetector>(
-          &dataset.ground_truth, cls->class_id, detect::DetectorConfig{},
-          detector_seed);
-    };
-    job.make_discriminator = [use_tracker]() -> std::unique_ptr<track::Discriminator> {
-      if (use_tracker) return std::make_unique<track::TrackerDiscriminator>();
-      return std::make_unique<track::OracleDiscriminator>();
-    };
+    if (use_predicate) {
+      exec::ConfigurePredicateJob(&dataset, predicate, use_tracker,
+                                  detect::DetectorConfig{}, &job);
+    } else {
+      job.make_detector = [&dataset, cls](uint64_t detector_seed) {
+        return std::make_unique<detect::SimulatedDetector>(
+            &dataset.ground_truth, cls->class_id, detect::DetectorConfig{},
+            detector_seed);
+      };
+      job.make_discriminator =
+          [use_tracker]() -> std::unique_ptr<track::Discriminator> {
+        if (use_tracker) {
+          return std::make_unique<track::TrackerDiscriminator>();
+        }
+        return std::make_unique<track::OracleDiscriminator>();
+      };
+    }
     if (!trace_path.empty()) job.trace = &trace;  // single trial (checked)
     jobs.push_back(std::move(job));
   }
-  exec::MultiQueryRunner::Options options;
-  options.threads = trials == 1 ? 1 : threads;
-  options.base_seed = seed;
-  std::vector<exec::JobResult> outcomes =
-      exec::MultiQueryRunner(options).RunAll(jobs);
+  const bool multi_class =
+      use_predicate && predicate.kind == core::PredicateKind::kMultiClass;
+  std::vector<exec::JobResult> outcomes;
+  if (multi_class) {
+    // MultiQueryRunner schedules single-engine jobs; multi-class trials run
+    // a per-class engine set over one shared decode cache, so each trial is
+    // driven here through a QuerySession (same JobSeed stream — trial t's
+    // results match a served multi-class session with id t bit for bit).
+    outcomes.reserve(jobs.size());
+    for (exec::QueryJob& job : jobs) {
+      serve::QuerySession session(job, seed);
+      while (session.RunSlice(4096)) {
+      }
+      exec::JobResult outcome;
+      outcome.job_id = job.id;
+      outcome.seed = session.seed();
+      outcome.result = session.result();
+      outcomes.push_back(std::move(outcome));
+    }
+  } else {
+    exec::MultiQueryRunner::Options options;
+    options.threads = trials == 1 ? 1 : threads;
+    options.base_seed = seed;
+    outcomes = exec::MultiQueryRunner(options).RunAll(jobs);
+  }
   const core::QueryResult& result = outcomes.front().result;
 
   // --- optional trace dump: the run's pick/frame/hit event stream plus
@@ -280,13 +402,24 @@ int Main(int argc, char** argv) {
 
   // --- optional CSV dump (trial 0's results), in either output mode
   if (!out_path.empty()) {
-    Table csv({"result_index", "frame", "x", "y", "w", "h", "score"});
+    // Multi-class result streams interleave classes, so their CSV carries a
+    // class_id column; single-class output keeps the schema it always had.
+    std::vector<std::string> columns = {"result_index", "frame", "x",
+                                        "y",            "w",     "h",
+                                        "score"};
+    if (multi_class) columns.push_back("class_id");
+    Table csv(columns);
     for (size_t i = 0; i < result.results.size(); ++i) {
       const auto& d = result.results[i];
-      csv.AddRow({Table::Int(static_cast<int64_t>(i)), Table::Int(d.frame),
-                  Table::Num(d.box.x, 6), Table::Num(d.box.y, 6),
-                  Table::Num(d.box.w, 6), Table::Num(d.box.h, 6),
-                  Table::Num(d.score, 4)});
+      std::vector<std::string> row = {
+          Table::Int(static_cast<int64_t>(i)), Table::Int(d.frame),
+          Table::Num(d.box.x, 6),              Table::Num(d.box.y, 6),
+          Table::Num(d.box.w, 6),              Table::Num(d.box.h, 6),
+          Table::Num(d.score, 4)};
+      if (multi_class) {
+        row.push_back(Table::Int(static_cast<int64_t>(d.class_id)));
+      }
+      csv.AddRow(row);
     }
     std::ofstream out(out_path);
     if (!out.good()) {
@@ -313,8 +446,18 @@ int Main(int argc, char** argv) {
                                 static_cast<int64_t>(dataset.chunks.size())));
     Json query_obj = Json::Object();
     query_obj.Set("class", cls->name)
-        .Set("class_id", static_cast<int64_t>(cls->class_id))
-        .Set("strategy", strategy_name)
+        .Set("class_id", static_cast<int64_t>(cls->class_id));
+    if (use_predicate) {
+      // Canonical predicate key plus the resolved constituents; "class" above
+      // stays the result class (a composite's output stream class).
+      query_obj.Set("predicate", core::PredicateKey(predicate));
+      Json class_arr = Json::Array();
+      for (detect::ClassId id : predicate.classes) {
+        class_arr.Append(static_cast<int64_t>(id));
+      }
+      query_obj.Set("predicate_classes", std::move(class_arr));
+    }
+    query_obj.Set("strategy", strategy_name)
         .Set("policy", core::PolicyKindName(config.policy))
         .Set("group_size", group_size)
         .Set("cost_aware", cost_aware)
@@ -352,10 +495,18 @@ int Main(int argc, char** argv) {
     return 0;
   }
   detect::ThroughputModel throughput;
-  std::printf("dataset '%s': %lld frames, %zu chunks; query class '%s'\n",
-              dataset.name.c_str(),
-              static_cast<long long>(dataset.repo.total_frames()),
-              dataset.chunks.size(), cls->name.c_str());
+  if (use_predicate) {
+    std::printf("dataset '%s': %lld frames, %zu chunks; predicate %s\n",
+                dataset.name.c_str(),
+                static_cast<long long>(dataset.repo.total_frames()),
+                dataset.chunks.size(),
+                core::PredicateKey(predicate).c_str());
+  } else {
+    std::printf("dataset '%s': %lld frames, %zu chunks; query class '%s'\n",
+                dataset.name.c_str(),
+                static_cast<long long>(dataset.repo.total_frames()),
+                dataset.chunks.size(), cls->name.c_str());
+  }
   for (const exec::JobResult& outcome : outcomes) {
     std::printf("strategy %s trial %lld: %zu distinct results in %lld frames "
                 "(%s modeled GPU time)\n",

@@ -13,6 +13,16 @@
 // Protocol (one object per line; lines may end in CRLF):
 //   {"cmd":"open","preset":"dashcam","class":"bicycle","limit":20}
 //     -> {"ok":true,"session":1,"warm_started":false}
+//     composite queries pass "predicate" INSTEAD of "class":
+//       {"cmd":"open","preset":"paired_street","limit":10,
+//        "predicate":{"kind":"and","classes":["car","person"]}}
+//       -> {"ok":true,"session":1,"predicate":"and(c0,c1)",...}
+//     kinds: "single" (1 class), "and" (same-frame conjunction), "seq"
+//     (A then B within optional "within" seconds), "multi" (independent
+//     per-class result sets over one shared decode stream; poll replies
+//     gain "multi_class":true, per-detection "class_id", and
+//     "cached_reads"). Malformed predicates are rejected with a
+//     structured error before any dataset work.
 //     optional keys: "scale" (default --scale), "strategy"
 //     (exsample|random|randomplus|sequential), "policy" (thompson|
 //     bayes_ucb|greedy|uniform|hier_thompson|hier_bayes_ucb; hier_* scale
